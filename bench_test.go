@@ -1,0 +1,244 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (Section 7), plus ablation benches for the design choices
+// called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Mapping:
+//
+//	BenchmarkTable2/*          — Table 2 (summary-graph construction per benchmark)
+//	BenchmarkFigure6/*         — Figure 6 (maximal robust subsets, Algorithm 2)
+//	BenchmarkFigure7/*         — Figure 7 (maximal robust subsets, type-I method of [3])
+//	BenchmarkFigure8AuctionN/* — Figure 8 (Auction(n) scalability sweep)
+//	BenchmarkAblation*         — design-choice ablations
+//
+// Each bench prints the quantities the paper reports (edge counts, robust
+// subsets, verdicts) once, then measures the end-to-end analysis time.
+package mvrc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/experiments"
+	"repro/internal/robust"
+	"repro/internal/summary"
+)
+
+// report prints a line once per benchmark name (not per iteration).
+var reported sync.Map
+
+func reportOnce(b *testing.B, format string, args ...any) {
+	if _, loaded := reported.LoadOrStore(b.Name(), true); !loaded {
+		b.Logf(format, args...)
+	}
+}
+
+// --- Table 2: benchmark characteristics -----------------------------------
+
+func benchmarkTable2(b *testing.B, mk func() *benchmarks.Benchmark) {
+	bench := mk()
+	row := experiments.Table2(bench)
+	reportOnce(b, "Table 2 row: %s — %d relations, %d programs, %d nodes, %d edges (%d counterflow)",
+		row.Benchmark, row.Relations, row.Programs, row.Nodes, row.Edges, row.CounterflowEdges)
+	ltps := btp.UnfoldAll2(bench.Programs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
+		if len(g.Edges) != row.Edges {
+			b.Fatalf("edge count drifted: %d != %d", len(g.Edges), row.Edges)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	b.Run("SmallBank", func(b *testing.B) { benchmarkTable2(b, benchmarks.SmallBank) })
+	b.Run("TPCC", func(b *testing.B) { benchmarkTable2(b, benchmarks.TPCC) })
+	b.Run("Auction", func(b *testing.B) { benchmarkTable2(b, benchmarks.Auction) })
+}
+
+// --- Figures 6 and 7: maximal robust subsets ------------------------------
+
+func benchmarkFigure(b *testing.B, mk func() *benchmarks.Benchmark, setting summary.Setting, method summary.Method) {
+	bench := mk()
+	cell, err := experiments.RobustSubsetsCell(bench, setting, method)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "%s under %s (%s): %s", bench.Name, setting, method, cell)
+	checker := robust.NewChecker(bench.Schema)
+	checker.Setting = setting
+	checker.Method = method
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.RobustSubsets(bench.Programs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for _, setting := range summary.AllSettings {
+		setting := setting
+		b.Run("SmallBank/"+setting.String(), func(b *testing.B) {
+			benchmarkFigure(b, benchmarks.SmallBank, setting, summary.TypeII)
+		})
+		b.Run("TPCC/"+setting.String(), func(b *testing.B) {
+			benchmarkFigure(b, benchmarks.TPCC, setting, summary.TypeII)
+		})
+		b.Run("Auction/"+setting.String(), func(b *testing.B) {
+			benchmarkFigure(b, benchmarks.Auction, setting, summary.TypeII)
+		})
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for _, setting := range summary.AllSettings {
+		setting := setting
+		b.Run("SmallBank/"+setting.String(), func(b *testing.B) {
+			benchmarkFigure(b, benchmarks.SmallBank, setting, summary.TypeI)
+		})
+		b.Run("TPCC/"+setting.String(), func(b *testing.B) {
+			benchmarkFigure(b, benchmarks.TPCC, setting, summary.TypeI)
+		})
+		b.Run("Auction/"+setting.String(), func(b *testing.B) {
+			benchmarkFigure(b, benchmarks.Auction, setting, summary.TypeI)
+		})
+	}
+}
+
+// --- Figure 8: Auction(n) scalability --------------------------------------
+
+// BenchmarkFigure8AuctionN sweeps the scaling factor n and measures the
+// full pipeline (unfold + summary graph + Algorithm 2), mirroring the
+// left plot of Figure 8; the reported edge counts mirror the right plot
+// (8n + 9n² edges, n counterflow).
+func BenchmarkFigure8AuctionN(b *testing.B) {
+	for _, n := range []int{1, 5, 10, 20, 40, 60, 80, 100} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			bench := benchmarks.AuctionN(n)
+			wantEdges, wantCF := experiments.ExpectedAuctionNEdges(n)
+			reportOnce(b, "Auction(%d): %d nodes, %d edges (%d counterflow) expected", n, 3*n, wantEdges, wantCF)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ltps := btp.UnfoldAll2(bench.Programs)
+				g := summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
+				robustOK, _ := g.Robust(summary.TypeII)
+				if !robustOK {
+					b.Fatal("Auction(n) must be robust")
+				}
+				if len(g.Edges) != wantEdges || g.CounterflowEdges() != wantCF {
+					b.Fatalf("edge counts drifted: %d (%d)", len(g.Edges), g.CounterflowEdges())
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations --------------------------------------------------------------
+
+// BenchmarkAblationTypeIIvsTypeI compares the cost of the two cycle
+// conditions on the same TPC-C summary graph.
+func BenchmarkAblationTypeIIvsTypeI(b *testing.B) {
+	bench := benchmarks.TPCC()
+	ltps := btp.UnfoldAll2(bench.Programs)
+	g := summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
+	b.Run("TypeII", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Robust(summary.TypeII)
+		}
+	})
+	b.Run("TypeI", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Robust(summary.TypeI)
+		}
+	})
+}
+
+// BenchmarkAblationSettings compares summary-graph construction cost across
+// the four analysis settings of Section 7.2 on TPC-C.
+func BenchmarkAblationSettings(b *testing.B) {
+	bench := benchmarks.TPCC()
+	ltps := btp.UnfoldAll2(bench.Programs)
+	for _, setting := range summary.AllSettings {
+		setting := setting
+		b.Run(setting.String(), func(b *testing.B) {
+			g := summary.Build(bench.Schema, ltps, setting)
+			reportOnce(b, "TPC-C under %s: %d edges (%d counterflow)",
+				setting, len(g.Edges), g.CounterflowEdges())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				summary.Build(bench.Schema, ltps, setting)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUnfoldBound varies the loop-unfolding bound on TPC-C.
+// Bound 2 is the paper's sound choice (Proposition 6.1); bound 1 is
+// cheaper but unsound in general; bound 3 only grows the graph.
+func BenchmarkAblationUnfoldBound(b *testing.B) {
+	bench := benchmarks.TPCC()
+	for _, bound := range []int{1, 2, 3} {
+		bound := bound
+		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			ltps := btp.UnfoldAll(bench.Programs, bound)
+			g := summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
+			robustOK, _ := g.Robust(summary.TypeII)
+			reportOnce(b, "bound %d: %d LTPs, %d edges, full-set robust=%t",
+				bound, len(ltps), len(g.Edges), robustOK)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l := btp.UnfoldAll(bench.Programs, bound)
+				gg := summary.Build(bench.Schema, l, summary.SettingAttrDepFK)
+				gg.Robust(summary.TypeII)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReachability compares the optimized pair-centric cycle
+// search against the literal triple-loop transcription of Algorithm 2, on
+// Auction(n) graphs of growing size.
+func BenchmarkAblationReachability(b *testing.B) {
+	for _, n := range []int{5, 10, 20} {
+		n := n
+		bench := benchmarks.AuctionN(n)
+		ltps := btp.UnfoldAll2(bench.Programs)
+		g := summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
+		b.Run(fmt.Sprintf("pair-centric/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.HasTypeIICycle()
+			}
+		})
+		b.Run(fmt.Sprintf("literal/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.HasTypeIICycleLiteral()
+			}
+		})
+	}
+}
+
+// BenchmarkSummaryGraphConstruction isolates Algorithm 1 on the largest
+// fixed benchmark (TPC-C) for allocation profiling.
+func BenchmarkSummaryGraphConstruction(b *testing.B) {
+	bench := benchmarks.TPCC()
+	ltps := btp.UnfoldAll2(bench.Programs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
+	}
+}
+
+// BenchmarkUnfold isolates Unfold≤2 on TPC-C.
+func BenchmarkUnfold(b *testing.B) {
+	bench := benchmarks.TPCC()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		btp.UnfoldAll2(bench.Programs)
+	}
+}

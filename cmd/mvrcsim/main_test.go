@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunWorkloads(t *testing.T) {
+	cases := []struct {
+		bench, progs, iso string
+	}{
+		{"smallbank", "", "rc"},
+		{"smallbank", "Am,DC,TS", "rc"},
+		{"smallbank", "", "si"},
+		{"smallbank", "", "ser"},
+		{"auction", "", "rc"},
+	}
+	for _, tc := range cases {
+		if err := run(tc.bench, tc.progs, tc.iso, 60, 4, 1, 1); err != nil {
+			t.Errorf("run(%s, %q, %s): %v", tc.bench, tc.progs, tc.iso, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "", "rc", 10, 2, 1, 1); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if err := run("smallbank", "", "bogus", 10, 2, 1, 1); err == nil {
+		t.Error("bogus isolation accepted")
+	}
+	if err := run("smallbank", "Nope", "rc", 10, 2, 1, 1); err == nil {
+		t.Error("bogus program accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/summary"
+)
+
+func TestParseSetting(t *testing.T) {
+	cases := map[string]summary.Setting{
+		"tpl":     summary.SettingTplDep,
+		"attr":    summary.SettingAttrDep,
+		"tpl+fk":  summary.SettingTplDepFK,
+		"attr+fk": summary.SettingAttrDepFK,
+	}
+	for name, want := range cases {
+		got, err := parseSetting(name)
+		if err != nil || got != want {
+			t.Errorf("parseSetting(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseSetting("bogus"); err == nil {
+		t.Error("bogus setting accepted")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	if m, err := parseMethod("type1"); err != nil || m != summary.TypeI {
+		t.Error("type1")
+	}
+	if m, err := parseMethod("type2"); err != nil || m != summary.TypeII {
+		t.Error("type2")
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestLoadBenchmark(t *testing.T) {
+	for _, name := range []string{"smallbank", "tpcc", "auction"} {
+		if _, err := loadBenchmark(name, 1); err != nil {
+			t.Errorf("loadBenchmark(%q): %v", name, err)
+		}
+	}
+	b, err := loadBenchmark("auction", 3)
+	if err != nil || len(b.Programs) != 6 {
+		t.Errorf("auction n=3: %v, %d programs", err, len(b.Programs))
+	}
+	if _, err := loadBenchmark("bogus", 1); err == nil {
+		t.Error("bogus benchmark accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Benchmarks across modes.
+	cases := []struct {
+		name    string
+		bench   string
+		setting string
+		method  string
+		progs   string
+		subsets bool
+		stats   bool
+		wantErr bool
+	}{
+		{"auction robust", "auction", "attr+fk", "type2", "", false, true, false},
+		{"auction type1", "auction", "attr+fk", "type1", "", false, false, false},
+		{"smallbank subsets", "smallbank", "attr+fk", "type2", "", true, false, false},
+		{"tpcc subset", "tpcc", "attr+fk", "type2", "OS,Pay,SL", false, false, false},
+		{"bad program", "tpcc", "attr+fk", "type2", "Nope", false, false, true},
+		{"bad setting", "tpcc", "huh", "type2", "", false, false, true},
+		{"bad method", "tpcc", "attr+fk", "huh", "", false, false, true},
+		{"no input", "", "attr+fk", "type2", "", false, false, true},
+	}
+	for _, tc := range cases {
+		err := run(tc.bench, 1, "", "", tc.setting, tc.method, tc.progs, tc.subsets, tc.stats, 2)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %t", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestRunSQLFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "progs.sql")
+	src := `
+PROGRAM Bump(:B):
+  UPDATE Buyer SET calls = calls + 1 WHERE id = :B; -- q1
+  COMMIT;
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 1, path, "auction", "attr+fk", "type2", "", false, true, 2); err != nil {
+		t.Fatalf("run with -sql: %v", err)
+	}
+	// Missing -schema is an error.
+	if err := run("", 1, path, "", "attr+fk", "type2", "", false, false, 2); err == nil {
+		t.Error("missing -schema accepted")
+	}
+	// Unreadable file is an error.
+	if err := run("", 1, filepath.Join(dir, "missing.sql"), "auction", "attr+fk", "type2", "", false, false, 2); err == nil {
+		t.Error("missing file accepted")
+	}
+}

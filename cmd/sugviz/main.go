@@ -1,0 +1,73 @@
+// Command sugviz emits the summary graph of a benchmark in Graphviz DOT
+// format, reproducing the visualizations of Figures 4, 11, 18 and 19
+// (counterflow edges are dashed).
+//
+// Usage:
+//
+//	sugviz -benchmark auction [-n N] [-setting attr+fk] [-labels] > sug.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/dot"
+	"repro/internal/summary"
+)
+
+func main() {
+	var (
+		benchName = flag.String("benchmark", "auction", "benchmark: smallbank, tpcc, auction")
+		n         = flag.Int("n", 1, "scaling factor for auction")
+		setting   = flag.String("setting", "attr+fk", "analysis setting: tpl, attr, tpl+fk, attr+fk")
+		labels    = flag.Bool("labels", false, "label edges with statement pairs")
+	)
+	flag.Parse()
+	if err := run(*benchName, *n, *setting, *labels); err != nil {
+		fmt.Fprintln(os.Stderr, "sugviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName string, n int, settingName string, labels bool) error {
+	var st summary.Setting
+	switch settingName {
+	case "tpl":
+		st = summary.SettingTplDep
+	case "attr":
+		st = summary.SettingAttrDep
+	case "tpl+fk":
+		st = summary.SettingTplDepFK
+	case "attr+fk":
+		st = summary.SettingAttrDepFK
+	default:
+		return fmt.Errorf("unknown setting %q", settingName)
+	}
+	var b *benchmarks.Benchmark
+	switch strings.ToLower(benchName) {
+	case "smallbank":
+		b = benchmarks.SmallBank()
+	case "tpcc", "tpc-c":
+		b = benchmarks.TPCC()
+	case "auction":
+		if n > 1 {
+			b = benchmarks.AuctionN(n)
+		} else {
+			b = benchmarks.Auction()
+		}
+	default:
+		return fmt.Errorf("unknown benchmark %q", benchName)
+	}
+	ltps := btp.UnfoldAll2(b.Programs)
+	g := summary.Build(b.Schema, ltps, st)
+	fmt.Print(dot.SummaryGraph(g, dot.Options{
+		Name:             b.Name,
+		EdgeLabels:       labels,
+		CollapseParallel: true,
+	}))
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunAllBenchmarks(t *testing.T) {
+	for _, bench := range []string{"smallbank", "tpcc", "auction"} {
+		for _, setting := range []string{"tpl", "attr", "tpl+fk", "attr+fk"} {
+			if err := run(bench, 1, setting, true); err != nil {
+				t.Errorf("run(%s, %s): %v", bench, setting, err)
+			}
+		}
+	}
+	if err := run("auction", 4, "attr+fk", false); err != nil {
+		t.Errorf("run(auction, n=4): %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 1, "attr+fk", false); err == nil {
+		t.Error("bogus benchmark accepted")
+	}
+	if err := run("auction", 1, "bogus", false); err == nil {
+		t.Error("bogus setting accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// The running example of the paper (Section 2): the Auction service with
+// FindBids and PlaceBid. This example reproduces the paper's storyline
+// end to end:
+//
+//  1. the summary graph of Figure 4 (17 edges, 1 counterflow);
+//  2. the type-I condition of Alomari and Fekete rejects the workload;
+//  3. the paper's type-II condition (Algorithm 2) certifies it robust;
+//  4. a concurrent execution on the MVCC engine under READ COMMITTED is
+//     recorded and verified conflict-serializable.
+//
+// Run with:
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mvrc "repro"
+	"repro/internal/benchmarks"
+	"repro/internal/mvcc"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := benchmarks.Auction()
+	fmt.Println("schema:")
+	fmt.Print(bench.Schema)
+	fmt.Println("\nprograms:")
+	for _, p := range bench.Programs {
+		fmt.Printf("  %s\n", p)
+		for _, c := range p.FKs {
+			fmt.Printf("    fk annotation: %s\n", c)
+		}
+	}
+
+	// Static analysis: type-I (baseline) vs type-II (Algorithm 2).
+	baseline, err := mvrc.CheckWith(bench.Schema, bench.Programs, mvrc.AttrDepFK, mvrc.TypeI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntype-I condition of [Alomari & Fekete 2015]:")
+	fmt.Println(mvrc.Explain(baseline))
+
+	report, err := mvrc.Check(bench.Schema, bench.Programs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntype-II condition (Algorithm 2 of the paper):")
+	fmt.Println(mvrc.Explain(report))
+	st := report.Graph.Stats()
+	fmt.Printf("summary graph (Figure 4): %d nodes, %d edges, %d counterflow\n",
+		st.Nodes, st.Edges, st.CounterflowEdges)
+
+	// Operational check: run the workload concurrently under RC on the
+	// MVCC engine and verify the recorded schedule is serializable.
+	cfg := workload.AuctionConfig{Buyers: 3}
+	engine := workload.NewAuctionEngine(cfg)
+	res, err := workload.Run(engine, workload.AuctionMix(cfg), workload.RunOptions{
+		Transactions: 300,
+		Workers:      8,
+		Isolation:    mvcc.ReadCommitted,
+		Seed:         42,
+		Record:       true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nengine run under %s: %d committed, %d aborted, %d recorded operations\n",
+		mvcc.ReadCommitted, res.Commits, res.Aborts, len(res.Schedule.Order))
+	fmt.Printf("recorded schedule allowed under mvrc: %t\n", res.Schedule.AllowedUnderMVRC())
+	fmt.Printf("recorded execution conflict serializable: %t\n", res.Serializable())
+	if !res.Serializable() {
+		log.Fatal("BUG: robust workload produced a non-serializable execution")
+	}
+	fmt.Println("\nthe static verdict holds operationally: safe under READ COMMITTED.")
+}

@@ -1,0 +1,80 @@
+// Quickstart: declare a schema, write transaction programs in SQL, and ask
+// whether they can safely run under READ COMMITTED.
+//
+// The programs model a tiny ticketing service: Reserve decrements a seat
+// counter and records the reservation; Audit sums recorded reservations
+// against the counter; CountSeats just reads the counter. The analysis
+// certifies {Reserve, CountSeats} as robust — every MVRC interleaving is
+// serializable — while {Reserve, Audit} is rejected with a concrete
+// dangerous cycle (Audit can observe the seat counter before a concurrent
+// Reserve commits, yet see its inserted reservation afterwards).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mvrc "repro"
+)
+
+const programs = `
+PROGRAM Reserve(:E, :U):
+  UPDATE Events                       -- q1
+  SET seats = seats - 1
+  WHERE id = :E;
+  INSERT INTO Reservations            -- q2
+  VALUES (:R, :E, :U);
+  COMMIT;
+
+PROGRAM Audit(:E):
+  SELECT seats INTO :s                -- q3
+  FROM Events
+  WHERE id = :E;
+  SELECT user_id                      -- q4
+  FROM Reservations
+  WHERE event_id = :E;
+  COMMIT;
+
+PROGRAM CountSeats(:E):
+  SELECT seats                        -- q5
+  FROM Events
+  WHERE id = :E;
+  COMMIT;
+`
+
+func main() {
+	schema := mvrc.NewSchema()
+	schema.MustAddRelation("Events", []string{"id", "seats"}, []string{"id"})
+	schema.MustAddRelation("Reservations", []string{"res_id", "event_id", "user_id"}, []string{"res_id"})
+	schema.MustAddForeignKey("fEvent", "Reservations", []string{"event_id"}, "Events", []string{"id"})
+
+	progs, err := mvrc.ParseSQL(schema, programs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reserve, audit, countSeats := progs[0], progs[1], progs[2]
+	for _, p := range progs {
+		fmt.Println(p)
+	}
+
+	fmt.Println("\n--- {Reserve, CountSeats} ---")
+	report, err := mvrc.Check(schema, []*mvrc.Program{reserve, countSeats})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(mvrc.Explain(report))
+
+	fmt.Println("\n--- {Reserve, Audit} ---")
+	report, err = mvrc.Check(schema, []*mvrc.Program{reserve, audit})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(mvrc.Explain(report))
+
+	fmt.Println("\nsummary graph (DOT):")
+	fmt.Println(mvrc.SummaryGraphDOT(report, true))
+}

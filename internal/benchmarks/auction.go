@@ -1,0 +1,137 @@
+// Package benchmarks defines the three benchmarks of Section 7 — SmallBank,
+// TPC-C and Auction (plus the scalable Auction(n) variant) — as relational
+// schemas, BTP programs with foreign-key annotations, and program
+// abbreviations matching the paper's figures.
+package benchmarks
+
+import (
+	"fmt"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// Benchmark bundles a schema with its transaction programs.
+type Benchmark struct {
+	// Name identifies the benchmark ("SmallBank", "TPC-C", "Auction",
+	// "Auction(n)").
+	Name string
+	// Schema is the relational schema including foreign keys.
+	Schema *relschema.Schema
+	// Programs are the BTP transaction programs.
+	Programs []*btp.Program
+}
+
+// Program returns the program with the given name or abbreviation, or nil.
+func (b *Benchmark) Program(name string) *btp.Program {
+	for _, p := range b.Programs {
+		if p.Name == name || p.Abbrev == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Validate validates the schema and every program.
+func (b *Benchmark) Validate() error {
+	if err := b.Schema.Validate(); err != nil {
+		return fmt.Errorf("benchmark %s: %w", b.Name, err)
+	}
+	for _, p := range b.Programs {
+		if err := p.Validate(b.Schema); err != nil {
+			return fmt.Errorf("benchmark %s: %w", b.Name, err)
+		}
+	}
+	return nil
+}
+
+// AuctionSchema builds the auction schema of Section 2:
+//
+//	Buyer(id, calls), Bids(buyerId, bid), Log(id, buyerId, bid)
+//
+// with foreign keys f1: Bids(buyerId) → Buyer(id) and
+// f2: Log(buyerId) → Buyer(id).
+func AuctionSchema() *relschema.Schema {
+	s := relschema.NewSchema()
+	s.MustAddRelation("Buyer", []string{"id", "calls"}, []string{"id"})
+	s.MustAddRelation("Bids", []string{"buyerId", "bid"}, []string{"buyerId"})
+	s.MustAddRelation("Log", []string{"id", "buyerId", "bid"}, []string{"id"})
+	s.MustAddForeignKey("f1", "Bids", []string{"buyerId"}, "Buyer", []string{"id"})
+	s.MustAddForeignKey("f2", "Log", []string{"buyerId"}, "Buyer", []string{"id"})
+	return s
+}
+
+// Auction builds the Auction benchmark of Section 2 (Figures 1 and 2):
+// FindBids = q1; q2 and PlaceBid = q3; q4; (q5 | ε); q6 with foreign-key
+// annotations q3 = f1(q4), q3 = f1(q5) and q3 = f2(q6).
+func Auction() *Benchmark {
+	s := AuctionSchema()
+
+	q1 := btp.NewKeyUpd("q1", "Buyer", []string{"calls"}, []string{"calls"})
+	q2 := btp.NewPredSel("q2", "Bids", []string{"bid"}, []string{"bid"})
+	findBids := &btp.Program{
+		Name: "FindBids", Abbrev: "FB",
+		Body: btp.Stmts(q1, q2),
+	}
+
+	q3 := btp.NewKeyUpd("q3", "Buyer", []string{"calls"}, []string{"calls"})
+	q4 := btp.NewKeySel("q4", "Bids", "bid")
+	q5 := btp.NewKeyUpd("q5", "Bids", nil, []string{"bid"})
+	q6 := btp.NewIns(s, "q6", "Log")
+	placeBid := &btp.Program{
+		Name: "PlaceBid", Abbrev: "PB",
+		Body: btp.SeqOf(btp.S(q3), btp.S(q4), btp.Opt(btp.S(q5)), btp.S(q6)),
+	}
+	placeBid.MustAnnotateFK(s, "f1", "q4", "q3")
+	placeBid.MustAnnotateFK(s, "f1", "q5", "q3")
+	placeBid.MustAnnotateFK(s, "f2", "q6", "q3")
+
+	return &Benchmark{Name: "Auction", Schema: s, Programs: []*btp.Program{findBids, placeBid}}
+}
+
+// AuctionN builds the scalable Auction(n) benchmark of Section 7.3: n
+// auction items, each with its own relation Bids_i and its own pair of
+// programs FindBids_i and PlaceBid_i; all programs still update the shared
+// Buyer relation. Auction(1) is structurally the Auction benchmark.
+func AuctionN(n int) *Benchmark {
+	if n < 1 {
+		panic(fmt.Sprintf("benchmarks: AuctionN requires n >= 1, got %d", n))
+	}
+	s := relschema.NewSchema()
+	s.MustAddRelation("Buyer", []string{"id", "calls"}, []string{"id"})
+	s.MustAddRelation("Log", []string{"id", "buyerId", "bid"}, []string{"id"})
+	s.MustAddForeignKey("f2", "Log", []string{"buyerId"}, "Buyer", []string{"id"})
+	for i := 1; i <= n; i++ {
+		bids := fmt.Sprintf("Bids%d", i)
+		s.MustAddRelation(bids, []string{"buyerId", "bid"}, []string{"buyerId"})
+		s.MustAddForeignKey(fmt.Sprintf("f1_%d", i), bids, []string{"buyerId"}, "Buyer", []string{"id"})
+	}
+
+	b := &Benchmark{Name: fmt.Sprintf("Auction(%d)", n), Schema: s}
+	for i := 1; i <= n; i++ {
+		bids := fmt.Sprintf("Bids%d", i)
+		f1 := fmt.Sprintf("f1_%d", i)
+
+		q1 := btp.NewKeyUpd("q1", "Buyer", []string{"calls"}, []string{"calls"})
+		q2 := btp.NewPredSel("q2", bids, []string{"bid"}, []string{"bid"})
+		fb := &btp.Program{
+			Name: fmt.Sprintf("FindBids%d", i), Abbrev: fmt.Sprintf("FB%d", i),
+			Body: btp.Stmts(q1, q2),
+		}
+
+		q3 := btp.NewKeyUpd("q3", "Buyer", []string{"calls"}, []string{"calls"})
+		q4 := btp.NewKeySel("q4", bids, "bid")
+		q5 := btp.NewKeyUpd("q5", bids, nil, []string{"bid"})
+		q6 := btp.NewIns(s, "q6", "Log")
+		pb := &btp.Program{
+			Name: fmt.Sprintf("PlaceBid%d", i), Abbrev: fmt.Sprintf("PB%d", i),
+			Body: btp.SeqOf(btp.S(q3), btp.S(q4), btp.Opt(btp.S(q5)), btp.S(q6)),
+		}
+		pb.MustAnnotateFK(s, f1, "q4", "q3")
+		pb.MustAnnotateFK(s, f1, "q5", "q3")
+		pb.MustAnnotateFK(s, "f2", "q6", "q3")
+
+		b.Programs = append(b.Programs, fb, pb)
+	}
+	return b
+}

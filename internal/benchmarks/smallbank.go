@@ -1,0 +1,84 @@
+package benchmarks
+
+import (
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// SmallBankSchema builds the SmallBank schema of Appendix E.1:
+//
+//	Account(Name, CustomerId), Savings(CustomerId, Balance),
+//	Checking(CustomerId, Balance)
+//
+// Account(CustomerId) is a foreign key referencing both
+// Savings(CustomerId) and Checking(CustomerId).
+func SmallBankSchema() *relschema.Schema {
+	s := relschema.NewSchema()
+	s.MustAddRelation("Account", []string{"Name", "CustomerId"}, []string{"Name"})
+	s.MustAddRelation("Savings", []string{"CustomerId", "Balance"}, []string{"CustomerId"})
+	s.MustAddRelation("Checking", []string{"CustomerId", "Balance"}, []string{"CustomerId"})
+	s.MustAddForeignKey("fS", "Account", []string{"CustomerId"}, "Savings", []string{"CustomerId"})
+	s.MustAddForeignKey("fC", "Account", []string{"CustomerId"}, "Checking", []string{"CustomerId"})
+	return s
+}
+
+// SmallBank builds the SmallBank benchmark (Figure 10): five linear
+// programs — Amalgamate, Balance, DepositChecking, TransactSavings and
+// WriteCheck — over the schema of SmallBankSchema.
+func SmallBank() *Benchmark {
+	s := SmallBankSchema()
+
+	// Amalgamate := q1; q2; q3; q4; q5
+	q1 := btp.NewKeySel("q1", "Account", "CustomerId")
+	q2 := btp.NewKeySel("q2", "Account", "CustomerId")
+	q3 := btp.NewKeyUpd("q3", "Savings", []string{"Balance"}, []string{"Balance"})
+	q4 := btp.NewKeyUpd("q4", "Checking", []string{"Balance"}, []string{"Balance"})
+	q5 := btp.NewKeyUpd("q5", "Checking", []string{"Balance"}, []string{"Balance"})
+	am := btp.LinearProgram("Amalgamate", q1, q2, q3, q4, q5)
+	am.Abbrev = "Am"
+	am.MustAnnotateFK(s, "fS", "q1", "q3")
+	am.MustAnnotateFK(s, "fC", "q1", "q4")
+	am.MustAnnotateFK(s, "fC", "q2", "q5")
+
+	// Balance := q6; q7; q8
+	q6 := btp.NewKeySel("q6", "Account", "CustomerId")
+	q7 := btp.NewKeySel("q7", "Savings", "Balance")
+	q8 := btp.NewKeySel("q8", "Checking", "Balance")
+	bal := btp.LinearProgram("Balance", q6, q7, q8)
+	bal.Abbrev = "Bal"
+	bal.MustAnnotateFK(s, "fS", "q6", "q7")
+	bal.MustAnnotateFK(s, "fC", "q6", "q8")
+
+	// DepositChecking := q9; q10
+	q9 := btp.NewKeySel("q9", "Account", "CustomerId")
+	q10 := btp.NewKeyUpd("q10", "Checking", []string{"Balance"}, []string{"Balance"})
+	dc := btp.LinearProgram("DepositChecking", q9, q10)
+	dc.Abbrev = "DC"
+	dc.MustAnnotateFK(s, "fC", "q9", "q10")
+
+	// TransactSavings := q11; q12
+	q11 := btp.NewKeySel("q11", "Account", "CustomerId")
+	q12 := btp.NewKeyUpd("q12", "Savings", []string{"Balance"}, []string{"Balance"})
+	ts := btp.LinearProgram("TransactSavings", q11, q12)
+	ts.Abbrev = "TS"
+	ts.MustAnnotateFK(s, "fS", "q11", "q12")
+
+	// WriteCheck := q13; q14; q15; q16
+	q13 := btp.NewKeySel("q13", "Account", "CustomerId")
+	q14 := btp.NewKeySel("q14", "Savings", "Balance")
+	q15 := btp.NewKeySel("q15", "Checking", "Balance")
+	// Figure 10 models the final update as a blind write: ReadSet(q16) = {}.
+	q16 := btp.NewKeyUpd("q16", "Checking", nil, []string{"Balance"})
+	wc := btp.LinearProgram("WriteCheck", q13, q14, q15, q16)
+	wc.Abbrev = "WC"
+	wc.MustAnnotateFK(s, "fS", "q13", "q14")
+	wc.MustAnnotateFK(s, "fC", "q13", "q15")
+	wc.MustAnnotateFK(s, "fC", "q13", "q16")
+
+	return &Benchmark{
+		Name:   "SmallBank",
+		Schema: s,
+		// Order follows Figure 10 (Amalgamate first).
+		Programs: []*btp.Program{am, bal, dc, ts, wc},
+	}
+}

@@ -1,0 +1,23 @@
+package benchmarks
+
+import _ "embed"
+
+// SQL renderings of the paper's benchmark programs in the dialect of
+// internal/sqlbtp (Appendix A). Parsing them against the corresponding
+// schemas yields BTPs equivalent to the hand-coded definitions in this
+// package; sql_test.go cross-validates the two.
+
+// SmallBankSQL is the SQL source of the five SmallBank programs (Figure 9).
+//
+//go:embed sqlsrc/smallbank.sql
+var SmallBankSQL string
+
+// TPCCSQL is the SQL source of the five TPC-C programs (Figures 12–16).
+//
+//go:embed sqlsrc/tpcc.sql
+var TPCCSQL string
+
+// AuctionSQL is the SQL source of the Auction programs (Figure 1).
+//
+//go:embed sqlsrc/auction.sql
+var AuctionSQL string

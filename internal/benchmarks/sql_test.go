@@ -1,0 +1,221 @@
+package benchmarks
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/btp"
+	"repro/internal/robust"
+	"repro/internal/sqlbtp"
+	"repro/internal/summary"
+)
+
+// equalOpt compares two optional attribute sets, tolerating the listed
+// extra attributes in got (the SQL derivation is occasionally a strict
+// superset of the paper's Figure 17 — e.g. Payment's c_payment_cnt, which
+// the SET clause reads but the figure omits from ReadSet).
+func equalOpt(got, want btp.OptAttrs, tolerate ...string) bool {
+	if got.Defined != want.Defined {
+		return false
+	}
+	if !got.Defined {
+		return true
+	}
+	if !want.Set.SubsetOf(got.Set) {
+		return false
+	}
+	tol := map[string]bool{}
+	for _, a := range tolerate {
+		tol[a] = true
+	}
+	for a := range got.Set {
+		if !want.Set.Has(a) && !tol[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// crossValidate compares a SQL-derived benchmark against the hand-coded
+// one: same programs, and per statement the same type, relation and
+// attribute sets (modulo tolerated extras).
+func crossValidate(t *testing.T, hand *Benchmark, src string, tolerate map[string][]string) []*btp.Program {
+	t.Helper()
+	programs, err := sqlbtp.Parse(hand.Schema, src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(programs) != len(hand.Programs) {
+		t.Fatalf("parsed %d programs, hand-coded %d", len(programs), len(hand.Programs))
+	}
+	byName := map[string]*btp.Program{}
+	for _, p := range hand.Programs {
+		byName[p.Name] = p
+	}
+	for _, parsed := range programs {
+		ref := byName[parsed.Name]
+		if ref == nil {
+			t.Errorf("parsed program %q has no hand-coded counterpart", parsed.Name)
+			continue
+		}
+		ps, rs := parsed.Statements(), ref.Statements()
+		if len(ps) != len(rs) {
+			t.Errorf("%s: %d statements, hand-coded %d", parsed.Name, len(ps), len(rs))
+			continue
+		}
+		for i := range ps {
+			got, want := ps[i], rs[i]
+			label := fmt.Sprintf("%s/%s", parsed.Name, want.Name)
+			if got.Name != want.Name {
+				t.Errorf("%s: parsed label %q", label, got.Name)
+			}
+			if got.Type != want.Type || got.Rel != want.Rel {
+				t.Errorf("%s: %s %s, want %s %s", label, got.Type, got.Rel, want.Type, want.Rel)
+			}
+			tol := tolerate[want.Name]
+			if !equalOpt(got.ReadSet, want.ReadSet, tol...) {
+				t.Errorf("%s: ReadSet %s, want %s", label, got.ReadSet, want.ReadSet)
+			}
+			if !equalOpt(got.WriteSet, want.WriteSet) {
+				t.Errorf("%s: WriteSet %s, want %s", label, got.WriteSet, want.WriteSet)
+			}
+			if !equalOpt(got.PReadSet, want.PReadSet) {
+				t.Errorf("%s: PReadSet %s, want %s", label, got.PReadSet, want.PReadSet)
+			}
+		}
+		// Same FK annotations.
+		render := func(cs []btp.FKConstraint) []string {
+			out := make([]string, len(cs))
+			for i, c := range cs {
+				out[i] = c.String()
+			}
+			sort.Strings(out)
+			return out
+		}
+		g, w := render(parsed.FKs), render(ref.FKs)
+		if len(g) != len(w) {
+			t.Errorf("%s: FK annotations %v, want %v", parsed.Name, g, w)
+		} else {
+			for i := range g {
+				if g[i] != w[i] {
+					t.Errorf("%s: FK annotation %q, want %q", parsed.Name, g[i], w[i])
+				}
+			}
+		}
+	}
+	return programs
+}
+
+// TestAuctionSQLMatchesHandCoded cross-validates sqlsrc/auction.sql against
+// the hand-coded Figure 2 BTPs.
+func TestAuctionSQLMatchesHandCoded(t *testing.T) {
+	crossValidate(t, Auction(), AuctionSQL, nil)
+}
+
+// TestSmallBankSQLMatchesHandCoded cross-validates sqlsrc/smallbank.sql
+// against the hand-coded Figure 10 BTPs, then checks the derived programs
+// reproduce the Figure 6 SmallBank subsets.
+func TestSmallBankSQLMatchesHandCoded(t *testing.T) {
+	hand := SmallBank()
+	programs := crossValidate(t, hand, SmallBankSQL, nil)
+
+	c := robust.NewChecker(hand.Schema)
+	for i, p := range programs {
+		p.Abbrev = hand.Programs[i].Abbrev
+	}
+	rep, err := c.RobustSubsets(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []robust.Subset{{"Am", "DC", "TS"}, {"Bal", "DC"}, {"Bal", "TS"}}
+	if len(rep.Maximal) != len(want) {
+		t.Fatalf("maximal subsets = %v", rep.Maximal)
+	}
+	for _, w := range want {
+		found := false
+		for _, m := range rep.Maximal {
+			if m.Equal(w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing maximal subset %v in %v", w, rep.Maximal)
+		}
+	}
+}
+
+// TestTPCCSQLMatchesHandCoded cross-validates sqlsrc/tpcc.sql against the
+// hand-coded Figure 17 BTPs (tolerating c_payment_cnt in Payment q23's
+// ReadSet, which the SQL necessarily reads but Figure 17 omits), and checks
+// the derived programs produce the same summary-graph statistics and the
+// same Figure 6 verdicts.
+func TestTPCCSQLMatchesHandCoded(t *testing.T) {
+	hand := TPCC()
+	tolerate := map[string][]string{"q23": {"c_payment_cnt"}}
+	programs := crossValidate(t, hand, TPCCSQL, tolerate)
+
+	ltps := btp.UnfoldAll2(programs)
+	if len(ltps) != 13 {
+		t.Fatalf("derived TPC-C unfolds to %d LTPs, want 13", len(ltps))
+	}
+	g := summary.Build(hand.Schema, ltps, summary.SettingAttrDepFK)
+	st := g.Stats()
+	if st.Edges != 396 || st.CounterflowEdges != 83 {
+		t.Errorf("derived TPC-C graph: %d edges (%d counterflow), want 396 (83)", st.Edges, st.CounterflowEdges)
+	}
+
+	for i, p := range programs {
+		p.Abbrev = hand.Programs[i].Abbrev
+	}
+	c := robust.NewChecker(hand.Schema)
+	rep, err := c.RobustSubsets(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []robust.Subset{{"OS", "Pay", "SL"}, {"NO", "Pay"}}
+	if len(rep.Maximal) != len(want) {
+		t.Fatalf("maximal subsets = %v, want %v", rep.Maximal, want)
+	}
+	for _, w := range want {
+		found := false
+		for _, m := range rep.Maximal {
+			if m.Equal(w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing maximal subset %v in %v", w, rep.Maximal)
+		}
+	}
+}
+
+// TestBenchmarksValidate runs structural validation on every benchmark.
+func TestBenchmarksValidate(t *testing.T) {
+	for _, b := range []*Benchmark{SmallBank(), TPCC(), Auction(), AuctionN(3)} {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+// TestBenchmarkProgramLookup checks lookup by name and abbreviation.
+func TestBenchmarkProgramLookup(t *testing.T) {
+	b := TPCC()
+	if b.Program("NewOrder") == nil || b.Program("NO") == nil {
+		t.Error("lookup failed")
+	}
+	if b.Program("Nope") != nil {
+		t.Error("phantom program")
+	}
+}
+
+// TestAuctionNPanicsOnZero documents the precondition.
+func TestAuctionNPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AuctionN(0)
+}

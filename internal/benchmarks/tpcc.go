@@ -1,0 +1,200 @@
+package benchmarks
+
+import (
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// TPCCSchema builds the nine-relation TPC-C schema of Appendix E.2 with its
+// twelve foreign keys f1–f12.
+func TPCCSchema() *relschema.Schema {
+	s := relschema.NewSchema()
+	s.MustAddRelation("Warehouse",
+		[]string{"w_id", "w_name", "w_street_1", "w_street_2", "w_city", "w_state", "w_zip", "w_tax", "w_ytd"},
+		[]string{"w_id"})
+	s.MustAddRelation("District",
+		[]string{"d_id", "d_w_id", "d_name", "d_street_1", "d_street_2", "d_city", "d_state", "d_zip", "d_tax", "d_ytd", "d_next_o_id"},
+		[]string{"d_id", "d_w_id"})
+	s.MustAddRelation("Customer",
+		[]string{"c_id", "c_d_id", "c_w_id", "c_first", "c_middle", "c_last", "c_street_1", "c_street_2",
+			"c_city", "c_state", "c_zip", "c_phone", "c_since", "c_credit", "c_credit_lim", "c_discount",
+			"c_balance", "c_ytd_payment", "c_payment_cnt", "c_delivery_cnt", "c_data"},
+		[]string{"c_id", "c_d_id", "c_w_id"})
+	s.MustAddRelation("History",
+		[]string{"h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date", "h_amount", "h_data"},
+		[]string{"h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date"})
+	s.MustAddRelation("New_Order",
+		[]string{"no_o_id", "no_d_id", "no_w_id"},
+		[]string{"no_o_id", "no_d_id", "no_w_id"})
+	s.MustAddRelation("Orders",
+		[]string{"o_id", "o_d_id", "o_w_id", "o_c_id", "o_entry_id", "o_carrier_id", "o_ol_cnt", "o_all_local"},
+		[]string{"o_id", "o_d_id", "o_w_id"})
+	s.MustAddRelation("Order_Line",
+		[]string{"ol_o_id", "ol_d_id", "ol_w_id", "ol_number", "ol_i_id", "ol_supply_w_id", "ol_delivery_d",
+			"ol_quantity", "ol_amount", "ol_dist_info"},
+		[]string{"ol_o_id", "ol_d_id", "ol_w_id", "ol_number"})
+	s.MustAddRelation("Item",
+		[]string{"i_id", "i_im_id", "i_name", "i_price", "i_data"},
+		[]string{"i_id"})
+	s.MustAddRelation("Stock",
+		[]string{"s_i_id", "s_w_id", "s_quantity", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04",
+			"s_dist_05", "s_dist_06", "s_dist_07", "s_dist_08", "s_dist_09", "s_dist_10",
+			"s_ytd", "s_order_cnt", "s_remote_cnt", "s_data"},
+		[]string{"s_i_id", "s_w_id"})
+
+	s.MustAddForeignKey("f1", "District", []string{"d_w_id"}, "Warehouse", []string{"w_id"})
+	s.MustAddForeignKey("f2", "Customer", []string{"c_d_id", "c_w_id"}, "District", []string{"d_id", "d_w_id"})
+	s.MustAddForeignKey("f3", "History", []string{"h_c_id", "h_c_d_id", "h_c_w_id"}, "Customer", []string{"c_id", "c_d_id", "c_w_id"})
+	s.MustAddForeignKey("f4", "History", []string{"h_d_id", "h_w_id"}, "District", []string{"d_id", "d_w_id"})
+	s.MustAddForeignKey("f5", "New_Order", []string{"no_o_id", "no_d_id", "no_w_id"}, "Orders", []string{"o_id", "o_d_id", "o_w_id"})
+	s.MustAddForeignKey("f6", "Orders", []string{"o_d_id", "o_w_id"}, "District", []string{"d_id", "d_w_id"})
+	s.MustAddForeignKey("f7", "Orders", []string{"o_c_id", "o_d_id", "o_w_id"}, "Customer", []string{"c_id", "c_d_id", "c_w_id"})
+	s.MustAddForeignKey("f8", "Order_Line", []string{"ol_o_id", "ol_d_id", "ol_w_id"}, "Orders", []string{"o_id", "o_d_id", "o_w_id"})
+	s.MustAddForeignKey("f9", "Order_Line", []string{"ol_i_id"}, "Item", []string{"i_id"})
+	s.MustAddForeignKey("f10", "Order_Line", []string{"ol_supply_w_id"}, "Warehouse", []string{"w_id"})
+	s.MustAddForeignKey("f11", "Stock", []string{"s_i_id"}, "Item", []string{"i_id"})
+	s.MustAddForeignKey("f12", "Stock", []string{"s_w_id"}, "Warehouse", []string{"w_id"})
+	return s
+}
+
+// TPCC builds the TPC-C benchmark as formalized in Figure 17: five BTPs —
+// Delivery, NewOrder, OrderStatus, Payment, StockLevel — with statement
+// details transcribed from the figure and foreign-key annotations derived
+// from f1–f12 (each statement over a foreign key's domain relation is
+// linked to the program's key-based statement over the range relation).
+func TPCC() *Benchmark {
+	s := TPCCSchema()
+
+	// Delivery := loop(q1; q2; q3; q4; q5; q6; q7)
+	q1 := btp.NewPredSel("q1", "New_Order", []string{"no_d_id", "no_w_id"}, []string{"no_o_id"})
+	q2 := btp.NewKeyDel(s, "q2", "New_Order")
+	q3 := btp.NewKeySel("q3", "Orders", "o_c_id")
+	q4 := btp.NewKeyUpd("q4", "Orders", nil, []string{"o_carrier_id"})
+	q5 := btp.NewPredUpd("q5", "Order_Line",
+		[]string{"ol_d_id", "ol_o_id", "ol_w_id"}, nil, []string{"ol_delivery_d"})
+	q6 := btp.NewPredSel("q6", "Order_Line",
+		[]string{"ol_d_id", "ol_o_id", "ol_w_id"}, []string{"ol_amount"})
+	q7 := btp.NewKeyUpd("q7", "Customer",
+		[]string{"c_balance", "c_delivery_cnt"}, []string{"c_balance", "c_delivery_cnt"})
+	delivery := &btp.Program{
+		Name: "Delivery", Abbrev: "Del",
+		Body: btp.LoopOf(btp.Stmts(q1, q2, q3, q4, q5, q6, q7)),
+	}
+	// The New_Order tuple selected by q1 and deleted by q2 references the
+	// Orders tuple read by q3 and updated by q4 (f5); the Order_Line
+	// statements q5, q6 reference the same order (f8); the order
+	// references the customer updated by q7 (f7).
+	delivery.MustAnnotateFK(s, "f5", "q1", "q3")
+	delivery.MustAnnotateFK(s, "f5", "q1", "q4")
+	delivery.MustAnnotateFK(s, "f5", "q2", "q3")
+	delivery.MustAnnotateFK(s, "f5", "q2", "q4")
+	delivery.MustAnnotateFK(s, "f8", "q5", "q3")
+	delivery.MustAnnotateFK(s, "f8", "q5", "q4")
+	delivery.MustAnnotateFK(s, "f8", "q6", "q3")
+	delivery.MustAnnotateFK(s, "f8", "q6", "q4")
+	delivery.MustAnnotateFK(s, "f7", "q3", "q7")
+	delivery.MustAnnotateFK(s, "f7", "q4", "q7")
+
+	// NewOrder := q8; q9; q10; q11; q12; loop(q13; q14; q15)
+	q8 := btp.NewKeySel("q8", "Customer", "c_credit", "c_discount", "c_last")
+	q9 := btp.NewKeySel("q9", "Warehouse", "w_tax")
+	q10 := btp.NewKeyUpd("q10", "District",
+		[]string{"d_next_o_id", "d_tax"}, []string{"d_next_o_id"})
+	// Figure 17: the insert into Orders does not set o_carrier_id (the SQL
+	// INSERT lists only seven columns), so WriteSet(q11) excludes it.
+	q11 := btp.NewInsAttrs("q11", "Orders",
+		"o_all_local", "o_c_id", "o_d_id", "o_entry_id", "o_id", "o_ol_cnt", "o_w_id")
+	q12 := btp.NewIns(s, "q12", "New_Order")
+	q13 := btp.NewKeySel("q13", "Item", "i_data", "i_name", "i_price")
+	q14 := btp.NewKeyUpd("q14", "Stock",
+		[]string{"s_data", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04", "s_dist_05",
+			"s_dist_06", "s_dist_07", "s_dist_08", "s_dist_09", "s_dist_10",
+			"s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"},
+		[]string{"s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"})
+	// Figure 17: the insert into Order_Line does not set ol_delivery_d.
+	q15 := btp.NewInsAttrs("q15", "Order_Line",
+		"ol_amount", "ol_d_id", "ol_dist_info", "ol_i_id", "ol_number",
+		"ol_o_id", "ol_quantity", "ol_supply_w_id", "ol_w_id")
+	newOrder := &btp.Program{
+		Name: "NewOrder", Abbrev: "NO",
+		Body: btp.SeqOf(btp.S(q8), btp.S(q9), btp.S(q10), btp.S(q11), btp.S(q12),
+			btp.LoopOf(btp.Stmts(q13, q14, q15))),
+	}
+	newOrder.MustAnnotateFK(s, "f2", "q8", "q10")
+	newOrder.MustAnnotateFK(s, "f1", "q10", "q9")
+	newOrder.MustAnnotateFK(s, "f7", "q11", "q8")
+	newOrder.MustAnnotateFK(s, "f6", "q11", "q10")
+	newOrder.MustAnnotateFK(s, "f5", "q12", "q11")
+	newOrder.MustAnnotateFK(s, "f11", "q14", "q13")
+	newOrder.MustAnnotateFK(s, "f12", "q14", "q9")
+	newOrder.MustAnnotateFK(s, "f8", "q15", "q11")
+	newOrder.MustAnnotateFK(s, "f9", "q15", "q13")
+	newOrder.MustAnnotateFK(s, "f10", "q15", "q9")
+
+	// OrderStatus := (q16 | q17); q18; q19
+	q16 := btp.NewPredSel("q16", "Customer",
+		[]string{"c_d_id", "c_last", "c_w_id"},
+		[]string{"c_balance", "c_first", "c_id", "c_middle"})
+	q17 := btp.NewKeySel("q17", "Customer", "c_balance", "c_first", "c_last", "c_middle")
+	q18 := btp.NewPredSel("q18", "Orders",
+		[]string{"o_c_id", "o_d_id", "o_w_id"},
+		[]string{"o_carrier_id", "o_entry_id", "o_id"})
+	q19 := btp.NewPredSel("q19", "Order_Line",
+		[]string{"ol_d_id", "ol_o_id", "ol_w_id"},
+		[]string{"ol_amount", "ol_delivery_d", "ol_i_id", "ol_quantity", "ol_supply_w_id"})
+	orderStatus := &btp.Program{
+		Name: "OrderStatus", Abbrev: "OS",
+		Body: btp.SeqOf(btp.ChoiceOf(btp.S(q16), btp.S(q17)), btp.S(q18), btp.S(q19)),
+	}
+	orderStatus.MustAnnotateFK(s, "f7", "q18", "q17")
+
+	// Payment := q20; q21; (q22 | ε); q23; (q24; q25 | ε); q26
+	q20 := btp.NewKeyUpd("q20", "Warehouse",
+		[]string{"w_city", "w_name", "w_state", "w_street_1", "w_street_2", "w_ytd", "w_zip"},
+		[]string{"w_ytd"})
+	q21 := btp.NewKeyUpd("q21", "District",
+		[]string{"d_city", "d_name", "d_state", "d_street_1", "d_street_2", "d_ytd", "d_zip"},
+		[]string{"d_ytd"})
+	q22 := btp.NewPredSel("q22", "Customer",
+		[]string{"c_d_id", "c_last", "c_w_id"}, []string{"c_id"})
+	q23 := btp.NewKeyUpd("q23", "Customer",
+		[]string{"c_balance", "c_city", "c_credit", "c_credit_lim", "c_discount", "c_first",
+			"c_last", "c_middle", "c_phone", "c_since", "c_state", "c_street_1", "c_street_2",
+			"c_ytd_payment", "c_zip"},
+		[]string{"c_balance", "c_payment_cnt", "c_ytd_payment"})
+	q24 := btp.NewKeySel("q24", "Customer", "c_data")
+	q25 := btp.NewKeyUpd("q25", "Customer", nil, []string{"c_data"})
+	q26 := btp.NewIns(s, "q26", "History")
+	payment := &btp.Program{
+		Name: "Payment", Abbrev: "Pay",
+		Body: btp.SeqOf(btp.S(q20), btp.S(q21),
+			btp.Opt(btp.S(q22)), btp.S(q23),
+			btp.Opt(btp.Stmts(q24, q25)), btp.S(q26)),
+	}
+	payment.MustAnnotateFK(s, "f1", "q21", "q20")
+	payment.MustAnnotateFK(s, "f2", "q22", "q21")
+	payment.MustAnnotateFK(s, "f2", "q23", "q21")
+	payment.MustAnnotateFK(s, "f2", "q24", "q21")
+	payment.MustAnnotateFK(s, "f2", "q25", "q21")
+	payment.MustAnnotateFK(s, "f3", "q26", "q23")
+	payment.MustAnnotateFK(s, "f3", "q26", "q25")
+	payment.MustAnnotateFK(s, "f4", "q26", "q21")
+
+	// StockLevel := q27; q28; q29
+	q27 := btp.NewKeySel("q27", "District", "d_next_o_id")
+	q28 := btp.NewPredSel("q28", "Order_Line",
+		[]string{"ol_d_id", "ol_o_id", "ol_w_id"}, []string{"ol_i_id"})
+	q29 := btp.NewPredSel("q29", "Stock",
+		[]string{"s_quantity", "s_w_id"}, []string{"s_i_id"})
+	stockLevel := &btp.Program{
+		Name: "StockLevel", Abbrev: "SL",
+		Body: btp.Stmts(q27, q28, q29),
+	}
+
+	return &Benchmark{
+		Name:   "TPC-C",
+		Schema: s,
+		// Order follows Figure 17 (Delivery first).
+		Programs: []*btp.Program{delivery, newOrder, orderStatus, payment, stockLevel},
+	}
+}

@@ -1,0 +1,302 @@
+package btp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relschema"
+)
+
+func testSchema() *relschema.Schema {
+	s := relschema.NewSchema()
+	s.MustAddRelation("R", []string{"k", "a", "b"}, []string{"k"})
+	s.MustAddRelation("S", []string{"k", "c"}, []string{"k"})
+	s.MustAddForeignKey("f", "S", []string{"c"}, "R", []string{"k"})
+	return s
+}
+
+func TestStmtTypeStrings(t *testing.T) {
+	want := map[StmtType]string{
+		Ins: "ins", KeySel: "key sel", PredSel: "pred sel",
+		KeyUpd: "key upd", PredUpd: "pred upd", KeyDel: "key del", PredDel: "pred del",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(typ), typ.String(), s)
+		}
+	}
+}
+
+func TestStmtTypePredicates(t *testing.T) {
+	keyBased := map[StmtType]bool{Ins: true, KeySel: true, KeyUpd: true, KeyDel: true}
+	predBased := map[StmtType]bool{PredSel: true, PredUpd: true, PredDel: true}
+	writes := map[StmtType]bool{Ins: true, KeyUpd: true, PredUpd: true, KeyDel: true, PredDel: true}
+	for typ := StmtType(0); typ < NumStmtTypes; typ++ {
+		if typ.IsKeyBased() != keyBased[typ] {
+			t.Errorf("%s.IsKeyBased() = %t", typ, typ.IsKeyBased())
+		}
+		if typ.IsPredBased() != predBased[typ] {
+			t.Errorf("%s.IsPredBased() = %t", typ, typ.IsPredBased())
+		}
+		if typ.HasWrite() != writes[typ] {
+			t.Errorf("%s.HasWrite() = %t", typ, typ.HasWrite())
+		}
+	}
+}
+
+// TestFigure5Constraints checks statement validation against the type
+// constraints of Figure 5.
+func TestFigure5Constraints(t *testing.T) {
+	s := testSchema()
+	valid := []*Stmt{
+		NewIns(s, "q1", "R"),
+		NewInsAttrs("q2", "R", "a"),
+		NewKeyDel(s, "q3", "R"),
+		NewPredDel(s, "q4", "R", "a"),
+		NewPredDel(s, "q5", "R"), // empty predicate set allowed
+		NewKeySel("q6", "R", "a", "b"),
+		NewKeySel("q7", "R"), // empty read set allowed
+		NewPredSel("q8", "R", []string{"a"}, []string{"b"}),
+		NewKeyUpd("q9", "R", []string{"a"}, []string{"b"}),
+		NewKeyUpd("q10", "R", nil, []string{"b"}), // empty read set
+		NewPredUpd("q11", "R", []string{"a"}, nil, []string{"b"}),
+	}
+	for _, q := range valid {
+		if err := q.Validate(s); err != nil {
+			t.Errorf("%s: unexpected error: %v", q.Name, err)
+		}
+	}
+	invalid := []*Stmt{
+		{Name: "b1", Type: Ins, Rel: "R"},                                                   // no write set
+		{Name: "b2", Type: Ins, Rel: "R", WriteSet: Attrs()},                                // empty write set
+		{Name: "b3", Type: Ins, Rel: "R", WriteSet: Attrs("a"), ReadSet: Attrs("a")},        // read set defined
+		{Name: "b4", Type: KeyUpd, Rel: "R", ReadSet: Attrs("a"), WriteSet: Attrs()},        // empty write set
+		{Name: "b5", Type: KeyUpd, Rel: "R", WriteSet: Attrs("a")},                          // undefined read set
+		{Name: "b6", Type: KeySel, Rel: "R", ReadSet: Attrs("a"), WriteSet: Attrs("a")},     // write set defined
+		{Name: "b7", Type: KeySel, Rel: "R", ReadSet: Attrs("a"), PReadSet: Attrs("a")},     // pread defined
+		{Name: "b8", Type: PredSel, Rel: "R", ReadSet: Attrs("a")},                          // pread undefined
+		{Name: "b9", Type: KeySel, Rel: "R", ReadSet: Attrs("nope")},                        // unknown attribute
+		{Name: "b10", Type: KeySel, Rel: "Nope", ReadSet: Attrs("a")},                       // unknown relation
+		{Name: "", Type: KeySel, Rel: "R", ReadSet: Attrs("a")},                             // unnamed
+		{Name: "b11", Type: KeyDel, Rel: "R", WriteSet: Attrs("a")},                         // partial delete write set
+		{Name: "b12", Type: PredDel, Rel: "R", WriteSet: AttrsOf(s.Attrs("R"))},             // pread undefined
+		{Name: "b13", Type: PredUpd, Rel: "R", ReadSet: Attrs(), WriteSet: Attrs("a")},      // pread undefined
+		{Name: "b14", Type: StmtType(99), Rel: "R", ReadSet: Attrs(), WriteSet: Attrs("a")}, // bad type
+		{Name: "b15", Type: KeyUpd, Rel: "R", ReadSet: Attrs(), WriteSet: Attrs("a", "no")}, // unknown write attr
+		{Name: "b16", Type: PredSel, Rel: "R", ReadSet: Attrs(), PReadSet: Attrs("zzz")},    // unknown pread attr
+	}
+	for _, q := range invalid {
+		if err := q.Validate(s); err == nil {
+			t.Errorf("%s (%s): expected validation error", q.Name, q.Type)
+		}
+	}
+}
+
+func TestOptAttrs(t *testing.T) {
+	u := Undefined()
+	d := Attrs("a")
+	if u.Intersects(d) || d.Intersects(u) || u.Intersects(u) {
+		t.Error("⊥ must not intersect anything")
+	}
+	if !d.Intersects(Attrs("a", "b")) {
+		t.Error("defined sets should intersect")
+	}
+	if u.String() != "⊥" || d.String() != "{a}" {
+		t.Errorf("String: %q, %q", u, d)
+	}
+}
+
+func TestProgramValidateAndFKs(t *testing.T) {
+	s := testSchema()
+	q1 := NewKeyUpd("q1", "R", []string{"a"}, []string{"a"})
+	q2 := NewKeySel("q2", "S", "c")
+	p := LinearProgram("P", q1, q2)
+	if err := p.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	// Annotation q1 = f(q2): q2 over dom(f)=S, q1 over range(f)=R, q1 key upd.
+	if err := p.AnnotateFK(s, "f", "q2", "q1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.FKs) != 1 || p.FKs[0].String() != "q1 = f(q2)" {
+		t.Fatalf("FKs = %v", p.FKs)
+	}
+	// Errors.
+	if err := p.AnnotateFK(s, "nosuch", "q2", "q1"); err == nil {
+		t.Error("unknown fk accepted")
+	}
+	if err := p.AnnotateFK(s, "f", "zz", "q1"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := p.AnnotateFK(s, "f", "q2", "zz"); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if err := p.AnnotateFK(s, "f", "q1", "q2"); err == nil {
+		t.Error("wrong relations accepted")
+	}
+	// Destination must be key-based.
+	q3 := NewPredSel("q3", "R", []string{"a"}, []string{"a"})
+	p2 := LinearProgram("P2", q2, q3)
+	_ = p2
+	if err := p2.AnnotateFK(s, "f", "q2", "q3"); err == nil {
+		t.Error("pred-based destination accepted")
+	}
+	// Duplicate statement names rejected.
+	dup := LinearProgram("D", NewKeySel("q", "R"), NewKeySel("q", "R"))
+	if err := dup.Validate(s); err == nil {
+		t.Error("duplicate statement names accepted")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := testSchema()
+	q1 := NewKeySel("q1", "R")
+	q2 := NewKeySel("q2", "R")
+	q3 := NewKeySel("q3", "R")
+	p := &Program{
+		Name: "P",
+		Body: SeqOf(S(q1), ChoiceOf(S(q2), S(q3)), Opt(S(q1)), LoopOf(S(q2))),
+	}
+	want := "P := q1; (q2 | q3); (q1 | ε); loop(q2)"
+	if p.String() != want {
+		t.Fatalf("String = %q, want %q", p.String(), want)
+	}
+	_ = s
+}
+
+func TestUnfoldCounts(t *testing.T) {
+	q := func(n string) *Stmt { return NewKeySel(n, "R") }
+	cases := []struct {
+		name string
+		body Node
+		want int
+	}{
+		{"linear", Stmts(q("a"), q("b")), 1},
+		{"choice", ChoiceOf(S(q("a")), S(q("b"))), 2},
+		{"optional", Opt(S(q("a"))), 2},
+		{"loop", LoopOf(S(q("a"))), 3},
+		{"loop-of-choice", LoopOf(ChoiceOf(S(q("a")), S(q("b")))), 1 + 2 + 4},
+		// loop(loop(a)) yields sequences a^0..a^4; duplicates collapse.
+		{"nested-loop", LoopOf(LoopOf(S(q("a")))), 5},
+		{"two-optionals", SeqOf(Opt(S(q("a"))), Opt(S(q("b")))), 4},
+	}
+	for _, tc := range cases {
+		p := &Program{Name: "P", Body: tc.body}
+		got := len(Unfold2(p))
+		if got != tc.want {
+			t.Errorf("%s: %d unfoldings, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestUnfoldLTPProperties checks structural invariants of unfoldings.
+func TestUnfoldLTPProperties(t *testing.T) {
+	q := func(n string) *Stmt { return NewKeySel(n, "R") }
+	p := &Program{
+		Name: "P",
+		Body: SeqOf(S(q("a")), LoopOf(SeqOf(S(q("b")), Opt(S(q("c"))))), ChoiceOf(S(q("d")), S(q("e")))),
+	}
+	ltps := Unfold2(p)
+	sigs := map[string]bool{}
+	for _, l := range ltps {
+		// Positions are consecutive.
+		for i, occ := range l.Stmts {
+			if occ.Pos != i {
+				t.Fatalf("%s: occurrence %d has position %d", l.Name, i, occ.Pos)
+			}
+		}
+		// Origin set; names unique.
+		if l.Origin != p {
+			t.Fatalf("%s: origin lost", l.Name)
+		}
+		if sigs[l.Name] {
+			t.Fatalf("duplicate LTP name %s", l.Name)
+		}
+		sigs[l.Name] = true
+		// No duplicate statement sequences (dedup invariant).
+		key := ""
+		for _, occ := range l.Stmts {
+			key += occ.Stmt.Name + ";"
+		}
+		if sigs["seq:"+key] {
+			t.Fatalf("duplicate unfolding sequence %q", key)
+		}
+		sigs["seq:"+key] = true
+	}
+	// Loop bodies appear at most twice per unfolding.
+	for _, l := range ltps {
+		count := 0
+		for _, occ := range l.Stmts {
+			if occ.Stmt.Name == "b" {
+				count++
+			}
+		}
+		if count > 2 {
+			t.Fatalf("%s: loop unfolded %d times (> bound)", l.Name, count)
+		}
+	}
+}
+
+func TestUnfoldBounds(t *testing.T) {
+	q := func(n string) *Stmt { return NewKeySel(n, "R") }
+	p := &Program{Name: "P", Body: LoopOf(S(q("a")))}
+	if got := len(Unfold(p, 0)); got != 1 {
+		t.Errorf("bound 0: %d unfoldings, want 1 (empty)", got)
+	}
+	if got := len(Unfold(p, 1)); got != 2 {
+		t.Errorf("bound 1: %d unfoldings, want 2", got)
+	}
+	if got := len(Unfold(p, 3)); got != 4 {
+		t.Errorf("bound 3: %d unfoldings, want 4", got)
+	}
+	if got := len(Unfold(p, -5)); got != 1 {
+		t.Errorf("negative bound: %d unfoldings, want 1", got)
+	}
+}
+
+func TestLTPHelpers(t *testing.T) {
+	qa := NewKeySel("a", "R")
+	qb := NewKeySel("b", "R")
+	l := NewLTP("L", nil, qa, qb, qa)
+	if got := len(l.Occurrences(qa)); got != 2 {
+		t.Fatalf("Occurrences = %d", got)
+	}
+	if !l.HasOccurrenceBefore(qa, 1) {
+		t.Error("a occurs before position 1")
+	}
+	if l.HasOccurrenceBefore(qb, 1) {
+		t.Error("b does not occur before position 1")
+	}
+	if !l.HasOccurrenceBefore(qb, 2) {
+		t.Error("b occurs before position 2")
+	}
+	if !strings.Contains(l.String(), "a; b; a") {
+		t.Errorf("String = %q", l.String())
+	}
+	if l.OriginName() != "L" {
+		t.Errorf("OriginName = %q", l.OriginName())
+	}
+	empty := NewLTP("E", nil)
+	if !strings.Contains(empty.String(), "ε") {
+		t.Errorf("empty LTP renders as %q", empty.String())
+	}
+	if !l.Stmts[0].Before(l.Stmts[1]) || l.Stmts[1].Before(l.Stmts[0]) {
+		t.Error("Before misbehaves")
+	}
+}
+
+// TestUnfoldEquivalentSingleton: a program with a single unfolding keeps
+// its plain name (TPC-C's StockLevel stays "StockLevel", matching the
+// paper's figures).
+func TestUnfoldEquivalentSingleton(t *testing.T) {
+	p := LinearProgram("Solo", NewKeySel("q1", "R"))
+	ltps := Unfold2(p)
+	if len(ltps) != 1 || ltps[0].Name != "Solo" {
+		t.Fatalf("singleton unfolding misnamed: %v", ltps)
+	}
+	p2 := &Program{Name: "Two", Body: Opt(S(NewKeySel("q1", "R")))}
+	ltps = Unfold2(p2)
+	if len(ltps) != 2 || ltps[0].Name != "Two1" || ltps[1].Name != "Two2" {
+		t.Fatalf("multi unfolding misnamed: %v, %v", ltps[0].Name, ltps[1].Name)
+	}
+}

@@ -1,0 +1,239 @@
+package btp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relschema"
+)
+
+// Node is a node of the BTP syntax tree
+//
+//	P ← loop(P) | (P | P) | (P | ε) | P; P | q
+//
+// Implementations: *StmtNode, *Seq, *Choice, *Optional, *Loop.
+type Node interface {
+	// btpNode is a marker restricting implementations to this package's
+	// node kinds.
+	btpNode()
+	// render writes the node in the paper's textual syntax.
+	render(b *strings.Builder)
+	// collectStmts appends every statement reachable in the subtree in
+	// syntactic order.
+	collectStmts(out *[]*Stmt)
+}
+
+// StmtNode wraps a single statement q.
+type StmtNode struct{ Stmt *Stmt }
+
+// Seq is the sequential composition P1; P2; ...; Pk.
+type Seq struct{ Items []Node }
+
+// Choice is the branching (P1 | P2).
+type Choice struct{ A, B Node }
+
+// Optional is the branching (P | ε).
+type Optional struct{ A Node }
+
+// Loop is loop(P): P repeated an arbitrary finite number of times.
+type Loop struct{ Body Node }
+
+func (*StmtNode) btpNode() {}
+func (*Seq) btpNode()      {}
+func (*Choice) btpNode()   {}
+func (*Optional) btpNode() {}
+func (*Loop) btpNode()     {}
+
+func (n *StmtNode) render(b *strings.Builder) { b.WriteString(n.Stmt.Name) }
+
+func (n *Seq) render(b *strings.Builder) {
+	for i, item := range n.Items {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		item.render(b)
+	}
+}
+
+func (n *Choice) render(b *strings.Builder) {
+	b.WriteString("(")
+	n.A.render(b)
+	b.WriteString(" | ")
+	n.B.render(b)
+	b.WriteString(")")
+}
+
+func (n *Optional) render(b *strings.Builder) {
+	b.WriteString("(")
+	n.A.render(b)
+	b.WriteString(" | ε)")
+}
+
+func (n *Loop) render(b *strings.Builder) {
+	b.WriteString("loop(")
+	n.Body.render(b)
+	b.WriteString(")")
+}
+
+func (n *StmtNode) collectStmts(out *[]*Stmt) { *out = append(*out, n.Stmt) }
+func (n *Seq) collectStmts(out *[]*Stmt) {
+	for _, item := range n.Items {
+		item.collectStmts(out)
+	}
+}
+func (n *Choice) collectStmts(out *[]*Stmt) {
+	n.A.collectStmts(out)
+	n.B.collectStmts(out)
+}
+func (n *Optional) collectStmts(out *[]*Stmt) { n.A.collectStmts(out) }
+func (n *Loop) collectStmts(out *[]*Stmt)     { n.Body.collectStmts(out) }
+
+// Convenience constructors for nodes.
+
+// S wraps a statement into a node.
+func S(q *Stmt) Node { return &StmtNode{Stmt: q} }
+
+// SeqOf builds a sequence node; statements and nodes can be mixed via S.
+func SeqOf(items ...Node) Node { return &Seq{Items: items} }
+
+// Stmts builds a sequence node directly from statements.
+func Stmts(qs ...*Stmt) Node {
+	items := make([]Node, len(qs))
+	for i, q := range qs {
+		items[i] = S(q)
+	}
+	return &Seq{Items: items}
+}
+
+// ChoiceOf builds (a | b).
+func ChoiceOf(a, b Node) Node { return &Choice{A: a, B: b} }
+
+// Opt builds (a | ε).
+func Opt(a Node) Node { return &Optional{A: a} }
+
+// LoopOf builds loop(body).
+func LoopOf(body Node) Node { return &Loop{Body: body} }
+
+// Program is a basic transaction program: a name, a syntax tree, and a set
+// of foreign-key annotations.
+type Program struct {
+	// Name identifies the program (e.g. "PlaceBid").
+	Name string
+	// Abbrev is the short label used in experiment reports (e.g. "PB").
+	// Defaults to Name when empty.
+	Abbrev string
+	// Body is the syntax tree.
+	Body Node
+	// FKs are the program's foreign-key annotations q_j = f(q_i).
+	FKs []FKConstraint
+}
+
+// ShortName returns the abbreviation if set, otherwise the full name.
+func (p *Program) ShortName() string {
+	if p.Abbrev != "" {
+		return p.Abbrev
+	}
+	return p.Name
+}
+
+// Statements returns every statement of the program in syntactic order.
+// Statements inside loops and branches appear once.
+func (p *Program) Statements() []*Stmt {
+	var out []*Stmt
+	p.Body.collectStmts(&out)
+	return out
+}
+
+// StatementByName returns the named statement, or nil if absent.
+func (p *Program) StatementByName(name string) *Stmt {
+	for _, q := range p.Statements() {
+		if q.Name == name {
+			return q
+		}
+	}
+	return nil
+}
+
+// String renders the program in the paper's "Name := q1; (q2 | ε); ..."
+// notation.
+func (p *Program) String() string {
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteString(" := ")
+	p.Body.render(&b)
+	return b.String()
+}
+
+// AnnotateFK adds a foreign-key annotation q_j = f(q_i) by statement name.
+// It validates the annotation against the schema: srcName must be over
+// dom(f), dstName over range(f), and the destination must be key-based.
+func (p *Program) AnnotateFK(schema *relschema.Schema, fk, srcName, dstName string) error {
+	f := schema.ForeignKey(fk)
+	if f == nil {
+		return fmt.Errorf("btp: program %s: unknown foreign key %q", p.Name, fk)
+	}
+	src := p.StatementByName(srcName)
+	if src == nil {
+		return fmt.Errorf("btp: program %s: unknown statement %q in FK annotation", p.Name, srcName)
+	}
+	dst := p.StatementByName(dstName)
+	if dst == nil {
+		return fmt.Errorf("btp: program %s: unknown statement %q in FK annotation", p.Name, dstName)
+	}
+	if src.Rel != f.Dom {
+		return fmt.Errorf("btp: program %s: annotation %s=%s(%s): %s is over %s, not dom(%s)=%s",
+			p.Name, dstName, fk, srcName, srcName, src.Rel, fk, f.Dom)
+	}
+	if dst.Rel != f.Range {
+		return fmt.Errorf("btp: program %s: annotation %s=%s(%s): %s is over %s, not range(%s)=%s",
+			p.Name, dstName, fk, srcName, dstName, dst.Rel, fk, f.Range)
+	}
+	if !dst.Type.IsKeyBased() {
+		return fmt.Errorf("btp: program %s: annotation %s=%s(%s): destination must be key-based, got %s",
+			p.Name, dstName, fk, srcName, dst.Type)
+	}
+	p.FKs = append(p.FKs, FKConstraint{FK: fk, Src: src, Dst: dst})
+	return nil
+}
+
+// MustAnnotateFK is AnnotateFK but panics on error; for static benchmark
+// definitions.
+func (p *Program) MustAnnotateFK(schema *relschema.Schema, fk, srcName, dstName string) {
+	if err := p.AnnotateFK(schema, fk, srcName, dstName); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks every statement of the program against the schema, checks
+// name uniqueness, and checks FK annotations.
+func (p *Program) Validate(schema *relschema.Schema) error {
+	if p.Name == "" {
+		return fmt.Errorf("btp: program has no name")
+	}
+	seen := make(map[string]bool)
+	for _, q := range p.Statements() {
+		if seen[q.Name] {
+			return fmt.Errorf("btp: program %s: duplicate statement name %q", p.Name, q.Name)
+		}
+		seen[q.Name] = true
+		if err := q.Validate(schema); err != nil {
+			return fmt.Errorf("btp: program %s: %w", p.Name, err)
+		}
+	}
+	for _, c := range p.FKs {
+		f := schema.ForeignKey(c.FK)
+		if f == nil {
+			return fmt.Errorf("btp: program %s: annotation %s references unknown foreign key", p.Name, c)
+		}
+		if c.Src.Rel != f.Dom || c.Dst.Rel != f.Range || !c.Dst.Type.IsKeyBased() {
+			return fmt.Errorf("btp: program %s: malformed annotation %s", p.Name, c)
+		}
+	}
+	return nil
+}
+
+// LinearProgram creates a loop- and branch-free program from a statement
+// sequence; a convenience for programs that are already linear.
+func LinearProgram(name string, qs ...*Stmt) *Program {
+	return &Program{Name: name, Body: Stmts(qs...)}
+}

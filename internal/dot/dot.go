@@ -1,0 +1,158 @@
+// Package dot renders summary graphs and serialization graphs in Graphviz
+// DOT format, reproducing the visualizations of Figures 4, 11, 18 and 19.
+// Counterflow edges are dashed, as in the paper.
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/seg"
+	"repro/internal/summary"
+)
+
+// Options tune rendering.
+type Options struct {
+	// Name is the graph name; defaults to "SuG" / "SeG".
+	Name string
+	// EdgeLabels includes the statement pair on each edge (can be dense;
+	// the paper omits them for SmallBank and TPC-C).
+	EdgeLabels bool
+	// CollapseParallel merges parallel edges of the same class between two
+	// nodes into a single drawn edge, as the paper's figures do.
+	CollapseParallel bool
+}
+
+// SummaryGraph renders a summary graph.
+func SummaryGraph(g *summary.Graph, opts Options) string {
+	name := opts.Name
+	if name == "" {
+		name = "SuG"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %q;\n", n.Name)
+	}
+	type key struct {
+		from, to string
+		class    summary.EdgeClass
+	}
+	labels := map[key][]string{}
+	var order []key
+	for _, e := range g.Edges {
+		k := key{e.From.Name, e.To.Name, e.Class}
+		if _, seen := labels[k]; !seen {
+			order = append(order, k)
+		}
+		labels[k] = append(labels[k], fmt.Sprintf("%s→%s", e.FromStmt.Stmt.Name, e.ToStmt.Stmt.Name))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if a.from != c.from {
+			return a.from < c.from
+		}
+		if a.to != c.to {
+			return a.to < c.to
+		}
+		return a.class < c.class
+	})
+	for _, k := range order {
+		attrs := []string{}
+		if k.class == summary.Counterflow {
+			attrs = append(attrs, "style=dashed")
+		}
+		if opts.EdgeLabels {
+			ls := labels[k]
+			sort.Strings(ls)
+			attrs = append(attrs, fmt.Sprintf("label=%q", strings.Join(ls, "\\n")))
+		}
+		if opts.CollapseParallel {
+			writeEdge(&b, k.from, k.to, attrs)
+		} else {
+			for range labels[k] {
+				writeEdge(&b, k.from, k.to, attrs)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SerializationGraph renders a serialization graph; dependency kinds label
+// the edges.
+func SerializationGraph(g *seg.Graph, opts Options) string {
+	name := opts.Name
+	if name == "" {
+		name = "SeG"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	for _, t := range g.Schedule.Txns {
+		label := fmt.Sprintf("T%d", t.ID)
+		if t.Label != "" {
+			label = fmt.Sprintf("T%d\\n%s", t.ID, t.Label)
+		}
+		fmt.Fprintf(&b, "  \"T%d\" [label=%q];\n", t.ID, label)
+	}
+	type key struct {
+		from, to    int
+		counterflow bool
+	}
+	labels := map[key][]string{}
+	var order []key
+	for _, d := range g.Deps {
+		k := key{d.From.Txn.ID, d.To.Txn.ID, d.Counterflow}
+		if _, seen := labels[k]; !seen {
+			order = append(order, k)
+		}
+		labels[k] = append(labels[k], d.Kind.String())
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if a.from != c.from {
+			return a.from < c.from
+		}
+		if a.to != c.to {
+			return a.to < c.to
+		}
+		return !a.counterflow && c.counterflow
+	})
+	for _, k := range order {
+		attrs := []string{}
+		if k.counterflow {
+			attrs = append(attrs, "style=dashed")
+		}
+		if opts.EdgeLabels {
+			ls := labels[k]
+			sort.Strings(ls)
+			attrs = append(attrs, fmt.Sprintf("label=%q", strings.Join(uniq(ls), ",")))
+		}
+		writeEdge(&b, fmt.Sprintf("T%d", k.from), fmt.Sprintf("T%d", k.to), attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeEdge(b *strings.Builder, from, to string, attrs []string) {
+	if len(attrs) == 0 {
+		fmt.Fprintf(b, "  %q -> %q;\n", from, to)
+		return
+	}
+	fmt.Fprintf(b, "  %q -> %q [%s];\n", from, to, strings.Join(attrs, ", "))
+}
+
+func uniq(ss []string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

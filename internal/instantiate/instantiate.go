@@ -1,0 +1,172 @@
+// Package instantiate turns linear transaction programs into concrete
+// transactions over abstract tuples, following the instantiation rules of
+// Section 5.2: key-based statements become single-tuple operations,
+// predicate-based statements become atomic chunks starting with a predicate
+// read, and foreign-key annotations constrain which tuples distinct
+// statements may touch.
+package instantiate
+
+import (
+	"fmt"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+	"repro/internal/schedule"
+)
+
+// Assignment chooses the tuples an instantiation touches.
+type Assignment struct {
+	// Key maps each key-based statement occurrence to the name of the
+	// tuple it addresses.
+	Key map[*btp.StmtOcc]string
+	// Pred maps each predicate-based occurrence to the names of the tuples
+	// its chunk reads (and updates/deletes, for pred upd / pred del). The
+	// list may be empty: a predicate may select no tuples.
+	Pred map[*btp.StmtOcc][]string
+	// FK gives the foreign-key valuation used to check annotations: for a
+	// foreign key name f, FK[f] maps a domain-tuple name to its
+	// range-tuple name. Only needed when the LTP carries annotations.
+	FK map[string]map[string]string
+}
+
+// Instantiate builds the transaction with the given id from an LTP and an
+// assignment. The resulting transaction satisfies the structural
+// assumptions of Section 3.3 (at most one read and one write per tuple) or
+// an error is returned; foreign-key annotations of the originating BTP are
+// validated against the assignment's FK valuation.
+func Instantiate(schema *relschema.Schema, ltp *btp.LTP, id int, asg Assignment) (*schedule.Transaction, error) {
+	t := schedule.NewTransaction(id)
+	t.Label = ltp.Name
+
+	tupleOf := func(occ *btp.StmtOcc) (schedule.TupleID, error) {
+		name, ok := asg.Key[occ]
+		if !ok {
+			return schedule.TupleID{}, fmt.Errorf("instantiate: %s: no tuple assigned to key-based %s", ltp.Name, occ)
+		}
+		return schedule.Tuple(occ.Stmt.Rel, name), nil
+	}
+	setOf := func(o btp.OptAttrs) relschema.AttrSet {
+		if !o.Defined {
+			return nil
+		}
+		return o.Set
+	}
+
+	for _, occ := range ltp.Stmts {
+		q := occ.Stmt
+		switch q.Type {
+		case btp.Ins:
+			tu, err := tupleOf(occ)
+			if err != nil {
+				return nil, err
+			}
+			t.Insert(tu, setOf(q.WriteSet))
+		case btp.KeySel:
+			tu, err := tupleOf(occ)
+			if err != nil {
+				return nil, err
+			}
+			t.ReadSet(tu, setOf(q.ReadSet))
+		case btp.KeyDel:
+			tu, err := tupleOf(occ)
+			if err != nil {
+				return nil, err
+			}
+			t.Delete(tu, setOf(q.WriteSet))
+		case btp.KeyUpd:
+			tu, err := tupleOf(occ)
+			if err != nil {
+				return nil, err
+			}
+			start := len(t.Ops)
+			// The read half of the atomic update is only materialized when
+			// the statement observes at least one attribute; compare T2 in
+			// Figure 3, where q5 (ReadSet = {}) instantiates to a single
+			// write operation.
+			if rs := setOf(q.ReadSet); rs.Len() > 0 {
+				t.ReadSet(tu, rs)
+			}
+			t.WriteSet(tu, setOf(q.WriteSet))
+			if len(t.Ops)-start > 1 {
+				t.AddChunk(start, len(t.Ops)-1)
+			}
+		case btp.PredSel, btp.PredUpd, btp.PredDel:
+			names := asg.Pred[occ]
+			start := len(t.Ops)
+			t.PredReadSet(q.Rel, setOf(q.PReadSet))
+			for _, name := range names {
+				tu := schedule.Tuple(q.Rel, name)
+				switch q.Type {
+				case btp.PredSel:
+					t.ReadSet(tu, setOf(q.ReadSet))
+				case btp.PredUpd:
+					if rs := setOf(q.ReadSet); rs.Len() > 0 {
+						t.ReadSet(tu, rs)
+					}
+					t.WriteSet(tu, setOf(q.WriteSet))
+				case btp.PredDel:
+					t.Delete(tu, setOf(q.WriteSet))
+				}
+			}
+			t.AddChunk(start, len(t.Ops)-1)
+		default:
+			return nil, fmt.Errorf("instantiate: %s: unsupported statement type %v", ltp.Name, q.Type)
+		}
+	}
+	t.Commit()
+	if err := t.ValidateStrict(); err != nil {
+		return nil, err
+	}
+	if err := checkFKs(ltp, asg); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// checkFKs validates the assignment against the LTP's foreign-key
+// annotations: for every annotation q_j = f(q_i), every tuple assigned to
+// an occurrence of q_i must map under FK[f] to the tuple assigned to every
+// occurrence of q_j.
+func checkFKs(ltp *btp.LTP, asg Assignment) error {
+	for _, c := range ltp.FKs() {
+		valuation := asg.FK[c.FK]
+		var srcTuples []string
+		for _, occ := range ltp.Stmts {
+			if occ.Stmt != c.Src {
+				continue
+			}
+			if c.Src.Type.IsKeyBased() {
+				if n, ok := asg.Key[occ]; ok {
+					srcTuples = append(srcTuples, n)
+				}
+			} else {
+				srcTuples = append(srcTuples, asg.Pred[occ]...)
+			}
+		}
+		var dstTuples []string
+		for _, occ := range ltp.Stmts {
+			if occ.Stmt != c.Dst {
+				continue
+			}
+			if n, ok := asg.Key[occ]; ok {
+				dstTuples = append(dstTuples, n)
+			}
+		}
+		if len(dstTuples) == 0 {
+			continue
+		}
+		for _, src := range srcTuples {
+			img, ok := valuation[src]
+			if !ok {
+				return fmt.Errorf("instantiate: %s: annotation %s: no foreign-key image for tuple %s", ltp.Name, c, src)
+			}
+			for _, dst := range dstTuples {
+				if img != dst {
+					return fmt.Errorf("instantiate: %s: annotation %s violated: f(%s)=%s but %s accesses %s",
+						ltp.Name, c, src, img, c.Dst.Name, dst)
+				}
+			}
+		}
+	}
+	return nil
+}

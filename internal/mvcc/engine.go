@@ -1,0 +1,279 @@
+// Package mvcc is an in-memory multiversion storage engine used as the
+// execution substrate for the paper's workloads. It implements exactly the
+// semantics the paper assumes of the DBMS (Section 5.4):
+//
+//   - every SQL statement executes atomically over a snapshot taken when
+//     the statement starts (per-statement snapshots under Read Committed,
+//     per-transaction snapshots under Snapshot Isolation);
+//   - reads observe the most recently committed version (read last
+//     committed);
+//   - writes take row locks held until commit, so dirty writes are
+//     impossible (conflicting concurrent writers abort, modelling no-wait
+//     lock acquisition);
+//   - inserts create the first visible version of a row and deletes create
+//     its dead version.
+//
+// An Engine can record every executed operation as a multiversion schedule
+// (internal/schedule), which internal/seg then analyzes for conflict
+// serializability — this is how the repository demonstrates that workloads
+// certified robust really do produce only serializable executions, and
+// that rejected workloads produce observable anomalies.
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relschema"
+)
+
+// Isolation selects the engine's concurrency-control mode per transaction.
+type Isolation int
+
+// Isolation levels.
+const (
+	// ReadCommitted is multiversion read committed (mvrc): each statement
+	// reads the latest committed data as of its own start.
+	ReadCommitted Isolation = iota
+	// SnapshotIsolation reads as of transaction start and aborts a writer
+	// whose row was modified by a transaction that committed after that
+	// snapshot (first-committer-wins).
+	SnapshotIsolation
+	// Serializable executes transactions under strong strict two-phase
+	// row locking with no-wait conflict handling (aborts instead of
+	// blocking), guaranteeing conflict-serializable executions.
+	Serializable
+)
+
+// String renders the isolation level.
+func (i Isolation) String() string {
+	switch i {
+	case ReadCommitted:
+		return "read committed"
+	case SnapshotIsolation:
+		return "snapshot isolation"
+	case Serializable:
+		return "serializable"
+	default:
+		return fmt.Sprintf("Isolation(%d)", int(i))
+	}
+}
+
+// Errors reported by transaction operations.
+var (
+	// ErrWriteConflict is returned when a write-write conflict with a
+	// concurrent transaction forces an abort.
+	ErrWriteConflict = errors.New("mvcc: write conflict")
+	// ErrNotFound is returned by key operations on absent rows.
+	ErrNotFound = errors.New("mvcc: row not found")
+	// ErrDuplicateKey is returned by inserts on existing rows.
+	ErrDuplicateKey = errors.New("mvcc: duplicate key")
+	// ErrTxnDone is returned when operating on a finished transaction.
+	ErrTxnDone = errors.New("mvcc: transaction already finished")
+	// ErrReadConflict is returned under Serializable when a read lock
+	// cannot be acquired.
+	ErrReadConflict = errors.New("mvcc: read conflict")
+)
+
+// Value is a row value: attribute name to value.
+type Value map[string]any
+
+// Clone copies the value.
+func (v Value) Clone() Value {
+	out := make(Value, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// version is one committed version of a row.
+type version struct {
+	seq     int64 // commit sequence that installed it
+	data    Value // nil when deleted
+	deleted bool
+}
+
+// row holds a row's committed version chain and its current writer lock.
+type row struct {
+	key      string
+	versions []version // ascending seq
+	// writer holds the transaction currently owning the row's write lock.
+	writer *Txn
+	// readers holds transactions owning read locks (Serializable only).
+	readers map[*Txn]bool
+}
+
+// visible returns the latest version with seq <= snap, or nil.
+func (r *row) visible(snap int64) *version {
+	for i := len(r.versions) - 1; i >= 0; i-- {
+		if r.versions[i].seq <= snap {
+			return &r.versions[i]
+		}
+	}
+	return nil
+}
+
+// latest returns the newest committed version, or nil.
+func (r *row) latest() *version {
+	if len(r.versions) == 0 {
+		return nil
+	}
+	return &r.versions[len(r.versions)-1]
+}
+
+// table is one relation's storage.
+type table struct {
+	rel  *relschema.Relation
+	rows map[string]*row
+}
+
+// Engine is the storage engine.
+type Engine struct {
+	mu     sync.Mutex
+	schema *relschema.Schema
+	tables map[string]*table
+	// commitSeq is the last committed sequence number; sequence 0 holds
+	// the initial database state.
+	commitSeq int64
+	nextTxnID int
+	recorder  *Recorder
+	// yield, when set, is invoked after every statement (outside the
+	// engine mutex). Workload drivers install runtime.Gosched or a small
+	// random sleep here so that concurrent transactions actually
+	// interleave between statements instead of running back to back.
+	yield func()
+
+	// Stats.
+	commits int64
+	aborts  int64
+}
+
+// NewEngine creates an engine for the given schema with empty tables.
+func NewEngine(schema *relschema.Schema) *Engine {
+	e := &Engine{schema: schema, tables: map[string]*table{}}
+	for _, r := range schema.Relations() {
+		e.tables[r.Name] = &table{rel: r, rows: map[string]*row{}}
+	}
+	return e
+}
+
+// Schema returns the engine's schema.
+func (e *Engine) Schema() *relschema.Schema { return e.schema }
+
+// SetRecorder installs a schedule recorder (nil disables recording).
+func (e *Engine) SetRecorder(r *Recorder) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.recorder = r
+}
+
+// SetYield installs a function invoked after every statement, outside the
+// engine mutex. Install runtime.Gosched (or a short sleep) to encourage
+// statement-level interleaving in workload experiments. Must be set before
+// transactions run; it is read without synchronization afterwards.
+func (e *Engine) SetYield(f func()) { e.yield = f }
+
+// maybeYield invokes the configured yield hook, if any.
+func (e *Engine) maybeYield() {
+	if e.yield != nil {
+		e.yield()
+	}
+}
+
+// Stats returns the numbers of committed and aborted transactions.
+func (e *Engine) Stats() (commits, aborts int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commits, e.aborts
+}
+
+// Load installs a row as part of the initial database state (sequence 0).
+// It must be called before any transactions run.
+func (e *Engine) Load(tableName, key string, v Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[tableName]
+	if !ok {
+		return fmt.Errorf("mvcc: unknown table %q", tableName)
+	}
+	if _, dup := t.rows[key]; dup {
+		return fmt.Errorf("mvcc: %w: %s/%s", ErrDuplicateKey, tableName, key)
+	}
+	t.rows[key] = &row{key: key, versions: []version{{seq: 0, data: v.Clone()}}}
+	return nil
+}
+
+// MustLoad is Load but panics on error; for test fixtures.
+func (e *Engine) MustLoad(tableName, key string, v Value) {
+	if err := e.Load(tableName, key, v); err != nil {
+		panic(err)
+	}
+}
+
+// Begin starts a transaction at the given isolation level.
+func (e *Engine) Begin(iso Isolation) *Txn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextTxnID++
+	t := &Txn{
+		engine: e,
+		id:     e.nextTxnID,
+		iso:    iso,
+		snap:   e.commitSeq,
+	}
+	if e.recorder != nil {
+		e.recorder.begin(t)
+	}
+	return t
+}
+
+// RowCount returns the number of live (visible at the latest snapshot)
+// rows of a table.
+func (e *Engine) RowCount(tableName string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.tables[tableName]
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range t.rows {
+		if v := r.visible(e.commitSeq); v != nil && !v.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadCommittedValue returns the latest committed value of a row outside
+// any transaction (for assertions in tests and examples).
+func (e *Engine) ReadCommittedValue(tableName, key string) (Value, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.tables[tableName]
+	if t == nil {
+		return nil, false
+	}
+	r := t.rows[key]
+	if r == nil {
+		return nil, false
+	}
+	v := r.visible(e.commitSeq)
+	if v == nil || v.deleted {
+		return nil, false
+	}
+	return v.data.Clone(), true
+}
+
+// sortedKeys returns table keys in deterministic order.
+func (t *table) sortedKeys() []string {
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

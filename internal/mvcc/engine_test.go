@@ -1,0 +1,299 @@
+package mvcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/relschema"
+)
+
+func testSchema(t *testing.T) *relschema.Schema {
+	t.Helper()
+	s := relschema.NewSchema()
+	s.MustAddRelation("Acct", []string{"id", "bal"}, []string{"id"})
+	s.MustAddRelation("Log", []string{"id", "msg"}, []string{"id"})
+	return s
+}
+
+func TestReadCommittedSeesLatestCommitted(t *testing.T) {
+	e := NewEngine(testSchema(t))
+	e.MustLoad("Acct", "a", Value{"id": "a", "bal": 100})
+
+	reader := e.Begin(ReadCommitted)
+	v, err := reader.ReadKey("Acct", "a", "bal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["bal"].(int) != 100 {
+		t.Fatalf("bal = %v, want 100", v["bal"])
+	}
+
+	writer := e.Begin(ReadCommitted)
+	if err := writer.UpdateKey("Acct", "a", []string{"bal"}, []string{"bal"}, func(r Value) Value {
+		r["bal"] = 200
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted write is invisible to the reader.
+	v, err = reader.ReadKey("Acct", "a", "bal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["bal"].(int) != 100 {
+		t.Fatalf("read-committed reader saw uncommitted value %v", v["bal"])
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// After commit, a new statement of the same reader sees the new value.
+	v, err = reader.ReadKey("Acct", "a", "bal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["bal"].(int) != 200 {
+		t.Fatalf("read-committed reader should see 200, got %v", v["bal"])
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsolationReadsAtTxnStart(t *testing.T) {
+	e := NewEngine(testSchema(t))
+	e.MustLoad("Acct", "a", Value{"id": "a", "bal": 100})
+
+	reader := e.Begin(SnapshotIsolation)
+	writer := e.Begin(ReadCommitted)
+	if err := writer.UpdateKey("Acct", "a", []string{"bal"}, []string{"bal"}, func(r Value) Value {
+		r["bal"] = 200
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := reader.ReadKey("Acct", "a", "bal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["bal"].(int) != 100 {
+		t.Fatalf("SI reader should see snapshot value 100, got %v", v["bal"])
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsolationFirstCommitterWins(t *testing.T) {
+	e := NewEngine(testSchema(t))
+	e.MustLoad("Acct", "a", Value{"id": "a", "bal": 100})
+
+	t1 := e.Begin(SnapshotIsolation)
+	t2 := e.Begin(ReadCommitted)
+	if err := t2.UpdateKey("Acct", "a", nil, []string{"bal"}, func(r Value) Value {
+		r["bal"] = 1
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	err := t1.UpdateKey("Acct", "a", nil, []string{"bal"}, func(r Value) Value {
+		r["bal"] = 2
+		return r
+	})
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("expected first-committer-wins conflict, got %v", err)
+	}
+	t1.Abort()
+}
+
+func TestDirtyWriteImpossible(t *testing.T) {
+	e := NewEngine(testSchema(t))
+	e.MustLoad("Acct", "a", Value{"id": "a", "bal": 100})
+
+	t1 := e.Begin(ReadCommitted)
+	t2 := e.Begin(ReadCommitted)
+	if err := t1.UpdateKey("Acct", "a", nil, []string{"bal"}, func(r Value) Value {
+		r["bal"] = 1
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := t2.UpdateKey("Acct", "a", nil, []string{"bal"}, func(r Value) Value {
+		r["bal"] = 2
+		return r
+	})
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("expected write conflict (no dirty writes), got %v", err)
+	}
+	t2.Abort()
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := e.ReadCommittedValue("Acct", "a")
+	if !ok || v["bal"].(int) != 1 {
+		t.Fatalf("committed value should be 1, got %v", v)
+	}
+}
+
+func TestInsertDeleteLifecycle(t *testing.T) {
+	e := NewEngine(testSchema(t))
+
+	t1 := e.Begin(ReadCommitted)
+	if err := t1.Insert("Acct", "a", Value{"id": "a", "bal": 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Invisible to others before commit.
+	t2 := e.Begin(ReadCommitted)
+	if _, err := t2.ReadKey("Acct", "a", "bal"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("uncommitted insert should be invisible, got err=%v", err)
+	}
+	t2.Abort()
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate insert rejected.
+	t3 := e.Begin(ReadCommitted)
+	if err := t3.Insert("Acct", "a", Value{"id": "a", "bal": 6}); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("expected duplicate key, got %v", err)
+	}
+	t3.Abort()
+
+	// Delete, then reads fail and re-insert succeeds.
+	t4 := e.Begin(ReadCommitted)
+	if err := t4.DeleteKey("Acct", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t4.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t5 := e.Begin(ReadCommitted)
+	if _, err := t5.ReadKey("Acct", "a", "bal"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted row should be gone, got err=%v", err)
+	}
+	if err := t5.Insert("Acct", "a", Value{"id": "a", "bal": 7}); err != nil {
+		t.Fatalf("re-insert after delete: %v", err)
+	}
+	if err := t5.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.ReadCommittedValue("Acct", "a"); !ok || v["bal"].(int) != 7 {
+		t.Fatalf("final value should be 7, got %v ok=%v", v, ok)
+	}
+}
+
+func TestSelectWherePerStatementSnapshot(t *testing.T) {
+	e := NewEngine(testSchema(t))
+	e.MustLoad("Acct", "a", Value{"id": "a", "bal": 10})
+	e.MustLoad("Acct", "b", Value{"id": "b", "bal": 20})
+
+	reader := e.Begin(ReadCommitted)
+	rows, err := reader.SelectWhere("Acct", []string{"bal"}, []string{"id", "bal"}, func(r Value) bool {
+		return r["bal"].(int) >= 15
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Key != "b" {
+		t.Fatalf("expected only b, got %v", rows)
+	}
+
+	w := e.Begin(ReadCommitted)
+	if err := w.UpdateKey("Acct", "a", nil, []string{"bal"}, func(r Value) Value {
+		r["bal"] = 99
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err = reader.SelectWhere("Acct", []string{"bal"}, []string{"id"}, func(r Value) bool {
+		return r["bal"].(int) >= 15
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("read-committed predicate should see the new committed update, got %v", rows)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializableConflictsAbort(t *testing.T) {
+	e := NewEngine(testSchema(t))
+	e.MustLoad("Acct", "a", Value{"id": "a", "bal": 10})
+
+	t1 := e.Begin(Serializable)
+	if _, err := t1.ReadKey("Acct", "a", "bal"); err != nil {
+		t.Fatal(err)
+	}
+	t2 := e.Begin(Serializable)
+	err := t2.UpdateKey("Acct", "a", nil, []string{"bal"}, func(r Value) Value {
+		r["bal"] = 0
+		return r
+	})
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("write under read lock should conflict, got %v", err)
+	}
+	t2.Abort()
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentTransfers checks conservation of money under concurrent
+// serializable transfers (a classic engine smoke test).
+func TestConcurrentTransfers(t *testing.T) {
+	e := NewEngine(testSchema(t))
+	e.MustLoad("Acct", "a", Value{"id": "a", "bal": 500})
+	e.MustLoad("Acct", "b", Value{"id": "b", "bal": 500})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				txn := e.Begin(Serializable)
+				src, dst := "a", "b"
+				if (seed+i)%2 == 0 {
+					src, dst = dst, src
+				}
+				err := txn.UpdateKey("Acct", src, []string{"bal"}, []string{"bal"}, func(r Value) Value {
+					r["bal"] = r["bal"].(int) - 1
+					return r
+				})
+				if err == nil {
+					err = txn.UpdateKey("Acct", dst, []string{"bal"}, []string{"bal"}, func(r Value) Value {
+						r["bal"] = r["bal"].(int) + 1
+						return r
+					})
+				}
+				if err != nil {
+					txn.Abort()
+					continue
+				}
+				if err := txn.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	va, _ := e.ReadCommittedValue("Acct", "a")
+	vb, _ := e.ReadCommittedValue("Acct", "b")
+	if va["bal"].(int)+vb["bal"].(int) != 1000 {
+		t.Fatalf("money not conserved: %v + %v", va["bal"], vb["bal"])
+	}
+}

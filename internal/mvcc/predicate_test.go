@@ -1,0 +1,217 @@
+package mvcc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/relschema"
+)
+
+func predSchema() *relschema.Schema {
+	s := relschema.NewSchema()
+	s.MustAddRelation("Acct", []string{"id", "bal"}, []string{"id"})
+	return s
+}
+
+func loadAccts(e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		key := string(rune('a' + i))
+		e.MustLoad("Acct", key, Value{"id": key, "bal": 10 * (i + 1)})
+	}
+}
+
+func TestUpdateWhere(t *testing.T) {
+	e := NewEngine(predSchema())
+	loadAccts(e, 3) // balances 10, 20, 30
+
+	txn := e.Begin(ReadCommitted)
+	n, err := txn.UpdateWhere("Acct", []string{"bal"}, nil, []string{"bal"},
+		func(v Value) bool { return v["bal"].(int) >= 20 },
+		func(v Value) Value {
+			v["bal"] = 0
+			return v
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("updated %d rows, want 2", n)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		key  string
+		want int
+	}{{"a", 10}, {"b", 0}, {"c", 0}} {
+		v, ok := e.ReadCommittedValue("Acct", tc.key)
+		if !ok || v["bal"].(int) != tc.want {
+			t.Errorf("%s: bal = %v, want %d", tc.key, v["bal"], tc.want)
+		}
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	e := NewEngine(predSchema())
+	loadAccts(e, 3)
+
+	txn := e.Begin(ReadCommitted)
+	n, err := txn.DeleteWhere("Acct", []string{"bal"}, func(v Value) bool {
+		return v["bal"].(int) < 25
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("deleted %d rows, want 2", n)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.RowCount("Acct"); got != 1 {
+		t.Fatalf("RowCount = %d, want 1", got)
+	}
+}
+
+func TestPredicateWriteConflictAborts(t *testing.T) {
+	e := NewEngine(predSchema())
+	loadAccts(e, 2)
+
+	t1 := e.Begin(ReadCommitted)
+	if err := t1.UpdateKey("Acct", "a", nil, []string{"bal"}, func(v Value) Value {
+		v["bal"] = -1
+		return v
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t2 := e.Begin(ReadCommitted)
+	_, err := t2.UpdateWhere("Acct", nil, nil, []string{"bal"},
+		func(Value) bool { return true },
+		func(v Value) Value { return v })
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("predicate update over a locked row should conflict, got %v", err)
+	}
+	t2.Abort()
+	t1.Abort()
+}
+
+func TestDoneTransactionRejectsEverything(t *testing.T) {
+	e := NewEngine(predSchema())
+	loadAccts(e, 1)
+	txn := e.Begin(ReadCommitted)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.ReadKey("Acct", "a", "bal"); !errors.Is(err, ErrTxnDone) {
+		t.Error("read on finished txn")
+	}
+	if err := txn.UpdateKey("Acct", "a", nil, nil, func(v Value) Value { return v }); !errors.Is(err, ErrTxnDone) {
+		t.Error("update on finished txn")
+	}
+	if err := txn.Insert("Acct", "z", Value{}); !errors.Is(err, ErrTxnDone) {
+		t.Error("insert on finished txn")
+	}
+	if err := txn.DeleteKey("Acct", "a"); !errors.Is(err, ErrTxnDone) {
+		t.Error("delete on finished txn")
+	}
+	if _, err := txn.SelectWhere("Acct", nil, nil, func(Value) bool { return true }); !errors.Is(err, ErrTxnDone) {
+		t.Error("select on finished txn")
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Error("double commit")
+	}
+	txn.Abort() // no-op, must not panic
+}
+
+func TestStatsAndRowCount(t *testing.T) {
+	e := NewEngine(predSchema())
+	loadAccts(e, 2)
+	t1 := e.Begin(ReadCommitted)
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := e.Begin(ReadCommitted)
+	t2.Abort()
+	commits, aborts := e.Stats()
+	if commits != 1 || aborts != 1 {
+		t.Fatalf("stats = %d, %d", commits, aborts)
+	}
+	if e.RowCount("Acct") != 2 {
+		t.Fatal("RowCount")
+	}
+	if e.RowCount("Nope") != 0 {
+		t.Fatal("RowCount on unknown table")
+	}
+	if _, ok := e.ReadCommittedValue("Nope", "a"); ok {
+		t.Fatal("value from unknown table")
+	}
+	if _, ok := e.ReadCommittedValue("Acct", "zz"); ok {
+		t.Fatal("value for unknown key")
+	}
+}
+
+func TestUnknownTableErrors(t *testing.T) {
+	e := NewEngine(predSchema())
+	txn := e.Begin(ReadCommitted)
+	if _, err := txn.ReadKey("Nope", "a"); err == nil {
+		t.Error("read unknown table")
+	}
+	if err := txn.Insert("Nope", "a", Value{}); err == nil {
+		t.Error("insert unknown table")
+	}
+	if _, err := txn.SelectWhere("Nope", nil, nil, func(Value) bool { return true }); err == nil {
+		t.Error("select unknown table")
+	}
+	txn.Abort()
+	if err := e.Load("Nope", "a", Value{}); err == nil {
+		t.Error("load unknown table")
+	}
+	if err := e.Load("Acct", "a", Value{}); err != nil {
+		t.Error(err)
+	}
+	if err := e.Load("Acct", "a", Value{}); err == nil {
+		t.Error("duplicate load accepted")
+	}
+}
+
+// TestSIPredicateReadsAtSnapshot: under SI a predicate read evaluates over
+// the transaction-start snapshot even after concurrent commits.
+func TestSIPredicateReadsAtSnapshot(t *testing.T) {
+	e := NewEngine(predSchema())
+	loadAccts(e, 2) // a=10, b=20
+
+	reader := e.Begin(SnapshotIsolation)
+	// Concurrent committed update raises b to 100.
+	w := e.Begin(ReadCommitted)
+	if err := w.UpdateKey("Acct", "b", nil, []string{"bal"}, func(v Value) Value {
+		v["bal"] = 100
+		return v
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := reader.SelectWhere("Acct", []string{"bal"}, []string{"id", "bal"},
+		func(v Value) bool { return v["bal"].(int) >= 50 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("SI predicate read saw post-snapshot data: %v", rows)
+	}
+	// An RC reader sees it immediately.
+	rc := e.Begin(ReadCommitted)
+	rows, err = rc.SelectWhere("Acct", []string{"bal"}, []string{"id"},
+		func(v Value) bool { return v["bal"].(int) >= 50 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("RC predicate read missed committed data: %v", rows)
+	}
+	rc.Abort()
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package mvcc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relschema"
+	"repro/internal/schedule"
+)
+
+// Recorder captures every statement executed by an engine as a multiversion
+// schedule over the formalism of internal/schedule. Aborted transactions
+// are discarded (the formalism has no aborts; the paper assumes a recovery
+// mechanism rolls back transactions that interfered with aborted ones).
+//
+// The recorder observes statements in the engine's serialization order (the
+// engine mutex is held while recording), so the captured total order is a
+// faithful linearization of the execution, and each multi-operation
+// statement is contiguous — exactly the atomic-chunk assumption of
+// Section 5.4.
+type Recorder struct {
+	mu sync.Mutex
+	// events is the global statement log.
+	events []event
+	// txns maps engine transactions to recording state.
+	txns map[*Txn]*txnRecord
+}
+
+type eventKind int
+
+const (
+	evRead eventKind = iota
+	evUpdate
+	evInsert
+	evDelete
+	evPredSelect
+	evPredUpdate
+	evPredDelete
+	evCommit
+)
+
+// event is one recorded statement. For key statements Keys has one element;
+// for predicate statements it lists every matching row in scan order.
+type event struct {
+	txn    *Txn
+	kind   eventKind
+	rel    string
+	keys   []string
+	attrs  relschema.AttrSet // read attributes (predicate attrs for pred events' PR op)
+	rattrs relschema.AttrSet // read attributes of update-style statements
+	wattrs relschema.AttrSet // write attributes
+}
+
+type txnRecord struct {
+	label     string
+	committed bool
+	aborted   bool
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{txns: map[*Txn]*txnRecord{}}
+}
+
+func (r *Recorder) begin(t *Txn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.txns[t] = &txnRecord{}
+}
+
+func (r *Recorder) commit(t *Txn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, event{txn: t, kind: evCommit})
+	if tr := r.txns[t]; tr != nil {
+		tr.committed = true
+		tr.label = t.label
+	}
+}
+
+func (r *Recorder) abort(t *Txn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tr := r.txns[t]; tr != nil {
+		tr.aborted = true
+	}
+}
+
+func (r *Recorder) append(e event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+func (r *Recorder) read(t *Txn, rel, key string, attrs relschema.AttrSet) {
+	r.append(event{txn: t, kind: evRead, rel: rel, keys: []string{key}, attrs: attrs})
+}
+
+func (r *Recorder) update(t *Txn, rel, key string, rattrs, wattrs relschema.AttrSet) {
+	r.append(event{txn: t, kind: evUpdate, rel: rel, keys: []string{key}, rattrs: rattrs, wattrs: wattrs})
+}
+
+func (r *Recorder) insert(t *Txn, rel, key string, attrs relschema.AttrSet) {
+	r.append(event{txn: t, kind: evInsert, rel: rel, keys: []string{key}, wattrs: attrs})
+}
+
+func (r *Recorder) delete(t *Txn, rel, key string, attrs relschema.AttrSet) {
+	r.append(event{txn: t, kind: evDelete, rel: rel, keys: []string{key}, wattrs: attrs})
+}
+
+func (r *Recorder) predSelect(t *Txn, rel string, predAttrs, readAttrs relschema.AttrSet, keys []string) {
+	r.append(event{txn: t, kind: evPredSelect, rel: rel, attrs: predAttrs, rattrs: readAttrs, keys: keys})
+}
+
+func (r *Recorder) predUpdate(t *Txn, rel string, predAttrs, readAttrs, writeAttrs relschema.AttrSet, keys []string) {
+	r.append(event{txn: t, kind: evPredUpdate, rel: rel, attrs: predAttrs, rattrs: readAttrs, wattrs: writeAttrs, keys: keys})
+}
+
+func (r *Recorder) predDelete(t *Txn, rel string, predAttrs, allAttrs relschema.AttrSet, keys []string) {
+	r.append(event{txn: t, kind: evPredDelete, rel: rel, attrs: predAttrs, wattrs: allAttrs, keys: keys})
+}
+
+// Schedule converts the recorded log into a multiversion schedule over the
+// committed transactions, ready for serialization-graph analysis.
+func (r *Recorder) Schedule(schema *relschema.Schema) (*schedule.Schedule, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	committed := map[*Txn]bool{}
+	for t, tr := range r.txns {
+		if tr.committed {
+			committed[t] = true
+		}
+	}
+	txnOf := map[*Txn]*schedule.Transaction{}
+	var txns []*schedule.Transaction
+	id := 0
+	get := func(t *Txn) *schedule.Transaction {
+		if st, ok := txnOf[t]; ok {
+			return st
+		}
+		id++
+		st := schedule.NewTransaction(id)
+		st.Label = r.txns[t].label
+		if st.Label == "" {
+			st.Label = t.label
+		}
+		txnOf[t] = st
+		txns = append(txns, st)
+		return st
+	}
+	var order []*schedule.Op
+	emit := func(op *schedule.Op) { order = append(order, op) }
+	for _, e := range r.events {
+		if !committed[e.txn] {
+			continue
+		}
+		st := get(e.txn)
+		start := len(st.Ops)
+		switch e.kind {
+		case evRead:
+			emit(st.ReadSet(schedule.Tuple(e.rel, e.keys[0]), e.attrs))
+		case evUpdate:
+			// A key update is a read-write chunk; the read half is
+			// materialized only when it observes attributes (compare T2 in
+			// Figure 3).
+			if e.rattrs.Len() > 0 {
+				emit(st.ReadSet(schedule.Tuple(e.rel, e.keys[0]), e.rattrs))
+			}
+			emit(st.WriteSet(schedule.Tuple(e.rel, e.keys[0]), e.wattrs))
+			if len(st.Ops)-start > 1 {
+				st.AddChunk(start, len(st.Ops)-1)
+			}
+		case evInsert:
+			emit(st.Insert(schedule.Tuple(e.rel, e.keys[0]), e.wattrs))
+		case evDelete:
+			emit(st.Delete(schedule.Tuple(e.rel, e.keys[0]), e.wattrs))
+		case evPredSelect:
+			emit(st.PredReadSet(e.rel, e.attrs))
+			for _, k := range e.keys {
+				emit(st.ReadSet(schedule.Tuple(e.rel, k), e.rattrs))
+			}
+			st.AddChunk(start, len(st.Ops)-1)
+		case evPredUpdate:
+			emit(st.PredReadSet(e.rel, e.attrs))
+			for _, k := range e.keys {
+				if e.rattrs.Len() > 0 {
+					emit(st.ReadSet(schedule.Tuple(e.rel, k), e.rattrs))
+				}
+				emit(st.WriteSet(schedule.Tuple(e.rel, k), e.wattrs))
+			}
+			st.AddChunk(start, len(st.Ops)-1)
+		case evPredDelete:
+			emit(st.PredReadSet(e.rel, e.attrs))
+			for _, k := range e.keys {
+				emit(st.Delete(schedule.Tuple(e.rel, k), e.wattrs))
+			}
+			st.AddChunk(start, len(st.Ops)-1)
+		case evCommit:
+			emit(st.Commit())
+		default:
+			return nil, fmt.Errorf("mvcc: unknown event kind %d", e.kind)
+		}
+	}
+	for _, st := range txns {
+		if st.CommitOp() == nil {
+			return nil, fmt.Errorf("mvcc: recorded transaction %d has no commit", st.ID)
+		}
+	}
+	return schedule.FromOrder(schema, txns, order)
+}

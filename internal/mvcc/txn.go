@@ -1,0 +1,457 @@
+package mvcc
+
+import (
+	"fmt"
+
+	"repro/internal/relschema"
+)
+
+// Txn is one transaction. Transactions are not safe for concurrent use by
+// multiple goroutines; different transactions may run concurrently.
+type Txn struct {
+	engine *Engine
+	id     int
+	iso    Isolation
+	// snap is the transaction-start snapshot (used under SI).
+	snap int64
+	// writes are the buffered uncommitted writes, applied at commit.
+	writes []pendingWrite
+	// writeLocked and readLocked track rows this transaction has locked.
+	writeLocked []*row
+	readLocked  []*row
+	done        bool
+	label       string
+}
+
+// pendingWrite buffers one uncommitted row mutation.
+type pendingWrite struct {
+	table  *table
+	row    *row
+	data   Value // nil for delete
+	delete bool
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int { return t.id }
+
+// SetLabel attaches a human-readable label (e.g. program name) used by the
+// schedule recorder.
+func (t *Txn) SetLabel(l string) { t.label = l }
+
+// Isolation returns the transaction's isolation level.
+func (t *Txn) Isolation() Isolation { return t.iso }
+
+// statementSnap returns the snapshot sequence a new statement reads at:
+// the latest committed state under Read Committed and under Serializable
+// (strict two-phase locking reads current data; the locks provide safety),
+// the transaction-start snapshot under Snapshot Isolation.
+func (t *Txn) statementSnap() int64 {
+	if t.iso == SnapshotIsolation {
+		return t.snap
+	}
+	return t.engine.commitSeq
+}
+
+// pendingOn returns this transaction's buffered write on the row, if any.
+func (t *Txn) pendingOn(r *row) *pendingWrite {
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		if t.writes[i].row == r {
+			return &t.writes[i]
+		}
+	}
+	return nil
+}
+
+// readRow resolves the row value this transaction observes at snapshot
+// snap, considering its own uncommitted writes first.
+func (t *Txn) readRow(r *row, snap int64) (Value, bool) {
+	if pw := t.pendingOn(r); pw != nil {
+		if pw.delete {
+			return nil, false
+		}
+		return pw.data, true
+	}
+	v := r.visible(snap)
+	if v == nil || v.deleted {
+		return nil, false
+	}
+	return v.data, true
+}
+
+// lockWrite acquires the row's write lock with no-wait semantics.
+func (t *Txn) lockWrite(r *row) error {
+	if r.writer != nil && r.writer != t {
+		return fmt.Errorf("%w: row %s locked by txn %d", ErrWriteConflict, r.key, r.writer.id)
+	}
+	if t.iso == Serializable {
+		for reader := range r.readers {
+			if reader != t {
+				return fmt.Errorf("%w: row %s read-locked by txn %d", ErrWriteConflict, r.key, reader.id)
+			}
+		}
+	}
+	if r.writer == nil {
+		r.writer = t
+		t.writeLocked = append(t.writeLocked, r)
+	}
+	// First-committer-wins under SI: abort if a newer committed version
+	// exists than the transaction's snapshot.
+	if t.iso == SnapshotIsolation {
+		if v := r.latest(); v != nil && v.seq > t.snap {
+			return fmt.Errorf("%w: row %s modified after snapshot", ErrWriteConflict, r.key)
+		}
+	}
+	return nil
+}
+
+// lockRead acquires a shared read lock under Serializable (no-op at the
+// other levels).
+func (t *Txn) lockRead(r *row) error {
+	if t.iso != Serializable {
+		return nil
+	}
+	if r.writer != nil && r.writer != t {
+		return fmt.Errorf("%w: row %s write-locked by txn %d", ErrReadConflict, r.key, r.writer.id)
+	}
+	if r.readers == nil {
+		r.readers = map[*Txn]bool{}
+	}
+	if !r.readers[t] {
+		r.readers[t] = true
+		t.readLocked = append(t.readLocked, r)
+	}
+	return nil
+}
+
+// releaseLocks drops every lock held by the transaction.
+func (t *Txn) releaseLocks() {
+	for _, r := range t.writeLocked {
+		if r.writer == t {
+			r.writer = nil
+		}
+	}
+	for _, r := range t.readLocked {
+		delete(r.readers, t)
+	}
+	t.writeLocked = nil
+	t.readLocked = nil
+}
+
+// Commit installs the transaction's writes at the next commit sequence and
+// releases its locks.
+func (t *Txn) Commit() error {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return ErrTxnDone
+	}
+	e.commitSeq++
+	seq := e.commitSeq
+	for _, pw := range t.writes {
+		pw.row.versions = append(pw.row.versions, version{
+			seq:     seq,
+			data:    pw.data,
+			deleted: pw.delete,
+		})
+	}
+	t.releaseLocks()
+	t.done = true
+	e.commits++
+	if e.recorder != nil {
+		e.recorder.commit(t)
+	}
+	return nil
+}
+
+// Abort discards the transaction's writes and releases its locks.
+func (t *Txn) Abort() {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.writes = nil
+	t.releaseLocks()
+	t.done = true
+	e.aborts++
+	if e.recorder != nil {
+		e.recorder.abort(t)
+	}
+}
+
+// tableOf resolves a table by name.
+func (t *Txn) tableOf(name string) (*table, error) {
+	tb, ok := t.engine.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("mvcc: unknown table %q", name)
+	}
+	return tb, nil
+}
+
+// ReadKey reads the named attributes of one row. It is one atomic
+// statement: under Read Committed it observes the most recently committed
+// state as of now.
+func (t *Txn) ReadKey(tableName, key string, attrs ...string) (Value, error) {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	tb, err := t.tableOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := tb.rows[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, key)
+	}
+	if err := t.lockRead(r); err != nil {
+		return nil, err
+	}
+	data, ok := t.readRow(r, t.statementSnap())
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, key)
+	}
+	if e.recorder != nil {
+		e.recorder.read(t, tableName, key, attrSet(attrs))
+	}
+	return project(data, attrs), nil
+}
+
+// UpdateKey atomically reads one row and applies update to produce its new
+// value. readAttrs and writeAttrs declare the attributes observed and
+// modified (the recorder and the BTP model need them); update receives a
+// clone and returns the new full value.
+func (t *Txn) UpdateKey(tableName, key string, readAttrs, writeAttrs []string, update func(Value) Value) error {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return ErrTxnDone
+	}
+	tb, err := t.tableOf(tableName)
+	if err != nil {
+		return err
+	}
+	r, ok := tb.rows[key]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, key)
+	}
+	if err := t.lockWrite(r); err != nil {
+		return err
+	}
+	data, ok := t.readRow(r, t.statementSnap())
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, key)
+	}
+	newData := update(data.Clone())
+	t.writes = append(t.writes, pendingWrite{table: tb, row: r, data: newData})
+	if e.recorder != nil {
+		e.recorder.update(t, tableName, key, attrSet(readAttrs), attrSet(writeAttrs))
+	}
+	return nil
+}
+
+// Insert creates a row. The new row becomes visible to others at commit.
+func (t *Txn) Insert(tableName, key string, v Value) error {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return ErrTxnDone
+	}
+	tb, err := t.tableOf(tableName)
+	if err != nil {
+		return err
+	}
+	r, ok := tb.rows[key]
+	if !ok {
+		r = &row{key: key}
+		tb.rows[key] = r
+	} else if lv := r.latest(); lv != nil && !lv.deleted {
+		return fmt.Errorf("%w: %s/%s", ErrDuplicateKey, tableName, key)
+	} else if _, visible := t.readRow(r, t.statementSnap()); visible {
+		return fmt.Errorf("%w: %s/%s", ErrDuplicateKey, tableName, key)
+	}
+	if err := t.lockWrite(r); err != nil {
+		return err
+	}
+	t.writes = append(t.writes, pendingWrite{table: tb, row: r, data: v.Clone()})
+	if e.recorder != nil {
+		e.recorder.insert(t, tableName, key, tb.rel.Attrs)
+	}
+	return nil
+}
+
+// DeleteKey deletes one row by key.
+func (t *Txn) DeleteKey(tableName, key string) error {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return ErrTxnDone
+	}
+	tb, err := t.tableOf(tableName)
+	if err != nil {
+		return err
+	}
+	r, ok := tb.rows[key]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, key)
+	}
+	if err := t.lockWrite(r); err != nil {
+		return err
+	}
+	if _, visible := t.readRow(r, t.statementSnap()); !visible {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, key)
+	}
+	t.writes = append(t.writes, pendingWrite{table: tb, row: r, delete: true})
+	if e.recorder != nil {
+		e.recorder.delete(t, tableName, key, tb.rel.Attrs)
+	}
+	return nil
+}
+
+// Row is one result of a predicate statement.
+type Row struct {
+	Key   string
+	Value Value
+}
+
+// SelectWhere evaluates pred over every visible row of the table as one
+// atomic statement (the predicate read of the formalism) and returns the
+// matching rows' readAttrs projections. predAttrs declares the attributes
+// the predicate inspects.
+func (t *Txn) SelectWhere(tableName string, predAttrs, readAttrs []string, pred func(Value) bool) ([]Row, error) {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	tb, err := t.tableOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	snap := t.statementSnap()
+	var out []Row
+	var matched []string
+	for _, key := range tb.sortedKeys() {
+		r := tb.rows[key]
+		if t.iso == Serializable {
+			if err := t.lockRead(r); err != nil {
+				return nil, err
+			}
+		}
+		data, ok := t.readRow(r, snap)
+		if !ok || !pred(data) {
+			continue
+		}
+		matched = append(matched, key)
+		out = append(out, Row{Key: key, Value: project(data, readAttrs)})
+	}
+	if e.recorder != nil {
+		e.recorder.predSelect(t, tableName, attrSet(predAttrs), attrSet(readAttrs), matched)
+	}
+	return out, nil
+}
+
+// UpdateWhere atomically updates every visible row matching pred.
+func (t *Txn) UpdateWhere(tableName string, predAttrs, readAttrs, writeAttrs []string,
+	pred func(Value) bool, update func(Value) Value) (int, error) {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	tb, err := t.tableOf(tableName)
+	if err != nil {
+		return 0, err
+	}
+	snap := t.statementSnap()
+	count := 0
+	var matched []string
+	for _, key := range tb.sortedKeys() {
+		r := tb.rows[key]
+		data, ok := t.readRow(r, snap)
+		if !ok || !pred(data) {
+			continue
+		}
+		if err := t.lockWrite(r); err != nil {
+			return count, err
+		}
+		t.writes = append(t.writes, pendingWrite{table: tb, row: r, data: update(data.Clone())})
+		matched = append(matched, key)
+		count++
+	}
+	if e.recorder != nil {
+		e.recorder.predUpdate(t, tableName, attrSet(predAttrs), attrSet(readAttrs), attrSet(writeAttrs), matched)
+	}
+	return count, nil
+}
+
+// DeleteWhere atomically deletes every visible row matching pred.
+func (t *Txn) DeleteWhere(tableName string, predAttrs []string, pred func(Value) bool) (int, error) {
+	e := t.engine
+	e.mu.Lock()
+	defer e.maybeYield() // runs after the unlock below (LIFO)
+	defer e.mu.Unlock()
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	tb, err := t.tableOf(tableName)
+	if err != nil {
+		return 0, err
+	}
+	snap := t.statementSnap()
+	count := 0
+	var matched []string
+	for _, key := range tb.sortedKeys() {
+		r := tb.rows[key]
+		data, ok := t.readRow(r, snap)
+		if !ok || !pred(data) {
+			continue
+		}
+		if err := t.lockWrite(r); err != nil {
+			return count, err
+		}
+		t.writes = append(t.writes, pendingWrite{table: tb, row: r, delete: true})
+		matched = append(matched, key)
+		count++
+	}
+	if e.recorder != nil {
+		e.recorder.predDelete(t, tableName, attrSet(predAttrs), tb.rel.Attrs, matched)
+	}
+	return count, nil
+}
+
+// project returns a copy of v restricted to attrs (all attributes when
+// attrs is empty).
+func project(v Value, attrs []string) Value {
+	if len(attrs) == 0 {
+		return v.Clone()
+	}
+	out := make(Value, len(attrs))
+	for _, a := range attrs {
+		if x, ok := v[a]; ok {
+			out[a] = x
+		}
+	}
+	return out
+}
+
+func attrSet(attrs []string) relschema.AttrSet {
+	return relschema.NewAttrSet(attrs...)
+}

@@ -1,0 +1,185 @@
+package realize
+
+import (
+	"fmt"
+
+	"repro/internal/btp"
+	"repro/internal/enumerate"
+	"repro/internal/instantiate"
+	"repro/internal/relschema"
+	"repro/internal/summary"
+)
+
+// guidedAssignments builds one instance per witness-cycle edge and shares
+// tuples exactly where the cycle requires conflicts: for edge i, the source
+// statement of instance i and the target statement of instance i+1 (mod n)
+// access a common tuple when both are key-based. All other key-based
+// statements receive private per-instance tuples, so unrelated statements
+// do not serialize the instances through unintended row conflicts (e.g.
+// PlaceBid's buyer update, which otherwise orders all instances).
+//
+// Predicate-based statements conflict at relation granularity: selections
+// read the whole population and updates/deletes touch a private tuple, so
+// no tuple equality is needed for edges with a predicate endpoint.
+//
+// Foreign-key annotations are not supported in guided mode; callers use it
+// only when the annotations are ignored (or absent).
+func guidedAssignments(s *relschema.Schema, w *summary.Witness) ([]enumerate.Instance, error) {
+	n := len(w.Cycle)
+	type slot struct {
+		inst int
+		occ  *btp.StmtOcc
+	}
+	// Union-find over slots.
+	parent := map[slot]slot{}
+	var find func(x slot) slot
+	find = func(x slot) slot {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b slot) { parent[find(a)] = find(b) }
+
+	for i, e := range w.Cycle {
+		from := slot{i, e.FromStmt}
+		to := slot{(i + 1) % n, e.ToStmt}
+		if e.FromStmt.Stmt.Type.IsKeyBased() && e.ToStmt.Stmt.Type.IsKeyBased() {
+			union(from, to)
+		}
+	}
+
+	// Pre-pass: register every key-based slot and count class sizes, so
+	// singletons can be told apart from genuine sharing classes.
+	counts := map[slot]int{}
+	for i, e := range w.Cycle {
+		for _, occ := range e.From.Stmts {
+			if occ.Stmt.Type.IsKeyBased() {
+				counts[find(slot{i, occ})]++
+			}
+		}
+	}
+
+	// Name the class tuples and collect the population per relation.
+	classTuple := map[slot]string{}
+	classSeq := 0
+	population := map[string][]string{}
+	addTuple := func(rel, name string) {
+		for _, t := range population[rel] {
+			if t == name {
+				return
+			}
+		}
+		population[rel] = append(population[rel], name)
+	}
+	tupleFor := func(i int, occ *btp.StmtOcc) string {
+		root := find(slot{i, occ})
+		if name, ok := classTuple[root]; ok {
+			return name
+		}
+		var name string
+		if counts[root] <= 1 {
+			// Singleton: private per-instance tuple.
+			name = fmt.Sprintf("p_%s_%d_%d", occ.Stmt.Rel, i, occ.Pos)
+		} else {
+			classSeq++
+			name = fmt.Sprintf("c_%s_%d", occ.Stmt.Rel, classSeq)
+		}
+		classTuple[root] = name
+		addTuple(occ.Stmt.Rel, name)
+		return name
+	}
+
+	// First pass: assign every key-based occurrence.
+	type pending struct {
+		asg instantiate.Assignment
+		ltp *btp.LTP
+	}
+	insts := make([]pending, n)
+	for i, e := range w.Cycle {
+		l := &btp.LTP{Name: e.From.Name, Stmts: e.From.Stmts} // FK-free copy
+		asg := instantiate.Assignment{
+			Key:  map[*btp.StmtOcc]string{},
+			Pred: map[*btp.StmtOcc][]string{},
+		}
+		usedRead := map[string]bool{}
+		usedWrite := map[string]bool{}
+		for _, occ := range l.Stmts {
+			q := occ.Stmt
+			if !q.Type.IsKeyBased() {
+				continue
+			}
+			tuple := tupleFor(i, occ)
+			readsT := q.Type == btp.KeySel || (q.ReadSet.Defined && !q.ReadSet.Set.Empty())
+			writesT := q.Type != btp.KeySel
+			if (readsT && usedRead[tuple]) || (writesT && usedWrite[tuple]) {
+				return nil, fmt.Errorf("realize: guided assignment violates the strict form in %s", l.Name)
+			}
+			if readsT {
+				usedRead[tuple] = true
+			}
+			if writesT {
+				usedWrite[tuple] = true
+			}
+			asg.Key[occ] = tuple
+		}
+		insts[i] = pending{asg: asg, ltp: l}
+	}
+	// Two instances inserting the same tuple would be an invalid schedule
+	// (at most one insert per tuple).
+	inserted := map[string]int{}
+	for i := range insts {
+		for occ, tuple := range insts[i].asg.Key {
+			if occ.Stmt.Type == btp.Ins {
+				inserted[tuple]++
+				if inserted[tuple] > 1 {
+					return nil, fmt.Errorf("realize: guided assignment inserts tuple %s twice", tuple)
+				}
+			}
+		}
+	}
+	// Second pass: predicate statements range over the final population.
+	var out []enumerate.Instance
+	for i := range insts {
+		l, asg := insts[i].ltp, insts[i].asg
+		usedRead := map[string]bool{}
+		usedWrite := map[string]bool{}
+		for occ, tuple := range asg.Key {
+			q := occ.Stmt
+			if q.Type == btp.KeySel || (q.ReadSet.Defined && !q.ReadSet.Set.Empty()) {
+				usedRead[tuple] = true
+			}
+			if q.Type != btp.KeySel {
+				usedWrite[tuple] = true
+			}
+		}
+		for _, occ := range l.Stmts {
+			q := occ.Stmt
+			switch q.Type {
+			case btp.PredSel:
+				var names []string
+				for _, tup := range population[q.Rel] {
+					if !usedRead[tup] {
+						usedRead[tup] = true
+						names = append(names, tup)
+					}
+				}
+				asg.Pred[occ] = names
+			case btp.PredUpd, btp.PredDel:
+				tuple := fmt.Sprintf("p_%s_%d_%d", q.Rel, i, occ.Pos)
+				addTuple(q.Rel, tuple)
+				usedWrite[tuple] = true
+				if q.ReadSet.Defined && !q.ReadSet.Set.Empty() {
+					usedRead[tuple] = true
+				}
+				asg.Pred[occ] = []string{tuple}
+			}
+		}
+		out = append(out, enumerate.Instance{LTP: l, Assignment: asg})
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package realize
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/robust"
+	"repro/internal/summary"
+)
+
+// witnessFor runs the type-II analysis and returns the witness for a
+// non-robust program subset.
+func witnessFor(t *testing.T, b *benchmarks.Benchmark, setting summary.Setting, names ...string) *summary.Witness {
+	t.Helper()
+	var programs []*btp.Program
+	for _, n := range names {
+		p := b.Program(n)
+		if p == nil {
+			t.Fatalf("no program %q", n)
+		}
+		programs = append(programs, p)
+	}
+	c := robust.NewChecker(b.Schema)
+	c.Setting = setting
+	res, err := c.Check(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust {
+		t.Fatalf("%v unexpectedly robust", names)
+	}
+	return res.Witness
+}
+
+// TestRealizeSmallBankBalAm realizes the {Bal, Am} witness into a concrete
+// counterexample, proving true non-robustness.
+func TestRealizeSmallBankBalAm(t *testing.T) {
+	b := benchmarks.SmallBank()
+	w := witnessFor(t, b, summary.SettingAttrDepFK, "Balance", "Amalgamate")
+	res, err := Witness(b.Schema, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Realized {
+		t.Fatalf("outcome = %s, want realized (instances %v, explored %d)",
+			res.Outcome, res.Instances, res.Explored)
+	}
+	if !res.Schedule.AllowedUnderMVRC() {
+		t.Fatal("realized schedule must be allowed under MVRC")
+	}
+	if res.Graph.IsConflictSerializable() {
+		t.Fatal("realized schedule must not be serializable")
+	}
+}
+
+// TestRealizeWriteCheck realizes the {WC} singleton witness.
+func TestRealizeWriteCheck(t *testing.T) {
+	b := benchmarks.SmallBank()
+	w := witnessFor(t, b, summary.SettingAttrDepFK, "WriteCheck")
+	// The witness cycle may involve a single instance; widen with an extra
+	// instance per program (two WriteChecks race on one customer).
+	res, err := Witness(b.Schema, w, Options{ExtraInstances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Realized {
+		t.Fatalf("outcome = %s (instances %v)", res.Outcome, res.Instances)
+	}
+}
+
+// TestRealizeAuctionWithoutFK realizes the {PB} witness that appears when
+// foreign keys are ignored (Figure 6: {PB} robust only with FKs).
+func TestRealizeAuctionWithoutFK(t *testing.T) {
+	b := benchmarks.Auction()
+	w := witnessFor(t, b, summary.SettingAttrDep, "PlaceBid")
+	// The witness comes from an FK-less analysis, so realization must
+	// search the same overapproximated space (IgnoreFKs). The canonical
+	// instantiation binds two PlaceBids to the same bid but different
+	// buyers — impossible under the foreign key, which is exactly why the
+	// FK-aware analysis certifies {PB} robust (Figure 6).
+	res, err := Witness(b.Schema, w, Options{ExtraInstances: true, IgnoreFKs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Realized {
+		t.Fatalf("outcome = %s (instances %v, explored %d)", res.Outcome, res.Instances, res.Explored)
+	}
+	// With the foreign key enforced during instantiation, the same witness
+	// must NOT realize: the buyer-row lock serializes the two PlaceBids.
+	res, err = Witness(b.Schema, w, Options{ExtraInstances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == Realized {
+		t.Fatalf("FK-respecting instantiation realized an impossible schedule:\n%s", res.Schedule)
+	}
+}
+
+// TestRealizeDeliveryBTPLevel: {Delivery} is the paper's documented false
+// negative (Section 7.2) — but only at the SQL level. At the BTP level the
+// witness DOES realize: the abstraction discards the predicate condition
+// that forces concurrent Deliveries to select the same oldest order, so an
+// instantiation in which they delete different orders is a legitimate BTP
+// schedule and yields a cycle. This test pins down exactly where the
+// abstraction gap lies.
+func TestRealizeDeliveryBTPLevel(t *testing.T) {
+	b := benchmarks.TPCC()
+	w := witnessFor(t, b, summary.SettingAttrDepFK, "Delivery")
+	res, err := Witness(b.Schema, w, Options{MaxSchedules: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Realized {
+		t.Fatalf("outcome = %s (%s): the BTP-level Delivery witness should realize", res.Outcome, res.Note)
+	}
+	if !res.Schedule.AllowedUnderMVRC() || res.Graph.IsConflictSerializable() {
+		t.Fatal("realized schedule must be MVRC-allowed and non-serializable")
+	}
+}
+
+// TestRealizeRejectsEmptyWitness documents the precondition.
+func TestRealizeRejectsEmptyWitness(t *testing.T) {
+	b := benchmarks.Auction()
+	if _, err := Witness(b.Schema, nil, Options{}); err == nil {
+		t.Fatal("nil witness accepted")
+	}
+	if _, err := Witness(b.Schema, &summary.Witness{}, Options{}); err == nil {
+		t.Fatal("empty witness accepted")
+	}
+}

@@ -1,0 +1,325 @@
+// Package relschema models relational database schemas: relations with
+// named attributes, primary keys, and foreign keys. It is the shared
+// vocabulary of every other layer in this repository — BTP statements,
+// summary graphs, multiversion schedules and the MVCC engine all refer to
+// relations and attributes defined here.
+//
+// The model follows Section 3.1 of the paper: a schema is a pair
+// (Rels, FKeys) where every relation has a finite attribute set and every
+// foreign key f has a domain relation dom(f) and a range relation range(f).
+package relschema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrSet is a set of attribute names of a single relation. The zero value
+// is the empty set. AttrSet values are treated as immutable once built;
+// mutating helpers return fresh sets.
+type AttrSet map[string]struct{}
+
+// NewAttrSet builds an attribute set from the given names.
+func NewAttrSet(names ...string) AttrSet {
+	s := make(AttrSet, len(names))
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Has reports whether name is a member of the set.
+func (s AttrSet) Has(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Len returns the number of attributes in the set.
+func (s AttrSet) Len() int { return len(s) }
+
+// Empty reports whether the set has no members.
+func (s AttrSet) Empty() bool { return len(s) == 0 }
+
+// Sorted returns the attribute names in lexicographic order.
+func (s AttrSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s AttrSet) Clone() AttrSet {
+	out := make(AttrSet, len(s))
+	for n := range s {
+		out[n] = struct{}{}
+	}
+	return out
+}
+
+// Union returns a new set containing every member of s and t.
+func (s AttrSet) Union(t AttrSet) AttrSet {
+	out := s.Clone()
+	for n := range t {
+		out[n] = struct{}{}
+	}
+	return out
+}
+
+// Intersects reports whether s and t share at least one attribute.
+func (s AttrSet) Intersects(t AttrSet) bool {
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	for n := range s {
+		if _, ok := t[n]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersection returns the set of attributes present in both s and t.
+func (s AttrSet) Intersection(t AttrSet) AttrSet {
+	out := make(AttrSet)
+	for n := range s {
+		if _, ok := t[n]; ok {
+			out[n] = struct{}{}
+		}
+	}
+	return out
+}
+
+// SubsetOf reports whether every member of s is also a member of t.
+func (s AttrSet) SubsetOf(t AttrSet) bool {
+	for n := range s {
+		if _, ok := t[n]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same attributes.
+func (s AttrSet) Equal(t AttrSet) bool {
+	return len(s) == len(t) && s.SubsetOf(t)
+}
+
+// String renders the set as "{a, b, c}" with sorted members.
+func (s AttrSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ", ") + "}"
+}
+
+// Relation describes one relation of a schema: its name, attributes and the
+// subset of attributes forming the primary key.
+type Relation struct {
+	Name  string
+	Attrs AttrSet
+	// Key is the primary-key attribute set. The paper assumes keys are
+	// immutable and that key-based statements address exactly one tuple.
+	Key AttrSet
+}
+
+// ForeignKey is a named foreign key f with dom(f) and range(f) relations and
+// the attribute columns on each side. Following Section 3.1, f is
+// conceptually a function mapping each tuple of the domain relation to a
+// tuple of the range relation.
+type ForeignKey struct {
+	Name string
+	// Dom is the referencing relation (dom(f)).
+	Dom string
+	// DomAttrs are the referencing columns in Dom.
+	DomAttrs []string
+	// Range is the referenced relation (range(f)).
+	Range string
+	// RangeAttrs are the referenced columns in Range (usually its key).
+	RangeAttrs []string
+}
+
+// Schema is a relational schema (Rels, FKeys).
+type Schema struct {
+	relations map[string]*Relation
+	relOrder  []string
+	fkeys     map[string]*ForeignKey
+	fkOrder   []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		relations: make(map[string]*Relation),
+		fkeys:     make(map[string]*ForeignKey),
+	}
+}
+
+// AddRelation registers a relation with the given attributes and key. The
+// key attributes must be a subset of the attributes. It returns an error on
+// duplicate names or malformed keys.
+func (s *Schema) AddRelation(name string, attrs []string, key []string) error {
+	if name == "" {
+		return fmt.Errorf("relschema: relation name must be non-empty")
+	}
+	if _, dup := s.relations[name]; dup {
+		return fmt.Errorf("relschema: duplicate relation %q", name)
+	}
+	aset := NewAttrSet(attrs...)
+	if len(aset) != len(attrs) {
+		return fmt.Errorf("relschema: relation %q has duplicate attributes", name)
+	}
+	kset := NewAttrSet(key...)
+	if !kset.SubsetOf(aset) {
+		return fmt.Errorf("relschema: relation %q key %v is not a subset of attributes %v", name, key, attrs)
+	}
+	s.relations[name] = &Relation{Name: name, Attrs: aset, Key: kset}
+	s.relOrder = append(s.relOrder, name)
+	return nil
+}
+
+// MustAddRelation is AddRelation but panics on error. Intended for
+// statically known benchmark schemas.
+func (s *Schema) MustAddRelation(name string, attrs []string, key []string) {
+	if err := s.AddRelation(name, attrs, key); err != nil {
+		panic(err)
+	}
+}
+
+// AddForeignKey registers a foreign key. Both relations must already exist
+// and the referenced attribute lists must match in length and be valid
+// attributes of their relations.
+func (s *Schema) AddForeignKey(name, dom string, domAttrs []string, rng string, rangeAttrs []string) error {
+	if name == "" {
+		return fmt.Errorf("relschema: foreign key name must be non-empty")
+	}
+	if _, dup := s.fkeys[name]; dup {
+		return fmt.Errorf("relschema: duplicate foreign key %q", name)
+	}
+	dr, ok := s.relations[dom]
+	if !ok {
+		return fmt.Errorf("relschema: foreign key %q: unknown domain relation %q", name, dom)
+	}
+	rr, ok := s.relations[rng]
+	if !ok {
+		return fmt.Errorf("relschema: foreign key %q: unknown range relation %q", name, rng)
+	}
+	if len(domAttrs) == 0 || len(domAttrs) != len(rangeAttrs) {
+		return fmt.Errorf("relschema: foreign key %q: column lists must be non-empty and of equal length", name)
+	}
+	for _, a := range domAttrs {
+		if !dr.Attrs.Has(a) {
+			return fmt.Errorf("relschema: foreign key %q: %q is not an attribute of %q", name, a, dom)
+		}
+	}
+	for _, a := range rangeAttrs {
+		if !rr.Attrs.Has(a) {
+			return fmt.Errorf("relschema: foreign key %q: %q is not an attribute of %q", name, a, rng)
+		}
+	}
+	s.fkeys[name] = &ForeignKey{
+		Name: name, Dom: dom, DomAttrs: append([]string(nil), domAttrs...),
+		Range: rng, RangeAttrs: append([]string(nil), rangeAttrs...),
+	}
+	s.fkOrder = append(s.fkOrder, name)
+	return nil
+}
+
+// MustAddForeignKey is AddForeignKey but panics on error.
+func (s *Schema) MustAddForeignKey(name, dom string, domAttrs []string, rng string, rangeAttrs []string) {
+	if err := s.AddForeignKey(name, dom, domAttrs, rng, rangeAttrs); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the named relation, or nil if absent.
+func (s *Schema) Relation(name string) *Relation {
+	return s.relations[name]
+}
+
+// HasRelation reports whether the named relation exists.
+func (s *Schema) HasRelation(name string) bool {
+	_, ok := s.relations[name]
+	return ok
+}
+
+// Relations returns all relations in declaration order.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, 0, len(s.relOrder))
+	for _, n := range s.relOrder {
+		out = append(out, s.relations[n])
+	}
+	return out
+}
+
+// ForeignKey returns the named foreign key, or nil if absent.
+func (s *Schema) ForeignKey(name string) *ForeignKey {
+	return s.fkeys[name]
+}
+
+// ForeignKeys returns all foreign keys in declaration order.
+func (s *Schema) ForeignKeys() []*ForeignKey {
+	out := make([]*ForeignKey, 0, len(s.fkOrder))
+	for _, n := range s.fkOrder {
+		out = append(out, s.fkeys[n])
+	}
+	return out
+}
+
+// Attrs returns the attribute set of the named relation. It panics if the
+// relation does not exist; callers validate relation names at construction.
+func (s *Schema) Attrs(relation string) AttrSet {
+	r := s.relations[relation]
+	if r == nil {
+		panic(fmt.Sprintf("relschema: unknown relation %q", relation))
+	}
+	return r.Attrs
+}
+
+// Validate performs whole-schema consistency checks (every FK references
+// existing relations/attributes; keys non-empty). It is cheap and intended
+// to be called once after construction.
+func (s *Schema) Validate() error {
+	for _, name := range s.relOrder {
+		r := s.relations[name]
+		if r.Attrs.Empty() {
+			return fmt.Errorf("relschema: relation %q has no attributes", name)
+		}
+		if r.Key.Empty() {
+			return fmt.Errorf("relschema: relation %q has no primary key", name)
+		}
+	}
+	for _, name := range s.fkOrder {
+		fk := s.fkeys[name]
+		if !s.HasRelation(fk.Dom) || !s.HasRelation(fk.Range) {
+			return fmt.Errorf("relschema: foreign key %q references missing relation", name)
+		}
+	}
+	return nil
+}
+
+// String renders the schema in a compact, deterministic textual form.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, name := range s.relOrder {
+		r := s.relations[name]
+		fmt.Fprintf(&b, "%s(", name)
+		for i, a := range r.Attrs.Sorted() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if r.Key.Has(a) {
+				b.WriteString("*")
+			}
+			b.WriteString(a)
+		}
+		b.WriteString(")\n")
+	}
+	for _, name := range s.fkOrder {
+		fk := s.fkeys[name]
+		fmt.Fprintf(&b, "%s: %s(%s) -> %s(%s)\n", name,
+			fk.Dom, strings.Join(fk.DomAttrs, ","),
+			fk.Range, strings.Join(fk.RangeAttrs, ","))
+	}
+	return b.String()
+}

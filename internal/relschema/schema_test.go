@@ -1,0 +1,188 @@
+package relschema
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrSetBasics(t *testing.T) {
+	s := NewAttrSet("b", "a", "c")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has("a") || s.Has("z") {
+		t.Fatal("Has misbehaves")
+	}
+	if got := s.Sorted(); got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if s.String() != "{a, b, c}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if NewAttrSet().String() != "{}" {
+		t.Fatal("empty set renders badly")
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	a := NewAttrSet("x", "y")
+	b := NewAttrSet("y", "z")
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("Intersects")
+	}
+	if a.Intersects(NewAttrSet("q")) {
+		t.Fatal("disjoint sets intersect")
+	}
+	if got := a.Intersection(b); got.Len() != 1 || !got.Has("y") {
+		t.Fatalf("Intersection = %v", got)
+	}
+	u := a.Union(b)
+	if u.Len() != 3 {
+		t.Fatalf("Union = %v", u)
+	}
+	// Union must not mutate operands.
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatal("Union mutated an operand")
+	}
+	if !a.SubsetOf(u) || u.SubsetOf(a) {
+		t.Fatal("SubsetOf")
+	}
+	if !a.Equal(NewAttrSet("y", "x")) || a.Equal(b) {
+		t.Fatal("Equal")
+	}
+	c := a.Clone()
+	c["w"] = struct{}{}
+	if a.Has("w") {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+// TestAttrSetProperties checks algebraic laws with random inputs.
+func TestAttrSetProperties(t *testing.T) {
+	mk := func(names []string) AttrSet {
+		// Restrict to small alphabet for collision-rich sets.
+		s := NewAttrSet()
+		for _, n := range names {
+			if len(n) > 0 {
+				s[string(n[0]%8+'a')] = struct{}{}
+			}
+		}
+		return s
+	}
+	commutative := func(xs, ys []string) bool {
+		a, b := mk(xs), mk(ys)
+		return a.Union(b).Equal(b.Union(a)) &&
+			a.Intersection(b).Equal(b.Intersection(a)) &&
+			a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+	consistent := func(xs, ys []string) bool {
+		a, b := mk(xs), mk(ys)
+		// Intersects iff intersection non-empty; subset iff union equals b.
+		return a.Intersects(b) == !a.Intersection(b).Empty() &&
+			a.SubsetOf(b) == a.Union(b).Equal(b)
+	}
+	if err := quick.Check(consistent, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaConstruction(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddRelation("R", []string{"a", "b"}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRelation("S", []string{"c", "d"}, []string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddForeignKey("f", "S", []string{"d"}, "R", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasRelation("R") || s.HasRelation("T") {
+		t.Fatal("HasRelation")
+	}
+	if s.Relation("R").Key.Len() != 1 {
+		t.Fatal("key lost")
+	}
+	if got := len(s.Relations()); got != 2 {
+		t.Fatalf("Relations = %d", got)
+	}
+	if got := len(s.ForeignKeys()); got != 1 {
+		t.Fatalf("ForeignKeys = %d", got)
+	}
+	if s.ForeignKey("f") == nil || s.ForeignKey("g") != nil {
+		t.Fatal("ForeignKey lookup")
+	}
+	names := []string{}
+	for _, r := range s.Relations() {
+		names = append(names, r.Name)
+	}
+	if !sort.StringsAreSorted(names) && !(names[0] == "R" && names[1] == "S") {
+		t.Fatalf("declaration order lost: %v", names)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddRelation("", []string{"a"}, []string{"a"}); err == nil {
+		t.Error("empty relation name accepted")
+	}
+	s.MustAddRelation("R", []string{"a", "b"}, []string{"a"})
+	if err := s.AddRelation("R", []string{"x"}, []string{"x"}); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if err := s.AddRelation("Dup", []string{"a", "a"}, []string{"a"}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if err := s.AddRelation("BadKey", []string{"a"}, []string{"z"}); err == nil {
+		t.Error("key outside attributes accepted")
+	}
+	if err := s.AddForeignKey("f", "Nope", []string{"a"}, "R", []string{"a"}); err == nil {
+		t.Error("fk with unknown domain accepted")
+	}
+	if err := s.AddForeignKey("f", "R", []string{"a"}, "Nope", []string{"a"}); err == nil {
+		t.Error("fk with unknown range accepted")
+	}
+	if err := s.AddForeignKey("f", "R", []string{"a", "b"}, "R", []string{"a"}); err == nil {
+		t.Error("fk with mismatched columns accepted")
+	}
+	if err := s.AddForeignKey("f", "R", []string{"z"}, "R", []string{"a"}); err == nil {
+		t.Error("fk with unknown column accepted")
+	}
+	s.MustAddForeignKey("f", "R", []string{"b"}, "R", []string{"a"})
+	if err := s.AddForeignKey("f", "R", []string{"b"}, "R", []string{"a"}); err == nil {
+		t.Error("duplicate fk accepted")
+	}
+	// Validate catches keyless relations (constructed by hand).
+	bad := NewSchema()
+	bad.relations["X"] = &Relation{Name: "X", Attrs: NewAttrSet("a"), Key: NewAttrSet()}
+	bad.relOrder = append(bad.relOrder, "X")
+	if err := bad.Validate(); err == nil {
+		t.Error("keyless relation validated")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema()
+	s.MustAddRelation("R", []string{"a", "b"}, []string{"a"})
+	s.MustAddForeignKey("f", "R", []string{"b"}, "R", []string{"a"})
+	out := s.String()
+	if out == "" || out[0] != 'R' {
+		t.Fatalf("String = %q", out)
+	}
+}
+
+func TestAttrsPanicsOnUnknownRelation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSchema().Attrs("missing")
+}

@@ -1,0 +1,201 @@
+// Package robust exposes the paper's end-to-end robustness analysis: given
+// a set of basic transaction programs, decide (soundly) whether every
+// schedule they can produce under multiversion Read Committed is conflict
+// serializable (Definition 5.1, Algorithm 2), and enumerate the robust /
+// maximal-robust subsets reported in Figures 6 and 7.
+package robust
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+	"repro/internal/summary"
+)
+
+// Result is the outcome of one robustness check.
+type Result struct {
+	// Robust is true when the analysis certifies the program set robust
+	// against MVRC. The analysis is sound: true is always correct; false
+	// may be a false negative (Proposition 6.5).
+	Robust bool
+	// Witness is a dangerous cycle in the summary graph when not robust.
+	Witness *summary.Witness
+	// Graph is the constructed summary graph over the unfolded LTPs.
+	Graph *summary.Graph
+	// LTPs are the Unfold≤2 unfoldings the graph was built over.
+	LTPs []*btp.LTP
+}
+
+// Checker bundles a schema with an analysis configuration.
+type Checker struct {
+	Schema  *relschema.Schema
+	Setting summary.Setting
+	Method  summary.Method
+	// UnfoldBound overrides the loop-unfolding bound; 0 means the paper's
+	// bound of 2 (Proposition 6.1). Exposed for the ablation study only —
+	// bound 1 is unsound in general.
+	UnfoldBound int
+}
+
+// NewChecker returns a Checker with the paper's defaults: attribute
+// granularity with foreign keys, type-II cycles, unfold bound 2.
+func NewChecker(schema *relschema.Schema) *Checker {
+	return &Checker{
+		Schema:  schema,
+		Setting: summary.SettingAttrDepFK,
+		Method:  summary.TypeII,
+	}
+}
+
+func (c *Checker) bound() int {
+	if c.UnfoldBound > 0 {
+		return c.UnfoldBound
+	}
+	return btp.DefaultUnfoldBound
+}
+
+// Check runs the analysis on a set of BTPs: validate, unfold, build the
+// summary graph, and search for dangerous cycles.
+func (c *Checker) Check(programs []*btp.Program) (*Result, error) {
+	for _, p := range programs {
+		if err := p.Validate(c.Schema); err != nil {
+			return nil, fmt.Errorf("robust: %w", err)
+		}
+	}
+	ltps := btp.UnfoldAll(programs, c.bound())
+	g := summary.Build(c.Schema, ltps, c.Setting)
+	ok, w := g.Robust(c.Method)
+	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}, nil
+}
+
+// CheckLTPs runs the analysis directly on pre-unfolded LTPs.
+func (c *Checker) CheckLTPs(ltps []*btp.LTP) *Result {
+	g := summary.Build(c.Schema, ltps, c.Setting)
+	ok, w := g.Robust(c.Method)
+	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}
+}
+
+// Subset is a subset of programs identified by their short names, sorted.
+type Subset []string
+
+// String renders the subset as "{A, B, C}".
+func (s Subset) String() string { return "{" + strings.Join(s, ", ") + "}" }
+
+// contains reports whether s is a superset of t.
+func (s Subset) containsAll(t Subset) bool {
+	set := make(map[string]bool, len(s))
+	for _, n := range s {
+		set[n] = true
+	}
+	for _, n := range t {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports element-wise equality (both sides sorted).
+func (s Subset) Equal(t Subset) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetReport lists every robust subset and the maximal ones among them.
+type SubsetReport struct {
+	// Robust lists all non-empty robust subsets, smallest first, then
+	// lexicographic.
+	Robust []Subset
+	// Maximal lists the robust subsets not strictly contained in another
+	// robust subset — the entries of Figures 6 and 7.
+	Maximal []Subset
+}
+
+// String renders the maximal subsets on one line, as in Figure 6.
+func (r *SubsetReport) String() string {
+	parts := make([]string, len(r.Maximal))
+	for i, s := range r.Maximal {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// RobustSubsets checks every non-empty subset of the given programs and
+// reports the robust and maximal robust ones. Program count must be modest
+// (the benchmarks have ≤ 5); the check is exponential in it.
+func (c *Checker) RobustSubsets(programs []*btp.Program) (*SubsetReport, error) {
+	n := len(programs)
+	if n > 20 {
+		return nil, fmt.Errorf("robust: subset enumeration over %d programs is infeasible", n)
+	}
+	report := &SubsetReport{}
+	for mask := 1; mask < 1<<n; mask++ {
+		var subset []*btp.Program
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, programs[i])
+			}
+		}
+		res, err := c.Check(subset)
+		if err != nil {
+			return nil, err
+		}
+		if res.Robust {
+			names := make(Subset, len(subset))
+			for i, p := range subset {
+				names[i] = p.ShortName()
+			}
+			sort.Strings(names)
+			report.Robust = append(report.Robust, names)
+		}
+	}
+	sortSubsets(report.Robust)
+	for _, s := range report.Robust {
+		maximal := true
+		for _, t := range report.Robust {
+			if len(t) > len(s) && t.containsAll(s) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			report.Maximal = append(report.Maximal, s)
+		}
+	}
+	// Report largest maximal subsets first, as the paper does.
+	sort.SliceStable(report.Maximal, func(i, j int) bool {
+		if len(report.Maximal[i]) != len(report.Maximal[j]) {
+			return len(report.Maximal[i]) > len(report.Maximal[j])
+		}
+		return less(report.Maximal[i], report.Maximal[j])
+	})
+	return report, nil
+}
+
+func sortSubsets(subsets []Subset) {
+	sort.SliceStable(subsets, func(i, j int) bool {
+		if len(subsets[i]) != len(subsets[j]) {
+			return len(subsets[i]) < len(subsets[j])
+		}
+		return less(subsets[i], subsets[j])
+	})
+}
+
+func less(a, b Subset) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,168 @@
+package robust
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/summary"
+)
+
+func TestCheckerDefaults(t *testing.T) {
+	b := benchmarks.Auction()
+	c := NewChecker(b.Schema)
+	if c.Setting != summary.SettingAttrDepFK || c.Method != summary.TypeII {
+		t.Fatal("defaults should be attr dep + FK, type-II")
+	}
+	res, err := c.Check(b.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Robust || res.Witness != nil {
+		t.Fatal("Auction should be robust with nil witness")
+	}
+	if len(res.LTPs) != 3 {
+		t.Fatalf("LTPs = %d, want 3", len(res.LTPs))
+	}
+}
+
+func TestCheckRejectsInvalidProgram(t *testing.T) {
+	b := benchmarks.Auction()
+	c := NewChecker(b.Schema)
+	bad := btp.LinearProgram("Bad", &btp.Stmt{Name: "q", Type: btp.KeySel, Rel: "Nope", ReadSet: btp.Attrs()})
+	if _, err := c.Check([]*btp.Program{bad}); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestCheckLTPsDirect(t *testing.T) {
+	b := benchmarks.Auction()
+	c := NewChecker(b.Schema)
+	ltps := btp.UnfoldAll2(b.Programs)
+	res := c.CheckLTPs(ltps)
+	if !res.Robust {
+		t.Fatal("direct LTP check should agree with program check")
+	}
+}
+
+func TestUnfoldBoundOverride(t *testing.T) {
+	b := benchmarks.TPCC()
+	c := NewChecker(b.Schema)
+	c.UnfoldBound = 1
+	res, err := c.Check(b.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound 1 yields fewer LTPs than the sound bound 2.
+	if len(res.LTPs) >= 13 {
+		t.Fatalf("bound 1 should yield fewer than 13 LTPs, got %d", len(res.LTPs))
+	}
+	c.UnfoldBound = 2
+	res, err = c.Check(b.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LTPs) != 13 {
+		t.Fatalf("bound 2 should yield 13 LTPs, got %d", len(res.LTPs))
+	}
+}
+
+func TestSubsetHelpers(t *testing.T) {
+	a := Subset{"A", "B"}
+	b := Subset{"A"}
+	if !a.containsAll(b) || b.containsAll(a) {
+		t.Error("containsAll")
+	}
+	if !a.Equal(Subset{"A", "B"}) || a.Equal(b) {
+		t.Error("Equal")
+	}
+	if a.String() != "{A, B}" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestRobustSubsetsAuction(t *testing.T) {
+	b := benchmarks.Auction()
+	c := NewChecker(b.Schema)
+	rep, err := c.RobustSubsets(b.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three non-empty subsets are robust with FKs; the maximal one is
+	// the full benchmark.
+	if len(rep.Robust) != 3 {
+		t.Fatalf("robust subsets = %v", rep.Robust)
+	}
+	if len(rep.Maximal) != 1 || !rep.Maximal[0].Equal(Subset{"FB", "PB"}) {
+		t.Fatalf("maximal = %v", rep.Maximal)
+	}
+	if got := rep.String(); !strings.Contains(got, "{FB, PB}") {
+		t.Errorf("report String = %q", got)
+	}
+}
+
+func TestRobustSubsetsGuardsAgainstExplosion(t *testing.T) {
+	b := benchmarks.AuctionN(11) // 22 programs > 20
+	c := NewChecker(b.Schema)
+	if _, err := c.RobustSubsets(b.Programs); err == nil {
+		t.Fatal("subset enumeration over 22 programs should be refused")
+	}
+}
+
+// TestMaximalSubsetsAreMaximal: no maximal subset is contained in another
+// robust subset, and every robust subset is contained in some maximal one.
+func TestMaximalSubsetsAreMaximal(t *testing.T) {
+	b := benchmarks.SmallBank()
+	c := NewChecker(b.Schema)
+	rep, err := c.RobustSubsets(b.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Maximal {
+		for _, r := range rep.Robust {
+			if len(r) > len(m) && r.containsAll(m) {
+				t.Errorf("maximal %v contained in robust %v", m, r)
+			}
+		}
+	}
+	for _, r := range rep.Robust {
+		covered := false
+		for _, m := range rep.Maximal {
+			if m.containsAll(r) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("robust subset %v not covered by any maximal subset", r)
+		}
+	}
+}
+
+// TestSubsetMonotonicity is Proposition 5.2 at the verdict level: every
+// subset of a robust set is robust (checked on SmallBank's lattice).
+func TestSubsetMonotonicity(t *testing.T) {
+	b := benchmarks.SmallBank()
+	c := NewChecker(b.Schema)
+	rep, err := c.RobustSubsets(b.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isRobust := map[string]bool{}
+	for _, r := range rep.Robust {
+		isRobust[r.String()] = true
+	}
+	for _, r := range rep.Robust {
+		// Drop each element; the remainder must be robust too.
+		for i := range r {
+			if len(r) == 1 {
+				continue
+			}
+			sub := append(append(Subset{}, r[:i]...), r[i+1:]...)
+			if !isRobust[sub.String()] {
+				t.Errorf("subset %v of robust %v is not robust — monotonicity violated", sub, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the schedule in the paper's Figure 3 layout: one row per
+// transaction, operations placed in global-order columns, so interleavings
+// are visible at a glance:
+//
+//	T1: R1[t1] W1[t1]        R1[u1] ...            C1
+//	T2:               R2[t1]        ... W2[u1]  C2
+func (s *Schedule) Format() string {
+	cols := make([]string, len(s.Order))
+	width := make([]int, len(s.Order))
+	for i, op := range s.Order {
+		cols[i] = op.String()
+		width[i] = len([]rune(cols[i]))
+	}
+	var b strings.Builder
+	for _, t := range s.Txns {
+		label := fmt.Sprintf("T%d", t.ID)
+		if t.Label != "" {
+			label = fmt.Sprintf("T%d(%s)", t.ID, t.Label)
+		}
+		fmt.Fprintf(&b, "%-24s", label+":")
+		for i, op := range s.Order {
+			cell := ""
+			if op.Txn == t {
+				cell = cols[i]
+			}
+			fmt.Fprintf(&b, " %-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,262 @@
+// Package schedule implements the multiversion schedule formalism of
+// Section 3: operations over tuples and relations (reads, writes, inserts,
+// deletes, predicate reads, commits), transactions with atomic chunks,
+// multiversion schedules with version functions and version order, and the
+// isolation-level checks of Section 3.5 (dirty writes, read-last-committed,
+// allowed under MVRC).
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/relschema"
+)
+
+// TupleID identifies an abstract tuple: its relation and a name unique
+// within that relation (the paper's t ∈ I(R)).
+type TupleID struct {
+	Rel  string
+	Name string
+}
+
+// String renders the tuple as "Rel:name".
+func (t TupleID) String() string { return t.Rel + ":" + t.Name }
+
+// Tuple constructs a TupleID.
+func Tuple(rel, name string) TupleID { return TupleID{Rel: rel, Name: name} }
+
+// OpKind enumerates the operation kinds of Section 3.2.
+type OpKind int
+
+// Operation kinds. Write operations are OpWrite, OpInsert and OpDelete;
+// read operations are OpRead; OpPredRead evaluates a predicate over a whole
+// relation; OpCommit terminates a transaction.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpInsert
+	OpDelete
+	OpPredRead
+	OpCommit
+)
+
+// String renders the kind in the paper's letter notation.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	case OpInsert:
+		return "I"
+	case OpDelete:
+		return "D"
+	case OpPredRead:
+		return "PR"
+	case OpCommit:
+		return "C"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// IsWrite reports whether the kind is a write operation (W, I or D).
+func (k OpKind) IsWrite() bool { return k == OpWrite || k == OpInsert || k == OpDelete }
+
+// Op is one operation of a transaction.
+type Op struct {
+	// Txn is the owning transaction; set by Transaction construction.
+	Txn *Transaction
+	// Index is the operation's position within its transaction.
+	Index int
+	// Kind is the operation kind.
+	Kind OpKind
+	// TupleRef is the tuple the operation is on; zero for predicate reads
+	// and commits.
+	TupleRef TupleID
+	// Rel is the relation a predicate read ranges over; for tuple
+	// operations it equals TupleRef.Rel.
+	Rel string
+	// Attrs is Attr(o): the attributes read or written. For I- and
+	// D-operations this is the full attribute set of the relation; for
+	// predicate reads, the attributes the predicate inspects.
+	Attrs relschema.AttrSet
+}
+
+// IsWrite reports whether the operation is a write (W, I or D).
+func (o *Op) IsWrite() bool { return o.Kind.IsWrite() }
+
+// IsRead reports whether the operation is a plain read.
+func (o *Op) IsRead() bool { return o.Kind == OpRead }
+
+// IsPredRead reports whether the operation is a predicate read.
+func (o *Op) IsPredRead() bool { return o.Kind == OpPredRead }
+
+// String renders the operation in the paper's notation, e.g. "R1[t]".
+func (o *Op) String() string {
+	id := ""
+	if o.Txn != nil {
+		id = fmt.Sprint(o.Txn.ID)
+	}
+	switch o.Kind {
+	case OpCommit:
+		return "C" + id
+	case OpPredRead:
+		return fmt.Sprintf("PR%s[%s]", id, o.Rel)
+	default:
+		return fmt.Sprintf("%s%s[%s]", o.Kind, id, o.TupleRef)
+	}
+}
+
+// Chunk is an atomic chunk (a, b): the operations of one transaction with
+// indices in [From, To] may not be interleaved by other transactions
+// (Section 3.3).
+type Chunk struct {
+	From, To int
+}
+
+// Transaction is a sequence of operations followed by a commit, together
+// with its atomic chunks.
+type Transaction struct {
+	// ID is the transaction's unique identifier within a schedule.
+	ID int
+	// Ops are the operations in program order; the last one is the commit.
+	Ops []*Op
+	// Chunks are the atomic chunks, non-overlapping and in order.
+	Chunks []Chunk
+	// Label is an optional human-readable tag (e.g. the originating
+	// program name).
+	Label string
+}
+
+// NewTransaction creates an empty transaction with the given id.
+func NewTransaction(id int) *Transaction {
+	return &Transaction{ID: id}
+}
+
+// add appends an operation and returns it.
+func (t *Transaction) add(kind OpKind, tuple TupleID, rel string, attrs relschema.AttrSet) *Op {
+	o := &Op{Txn: t, Index: len(t.Ops), Kind: kind, TupleRef: tuple, Rel: rel, Attrs: attrs}
+	t.Ops = append(t.Ops, o)
+	return o
+}
+
+// Read appends R[t] observing the given attributes.
+func (t *Transaction) Read(tuple TupleID, attrs ...string) *Op {
+	return t.add(OpRead, tuple, tuple.Rel, relschema.NewAttrSet(attrs...))
+}
+
+// ReadSet appends R[t] with a prebuilt attribute set.
+func (t *Transaction) ReadSet(tuple TupleID, attrs relschema.AttrSet) *Op {
+	return t.add(OpRead, tuple, tuple.Rel, attrs)
+}
+
+// Write appends W[t] modifying the given attributes.
+func (t *Transaction) Write(tuple TupleID, attrs ...string) *Op {
+	return t.add(OpWrite, tuple, tuple.Rel, relschema.NewAttrSet(attrs...))
+}
+
+// WriteSet appends W[t] with a prebuilt attribute set.
+func (t *Transaction) WriteSet(tuple TupleID, attrs relschema.AttrSet) *Op {
+	return t.add(OpWrite, tuple, tuple.Rel, attrs)
+}
+
+// Insert appends I[t]; attrs should be the full attribute set of the
+// relation (callers typically pass schema.Attrs(rel)).
+func (t *Transaction) Insert(tuple TupleID, attrs relschema.AttrSet) *Op {
+	return t.add(OpInsert, tuple, tuple.Rel, attrs)
+}
+
+// Delete appends D[t]; attrs should be the full attribute set.
+func (t *Transaction) Delete(tuple TupleID, attrs relschema.AttrSet) *Op {
+	return t.add(OpDelete, tuple, tuple.Rel, attrs)
+}
+
+// PredRead appends PR[rel] evaluating a predicate over the given attributes.
+func (t *Transaction) PredRead(rel string, attrs ...string) *Op {
+	return t.add(OpPredRead, TupleID{}, rel, relschema.NewAttrSet(attrs...))
+}
+
+// PredReadSet appends PR[rel] with a prebuilt attribute set.
+func (t *Transaction) PredReadSet(rel string, attrs relschema.AttrSet) *Op {
+	return t.add(OpPredRead, TupleID{}, rel, attrs)
+}
+
+// Commit appends the commit operation. It must be called exactly once, last.
+func (t *Transaction) Commit() *Op {
+	return t.add(OpCommit, TupleID{}, "", nil)
+}
+
+// AddChunk marks ops [from..to] (inclusive indices) as an atomic chunk.
+func (t *Transaction) AddChunk(from, to int) {
+	t.Chunks = append(t.Chunks, Chunk{From: from, To: to})
+}
+
+// CommitOp returns the transaction's commit operation, or nil if absent.
+func (t *Transaction) CommitOp() *Op {
+	for i := len(t.Ops) - 1; i >= 0; i-- {
+		if t.Ops[i].Kind == OpCommit {
+			return t.Ops[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks structural constraints: exactly one commit, last; chunks
+// well-formed, ordered and non-overlapping. Multiple reads or writes of the
+// same tuple are permitted — the paper notes all results carry over to that
+// more general setting, and real executions (e.g. TPC-C Payment) exhibit it.
+func (t *Transaction) Validate() error {
+	if len(t.Ops) == 0 {
+		return fmt.Errorf("schedule: transaction %d has no operations", t.ID)
+	}
+	for i, o := range t.Ops {
+		if o.Index != i {
+			return fmt.Errorf("schedule: transaction %d: operation %d has index %d", t.ID, i, o.Index)
+		}
+		if o.Kind == OpCommit && i != len(t.Ops)-1 {
+			return fmt.Errorf("schedule: transaction %d: commit is not the last operation", t.ID)
+		}
+	}
+	if t.Ops[len(t.Ops)-1].Kind != OpCommit {
+		return fmt.Errorf("schedule: transaction %d does not end with a commit", t.ID)
+	}
+	prev := -1
+	for _, c := range t.Chunks {
+		if c.From < 0 || c.To >= len(t.Ops) || c.From > c.To {
+			return fmt.Errorf("schedule: transaction %d: malformed chunk [%d,%d]", t.ID, c.From, c.To)
+		}
+		if c.From <= prev {
+			return fmt.Errorf("schedule: transaction %d: chunks overlap or are out of order", t.ID)
+		}
+		prev = c.To
+	}
+	return nil
+}
+
+// ValidateStrict additionally enforces the paper's simplifying assumption
+// of Section 3.3: at most one read and at most one write operation per
+// tuple. Program instantiation (internal/instantiate) produces transactions
+// in this strict form.
+func (t *Transaction) ValidateStrict() error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	reads := map[TupleID]bool{}
+	writes := map[TupleID]bool{}
+	for _, o := range t.Ops {
+		switch {
+		case o.IsRead():
+			if reads[o.TupleRef] {
+				return fmt.Errorf("schedule: transaction %d reads tuple %s twice", t.ID, o.TupleRef)
+			}
+			reads[o.TupleRef] = true
+		case o.IsWrite():
+			if writes[o.TupleRef] {
+				return fmt.Errorf("schedule: transaction %d writes tuple %s twice", t.ID, o.TupleRef)
+			}
+			writes[o.TupleRef] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relschema"
+)
+
+// Version identifies one version of a tuple as a position in the tuple's
+// version order ≪: 0 is the unborn version; 1, 2, ... are versions in
+// installation order; the dead version, when present, is the version
+// created by the tuple's D-operation and is required to be the last one.
+type Version int
+
+// VersionUnborn is the unborn version of every tuple.
+const VersionUnborn Version = 0
+
+// Schedule is a multiversion schedule (Section 3.3): a totally ordered set
+// of operations of a set of transactions, together with the initial-version
+// function, the write- and read-version functions, and the predicate-read
+// version sets. The version order of each tuple is the numeric order of
+// Version values.
+type Schedule struct {
+	Schema *relschema.Schema
+	// Txns are the participating transactions.
+	Txns []*Transaction
+	// Order is the total order ≤s over all operations.
+	Order []*Op
+	// Init maps each tuple to its initial version: VersionUnborn for
+	// tuples first created inside the schedule, 1 for tuples that exist
+	// initially.
+	Init map[TupleID]Version
+	// VW maps each write operation to the version it created.
+	VW map[*Op]Version
+	// VR maps each read operation to the version it observed.
+	VR map[*Op]Version
+	// VSet maps each predicate read to the version of every tuple of its
+	// relation that it observed (only tuples mentioned in the schedule are
+	// tracked; all others are trivially at their initial version).
+	VSet map[*Op]map[TupleID]Version
+	// Dead marks, per tuple, the version created by a D-operation (the
+	// dead version); absent if the tuple is never deleted.
+	Dead map[TupleID]Version
+
+	pos map[*Op]int
+}
+
+// Pos returns the position of op in the total order, or -1.
+func (s *Schedule) Pos(op *Op) int {
+	if p, ok := s.pos[op]; ok {
+		return p
+	}
+	return -1
+}
+
+// Before reports a <s b.
+func (s *Schedule) Before(a, b *Op) bool { return s.Pos(a) < s.Pos(b) }
+
+// Tuples returns every tuple mentioned by any operation, sorted.
+func (s *Schedule) Tuples() []TupleID {
+	set := map[TupleID]bool{}
+	for _, o := range s.Order {
+		if o.Kind != OpCommit && o.Kind != OpPredRead {
+			set[o.TupleRef] = true
+		}
+	}
+	out := make([]TupleID, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// IsDeadVersion reports whether v is the dead version of t.
+func (s *Schedule) IsDeadVersion(t TupleID, v Version) bool {
+	d, ok := s.Dead[t]
+	return ok && d == v
+}
+
+// IsVisible reports whether v is a visible version of t (not unborn, not
+// dead).
+func (s *Schedule) IsVisible(t TupleID, v Version) bool {
+	return v != VersionUnborn && !s.IsDeadVersion(t, v)
+}
+
+// String renders the schedule as the operation sequence.
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Order))
+	for i, o := range s.Order {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// FromOrder builds the multiversion schedule induced by executing the given
+// operation interleaving under read-last-committed semantics: every write
+// installs the next version of its tuple (version order = write order,
+// which coincides with commit order in the absence of dirty writes), and
+// every read or predicate read observes, per tuple, the most recently
+// committed version at that point (or the initial version).
+//
+// A tuple is taken to exist initially unless some I-operation creates it in
+// the schedule. The order must contain exactly the operations of the given
+// transactions, each once, respecting per-transaction order; otherwise an
+// error is returned.
+func FromOrder(schema *relschema.Schema, txns []*Transaction, order []*Op) (*Schedule, error) {
+	s := &Schedule{
+		Schema: schema,
+		Txns:   txns,
+		Order:  order,
+		Init:   map[TupleID]Version{},
+		VW:     map[*Op]Version{},
+		VR:     map[*Op]Version{},
+		VSet:   map[*Op]map[TupleID]Version{},
+		Dead:   map[TupleID]Version{},
+		pos:    map[*Op]int{},
+	}
+	// Structural validation of the interleaving.
+	want := 0
+	owned := map[*Op]bool{}
+	for _, t := range txns {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		want += len(t.Ops)
+		for _, o := range t.Ops {
+			owned[o] = true
+		}
+	}
+	if len(order) != want {
+		return nil, fmt.Errorf("schedule: order has %d operations, transactions have %d", len(order), want)
+	}
+	lastIdx := map[*Transaction]int{}
+	for i, o := range order {
+		if !owned[o] {
+			return nil, fmt.Errorf("schedule: operation %s at position %d does not belong to any transaction", o, i)
+		}
+		if _, dup := s.pos[o]; dup {
+			return nil, fmt.Errorf("schedule: operation %s appears twice", o)
+		}
+		s.pos[o] = i
+		if last, ok := lastIdx[o.Txn]; ok && o.Index <= last {
+			return nil, fmt.Errorf("schedule: order violates program order of transaction %d", o.Txn.ID)
+		}
+		lastIdx[o.Txn] = o.Index
+	}
+
+	// Determine initial versions: unborn iff an I-operation creates the
+	// tuple inside the schedule.
+	inserted := map[TupleID]bool{}
+	for _, o := range order {
+		if o.Kind == OpInsert {
+			inserted[o.TupleRef] = true
+		}
+	}
+	for _, t := range s.Tuples() {
+		if inserted[t] {
+			s.Init[t] = VersionUnborn
+		} else {
+			s.Init[t] = 1
+		}
+	}
+
+	// Simulate: track, per tuple, the latest version number handed out and
+	// the latest committed version; per transaction, its pending writes.
+	next := map[TupleID]Version{}
+	committed := map[TupleID]Version{}
+	for t, init := range s.Init {
+		next[t] = init
+		committed[t] = init
+	}
+	pending := map[*Transaction][]*Op{}
+	for _, o := range order {
+		switch {
+		case o.IsWrite():
+			next[o.TupleRef]++
+			v := next[o.TupleRef]
+			s.VW[o] = v
+			if o.Kind == OpDelete {
+				s.Dead[o.TupleRef] = v
+			}
+			pending[o.Txn] = append(pending[o.Txn], o)
+		case o.IsRead():
+			s.VR[o] = committed[o.TupleRef]
+		case o.IsPredRead():
+			vs := map[TupleID]Version{}
+			for t, v := range committed {
+				if t.Rel == o.Rel {
+					vs[t] = v
+				}
+			}
+			s.VSet[o] = vs
+		case o.Kind == OpCommit:
+			for _, w := range pending[o.Txn] {
+				if s.VW[w] > committed[w.TupleRef] {
+					committed[w.TupleRef] = s.VW[w]
+				}
+			}
+			delete(pending, o.Txn)
+		}
+	}
+	return s, nil
+}
+
+// ExhibitsDirtyWrite reports whether some transaction writes a tuple that
+// another transaction wrote earlier without having committed yet
+// (Section 3.5), returning the two offending operations if so.
+func (s *Schedule) ExhibitsDirtyWrite() (bool, *Op, *Op) {
+	for _, b := range s.Order {
+		if !b.IsWrite() {
+			continue
+		}
+		commit := b.Txn.CommitOp()
+		for _, a := range s.Order {
+			if !a.IsWrite() || a.Txn == b.Txn || a.TupleRef != b.TupleRef {
+				continue
+			}
+			if s.Before(b, a) && s.Before(a, commit) {
+				return true, b, a
+			}
+		}
+	}
+	return false, nil, nil
+}
+
+// ChunksRespected reports whether no atomic chunk is interleaved by an
+// operation of another transaction.
+func (s *Schedule) ChunksRespected() bool {
+	for _, t := range s.Txns {
+		for _, c := range t.Chunks {
+			lo := s.Pos(t.Ops[c.From])
+			hi := s.Pos(t.Ops[c.To])
+			for p := lo + 1; p < hi; p++ {
+				if s.Order[p].Txn != t {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// readVersionOK reports whether a read observing version v of tuple t at
+// position p is read-last-committed: v is the version of the most recent
+// write on t committed before p (or the initial version if none).
+func (s *Schedule) readVersionOK(t TupleID, v Version, p int, allowNonVisible bool) bool {
+	latest := s.Init[t]
+	for _, o := range s.Order {
+		if !o.IsWrite() || o.TupleRef != t {
+			continue
+		}
+		commit := o.Txn.CommitOp()
+		if commit == nil {
+			continue
+		}
+		if s.Pos(commit) < p && s.VW[o] > latest {
+			latest = s.VW[o]
+		}
+	}
+	if v != latest {
+		return false
+	}
+	if !allowNonVisible && !s.IsVisible(t, v) {
+		return false
+	}
+	return true
+}
+
+// IsReadLastCommitted reports whether every read and predicate read
+// observes, for every relevant tuple, the most recently committed version
+// (Section 3.5). Plain reads must observe visible versions; predicate-read
+// version sets may map tuples to their unborn or dead versions (the
+// predicate then simply does not select them).
+func (s *Schedule) IsReadLastCommitted() bool {
+	for _, o := range s.Order {
+		switch {
+		case o.IsRead():
+			if !s.readVersionOK(o.TupleRef, s.VR[o], s.Pos(o), false) {
+				return false
+			}
+		case o.IsPredRead():
+			for t, v := range s.VSet[o] {
+				if !s.readVersionOK(t, v, s.Pos(o), true) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// AllowedUnderMVRC reports whether the schedule is allowed under
+// multiversion Read Committed (Definition 3.3): read-last-committed and
+// free of dirty writes. Atomic chunks must also be respected, since
+// program instantiation produces them as indivisible units.
+func (s *Schedule) AllowedUnderMVRC() bool {
+	if dirty, _, _ := s.ExhibitsDirtyWrite(); dirty {
+		return false
+	}
+	return s.ChunksRespected() && s.IsReadLastCommitted()
+}
+
+// IsSerial reports whether operations of distinct transactions are not
+// interleaved.
+func (s *Schedule) IsSerial() bool {
+	seen := map[*Transaction]bool{}
+	var cur *Transaction
+	for _, o := range s.Order {
+		if o.Txn != cur {
+			if seen[o.Txn] {
+				return false
+			}
+			seen[o.Txn] = true
+			cur = o.Txn
+		}
+	}
+	return true
+}
+
+// IsSingleVersion reports whether the schedule behaves like a single-version
+// schedule: versions are installed in write order and every (predicate)
+// read observes the most recent version written before it, committed or
+// not (Section 3.3).
+func (s *Schedule) IsSingleVersion() bool {
+	latest := map[TupleID]Version{}
+	for t, v := range s.Init {
+		latest[t] = v
+	}
+	for _, o := range s.Order {
+		switch {
+		case o.IsWrite():
+			if s.VW[o] <= latest[o.TupleRef] {
+				return false
+			}
+			latest[o.TupleRef] = s.VW[o]
+		case o.IsRead():
+			if s.VR[o] != latest[o.TupleRef] {
+				return false
+			}
+		case o.IsPredRead():
+			for t, v := range s.VSet[o] {
+				if v != latest[t] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

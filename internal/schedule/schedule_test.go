@@ -1,0 +1,352 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relschema"
+)
+
+func testSchema() *relschema.Schema {
+	s := relschema.NewSchema()
+	s.MustAddRelation("R", []string{"k", "a", "b"}, []string{"k"})
+	return s
+}
+
+func TestTransactionConstruction(t *testing.T) {
+	txn := NewTransaction(1)
+	r := txn.Read(Tuple("R", "x"), "a")
+	w := txn.Write(Tuple("R", "x"), "a")
+	txn.AddChunk(r.Index, w.Index)
+	pr := txn.PredRead("R", "b")
+	rr := txn.Read(Tuple("R", "y"), "b")
+	txn.AddChunk(pr.Index, rr.Index)
+	c := txn.Commit()
+	if err := txn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.ValidateStrict(); err != nil {
+		t.Fatal(err)
+	}
+	if txn.CommitOp() != c {
+		t.Error("CommitOp")
+	}
+	if got := r.String(); got != "R1[R:x]" {
+		t.Errorf("op rendering = %q", got)
+	}
+	if got := pr.String(); got != "PR1[R]" {
+		t.Errorf("pred read rendering = %q", got)
+	}
+	if got := c.String(); got != "C1" {
+		t.Errorf("commit rendering = %q", got)
+	}
+}
+
+func TestTransactionValidation(t *testing.T) {
+	// No commit.
+	txn := NewTransaction(1)
+	txn.Read(Tuple("R", "x"), "a")
+	if err := txn.Validate(); err == nil {
+		t.Error("missing commit accepted")
+	}
+	// Commit not last.
+	txn = NewTransaction(2)
+	txn.Commit()
+	txn.Read(Tuple("R", "x"), "a")
+	if err := txn.Validate(); err == nil {
+		t.Error("commit-not-last accepted")
+	}
+	// Double read rejected only by strict validation.
+	txn = NewTransaction(3)
+	txn.Read(Tuple("R", "x"), "a")
+	txn.Read(Tuple("R", "x"), "b")
+	txn.Commit()
+	if err := txn.Validate(); err != nil {
+		t.Errorf("relaxed validation rejected double read: %v", err)
+	}
+	if err := txn.ValidateStrict(); err == nil {
+		t.Error("strict validation accepted double read")
+	}
+	// Overlapping chunks.
+	txn = NewTransaction(4)
+	txn.Read(Tuple("R", "x"), "a")
+	txn.Write(Tuple("R", "x"), "a")
+	txn.Commit()
+	txn.AddChunk(0, 1)
+	txn.AddChunk(1, 2)
+	if err := txn.Validate(); err == nil {
+		t.Error("overlapping chunks accepted")
+	}
+	// Malformed chunk.
+	txn = NewTransaction(5)
+	txn.Read(Tuple("R", "x"), "a")
+	txn.Commit()
+	txn.AddChunk(1, 0)
+	if err := txn.Validate(); err == nil {
+		t.Error("inverted chunk accepted")
+	}
+	// Empty transaction.
+	if err := NewTransaction(6).Validate(); err == nil {
+		t.Error("empty transaction accepted")
+	}
+}
+
+// serialOrder concatenates the transactions' operations.
+func serialOrder(txns ...*Transaction) []*Op {
+	var out []*Op
+	for _, t := range txns {
+		out = append(out, t.Ops...)
+	}
+	return out
+}
+
+func TestFromOrderRejectsMalformedInput(t *testing.T) {
+	s := testSchema()
+	t1 := NewTransaction(1)
+	t1.Read(Tuple("R", "x"), "a")
+	t1.Commit()
+	t2 := NewTransaction(2)
+	t2.Write(Tuple("R", "x"), "a")
+	t2.Commit()
+
+	// Missing operation.
+	if _, err := FromOrder(s, []*Transaction{t1, t2}, t1.Ops); err == nil {
+		t.Error("short order accepted")
+	}
+	// Duplicated operation.
+	order := []*Op{t1.Ops[0], t1.Ops[0], t1.Ops[1], t2.Ops[0]}
+	if _, err := FromOrder(s, []*Transaction{t1, t2}, order); err == nil {
+		t.Error("duplicate op accepted")
+	}
+	// Program order violated.
+	order = []*Op{t1.Ops[1], t1.Ops[0], t2.Ops[0], t2.Ops[1]}
+	if _, err := FromOrder(s, []*Transaction{t1, t2}, order); err == nil {
+		t.Error("program-order violation accepted")
+	}
+	// Foreign operation.
+	t3 := NewTransaction(3)
+	t3.Commit()
+	order = []*Op{t1.Ops[0], t1.Ops[1], t2.Ops[0], t3.Ops[0]}
+	if _, err := FromOrder(s, []*Transaction{t1, t2}, order); err == nil {
+		t.Error("foreign op accepted")
+	}
+}
+
+func TestReadLastCommittedSimulation(t *testing.T) {
+	s := testSchema()
+	// T1 writes x then commits; T2 reads x before and after the commit.
+	t1 := NewTransaction(1)
+	w := t1.Write(Tuple("R", "x"), "a")
+	c1 := t1.Commit()
+	t2 := NewTransaction(2)
+	r1 := t2.Read(Tuple("R", "x"), "a")
+	r2 := t2.Read(Tuple("R", "y"), "a") // padding read, different tuple
+	c2 := t2.Commit()
+
+	order := []*Op{r1.Txn.Ops[0], w, c1, r2, c2}
+	// Order: R2[x] W1[x] C1 R2[y] C2.
+	sch, err := FromOrder(s, []*Transaction{t1, t2}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.VR[r1]; got != 1 {
+		t.Errorf("R2[x] before commit must read initial version 1, got %d", got)
+	}
+	if !sch.IsReadLastCommitted() {
+		t.Error("simulated schedule must be RLC")
+	}
+	if !sch.AllowedUnderMVRC() {
+		t.Error("schedule should be allowed under MVRC")
+	}
+	// Reversed: commit first, then read observes version 2.
+	order = []*Op{w, c1, r1.Txn.Ops[0], r2, c2}
+	sch, err = FromOrder(s, []*Transaction{t1, t2}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.VR[r1]; got != 2 {
+		t.Errorf("R2[x] after commit must read version 2, got %d", got)
+	}
+}
+
+func TestDirtyWriteDetection(t *testing.T) {
+	s := testSchema()
+	t1 := NewTransaction(1)
+	w1 := t1.Write(Tuple("R", "x"), "a")
+	c1 := t1.Commit()
+	t2 := NewTransaction(2)
+	w2 := t2.Write(Tuple("R", "x"), "a")
+	c2 := t2.Commit()
+
+	// W1 W2 C1 C2: W2 overwrites W1 before C1 — dirty.
+	sch, err := FromOrder(s, []*Transaction{t1, t2}, []*Op{w1, w2, c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, b, a := sch.ExhibitsDirtyWrite()
+	if !dirty || b != w1 || a != w2 {
+		t.Errorf("dirty write not detected: %t %v %v", dirty, b, a)
+	}
+	if sch.AllowedUnderMVRC() {
+		t.Error("dirty schedule allowed under MVRC")
+	}
+	// W1 C1 W2 C2: clean.
+	sch, err = FromOrder(s, []*Transaction{t1, t2}, []*Op{w1, c1, w2, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty, _, _ := sch.ExhibitsDirtyWrite(); dirty {
+		t.Error("clean schedule flagged dirty")
+	}
+	if !sch.AllowedUnderMVRC() {
+		t.Error("clean schedule rejected")
+	}
+}
+
+func TestChunkInterleavingDetection(t *testing.T) {
+	s := testSchema()
+	t1 := NewTransaction(1)
+	r := t1.Read(Tuple("R", "x"), "a")
+	w := t1.Write(Tuple("R", "x"), "a")
+	t1.AddChunk(r.Index, w.Index)
+	c1 := t1.Commit()
+	t2 := NewTransaction(2)
+	r2 := t2.Read(Tuple("R", "y"), "a")
+	c2 := t2.Commit()
+
+	sch, err := FromOrder(s, []*Transaction{t1, t2}, []*Op{r, r2, w, c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.ChunksRespected() {
+		t.Error("interleaved chunk not detected")
+	}
+	if sch.AllowedUnderMVRC() {
+		t.Error("chunk-violating schedule allowed")
+	}
+	sch, err = FromOrder(s, []*Transaction{t1, t2}, []*Op{r, w, r2, c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch.ChunksRespected() {
+		t.Error("respected chunk flagged")
+	}
+}
+
+func TestInsertDeleteVersions(t *testing.T) {
+	s := testSchema()
+	t1 := NewTransaction(1)
+	ins := t1.Insert(Tuple("R", "x"), s.Attrs("R"))
+	c1 := t1.Commit()
+	t2 := NewTransaction(2)
+	del := t2.Delete(Tuple("R", "x"), s.Attrs("R"))
+	c2 := t2.Commit()
+
+	sch, err := FromOrder(s, []*Transaction{t1, t2}, []*Op{ins, c1, del, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Tuple("R", "x")
+	if sch.Init[x] != VersionUnborn {
+		t.Errorf("inserted tuple must start unborn, init = %d", sch.Init[x])
+	}
+	if !sch.IsDeadVersion(x, sch.VW[del]) {
+		t.Error("delete must create the dead version")
+	}
+	if sch.IsVisible(x, sch.VW[del]) || sch.IsVisible(x, VersionUnborn) {
+		t.Error("unborn/dead versions must not be visible")
+	}
+	if !sch.IsVisible(x, sch.VW[ins]) {
+		t.Error("inserted version must be visible")
+	}
+	if len(sch.Tuples()) != 1 {
+		t.Errorf("Tuples = %v", sch.Tuples())
+	}
+}
+
+func TestPredicateReadVersionSets(t *testing.T) {
+	s := testSchema()
+	t1 := NewTransaction(1)
+	w := t1.Write(Tuple("R", "x"), "a")
+	c1 := t1.Commit()
+	t2 := NewTransaction(2)
+	pr := t2.PredRead("R", "a")
+	r := t2.Read(Tuple("R", "x"), "a")
+	t2.AddChunk(pr.Index, r.Index)
+	c2 := t2.Commit()
+
+	// Predicate read before the write commits: sees version 1.
+	sch, err := FromOrder(s, []*Transaction{t1, t2}, []*Op{w, pr, r, c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.VSet[pr][Tuple("R", "x")]; got != 1 {
+		t.Errorf("Vset before commit = %d, want 1", got)
+	}
+	// After the commit: sees version 2.
+	sch, err = FromOrder(s, []*Transaction{t1, t2}, []*Op{w, c1, pr, r, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.VSet[pr][Tuple("R", "x")]; got != 2 {
+		t.Errorf("Vset after commit = %d, want 2", got)
+	}
+}
+
+func TestSerialAndSingleVersionPredicates(t *testing.T) {
+	s := testSchema()
+	t1 := NewTransaction(1)
+	r1 := t1.Read(Tuple("R", "x"), "a")
+	c1 := t1.Commit()
+	t2 := NewTransaction(2)
+	w2 := t2.Write(Tuple("R", "x"), "a")
+	c2 := t2.Commit()
+
+	serial, err := FromOrder(s, []*Transaction{t1, t2}, []*Op{r1, c1, w2, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.IsSerial() {
+		t.Error("serial schedule not recognized")
+	}
+	if !serial.IsSingleVersion() {
+		t.Error("serial RLC schedule should be single-version")
+	}
+	interleaved, err := FromOrder(s, []*Transaction{t1, t2}, []*Op{w2, r1, c1, c2}) // wait: program order per txn kept
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interleaved.IsSerial() {
+		// W2 R1 C1 C2 interleaves T2, T1, T2.
+		t.Error("interleaved schedule recognized as serial")
+	}
+	// R1 reads version 1 although W2 already created version 2 (not
+	// committed): multi-version behaviour, not single-version.
+	if interleaved.IsSingleVersion() {
+		t.Error("uncommitted-write-skipping schedule is not single-version")
+	}
+	if !interleaved.AllowedUnderMVRC() {
+		t.Error("it is, however, allowed under MVRC")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := testSchema()
+	t1 := NewTransaction(1)
+	r := t1.Read(Tuple("R", "x"), "a")
+	c := t1.Commit()
+	sch, err := FromOrder(s, []*Transaction{t1}, []*Op{r, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.String(); !strings.Contains(got, "R1[R:x]") || !strings.Contains(got, "C1") {
+		t.Errorf("String = %q", got)
+	}
+	if sch.Pos(r) != 0 || sch.Pos(c) != 1 || !sch.Before(r, c) {
+		t.Error("positions")
+	}
+	other := NewTransaction(9).Commit()
+	if sch.Pos(other) != -1 {
+		t.Error("foreign op should have position -1")
+	}
+}

@@ -1,0 +1,305 @@
+package seg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relschema"
+	"repro/internal/schedule"
+)
+
+// randomTxns generates small random transactions over two relations with a
+// handful of tuples, including predicate reads, inserts and deletes, in the
+// strict one-read/one-write-per-tuple form.
+func randomTxns(rng *rand.Rand, s *relschema.Schema) []*schedule.Transaction {
+	tuples := []schedule.TupleID{
+		schedule.Tuple("R", "x"), schedule.Tuple("R", "y"), schedule.Tuple("S", "u"),
+	}
+	n := 2 + rng.Intn(2)
+	var txns []*schedule.Transaction
+	for i := 1; i <= n; i++ {
+		t := schedule.NewTransaction(i)
+		read := map[schedule.TupleID]bool{}
+		written := map[schedule.TupleID]bool{}
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			tu := tuples[rng.Intn(len(tuples))]
+			attrs := []string{"a"}
+			if rng.Intn(2) == 0 {
+				attrs = []string{"a", "b"}
+			}
+			switch rng.Intn(4) {
+			case 0: // read
+				if read[tu] {
+					continue
+				}
+				read[tu] = true
+				t.Read(tu, attrs...)
+			case 1: // key update chunk
+				if read[tu] || written[tu] {
+					continue
+				}
+				read[tu], written[tu] = true, true
+				r := t.Read(tu, attrs...)
+				w := t.Write(tu, attrs...)
+				t.AddChunk(r.Index, w.Index)
+			case 2: // blind write
+				if written[tu] {
+					continue
+				}
+				written[tu] = true
+				t.Write(tu, attrs...)
+			case 3: // predicate selection over the tuple's relation
+				pr := t.PredRead(tu.Rel, "a")
+				last := pr
+				for _, cand := range tuples {
+					if cand.Rel == tu.Rel && !read[cand] && rng.Intn(2) == 0 {
+						read[cand] = true
+						last = t.Read(cand, "a")
+					}
+				}
+				t.AddChunk(pr.Index, last.Index)
+			}
+		}
+		if len(t.Ops) == 0 {
+			t.Read(tuples[0], "a")
+		}
+		t.Commit()
+		txns = append(txns, t)
+	}
+	return txns
+}
+
+// randomMVRCSchedule interleaves the transactions respecting program order,
+// chunks and the no-dirty-write rule, producing a schedule that is allowed
+// under MVRC by construction. Entering an atomic chunk requires every write
+// inside it to be unblocked (otherwise the chunk could force a dirty
+// write); on a lock deadlock the attempt is abandoned and generation
+// restarts with a fresh interleaving.
+func randomMVRCSchedule(rng *rand.Rand, s *relschema.Schema, txns []*schedule.Transaction) *schedule.Schedule {
+	total := 0
+	for _, t := range txns {
+		total += len(t.Ops)
+	}
+	chunkOf := func(t *schedule.Transaction, oi int) (schedule.Chunk, bool) {
+		for _, c := range t.Chunks {
+			if c.From <= oi && oi <= c.To {
+				return c, true
+			}
+		}
+		return schedule.Chunk{}, false
+	}
+	for attempt := 0; ; attempt++ {
+		next := make([]int, len(txns))
+		uncommitted := map[schedule.TupleID]int{}
+		inChunk := -1
+		var order []*schedule.Op
+		deadlocked := false
+		for len(order) < total && !deadlocked {
+			var eligible []int
+			for ti, t := range txns {
+				if inChunk >= 0 && inChunk != ti {
+					continue
+				}
+				oi := next[ti]
+				if oi >= len(t.Ops) {
+					continue
+				}
+				// Look ahead to the end of the chunk (or just this op):
+				// every write in range must be unblocked.
+				end := oi
+				if c, ok := chunkOf(t, oi); ok {
+					end = c.To
+				}
+				blocked := false
+				for j := oi; j <= end; j++ {
+					op := t.Ops[j]
+					if op.IsWrite() {
+						if holder, ok := uncommitted[op.TupleRef]; ok && holder != ti {
+							blocked = true
+							break
+						}
+					}
+				}
+				if blocked {
+					continue
+				}
+				eligible = append(eligible, ti)
+			}
+			if len(eligible) == 0 {
+				deadlocked = true
+				break
+			}
+			ti := eligible[rng.Intn(len(eligible))]
+			t := txns[ti]
+			op := t.Ops[next[ti]]
+			if op.IsWrite() {
+				uncommitted[op.TupleRef] = ti
+			}
+			if op.Kind == schedule.OpCommit {
+				for tu, h := range uncommitted {
+					if h == ti {
+						delete(uncommitted, tu)
+					}
+				}
+			}
+			if c, ok := chunkOf(t, next[ti]); ok && next[ti] < c.To {
+				inChunk = ti
+			} else {
+				inChunk = -1
+			}
+			next[ti]++
+			order = append(order, op)
+		}
+		if deadlocked {
+			if attempt > 100 {
+				panic("randomMVRCSchedule: persistent deadlock")
+			}
+			continue
+		}
+		sch, err := schedule.FromOrder(s, txns, order)
+		if err != nil {
+			panic(err)
+		}
+		return sch
+	}
+}
+
+func propertySchema() *relschema.Schema {
+	s := relschema.NewSchema()
+	s.MustAddRelation("R", []string{"k", "a", "b"}, []string{"k"})
+	s.MustAddRelation("S", []string{"k", "a", "b"}, []string{"k"})
+	return s
+}
+
+// TestRandomMVRCSchedulesAreAllowed sanity-checks the generator: every
+// schedule it produces passes the MVRC admission checks.
+func TestRandomMVRCSchedulesAreAllowed(t *testing.T) {
+	s := propertySchema()
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		txns := randomTxns(rng, s)
+		sch := randomMVRCSchedule(rng, s, txns)
+		if !sch.AllowedUnderMVRC() {
+			t.Fatalf("iteration %d: generated schedule not allowed under MVRC:\n%s", i, sch)
+		}
+	}
+}
+
+// TestLemma41Random asserts Lemma 4.1 on random MVRC schedules: only
+// (predicate) rw-antidependencies are counterflow.
+func TestLemma41Random(t *testing.T) {
+	s := propertySchema()
+	rng := rand.New(rand.NewSource(29))
+	counterflowSeen := 0
+	for i := 0; i < 800; i++ {
+		txns := randomTxns(rng, s)
+		sch := randomMVRCSchedule(rng, s, txns)
+		g := Build(sch)
+		for _, d := range g.Deps {
+			if d.Counterflow {
+				counterflowSeen++
+				if d.Kind != RW && d.Kind != PredRW {
+					t.Fatalf("iteration %d: counterflow %s dependency violates Lemma 4.1: %s\nschedule: %s",
+						i, d.Kind, d, sch)
+				}
+			}
+		}
+	}
+	if counterflowSeen == 0 {
+		t.Fatal("generator produced no counterflow dependencies; property vacuous")
+	}
+}
+
+// TestTheorem42Random asserts Theorem 4.2 on random MVRC schedules: every
+// simple cycle of the serialization graph (under every labeling realized)
+// is a type-II cycle.
+func TestTheorem42Random(t *testing.T) {
+	s := propertySchema()
+	rng := rand.New(rand.NewSource(31))
+	cyclesSeen := 0
+	for i := 0; i < 800; i++ {
+		txns := randomTxns(rng, s)
+		sch := randomMVRCSchedule(rng, s, txns)
+		g := Build(sch)
+		if g.IsConflictSerializable() {
+			continue
+		}
+		for _, c := range g.SimpleCycles() {
+			cyclesSeen++
+			if !c.IsTypeI() {
+				t.Fatalf("iteration %d: cycle without counterflow dependency: %s\nschedule: %s", i, c, sch)
+			}
+			if !c.IsTypeII() {
+				t.Fatalf("iteration %d: cycle violates Theorem 4.2: %s\nschedule: %s", i, c, sch)
+			}
+		}
+	}
+	if cyclesSeen == 0 {
+		t.Fatal("generator produced no cycles; property vacuous")
+	}
+}
+
+// TestSerialSchedulesSerializable: serial schedules are always conflict
+// serializable and dependency directions follow the serial order.
+func TestSerialSchedulesSerializable(t *testing.T) {
+	s := propertySchema()
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 300; i++ {
+		txns := randomTxns(rng, s)
+		var order []*schedule.Op
+		for _, t := range txns {
+			order = append(order, t.Ops...)
+		}
+		sch, err := schedule.FromOrder(s, txns, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sch.IsSerial() {
+			t.Fatal("serial order not serial")
+		}
+		g := Build(sch)
+		if !g.IsConflictSerializable() {
+			t.Fatalf("iteration %d: serial schedule not serializable: %v", i, g.Deps)
+		}
+		for _, d := range g.Deps {
+			if d.Counterflow {
+				t.Fatalf("iteration %d: serial schedule has counterflow dependency %s", i, d)
+			}
+			if d.From.Txn.ID > d.To.Txn.ID {
+				t.Fatalf("iteration %d: dependency against serial order: %s", i, d)
+			}
+		}
+	}
+}
+
+// TestFindCycleAgreesWithHasCycle cross-checks the linear-time cycle
+// extractor against the boolean cycle test.
+func TestFindCycleAgreesWithHasCycle(t *testing.T) {
+	s := propertySchema()
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		txns := randomTxns(rng, s)
+		sch := randomMVRCSchedule(rng, s, txns)
+		g := Build(sch)
+		cycle, found := g.FindCycle()
+		if found != g.HasCycle() {
+			t.Fatalf("iteration %d: FindCycle=%t HasCycle=%t", i, found, g.HasCycle())
+		}
+		if found {
+			// The returned cycle must be closed and consistent.
+			n := len(cycle.Deps)
+			if n == 0 || len(cycle.Txns) != n {
+				t.Fatalf("iteration %d: malformed cycle %v", i, cycle)
+			}
+			for j, d := range cycle.Deps {
+				if d.From.Txn != cycle.Txns[j] {
+					t.Fatalf("iteration %d: dep %d source mismatch", i, j)
+				}
+				if d.To.Txn != cycle.Txns[(j+1)%n] {
+					t.Fatalf("iteration %d: dep %d target mismatch", i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package seg
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/schedule"
+)
+
+// buildFigure3 constructs the schedule s of Figure 3: T1 and T2 are
+// instantiations of PlaceBid (T1 without the conditional update q5, T2 with
+// it) and T3 is an instantiation of FindBids.
+func buildFigure3(t *testing.T) (*schedule.Schedule, [3]*schedule.Transaction) {
+	t.Helper()
+	sch := benchmarks.AuctionSchema()
+
+	t1 := schedule.NewTransaction(1) // PlaceBid2 = q3; q4; q6
+	t1.Label = "PlaceBid2"
+	t1r := t1.Read(schedule.Tuple("Buyer", "t1"), "calls")
+	t1w := t1.Write(schedule.Tuple("Buyer", "t1"), "calls")
+	t1.AddChunk(t1r.Index, t1w.Index)
+	t1.Read(schedule.Tuple("Bids", "u1"), "bid")
+	t1.Insert(schedule.Tuple("Log", "l1"), sch.Attrs("Log"))
+	t1.Commit()
+
+	t2 := schedule.NewTransaction(2) // PlaceBid1 = q3; q4; q5; q6
+	t2.Label = "PlaceBid1"
+	t2r := t2.Read(schedule.Tuple("Buyer", "t1"), "calls")
+	t2w := t2.Write(schedule.Tuple("Buyer", "t1"), "calls")
+	t2.AddChunk(t2r.Index, t2w.Index)
+	t2.Read(schedule.Tuple("Bids", "u1"), "bid")
+	t2.Write(schedule.Tuple("Bids", "u1"), "bid")
+	t2.Insert(schedule.Tuple("Log", "l2"), sch.Attrs("Log"))
+	t2.Commit()
+
+	t3 := schedule.NewTransaction(3) // FindBids = q1; q2
+	t3.Label = "FindBids"
+	t3r := t3.Read(schedule.Tuple("Buyer", "t2"), "calls")
+	t3w := t3.Write(schedule.Tuple("Buyer", "t2"), "calls")
+	t3.AddChunk(t3r.Index, t3w.Index)
+	pr := t3.PredRead("Bids", "bid")
+	t3.Read(schedule.Tuple("Bids", "u1"), "bid")
+	t3.Read(schedule.Tuple("Bids", "u2"), "bid")
+	last := t3.Read(schedule.Tuple("Bids", "u3"), "bid")
+	t3.AddChunk(pr.Index, last.Index)
+	t3.Commit()
+
+	// Interleaving: T1 entirely; T2 up to its read of u1; T3 entirely
+	// except commit; T2's update of u1, insert and commit; T3's commit.
+	order := []*schedule.Op{
+		t1.Ops[0], t1.Ops[1], t1.Ops[2], t1.Ops[3], t1.Ops[4], // T1 ... C1
+		t2.Ops[0], t2.Ops[1], t2.Ops[2], // R2[t1] W2[t1] R2[u1]
+		t3.Ops[0], t3.Ops[1], t3.Ops[2], t3.Ops[3], t3.Ops[4], t3.Ops[5], // T3 up to R3[u3]
+		t2.Ops[3], t2.Ops[4], t2.Ops[5], // W2[u1] I2[l2] C2
+		t3.Ops[6], // C3
+	}
+	s, err := schedule.FromOrder(sch, []*schedule.Transaction{t1, t2, t3}, order)
+	if err != nil {
+		t.Fatalf("FromOrder: %v", err)
+	}
+	return s, [3]*schedule.Transaction{t1, t2, t3}
+}
+
+// TestFigure3AllowedUnderMVRC asserts that the running-example schedule is
+// allowed under MVRC.
+func TestFigure3AllowedUnderMVRC(t *testing.T) {
+	s, _ := buildFigure3(t)
+	if dirty, b, a := s.ExhibitsDirtyWrite(); dirty {
+		t.Fatalf("unexpected dirty write: %s then %s", b, a)
+	}
+	if !s.ChunksRespected() {
+		t.Fatal("chunks should be respected")
+	}
+	if !s.IsReadLastCommitted() {
+		t.Fatal("schedule should be read-last-committed")
+	}
+	if !s.AllowedUnderMVRC() {
+		t.Fatal("schedule should be allowed under MVRC")
+	}
+}
+
+// TestFigure3Dependencies asserts the dependencies discussed in Section 2:
+// a wr-dependency W1[t1] → R2[t1] (non-counterflow) and an
+// rw-antidependency R3[u1] → W2[u1] (counterflow), plus the predicate
+// rw-antidependency PR3[Bids] → W2[u1].
+func TestFigure3Dependencies(t *testing.T) {
+	s, txns := buildFigure3(t)
+	g := Build(s)
+
+	find := func(kind DepKind, fromTxn, toTxn *schedule.Transaction) *Dep {
+		for i := range g.Deps {
+			d := &g.Deps[i]
+			if d.Kind == kind && d.From.Txn == fromTxn && d.To.Txn == toTxn {
+				return d
+			}
+		}
+		return nil
+	}
+	wr := find(WR, txns[0], txns[1])
+	if wr == nil {
+		t.Fatal("missing wr-dependency T1 -> T2 on Buyer t1")
+	}
+	if wr.Counterflow {
+		t.Error("wr-dependency T1 -> T2 should not be counterflow")
+	}
+	rw := find(RW, txns[2], txns[1])
+	if rw == nil {
+		t.Fatal("missing rw-antidependency T3 -> T2 on Bids u1")
+	}
+	if !rw.Counterflow {
+		t.Error("rw-antidependency T3 -> T2 should be counterflow (C2 <s C3)")
+	}
+	prw := find(PredRW, txns[2], txns[1])
+	if prw == nil {
+		t.Fatal("missing predicate rw-antidependency PR3[Bids] -> W2[u1]")
+	}
+	if !prw.Counterflow {
+		t.Error("predicate rw-antidependency should be counterflow")
+	}
+	// ww on Buyer t1: T1 -> T2.
+	if d := find(WW, txns[0], txns[1]); d == nil {
+		t.Error("missing ww-dependency T1 -> T2 on Buyer t1")
+	}
+}
+
+// TestFigure3Serializable asserts the schedule is conflict serializable
+// (its serialization graph is acyclic) — the running example is robust.
+func TestFigure3Serializable(t *testing.T) {
+	s, _ := buildFigure3(t)
+	g := Build(s)
+	if !g.IsConflictSerializable() {
+		t.Fatalf("Figure 3 schedule should be serializable; deps: %v", g.Deps)
+	}
+}
+
+// TestLemma41 asserts Lemma 4.1 on the running example: in a schedule
+// allowed under MVRC, only (predicate) rw-antidependencies are counterflow.
+func TestLemma41(t *testing.T) {
+	s, _ := buildFigure3(t)
+	if !s.AllowedUnderMVRC() {
+		t.Fatal("precondition: schedule allowed under MVRC")
+	}
+	for _, d := range Build(s).Deps {
+		if d.Counterflow && d.Kind != RW && d.Kind != PredRW {
+			t.Errorf("counterflow dependency of kind %s violates Lemma 4.1: %s", d.Kind, d)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sqlbtp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/benchmarks"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup and random
+// keyword/token shuffles; it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	schema := benchmarks.AuctionSchema()
+	check := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(schema, src)
+		return true
+	}
+	if err := quick.Check(func(s string) bool { return check(s) }, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+
+	// Structured fuzz: random sequences of plausible tokens.
+	tokens := []string{
+		"PROGRAM", "P", ":", "SELECT", "UPDATE", "DELETE", "INSERT", "INTO",
+		"FROM", "WHERE", "SET", "VALUES", "RETURNING", "IF", "ELSE", "ENDIF",
+		"THEN", "REPEAT", "END", "COMMIT", ";", ",", "(", ")", "=", "<", ">=",
+		"AND", "OR", "bid", "buyerId", "Bids", "Buyer", "Log", ":p", "42",
+		"'str'", "+", "-", "*", "--", "-- q1", "-- @fk q1 = f1(q2)",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(25)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			if rng.Intn(4) == 0 {
+				b.WriteString("\n")
+			} else {
+				b.WriteString(" ")
+			}
+		}
+		if !check(b.String()) {
+			t.Fatalf("panic on structured input %d", i)
+		}
+	}
+}
+
+// TestLexerRoundTripStability: lexing valid sources twice yields identical
+// token streams (the lexer is stateless over its input).
+func TestLexerRoundTripStability(t *testing.T) {
+	for _, src := range []string{benchmarks.AuctionSQL, benchmarks.SmallBankSQL, benchmarks.TPCCSQL} {
+		a, err := lex(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := lex(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatal("token count differs between runs")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("token %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestParseIdempotence: parsing the same benchmark source twice yields
+// structurally identical programs (statement renderings match).
+func TestParseIdempotence(t *testing.T) {
+	schema := benchmarks.TPCCSchema()
+	p1, err := Parse(schema, benchmarks.TPCCSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(schema, benchmarks.TPCCSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatal("program count differs")
+	}
+	for i := range p1 {
+		s1, s2 := p1[i].Statements(), p2[i].Statements()
+		if len(s1) != len(s2) {
+			t.Fatalf("%s: statement count differs", p1[i].Name)
+		}
+		for j := range s1 {
+			if s1[j].String() != s2[j].String() {
+				t.Fatalf("%s: statement %d differs: %s vs %s", p1[i].Name, j, s1[j], s2[j])
+			}
+		}
+	}
+}

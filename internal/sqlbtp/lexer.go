@@ -1,0 +1,198 @@
+// Package sqlbtp translates transaction programs written in the SQL
+// fragment of Appendix A into basic transaction programs (internal/btp).
+// It contains a hand-written lexer and recursive-descent parser for:
+//
+//	PROGRAM <name>:
+//	  SELECT <cols> FROM <rel> WHERE <cond>;
+//	  UPDATE <rel> SET a = <expr>, ... WHERE <cond> [RETURNING <cols>];
+//	  INSERT INTO <rel> [(cols)] VALUES (<exprs>);
+//	  DELETE FROM <rel> WHERE <cond>;
+//	  IF [<cond>] THEN ... [ELSE ...] ENDIF;
+//	  REPEAT ... END REPEAT;
+//	  COMMIT;
+//
+// Statements may carry the paper's labels as trailing comments ("-- q1");
+// unlabeled statements are numbered q1, q2, ... in order. Foreign-key
+// annotations use pragma comments: "-- @fk q3 = f1(q4)".
+//
+// A WHERE clause that is a conjunction of equality comparisons binding
+// exactly the primary-key attributes of the relation makes the statement
+// key-based; any other clause makes it predicate-based with PReadSet equal
+// to the attributes the condition mentions (Appendix A).
+package sqlbtp
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexer token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokParam  // :name
+	tokNumber // 123 or 4.5
+	tokString // 'text'
+	tokPunct  // ( ) , ; = < > <= >= <> + - * / .
+	tokPragma // -- @fk ... (whole line, content without the marker)
+	tokLabel  // -- qN statement label comment
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer tokenizes the SQL dialect. Plain comments are skipped; label
+// comments ("-- q3") and pragma comments ("-- @fk ...") are preserved as
+// tokens because the translator consumes them.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Comment until end of line; may be a label or pragma.
+			start := l.pos + 2
+			end := start
+			for end < len(l.src) && l.src[end] != '\n' {
+				end++
+			}
+			body := strings.TrimSpace(l.src[start:end])
+			l.pos = end
+			if strings.HasPrefix(body, "@") {
+				return token{kind: tokPragma, text: body, line: l.line}, nil
+			}
+			if isLabel(body) {
+				return token{kind: tokLabel, text: body, line: l.line}, nil
+			}
+			// Plain comment: skip.
+		default:
+			return l.scanToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+// isLabel reports whether a comment body looks like a statement label such
+// as "q12".
+func isLabel(s string) bool {
+	if len(s) < 2 || s[0] != 'q' {
+		return false
+	}
+	for _, r := range s[1:] {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lexer) scanToken() (token, error) {
+	c := l.src[l.pos]
+	line := l.line
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line}, nil
+	case c == ':':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		if l.pos == start {
+			// A bare ':' (e.g. after a program header) is punctuation.
+			return token{kind: tokPunct, text: ":", line: line}, nil
+		}
+		return token{kind: tokParam, text: l.src[start:l.pos], line: line}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line}, nil
+	case c == '\'':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			if l.src[l.pos] == '\n' {
+				return token{}, fmt.Errorf("sqlbtp: line %d: unterminated string literal", line)
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("sqlbtp: line %d: unterminated string literal", line)
+		}
+		text := l.src[start:l.pos]
+		l.pos++ // closing quote
+		return token{kind: tokString, text: text, line: line}, nil
+	case strings.ContainsRune("(),;=+-*/.", rune(c)):
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: line}, nil
+	case c == '<' || c == '>':
+		start := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], line: line}, nil
+	case c == '!':
+		start := l.pos
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokPunct, text: l.src[start:l.pos], line: line}, nil
+		}
+		return token{}, fmt.Errorf("sqlbtp: line %d: unexpected '!'", line)
+	default:
+		return token{}, fmt.Errorf("sqlbtp: line %d: unexpected character %q", line, c)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,338 @@
+package sqlbtp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// parser consumes tokens and produces BTP programs.
+type parser struct {
+	schema *relschema.Schema
+	toks   []token
+	pos    int
+	// nextLabel auto-numbers unlabeled statements per program.
+	nextLabel int
+	// pendingLabel is a label comment seen before or after a statement.
+	pendingLabel string
+	// usedLabels guards against duplicate labels.
+	usedLabels map[string]bool
+	// pragmas collects @fk pragmas of the current program.
+	pragmas []fkPragma
+	// attrParams records, per statement label, the attribute→parameter
+	// equalities (for documentation and potential FK inference).
+	attrParams map[string]map[string]string
+}
+
+type fkPragma struct {
+	dst, fk, src string
+	line         int
+}
+
+// Parse translates the source into BTP programs over the given schema.
+func Parse(schema *relschema.Schema, src string) ([]*btp.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{schema: schema, toks: toks}
+	var programs []*btp.Program
+	for !p.at(tokEOF) {
+		prog, err := p.parseProgram()
+		if err != nil {
+			return nil, err
+		}
+		programs = append(programs, prog)
+	}
+	return programs, nil
+}
+
+// ParseProgram translates a single program.
+func ParseProgram(schema *relschema.Schema, src string) (*btp.Program, error) {
+	programs, err := Parse(schema, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(programs) != 1 {
+		return nil, fmt.Errorf("sqlbtp: expected exactly one program, found %d", len(programs))
+	}
+	return programs[0], nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) at(k tokKind) bool {
+	p.skipDecorations(false)
+	return p.cur().kind == k
+}
+
+// skipDecorations consumes label and pragma tokens, storing them. When
+// capture is false, a label token is still remembered as pending (it may
+// precede its statement).
+func (p *parser) skipDecorations(capture bool) {
+	for {
+		t := p.toks[p.pos]
+		switch t.kind {
+		case tokLabel:
+			p.pendingLabel = t.text
+			p.pos++
+		case tokPragma:
+			p.recordPragma(t)
+			p.pos++
+		default:
+			_ = capture
+			return
+		}
+	}
+}
+
+func (p *parser) recordPragma(t token) {
+	body := strings.TrimSpace(t.text)
+	if !strings.HasPrefix(body, "@fk") {
+		return // unknown pragmas are ignored
+	}
+	// Format: @fk qj = f(qi)
+	rest := strings.TrimSpace(strings.TrimPrefix(body, "@fk"))
+	eq := strings.Index(rest, "=")
+	open := strings.Index(rest, "(")
+	closeP := strings.Index(rest, ")")
+	if eq < 0 || open < eq || closeP < open {
+		p.pragmas = append(p.pragmas, fkPragma{line: t.line}) // malformed; reported later
+		return
+	}
+	p.pragmas = append(p.pragmas, fkPragma{
+		dst:  strings.TrimSpace(rest[:eq]),
+		fk:   strings.TrimSpace(rest[eq+1 : open]),
+		src:  strings.TrimSpace(rest[open+1 : closeP]),
+		line: t.line,
+	})
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	p.skipDecorations(false)
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		t := p.cur()
+		return fmt.Errorf("sqlbtp: line %d: expected %q, found %q", t.line, kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	p.skipDecorations(false)
+	t := p.cur()
+	if t.kind == tokPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		t := p.cur()
+		return fmt.Errorf("sqlbtp: line %d: expected %q, found %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	p.skipDecorations(false)
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlbtp: line %d: expected identifier, found %q", t.line, t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// takeLabel returns the statement label: a pending "-- qN" comment, a label
+// comment immediately following (before the next token is inspected the
+// lexer already attached it), or an auto-generated one.
+func (p *parser) takeLabel() (string, error) {
+	label := p.pendingLabel
+	p.pendingLabel = ""
+	if label == "" {
+		p.nextLabel++
+		label = fmt.Sprintf("q%d", p.nextLabel)
+		for p.usedLabels[label] {
+			p.nextLabel++
+			label = fmt.Sprintf("q%d", p.nextLabel)
+		}
+	}
+	if p.usedLabels[label] {
+		return "", fmt.Errorf("sqlbtp: duplicate statement label %q", label)
+	}
+	p.usedLabels[label] = true
+	return label, nil
+}
+
+// parseProgram parses "PROGRAM <name>: <body> COMMIT;" (the COMMIT is
+// optional and ends the body).
+func (p *parser) parseProgram() (*btp.Program, error) {
+	p.nextLabel = 0
+	p.usedLabels = map[string]bool{}
+	p.pragmas = nil
+	p.attrParams = map[string]map[string]string{}
+	if err := p.expectKeyword("PROGRAM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Optional parameter list and colon: PROGRAM Name(:a, :b):
+	if p.acceptPunct("(") {
+		for !p.acceptPunct(")") {
+			if p.at(tokEOF) {
+				return nil, fmt.Errorf("sqlbtp: unterminated parameter list for program %s", name)
+			}
+			p.pos++ // parameters are documentation only
+		}
+	}
+	_ = p.acceptPunct(":")
+	body, err := p.parseBody(name, "")
+	if err != nil {
+		return nil, err
+	}
+	prog := &btp.Program{Name: name, Body: body}
+	for _, pr := range p.pragmas {
+		if pr.dst == "" {
+			return nil, fmt.Errorf("sqlbtp: line %d: malformed @fk pragma (want \"@fk qj = f(qi)\")", pr.line)
+		}
+		if err := prog.AnnotateFK(p.schema, pr.fk, pr.src, pr.dst); err != nil {
+			return nil, fmt.Errorf("sqlbtp: line %d: %w", pr.line, err)
+		}
+	}
+	if err := prog.Validate(p.schema); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// parseBody parses statements until COMMIT, ELSE, ENDIF, END or EOF.
+// The terminating keyword is not consumed (except COMMIT, which is).
+func (p *parser) parseBody(progName, _ string) (btp.Node, error) {
+	var items []btp.Node
+	for {
+		p.skipDecorations(true)
+		switch {
+		case p.at(tokEOF), p.atKeyword("ELSE"), p.atKeyword("ENDIF"), p.atKeyword("END"):
+			return seqOf(items), nil
+		case p.acceptKeyword("COMMIT"):
+			_ = p.acceptPunct(";")
+			return seqOf(items), nil
+		case p.atKeyword("PROGRAM"):
+			return seqOf(items), nil
+		case p.acceptKeyword("IF"):
+			node, err := p.parseIf(progName)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, node)
+		case p.acceptKeyword("REPEAT"):
+			node, err := p.parseRepeat(progName)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, node)
+		default:
+			stmt, err := p.parseStatement(progName)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, btp.S(stmt))
+		}
+	}
+}
+
+func seqOf(items []btp.Node) btp.Node {
+	if len(items) == 1 {
+		return items[0]
+	}
+	return &btp.Seq{Items: items}
+}
+
+// parseIf parses IF [<cond>] [THEN] ... [ELSE ...] ENDIF [;]. The condition
+// itself is irrelevant to the BTP abstraction and is skipped.
+func (p *parser) parseIf(progName string) (btp.Node, error) {
+	// Skip condition tokens until THEN or a statement keyword.
+	p.skipCondition([]string{"THEN"})
+	_ = p.acceptKeyword("THEN")
+	_ = p.acceptPunct(";")
+	thenBody, err := p.parseBody(progName, "")
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("ELSE") {
+		elseBody, err := p.parseBody(progName, "")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ENDIF"); err != nil {
+			return nil, err
+		}
+		_ = p.acceptPunct(";")
+		return btp.ChoiceOf(thenBody, elseBody), nil
+	}
+	if err := p.expectKeyword("ENDIF"); err != nil {
+		return nil, err
+	}
+	_ = p.acceptPunct(";")
+	return btp.Opt(thenBody), nil
+}
+
+// parseRepeat parses REPEAT ... END REPEAT [;].
+func (p *parser) parseRepeat(progName string) (btp.Node, error) {
+	body, err := p.parseBody(progName, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("REPEAT"); err != nil {
+		return nil, err
+	}
+	_ = p.acceptPunct(";")
+	return btp.LoopOf(body), nil
+}
+
+// skipCondition advances over tokens until one of the stop keywords or a
+// statement-starting keyword is reached.
+func (p *parser) skipCondition(stops []string) {
+	stmtStarts := []string{"SELECT", "UPDATE", "INSERT", "DELETE", "IF", "REPEAT", "COMMIT", "ELSE", "ENDIF", "END"}
+	for {
+		p.skipDecorations(false)
+		t := p.cur()
+		if t.kind == tokEOF {
+			return
+		}
+		if t.kind == tokIdent {
+			for _, s := range stops {
+				if strings.EqualFold(t.text, s) {
+					return
+				}
+			}
+			for _, s := range stmtStarts {
+				if strings.EqualFold(t.text, s) {
+					return
+				}
+			}
+		}
+		p.pos++
+	}
+}

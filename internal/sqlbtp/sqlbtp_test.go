@@ -1,0 +1,245 @@
+package sqlbtp
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/robust"
+	"repro/internal/summary"
+)
+
+// auctionSQL is the SQL of Figure 1 in this package's dialect, with the
+// paper's statement labels and foreign-key annotations.
+const auctionSQL = `
+PROGRAM FindBids(:B, :T):
+  UPDATE Buyer -- q1
+  SET calls = calls + 1
+  WHERE id = :B;
+  SELECT bid -- q2
+  FROM Bids
+  WHERE bid >= :T;
+  COMMIT;
+
+PROGRAM PlaceBid(:B, :V):
+  -- @fk q3 = f1(q4)
+  -- @fk q3 = f1(q5)
+  -- @fk q3 = f2(q6)
+  UPDATE Buyer -- q3
+  SET calls = calls + 1
+  WHERE id = :B;
+  SELECT bid INTO :C -- q4
+  FROM Bids
+  WHERE buyerId = :B;
+  IF :C < :V THEN
+    UPDATE Bids -- q5
+    SET bid = :V
+    WHERE buyerId = :B;
+  ENDIF;
+  INSERT INTO Log -- q6
+  VALUES (:logId, :B, :V);
+  COMMIT;
+`
+
+// TestAuctionTranslation checks that the SQL of Figure 1 translates into
+// exactly the BTP statement details of Figure 2.
+func TestAuctionTranslation(t *testing.T) {
+	schema := benchmarks.AuctionSchema()
+	programs, err := Parse(schema, auctionSQL)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(programs) != 2 {
+		t.Fatalf("got %d programs, want 2", len(programs))
+	}
+	fb, pb := programs[0], programs[1]
+	if fb.Name != "FindBids" || pb.Name != "PlaceBid" {
+		t.Fatalf("program names: %s, %s", fb.Name, pb.Name)
+	}
+
+	type want struct {
+		name  string
+		typ   btp.StmtType
+		rel   string
+		read  []string
+		write []string
+		pread []string
+	}
+	check := func(p *btp.Program, wants []want) {
+		t.Helper()
+		stmts := p.Statements()
+		if len(stmts) != len(wants) {
+			t.Fatalf("%s: got %d statements, want %d", p.Name, len(stmts), len(wants))
+		}
+		for i, w := range wants {
+			q := stmts[i]
+			if q.Name != w.name || q.Type != w.typ || q.Rel != w.rel {
+				t.Errorf("%s: statement %d = %s, want %s %s %s", p.Name, i, q, w.name, w.typ, w.rel)
+			}
+			checkSet := func(label string, got btp.OptAttrs, names []string) {
+				if names == nil {
+					if got.Defined {
+						t.Errorf("%s/%s: %s = %s, want ⊥", p.Name, w.name, label, got)
+					}
+					return
+				}
+				want := btp.Attrs(names...)
+				if !got.Defined || !got.Set.Equal(want.Set) {
+					t.Errorf("%s/%s: %s = %s, want %s", p.Name, w.name, label, got, want)
+				}
+			}
+			checkSet("ReadSet", q.ReadSet, w.read)
+			checkSet("WriteSet", q.WriteSet, w.write)
+			checkSet("PReadSet", q.PReadSet, w.pread)
+		}
+	}
+	check(fb, []want{
+		{"q1", btp.KeyUpd, "Buyer", []string{"calls"}, []string{"calls"}, nil},
+		{"q2", btp.PredSel, "Bids", []string{"bid"}, nil, []string{"bid"}},
+	})
+	check(pb, []want{
+		{"q3", btp.KeyUpd, "Buyer", []string{"calls"}, []string{"calls"}, nil},
+		{"q4", btp.KeySel, "Bids", []string{"bid"}, nil, nil},
+		{"q5", btp.KeyUpd, "Bids", []string{}, []string{"bid"}, nil},
+		{"q6", btp.Ins, "Log", nil, []string{"bid", "buyerId", "id"}, nil},
+	})
+	// The conditional update must be an optional node: PlaceBid unfolds to
+	// two LTPs.
+	if n := len(btp.Unfold2(pb)); n != 2 {
+		t.Errorf("PlaceBid unfolds to %d LTPs, want 2", n)
+	}
+	// Foreign-key annotations from the pragmas.
+	if len(pb.FKs) != 3 {
+		t.Fatalf("PlaceBid has %d FK annotations, want 3: %v", len(pb.FKs), pb.FKs)
+	}
+}
+
+// TestAuctionSQLRobustness runs the full pipeline — SQL → BTP → summary
+// graph → Algorithm 2 — and checks it reproduces the paper's Auction
+// verdicts (robust with FKs, not robust without).
+func TestAuctionSQLRobustness(t *testing.T) {
+	schema := benchmarks.AuctionSchema()
+	programs, err := Parse(schema, auctionSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := robust.NewChecker(schema)
+	res, err := c.Check(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Robust {
+		t.Errorf("SQL-derived Auction should be robust under attr dep + FK; witness:\n%s", res.Witness)
+	}
+	st := res.Graph.Stats()
+	if st.Nodes != 3 || st.Edges != 17 || st.CounterflowEdges != 1 {
+		t.Errorf("SQL-derived Auction graph = %+v, want 3 nodes / 17 edges / 1 counterflow", st)
+	}
+	c.Setting = summary.SettingAttrDep
+	res, err = c.Check(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust {
+		t.Error("SQL-derived Auction should not be robust without foreign keys")
+	}
+}
+
+// TestSmallBankSQL translates a SQL rendering of SmallBank and checks the
+// derived BTPs produce the same maximal robust subsets as the hand-coded
+// benchmark (Figure 6).
+func TestSmallBankSQL(t *testing.T) {
+	schema := benchmarks.SmallBankSchema()
+	src := `
+PROGRAM Balance(:N):
+  SELECT CustomerId INTO :x FROM Account WHERE Name = :N;  -- q6
+  SELECT Balance INTO :a FROM Savings WHERE CustomerId = :x; -- q7
+  SELECT Balance + :a FROM Checking WHERE CustomerId = :x;   -- q8
+  COMMIT;
+
+PROGRAM DepositChecking(:N, :V):
+  SELECT CustomerId INTO :x FROM Account WHERE Name = :N;  -- q9
+  UPDATE Checking SET Balance = Balance + :V WHERE CustomerId = :x; -- q10
+  COMMIT;
+
+PROGRAM TransactSavings(:N, :V):
+  SELECT CustomerId INTO :x FROM Account WHERE Name = :N;  -- q11
+  UPDATE Savings SET Balance = Balance + :V WHERE CustomerId = :x; -- q12
+  COMMIT;
+`
+	programs, err := Parse(schema, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(programs) != 3 {
+		t.Fatalf("got %d programs", len(programs))
+	}
+	c := robust.NewChecker(schema)
+	// {Bal, DC} and {Bal, TS} robust; {Bal, DC, TS} not (Figure 6).
+	res, err := c.Check([]*btp.Program{programs[0], programs[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Robust {
+		t.Error("{Balance, DepositChecking} should be robust")
+	}
+	res, err = c.Check([]*btp.Program{programs[0], programs[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Robust {
+		t.Error("{Balance, TransactSavings} should be robust")
+	}
+	res, err = c.Check(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust {
+		t.Error("{Balance, DepositChecking, TransactSavings} should not be robust")
+	}
+}
+
+// TestRepeatLoop checks REPEAT/END REPEAT becomes a loop node unfolding to
+// 0, 1 and 2 iterations.
+func TestRepeatLoop(t *testing.T) {
+	schema := benchmarks.AuctionSchema()
+	src := `
+PROGRAM Poll(:B):
+  REPEAT
+    SELECT bid FROM Bids WHERE buyerId = :B; -- q1
+  END REPEAT;
+  COMMIT;
+`
+	prog, err := ParseProgram(schema, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltps := btp.Unfold2(prog)
+	if len(ltps) != 3 {
+		t.Fatalf("loop should unfold to 3 LTPs (0, 1, 2 iterations), got %d", len(ltps))
+	}
+	lens := []int{len(ltps[0].Stmts), len(ltps[1].Stmts), len(ltps[2].Stmts)}
+	if lens[0] != 0 || lens[1] != 1 || lens[2] != 2 {
+		t.Errorf("unfolding lengths = %v, want [0 1 2]", lens)
+	}
+}
+
+// TestParseErrors exercises diagnostic paths.
+func TestParseErrors(t *testing.T) {
+	schema := benchmarks.AuctionSchema()
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown relation", `PROGRAM P: SELECT x FROM Nope WHERE x = 1; COMMIT;`},
+		{"unknown attribute", `PROGRAM P: SELECT nope FROM Bids WHERE bid = 1; COMMIT;`},
+		{"bad fk pragma", "PROGRAM P:\n-- @fk q1 = nosuchfk(q2)\nSELECT bid FROM Bids WHERE buyerId = :B; -- q1\nSELECT bid FROM Bids WHERE buyerId = :C; -- q2\nCOMMIT;"},
+		{"unterminated string", `PROGRAM P: SELECT bid FROM Bids WHERE bid = 'x; COMMIT;`},
+		{"missing statement", `PROGRAM P: FROB x; COMMIT;`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(schema, tc.src); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

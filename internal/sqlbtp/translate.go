@@ -1,0 +1,512 @@
+package sqlbtp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// condInfo summarizes a WHERE clause for the key-based / predicate-based
+// decision of Appendix A.
+type condInfo struct {
+	// attrs are all attributes the condition mentions.
+	attrs relschema.AttrSet
+	// eqAttrs are the attributes bound by top-level conjunctive equality
+	// comparisons to attribute-free expressions.
+	eqAttrs relschema.AttrSet
+	// conjunctiveEq is true when the whole condition is a conjunction of
+	// such equality comparisons.
+	conjunctiveEq bool
+}
+
+// isKeyCondition reports whether the condition addresses exactly one tuple
+// via the primary key: a pure conjunction of equalities covering the key.
+func (c condInfo) isKeyCondition(rel *relschema.Relation) bool {
+	return c.conjunctiveEq && rel.Key.SubsetOf(c.eqAttrs)
+}
+
+// parseStatement parses one SQL statement into a labeled BTP statement.
+func (p *parser) parseStatement(progName string) (*btp.Stmt, error) {
+	p.skipDecorations(true)
+	t := p.cur()
+	var (
+		stmt *btp.Stmt
+		err  error
+	)
+	switch {
+	case p.acceptKeyword("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.acceptKeyword("UPDATE"):
+		stmt, err = p.parseUpdate()
+	case p.acceptKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	case p.acceptKeyword("DELETE"):
+		stmt, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("sqlbtp: line %d: expected statement, found %q", t.line, t.text)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sqlbtp: program %s: %w", progName, err)
+	}
+	_ = p.acceptPunct(";")
+	// A label comment may follow the statement on the same line.
+	p.skipDecorations(true)
+	label, err := p.takeLabel()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = label
+	return stmt, nil
+}
+
+// parseSelect parses SELECT <exprs> [INTO :v, ...] FROM rel WHERE cond.
+func (p *parser) parseSelect() (*btp.Stmt, error) {
+	var readAttrs []string
+	star := false
+	// Select list: expressions separated by commas, optionally followed by
+	// INTO :params, until FROM.
+	for {
+		if p.acceptPunct("*") {
+			star = true
+		} else {
+			attrs, err := p.parseExprAttrs([]string{"FROM", "INTO"})
+			if err != nil {
+				return nil, err
+			}
+			readAttrs = append(readAttrs, attrs...)
+		}
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("INTO") {
+		for {
+			p.skipDecorations(false)
+			if p.cur().kind == tokParam {
+				p.pos++
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	relName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	rel := p.schema.Relation(relName)
+	if rel == nil {
+		return nil, fmt.Errorf("unknown relation %q", relName)
+	}
+	if star {
+		readAttrs = rel.Attrs.Sorted()
+	}
+	for _, a := range readAttrs {
+		if !rel.Attrs.Has(a) {
+			return nil, fmt.Errorf("relation %s has no attribute %q", relName, a)
+		}
+	}
+	cond, err := p.parseWhere(rel)
+	if err != nil {
+		return nil, err
+	}
+	if cond.isKeyCondition(rel) {
+		return &btp.Stmt{Type: btp.KeySel, Rel: relName, ReadSet: btp.Attrs(readAttrs...)}, nil
+	}
+	return &btp.Stmt{
+		Type: btp.PredSel, Rel: relName,
+		ReadSet:  btp.Attrs(readAttrs...),
+		PReadSet: btp.AttrsOf(cond.attrs),
+	}, nil
+}
+
+// parseUpdate parses UPDATE rel SET a = expr, ... WHERE cond
+// [RETURNING exprs [INTO :v, ...]].
+func (p *parser) parseUpdate() (*btp.Stmt, error) {
+	relName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	rel := p.schema.Relation(relName)
+	if rel == nil {
+		return nil, fmt.Errorf("unknown relation %q", relName)
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	var writeAttrs, readAttrs []string
+	for {
+		target, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !rel.Attrs.Has(target) {
+			return nil, fmt.Errorf("relation %s has no attribute %q", relName, target)
+		}
+		writeAttrs = append(writeAttrs, target)
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		attrs, err := p.parseExprAttrs([]string{"WHERE", "RETURNING"})
+		if err != nil {
+			return nil, err
+		}
+		readAttrs = append(readAttrs, attrs...)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	cond, err := p.parseWhere(rel)
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("RETURNING") {
+		for {
+			attrs, err := p.parseExprAttrs([]string{"INTO"})
+			if err != nil {
+				return nil, err
+			}
+			readAttrs = append(readAttrs, attrs...)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if p.acceptKeyword("INTO") {
+			for {
+				p.skipDecorations(false)
+				if p.cur().kind == tokParam {
+					p.pos++
+				}
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+	}
+	for _, a := range readAttrs {
+		if !rel.Attrs.Has(a) {
+			return nil, fmt.Errorf("relation %s has no attribute %q", relName, a)
+		}
+	}
+	if cond.isKeyCondition(rel) {
+		return &btp.Stmt{
+			Type: btp.KeyUpd, Rel: relName,
+			ReadSet:  btp.Attrs(readAttrs...),
+			WriteSet: btp.Attrs(writeAttrs...),
+		}, nil
+	}
+	return &btp.Stmt{
+		Type: btp.PredUpd, Rel: relName,
+		ReadSet:  btp.Attrs(readAttrs...),
+		WriteSet: btp.Attrs(writeAttrs...),
+		PReadSet: btp.AttrsOf(cond.attrs),
+	}, nil
+}
+
+// parseInsert parses INSERT INTO rel [(cols)] VALUES (exprs).
+func (p *parser) parseInsert() (*btp.Stmt, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	relName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	rel := p.schema.Relation(relName)
+	if rel == nil {
+		return nil, fmt.Errorf("unknown relation %q", relName)
+	}
+	var cols []string
+	if p.acceptPunct("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if !rel.Attrs.Has(col) {
+				return nil, fmt.Errorf("relation %s has no attribute %q", relName, col)
+			}
+			cols = append(cols, col)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	depth := 1
+	for depth > 0 {
+		p.skipDecorations(false)
+		t := p.cur()
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("unterminated VALUES list for relation %s", relName)
+		}
+		if t.kind == tokPunct {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+		}
+		p.pos++
+	}
+	ws := btp.AttrsOf(rel.Attrs.Clone())
+	if len(cols) > 0 {
+		ws = btp.Attrs(cols...)
+	}
+	return &btp.Stmt{Type: btp.Ins, Rel: relName, WriteSet: ws}, nil
+}
+
+// parseDelete parses DELETE FROM rel WHERE cond.
+func (p *parser) parseDelete() (*btp.Stmt, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	relName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	rel := p.schema.Relation(relName)
+	if rel == nil {
+		return nil, fmt.Errorf("unknown relation %q", relName)
+	}
+	cond, err := p.parseWhere(rel)
+	if err != nil {
+		return nil, err
+	}
+	ws := btp.AttrsOf(rel.Attrs.Clone())
+	if cond.isKeyCondition(rel) {
+		return &btp.Stmt{Type: btp.KeyDel, Rel: relName, WriteSet: ws}, nil
+	}
+	return &btp.Stmt{Type: btp.PredDel, Rel: relName, WriteSet: ws, PReadSet: btp.AttrsOf(cond.attrs)}, nil
+}
+
+// parseWhere parses the WHERE clause of a statement over rel.
+func (p *parser) parseWhere(rel *relschema.Relation) (condInfo, error) {
+	if !p.acceptKeyword("WHERE") {
+		// No WHERE clause: a full-relation predicate over no attributes.
+		return condInfo{attrs: relschema.NewAttrSet()}, nil
+	}
+	return p.parseOr(rel)
+}
+
+// parseOr parses a disjunction.
+func (p *parser) parseOr(rel *relschema.Relation) (condInfo, error) {
+	left, err := p.parseAnd(rel)
+	if err != nil {
+		return condInfo{}, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd(rel)
+		if err != nil {
+			return condInfo{}, err
+		}
+		left = condInfo{attrs: left.attrs.Union(right.attrs)}
+	}
+	return left, nil
+}
+
+// parseAnd parses a conjunction, tracking equality bindings.
+func (p *parser) parseAnd(rel *relschema.Relation) (condInfo, error) {
+	left, err := p.parseComparison(rel)
+	if err != nil {
+		return condInfo{}, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseComparison(rel)
+		if err != nil {
+			return condInfo{}, err
+		}
+		left = condInfo{
+			attrs:         left.attrs.Union(right.attrs),
+			eqAttrs:       left.eqAttrs.Union(right.eqAttrs),
+			conjunctiveEq: left.conjunctiveEq && right.conjunctiveEq,
+		}
+	}
+	return left, nil
+}
+
+// parseComparison parses "<expr> <op> <expr>" or a parenthesized condition.
+func (p *parser) parseComparison(rel *relschema.Relation) (condInfo, error) {
+	if p.acceptPunct("(") {
+		inner, err := p.parseOr(rel)
+		if err != nil {
+			return condInfo{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return condInfo{}, err
+		}
+		return inner, nil
+	}
+	leftAttrs, err := p.parseOperandAttrs(rel)
+	if err != nil {
+		return condInfo{}, err
+	}
+	p.skipDecorations(false)
+	t := p.cur()
+	ops := map[string]bool{"=": true, "<": true, ">": true, "<=": true, ">=": true, "<>": true, "!=": true}
+	if t.kind != tokPunct || !ops[t.text] {
+		return condInfo{}, fmt.Errorf("line %d: expected comparison operator, found %q", t.line, t.text)
+	}
+	op := t.text
+	p.pos++
+	rightAttrs, err := p.parseOperandAttrs(rel)
+	if err != nil {
+		return condInfo{}, err
+	}
+	info := condInfo{attrs: relschema.NewAttrSet(append(leftAttrs, rightAttrs...)...)}
+	// Equality binding attr = attr-free-expr (or symmetric).
+	if op == "=" {
+		switch {
+		case len(leftAttrs) == 1 && len(rightAttrs) == 0:
+			info.eqAttrs = relschema.NewAttrSet(leftAttrs[0])
+			info.conjunctiveEq = true
+		case len(rightAttrs) == 1 && len(leftAttrs) == 0:
+			info.eqAttrs = relschema.NewAttrSet(rightAttrs[0])
+			info.conjunctiveEq = true
+		}
+	}
+	return info, nil
+}
+
+// parseOperandAttrs parses one side of a comparison: an additive expression
+// over attributes, parameters and literals; returns the attributes used.
+func (p *parser) parseOperandAttrs(rel *relschema.Relation) ([]string, error) {
+	var attrs []string
+	expectOperand := true
+	for {
+		p.skipDecorations(false)
+		t := p.cur()
+		if expectOperand {
+			switch {
+			case t.kind == tokIdent && rel.Attrs.Has(t.text):
+				attrs = append(attrs, t.text)
+				p.pos++
+			case t.kind == tokIdent:
+				// Function call or keyword: functions are followed by '('.
+				if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+					p.pos += 2
+					depth := 1
+					for depth > 0 {
+						tt := p.cur()
+						if tt.kind == tokEOF {
+							return nil, fmt.Errorf("line %d: unterminated call", t.line)
+						}
+						if tt.kind == tokPunct {
+							if tt.text == "(" {
+								depth++
+							} else if tt.text == ")" {
+								depth--
+							}
+						}
+						if tt.kind == tokIdent && rel.Attrs.Has(tt.text) {
+							attrs = append(attrs, tt.text)
+						}
+						p.pos++
+					}
+				} else {
+					return nil, fmt.Errorf("line %d: %q is not an attribute of %s", t.line, t.text, rel.Name)
+				}
+			case t.kind == tokParam || t.kind == tokNumber || t.kind == tokString:
+				p.pos++
+			case t.kind == tokPunct && t.text == "(":
+				p.pos++
+				inner, err := p.parseOperandAttrs(rel)
+				if err != nil {
+					return nil, err
+				}
+				attrs = append(attrs, inner...)
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			case t.kind == tokPunct && t.text == "-":
+				p.pos++
+				continue // unary minus
+			default:
+				return nil, fmt.Errorf("line %d: expected operand, found %q", t.line, t.text)
+			}
+			expectOperand = false
+			continue
+		}
+		// After an operand: continue on arithmetic operators.
+		if t.kind == tokPunct && strings.ContainsRune("+-*/", rune(t.text[0])) && len(t.text) == 1 {
+			p.pos++
+			expectOperand = true
+			continue
+		}
+		return attrs, nil
+	}
+}
+
+// parseExprAttrs parses an expression (select item, SET value) and returns
+// the attributes it references. stops lists keywords that terminate the
+// expression at top level.
+func (p *parser) parseExprAttrs(stops []string) ([]string, error) {
+	// Reuse parseOperandAttrs against a synthetic relation view: we don't
+	// know the relation yet for SELECT items (the FROM clause follows), so
+	// expressions in select lists are restricted to identifiers that will
+	// be validated against the relation afterwards.
+	var attrs []string
+	depth := 0
+	for {
+		p.skipDecorations(false)
+		t := p.cur()
+		if t.kind == tokEOF {
+			return attrs, nil
+		}
+		if t.kind == tokIdent && depth == 0 {
+			stop := false
+			for _, s := range stops {
+				if strings.EqualFold(t.text, s) {
+					stop = true
+					break
+				}
+			}
+			if stop {
+				return attrs, nil
+			}
+		}
+		if t.kind == tokPunct {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				if depth == 0 {
+					return attrs, nil
+				}
+				depth--
+			case ",", ";":
+				if depth == 0 {
+					return attrs, nil
+				}
+			}
+		}
+		if t.kind == tokIdent {
+			// Identifiers that are not function calls count as attribute
+			// references; validation against the relation happens in the
+			// caller.
+			isCall := p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "("
+			if !isCall {
+				attrs = append(attrs, t.text)
+			}
+		}
+		p.pos++
+	}
+}

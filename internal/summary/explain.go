@@ -1,0 +1,110 @@
+package summary
+
+import (
+	"sort"
+
+	"repro/internal/btp"
+)
+
+// DependencyKind names the five dependency kinds of Section 3.4 at the
+// summary level. (The schedule-level counterpart lives in internal/seg;
+// the two packages are deliberately independent.)
+type DependencyKind string
+
+// Dependency kinds.
+const (
+	DepWW     DependencyKind = "ww"
+	DepWR     DependencyKind = "wr"
+	DepRW     DependencyKind = "rw"
+	DepPredWR DependencyKind = "pred-wr"
+	DepPredRW DependencyKind = "pred-rw"
+)
+
+// PossibleKinds explains a summary edge: the dependency kinds that
+// instantiations of its two statements can realize, given the edge's class
+// and the analysis setting the graph was built under. It refines the
+// yes/no information of Algorithm 1 for diagnostics and graph rendering.
+func (g *Graph) PossibleKinds(e Edge) []DependencyKind {
+	qi, qj := e.FromStmt.Stmt, e.ToStmt.Stmt
+	gran := g.Setting.Granularity
+	ws := func(q *btp.Stmt) btp.OptAttrs { return effectiveSet(gran, g.schema, q.Rel, q.WriteSet) }
+	rs := func(q *btp.Stmt) btp.OptAttrs { return effectiveSet(gran, g.schema, q.Rel, q.ReadSet) }
+	prs := func(q *btp.Stmt) btp.OptAttrs { return effectiveSet(gran, g.schema, q.Rel, q.PReadSet) }
+
+	// Which operation shapes do instantiations of each statement expose?
+	writes := func(q *btp.Stmt) bool { return q.Type.HasWrite() }
+	// insertsOrDeletes: write ops that need no attribute overlap for
+	// predicate dependencies.
+	insOrDel := func(q *btp.Stmt) bool {
+		switch q.Type {
+		case btp.Ins, btp.KeyDel, btp.PredDel:
+			return true
+		default:
+			return false
+		}
+	}
+	reads := func(q *btp.Stmt) bool {
+		return q.Type == btp.KeySel || q.Type == btp.PredSel || q.Type == btp.KeyUpd || q.Type == btp.PredUpd
+	}
+	predReads := func(q *btp.Stmt) bool { return q.Type.IsPredBased() }
+	// D-operations cannot be ww sources (the dead version is last) and
+	// neither D nor I can be wr sources/ww in certain positions; encode
+	// the schedule-level restrictions:
+	wwSource := func(q *btp.Stmt) bool { // can install a non-final version
+		switch q.Type {
+		case btp.Ins, btp.KeyUpd, btp.PredUpd:
+			return true
+		default:
+			return false
+		}
+	}
+	wwTarget := func(q *btp.Stmt) bool { // can install a non-first version
+		switch q.Type {
+		case btp.KeyUpd, btp.PredUpd, btp.KeyDel, btp.PredDel:
+			return true
+		default:
+			return false
+		}
+	}
+
+	set := map[DependencyKind]bool{}
+	if e.Class == NonCounterflow {
+		if wwSource(qi) && wwTarget(qj) && ws(qi).Intersects(ws(qj)) {
+			set[DepWW] = true
+		}
+		if wwSource(qi) && reads(qj) && ws(qi).Intersects(rs(qj)) {
+			set[DepWR] = true
+		}
+		if reads(qi) && wwTarget(qj) && rs(qi).Intersects(ws(qj)) {
+			set[DepRW] = true
+		}
+		if writes(qi) && predReads(qj) && (insOrDel(qi) || ws(qi).Intersects(prs(qj))) {
+			set[DepPredWR] = true
+		}
+		if predReads(qi) && writes(qj) && (insOrDel(qj) || prs(qi).Intersects(ws(qj))) {
+			set[DepPredRW] = true
+		}
+	} else {
+		// Lemma 4.1: only (predicate) rw-antidependencies can be
+		// counterflow. The read half of an atomic update cannot be a
+		// counterflow source (its own write would be a dirty write), so
+		// only pure selections qualify for plain rw — and matching
+		// foreign-key annotations rule the plain rw out, exactly as in
+		// cDepConds.
+		if (qi.Type == btp.KeySel || qi.Type == btp.PredSel) && wwTarget(qj) && rs(qi).Intersects(ws(qj)) {
+			b := &builder{setting: g.Setting, schema: g.schema}
+			if !(g.Setting.UseForeignKeys && b.fkSuppressed(e.From, e.FromStmt, e.To, e.ToStmt)) {
+				set[DepRW] = true
+			}
+		}
+		if predReads(qi) && writes(qj) && (insOrDel(qj) || prs(qi).Intersects(ws(qj))) {
+			set[DepPredRW] = true
+		}
+	}
+	out := make([]DependencyKind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

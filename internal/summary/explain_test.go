@@ -1,0 +1,110 @@
+package summary
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+)
+
+// TestPossibleKindsAuction spot-checks edge explanations on the running
+// example's summary graph.
+func TestPossibleKindsAuction(t *testing.T) {
+	b := benchmarks.Auction()
+	g := Build(b.Schema, btp.UnfoldAll2(b.Programs), SettingAttrDepFK)
+
+	find := func(from, fromStmt, toStmt, to string, class EdgeClass) *Edge {
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			if e.From.Name == from && e.To.Name == to && e.Class == class &&
+				e.FromStmt.Stmt.Name == fromStmt && e.ToStmt.Stmt.Name == toStmt {
+				return e
+			}
+		}
+		return nil
+	}
+
+	// The single counterflow edge FindBids q2 -> PlaceBid1 q5 can be a
+	// predicate rw-antidependency (PR3[Bids] -> W2[u1] in Figure 3) or a
+	// plain rw-antidependency from the chunk's row read (R3[u1] -> W2[u1]
+	// in Figure 3); FindBids carries no FK annotation on q2, so the plain
+	// rw is not suppressed.
+	e := find("FindBids", "q2", "q5", "PlaceBid1", Counterflow)
+	if e == nil {
+		t.Fatal("missing counterflow edge q2 -> q5")
+	}
+	kinds := g.PossibleKinds(*e)
+	if len(kinds) != 2 || kinds[0] != DepPredRW || kinds[1] != DepRW {
+		t.Errorf("counterflow q2->q5 kinds = %v, want [pred-rw rw]", kinds)
+	}
+
+	// The Buyer key-update self-pairs admit ww, wr and rw (read and write
+	// halves of the two atomic updates interact in every combination).
+	e = find("FindBids", "q1", "q3", "PlaceBid1", NonCounterflow)
+	if e == nil {
+		t.Fatal("missing edge q1 -> q3")
+	}
+	kinds = g.PossibleKinds(*e)
+	want := map[DependencyKind]bool{DepWW: true, DepWR: true, DepRW: true}
+	if len(kinds) != len(want) {
+		t.Fatalf("q1->q3 kinds = %v", kinds)
+	}
+	for _, k := range kinds {
+		if !want[k] {
+			t.Errorf("unexpected kind %s for q1->q3", k)
+		}
+	}
+
+	// PlaceBid1's update of Bids feeding FindBids' predicate selection:
+	// wr through the read half and pred-wr through the predicate read.
+	e = find("PlaceBid1", "q5", "q2", "FindBids", NonCounterflow)
+	if e == nil {
+		t.Fatal("missing edge q5 -> q2")
+	}
+	kinds = g.PossibleKinds(*e)
+	want = map[DependencyKind]bool{DepWR: true, DepPredWR: true}
+	if len(kinds) != len(want) {
+		t.Fatalf("q5->q2 kinds = %v", kinds)
+	}
+	for _, k := range kinds {
+		if !want[k] {
+			t.Errorf("unexpected kind %s for q5->q2", k)
+		}
+	}
+}
+
+// TestPossibleKindsNeverEmpty: every edge Algorithm 1 constructs must be
+// explainable by at least one dependency kind — otherwise the edge (or the
+// explainer) is wrong. Checked across every benchmark and setting.
+func TestPossibleKindsNeverEmpty(t *testing.T) {
+	for _, b := range []*benchmarks.Benchmark{
+		benchmarks.SmallBank(), benchmarks.TPCC(), benchmarks.Auction(), benchmarks.AuctionN(2),
+	} {
+		ltps := btp.UnfoldAll2(b.Programs)
+		for _, setting := range AllSettings {
+			g := Build(b.Schema, ltps, setting)
+			for _, e := range g.Edges {
+				if len(g.PossibleKinds(e)) == 0 {
+					t.Errorf("%s/%s: edge %s has no explaining dependency kind", b.Name, setting, e)
+				}
+			}
+		}
+	}
+}
+
+// TestCounterflowKindsAreAntidependencies: Lemma 4.1 at the explanation
+// level — counterflow edges are explained only by rw / pred-rw.
+func TestCounterflowKindsAreAntidependencies(t *testing.T) {
+	b := benchmarks.TPCC()
+	g := Build(b.Schema, btp.UnfoldAll2(b.Programs), SettingAttrDepFK)
+	for _, e := range g.Edges {
+		if e.Class != Counterflow {
+			continue
+		}
+		for _, k := range g.PossibleKinds(e) {
+			if k != DepRW && k != DepPredRW {
+				t.Errorf("counterflow edge %s explained by %s", e, k)
+			}
+		}
+	}
+}

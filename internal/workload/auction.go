@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/benchmarks"
+	"repro/internal/mvcc"
+)
+
+// AuctionConfig sizes the auction database of the running example.
+type AuctionConfig struct {
+	// Buyers is the number of potential buyers (each with a current bid).
+	Buyers int
+}
+
+// DefaultAuction is a small contended configuration.
+var DefaultAuction = AuctionConfig{Buyers: 4}
+
+// NewAuctionEngine creates and loads the auction database of Section 2.
+func NewAuctionEngine(cfg AuctionConfig) *mvcc.Engine {
+	if cfg.Buyers <= 0 {
+		cfg = DefaultAuction
+	}
+	e := mvcc.NewEngine(benchmarks.AuctionSchema())
+	for i := 0; i < cfg.Buyers; i++ {
+		id := fmt.Sprintf("b%d", i)
+		e.MustLoad("Buyer", id, mvcc.Value{"id": id, "calls": 0})
+		e.MustLoad("Bids", id, mvcc.Value{"buyerId": id, "bid": 10 * (i + 1)})
+	}
+	return e
+}
+
+// AuctionMix builds the two programs of Figure 1 — FindBids(B, T) and
+// PlaceBid(B, V) — as executable transactions.
+func AuctionMix(cfg AuctionConfig) Mix {
+	if cfg.Buyers <= 0 {
+		cfg = DefaultAuction
+	}
+	var logSeq int64 // unique log ids; coarse but sufficient for a demo
+	findBids := Program{Name: "FindBids", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		buyer := fmt.Sprintf("b%d", rng.Intn(cfg.Buyers))
+		threshold := rng.Intn(100)
+		// q1: UPDATE Buyer SET calls = calls + 1 WHERE id = :B
+		err := txn.UpdateKey("Buyer", buyer, []string{"calls"}, []string{"calls"}, func(row mvcc.Value) mvcc.Value {
+			row["calls"] = row["calls"].(int) + 1
+			return row
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		// q2: SELECT bid FROM Bids WHERE bid >= :T
+		_, err = txn.SelectWhere("Bids", []string{"bid"}, []string{"bid"}, func(row mvcc.Value) bool {
+			return row["bid"].(int) >= threshold
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	placeBid := Program{Name: "PlaceBid", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		buyer := fmt.Sprintf("b%d", rng.Intn(cfg.Buyers))
+		bid := rng.Intn(120)
+		// q3: UPDATE Buyer SET calls = calls + 1 WHERE id = :B
+		err := txn.UpdateKey("Buyer", buyer, []string{"calls"}, []string{"calls"}, func(row mvcc.Value) mvcc.Value {
+			row["calls"] = row["calls"].(int) + 1
+			return row
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		// q4: SELECT bid INTO :C FROM Bids WHERE buyerId = :B
+		cur, err := txn.ReadKey("Bids", buyer, "bid")
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		// q5 (conditional): IF :C < :V UPDATE Bids SET bid = :V
+		if cur["bid"].(int) < bid {
+			err = txn.UpdateKey("Bids", buyer, nil, []string{"bid"}, func(row mvcc.Value) mvcc.Value {
+				row["bid"] = bid
+				return row
+			})
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+		}
+		// q6: INSERT INTO Log VALUES (:logId, :B, :V)
+		logID := fmt.Sprintf("l%d-%d", txn.ID(), atomic.AddInt64(&logSeq, 1))
+		if err := txn.Insert("Log", logID, mvcc.Value{"id": logID, "buyerId": buyer, "bid": bid}); err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	return Mix{Programs: []Program{findBids, placeBid}}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mvcc"
+)
+
+// TestSnapshotIsolationRuns exercises the SI path of the engine under the
+// full SmallBank mix: first-committer-wins must abort conflicting writers,
+// and the run must complete without harness errors.
+func TestSnapshotIsolationRuns(t *testing.T) {
+	cfg := SmallBankConfig{Customers: 1, InitialBalance: 1000}
+	e := NewSmallBankEngine(cfg)
+	res, err := Run(e, SmallBankMix(cfg), RunOptions{
+		Transactions: 200, Workers: 8, Isolation: mvcc.SnapshotIsolation,
+		Seed: 3, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("nothing committed under SI")
+	}
+	if res.Aborts == 0 {
+		t.Fatal("a contended SI run should abort some first-committer-wins losers")
+	}
+}
+
+// TestMoneyConservationRobustSubsetUnderRC: because {Am, DC, TS} is robust,
+// running it under plain Read Committed must preserve the semantic
+// invariant that deposits sum correctly — every execution is equivalent to
+// a serial one. Amalgamate moves money, DepositChecking and
+// TransactSavings add known amounts; the final total must equal the
+// initial total plus all committed deposits. We verify the weaker but
+// still meaningful invariant that no money is created or destroyed by
+// Amalgamate alone.
+func TestMoneyConservationRobustSubsetUnderRC(t *testing.T) {
+	cfg := SmallBankConfig{Customers: 3, InitialBalance: 100}
+	e := NewSmallBankEngine(cfg)
+	mix, err := SmallBankSubsetMix(cfg, "Am")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(e, mix, RunOptions{
+		Transactions: 150, Workers: 8, Isolation: mvcc.ReadCommitted, Seed: 11,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < cfg.Customers; i++ {
+		id := string(rune('0' + i))
+		if v, ok := e.ReadCommittedValue("Savings", id); ok {
+			total += v["Balance"].(int)
+		}
+		if v, ok := e.ReadCommittedValue("Checking", id); ok {
+			total += v["Balance"].(int)
+		}
+	}
+	want := 2 * cfg.Customers * cfg.InitialBalance
+	if total != want {
+		t.Fatalf("Amalgamate-only workload changed the total: %d, want %d", total, want)
+	}
+}
+
+// TestRecorderDropsAborted: aborted transactions must not appear in the
+// recorded schedule.
+func TestRecorderDropsAborted(t *testing.T) {
+	cfg := SmallBankConfig{Customers: 1, InitialBalance: 100}
+	e := NewSmallBankEngine(cfg)
+	res, err := Run(e, SmallBankMix(cfg), RunOptions{
+		Transactions: 150, Workers: 8, Isolation: mvcc.ReadCommitted,
+		Seed: 5, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts == 0 {
+		t.Skip("no aborts this run; nothing to check")
+	}
+	if int64(len(res.Schedule.Txns)) != res.Commits {
+		t.Fatalf("recorded %d transactions, committed %d", len(res.Schedule.Txns), res.Commits)
+	}
+	for _, txn := range res.Schedule.Txns {
+		if txn.CommitOp() == nil {
+			t.Fatalf("recorded transaction %d lacks a commit", txn.ID)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/benchmarks"
+	"repro/internal/mvcc"
+)
+
+// SmallBankConfig sizes the SmallBank database.
+type SmallBankConfig struct {
+	// Customers is the number of customer accounts.
+	Customers int
+	// InitialBalance seeds each savings/checking balance.
+	InitialBalance int
+}
+
+// DefaultSmallBank is a small contended configuration.
+var DefaultSmallBank = SmallBankConfig{Customers: 5, InitialBalance: 1000}
+
+// NewSmallBankEngine creates and loads a SmallBank database.
+func NewSmallBankEngine(cfg SmallBankConfig) *mvcc.Engine {
+	if cfg.Customers <= 0 {
+		cfg = DefaultSmallBank
+	}
+	e := mvcc.NewEngine(benchmarks.SmallBankSchema())
+	for i := 0; i < cfg.Customers; i++ {
+		name := fmt.Sprintf("cust%d", i)
+		id := fmt.Sprintf("%d", i)
+		e.MustLoad("Account", name, mvcc.Value{"Name": name, "CustomerId": id})
+		e.MustLoad("Savings", id, mvcc.Value{"CustomerId": id, "Balance": cfg.InitialBalance})
+		e.MustLoad("Checking", id, mvcc.Value{"CustomerId": id, "Balance": cfg.InitialBalance})
+	}
+	return e
+}
+
+// lookupCustomer performs the Account key selection shared by every
+// SmallBank program and returns the customer id.
+func lookupCustomer(txn *mvcc.Txn, name string) (string, error) {
+	v, err := txn.ReadKey("Account", name, "CustomerId")
+	if err != nil {
+		return "", err
+	}
+	return v["CustomerId"].(string), nil
+}
+
+func randomCustomer(cfg SmallBankConfig, rng *rand.Rand) string {
+	return fmt.Sprintf("cust%d", rng.Intn(cfg.Customers))
+}
+
+// SmallBankMix builds the five SmallBank programs as executable
+// transactions over a database of the given configuration. The program
+// bodies follow the SQL of Figure 9 statement by statement.
+func SmallBankMix(cfg SmallBankConfig) Mix {
+	if cfg.Customers <= 0 {
+		cfg = DefaultSmallBank
+	}
+	balance := Program{Name: "Balance", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		id, err := lookupCustomer(txn, randomCustomer(cfg, rng))
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		if _, err := txn.ReadKey("Savings", id, "Balance"); err != nil {
+			return AbortOn(txn, err)
+		}
+		if _, err := txn.ReadKey("Checking", id, "Balance"); err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	depositChecking := Program{Name: "DepositChecking", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		id, err := lookupCustomer(txn, randomCustomer(cfg, rng))
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		v := 1 + rng.Intn(100)
+		err = txn.UpdateKey("Checking", id, []string{"Balance"}, []string{"Balance"}, func(row mvcc.Value) mvcc.Value {
+			row["Balance"] = row["Balance"].(int) + v
+			return row
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	transactSavings := Program{Name: "TransactSavings", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		id, err := lookupCustomer(txn, randomCustomer(cfg, rng))
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		v := 1 + rng.Intn(100)
+		err = txn.UpdateKey("Savings", id, []string{"Balance"}, []string{"Balance"}, func(row mvcc.Value) mvcc.Value {
+			row["Balance"] = row["Balance"].(int) + v
+			return row
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	amalgamate := Program{Name: "Amalgamate", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		n1 := randomCustomer(cfg, rng)
+		n2 := randomCustomer(cfg, rng)
+		if n1 == n2 {
+			n2 = fmt.Sprintf("cust%d", (rng.Intn(cfg.Customers)+1)%cfg.Customers)
+		}
+		x1, err := lookupCustomer(txn, n1)
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		x2, err := lookupCustomer(txn, n2)
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		total := 0
+		err = txn.UpdateKey("Savings", x1, []string{"Balance"}, []string{"Balance"}, func(row mvcc.Value) mvcc.Value {
+			total += row["Balance"].(int)
+			row["Balance"] = 0
+			return row
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		err = txn.UpdateKey("Checking", x1, []string{"Balance"}, []string{"Balance"}, func(row mvcc.Value) mvcc.Value {
+			total += row["Balance"].(int)
+			row["Balance"] = 0
+			return row
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		err = txn.UpdateKey("Checking", x2, []string{"Balance"}, []string{"Balance"}, func(row mvcc.Value) mvcc.Value {
+			row["Balance"] = row["Balance"].(int) + total
+			return row
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	writeCheck := Program{Name: "WriteCheck", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		id, err := lookupCustomer(txn, randomCustomer(cfg, rng))
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		sv, err := txn.ReadKey("Savings", id, "Balance")
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		cv, err := txn.ReadKey("Checking", id, "Balance")
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		amount := 1 + rng.Intn(100)
+		if sv["Balance"].(int)+cv["Balance"].(int) < amount {
+			amount++ // overdraft penalty
+		}
+		newBalance := cv["Balance"].(int) - amount
+		// Figure 10 models the final update as a blind write (ReadSet = {}):
+		// the new balance is computed from the earlier reads.
+		err = txn.UpdateKey("Checking", id, nil, []string{"Balance"}, func(row mvcc.Value) mvcc.Value {
+			row["Balance"] = newBalance
+			return row
+		})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	return Mix{Programs: []Program{amalgamate, balance, depositChecking, transactSavings, writeCheck}}
+}
+
+// SmallBankSubsetMix restricts the mix to the named programs (by
+// abbreviation or full name), e.g. "Am", "DC", "TS".
+func SmallBankSubsetMix(cfg SmallBankConfig, names ...string) (Mix, error) {
+	full := SmallBankMix(cfg)
+	abbrev := map[string]string{
+		"Am": "Amalgamate", "Bal": "Balance", "DC": "DepositChecking",
+		"TS": "TransactSavings", "WC": "WriteCheck",
+	}
+	var out Mix
+	for _, n := range names {
+		if f, ok := abbrev[n]; ok {
+			n = f
+		}
+		found := false
+		for _, p := range full.Programs {
+			if p.Name == n {
+				out.Programs = append(out.Programs, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Mix{}, fmt.Errorf("workload: unknown SmallBank program %q", n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,471 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/benchmarks"
+	"repro/internal/mvcc"
+)
+
+// TPCCConfig sizes the TPC-C database. The paper's analysis is
+// configuration-independent (Section 7.1); small values maximize contention
+// for the anomaly demonstrations.
+type TPCCConfig struct {
+	Warehouses        int
+	DistrictsPerWH    int
+	CustomersPerDist  int
+	Items             int
+	InitialOrders     int // pre-loaded open orders per district
+	MaxOrderLines     int // order lines per NewOrder (1..MaxOrderLines)
+	PaymentByName     int // percent of Payments selecting customer by last name
+	CustomerBadCredit int // percent of customers with "BC" credit
+}
+
+// DefaultTPCC is a tiny contended configuration.
+var DefaultTPCC = TPCCConfig{
+	Warehouses: 1, DistrictsPerWH: 2, CustomersPerDist: 3, Items: 5,
+	InitialOrders: 2, MaxOrderLines: 3, PaymentByName: 40, CustomerBadCredit: 30,
+}
+
+func (c TPCCConfig) normalize() TPCCConfig {
+	if c.Warehouses <= 0 {
+		c = DefaultTPCC
+	}
+	if c.MaxOrderLines <= 0 {
+		c.MaxOrderLines = 3
+	}
+	return c
+}
+
+// Key helpers (composite primary keys encoded as strings).
+func wKey(w int) string           { return fmt.Sprintf("%d", w) }
+func dKey(w, d int) string        { return fmt.Sprintf("%d/%d", w, d) }
+func cKey(w, d, c int) string     { return fmt.Sprintf("%d/%d/%d", w, d, c) }
+func iKey(i int) string           { return fmt.Sprintf("%d", i) }
+func sKey(w, i int) string        { return fmt.Sprintf("%d/%d", w, i) }
+func oKey(w, d, o int) string     { return fmt.Sprintf("%d/%d/%d", w, d, o) }
+func olKey(w, d, o, n int) string { return fmt.Sprintf("%d/%d/%d/%d", w, d, o, n) }
+func custLast(c int) string       { return fmt.Sprintf("LAST%d", c%3) } // shared last names
+func noKey(w, d, o int) string    { return oKey(w, d, o) }
+
+// NewTPCCEngine creates and loads a TPC-C database.
+func NewTPCCEngine(cfg TPCCConfig) *mvcc.Engine {
+	cfg = cfg.normalize()
+	e := mvcc.NewEngine(benchmarks.TPCCSchema())
+	for w := 1; w <= cfg.Warehouses; w++ {
+		e.MustLoad("Warehouse", wKey(w), mvcc.Value{
+			"w_id": w, "w_name": fmt.Sprintf("W%d", w), "w_street_1": "s1", "w_street_2": "s2",
+			"w_city": "city", "w_state": "ST", "w_zip": "00000", "w_tax": 5, "w_ytd": 0,
+		})
+		for d := 1; d <= cfg.DistrictsPerWH; d++ {
+			e.MustLoad("District", dKey(w, d), mvcc.Value{
+				"d_id": d, "d_w_id": w, "d_name": fmt.Sprintf("D%d", d), "d_street_1": "s1",
+				"d_street_2": "s2", "d_city": "city", "d_state": "ST", "d_zip": "00000",
+				"d_tax": 7, "d_ytd": 0, "d_next_o_id": cfg.InitialOrders + 1,
+			})
+			for c := 1; c <= cfg.CustomersPerDist; c++ {
+				credit := "GC"
+				if c*100/cfg.CustomersPerDist <= cfg.CustomerBadCredit {
+					credit = "BC"
+				}
+				e.MustLoad("Customer", cKey(w, d, c), mvcc.Value{
+					"c_id": c, "c_d_id": d, "c_w_id": w, "c_first": fmt.Sprintf("F%d", c),
+					"c_middle": "OE", "c_last": custLast(c), "c_street_1": "s1", "c_street_2": "s2",
+					"c_city": "city", "c_state": "ST", "c_zip": "00000", "c_phone": "555",
+					"c_since": 0, "c_credit": credit, "c_credit_lim": 50000, "c_discount": 4,
+					"c_balance": 0, "c_ytd_payment": 0, "c_payment_cnt": 0, "c_delivery_cnt": 0,
+					"c_data": "data",
+				})
+			}
+			// Pre-load open orders with one line each.
+			for o := 1; o <= cfg.InitialOrders; o++ {
+				cid := (o-1)%cfg.CustomersPerDist + 1
+				e.MustLoad("Orders", oKey(w, d, o), mvcc.Value{
+					"o_id": o, "o_d_id": d, "o_w_id": w, "o_c_id": cid, "o_entry_id": o,
+					"o_carrier_id": 0, "o_ol_cnt": 1, "o_all_local": 1,
+				})
+				e.MustLoad("New_Order", noKey(w, d, o), mvcc.Value{
+					"no_o_id": o, "no_d_id": d, "no_w_id": w,
+				})
+				e.MustLoad("Order_Line", olKey(w, d, o, 1), mvcc.Value{
+					"ol_o_id": o, "ol_d_id": d, "ol_w_id": w, "ol_number": 1,
+					"ol_i_id": (o-1)%cfg.Items + 1, "ol_supply_w_id": w, "ol_delivery_d": 0,
+					"ol_quantity": 1, "ol_amount": 10, "ol_dist_info": "info",
+				})
+			}
+		}
+	}
+	for i := 1; i <= cfg.Items; i++ {
+		e.MustLoad("Item", iKey(i), mvcc.Value{
+			"i_id": i, "i_im_id": i, "i_name": fmt.Sprintf("item%d", i), "i_price": 10 + i, "i_data": "data",
+		})
+		for w := 1; w <= cfg.Warehouses; w++ {
+			e.MustLoad("Stock", sKey(w, i), mvcc.Value{
+				"s_i_id": i, "s_w_id": w, "s_quantity": 50,
+				"s_dist_01": "d", "s_dist_02": "d", "s_dist_03": "d", "s_dist_04": "d", "s_dist_05": "d",
+				"s_dist_06": "d", "s_dist_07": "d", "s_dist_08": "d", "s_dist_09": "d", "s_dist_10": "d",
+				"s_ytd": 0, "s_order_cnt": 0, "s_remote_cnt": 0, "s_data": "data",
+			})
+		}
+	}
+	return e
+}
+
+// historySeq generates unique History keys across concurrent Payments.
+var historySeq int64
+
+// TPCCMix builds the five TPC-C programs as executable transactions whose
+// statement structure follows Figures 12–16 (and therefore the BTPs of
+// Figure 17).
+func TPCCMix(cfg TPCCConfig) Mix {
+	cfg = cfg.normalize()
+	randWD := func(rng *rand.Rand) (int, int) {
+		return 1 + rng.Intn(cfg.Warehouses), 1 + rng.Intn(cfg.DistrictsPerWH)
+	}
+
+	newOrder := Program{Name: "NewOrder", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		w, d := randWD(rng)
+		c := 1 + rng.Intn(cfg.CustomersPerDist)
+		// q8: customer discount/last/credit.
+		if _, err := txn.ReadKey("Customer", cKey(w, d, c), "c_credit", "c_discount", "c_last"); err != nil {
+			return AbortOn(txn, err)
+		}
+		// q9: warehouse tax.
+		if _, err := txn.ReadKey("Warehouse", wKey(w), "w_tax"); err != nil {
+			return AbortOn(txn, err)
+		}
+		// q10: bump d_next_o_id.
+		var oid int
+		err := txn.UpdateKey("District", dKey(w, d),
+			[]string{"d_next_o_id", "d_tax"}, []string{"d_next_o_id"},
+			func(row mvcc.Value) mvcc.Value {
+				oid = row["d_next_o_id"].(int)
+				row["d_next_o_id"] = oid + 1
+				return row
+			})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		lines := 1 + rng.Intn(cfg.MaxOrderLines)
+		// q11, q12: insert order and new-order.
+		if err := txn.Insert("Orders", oKey(w, d, oid), mvcc.Value{
+			"o_id": oid, "o_d_id": d, "o_w_id": w, "o_c_id": c, "o_entry_id": oid,
+			"o_ol_cnt": lines, "o_all_local": 1,
+		}); err != nil {
+			return AbortOn(txn, err)
+		}
+		if err := txn.Insert("New_Order", noKey(w, d, oid), mvcc.Value{
+			"no_o_id": oid, "no_d_id": d, "no_w_id": w,
+		}); err != nil {
+			return AbortOn(txn, err)
+		}
+		// Loop(q13; q14; q15) per order line.
+		for n := 1; n <= lines; n++ {
+			item := 1 + rng.Intn(cfg.Items)
+			var price int
+			v, err := txn.ReadKey("Item", iKey(item), "i_data", "i_name", "i_price")
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+			price = v["i_price"].(int)
+			err = txn.UpdateKey("Stock", sKey(w, item),
+				[]string{"s_data", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04", "s_dist_05",
+					"s_dist_06", "s_dist_07", "s_dist_08", "s_dist_09", "s_dist_10",
+					"s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"},
+				[]string{"s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"},
+				func(row mvcc.Value) mvcc.Value {
+					q := row["s_quantity"].(int) - 1
+					if q < 0 {
+						q = 50
+					}
+					row["s_quantity"] = q
+					row["s_ytd"] = row["s_ytd"].(int) + 1
+					row["s_order_cnt"] = row["s_order_cnt"].(int) + 1
+					return row
+				})
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+			if err := txn.Insert("Order_Line", olKey(w, d, oid, n), mvcc.Value{
+				"ol_o_id": oid, "ol_d_id": d, "ol_w_id": w, "ol_number": n,
+				"ol_i_id": item, "ol_supply_w_id": w, "ol_delivery_d": 0,
+				"ol_quantity": 1, "ol_amount": price, "ol_dist_info": "info",
+			}); err != nil {
+				return AbortOn(txn, err)
+			}
+		}
+		return txn.Commit()
+	}}
+
+	payment := Program{Name: "Payment", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		w, d := randWD(rng)
+		c := 1 + rng.Intn(cfg.CustomersPerDist)
+		amount := 1 + rng.Intn(100)
+		// q20, q21: warehouse and district ytd.
+		err := txn.UpdateKey("Warehouse", wKey(w),
+			[]string{"w_city", "w_name", "w_state", "w_street_1", "w_street_2", "w_ytd", "w_zip"},
+			[]string{"w_ytd"},
+			func(row mvcc.Value) mvcc.Value {
+				row["w_ytd"] = row["w_ytd"].(int) + amount
+				return row
+			})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		err = txn.UpdateKey("District", dKey(w, d),
+			[]string{"d_city", "d_name", "d_state", "d_street_1", "d_street_2", "d_ytd", "d_zip"},
+			[]string{"d_ytd"},
+			func(row mvcc.Value) mvcc.Value {
+				row["d_ytd"] = row["d_ytd"].(int) + amount
+				return row
+			})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		// (q22 | ε): optional selection by last name.
+		if rng.Intn(100) < cfg.PaymentByName {
+			last := custLast(c)
+			rows, err := txn.SelectWhere("Customer",
+				[]string{"c_d_id", "c_last", "c_w_id"}, []string{"c_id"},
+				func(row mvcc.Value) bool {
+					return row["c_w_id"].(int) == w && row["c_d_id"].(int) == d && row["c_last"].(string) == last
+				})
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+			if len(rows) > 0 {
+				c = rows[len(rows)/2].Value["c_id"].(int)
+			}
+		}
+		// q23: customer payment update.
+		var credit string
+		err = txn.UpdateKey("Customer", cKey(w, d, c),
+			[]string{"c_balance", "c_city", "c_credit", "c_credit_lim", "c_discount", "c_first",
+				"c_last", "c_middle", "c_phone", "c_since", "c_state", "c_street_1", "c_street_2",
+				"c_ytd_payment", "c_zip"},
+			[]string{"c_balance", "c_payment_cnt", "c_ytd_payment"},
+			func(row mvcc.Value) mvcc.Value {
+				credit = row["c_credit"].(string)
+				row["c_balance"] = row["c_balance"].(int) - amount
+				row["c_ytd_payment"] = row["c_ytd_payment"].(int) + amount
+				row["c_payment_cnt"] = row["c_payment_cnt"].(int) + 1
+				return row
+			})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		// (q24; q25 | ε): bad-credit data update.
+		if credit == "BC" {
+			if _, err := txn.ReadKey("Customer", cKey(w, d, c), "c_data"); err != nil {
+				return AbortOn(txn, err)
+			}
+			err = txn.UpdateKey("Customer", cKey(w, d, c), nil, []string{"c_data"},
+				func(row mvcc.Value) mvcc.Value {
+					row["c_data"] = fmt.Sprintf("pay %d", amount)
+					return row
+				})
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+		}
+		// q26: history insert.
+		h := atomic.AddInt64(&historySeq, 1)
+		if err := txn.Insert("History", fmt.Sprintf("h%d", h), mvcc.Value{
+			"h_c_id": c, "h_c_d_id": d, "h_c_w_id": w, "h_d_id": d, "h_w_id": w,
+			"h_date": int(h), "h_amount": amount, "h_data": "hist",
+		}); err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	orderStatus := Program{Name: "OrderStatus", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		w, d := randWD(rng)
+		c := 1 + rng.Intn(cfg.CustomersPerDist)
+		// (q16 | q17): by name or by id.
+		if rng.Intn(2) == 0 {
+			last := custLast(c)
+			rows, err := txn.SelectWhere("Customer",
+				[]string{"c_d_id", "c_last", "c_w_id"},
+				[]string{"c_balance", "c_first", "c_id", "c_middle"},
+				func(row mvcc.Value) bool {
+					return row["c_w_id"].(int) == w && row["c_d_id"].(int) == d && row["c_last"].(string) == last
+				})
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+			if len(rows) > 0 {
+				c = rows[len(rows)/2].Value["c_id"].(int)
+			}
+		} else {
+			if _, err := txn.ReadKey("Customer", cKey(w, d, c), "c_balance", "c_first", "c_last", "c_middle"); err != nil {
+				return AbortOn(txn, err)
+			}
+		}
+		// q18: most recent order of the customer (predicate over Orders).
+		oid := -1
+		rows, err := txn.SelectWhere("Orders",
+			[]string{"o_c_id", "o_d_id", "o_w_id"},
+			[]string{"o_carrier_id", "o_entry_id", "o_id"},
+			func(row mvcc.Value) bool {
+				return row["o_w_id"].(int) == w && row["o_d_id"].(int) == d && row["o_c_id"].(int) == c
+			})
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		for _, r := range rows {
+			if id := r.Value["o_id"].(int); id > oid {
+				oid = id
+			}
+		}
+		// q19: its order lines.
+		if _, err := txn.SelectWhere("Order_Line",
+			[]string{"ol_d_id", "ol_o_id", "ol_w_id"},
+			[]string{"ol_amount", "ol_delivery_d", "ol_i_id", "ol_quantity", "ol_supply_w_id"},
+			func(row mvcc.Value) bool {
+				return row["ol_w_id"].(int) == w && row["ol_d_id"].(int) == d && row["ol_o_id"].(int) == oid
+			}); err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	delivery := Program{Name: "Delivery", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		w := 1 + rng.Intn(cfg.Warehouses)
+		// Loop over districts (the paper's loop(q1..q7)).
+		for d := 1; d <= cfg.DistrictsPerWH; d++ {
+			// q1: oldest open order.
+			rows, err := txn.SelectWhere("New_Order",
+				[]string{"no_d_id", "no_w_id"}, []string{"no_o_id"},
+				func(row mvcc.Value) bool {
+					return row["no_w_id"].(int) == w && row["no_d_id"].(int) == d
+				})
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			oid := rows[0].Value["no_o_id"].(int)
+			for _, r := range rows {
+				if id := r.Value["no_o_id"].(int); id < oid {
+					oid = id
+				}
+			}
+			// q2: delete it from New_Order.
+			if err := txn.DeleteKey("New_Order", noKey(w, d, oid)); err != nil {
+				return AbortOn(txn, err)
+			}
+			// q3, q4: read customer id, set carrier.
+			v, err := txn.ReadKey("Orders", oKey(w, d, oid), "o_c_id")
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+			c := v["o_c_id"].(int)
+			if err := txn.UpdateKey("Orders", oKey(w, d, oid), nil, []string{"o_carrier_id"},
+				func(row mvcc.Value) mvcc.Value {
+					row["o_carrier_id"] = 1 + rng.Intn(10)
+					return row
+				}); err != nil {
+				return AbortOn(txn, err)
+			}
+			// q5: stamp delivery date on the order lines.
+			if _, err := txn.UpdateWhere("Order_Line",
+				[]string{"ol_d_id", "ol_o_id", "ol_w_id"}, nil, []string{"ol_delivery_d"},
+				func(row mvcc.Value) bool {
+					return row["ol_w_id"].(int) == w && row["ol_d_id"].(int) == d && row["ol_o_id"].(int) == oid
+				},
+				func(row mvcc.Value) mvcc.Value {
+					row["ol_delivery_d"] = 1
+					return row
+				}); err != nil {
+				return AbortOn(txn, err)
+			}
+			// q6: sum the amounts.
+			total := 0
+			olRows, err := txn.SelectWhere("Order_Line",
+				[]string{"ol_d_id", "ol_o_id", "ol_w_id"}, []string{"ol_amount"},
+				func(row mvcc.Value) bool {
+					return row["ol_w_id"].(int) == w && row["ol_d_id"].(int) == d && row["ol_o_id"].(int) == oid
+				})
+			if err != nil {
+				return AbortOn(txn, err)
+			}
+			for _, r := range olRows {
+				total += r.Value["ol_amount"].(int)
+			}
+			// q7: credit the customer.
+			if err := txn.UpdateKey("Customer", cKey(w, d, c),
+				[]string{"c_balance", "c_delivery_cnt"}, []string{"c_balance", "c_delivery_cnt"},
+				func(row mvcc.Value) mvcc.Value {
+					row["c_balance"] = row["c_balance"].(int) + total
+					row["c_delivery_cnt"] = row["c_delivery_cnt"].(int) + 1
+					return row
+				}); err != nil {
+				return AbortOn(txn, err)
+			}
+		}
+		return txn.Commit()
+	}}
+
+	stockLevel := Program{Name: "StockLevel", Run: func(txn *mvcc.Txn, rng *rand.Rand) error {
+		w, d := randWD(rng)
+		threshold := 45 + rng.Intn(10)
+		// q27: next order id.
+		v, err := txn.ReadKey("District", dKey(w, d), "d_next_o_id")
+		if err != nil {
+			return AbortOn(txn, err)
+		}
+		oid := v["d_next_o_id"].(int)
+		// q28: recent order lines.
+		if _, err := txn.SelectWhere("Order_Line",
+			[]string{"ol_d_id", "ol_o_id", "ol_w_id"}, []string{"ol_i_id"},
+			func(row mvcc.Value) bool {
+				o := row["ol_o_id"].(int)
+				return row["ol_w_id"].(int) == w && row["ol_d_id"].(int) == d && o < oid && o >= oid-20
+			}); err != nil {
+			return AbortOn(txn, err)
+		}
+		// q29: low-stock items.
+		if _, err := txn.SelectWhere("Stock",
+			[]string{"s_quantity", "s_w_id"}, []string{"s_i_id"},
+			func(row mvcc.Value) bool {
+				return row["s_w_id"].(int) == w && row["s_quantity"].(int) < threshold
+			}); err != nil {
+			return AbortOn(txn, err)
+		}
+		return txn.Commit()
+	}}
+
+	return Mix{Programs: []Program{delivery, newOrder, orderStatus, payment, stockLevel}}
+}
+
+// TPCCSubsetMix restricts the TPC-C mix to the named programs
+// (abbreviations Del, NO, OS, Pay, SL or full names).
+func TPCCSubsetMix(cfg TPCCConfig, names ...string) (Mix, error) {
+	full := TPCCMix(cfg)
+	abbrev := map[string]string{
+		"Del": "Delivery", "NO": "NewOrder", "OS": "OrderStatus",
+		"Pay": "Payment", "SL": "StockLevel",
+	}
+	var out Mix
+	for _, n := range names {
+		if f, ok := abbrev[n]; ok {
+			n = f
+		}
+		found := false
+		for _, p := range full.Programs {
+			if p.Name == n {
+				out.Programs = append(out.Programs, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Mix{}, fmt.Errorf("workload: unknown TPC-C program %q", n)
+		}
+	}
+	return out, nil
+}

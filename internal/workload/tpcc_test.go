@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mvcc"
+)
+
+// TestTPCCRobustSubsetSerializable runs the {OS, Pay, SL} subset — certified
+// robust under attr dep + FK (Figure 6) — under Read Committed and asserts
+// every recorded execution is conflict serializable.
+func TestTPCCRobustSubsetSerializable(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := DefaultTPCC
+		e := NewTPCCEngine(cfg)
+		mix, err := TPCCSubsetMix(cfg, "OS", "Pay", "SL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(e, mix, RunOptions{
+			Transactions: 120, Workers: 8, Isolation: mvcc.ReadCommitted,
+			Seed: seed, Record: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedule.AllowedUnderMVRC() {
+			t.Fatalf("seed %d: engine schedule not allowed under MVRC", seed)
+		}
+		if !res.Serializable() {
+			t.Fatalf("seed %d: robust TPC-C subset produced a non-serializable execution", seed)
+		}
+	}
+}
+
+// TestTPCCNoPaySubsetSerializable runs {NO, Pay}, the other maximal robust
+// subset of Figure 6.
+func TestTPCCNoPaySubsetSerializable(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := DefaultTPCC
+		e := NewTPCCEngine(cfg)
+		mix, err := TPCCSubsetMix(cfg, "NO", "Pay")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(e, mix, RunOptions{
+			Transactions: 120, Workers: 8, Isolation: mvcc.ReadCommitted,
+			Seed: seed, Record: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Serializable() {
+			t.Fatalf("seed %d: {NO, Pay} produced a non-serializable execution", seed)
+		}
+	}
+}
+
+// TestTPCCFullMixAnomalyUnderRC runs the full five-program mix under Read
+// Committed until a non-serializable execution is observed (the full
+// benchmark is not robust against MVRC).
+func TestTPCCFullMixAnomalyUnderRC(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		cfg := DefaultTPCC
+		e := NewTPCCEngine(cfg)
+		res, err := Run(e, TPCCMix(cfg), RunOptions{
+			Transactions: 200, Workers: 8, Isolation: mvcc.ReadCommitted,
+			Seed: seed, Record: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedule.AllowedUnderMVRC() {
+			t.Fatalf("seed %d: engine schedule not allowed under MVRC", seed)
+		}
+		if !res.Serializable() {
+			return // anomaly observed, as predicted
+		}
+	}
+	t.Fatal("no anomaly observed for the full TPC-C mix under RC in 40 runs")
+}
+
+// TestTPCCInvariants checks basic accounting invariants after a run: the
+// district ytd totals equal the warehouse ytd total (all Payments touch
+// both), orders are consistent, and delivered new-orders are gone.
+func TestTPCCInvariants(t *testing.T) {
+	cfg := DefaultTPCC
+	e := NewTPCCEngine(cfg)
+	res, err := Run(e, TPCCMix(cfg), RunOptions{
+		Transactions: 200, Workers: 4, Isolation: mvcc.Serializable, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("nothing committed")
+	}
+	wv, ok := e.ReadCommittedValue("Warehouse", wKey(1))
+	if !ok {
+		t.Fatal("warehouse vanished")
+	}
+	sumD := 0
+	for d := 1; d <= cfg.DistrictsPerWH; d++ {
+		dv, ok := e.ReadCommittedValue("District", dKey(1, d))
+		if !ok {
+			t.Fatal("district vanished")
+		}
+		sumD += dv["d_ytd"].(int)
+	}
+	if wv["w_ytd"].(int) != sumD {
+		t.Errorf("w_ytd %v != sum of d_ytd %v under Serializable", wv["w_ytd"], sumD)
+	}
+	// Every remaining New_Order row must reference an existing order.
+	if e.RowCount("New_Order") > e.RowCount("Orders") {
+		t.Error("more open orders than orders")
+	}
+}

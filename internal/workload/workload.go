@@ -1,0 +1,180 @@
+// Package workload runs the paper's benchmarks as executable transaction
+// programs against the internal/mvcc engine, records the resulting
+// multiversion schedules, and analyzes them with internal/seg. This closes
+// the loop of the paper's claim: program sets certified robust by the
+// static analysis produce only conflict-serializable executions under
+// MVRC, while rejected sets exhibit observable anomalies.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/mvcc"
+	"repro/internal/relschema"
+	"repro/internal/schedule"
+	"repro/internal/seg"
+)
+
+// Program is one executable transaction program: it runs a transaction
+// body against an engine transaction. A Program must either commit or
+// abort the transaction it is given. Returning an error means the
+// transaction aborted (e.g. on a write conflict).
+type Program struct {
+	// Name identifies the program (matches the BTP name).
+	Name string
+	// Run executes one instance. The rng parameterizes the instance (which
+	// customer, which amount, ...). Run must end with txn.Commit() or
+	// txn.Abort().
+	Run func(txn *mvcc.Txn, rng *rand.Rand) error
+}
+
+// Mix is a weighted set of programs forming a workload.
+type Mix struct {
+	Programs []Program
+	// Weights are the relative frequencies; nil means uniform.
+	Weights []int
+}
+
+// pick selects a program according to the weights.
+func (m Mix) pick(rng *rand.Rand) Program {
+	if len(m.Weights) != len(m.Programs) {
+		return m.Programs[rng.Intn(len(m.Programs))]
+	}
+	total := 0
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := rng.Intn(total)
+	for i, w := range m.Weights {
+		if x < w {
+			return m.Programs[i]
+		}
+		x -= w
+	}
+	return m.Programs[len(m.Programs)-1]
+}
+
+// RunOptions configure a workload run.
+type RunOptions struct {
+	// Transactions is the total number of transaction attempts.
+	Transactions int
+	// Workers is the number of concurrent workers.
+	Workers int
+	// Isolation is the isolation level every transaction runs at.
+	Isolation mvcc.Isolation
+	// Seed seeds the per-worker RNGs deterministically.
+	Seed int64
+	// Record enables schedule recording.
+	Record bool
+}
+
+// RunResult reports a workload run.
+type RunResult struct {
+	Commits int64
+	Aborts  int64
+	// Schedule is the recorded multiversion schedule (nil unless Record).
+	Schedule *schedule.Schedule
+	// Graph is its serialization graph (nil unless Record).
+	Graph *seg.Graph
+}
+
+// Serializable reports whether the recorded execution was conflict
+// serializable. It returns true for unrecorded runs.
+func (r *RunResult) Serializable() bool {
+	if r.Graph == nil {
+		return true
+	}
+	return r.Graph.IsConflictSerializable()
+}
+
+// Run executes the mix against the engine.
+func Run(e *mvcc.Engine, mix Mix, opts RunOptions) (*RunResult, error) {
+	if opts.Transactions <= 0 {
+		opts.Transactions = 100
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	var rec *mvcc.Recorder
+	if opts.Record {
+		rec = mvcc.NewRecorder()
+		e.SetRecorder(rec)
+		defer e.SetRecorder(nil)
+	}
+	// Yield between statements so concurrent transactions interleave at
+	// statement granularity (the granularity the paper's model considers).
+	e.SetYield(runtime.Gosched)
+	defer e.SetYield(nil)
+	var wg sync.WaitGroup
+	// Buffered so that early worker exit cannot block the producer.
+	work := make(chan int, opts.Transactions)
+	errCh := make(chan error, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+		go func(rng *rand.Rand) {
+			defer wg.Done()
+			for range work {
+				p := mix.pick(rng)
+				txn := e.Begin(opts.Isolation)
+				txn.SetLabel(p.Name)
+				if err := p.Run(txn, rng); err != nil {
+					// The program reports aborts as errors; anything else
+					// is a harness bug.
+					if !isExpectedAbort(err) {
+						errCh <- fmt.Errorf("workload %s: %w", p.Name, err)
+						return
+					}
+				}
+			}
+		}(rng)
+	}
+	for i := 0; i < opts.Transactions; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	commits, aborts := e.Stats()
+	res := &RunResult{Commits: commits, Aborts: aborts}
+	if rec != nil {
+		s, err := rec.Schedule(e.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("workload: recording: %w", err)
+		}
+		res.Schedule = s
+		res.Graph = seg.Build(s)
+	}
+	return res, nil
+}
+
+func isExpectedAbort(err error) bool {
+	for _, target := range []error{mvcc.ErrWriteConflict, mvcc.ErrReadConflict, mvcc.ErrNotFound, mvcc.ErrDuplicateKey} {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// AbortOn wraps a step: on error it aborts the transaction and returns the
+// error; otherwise it returns nil. Use inside Program.Run bodies.
+func AbortOn(txn *mvcc.Txn, err error) error {
+	if err != nil {
+		txn.Abort()
+		return err
+	}
+	return nil
+}
+
+// AttrNames converts an attribute set to a sorted slice (helper for program
+// implementations).
+func AttrNames(s relschema.AttrSet) []string { return s.Sorted() }

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mvcc"
+)
+
+// TestRobustSubsetAlwaysSerializable runs the robust SmallBank subset
+// {Am, DC, TS} under Read Committed many times and asserts every recorded
+// execution is conflict serializable — the operational meaning of the
+// paper's robustness verdict (Figure 6).
+func TestRobustSubsetAlwaysSerializable(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := SmallBankConfig{Customers: 2, InitialBalance: 1000}
+		e := NewSmallBankEngine(cfg)
+		mix, err := SmallBankSubsetMix(cfg, "Am", "DC", "TS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(e, mix, RunOptions{
+			Transactions: 150, Workers: 8, Isolation: mvcc.ReadCommitted,
+			Seed: seed, Record: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedule.AllowedUnderMVRC() {
+			t.Fatalf("seed %d: engine produced a schedule not allowed under MVRC:\n%s", seed, res.Schedule)
+		}
+		if !res.Serializable() {
+			t.Fatalf("seed %d: robust subset produced a non-serializable execution", seed)
+		}
+	}
+}
+
+// TestFullSmallBankAnomalyUnderRC runs the full SmallBank mix (non-robust)
+// under Read Committed on a highly contended database until a
+// non-serializable execution is observed.
+func TestFullSmallBankAnomalyUnderRC(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		cfg := SmallBankConfig{Customers: 1, InitialBalance: 1000}
+		e := NewSmallBankEngine(cfg)
+		mix := SmallBankMix(cfg)
+		res, err := Run(e, mix, RunOptions{
+			Transactions: 200, Workers: 8, Isolation: mvcc.ReadCommitted,
+			Seed: seed, Record: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedule.AllowedUnderMVRC() {
+			t.Fatalf("seed %d: engine produced a schedule not allowed under MVRC", seed)
+		}
+		if !res.Serializable() {
+			return // anomaly observed, as the static analysis predicts
+		}
+	}
+	t.Fatal("no anomaly observed for the non-robust full SmallBank mix under RC in 50 runs")
+}
+
+// TestFullSmallBankSerializableUnderSerializable runs the same non-robust
+// mix under the Serializable level and asserts every recorded execution is
+// conflict serializable.
+func TestFullSmallBankSerializableUnderSerializable(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := SmallBankConfig{Customers: 1, InitialBalance: 1000}
+		e := NewSmallBankEngine(cfg)
+		mix := SmallBankMix(cfg)
+		res, err := Run(e, mix, RunOptions{
+			Transactions: 150, Workers: 8, Isolation: mvcc.Serializable,
+			Seed: seed, Record: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Serializable() {
+			t.Fatalf("seed %d: serializable level produced a non-serializable execution", seed)
+		}
+	}
+}
+
+// TestAuctionAlwaysSerializableUnderRC runs the full Auction benchmark —
+// certified robust with foreign keys (Figure 6) — under Read Committed and
+// asserts serializability of every recorded execution.
+func TestAuctionAlwaysSerializableUnderRC(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := AuctionConfig{Buyers: 2}
+		e := NewAuctionEngine(cfg)
+		res, err := Run(e, AuctionMix(cfg), RunOptions{
+			Transactions: 200, Workers: 8, Isolation: mvcc.ReadCommitted,
+			Seed: seed, Record: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedule.AllowedUnderMVRC() {
+			t.Fatalf("seed %d: engine produced a schedule not allowed under MVRC", seed)
+		}
+		if !res.Serializable() {
+			t.Fatalf("seed %d: robust Auction benchmark produced a non-serializable execution", seed)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package mvrc
+
+import (
+	"strings"
+	"testing"
+)
+
+const facadeSQL = `
+PROGRAM Deposit(:K, :V):
+  UPDATE Accts SET bal = bal + :V WHERE id = :K; -- q1
+  COMMIT;
+
+PROGRAM ReadAll():
+  SELECT bal FROM Accts WHERE bal >= 0; -- q2
+  COMMIT;
+`
+
+func facadeSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	s.MustAddRelation("Accts", []string{"id", "bal"}, []string{"id"})
+	return s
+}
+
+func TestFacadePipeline(t *testing.T) {
+	s := facadeSchema(t)
+	programs, err := ParseSQL(s, facadeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(programs) != 2 {
+		t.Fatalf("programs = %d", len(programs))
+	}
+	report, err := Check(s, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deposit + predicate ReadAll: the predicate read can observe the
+	// account before the deposit commits while a second dependency orders
+	// them the other way — still robust? The summary graph has a single
+	// counterflow edge ReadAll -> Deposit and a wr edge back; the
+	// ordered-counterflow condition needs an edge into ReadAll whose
+	// source precedes... check against the analysis itself:
+	explain := Explain(report)
+	if report.Robust && !strings.Contains(explain, "robust against MVRC") {
+		t.Errorf("Explain inconsistent with verdict: %q", explain)
+	}
+	if !report.Robust && !strings.Contains(explain, "dangerous cycle") {
+		t.Errorf("Explain inconsistent with verdict: %q", explain)
+	}
+	dot := SummaryGraphDOT(report, true)
+	if !strings.Contains(dot, "digraph") {
+		t.Errorf("DOT output malformed: %q", dot)
+	}
+}
+
+func TestFacadeCheckWithSettings(t *testing.T) {
+	s := facadeSchema(t)
+	programs, err := ParseSQL(s, facadeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The verdict must agree between Check and CheckWith(defaults).
+	a, err := Check(s, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CheckWith(s, programs, AttrDepFK, TypeII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Robust != b.Robust {
+		t.Fatal("Check and CheckWith disagree")
+	}
+	// Type-I is at least as strict as type-II.
+	c, err := CheckWith(s, programs, AttrDepFK, TypeI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Robust && !a.Robust {
+		t.Fatal("type-I certified a set type-II rejected")
+	}
+}
+
+func TestFacadeRobustSubsets(t *testing.T) {
+	s := facadeSchema(t)
+	programs, err := ParseSQL(s, facadeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RobustSubsets(s, programs, AttrDepFK, TypeII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Robust) == 0 {
+		t.Fatal("singletons must be robust")
+	}
+}
