@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	experiments [-maxn 100] [-repeats 3] [-skip-figure8]
+//	experiments [-maxn 100] [-repeats 3] [-parallel N] [-skip-figure8]
+//
+// All cells run on one experiments.Suite: each benchmark's programs are
+// unfolded once and the pairwise summary-graph edge blocks are shared
+// across Table 2 and every Figure 6/7 cell.
 package main
 
 import (
@@ -20,15 +24,19 @@ func main() {
 	var (
 		maxN        = flag.Int("maxn", 100, "largest Auction(n) scaling factor for Figure 8")
 		repeats     = flag.Int("repeats", 3, "repetitions per Figure 8 point (median reported)")
+		parallel    = flag.Int("parallel", 0, "subset-enumeration workers per cell (0 = GOMAXPROCS)")
 		skipFigure8 = flag.Bool("skip-figure8", false, "skip the scalability sweep")
 	)
 	flag.Parse()
 
+	suite := experiments.NewSuite()
+	suite.Parallelism = *parallel
+
 	fmt.Println("== Table 2: benchmark characteristics (attr dep + FK) ==")
-	fmt.Print(experiments.FormatTable2(experiments.Table2All()))
+	fmt.Print(experiments.FormatTable2(suite.Table2()))
 
 	fmt.Println("\n== Figure 6: maximal robust subsets, Algorithm 2 (type-II cycles) ==")
-	cells, err := experiments.Figure6()
+	cells, err := suite.Figure6()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -36,7 +44,7 @@ func main() {
 	fmt.Print(experiments.FormatFigure(cells))
 
 	fmt.Println("\n== Figure 7: maximal robust subsets, method of [3] (type-I cycles) ==")
-	cells, err = experiments.Figure7()
+	cells, err = suite.Figure7()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -12,6 +12,8 @@
 //	-method    cycle condition: "type2" (Algorithm 2, default) or "type1" ([3])
 //	-programs  comma-separated program names restricting the benchmark
 //	-subsets   enumerate all maximal robust subsets (Figures 6/7)
+//	-parallel  worker count for -subsets (default GOMAXPROCS; 1 = sequential)
+//	-naive     use the naive per-subset oracle instead of the cached engine
 //	-stats     print summary-graph statistics (Table 2)
 //	-unfold    loop unfolding bound (default 2; 2 is sound per Prop. 6.1)
 package main
@@ -39,15 +41,40 @@ func main() {
 		method    = flag.String("method", "type2", "cycle condition: type2 (Algorithm 2) or type1 ([3])")
 		progList  = flag.String("programs", "", "comma-separated program names restricting the analysis")
 		subsets   = flag.Bool("subsets", false, "enumerate maximal robust subsets")
+		parallel  = flag.Int("parallel", 0, "subset-enumeration workers (0 = GOMAXPROCS, 1 = sequential)")
+		naive     = flag.Bool("naive", false, "use the naive per-subset oracle instead of the cached engine")
 		stats     = flag.Bool("stats", false, "print summary-graph statistics")
 		unfold    = flag.Int("unfold", 2, "loop unfolding bound")
 	)
 	flag.Parse()
 
-	if err := run(*benchName, *n, *sqlFile, *schemaSQL, *setting, *method, *progList, *subsets, *stats, *unfold); err != nil {
+	opts := runOptions{
+		benchName: *benchName, n: *n,
+		sqlFile: *sqlFile, schemaSQL: *schemaSQL,
+		setting: *setting, method: *method, progList: *progList,
+		subsets: *subsets, parallel: *parallel, naive: *naive,
+		stats: *stats, unfold: *unfold,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "robustcheck:", err)
 		os.Exit(1)
 	}
+}
+
+// runOptions carries the parsed flags.
+type runOptions struct {
+	benchName string
+	n         int
+	sqlFile   string
+	schemaSQL string
+	setting   string
+	method    string
+	progList  string
+	subsets   bool
+	parallel  int
+	naive     bool
+	stats     bool
+	unfold    int
 }
 
 func parseSetting(s string) (summary.Setting, error) {
@@ -92,12 +119,12 @@ func loadBenchmark(name string, n int) (*benchmarks.Benchmark, error) {
 	}
 }
 
-func run(benchName string, n int, sqlFile, schemaSQL, settingName, methodName, progList string, subsets, stats bool, unfold int) error {
-	st, err := parseSetting(settingName)
+func run(o runOptions) error {
+	st, err := parseSetting(o.setting)
 	if err != nil {
 		return err
 	}
-	m, err := parseMethod(methodName)
+	m, err := parseMethod(o.method)
 	if err != nil {
 		return err
 	}
@@ -107,15 +134,15 @@ func run(benchName string, n int, sqlFile, schemaSQL, settingName, methodName, p
 		programs []*btp.Program
 	)
 	switch {
-	case sqlFile != "":
-		if schemaSQL == "" {
+	case o.sqlFile != "":
+		if o.schemaSQL == "" {
 			return fmt.Errorf("-sql requires -schema naming a benchmark schema")
 		}
-		sb, err := loadBenchmark(schemaSQL, 1)
+		sb, err := loadBenchmark(o.schemaSQL, 1)
 		if err != nil {
 			return err
 		}
-		src, err := os.ReadFile(sqlFile)
+		src, err := os.ReadFile(o.sqlFile)
 		if err != nil {
 			return err
 		}
@@ -123,9 +150,9 @@ func run(benchName string, n int, sqlFile, schemaSQL, settingName, methodName, p
 		if err != nil {
 			return err
 		}
-		bench = &benchmarks.Benchmark{Name: sqlFile, Schema: sb.Schema, Programs: programs}
-	case benchName != "":
-		bench, err = loadBenchmark(benchName, n)
+		bench = &benchmarks.Benchmark{Name: o.sqlFile, Schema: sb.Schema, Programs: programs}
+	case o.benchName != "":
+		bench, err = loadBenchmark(o.benchName, o.n)
 		if err != nil {
 			return err
 		}
@@ -134,9 +161,9 @@ func run(benchName string, n int, sqlFile, schemaSQL, settingName, methodName, p
 		return fmt.Errorf("either -benchmark or -sql is required")
 	}
 
-	if progList != "" {
+	if o.progList != "" {
 		var selected []*btp.Program
-		for _, name := range strings.Split(progList, ",") {
+		for _, name := range strings.Split(o.progList, ",") {
 			p := bench.Program(strings.TrimSpace(name))
 			if p == nil {
 				return fmt.Errorf("benchmark %s has no program %q", bench.Name, name)
@@ -149,12 +176,17 @@ func run(benchName string, n int, sqlFile, schemaSQL, settingName, methodName, p
 	checker := robust.NewChecker(bench.Schema)
 	checker.Setting = st
 	checker.Method = m
-	checker.UnfoldBound = unfold
+	checker.UnfoldBound = o.unfold
+	checker.Parallelism = o.parallel
 
 	fmt.Printf("benchmark: %s  setting: %s  method: %s\n", bench.Name, st, m)
 
-	if subsets {
-		rep, err := checker.RobustSubsets(programs)
+	if o.subsets {
+		enumerate := checker.RobustSubsets
+		if o.naive {
+			enumerate = checker.NaiveRobustSubsets
+		}
+		rep, err := enumerate(programs)
 		if err != nil {
 			return err
 		}
@@ -170,7 +202,7 @@ func run(benchName string, n int, sqlFile, schemaSQL, settingName, methodName, p
 	if err != nil {
 		return err
 	}
-	if stats {
+	if o.stats {
 		s := res.Graph.Stats()
 		fmt.Printf("summary graph: %d nodes, %d edges (%d counterflow)\n", s.Nodes, s.Edges, s.CounterflowEdges)
 		for _, l := range res.LTPs {

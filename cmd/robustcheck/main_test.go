@@ -75,9 +75,27 @@ func TestRunEndToEnd(t *testing.T) {
 		{"no input", "", "attr+fk", "type2", "", false, false, true},
 	}
 	for _, tc := range cases {
-		err := run(tc.bench, 1, "", "", tc.setting, tc.method, tc.progs, tc.subsets, tc.stats, 2)
+		err := run(runOptions{
+			benchName: tc.bench, n: 1,
+			setting: tc.setting, method: tc.method, progList: tc.progs,
+			subsets: tc.subsets, stats: tc.stats, unfold: 2,
+		})
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: err = %v, wantErr = %t", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRunSubsetsModes checks the cached engine (sequential and parallel)
+// and the naive oracle all succeed through the CLI path.
+func TestRunSubsetsModes(t *testing.T) {
+	for _, o := range []runOptions{
+		{benchName: "smallbank", n: 1, setting: "attr+fk", method: "type2", subsets: true, parallel: 1, unfold: 2},
+		{benchName: "smallbank", n: 1, setting: "attr+fk", method: "type2", subsets: true, parallel: 4, unfold: 2},
+		{benchName: "smallbank", n: 1, setting: "tpl", method: "type1", subsets: true, naive: true, unfold: 2},
+	} {
+		if err := run(o); err != nil {
+			t.Errorf("run(%+v): %v", o, err)
 		}
 	}
 }
@@ -93,15 +111,15 @@ PROGRAM Bump(:B):
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 1, path, "auction", "attr+fk", "type2", "", false, true, 2); err != nil {
+	if err := run(runOptions{n: 1, sqlFile: path, schemaSQL: "auction", setting: "attr+fk", method: "type2", stats: true, unfold: 2}); err != nil {
 		t.Fatalf("run with -sql: %v", err)
 	}
 	// Missing -schema is an error.
-	if err := run("", 1, path, "", "attr+fk", "type2", "", false, false, 2); err == nil {
+	if err := run(runOptions{n: 1, sqlFile: path, setting: "attr+fk", method: "type2", unfold: 2}); err == nil {
 		t.Error("missing -schema accepted")
 	}
 	// Unreadable file is an error.
-	if err := run("", 1, filepath.Join(dir, "missing.sql"), "auction", "attr+fk", "type2", "", false, false, 2); err == nil {
+	if err := run(runOptions{n: 1, sqlFile: filepath.Join(dir, "missing.sql"), schemaSQL: "auction", setting: "attr+fk", method: "type2", unfold: 2}); err == nil {
 		t.Error("missing file accepted")
 	}
 }

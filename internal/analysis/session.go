@@ -1,0 +1,275 @@
+// Package analysis is the incremental analysis engine behind the public
+// robustness API: a Session holds a schema and memoizes everything the
+// exponential subset enumeration of Figures 6 and 7 would otherwise redo
+// per subset — program validation, loop unfolding (each program is unfolded
+// exactly once per bound) and the pairwise summary-graph edge blocks of
+// Algorithm 1 (computed once per analysis setting). Subset graphs are then
+// assembled by summary.Compose from cached blocks and only the cycle
+// detection runs per subset, fanned out over a bounded worker pool.
+//
+// The naive path (re-unfold and re-run Algorithm 1 from scratch for every
+// subset) is retained in internal/robust as the oracle for equivalence
+// tests; both paths produce byte-identical reports.
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+	"repro/internal/summary"
+)
+
+// Config selects how a Session call analyses a program set.
+type Config struct {
+	// Setting is the analysis setting (granularity × foreign keys). The
+	// zero value is attribute granularity without foreign keys; use
+	// DefaultConfig for the paper's primary setting.
+	Setting summary.Setting
+	// Method selects the cycle condition; the zero value is TypeII
+	// (Algorithm 2).
+	Method summary.Method
+	// UnfoldBound overrides the loop-unfolding bound; 0 means the paper's
+	// bound of 2 (Proposition 6.1). Bound 1 is unsound in general.
+	UnfoldBound int
+	// Parallelism bounds the worker pool of RobustSubsets; 0 means
+	// GOMAXPROCS, 1 forces sequential enumeration.
+	Parallelism int
+}
+
+// DefaultConfig returns the paper's primary configuration: attribute
+// dependencies with foreign keys, type-II cycles, unfold bound 2.
+func DefaultConfig() Config {
+	return Config{Setting: summary.SettingAttrDepFK, Method: summary.TypeII}
+}
+
+func (c Config) bound() int {
+	if c.UnfoldBound > 0 {
+		return c.UnfoldBound
+	}
+	return btp.DefaultUnfoldBound
+}
+
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is the outcome of one robustness check.
+type Result struct {
+	// Robust is true when the analysis certifies the program set robust
+	// against MVRC. The analysis is sound: true is always correct; false
+	// may be a false negative (Proposition 6.5).
+	Robust bool
+	// Witness is a dangerous cycle in the summary graph when not robust.
+	Witness *summary.Witness
+	// Graph is the constructed summary graph over the unfolded LTPs.
+	Graph *summary.Graph
+	// LTPs are the unfoldings the graph was built over.
+	LTPs []*btp.LTP
+}
+
+// unfoldKey identifies one memoized unfolding.
+type unfoldKey struct {
+	program *btp.Program
+	bound   int
+}
+
+// Session is the incremental analysis engine for one schema. All methods
+// are safe for concurrent use; caches only grow, so a Session can be shared
+// across settings, methods, bounds and program sets (cache entries are
+// keyed by program pointer, bound and setting).
+type Session struct {
+	schema *relschema.Schema
+
+	mu        sync.Mutex
+	validated map[*btp.Program]error
+	unfolded  map[unfoldKey][]*btp.LTP
+	blocks    map[summary.Setting]*summary.BlockSet
+}
+
+// NewSession creates an empty session over the schema.
+func NewSession(schema *relschema.Schema) *Session {
+	return &Session{
+		schema:    schema,
+		validated: make(map[*btp.Program]error),
+		unfolded:  make(map[unfoldKey][]*btp.LTP),
+		blocks:    make(map[summary.Setting]*summary.BlockSet),
+	}
+}
+
+// Schema returns the schema the session analyses against.
+func (s *Session) Schema() *relschema.Schema { return s.schema }
+
+// LTPs validates the program (once) and returns its memoized unfolding
+// under the given bound (0 means the default bound of 2). The returned
+// slice is shared — callers must not mutate it.
+func (s *Session) LTPs(p *btp.Program, bound int) ([]*btp.LTP, error) {
+	if bound <= 0 {
+		bound = btp.DefaultUnfoldBound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	verr, seen := s.validated[p]
+	if !seen {
+		verr = p.Validate(s.schema)
+		s.validated[p] = verr
+	}
+	if verr != nil {
+		return nil, fmt.Errorf("analysis: %w", verr)
+	}
+	k := unfoldKey{program: p, bound: bound}
+	ltps, ok := s.unfolded[k]
+	if !ok {
+		ltps = btp.Unfold(p, bound)
+		s.unfolded[k] = ltps
+	}
+	return ltps, nil
+}
+
+// Blocks returns the session's shared pairwise edge-block cache for the
+// setting, creating it on first use. LTP pointers from different unfold
+// bounds never collide: memoization hands out distinct *btp.LTP values per
+// (program, bound), so one BlockSet per setting serves all bounds.
+func (s *Session) Blocks(setting summary.Setting) *summary.BlockSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blocks[setting]
+	if !ok {
+		bs = summary.NewBlockSet(s.schema, setting)
+		s.blocks[setting] = bs
+	}
+	return bs
+}
+
+// ltpUniverse resolves every program's memoized unfolding and the flat
+// concatenation in program order.
+func (s *Session) ltpUniverse(programs []*btp.Program, bound int) ([][]*btp.LTP, []*btp.LTP, error) {
+	groups := make([][]*btp.LTP, len(programs))
+	var all []*btp.LTP
+	for i, p := range programs {
+		ltps, err := s.LTPs(p, bound)
+		if err != nil {
+			return nil, nil, err
+		}
+		groups[i] = ltps
+		all = append(all, ltps...)
+	}
+	return groups, all, nil
+}
+
+// Check analyses the program set: validate and unfold (memoized), assemble
+// the summary graph from cached pairwise blocks, and search for dangerous
+// cycles. The graph is identical to the one summary.Build constructs.
+func (s *Session) Check(programs []*btp.Program, cfg Config) (*Result, error) {
+	_, ltps, err := s.ltpUniverse(programs, cfg.bound())
+	if err != nil {
+		return nil, err
+	}
+	g := summary.Compose(s.Blocks(cfg.Setting), ltps)
+	ok, w := g.Robust(cfg.Method)
+	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}, nil
+}
+
+// RobustSubsets checks every non-empty subset of the given programs and
+// reports the robust and maximal robust ones (Figures 6 and 7). Program
+// count must be modest (the benchmarks have ≤ 5); the enumeration is
+// exponential in it. Subsets are fanned out over cfg.Parallelism workers;
+// each worker only composes cached blocks and runs cycle detection, so the
+// expensive Algorithm 1 side conditions run once per LTP pair overall
+// rather than once per subset.
+func (s *Session) RobustSubsets(programs []*btp.Program, cfg Config) (*SubsetReport, error) {
+	n := len(programs)
+	if n > 20 {
+		return nil, fmt.Errorf("analysis: subset enumeration over %d programs is infeasible", n)
+	}
+	groups, all, err := s.ltpUniverse(programs, cfg.bound())
+	if err != nil {
+		return nil, err
+	}
+	// The detector composes the universe graph once — computing (or
+	// reusing) every pairwise block — and then answers each subset's
+	// verdict on the universe's edge arrays filtered by a node mask,
+	// allocation-free per subset.
+	det := summary.NewSubsetDetector(s.Blocks(cfg.Setting), all)
+	words := (len(all) + 63) / 64
+	// programMask[i] marks program i's LTP indices within the universe.
+	programMask := make([][]uint64, n)
+	idx := 0
+	for i, g := range groups {
+		m := make([]uint64, words)
+		for range g {
+			m[idx/64] |= 1 << (uint(idx) % 64)
+			idx++
+		}
+		programMask[i] = m
+	}
+
+	total := 1 << n
+	verdicts := make([]bool, total)
+	workers := cfg.parallelism()
+	if workers > total-1 {
+		workers = total - 1
+	}
+	// runMasks checks a stream of subset masks on one worker's scratch.
+	runMasks := func(nextMask func() int) {
+		scratch := det.NewScratch()
+		members := make([]uint64, words)
+		for {
+			mask := nextMask()
+			if mask >= total {
+				return
+			}
+			for w := range members {
+				members[w] = 0
+			}
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					for w, word := range programMask[i] {
+						members[w] |= word
+					}
+				}
+			}
+			verdicts[mask] = det.Robust(cfg.Method, members, scratch)
+		}
+	}
+	if workers <= 1 {
+		mask := 0
+		runMasks(func() int { mask++; return mask })
+	} else {
+		var next atomic.Int64 // next.Add(1) hands out masks 1..total-1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runMasks(func() int { return int(next.Add(1)) })
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic report assembly in ascending mask order — the same
+	// order the naive sequential enumeration visits.
+	var robustSubsets []Subset
+	for mask := 1; mask < total; mask++ {
+		if !verdicts[mask] {
+			continue
+		}
+		var names Subset
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				names = append(names, programs[i].ShortName())
+			}
+		}
+		sort.Strings(names)
+		robustSubsets = append(robustSubsets, names)
+	}
+	return NewSubsetReport(robustSubsets), nil
+}

@@ -1,0 +1,276 @@
+package analysis_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/robust"
+	"repro/internal/summary"
+)
+
+// fixedBenchmarks returns the three fixed benchmarks of Section 7.
+func fixedBenchmarks() []*benchmarks.Benchmark {
+	return []*benchmarks.Benchmark{
+		benchmarks.SmallBank(), benchmarks.TPCC(), benchmarks.Auction(),
+	}
+}
+
+// methods lists both cycle conditions.
+var methods = []summary.Method{summary.TypeII, summary.TypeI}
+
+// TestEngineEquivalenceRobustSubsets is the engine's ground-truth test:
+// for every fixed benchmark under all four settings and both methods, the
+// composed-graph parallel enumeration must produce a report byte-identical
+// to the naive per-subset oracle (re-validate, re-unfold, re-run
+// Algorithm 1 for each of the 2^n − 1 subsets).
+func TestEngineEquivalenceRobustSubsets(t *testing.T) {
+	for _, bench := range fixedBenchmarks() {
+		// One shared session per benchmark across all 8 cells, as the
+		// experiments suite uses it — cross-setting cache pollution would
+		// show up here.
+		sess := analysis.NewSession(bench.Schema)
+		for _, setting := range summary.AllSettings {
+			for _, method := range methods {
+				name := fmt.Sprintf("%s/%s/%s", bench.Name, setting, method)
+				t.Run(name, func(t *testing.T) {
+					oracle := robust.NewChecker(bench.Schema)
+					oracle.Setting = setting
+					oracle.Method = method
+					want, err := oracle.NaiveRobustSubsets(bench.Programs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sess.RobustSubsets(bench.Programs, analysis.Config{
+						Setting: setting, Method: method, Parallelism: 4,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got.Robust, want.Robust) {
+						t.Errorf("robust subsets diverge:\nengine: %v\noracle: %v", got.Robust, want.Robust)
+					}
+					if !reflect.DeepEqual(got.Maximal, want.Maximal) {
+						t.Errorf("maximal subsets diverge:\nengine: %v\noracle: %v", got.Maximal, want.Maximal)
+					}
+					if got.String() != want.String() {
+						t.Errorf("report rendering diverges:\nengine: %s\noracle: %s", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestComposeMatchesBuild asserts the composed graph is identical to the
+// naive construction — same edge sequence, not just the same verdict.
+func TestComposeMatchesBuild(t *testing.T) {
+	for _, bench := range fixedBenchmarks() {
+		for _, setting := range summary.AllSettings {
+			ltps := btp.UnfoldAll2(bench.Programs)
+			want := summary.Build(bench.Schema, ltps, setting)
+			bs := summary.NewBlockSet(bench.Schema, setting)
+			got := summary.Compose(bs, ltps)
+			if len(got.Edges) != len(want.Edges) {
+				t.Fatalf("%s under %s: %d edges, want %d", bench.Name, setting, len(got.Edges), len(want.Edges))
+			}
+			for i := range got.Edges {
+				if got.Edges[i] != want.Edges[i] {
+					t.Fatalf("%s under %s: edge %d = %s, want %s",
+						bench.Name, setting, i, got.Edges[i], want.Edges[i])
+				}
+			}
+			if got.String() != want.String() {
+				t.Errorf("%s under %s: graph dump diverges", bench.Name, setting)
+			}
+		}
+	}
+}
+
+// TestSessionCheckMatchesNaive compares the session's Check against the
+// naive single-shot path on full program sets and on the classic non-robust
+// SmallBank pairs.
+func TestSessionCheckMatchesNaive(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := analysis.NewSession(bench.Schema)
+	sets := [][]*btp.Program{bench.Programs}
+	for _, names := range [][]string{{"WriteCheck"}, {"Balance", "WriteCheck"}, {"Amalgamate", "DepositChecking", "TransactSavings"}} {
+		var ps []*btp.Program
+		for _, n := range names {
+			ps = append(ps, bench.Program(n))
+		}
+		sets = append(sets, ps)
+	}
+	for _, setting := range summary.AllSettings {
+		for _, method := range methods {
+			for _, ps := range sets {
+				cfg := analysis.Config{Setting: setting, Method: method}
+				got, err := sess.Check(ps, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := robust.NewChecker(bench.Schema)
+				c.Setting = setting
+				c.Method = method
+				want := c.CheckLTPs(btp.UnfoldAll2(ps))
+				if got.Robust != want.Robust {
+					t.Errorf("%s/%s/%d programs: engine robust=%t, naive=%t",
+						setting, method, len(ps), got.Robust, want.Robust)
+				}
+				if got.Graph.String() != want.Graph.String() {
+					t.Errorf("%s/%s/%d programs: graph dump diverges", setting, method, len(ps))
+				}
+				if (got.Witness == nil) != (want.Witness == nil) {
+					t.Errorf("%s/%s/%d programs: witness presence diverges", setting, method, len(ps))
+				}
+			}
+		}
+	}
+}
+
+// TestSessionMemoization asserts that unfoldings are shared across calls
+// (pointer-identical LTPs) and that blocks accumulate per setting.
+func TestSessionMemoization(t *testing.T) {
+	bench := benchmarks.TPCC()
+	sess := analysis.NewSession(bench.Schema)
+	p := bench.Program("NewOrder")
+	l1, err := sess.LTPs(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := sess.LTPs(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1) == 0 || len(l1) != len(l2) {
+		t.Fatalf("unfold lengths: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("memoized unfolding not pointer-identical")
+		}
+	}
+	l3, err := sess.LTPs(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l3) <= len(l1) {
+		t.Fatalf("bound 3 should yield more unfoldings: %d vs %d", len(l3), len(l1))
+	}
+	bs := sess.Blocks(summary.SettingAttrDep)
+	if bs.Len() != 0 {
+		t.Fatalf("fresh block set has %d pairs", bs.Len())
+	}
+	if _, err := sess.Check(bench.Programs, analysis.Config{Setting: summary.SettingAttrDep}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bs.Len(), 13*13; got != want {
+		t.Errorf("block pairs after full check = %d, want %d", got, want)
+	}
+	if sess.Blocks(summary.SettingAttrDep) != bs {
+		t.Error("Blocks not memoized per setting")
+	}
+}
+
+// TestSessionRejectsInvalidProgram checks validation errors surface (and
+// are memoized) through the engine.
+func TestSessionRejectsInvalidProgram(t *testing.T) {
+	bench := benchmarks.Auction()
+	sess := analysis.NewSession(bench.Schema)
+	bad := btp.LinearProgram("Bad", &btp.Stmt{Name: "q", Type: btp.KeySel, Rel: "Nope", ReadSet: btp.Attrs()})
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Check([]*btp.Program{bad}, analysis.DefaultConfig()); err == nil {
+			t.Fatal("invalid program accepted")
+		}
+		if _, err := sess.RobustSubsets([]*btp.Program{bad}, analysis.DefaultConfig()); err == nil {
+			t.Fatal("invalid program accepted by RobustSubsets")
+		}
+	}
+}
+
+// TestSessionTooManyPrograms documents the enumeration guard.
+func TestSessionTooManyPrograms(t *testing.T) {
+	bench := benchmarks.AuctionN(11) // 22 programs
+	sess := analysis.NewSession(bench.Schema)
+	if _, err := sess.RobustSubsets(bench.Programs, analysis.DefaultConfig()); err == nil {
+		t.Fatal("expected infeasibility error for 22 programs")
+	}
+}
+
+// TestSessionConcurrentUse hammers one session from many goroutines across
+// settings, methods and program subsets; run under -race this is the
+// engine's data-race test.
+func TestSessionConcurrentUse(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := analysis.NewSession(bench.Schema)
+	want := map[summary.Method]string{}
+	for _, method := range methods {
+		rep, err := sess.RobustSubsets(bench.Programs, analysis.Config{
+			Setting: summary.SettingAttrDepFK, Method: method,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[method] = rep.String()
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			setting := summary.AllSettings[g%len(summary.AllSettings)]
+			method := methods[g%len(methods)]
+			for i := 0; i < 3; i++ {
+				rep, err := sess.RobustSubsets(bench.Programs, analysis.Config{
+					Setting: setting, Method: method, Parallelism: 4,
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if setting == summary.SettingAttrDepFK && rep.String() != want[method] {
+					errc <- fmt.Errorf("concurrent report diverged: %s", rep)
+					return
+				}
+				if _, err := sess.Check(bench.Programs, analysis.Config{Setting: setting, Method: method}); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestParallelismEquivalence sweeps worker counts and asserts identical
+// reports, including the degenerate sequential case.
+func TestParallelismEquivalence(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := analysis.NewSession(bench.Schema)
+	var base string
+	for i, par := range []int{1, 2, 3, 8, 64} {
+		rep, err := sess.RobustSubsets(bench.Programs, analysis.Config{
+			Setting: summary.SettingAttrDepFK, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = rep.String()
+			continue
+		}
+		if rep.String() != base {
+			t.Errorf("parallelism %d diverges: %s != %s", par, rep, base)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+-- Auction benchmark (Figure 1): the paper's running example, written in
+-- the SQL dialect of Appendix A. Cross-validated against the hand-coded
+-- Figure 2 BTPs by sql_test.go.
+
+PROGRAM FindBids(:buyer, :minimum):
+  UPDATE Buyer SET calls = calls + 1 WHERE id = :buyer;  -- q1
+  SELECT bid FROM Bids WHERE bid >= :minimum;            -- q2
+COMMIT;
+
+PROGRAM PlaceBid(:buyer, :amount, :logId):
+  UPDATE Buyer SET calls = calls + 1 WHERE id = :buyer;  -- q3
+  SELECT bid INTO :current FROM Bids WHERE buyerId = :buyer;  -- q4
+  IF :amount > :current THEN
+    UPDATE Bids SET bid = :amount WHERE buyerId = :buyer;  -- q5
+  ENDIF;
+  INSERT INTO Log VALUES (:logId, :buyer, :amount);  -- q6
+  -- The Bids tuple addressed by q4/q5 and the Log tuple inserted by q6
+  -- reference the Buyer tuple q3 updates.
+  -- @fk q3 = f1(q4)
+  -- @fk q3 = f1(q5)
+  -- @fk q3 = f2(q6)
+COMMIT;

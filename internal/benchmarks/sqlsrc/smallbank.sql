@@ -1,0 +1,46 @@
+-- SmallBank benchmark (Figure 9 / Appendix E.1) in the SQL dialect of
+-- Appendix A. Cross-validated against the hand-coded Figure 10 BTPs by
+-- sql_test.go.
+
+PROGRAM Amalgamate(:name1, :name2):
+  SELECT CustomerId INTO :c1 FROM Account WHERE Name = :name1;  -- q1
+  SELECT CustomerId INTO :c2 FROM Account WHERE Name = :name2;  -- q2
+  UPDATE Savings SET Balance = Balance - Balance WHERE CustomerId = :c1;   -- q3
+  UPDATE Checking SET Balance = Balance - Balance WHERE CustomerId = :c1;  -- q4
+  UPDATE Checking SET Balance = Balance + :total WHERE CustomerId = :c2;   -- q5
+  -- @fk q3 = fS(q1)
+  -- @fk q4 = fC(q1)
+  -- @fk q5 = fC(q2)
+COMMIT;
+
+PROGRAM Balance(:name):
+  SELECT CustomerId INTO :c FROM Account WHERE Name = :name;  -- q6
+  SELECT Balance INTO :sb FROM Savings WHERE CustomerId = :c;   -- q7
+  SELECT Balance INTO :cb FROM Checking WHERE CustomerId = :c;  -- q8
+  -- @fk q7 = fS(q6)
+  -- @fk q8 = fC(q6)
+COMMIT;
+
+PROGRAM DepositChecking(:name, :amount):
+  SELECT CustomerId INTO :c FROM Account WHERE Name = :name;  -- q9
+  UPDATE Checking SET Balance = Balance + :amount WHERE CustomerId = :c;  -- q10
+  -- @fk q10 = fC(q9)
+COMMIT;
+
+PROGRAM TransactSavings(:name, :amount):
+  SELECT CustomerId INTO :c FROM Account WHERE Name = :name;  -- q11
+  UPDATE Savings SET Balance = Balance + :amount WHERE CustomerId = :c;  -- q12
+  -- @fk q12 = fS(q11)
+COMMIT;
+
+PROGRAM WriteCheck(:name, :amount):
+  SELECT CustomerId INTO :c FROM Account WHERE Name = :name;  -- q13
+  SELECT Balance INTO :sb FROM Savings WHERE CustomerId = :c;   -- q14
+  SELECT Balance INTO :cb FROM Checking WHERE CustomerId = :c;  -- q15
+  -- Figure 10 models the final update as a blind write (empty ReadSet):
+  -- the new balance is computed from the values read by q14 and q15.
+  UPDATE Checking SET Balance = :newBalance WHERE CustomerId = :c;  -- q16
+  -- @fk q14 = fS(q13)
+  -- @fk q15 = fC(q13)
+  -- @fk q16 = fC(q13)
+COMMIT;

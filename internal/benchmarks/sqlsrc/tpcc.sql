@@ -1,0 +1,121 @@
+-- TPC-C benchmark (Figures 12-16 / Appendix E.2) in the SQL dialect of
+-- Appendix A. Cross-validated against the hand-coded Figure 17 BTPs by
+-- sql_test.go. Statement labels follow Figure 17.
+
+PROGRAM Delivery(:w, :carrier, :date):
+  REPEAT
+    SELECT MIN(no_o_id) INTO :o FROM New_Order WHERE no_d_id = :d AND no_w_id = :w;  -- q1
+    DELETE FROM New_Order WHERE no_o_id = :o AND no_d_id = :d AND no_w_id = :w;  -- q2
+    SELECT o_c_id INTO :c FROM Orders WHERE o_id = :o AND o_d_id = :d AND o_w_id = :w;  -- q3
+    UPDATE Orders SET o_carrier_id = :carrier WHERE o_id = :o AND o_d_id = :d AND o_w_id = :w;  -- q4
+    UPDATE Order_Line SET ol_delivery_d = :date WHERE ol_o_id = :o AND ol_d_id = :d AND ol_w_id = :w;  -- q5
+    SELECT SUM(ol_amount) INTO :total FROM Order_Line WHERE ol_o_id = :o AND ol_d_id = :d AND ol_w_id = :w;  -- q6
+    UPDATE Customer SET c_balance = c_balance + :total, c_delivery_cnt = c_delivery_cnt + 1
+      WHERE c_id = :c AND c_d_id = :d AND c_w_id = :w;  -- q7
+  END REPEAT;
+  -- The New_Order tuple selected by q1 and deleted by q2 references the
+  -- Orders tuple read by q3 and updated by q4 (f5); the Order_Line rows of
+  -- q5 and q6 belong to the same order (f8), which references the customer
+  -- q7 updates (f7).
+  -- @fk q3 = f5(q1)
+  -- @fk q4 = f5(q1)
+  -- @fk q3 = f5(q2)
+  -- @fk q4 = f5(q2)
+  -- @fk q3 = f8(q5)
+  -- @fk q4 = f8(q5)
+  -- @fk q3 = f8(q6)
+  -- @fk q4 = f8(q6)
+  -- @fk q7 = f7(q3)
+  -- @fk q7 = f7(q4)
+COMMIT;
+
+PROGRAM NewOrder(:w, :d, :c, :entry):
+  SELECT c_discount, c_last, c_credit INTO :disc, :last, :credit
+    FROM Customer WHERE c_id = :c AND c_d_id = :d AND c_w_id = :w;  -- q8
+  SELECT w_tax INTO :wtax FROM Warehouse WHERE w_id = :w;  -- q9
+  UPDATE District SET d_next_o_id = d_next_o_id + 1 WHERE d_id = :d AND d_w_id = :w
+    RETURNING d_next_o_id, d_tax INTO :o, :dtax;  -- q10
+  INSERT INTO Orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_id, o_ol_cnt, o_all_local)
+    VALUES (:o, :d, :w, :c, :entry, :cnt, :all_local);  -- q11
+  INSERT INTO New_Order VALUES (:o, :d, :w);  -- q12
+  REPEAT
+    SELECT i_price, i_name, i_data INTO :price, :iname, :idata FROM Item WHERE i_id = :i;  -- q13
+    UPDATE Stock SET s_quantity = s_quantity - :qty, s_ytd = s_ytd + :qty,
+        s_order_cnt = s_order_cnt + 1, s_remote_cnt = s_remote_cnt + :remote
+      WHERE s_i_id = :i AND s_w_id = :sw
+      RETURNING s_data, s_dist_01, s_dist_02, s_dist_03, s_dist_04, s_dist_05,
+        s_dist_06, s_dist_07, s_dist_08, s_dist_09, s_dist_10
+      INTO :sdata, :d01, :d02, :d03, :d04, :d05, :d06, :d07, :d08, :d09, :d10;  -- q14
+    INSERT INTO Order_Line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id,
+        ol_supply_w_id, ol_quantity, ol_amount, ol_dist_info)
+      VALUES (:o, :d, :w, :number, :i, :sw, :qty, :amount, :distinfo);  -- q15
+  END REPEAT;
+  -- @fk q10 = f2(q8)
+  -- @fk q9 = f1(q10)
+  -- @fk q8 = f7(q11)
+  -- @fk q10 = f6(q11)
+  -- @fk q11 = f5(q12)
+  -- @fk q13 = f11(q14)
+  -- @fk q9 = f12(q14)
+  -- @fk q11 = f8(q15)
+  -- @fk q13 = f9(q15)
+  -- @fk q9 = f10(q15)
+COMMIT;
+
+PROGRAM OrderStatus(:w, :d, :c, :last):
+  IF :by_last_name THEN
+    SELECT c_id, c_first, c_middle, c_balance INTO :c, :first, :middle, :balance
+      FROM Customer WHERE c_w_id = :w AND c_d_id = :d AND c_last = :last;  -- q16
+  ELSE
+    SELECT c_first, c_middle, c_last, c_balance INTO :first, :middle, :last, :balance
+      FROM Customer WHERE c_id = :c AND c_d_id = :d AND c_w_id = :w;  -- q17
+  ENDIF;
+  SELECT o_id, o_entry_id, o_carrier_id INTO :o, :entry, :carrier
+    FROM Orders WHERE o_c_id = :c AND o_d_id = :d AND o_w_id = :w;  -- q18
+  SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d
+    FROM Order_Line WHERE ol_o_id = :o AND ol_d_id = :d AND ol_w_id = :w;  -- q19
+  -- @fk q17 = f7(q18)
+COMMIT;
+
+PROGRAM Payment(:w, :d, :c, :amount, :date):
+  UPDATE Warehouse SET w_ytd = w_ytd + :amount WHERE w_id = :w
+    RETURNING w_name, w_street_1, w_street_2, w_city, w_state, w_zip
+    INTO :wname, :ws1, :ws2, :wcity, :wstate, :wzip;  -- q20
+  UPDATE District SET d_ytd = d_ytd + :amount WHERE d_id = :d AND d_w_id = :w
+    RETURNING d_name, d_street_1, d_street_2, d_city, d_state, d_zip
+    INTO :dname, :ds1, :ds2, :dcity, :dstate, :dzip;  -- q21
+  IF :by_last_name THEN
+    SELECT c_id INTO :c FROM Customer
+      WHERE c_w_id = :w AND c_d_id = :d AND c_last = :clast;  -- q22
+  ENDIF;
+  UPDATE Customer SET c_balance = c_balance - :amount,
+      c_ytd_payment = c_ytd_payment + :amount, c_payment_cnt = c_payment_cnt + 1
+    WHERE c_id = :c AND c_d_id = :d AND c_w_id = :w
+    RETURNING c_first, c_middle, c_last, c_street_1, c_street_2, c_city, c_state,
+      c_zip, c_phone, c_since, c_credit, c_credit_lim, c_discount
+    INTO :first, :middle, :clast, :cs1, :cs2, :ccity, :cstate,
+      :czip, :phone, :since, :credit, :lim, :disc;  -- q23
+  IF :credit = 'BC' THEN
+    SELECT c_data INTO :cdata FROM Customer
+      WHERE c_id = :c AND c_d_id = :d AND c_w_id = :w;  -- q24
+    UPDATE Customer SET c_data = :newdata
+      WHERE c_id = :c AND c_d_id = :d AND c_w_id = :w;  -- q25
+  ENDIF;
+  INSERT INTO History VALUES (:c, :d, :w, :d, :w, :date, :amount, :hdata);  -- q26
+  -- @fk q20 = f1(q21)
+  -- @fk q21 = f2(q22)
+  -- @fk q21 = f2(q23)
+  -- @fk q21 = f2(q24)
+  -- @fk q21 = f2(q25)
+  -- @fk q23 = f3(q26)
+  -- @fk q25 = f3(q26)
+  -- @fk q21 = f4(q26)
+COMMIT;
+
+PROGRAM StockLevel(:w, :d, :threshold):
+  SELECT d_next_o_id INTO :o FROM District WHERE d_id = :d AND d_w_id = :w;  -- q27
+  SELECT ol_i_id FROM Order_Line
+    WHERE ol_w_id = :w AND ol_d_id = :d AND ol_o_id < :o;  -- q28
+  SELECT COUNT(s_i_id) INTO :low FROM Stock
+    WHERE s_w_id = :w AND s_quantity < :threshold;  -- q29
+COMMIT;

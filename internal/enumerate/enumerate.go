@@ -14,7 +14,11 @@ package enumerate
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/btp"
 	"repro/internal/instantiate"
 	"repro/internal/relschema"
@@ -204,4 +208,81 @@ func FindCounterexample(schema *relschema.Schema, instances []Instance, opts Opt
 		txns = append(txns, t)
 	}
 	return FindNonSerializable(schema, txns, opts)
+}
+
+// SessionInstances builds one search instance per unfolding of the program,
+// drawing the LTPs from the shared analysis session (so repeated candidate
+// construction across subsets reuses the memoized unfoldings). assign maps
+// each LTP to its tuple assignment; bound 0 means the default unfold bound.
+func SessionInstances(sess *analysis.Session, p *btp.Program, bound int, assign func(*btp.LTP) instantiate.Assignment) ([]Instance, error) {
+	ltps, err := sess.LTPs(p, bound)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Instance, 0, len(ltps))
+	for _, l := range ltps {
+		out = append(out, Instance{LTP: l, Assignment: assign(l)})
+	}
+	return out, nil
+}
+
+// FindAnyCounterexample searches several candidate instance sets
+// concurrently (bounded by parallelism; 0 means GOMAXPROCS) and returns the
+// counterexample of the lowest-indexed candidate that admits one, together
+// with that candidate's index (-1 when none does). Every candidate is
+// searched to completion under its own budget, so the result is
+// deterministic regardless of scheduling. This is the constructive
+// complement of the parallel subset enumeration: when the static analysis
+// rejects a set of subsets, their candidate instantiations can be checked
+// for real anomalies in one parallel sweep.
+func FindAnyCounterexample(schema *relschema.Schema, candidates [][]Instance, parallelism int, opts Options) (*Result, int, error) {
+	if len(candidates) == 0 {
+		return &Result{Exhausted: true}, -1, nil
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	results := make([]*Result, len(candidates))
+	errs := make([]error, len(candidates))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(candidates) {
+					return
+				}
+				results[i], errs[i] = FindCounterexample(schema, candidates[i], opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, -1, fmt.Errorf("enumerate: candidate %d: %w", i, err)
+		}
+	}
+	for i, res := range results {
+		if res.Found {
+			return res, i, nil
+		}
+	}
+	// No counterexample: report exhaustion only if every search was
+	// exhaustive.
+	agg := &Result{Exhausted: true}
+	for _, res := range results {
+		agg.Explored += res.Explored
+		if !res.Exhausted {
+			agg.Exhausted = false
+		}
+	}
+	return agg, -1, nil
 }

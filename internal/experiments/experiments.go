@@ -3,6 +3,12 @@
 // (robust subsets via type-II cycles, Algorithm 2), Figure 7 (robust
 // subsets via type-I cycles, the method of Alomari and Fekete [3]) and
 // Figure 8 (scalability on Auction(n)).
+//
+// All cells of one run are computed on a Suite, which holds one
+// analysis.Session per benchmark: each benchmark's programs are unfolded
+// once and the pairwise edge blocks of Algorithm 1 are cached per setting,
+// so the 4 settings × 2 methods × 2^n−1 subset checks behind Figures 6 and
+// 7 share one incremental engine instead of rebuilding everything per cell.
 package experiments
 
 import (
@@ -11,11 +17,49 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
 	"repro/internal/robust"
 	"repro/internal/summary"
 )
+
+// Suite bundles the three fixed benchmarks with their shared analysis
+// sessions and the parallelism used for subset enumeration.
+type Suite struct {
+	// Parallelism bounds the subset-enumeration worker pool per cell;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+
+	benchmarks []*benchmarks.Benchmark
+	sessions   map[*benchmarks.Benchmark]*analysis.Session
+}
+
+// NewSuite creates a suite over the three fixed benchmarks of Section 7.
+func NewSuite() *Suite {
+	s := &Suite{sessions: map[*benchmarks.Benchmark]*analysis.Session{}}
+	for _, b := range []*benchmarks.Benchmark{
+		benchmarks.SmallBank(), benchmarks.TPCC(), benchmarks.Auction(),
+	} {
+		s.benchmarks = append(s.benchmarks, b)
+	}
+	return s
+}
+
+// Session returns the suite's shared session for the benchmark, creating
+// it on first use. Benchmarks not constructed by the suite get their own
+// session keyed by identity.
+func (s *Suite) Session(b *benchmarks.Benchmark) *analysis.Session {
+	sess, ok := s.sessions[b]
+	if !ok {
+		sess = analysis.NewSession(b.Schema)
+		s.sessions[b] = sess
+	}
+	return sess
+}
+
+// Benchmarks returns the suite's benchmarks in Table 2 order.
+func (s *Suite) Benchmarks() []*benchmarks.Benchmark { return s.benchmarks }
 
 // Table2Row reports the summary-graph characteristics of one benchmark
 // under the paper's primary setting (attribute granularity with foreign
@@ -29,11 +73,18 @@ type Table2Row struct {
 	CounterflowEdges int
 }
 
-// Table2 computes the characteristics row for a benchmark.
+// Table2 computes the characteristics row for a benchmark on a throwaway
+// session.
 func Table2(b *benchmarks.Benchmark) Table2Row {
-	ltps := btp.UnfoldAll2(b.Programs)
-	g := summary.Build(b.Schema, ltps, summary.SettingAttrDepFK)
-	st := g.Stats()
+	return table2(analysis.NewSession(b.Schema), b)
+}
+
+func table2(sess *analysis.Session, b *benchmarks.Benchmark) Table2Row {
+	res, err := sess.Check(b.Programs, analysis.DefaultConfig())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", b.Name, err))
+	}
+	st := res.Graph.Stats()
 	return Table2Row{
 		Benchmark:        b.Name,
 		Relations:        len(b.Schema.Relations()),
@@ -44,13 +95,18 @@ func Table2(b *benchmarks.Benchmark) Table2Row {
 	}
 }
 
+// Table2 computes Table 2 on the suite's shared sessions.
+func (s *Suite) Table2() []Table2Row {
+	rows := make([]Table2Row, 0, len(s.benchmarks))
+	for _, b := range s.benchmarks {
+		rows = append(rows, table2(s.Session(b), b))
+	}
+	return rows
+}
+
 // Table2All computes Table 2 for the three fixed benchmarks.
 func Table2All() []Table2Row {
-	return []Table2Row{
-		Table2(benchmarks.SmallBank()),
-		Table2(benchmarks.TPCC()),
-		Table2(benchmarks.Auction()),
-	}
+	return NewSuite().Table2()
 }
 
 // FormatTable2 renders rows in the layout of Table 2.
@@ -83,12 +139,14 @@ func (c SubsetCell) String() string {
 }
 
 // RobustSubsetsCell computes the maximal robust subsets of a benchmark
-// under one setting and method.
+// under one setting and method on a throwaway session.
 func RobustSubsetsCell(b *benchmarks.Benchmark, setting summary.Setting, method summary.Method) (SubsetCell, error) {
-	c := robust.NewChecker(b.Schema)
-	c.Setting = setting
-	c.Method = method
-	rep, err := c.RobustSubsets(b.Programs)
+	return subsetsCell(analysis.NewSession(b.Schema), 0, b, setting, method)
+}
+
+func subsetsCell(sess *analysis.Session, parallelism int, b *benchmarks.Benchmark, setting summary.Setting, method summary.Method) (SubsetCell, error) {
+	cfg := analysis.Config{Setting: setting, Method: method, Parallelism: parallelism}
+	rep, err := sess.RobustSubsets(b.Programs, cfg)
 	if err != nil {
 		return SubsetCell{}, fmt.Errorf("experiments: %s under %s: %w", b.Name, setting, err)
 	}
@@ -96,13 +154,13 @@ func RobustSubsetsCell(b *benchmarks.Benchmark, setting summary.Setting, method 
 }
 
 // FigureRows computes one full figure (all four settings for every given
-// benchmark) under the given method: summary.TypeII reproduces Figure 6,
-// summary.TypeI reproduces Figure 7.
-func FigureRows(method summary.Method, bs ...*benchmarks.Benchmark) ([]SubsetCell, error) {
+// benchmark) under the given method on the suite's shared sessions:
+// summary.TypeII reproduces Figure 6, summary.TypeI reproduces Figure 7.
+func (s *Suite) FigureRows(method summary.Method) ([]SubsetCell, error) {
 	var out []SubsetCell
 	for _, setting := range summary.AllSettings {
-		for _, b := range bs {
-			cell, err := RobustSubsetsCell(b, setting, method)
+		for _, b := range s.benchmarks {
+			cell, err := subsetsCell(s.Session(b), s.Parallelism, b, setting, method)
 			if err != nil {
 				return nil, err
 			}
@@ -112,17 +170,41 @@ func FigureRows(method summary.Method, bs ...*benchmarks.Benchmark) ([]SubsetCel
 	return out, nil
 }
 
+// FigureRows computes one full figure for the given benchmarks on
+// throwaway per-benchmark sessions (shared across the four settings).
+func FigureRows(method summary.Method, bs ...*benchmarks.Benchmark) ([]SubsetCell, error) {
+	sessions := make(map[*benchmarks.Benchmark]*analysis.Session, len(bs))
+	for _, b := range bs {
+		sessions[b] = analysis.NewSession(b.Schema)
+	}
+	var out []SubsetCell
+	for _, setting := range summary.AllSettings {
+		for _, b := range bs {
+			cell, err := subsetsCell(sessions[b], 0, b, setting, method)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// Figure6 computes Figure 6 (Algorithm 2, type-II cycles).
+func (s *Suite) Figure6() ([]SubsetCell, error) { return s.FigureRows(summary.TypeII) }
+
+// Figure7 computes Figure 7 (method of [3], type-I cycles).
+func (s *Suite) Figure7() ([]SubsetCell, error) { return s.FigureRows(summary.TypeI) }
+
 // Figure6 computes Figure 6 (Algorithm 2, type-II cycles) for the three
 // benchmarks.
 func Figure6() ([]SubsetCell, error) {
-	return FigureRows(summary.TypeII,
-		benchmarks.SmallBank(), benchmarks.TPCC(), benchmarks.Auction())
+	return NewSuite().Figure6()
 }
 
 // Figure7 computes Figure 7 (method of [3], type-I cycles).
 func Figure7() ([]SubsetCell, error) {
-	return FigureRows(summary.TypeI,
-		benchmarks.SmallBank(), benchmarks.TPCC(), benchmarks.Auction())
+	return NewSuite().Figure7()
 }
 
 // FormatFigure renders figure cells grouped by setting.
@@ -163,7 +245,9 @@ type Figure8Point struct {
 // Figure8 runs the Auction(n) scalability experiment for each n, repeating
 // each measurement `repeats` times and keeping the median total time (the
 // paper reports means of 10 runs with confidence intervals; medians are
-// more stable for a reproduction).
+// more stable for a reproduction). Each repetition runs on a cold session,
+// so the timings measure the full pipeline — unfolding, Algorithm 1 edge
+// derivation and cycle detection — not cache hits.
 func Figure8(ns []int, repeats int) []Figure8Point {
 	if repeats < 1 {
 		repeats = 1
@@ -188,10 +272,20 @@ func Figure8(ns []int, repeats int) []Figure8Point {
 }
 
 func measureAuctionN(b *benchmarks.Benchmark, n int) Figure8Point {
+	sess := analysis.NewSession(b.Schema)
 	start := time.Now()
-	ltps := btp.UnfoldAll2(b.Programs)
+	var ltps []*btp.LTP
+	for _, p := range b.Programs {
+		ls, err := sess.LTPs(p, 0)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: Auction(%d): %v", n, err))
+		}
+		ltps = append(ltps, ls...)
+	}
 	t0 := time.Now()
-	g := summary.Build(b.Schema, ltps, summary.SettingAttrDepFK)
+	bs := sess.Blocks(summary.SettingAttrDepFK)
+	bs.Ensure(ltps)
+	g := summary.Compose(bs, ltps)
 	t1 := time.Now()
 	robustOK, _ := g.Robust(summary.TypeII)
 	t2 := time.Now()

@@ -3,31 +3,36 @@
 // schedule they can produce under multiversion Read Committed is conflict
 // serializable (Definition 5.1, Algorithm 2), and enumerate the robust /
 // maximal-robust subsets reported in Figures 6 and 7.
+//
+// Since the incremental-engine refactor the heavy lifting lives in
+// internal/analysis: a Checker lazily owns an analysis.Session that unfolds
+// each program once, caches the pairwise summary-graph edge blocks of
+// Algorithm 1 per setting, composes subset graphs from those blocks and
+// fans the subset enumeration out over a worker pool (Parallelism). The
+// pre-refactor naive path — re-unfold and re-run Algorithm 1 per subset —
+// is kept as NaiveRobustSubsets, the oracle the equivalence tests compare
+// the engine against.
 package robust
 
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/btp"
 	"repro/internal/relschema"
 	"repro/internal/summary"
 )
 
-// Result is the outcome of one robustness check.
-type Result struct {
-	// Robust is true when the analysis certifies the program set robust
-	// against MVRC. The analysis is sound: true is always correct; false
-	// may be a false negative (Proposition 6.5).
-	Robust bool
-	// Witness is a dangerous cycle in the summary graph when not robust.
-	Witness *summary.Witness
-	// Graph is the constructed summary graph over the unfolded LTPs.
-	Graph *summary.Graph
-	// LTPs are the Unfold≤2 unfoldings the graph was built over.
-	LTPs []*btp.LTP
-}
+// Result is the outcome of one robustness check. See analysis.Result.
+type Result = analysis.Result
+
+// Subset is a subset of programs identified by their short names, sorted.
+type Subset = analysis.Subset
+
+// SubsetReport lists every robust subset and the maximal ones among them.
+type SubsetReport = analysis.SubsetReport
 
 // Checker bundles a schema with an analysis configuration.
 type Checker struct {
@@ -38,6 +43,15 @@ type Checker struct {
 	// bound of 2 (Proposition 6.1). Exposed for the ablation study only —
 	// bound 1 is unsound in general.
 	UnfoldBound int
+	// Parallelism bounds the worker pool RobustSubsets fans subset masks
+	// out over; 0 means GOMAXPROCS, 1 forces sequential enumeration.
+	Parallelism int
+
+	// sess is the lazily created incremental engine. It memoizes per
+	// program pointer, unfold bound and setting, so mutating the exported
+	// configuration fields between calls is safe; mutating Schema is not.
+	sessOnce sync.Once
+	sess     *analysis.Session
 }
 
 // NewChecker returns a Checker with the paper's defaults: attribute
@@ -57,9 +71,55 @@ func (c *Checker) bound() int {
 	return btp.DefaultUnfoldBound
 }
 
+// Session returns the Checker's incremental analysis engine, creating it on
+// first use. The engine (and therefore Check/RobustSubsets) is safe to use
+// from concurrent goroutines as long as the configuration fields are not
+// mutated concurrently.
+func (c *Checker) Session() *analysis.Session {
+	c.sessOnce.Do(func() { c.sess = analysis.NewSession(c.Schema) })
+	return c.sess
+}
+
+// config snapshots the exported fields into an engine configuration.
+func (c *Checker) config() analysis.Config {
+	return analysis.Config{
+		Setting:     c.Setting,
+		Method:      c.Method,
+		UnfoldBound: c.UnfoldBound,
+		Parallelism: c.Parallelism,
+	}
+}
+
 // Check runs the analysis on a set of BTPs: validate, unfold, build the
-// summary graph, and search for dangerous cycles.
+// summary graph, and search for dangerous cycles. Validation, unfolding and
+// the pairwise edge blocks are memoized in the Checker's session, so
+// repeated checks over overlapping program sets only pay for cycle
+// detection.
 func (c *Checker) Check(programs []*btp.Program) (*Result, error) {
+	return c.Session().Check(programs, c.config())
+}
+
+// CheckLTPs runs the analysis directly on pre-unfolded LTPs, bypassing the
+// session (naive single-shot construction).
+func (c *Checker) CheckLTPs(ltps []*btp.LTP) *Result {
+	g := summary.Build(c.Schema, ltps, c.Setting)
+	ok, w := g.Robust(c.Method)
+	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}
+}
+
+// RobustSubsets checks every non-empty subset of the given programs and
+// reports the robust and maximal robust ones. Program count must be modest
+// (the benchmarks have ≤ 5); the check is exponential in it. The engine
+// composes each subset's summary graph from cached pairwise edge blocks and
+// enumerates subsets on a worker pool; the output is byte-identical to the
+// naive per-subset oracle (see NaiveRobustSubsets).
+func (c *Checker) RobustSubsets(programs []*btp.Program) (*SubsetReport, error) {
+	return c.Session().RobustSubsets(programs, c.config())
+}
+
+// naiveCheck is the pre-refactor Check: validate, unfold and run
+// Algorithm 1 from scratch, with no memoization.
+func (c *Checker) naiveCheck(programs []*btp.Program) (*Result, error) {
 	for _, p := range programs {
 		if err := p.Validate(c.Schema); err != nil {
 			return nil, fmt.Errorf("robust: %w", err)
@@ -71,74 +131,16 @@ func (c *Checker) Check(programs []*btp.Program) (*Result, error) {
 	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}, nil
 }
 
-// CheckLTPs runs the analysis directly on pre-unfolded LTPs.
-func (c *Checker) CheckLTPs(ltps []*btp.LTP) *Result {
-	g := summary.Build(c.Schema, ltps, c.Setting)
-	ok, w := g.Robust(c.Method)
-	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}
-}
-
-// Subset is a subset of programs identified by their short names, sorted.
-type Subset []string
-
-// String renders the subset as "{A, B, C}".
-func (s Subset) String() string { return "{" + strings.Join(s, ", ") + "}" }
-
-// contains reports whether s is a superset of t.
-func (s Subset) containsAll(t Subset) bool {
-	set := make(map[string]bool, len(s))
-	for _, n := range s {
-		set[n] = true
-	}
-	for _, n := range t {
-		if !set[n] {
-			return false
-		}
-	}
-	return true
-}
-
-// Equal reports element-wise equality (both sides sorted).
-func (s Subset) Equal(t Subset) bool {
-	if len(s) != len(t) {
-		return false
-	}
-	for i := range s {
-		if s[i] != t[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// SubsetReport lists every robust subset and the maximal ones among them.
-type SubsetReport struct {
-	// Robust lists all non-empty robust subsets, smallest first, then
-	// lexicographic.
-	Robust []Subset
-	// Maximal lists the robust subsets not strictly contained in another
-	// robust subset — the entries of Figures 6 and 7.
-	Maximal []Subset
-}
-
-// String renders the maximal subsets on one line, as in Figure 6.
-func (r *SubsetReport) String() string {
-	parts := make([]string, len(r.Maximal))
-	for i, s := range r.Maximal {
-		parts[i] = s.String()
-	}
-	return strings.Join(parts, ", ")
-}
-
-// RobustSubsets checks every non-empty subset of the given programs and
-// reports the robust and maximal robust ones. Program count must be modest
-// (the benchmarks have ≤ 5); the check is exponential in it.
-func (c *Checker) RobustSubsets(programs []*btp.Program) (*SubsetReport, error) {
+// NaiveRobustSubsets is the pre-refactor subset enumeration: it
+// re-validates, re-unfolds and re-runs Algorithm 1 for every one of the
+// 2^n − 1 subsets, sequentially. Kept as the oracle for the engine
+// equivalence tests and the naive/cached benchmarks.
+func (c *Checker) NaiveRobustSubsets(programs []*btp.Program) (*SubsetReport, error) {
 	n := len(programs)
 	if n > 20 {
 		return nil, fmt.Errorf("robust: subset enumeration over %d programs is infeasible", n)
 	}
-	report := &SubsetReport{}
+	var robustSubsets []Subset
 	for mask := 1; mask < 1<<n; mask++ {
 		var subset []*btp.Program
 		for i := 0; i < n; i++ {
@@ -146,7 +148,7 @@ func (c *Checker) RobustSubsets(programs []*btp.Program) (*SubsetReport, error) 
 				subset = append(subset, programs[i])
 			}
 		}
-		res, err := c.Check(subset)
+		res, err := c.naiveCheck(subset)
 		if err != nil {
 			return nil, err
 		}
@@ -156,46 +158,8 @@ func (c *Checker) RobustSubsets(programs []*btp.Program) (*SubsetReport, error) 
 				names[i] = p.ShortName()
 			}
 			sort.Strings(names)
-			report.Robust = append(report.Robust, names)
+			robustSubsets = append(robustSubsets, names)
 		}
 	}
-	sortSubsets(report.Robust)
-	for _, s := range report.Robust {
-		maximal := true
-		for _, t := range report.Robust {
-			if len(t) > len(s) && t.containsAll(s) {
-				maximal = false
-				break
-			}
-		}
-		if maximal {
-			report.Maximal = append(report.Maximal, s)
-		}
-	}
-	// Report largest maximal subsets first, as the paper does.
-	sort.SliceStable(report.Maximal, func(i, j int) bool {
-		if len(report.Maximal[i]) != len(report.Maximal[j]) {
-			return len(report.Maximal[i]) > len(report.Maximal[j])
-		}
-		return less(report.Maximal[i], report.Maximal[j])
-	})
-	return report, nil
-}
-
-func sortSubsets(subsets []Subset) {
-	sort.SliceStable(subsets, func(i, j int) bool {
-		if len(subsets[i]) != len(subsets[j]) {
-			return len(subsets[i]) < len(subsets[j])
-		}
-		return less(subsets[i], subsets[j])
-	})
-}
-
-func less(a, b Subset) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
+	return analysis.NewSubsetReport(robustSubsets), nil
 }

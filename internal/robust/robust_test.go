@@ -71,7 +71,7 @@ func TestUnfoldBoundOverride(t *testing.T) {
 func TestSubsetHelpers(t *testing.T) {
 	a := Subset{"A", "B"}
 	b := Subset{"A"}
-	if !a.containsAll(b) || b.containsAll(a) {
+	if !a.ContainsAll(b) || b.ContainsAll(a) {
 		t.Error("containsAll")
 	}
 	if !a.Equal(Subset{"A", "B"}) || a.Equal(b) {
@@ -121,7 +121,7 @@ func TestMaximalSubsetsAreMaximal(t *testing.T) {
 	}
 	for _, m := range rep.Maximal {
 		for _, r := range rep.Robust {
-			if len(r) > len(m) && r.containsAll(m) {
+			if len(r) > len(m) && r.ContainsAll(m) {
 				t.Errorf("maximal %v contained in robust %v", m, r)
 			}
 		}
@@ -129,7 +129,7 @@ func TestMaximalSubsetsAreMaximal(t *testing.T) {
 	for _, r := range rep.Robust {
 		covered := false
 		for _, m := range rep.Maximal {
-			if m.containsAll(r) {
+			if m.ContainsAll(r) {
 				covered = true
 				break
 			}

@@ -1,0 +1,299 @@
+package summary
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// BlockSet caches, for one analysis setting, the summary-graph edges of
+// every ordered pair of LTPs it has seen. Because Algorithm 1 derives edges
+// purely pairwise (appendPairEdges never consults other LTPs), the summary
+// graph of any LTP subset is exactly the concatenation of its pairs'
+// cached blocks — Compose assembles it without re-running ncDepConds,
+// cDepConds or fkSuppressed.
+//
+// A BlockSet is safe for concurrent use: Ensure and PairEdges may populate
+// the cache from multiple goroutines, and Compose only reads it. For the
+// parallel subset enumeration the caller typically calls Ensure once over
+// the full LTP universe and then fans Compose out over subsets.
+type BlockSet struct {
+	b builder
+
+	mu     sync.RWMutex
+	blocks map[ltpPair][]Edge
+}
+
+type ltpPair struct{ from, to *btp.LTP }
+
+// NewBlockSet creates an empty pairwise edge-block cache for the setting.
+func NewBlockSet(schema *relschema.Schema, setting Setting) *BlockSet {
+	return &BlockSet{
+		b:      builder{setting: setting, schema: schema},
+		blocks: make(map[ltpPair][]Edge),
+	}
+}
+
+// Setting returns the analysis setting the blocks are computed under.
+func (bs *BlockSet) Setting() Setting { return bs.b.setting }
+
+// Len returns the number of cached ordered pairs (for tests and stats).
+func (bs *BlockSet) Len() int {
+	bs.mu.RLock()
+	defer bs.mu.RUnlock()
+	return len(bs.blocks)
+}
+
+// PairEdges returns the edge block of the ordered pair (pi, pj), computing
+// and caching it on first use. The returned slice is shared — callers must
+// not mutate it.
+func (bs *BlockSet) PairEdges(pi, pj *btp.LTP) []Edge {
+	k := ltpPair{pi, pj}
+	bs.mu.RLock()
+	edges, ok := bs.blocks[k]
+	bs.mu.RUnlock()
+	if ok {
+		return edges
+	}
+	edges = bs.b.appendPairEdges(nil, pi, pj)
+	bs.mu.Lock()
+	// Another goroutine may have raced us here; last write wins — the
+	// computation is deterministic, so both results are identical.
+	bs.blocks[k] = edges
+	bs.mu.Unlock()
+	return edges
+}
+
+// Ensure precomputes the blocks of every ordered pair over the given LTPs,
+// so that subsequent Compose calls over subsets of them are pure cache
+// reads.
+func (bs *BlockSet) Ensure(ltps []*btp.LTP) {
+	for _, pi := range ltps {
+		for _, pj := range ltps {
+			bs.PairEdges(pi, pj)
+		}
+	}
+}
+
+// Compose assembles the summary graph SuG(P) of the given LTPs from the
+// block set's cached pairwise edges. The result is identical — including
+// edge order — to Build(schema, ltps, setting): Build iterates pi-major
+// over ordered pairs and each pair's edges are contiguous, so concatenating
+// the cached blocks in the same order reproduces the construction exactly.
+// Missing pairs are computed (and cached) on the fly.
+func Compose(bs *BlockSet, ltps []*btp.LTP) *Graph {
+	g := &Graph{
+		Setting: bs.b.setting,
+		Nodes:   ltps,
+		schema:  bs.b.schema,
+		nodeIdx: make(map[*btp.LTP]int, len(ltps)),
+	}
+	for i, l := range ltps {
+		g.nodeIdx[l] = i
+	}
+	// Two passes: gather the blocks (resolving cache misses), then copy
+	// them into one exactly-sized edge slice, recording endpoint indices
+	// as we go — every edge of block (fi, ti) runs from node fi to node ti.
+	m := len(ltps)
+	blocks := make([][]Edge, 0, m*m)
+	total := 0
+	for _, pi := range ltps {
+		for _, pj := range ltps {
+			blk := bs.PairEdges(pi, pj)
+			blocks = append(blocks, blk)
+			total += len(blk)
+		}
+	}
+	g.Edges = make([]Edge, 0, total)
+	g.edgeFrom = make([]int32, 0, total)
+	g.edgeTo = make([]int32, 0, total)
+	for bi, blk := range blocks {
+		fi, ti := int32(bi/m), int32(bi%m)
+		for range blk {
+			g.edgeFrom = append(g.edgeFrom, fi)
+			g.edgeTo = append(g.edgeTo, ti)
+		}
+		g.Edges = append(g.Edges, blk...)
+	}
+	g.index()
+	return g
+}
+
+// SubsetDetector answers robustness queries for node-induced subgraphs of
+// one LTP universe. It composes the universe graph once (priming the block
+// cache) and then detects dangerous cycles per subset directly on the
+// universe's edge arrays, filtered by a membership bitmask — no per-subset
+// graph is materialized, and with a reused DetectScratch the per-query
+// allocation count is zero. Verdicts are identical to running
+// Graph.Robust on the composed subset graph (the subset's summary graph is
+// exactly the universe graph induced on its nodes); the subset enumeration
+// uses this because it only needs verdicts, never witnesses.
+type SubsetDetector struct {
+	edges    []Edge
+	from, to []int32
+	// in[i] lists universe edge indices entering node i.
+	in [][]int32
+	// cf lists the counterflow edge indices.
+	cf    []int32
+	n     int
+	words int
+}
+
+// NewSubsetDetector builds a detector over the LTP universe, computing (or
+// reusing) the pairwise blocks of every ordered pair.
+func NewSubsetDetector(bs *BlockSet, ltps []*btp.LTP) *SubsetDetector {
+	g := Compose(bs, ltps)
+	n := len(ltps)
+	d := &SubsetDetector{
+		edges: g.Edges, from: g.edgeFrom, to: g.edgeTo,
+		n: n, words: (n + 63) / 64,
+	}
+	deg := make([]int, n)
+	for ei := range g.Edges {
+		deg[g.edgeTo[ei]]++
+	}
+	backing := make([]int32, len(g.Edges))
+	d.in = make([][]int32, n)
+	off := 0
+	for i := range d.in {
+		d.in[i] = backing[off : off : off+deg[i]]
+		off += deg[i]
+	}
+	for ei := range g.Edges {
+		ti := g.edgeTo[ei]
+		d.in[ti] = append(d.in[ti], int32(ei))
+		if g.Edges[ei].Class == Counterflow {
+			d.cf = append(d.cf, int32(ei))
+		}
+	}
+	return d
+}
+
+// NumNodes returns the universe size; membership masks passed to Robust
+// must cover (NumNodes+63)/64 words.
+func (d *SubsetDetector) NumNodes() int { return d.n }
+
+// DetectScratch holds the reusable buffers of one detection worker. Not
+// safe for concurrent use — allocate one per goroutine.
+type DetectScratch struct {
+	backing        []uint64
+	reach, coreach []bitset
+	cache          []int32
+}
+
+// NewScratch allocates a scratch sized for the detector's universe.
+func (d *SubsetDetector) NewScratch() *DetectScratch {
+	s := &DetectScratch{
+		backing: make([]uint64, 2*d.n*d.words),
+		reach:   make([]bitset, d.n),
+		coreach: make([]bitset, d.n),
+		cache:   make([]int32, d.n*d.n),
+	}
+	for i := 0; i < d.n; i++ {
+		s.reach[i] = bitset(s.backing[i*d.words : (i+1)*d.words])
+		s.coreach[i] = bitset(s.backing[(d.n+i)*d.words : (d.n+i+1)*d.words])
+	}
+	return s
+}
+
+// Robust reports whether the subgraph induced by the member nodes (a
+// bitmask over universe node indices) is free of dangerous cycles under the
+// method — the verdict Graph.Robust would return on the composed subset
+// graph.
+func (d *SubsetDetector) Robust(method Method, members []uint64, s *DetectScratch) bool {
+	mem := bitset(members)
+	// Reflexive-transitive closures of the induced subgraph. Rows of
+	// non-member nodes stay zero, so closure bits double as membership
+	// checks for the edge scans below.
+	clear(s.backing)
+	for i := 0; i < d.n; i++ {
+		if mem.has(i) {
+			s.reach[i].set(i)
+			s.coreach[i].set(i)
+		}
+	}
+	for ei := range d.from {
+		fi, ti := int(d.from[ei]), int(d.to[ei])
+		if mem.has(fi) && mem.has(ti) {
+			s.reach[fi].set(ti)
+			s.coreach[ti].set(fi)
+		}
+	}
+	fixpoint(s.reach)
+	fixpoint(s.coreach)
+
+	if method == TypeI {
+		// A counterflow edge closing back (Graph.HasTypeICycle).
+		for _, ei := range d.cf {
+			fi, ti := int(d.from[ei]), int(d.to[ei])
+			if mem.has(fi) && mem.has(ti) && s.reach[ti].has(fi) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Pair-centric type-II search (Graph.typeII): cache[k] is 0 unknown,
+	// 1 no witness, 2 witness exists for the node pair k = s*n + t.
+	clear(s.cache)
+	findE1 := func(si, ti int) bool {
+		k := si*d.n + ti
+		if v := s.cache[k]; v != 0 {
+			return v == 2
+		}
+		for ei := range d.edges {
+			if d.edges[ei].Class != NonCounterflow {
+				continue
+			}
+			// Membership of p1/p2 is implied by the closure bits.
+			p1, p2 := int(d.from[ei]), int(d.to[ei])
+			if s.coreach[si].has(p2) && s.reach[ti].has(p1) {
+				s.cache[k] = 2
+				return true
+			}
+		}
+		s.cache[k] = 1
+		return false
+	}
+	for _, e3i := range d.cf {
+		m, t := int(d.from[e3i]), int(d.to[e3i])
+		if !mem.has(m) || !mem.has(t) {
+			continue
+		}
+		e3 := d.edges[e3i]
+		for _, e2i := range d.in[m] {
+			if !mem.has(int(d.from[e2i])) {
+				continue
+			}
+			e2 := d.edges[e2i]
+			if !pairCondition(e2, e3) {
+				continue
+			}
+			if findE1(int(d.from[e2i]), t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fixpoint iterates bitset unions to the transitive closure: row i absorbs
+// row j for every bit j set in row i, until nothing changes.
+func fixpoint(rows []bitset) {
+	for changed := true; changed; {
+		changed = false
+		for i, cl := range rows {
+			for wi, w := range cl {
+				for w != 0 {
+					j := wi*64 + bits.TrailingZeros64(w)
+					w &= w - 1
+					if j != i && cl.orInto(rows[j]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package summary
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+)
+
+// TestBlockSetCaches checks that Ensure fills every ordered pair and that
+// PairEdges hands out the cached block afterwards.
+func TestBlockSetCaches(t *testing.T) {
+	b := benchmarks.Auction()
+	ltps := btp.UnfoldAll2(b.Programs)
+	bs := NewBlockSet(b.Schema, SettingAttrDepFK)
+	bs.Ensure(ltps)
+	if got, want := bs.Len(), len(ltps)*len(ltps); got != want {
+		t.Fatalf("cached pairs = %d, want %d", got, want)
+	}
+	if bs.Setting() != SettingAttrDepFK {
+		t.Fatalf("setting = %v", bs.Setting())
+	}
+	// Block contents must match the corresponding contiguous segment of a
+	// freshly built graph.
+	g := Build(b.Schema, ltps, SettingAttrDepFK)
+	var recomposed []Edge
+	for _, pi := range ltps {
+		for _, pj := range ltps {
+			recomposed = append(recomposed, bs.PairEdges(pi, pj)...)
+		}
+	}
+	if len(recomposed) != len(g.Edges) {
+		t.Fatalf("recomposed %d edges, Build %d", len(recomposed), len(g.Edges))
+	}
+	for i := range recomposed {
+		if recomposed[i] != g.Edges[i] {
+			t.Fatalf("edge %d: %s != %s", i, recomposed[i], g.Edges[i])
+		}
+	}
+}
+
+// TestSubsetDetectorMatchesBuild cross-checks the allocation-free induced-
+// subgraph detector against Build+Robust on every LTP subset of the
+// Auction and SmallBank universes, all settings, both methods.
+func TestSubsetDetectorMatchesBuild(t *testing.T) {
+	for _, bench := range []*benchmarks.Benchmark{benchmarks.Auction(), benchmarks.SmallBank()} {
+		ltps := btp.UnfoldAll2(bench.Programs)
+		if len(ltps) > 10 {
+			t.Fatalf("%s universe too large for exhaustive subset check", bench.Name)
+		}
+		for _, setting := range AllSettings {
+			bs := NewBlockSet(bench.Schema, setting)
+			det := NewSubsetDetector(bs, ltps)
+			if det.NumNodes() != len(ltps) {
+				t.Fatalf("NumNodes = %d, want %d", det.NumNodes(), len(ltps))
+			}
+			scratch := det.NewScratch()
+			members := make([]uint64, (len(ltps)+63)/64)
+			for mask := 0; mask < 1<<len(ltps); mask++ {
+				var subset []*btp.LTP
+				for i := range ltps {
+					if mask&(1<<i) != 0 {
+						subset = append(subset, ltps[i])
+					}
+				}
+				members[0] = uint64(mask)
+				g := Build(bench.Schema, subset, setting)
+				for _, method := range []Method{TypeI, TypeII} {
+					want, _ := g.Robust(method)
+					got := det.Robust(method, members, scratch)
+					if got != want {
+						t.Fatalf("%s under %s, %s, mask %b: detector=%t, build=%t",
+							bench.Name, setting, method, mask, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -132,41 +132,41 @@ func (g *Graph) typeII(literal bool) (bool, *Witness) {
 	// pair (S = source(e2), T = target(e3)) the existence test is
 	//   ∃ nc edge e1: coreach[S] contains target(e1) and reach[T]
 	//   contains source(e1).
-	// Cache results per (S, T) node pair.
-	type key struct{ s, t int }
-	cache := make(map[key]int) // -1 no, otherwise edge index of a witness e1
+	// Cache results per (S, T) node pair: 0 = unknown, 1 = no witness,
+	// ei+2 = witness edge index.
+	cache := make([]int32, n*n)
 	findE1 := func(s, t int) int {
-		k := key{s, t}
-		if v, ok := cache[k]; ok {
-			return v
+		k := s*n + t
+		if v := cache[k]; v != 0 {
+			return int(v) - 2
 		}
 		res := -1
 		for ei, e := range g.Edges {
 			if e.Class != NonCounterflow {
 				continue
 			}
-			p1 := g.nodeIdx[e.From]
-			p2 := g.nodeIdx[e.To]
+			p1 := int(g.edgeFrom[ei])
+			p2 := int(g.edgeTo[ei])
 			if g.coreach[s].has(p2) && g.reach[t].has(p1) {
 				res = ei
 				break
 			}
 		}
-		cache[k] = res
+		cache[k] = int32(res + 2)
 		return res
 	}
-	for _, e3 := range g.Edges {
+	for e3i, e3 := range g.Edges {
 		if e3.Class != Counterflow {
 			continue
 		}
-		m := g.nodeIdx[e3.From]
-		t := g.nodeIdx[e3.To]
+		m := g.edgeFrom[e3i]
+		t := int(g.edgeTo[e3i])
 		for _, e2i := range g.in[m] {
 			e2 := g.Edges[e2i]
 			if !pairCondition(e2, e3) {
 				continue
 			}
-			s := g.nodeIdx[e2.From]
+			s := int(g.edgeFrom[e2i])
 			if e1i := findE1(s, t); e1i >= 0 {
 				e1 := g.Edges[e1i]
 				return true, g.assembleWitness(e1, e2, e3)

@@ -2,7 +2,6 @@ package summary
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 	"strings"
 
@@ -108,6 +107,10 @@ type Graph struct {
 
 	schema  *relschema.Schema
 	nodeIdx map[*btp.LTP]int
+	// edgeFrom[ei] / edgeTo[ei] are the node indices of edge ei's
+	// endpoints, recorded at construction so that indexing and cycle
+	// detection avoid per-edge map lookups.
+	edgeFrom, edgeTo []int32
 	// out[i] lists indices into Edges of edges leaving node i.
 	out [][]int
 	// in[i] lists indices into Edges of edges entering node i.
@@ -312,6 +315,34 @@ func (b *builder) fkSuppressed(pi *btp.LTP, qi *btp.StmtOcc, pj *btp.LTP, qj *bt
 	return false
 }
 
+// appendPairEdges appends to dst every edge of Algorithm 1 between the
+// ordered pair (pi, pj): the inner qi × qj loops of constructSuG. Edges
+// between two LTPs depend only on the pair itself (statement types,
+// attribute sets and the LTPs' own foreign-key annotations), never on which
+// other LTPs are present — the property BlockSet and Compose exploit.
+func (b *builder) appendPairEdges(dst []Edge, pi, pj *btp.LTP) []Edge {
+	for _, qi := range pi.Stmts {
+		for _, qj := range pj.Stmts {
+			if qi.Stmt.Rel != qj.Stmt.Rel {
+				continue
+			}
+			nc := NcDepTable[qi.Stmt.Type][qj.Stmt.Type]
+			if nc == Yes || (nc == Cond && b.ncDepConds(qi.Stmt, qj.Stmt)) {
+				dst = append(dst, Edge{
+					From: pi, FromStmt: qi, Class: NonCounterflow, ToStmt: qj, To: pj,
+				})
+			}
+			c := CDepTable[qi.Stmt.Type][qj.Stmt.Type]
+			if c == Yes || (c == Cond && b.cDepConds(pi, qi, pj, qj)) {
+				dst = append(dst, Edge{
+					From: pi, FromStmt: qi, Class: Counterflow, ToStmt: qj, To: pj,
+				})
+			}
+		}
+	}
+	return dst
+}
+
 // Build constructs the summary graph SuG(P) for the given LTPs under the
 // given setting (Algorithm 1, function constructSuG). The schema is needed
 // for tuple-granularity widening and foreign-key metadata.
@@ -326,26 +357,13 @@ func Build(schema *relschema.Schema, ltps []*btp.LTP, setting Setting) *Graph {
 	for i, l := range ltps {
 		g.nodeIdx[l] = i
 	}
-	for _, pi := range ltps {
-		for _, pj := range ltps {
-			for _, qi := range pi.Stmts {
-				for _, qj := range pj.Stmts {
-					if qi.Stmt.Rel != qj.Stmt.Rel {
-						continue
-					}
-					nc := NcDepTable[qi.Stmt.Type][qj.Stmt.Type]
-					if nc == Yes || (nc == Cond && b.ncDepConds(qi.Stmt, qj.Stmt)) {
-						g.Edges = append(g.Edges, Edge{
-							From: pi, FromStmt: qi, Class: NonCounterflow, ToStmt: qj, To: pj,
-						})
-					}
-					c := CDepTable[qi.Stmt.Type][qj.Stmt.Type]
-					if c == Yes || (c == Cond && b.cDepConds(pi, qi, pj, qj)) {
-						g.Edges = append(g.Edges, Edge{
-							From: pi, FromStmt: qi, Class: Counterflow, ToStmt: qj, To: pj,
-						})
-					}
-				}
+	for fi, pi := range ltps {
+		for ti, pj := range ltps {
+			before := len(g.Edges)
+			g.Edges = b.appendPairEdges(g.Edges, pi, pj)
+			for range g.Edges[before:] {
+				g.edgeFrom = append(g.edgeFrom, int32(fi))
+				g.edgeTo = append(g.edgeTo, int32(ti))
 			}
 		}
 	}
@@ -353,58 +371,58 @@ func Build(schema *relschema.Schema, ltps []*btp.LTP, setting Setting) *Graph {
 	return g
 }
 
-// index fills adjacency lists and reachability closures.
+// index fills adjacency lists and reachability closures. It is called once
+// per graph — including once per composed subset graph during subset
+// enumeration — so it allocates flat backing arrays instead of growing
+// per-node slices.
 func (g *Graph) index() {
 	n := len(g.Nodes)
+	m := len(g.Edges)
+	// Degree-counted adjacency: one backing array per direction.
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	for ei := range g.Edges {
+		outDeg[g.edgeFrom[ei]]++
+		inDeg[g.edgeTo[ei]]++
+	}
 	g.out = make([][]int, n)
 	g.in = make([][]int, n)
-	for ei, e := range g.Edges {
-		fi := g.nodeIdx[e.From]
-		ti := g.nodeIdx[e.To]
+	outBacking := make([]int, m)
+	inBacking := make([]int, m)
+	oo, io := 0, 0
+	for i := 0; i < n; i++ {
+		g.out[i] = outBacking[oo : oo : oo+outDeg[i]]
+		oo += outDeg[i]
+		g.in[i] = inBacking[io : io : io+inDeg[i]]
+		io += inDeg[i]
+	}
+	for ei := range g.Edges {
+		fi := g.edgeFrom[ei]
+		ti := g.edgeTo[ei]
 		g.out[fi] = append(g.out[fi], ei)
 		g.in[ti] = append(g.in[ti], ei)
 	}
-	// Reflexive-transitive closure via iterated BFS per node. Graphs here
-	// are small (≤ a few hundred nodes); adjacency on node level.
-	succ := make([]bitset, n)
-	pred := make([]bitset, n)
-	for i := 0; i < n; i++ {
-		succ[i] = newBitset(n)
-		pred[i] = newBitset(n)
-	}
-	for _, e := range g.Edges {
-		fi := g.nodeIdx[e.From]
-		ti := g.nodeIdx[e.To]
-		succ[fi].set(ti)
-		pred[ti].set(fi)
-	}
-	g.reach = closures(succ, n)
-	g.coreach = closures(pred, n)
+	// Reflexive-transitive closure over node-level adjacency. Graphs here
+	// are small (≤ a few hundred nodes).
+	g.reach = closures(g.edgeFrom, g.edgeTo, n)
+	g.coreach = closures(g.edgeTo, g.edgeFrom, n)
 }
 
 // closures computes, for each node, the reflexive-transitive closure of the
-// given successor bitsets via BFS.
-func closures(succ []bitset, n int) []bitset {
+// edge relation given by parallel endpoint arrays (swap the arguments for
+// the backward closure) by iterating bitset unions to a fixpoint. All
+// bitsets are carved from one backing array.
+func closures(from, to []int32, n int) []bitset {
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words)
 	out := make([]bitset, n)
 	for i := 0; i < n; i++ {
-		cl := newBitset(n)
-		cl.set(i)
-		queue := []int{i}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for wi, w := range succ[u] {
-				for w != 0 {
-					v := wi*64 + bits.TrailingZeros64(w)
-					w &= w - 1
-					if !cl.has(v) {
-						cl.set(v)
-						queue = append(queue, v)
-					}
-				}
-			}
-		}
-		out[i] = cl
+		out[i] = bitset(backing[i*words : (i+1)*words])
+		out[i].set(i)
 	}
+	for ei := range from {
+		out[from[ei]].set(int(to[ei]))
+	}
+	fixpoint(out)
 	return out
 }

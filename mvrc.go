@@ -21,6 +21,25 @@
 //	report, err := mvrc.Check(schema, programs)
 //	if report.Robust { /* run the workload under READ COMMITTED */ }
 //
+// # Architecture: the incremental analysis engine
+//
+// All checks run on the session engine of internal/analysis. A Session
+// unfolds every program exactly once per bound, caches the pairwise
+// summary-graph edge blocks of Algorithm 1 per analysis setting, and
+// assembles each requested graph from those blocks (summary.Compose)
+// instead of re-running the quadratic edge derivation. Subset enumeration
+// (RobustSubsets, the analysis behind Figures 6 and 7) composes all 2^n − 1
+// subset graphs from the same cache and fans them out over a bounded worker
+// pool — the Parallelism knob of Options, defaulting to GOMAXPROCS.
+//
+// One-shot calls (Check, CheckWith, RobustSubsets) create a throwaway
+// session internally; long-lived callers that analyse many overlapping
+// program sets should hold a NewSession and pass it each request, paying
+// unfolding and edge derivation only once:
+//
+//	sess := mvrc.NewSession(schema)
+//	report, err := sess.RobustSubsets(programs, mvrc.DefaultOptions())
+//
 // See examples/ for complete programs and internal/experiments for the
 // reproduction of the paper's evaluation.
 package mvrc
@@ -28,6 +47,7 @@ package mvrc
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/btp"
 	"repro/internal/dot"
 	"repro/internal/realize"
@@ -53,6 +73,15 @@ type (
 	Report = robust.Result
 	// SubsetReport lists robust and maximal robust subsets.
 	SubsetReport = robust.SubsetReport
+	// Options configures a check: setting, method, unfold bound and the
+	// parallelism of subset enumeration. The zero value is attribute
+	// granularity without foreign keys, type-II cycles, bound 2,
+	// GOMAXPROCS workers; DefaultOptions selects the paper's primary
+	// setting (attribute dependencies with foreign keys).
+	Options = analysis.Config
+	// Session is the reusable incremental analysis engine: it memoizes
+	// unfoldings and pairwise summary-graph edge blocks across calls.
+	Session = analysis.Session
 )
 
 // Analysis settings (Section 7.2) and methods.
@@ -79,6 +108,15 @@ const (
 // NewSchema creates an empty schema.
 func NewSchema() *Schema { return relschema.NewSchema() }
 
+// NewSession creates a reusable analysis engine over the schema. Sessions
+// are safe for concurrent use and amortize validation, unfolding and
+// Algorithm 1's edge derivation across calls.
+func NewSession(schema *Schema) *Session { return analysis.NewSession(schema) }
+
+// DefaultOptions returns the paper's primary configuration: attribute
+// dependencies with foreign keys, type-II cycles, unfold bound 2.
+func DefaultOptions() Options { return analysis.DefaultConfig() }
+
 // ParseSQL translates transaction programs written in the SQL fragment of
 // the paper's Appendix A (see internal/sqlbtp for the exact dialect) into
 // basic transaction programs over the schema.
@@ -101,14 +139,25 @@ func CheckWith(schema *Schema, programs []*Program, setting Setting, method Meth
 	return c.Check(programs)
 }
 
+// CheckOptions tests robustness under a full options struct, including the
+// unfold bound and (for subsequent subset enumeration on a shared session)
+// the parallelism knob.
+func CheckOptions(schema *Schema, programs []*Program, opts Options) (*Report, error) {
+	return analysis.NewSession(schema).Check(programs, opts)
+}
+
 // RobustSubsets checks every non-empty subset of the programs and returns
 // the robust and maximal robust subsets (the analysis behind Figures 6
-// and 7 of the paper).
+// and 7 of the paper). Subset graphs are composed from a pairwise
+// edge-block cache and checked on a GOMAXPROCS-wide worker pool; use
+// RobustSubsetsOptions to bound or disable the parallelism.
 func RobustSubsets(schema *Schema, programs []*Program, setting Setting, method Method) (*SubsetReport, error) {
-	c := robust.NewChecker(schema)
-	c.Setting = setting
-	c.Method = method
-	return c.RobustSubsets(programs)
+	return RobustSubsetsOptions(schema, programs, Options{Setting: setting, Method: method})
+}
+
+// RobustSubsetsOptions is RobustSubsets under a full options struct.
+func RobustSubsetsOptions(schema *Schema, programs []*Program, opts Options) (*SubsetReport, error) {
+	return analysis.NewSession(schema).RobustSubsets(programs, opts)
 }
 
 // SummaryGraphDOT renders the summary graph of a report in Graphviz DOT
