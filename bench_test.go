@@ -19,6 +19,9 @@ package mvrc
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -26,6 +29,7 @@ import (
 	"repro/internal/btp"
 	"repro/internal/experiments"
 	"repro/internal/robust"
+	"repro/internal/server"
 	"repro/internal/summary"
 )
 
@@ -306,4 +310,77 @@ func BenchmarkUnfold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		btp.UnfoldAll2(bench.Programs)
 	}
+}
+
+// --- Server throughput ------------------------------------------------------
+
+// BenchmarkServerThroughput measures end-to-end requests/sec of the
+// robustness service on a SmallBank workload, recorded alongside
+// BenchmarkRobustSubsets (the underlying enumeration cost):
+//
+//	check/cold     — register + first full check per iteration: pays
+//	                 validation, unfolding and all 25 pairwise edge blocks
+//	check/warm     — repeated full checks on one registered workload:
+//	                 pure cache reads + cycle detection + HTTP
+//	subsets/cold   — register + first enumeration per iteration
+//	subsets/warm   — repeated enumerations from the warm BlockSet
+func BenchmarkServerThroughput(b *testing.B) {
+	bench := benchmarks.SmallBank()
+
+	post := func(b *testing.B, url string) {
+		resp, err := http.Post(url, "application/json", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	cold := func(path string) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv := server.New(server.Options{})
+				ts := httptest.NewServer(srv.Handler())
+				reg, err := srv.Register(bench.Schema, bench.Programs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				post(b, ts.URL+"/v1/workloads/"+reg.ID+"/"+path)
+				b.StopTimer()
+				ts.Close()
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		}
+	}
+	warm := func(path string) func(b *testing.B) {
+		return func(b *testing.B) {
+			srv := server.New(server.Options{})
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			reg, err := srv.Register(bench.Schema, bench.Programs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			url := ts.URL + "/v1/workloads/" + reg.ID + "/" + path
+			post(b, url) // prime the block cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, url)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		}
+	}
+
+	b.Run("check/cold", cold("check"))
+	b.Run("check/warm", warm("check"))
+	b.Run("subsets/cold", cold("subsets"))
+	b.Run("subsets/warm", warm("subsets"))
 }

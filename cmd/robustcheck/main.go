@@ -16,19 +16,24 @@
 //	-naive     use the naive per-subset oracle instead of the cached engine
 //	-stats     print summary-graph statistics (Table 2)
 //	-unfold    loop unfolding bound (default 2; 2 is sound per Prop. 6.1)
+//	-json      emit the verdict as JSON using the service wire types —
+//	           byte-identical to a robustserved response for the same input
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
 	"repro/internal/robust"
 	"repro/internal/sqlbtp"
 	"repro/internal/summary"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -45,6 +50,7 @@ func main() {
 		naive     = flag.Bool("naive", false, "use the naive per-subset oracle instead of the cached engine")
 		stats     = flag.Bool("stats", false, "print summary-graph statistics")
 		unfold    = flag.Int("unfold", 2, "loop unfolding bound")
+		jsonOut   = flag.Bool("json", false, "emit the verdict as JSON (service wire format)")
 	)
 	flag.Parse()
 
@@ -53,7 +59,7 @@ func main() {
 		sqlFile: *sqlFile, schemaSQL: *schemaSQL,
 		setting: *setting, method: *method, progList: *progList,
 		subsets: *subsets, parallel: *parallel, naive: *naive,
-		stats: *stats, unfold: *unfold,
+		stats: *stats, unfold: *unfold, json: *jsonOut,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "robustcheck:", err)
@@ -75,48 +81,30 @@ type runOptions struct {
 	naive     bool
 	stats     bool
 	unfold    int
+	json      bool
+	// out overrides the output stream (tests); nil means os.Stdout.
+	out io.Writer
 }
 
+// parseSetting, parseMethod and loadBenchmark delegate to the shared wire /
+// benchmark lookups, so CLI and server accept identical names. The CLI
+// rejects the empty string the wire layer would default.
 func parseSetting(s string) (summary.Setting, error) {
-	switch s {
-	case "tpl":
-		return summary.SettingTplDep, nil
-	case "attr":
-		return summary.SettingAttrDep, nil
-	case "tpl+fk":
-		return summary.SettingTplDepFK, nil
-	case "attr+fk":
-		return summary.SettingAttrDepFK, nil
-	default:
+	if s == "" {
 		return summary.Setting{}, fmt.Errorf("unknown setting %q", s)
 	}
+	return wire.ParseSetting(s)
 }
 
 func parseMethod(s string) (summary.Method, error) {
-	switch s {
-	case "type1", "type-1", "typeI":
-		return summary.TypeI, nil
-	case "type2", "type-2", "typeII":
-		return summary.TypeII, nil
-	default:
+	if s == "" {
 		return summary.TypeII, fmt.Errorf("unknown method %q", s)
 	}
+	return wire.ParseMethod(s)
 }
 
 func loadBenchmark(name string, n int) (*benchmarks.Benchmark, error) {
-	switch strings.ToLower(name) {
-	case "smallbank":
-		return benchmarks.SmallBank(), nil
-	case "tpcc", "tpc-c":
-		return benchmarks.TPCC(), nil
-	case "auction":
-		if n > 1 {
-			return benchmarks.AuctionN(n), nil
-		}
-		return benchmarks.Auction(), nil
-	default:
-		return nil, fmt.Errorf("unknown benchmark %q (want smallbank, tpcc or auction)", name)
-	}
+	return benchmarks.ByName(name, n)
 }
 
 func run(o runOptions) error {
@@ -178,8 +166,17 @@ func run(o runOptions) error {
 	checker.Method = m
 	checker.UnfoldBound = o.unfold
 	checker.Parallelism = o.parallel
+	// cfg mirrors the checker configuration for the wire responses, which
+	// echo the setting/method/bound the verdict was computed under.
+	cfg := analysis.Config{Setting: st, Method: m, UnfoldBound: o.unfold, Parallelism: o.parallel}
 
-	fmt.Printf("benchmark: %s  setting: %s  method: %s\n", bench.Name, st, m)
+	out := o.out
+	if out == nil {
+		out = os.Stdout
+	}
+	if !o.json {
+		fmt.Fprintf(out, "benchmark: %s  setting: %s  method: %s\n", bench.Name, st, m)
+	}
 
 	if o.subsets {
 		enumerate := checker.RobustSubsets
@@ -190,10 +187,13 @@ func run(o runOptions) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("maximal robust subsets: %s\n", rep)
-		fmt.Printf("robust subsets (all %d):\n", len(rep.Robust))
+		if o.json {
+			return wire.WriteJSON(out, wire.NewSubsetsResponse(cfg, programs, rep))
+		}
+		fmt.Fprintf(out, "maximal robust subsets: %s\n", rep)
+		fmt.Fprintf(out, "robust subsets (all %d):\n", len(rep.Robust))
 		for _, s := range rep.Robust {
-			fmt.Printf("  %s\n", s)
+			fmt.Fprintf(out, "  %s\n", s)
 		}
 		return nil
 	}
@@ -202,18 +202,21 @@ func run(o runOptions) error {
 	if err != nil {
 		return err
 	}
+	if o.json {
+		return wire.WriteJSON(out, wire.NewCheckResponse(cfg, programs, res))
+	}
 	if o.stats {
 		s := res.Graph.Stats()
-		fmt.Printf("summary graph: %d nodes, %d edges (%d counterflow)\n", s.Nodes, s.Edges, s.CounterflowEdges)
+		fmt.Fprintf(out, "summary graph: %d nodes, %d edges (%d counterflow)\n", s.Nodes, s.Edges, s.CounterflowEdges)
 		for _, l := range res.LTPs {
-			fmt.Printf("  %s\n", l)
+			fmt.Fprintf(out, "  %s\n", l)
 		}
 	}
 	if res.Robust {
-		fmt.Println("verdict: ROBUST against MVRC — safe to run under READ COMMITTED")
+		fmt.Fprintln(out, "verdict: ROBUST against MVRC — safe to run under READ COMMITTED")
 	} else {
-		fmt.Println("verdict: NOT certified robust against MVRC")
-		fmt.Printf("dangerous cycle:\n%s", res.Witness)
+		fmt.Fprintln(out, "verdict: NOT certified robust against MVRC")
+		fmt.Fprintf(out, "dangerous cycle:\n%s", res.Witness)
 	}
 	return nil
 }

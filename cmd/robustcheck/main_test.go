@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/benchmarks"
+	"repro/internal/server"
 	"repro/internal/summary"
 )
 
@@ -121,5 +127,55 @@ PROGRAM Bump(:B):
 	// Unreadable file is an error.
 	if err := run(runOptions{n: 1, sqlFile: filepath.Join(dir, "missing.sql"), schemaSQL: "auction", setting: "attr+fk", method: "type2", unfold: 2}); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestJSONMatchesServer is the wire-sharing contract: robustcheck -json
+// and a robustserved round-trip must produce byte-identical documents for
+// the same input (SmallBank under the default configuration), for both the
+// single check and the subset enumeration.
+func TestJSONMatchesServer(t *testing.T) {
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bench := benchmarks.SmallBank()
+	reg, err := srv.Register(bench.Schema, bench.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverBody := func(path string) []byte {
+		resp, err := http.Post(ts.URL+"/v1/workloads/"+reg.ID+"/"+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("server %s: %d %v", path, resp.StatusCode, err)
+		}
+		return raw
+	}
+
+	cliBody := func(subsets bool) []byte {
+		var buf bytes.Buffer
+		err := run(runOptions{
+			benchName: "smallbank",
+			setting:   "attr+fk", method: "type2", unfold: 2,
+			subsets: subsets, json: true, out: &buf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	if cli, srv := cliBody(false), serverBody("check"); !bytes.Equal(cli, srv) {
+		t.Errorf("check responses differ:\nCLI:    %s\nserver: %s", cli, srv)
+	}
+	if cli, srv := cliBody(true), serverBody("subsets"); !bytes.Equal(cli, srv) {
+		t.Errorf("subsets responses differ:\nCLI:    %s\nserver: %s", cli, srv)
 	}
 }

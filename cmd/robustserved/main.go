@@ -1,0 +1,126 @@
+// Command robustserved is the long-lived robustness service: it keeps a
+// registry of workloads (schema + transaction programs), each wrapping a
+// warm incremental-analysis session, and answers robustness queries over
+// JSON/HTTP. Registering a workload pays validation, unfolding and
+// Algorithm 1's pairwise edge derivation once; every subsequent check or
+// subset enumeration runs from the cached blocks, and PATCHing a single
+// program invalidates only that program's pairs (incremental re-analysis).
+//
+// Usage:
+//
+//	robustserved [-addr :8765] [-preload smallbank,tpcc] [flags]
+//
+// Flags:
+//
+//	-addr           listen address (default 127.0.0.1:8765)
+//	-preload        comma-separated benchmarks to register at boot
+//	                (smallbank, tpcc, auction); their ids are printed
+//	-max-workloads  registry LRU cap (default 64)
+//	-parallel       subset-enumeration workers (0 = GOMAXPROCS)
+//	-timeout        per-request analysis deadline (default 30s; 0 = none)
+//
+// Endpoints (see internal/wire for the body types):
+//
+//	POST  /v1/workloads                        register a workload
+//	GET   /v1/workloads/{id}                   workload info + cache stats
+//	POST  /v1/workloads/{id}/check             robustness verdict
+//	POST  /v1/workloads/{id}/subsets           robust / maximal subsets
+//	PATCH /v1/workloads/{id}/programs/{name}   replace one program
+//	GET   /v1/stats                            server telemetry
+//	GET   /healthz                             liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	mvrc "repro"
+	"repro/internal/benchmarks"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8765", "listen address")
+		preload      = flag.String("preload", "", "comma-separated benchmarks to register at boot")
+		maxWorkloads = flag.Int("max-workloads", 0, "registry LRU cap (0 = default 64)")
+		parallel     = flag.Int("parallel", 0, "subset-enumeration workers (0 = GOMAXPROCS, 1 = sequential)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request analysis deadline (0 = none)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, os.Stdout, options{
+		addr:         *addr,
+		preload:      *preload,
+		maxWorkloads: *maxWorkloads,
+		parallel:     *parallel,
+		timeout:      *timeout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "robustserved:", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed flags.
+type options struct {
+	addr         string
+	preload      string
+	maxWorkloads int
+	parallel     int
+	timeout      time.Duration
+}
+
+// run boots the service on a fresh listener, preloads benchmarks, logs the
+// bound address and serves until ctx is cancelled. Split from main (and
+// given the listener-first structure) so tests can boot on port 0.
+func run(ctx context.Context, out io.Writer, o options) error {
+	srv := mvrc.NewServer(mvrc.ServerOptions{
+		MaxWorkloads:   o.maxWorkloads,
+		Parallelism:    o.parallel,
+		RequestTimeout: o.timeout,
+	})
+	if err := preloadBenchmarks(srv, o.preload, out); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "robustserved: listening on %s\n", ln.Addr())
+	return mvrc.ServeListener(ctx, ln, srv)
+}
+
+// preloadBenchmarks registers each named benchmark and prints its workload
+// id, so operators can curl checks immediately after boot.
+func preloadBenchmarks(srv *mvrc.Server, names string, out io.Writer) error {
+	if names == "" {
+		return nil
+	}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		bench, err := benchmarks.ByName(name, 1)
+		if err != nil {
+			return err
+		}
+		resp, err := srv.Register(bench.Schema, bench.Programs)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", name, err)
+		}
+		fmt.Fprintf(out, "robustserved: preloaded %-10s workload %s (%d programs)\n",
+			name, resp.ID, len(resp.Programs))
+	}
+	return nil
+}

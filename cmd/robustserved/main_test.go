@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	mvrc "repro"
+)
+
+// syncBuffer guards the run() output buffer: run writes from the test
+// goroutine spawning it while the test polls for the bound address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`listening on (\S+)`)
+
+// bootServer runs the binary's serve loop on port 0 with the given preload
+// and returns the base URL plus a shutdown func.
+func bootServer(t *testing.T, preload string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, out, options{addr: "127.0.0.1:0", preload: preload, timeout: 30 * time.Second})
+	}()
+	var base string
+	for i := 0; i < 2000; i++ {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited early: %v\n%s", err, out.String())
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("server never logged its address:\n%s", out.String())
+	}
+	return base, func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve returned %v", err)
+		}
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	base, shutdown := bootServer(t, "smallbank")
+	defer shutdown()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, raw)
+	}
+
+	// The preloaded workload is registered: re-registering returns the
+	// same id with created=false, which is how curl clients discover it.
+	resp, err = http.Post(base+"/v1/workloads", "application/json",
+		strings.NewReader(`{"benchmark": "smallbank"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		ID      string `json:"id"`
+		Created bool   `json:"created"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || reg.Created {
+		t.Fatalf("preloaded workload not resident: %d created=%t", resp.StatusCode, reg.Created)
+	}
+
+	resp, err = http.Post(base+"/v1/workloads/"+reg.ID+"/check", "application/json",
+		strings.NewReader(`{"programs": ["Am", "DC", "TS"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check struct {
+		Robust bool `json:"robust"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&check); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !check.Robust {
+		t.Fatalf("{Am,DC,TS} check: %d robust=%t", resp.StatusCode, check.Robust)
+	}
+}
+
+func TestPreloadErrors(t *testing.T) {
+	srv := mvrc.NewServer(mvrc.ServerOptions{})
+	defer srv.Close()
+	var out bytes.Buffer
+	if err := preloadBenchmarks(srv, "bogus", &out); err == nil {
+		t.Error("bogus preload accepted")
+	}
+	if err := preloadBenchmarks(srv, "smallbank, tpcc", &out); err != nil {
+		t.Errorf("preload failed: %v", err)
+	}
+	if got := strings.Count(out.String(), "preloaded"); got != 2 {
+		t.Errorf("preload logged %d workloads, want 2\n%s", got, out.String())
+	}
+}

@@ -13,6 +13,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -92,6 +93,11 @@ type Session struct {
 	validated map[*btp.Program]error
 	unfolded  map[unfoldKey][]*btp.LTP
 	blocks    map[summary.Setting]*summary.BlockSet
+	// retired marks programs passed to Invalidate: checks that were
+	// already in flight may still resolve them, but the results are no
+	// longer memoized — re-admitting entries for a replaced program would
+	// leak them for the session's lifetime.
+	retired map[*btp.Program]bool
 }
 
 // NewSession creates an empty session over the schema.
@@ -101,6 +107,7 @@ func NewSession(schema *relschema.Schema) *Session {
 		validated: make(map[*btp.Program]error),
 		unfolded:  make(map[unfoldKey][]*btp.LTP),
 		blocks:    make(map[summary.Setting]*summary.BlockSet),
+		retired:   make(map[*btp.Program]bool),
 	}
 }
 
@@ -115,6 +122,25 @@ func (s *Session) LTPs(p *btp.Program, bound int) ([]*btp.LTP, error) {
 		bound = btp.DefaultUnfoldBound
 	}
 	s.mu.Lock()
+	if s.retired[p] {
+		// Serve an in-flight straggler that still holds the replaced
+		// program, without re-admitting anything to the caches: the
+		// fresh unfolding is retired in every block cache so its pairs
+		// are computed on demand but never stored.
+		sets := make([]*summary.BlockSet, 0, len(s.blocks))
+		for _, bs := range s.blocks {
+			sets = append(sets, bs)
+		}
+		s.mu.Unlock()
+		if err := p.Validate(s.schema); err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		ltps := btp.Unfold(p, bound)
+		for _, bs := range sets {
+			bs.Retire(ltps)
+		}
+		return ltps, nil
+	}
 	defer s.mu.Unlock()
 	verr, seen := s.validated[p]
 	if !seen {
@@ -148,6 +174,71 @@ func (s *Session) Blocks(setting summary.Setting) *summary.BlockSet {
 	return bs
 }
 
+// Invalidate drops everything the session has memoized for the program —
+// its validation verdict, its unfoldings under every bound, and every
+// cached pairwise edge block (in every setting) with one of its LTPs as an
+// endpoint — and reports how many pairs were evicted. Blocks between
+// untouched programs stay cached, so re-analysing a workload after one
+// program changed only recomputes that program's ordered pairs: the
+// incremental re-analysis behind the server's PATCH endpoint.
+//
+// Safe to call concurrently with checks: an in-flight check holding the old
+// unfolding simply recomputes (and re-caches) the evicted pairs on demand;
+// verdicts never depend on cache contents.
+func (s *Session) Invalidate(p *btp.Program) int {
+	s.mu.Lock()
+	s.retired[p] = true
+	delete(s.validated, p)
+	var victims []*btp.LTP
+	for k, ltps := range s.unfolded {
+		if k.program == p {
+			victims = append(victims, ltps...)
+			delete(s.unfolded, k)
+		}
+	}
+	sets := make([]*summary.BlockSet, 0, len(s.blocks))
+	for _, bs := range s.blocks {
+		sets = append(sets, bs)
+	}
+	s.mu.Unlock()
+	removed := 0
+	for _, bs := range sets {
+		removed += bs.Invalidate(victims)
+	}
+	return removed
+}
+
+// Stats is a snapshot of the session's cache telemetry.
+type Stats struct {
+	// Programs is the number of validated programs currently memoized.
+	Programs int
+	// Unfoldings is the number of memoized (program, bound) unfoldings.
+	Unfoldings int
+	// Settings is the number of per-setting block caches in use.
+	Settings int
+	// Blocks aggregates the pairwise edge-block telemetry across settings.
+	Blocks summary.BlockStats
+}
+
+// Stats snapshots the session's cache counters across all settings.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Programs:   len(s.validated),
+		Unfoldings: len(s.unfolded),
+		Settings:   len(s.blocks),
+	}
+	sets := make([]*summary.BlockSet, 0, len(s.blocks))
+	for _, bs := range s.blocks {
+		sets = append(sets, bs)
+	}
+	s.mu.Unlock()
+	for _, bs := range sets {
+		st.Blocks.Add(bs.Stats())
+	}
+	return st
+}
+
 // ltpUniverse resolves every program's memoized unfolding and the flat
 // concatenation in program order.
 func (s *Session) ltpUniverse(programs []*btp.Program, bound int) ([][]*btp.LTP, []*btp.LTP, error) {
@@ -168,11 +259,25 @@ func (s *Session) ltpUniverse(programs []*btp.Program, bound int) ([][]*btp.LTP,
 // the summary graph from cached pairwise blocks, and search for dangerous
 // cycles. The graph is identical to the one summary.Build constructs.
 func (s *Session) Check(programs []*btp.Program, cfg Config) (*Result, error) {
+	return s.CheckCtx(context.Background(), programs, cfg)
+}
+
+// CheckCtx is Check under a context: a context already cancelled when the
+// expensive graph assembly would start aborts the call. A single check is
+// one compose + one cycle detection, so the context is consulted between
+// those stages rather than inside them.
+func (s *Session) CheckCtx(ctx context.Context, programs []*btp.Program, cfg Config) (*Result, error) {
 	_, ltps, err := s.ltpUniverse(programs, cfg.bound())
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := summary.Compose(s.Blocks(cfg.Setting), ltps)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ok, w := g.Robust(cfg.Method)
 	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}, nil
 }
@@ -185,6 +290,15 @@ func (s *Session) Check(programs []*btp.Program, cfg Config) (*Result, error) {
 // expensive Algorithm 1 side conditions run once per LTP pair overall
 // rather than once per subset.
 func (s *Session) RobustSubsets(programs []*btp.Program, cfg Config) (*SubsetReport, error) {
+	return s.RobustSubsetsCtx(context.Background(), programs, cfg)
+}
+
+// RobustSubsetsCtx is RobustSubsets under a context: every worker checks the
+// context between subset masks, so a server timeout or client disconnect
+// aborts the exponential enumeration mid-flight. On cancellation the
+// context's error is returned and the partial verdicts are discarded (the
+// block cache keeps whatever pairs were computed — they stay valid).
+func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program, cfg Config) (*SubsetReport, error) {
 	n := len(programs)
 	if n > 20 {
 		return nil, fmt.Errorf("analysis: subset enumeration over %d programs is infeasible", n)
@@ -222,6 +336,9 @@ func (s *Session) RobustSubsets(programs []*btp.Program, cfg Config) (*SubsetRep
 		scratch := det.NewScratch()
 		members := make([]uint64, words)
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			mask := nextMask()
 			if mask >= total {
 				return
@@ -253,6 +370,9 @@ func (s *Session) RobustSubsets(programs []*btp.Program, cfg Config) (*SubsetRep
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Deterministic report assembly in ascending mask order — the same

@@ -1,6 +1,8 @@
 package analysis_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
 	"repro/internal/robust"
+	"repro/internal/sqlbtp"
 	"repro/internal/summary"
 )
 
@@ -272,5 +275,193 @@ func TestParallelismEquivalence(t *testing.T) {
 		if rep.String() != base {
 			t.Errorf("parallelism %d diverges: %s != %s", par, rep, base)
 		}
+	}
+}
+
+// patchedDepositChecking is a modified DepositChecking in the Appendix A
+// dialect: the deposit lands in Savings instead of Checking. Used by the
+// invalidation tests as the replacement program of a PATCH.
+const patchedDepositChecking = `
+PROGRAM DepositChecking(:name, :amount):
+  SELECT CustomerId INTO :c FROM Account WHERE Name = :name;  -- q1
+  UPDATE Savings SET Balance = Balance + :amount WHERE CustomerId = :c;  -- q2
+  -- @fk q2 = fS(q1)
+COMMIT;
+`
+
+// TestSessionInvalidatePairLevel is the incremental re-analysis acceptance
+// test: after a warm full enumeration, invalidating one program must evict
+// exactly that program's ordered LTP pairs; re-checking with a replacement
+// program must recompute only pairs with the replacement as an endpoint
+// (cache-miss delta), leave every untouched pair cached (cache-hit delta),
+// and still produce verdicts identical to a fresh naive-oracle run.
+func TestSessionInvalidatePairLevel(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := analysis.NewSession(bench.Schema)
+	cfg := analysis.DefaultConfig()
+
+	// Warm the cache: 5 linear programs, one LTP each → 25 ordered pairs.
+	if _, err := sess.RobustSubsets(bench.Programs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bs := sess.Blocks(cfg.Setting)
+	st0 := bs.Stats()
+	if st0.Pairs != 25 || st0.Misses != 25 {
+		t.Fatalf("warm cache: pairs=%d misses=%d, want 25/25", st0.Pairs, st0.Misses)
+	}
+
+	old := bench.Program("DepositChecking")
+	removed := sess.Invalidate(old)
+	if removed != 9 {
+		t.Errorf("Invalidate evicted %d pairs, want 9 (pairs with DC as an endpoint)", removed)
+	}
+	if got := bs.Len(); got != 16 {
+		t.Errorf("pairs after invalidation = %d, want 16 untouched", got)
+	}
+	if st := sess.Stats(); st.Blocks.Invalidated != 9 {
+		t.Errorf("session invalidated counter = %d, want 9", st.Blocks.Invalidated)
+	}
+
+	// Re-check with the patched replacement program.
+	next, err := sqlbtp.ParseProgram(bench.Schema, patchedDepositChecking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next.Abbrev = old.Abbrev
+	patched := make([]*btp.Program, len(bench.Programs))
+	copy(patched, bench.Programs)
+	for i, p := range patched {
+		if p == old {
+			patched[i] = next
+		}
+	}
+	st1 := bs.Stats()
+	got, err := sess.Check(patched, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := bs.Stats()
+	if miss := st2.Misses - st1.Misses; miss != 9 {
+		t.Errorf("post-patch check recomputed %d pairs, want only the 9 involving the new program", miss)
+	}
+	if hits := st2.Hits - st1.Hits; hits != 16 {
+		t.Errorf("post-patch check took %d cache hits, want all 16 untouched pairs", hits)
+	}
+	if st2.Pairs != 25 {
+		t.Errorf("pairs after re-check = %d, want 25", st2.Pairs)
+	}
+
+	// Verdicts must match a fresh naive oracle over the patched set.
+	oracle := robust.NewChecker(bench.Schema)
+	oracle.Setting = cfg.Setting
+	oracle.Method = cfg.Method
+	want := oracle.CheckLTPs(btp.UnfoldAll2(patched))
+	if got.Robust != want.Robust {
+		t.Errorf("patched check: engine robust=%t, oracle=%t", got.Robust, want.Robust)
+	}
+	if got.Graph.String() != want.Graph.String() {
+		t.Error("patched check: graph dump diverges from naive build")
+	}
+	gotRep, err := sess.RobustSubsets(patched, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, err := oracle.NaiveRobustSubsets(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep.String() != wantRep.String() {
+		t.Errorf("patched subsets diverge:\nengine: %s\noracle: %s", gotRep, wantRep)
+	}
+}
+
+// TestSessionCtxCancellation asserts a cancelled context aborts both entry
+// points with the context's error.
+func TestSessionCtxCancellation(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := analysis.NewSession(bench.Schema)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.RobustSubsetsCtx(ctx, bench.Programs, analysis.DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RobustSubsetsCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := sess.CheckCtx(ctx, bench.Programs, analysis.DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("CheckCtx err = %v, want context.Canceled", err)
+	}
+	// An uncancelled context changes nothing.
+	rep, err := sess.RobustSubsetsCtx(context.Background(), bench.Programs, analysis.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sess.RobustSubsets(bench.Programs, analysis.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() != base.String() {
+		t.Errorf("ctx variant diverges: %s != %s", rep, base)
+	}
+}
+
+// TestInvalidateRetiresStalePairs covers the patch-under-load leak: a
+// check that re-resolves an invalidated program's pairs (as an in-flight
+// snapshot would) must not re-admit them to the cache.
+func TestInvalidateRetiresStalePairs(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := analysis.NewSession(bench.Schema)
+	cfg := analysis.DefaultConfig()
+	if _, err := sess.Check(bench.Programs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bs := sess.Blocks(cfg.Setting)
+
+	old := bench.Program("DepositChecking")
+	oldLTPs, err := sess.LTPs(old, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Invalidate(old)
+	if got := bs.Len(); got != 16 {
+		t.Fatalf("pairs after invalidation = %d, want 16", got)
+	}
+	// A straggler holding the old snapshot recomputes the pair on demand
+	// but the cache must stay at 16 entries.
+	if edges := bs.PairEdges(oldLTPs[0], oldLTPs[0]); edges == nil {
+		// (nil is a legal empty block; the call itself must still work)
+		_ = edges
+	}
+	if got := bs.Len(); got != 16 {
+		t.Errorf("retired pair re-cached: %d pairs, want 16", got)
+	}
+}
+
+// TestRetiredProgramNotRememoized: resolving an invalidated program (as an
+// in-flight straggler would) must work but leave every cache untouched.
+func TestRetiredProgramNotRememoized(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := analysis.NewSession(bench.Schema)
+	cfg := analysis.DefaultConfig()
+	if _, err := sess.Check(bench.Programs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	old := bench.Program("DepositChecking")
+	sess.Invalidate(old)
+	st0 := sess.Stats()
+
+	// A straggler snapshot still holding the old program re-checks it.
+	res, err := sess.Check([]*btp.Program{old, bench.Program("Balance")}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := robust.NewChecker(bench.Schema).CheckLTPs(
+		btp.UnfoldAll2([]*btp.Program{old, bench.Program("Balance")}))
+	if res.Robust != want.Robust {
+		t.Errorf("straggler verdict robust=%t, oracle=%t", res.Robust, want.Robust)
+	}
+	st1 := sess.Stats()
+	if st1.Programs != st0.Programs || st1.Unfoldings != st0.Unfoldings {
+		t.Errorf("straggler re-memoized the retired program: %+v -> %+v", st0, st1)
+	}
+	if st1.Blocks.Pairs != st0.Blocks.Pairs {
+		t.Errorf("straggler re-admitted retired pairs: %d -> %d", st0.Blocks.Pairs, st1.Blocks.Pairs)
 	}
 }

@@ -1,0 +1,27 @@
+package benchmarks
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ByName resolves a benchmark by its common name (case-insensitive):
+// "smallbank", "tpcc"/"tpc-c" or "auction". n scales the Auction benchmark
+// (Auction(n)); values ≤ 1 give the base benchmark. Both the CLIs and the
+// server's workload registration resolve named benchmarks through this
+// single lookup.
+func ByName(name string, n int) (*Benchmark, error) {
+	switch strings.ToLower(name) {
+	case "smallbank":
+		return SmallBank(), nil
+	case "tpcc", "tpc-c":
+		return TPCC(), nil
+	case "auction":
+		if n > 1 {
+			return AuctionN(n), nil
+		}
+		return Auction(), nil
+	default:
+		return nil, fmt.Errorf("unknown benchmark %q (want smallbank, tpcc or auction)", name)
+	}
+}

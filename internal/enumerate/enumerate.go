@@ -13,6 +13,7 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -55,6 +56,14 @@ type Result struct {
 // FindNonSerializable searches the interleavings of the given transactions
 // for one whose MVRC execution is not conflict serializable.
 func FindNonSerializable(schema *relschema.Schema, txns []*schedule.Transaction, opts Options) (*Result, error) {
+	return FindNonSerializableCtx(context.Background(), schema, txns, opts)
+}
+
+// FindNonSerializableCtx is FindNonSerializable under a context: the DFS
+// polls the context every few thousand steps, so callers driven by server
+// deadlines or client disconnects can abort a long exhaustive search. On
+// cancellation the context's error is returned.
+func FindNonSerializableCtx(ctx context.Context, schema *relschema.Schema, txns []*schedule.Transaction, opts Options) (*Result, error) {
 	budget := opts.MaxSchedules
 	if budget <= 0 {
 		budget = DefaultMaxSchedules
@@ -81,8 +90,19 @@ func FindNonSerializable(schema *relschema.Schema, txns []*schedule.Transaction,
 		return schedule.Chunk{}, false
 	}
 
+	// The DFS polls the context on its first node and once every 4096
+	// thereafter: cheap relative to schedule assembly, frequent enough
+	// that cancellation lands within microseconds.
+	var steps int
+	cancelled := false
+
 	var dfs func() bool
 	dfs = func() bool {
+		steps++
+		if steps&4095 == 1 && ctx.Err() != nil {
+			cancelled = true
+			return true
+		}
 		if len(order) == totalOps(txns) {
 			res.Explored++
 			s, err := schedule.FromOrder(schema, txns, order)
@@ -178,6 +198,9 @@ func FindNonSerializable(schema *relschema.Schema, txns []*schedule.Transaction,
 		return false
 	}
 	dfs()
+	if cancelled {
+		return nil, ctx.Err()
+	}
 	return res, nil
 }
 
@@ -199,6 +222,11 @@ type Instance struct {
 // FindCounterexample instantiates the given instances (with ids 1..n) and
 // searches for a non-serializable MVRC schedule over them.
 func FindCounterexample(schema *relschema.Schema, instances []Instance, opts Options) (*Result, error) {
+	return FindCounterexampleCtx(context.Background(), schema, instances, opts)
+}
+
+// FindCounterexampleCtx is FindCounterexample under a context.
+func FindCounterexampleCtx(ctx context.Context, schema *relschema.Schema, instances []Instance, opts Options) (*Result, error) {
 	txns := make([]*schedule.Transaction, 0, len(instances))
 	for i, inst := range instances {
 		t, err := instantiate.Instantiate(schema, inst.LTP, i+1, inst.Assignment)
@@ -207,7 +235,7 @@ func FindCounterexample(schema *relschema.Schema, instances []Instance, opts Opt
 		}
 		txns = append(txns, t)
 	}
-	return FindNonSerializable(schema, txns, opts)
+	return FindNonSerializableCtx(ctx, schema, txns, opts)
 }
 
 // SessionInstances builds one search instance per unfolding of the program,
@@ -236,6 +264,14 @@ func SessionInstances(sess *analysis.Session, p *btp.Program, bound int, assign 
 // rejects a set of subsets, their candidate instantiations can be checked
 // for real anomalies in one parallel sweep.
 func FindAnyCounterexample(schema *relschema.Schema, candidates [][]Instance, parallelism int, opts Options) (*Result, int, error) {
+	return FindAnyCounterexampleCtx(context.Background(), schema, candidates, parallelism, opts)
+}
+
+// FindAnyCounterexampleCtx is FindAnyCounterexample under a context: each
+// worker re-checks the context before claiming the next candidate and the
+// per-candidate DFS polls it too, so the whole pool drains promptly on
+// cancellation (returning the context's error).
+func FindAnyCounterexampleCtx(ctx context.Context, schema *relschema.Schema, candidates [][]Instance, parallelism int, opts Options) (*Result, int, error) {
 	if len(candidates) == 0 {
 		return &Result{Exhausted: true}, -1, nil
 	}
@@ -255,16 +291,19 @@ func FindAnyCounterexample(schema *relschema.Schema, candidates [][]Instance, pa
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1))
 				if i >= len(candidates) {
 					return
 				}
-				results[i], errs[i] = FindCounterexample(schema, candidates[i], opts)
+				results[i], errs[i] = FindCounterexampleCtx(ctx, schema, candidates[i], opts)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, -1, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, -1, fmt.Errorf("enumerate: candidate %d: %w", i, err)

@@ -1,6 +1,8 @@
 package enumerate
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/analysis"
@@ -86,5 +88,25 @@ func TestFindAnyCounterexampleNone(t *testing.T) {
 	res, idx, err = FindAnyCounterexample(b.Schema, nil, 0, Options{})
 	if err != nil || res.Found || idx != -1 || !res.Exhausted {
 		t.Fatalf("empty candidates: res=%+v idx=%d err=%v", res, idx, err)
+	}
+}
+
+// TestFindAnyCounterexampleCtxCancelled asserts a cancelled context aborts
+// the parallel sweep (and the per-candidate DFS) with the context's error
+// instead of a result.
+func TestFindAnyCounterexampleCtxCancelled(t *testing.T) {
+	b := benchmarks.SmallBank()
+	sess := analysis.NewSession(b.Schema)
+	candidates := smallBankCandidates(t, sess, b, [][]string{
+		{"Balance", "DepositChecking"},
+		{"DepositChecking", "WriteCheck"},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := FindAnyCounterexampleCtx(ctx, b.Schema, candidates, 2, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := FindCounterexampleCtx(ctx, b.Schema, candidates[0], Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FindCounterexampleCtx err = %v, want context.Canceled", err)
 	}
 }

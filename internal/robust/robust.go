@@ -15,6 +15,7 @@
 package robust
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -99,6 +100,11 @@ func (c *Checker) Check(programs []*btp.Program) (*Result, error) {
 	return c.Session().Check(programs, c.config())
 }
 
+// CheckCtx is Check under a context; see analysis.Session.CheckCtx.
+func (c *Checker) CheckCtx(ctx context.Context, programs []*btp.Program) (*Result, error) {
+	return c.Session().CheckCtx(ctx, programs, c.config())
+}
+
 // CheckLTPs runs the analysis directly on pre-unfolded LTPs, bypassing the
 // session (naive single-shot construction).
 func (c *Checker) CheckLTPs(ltps []*btp.LTP) *Result {
@@ -115,6 +121,13 @@ func (c *Checker) CheckLTPs(ltps []*btp.LTP) *Result {
 // naive per-subset oracle (see NaiveRobustSubsets).
 func (c *Checker) RobustSubsets(programs []*btp.Program) (*SubsetReport, error) {
 	return c.Session().RobustSubsets(programs, c.config())
+}
+
+// RobustSubsetsCtx is RobustSubsets under a context: the enumeration's
+// worker pool polls the context between subset masks, so server timeouts
+// and client disconnects abort the exponential sweep mid-flight.
+func (c *Checker) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program) (*SubsetReport, error) {
+	return c.Session().RobustSubsetsCtx(ctx, programs, c.config())
 }
 
 // naiveCheck is the pre-refactor Check: validate, unfold and run

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/robust"
+	"repro/internal/sqlbtp"
+	"repro/internal/wire"
+)
+
+// TestConcurrentSessionUse hammers one registered workload with parallel
+// /check, /subsets and PATCH requests. Every response carries the workload
+// version its verdict was computed against; versions alternate between the
+// original SmallBank programs (even) and a patched DepositChecking (odd),
+// so each response is asserted against the naive oracle for its version.
+// Run under -race (the CI default) this is also the server's data-race
+// test.
+func TestConcurrentSessionUse(t *testing.T) {
+	bench := benchmarks.SmallBank()
+
+	// Build the two program-set versions and their naive-oracle answers.
+	// The patched program is parsed against the same schema object as the
+	// originals so the oracle analyses a consistent workload.
+	patchedProg, err := sqlbtp.ParseProgram(bench.Schema, patchedDepositChecking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patchedProg.Abbrev = "DC"
+	patchedSet := make([]*btp.Program, len(bench.Programs))
+	copy(patchedSet, bench.Programs)
+	for i, p := range patchedSet {
+		if p.Name == "DepositChecking" {
+			patchedSet[i] = patchedProg
+		}
+	}
+	versions := [][]*btp.Program{bench.Programs, patchedSet} // index by version%2
+
+	type oracle struct {
+		checkRobust bool
+		subsets     string // maximal subsets rendering
+	}
+	oracles := make([]oracle, 2)
+	for i, ps := range versions {
+		c := robust.NewChecker(bench.Schema)
+		res, err := c.Check(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.NaiveRobustSubsets(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[i] = oracle{checkRobust: res.Robust, subsets: rep.String()}
+	}
+
+	s := New(Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	reg, err := s.Register(bench.Schema, bench.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := reg.ID
+
+	const (
+		checkers   = 3
+		subsetters = 3
+		patches    = 6
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	done := make(chan struct{})
+
+	// version parses the X-Workload-Version header.
+	version := func(resp *http.Response) (int, error) {
+		return strconv.Atoi(resp.Header.Get("X-Workload-Version"))
+	}
+
+	for g := 0; g < checkers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/workloads/"+id+"/check", "application/json", nil)
+				if err != nil {
+					errc <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				v, err := version(resp)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("check: status %d version %v\n%s", resp.StatusCode, err, raw)
+					return
+				}
+				var cr wire.CheckResponse
+				if err := json.Unmarshal(raw, &cr); err != nil {
+					errc <- err
+					return
+				}
+				if cr.Robust != oracles[v%2].checkRobust {
+					errc <- fmt.Errorf("check at version %d: robust=%t, oracle says %t", v, cr.Robust, oracles[v%2].checkRobust)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < subsetters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/workloads/"+id+"/subsets", "application/json", nil)
+				if err != nil {
+					errc <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				v, err := version(resp)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("subsets: status %d version %v\n%s", resp.StatusCode, err, raw)
+					return
+				}
+				var sr wire.SubsetsResponse
+				if err := json.Unmarshal(raw, &sr); err != nil {
+					errc <- err
+					return
+				}
+				// Render like SubsetReport.String for comparison.
+				parts := make([]string, len(sr.Maximal))
+				for i, m := range sr.Maximal {
+					s := "{"
+					for j, n := range m {
+						if j > 0 {
+							s += ", "
+						}
+						s += n
+					}
+					parts[i] = s + "}"
+				}
+				got := ""
+				for i, p := range parts {
+					if i > 0 {
+						got += ", "
+					}
+					got += p
+				}
+				if got != oracles[v%2].subsets {
+					errc <- fmt.Errorf("subsets at version %d:\ngot    %s\noracle %s", v, got, oracles[v%2].subsets)
+					return
+				}
+			}
+		}()
+	}
+
+	// The patcher alternates DepositChecking between its two definitions,
+	// closing done when finished.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		bodies := []string{patchedDepositChecking, originalDepositChecking}
+		for i := 0; i < patches; i++ {
+			buf, _ := json.Marshal(wire.PatchProgramRequest{SQL: bodies[i%2]})
+			req, _ := http.NewRequest(http.MethodPatch,
+				ts.URL+"/v1/workloads/"+id+"/programs/DepositChecking", bytes.NewReader(buf))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errc <- err
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("patch %d: %d\n%s", i, resp.StatusCode, raw)
+				return
+			}
+			var pr wire.PatchProgramResponse
+			if err := json.Unmarshal(raw, &pr); err != nil {
+				errc <- err
+				return
+			}
+			if pr.Version != uint64(i+1) {
+				errc <- fmt.Errorf("patch %d: version %d, want %d", i, pr.Version, i+1)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// After an even number of patches the workload is back at the
+	// original definition; a final check must agree with the v0 oracle.
+	resp, err := http.Post(ts.URL+"/v1/workloads/"+id+"/check", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var cr wire.CheckResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Robust != oracles[0].checkRobust {
+		t.Errorf("final check robust=%t, oracle says %t", cr.Robust, oracles[0].checkRobust)
+	}
+}

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/btp"
+	"repro/internal/relschema"
+	"repro/internal/sqlbtp"
+)
+
+// workload is one registered schema + program set, wrapping the long-lived
+// analysis.Session that amortizes unfoldings and pairwise edge blocks
+// across every request it serves.
+type workload struct {
+	// id is the registration fingerprint; stable for the workload's
+	// lifetime, including across PATCHes.
+	id     string
+	schema *relschema.Schema
+	sess   *analysis.Session
+
+	// mu guards the program table and version. Checks take the read lock
+	// only long enough to snapshot the programs they analyse; a PATCH
+	// holds the write lock across parse + invalidate + swap so every
+	// snapshot sees a consistent (programs, version) pair.
+	mu       sync.RWMutex
+	names    []string                // full program names, registration order
+	programs map[string]*btp.Program // by full name AND abbreviation
+	version  uint64
+
+	checks, subsets, patches atomic.Uint64
+
+	// flight coalesces identical in-flight subset enumerations; see
+	// Server.subsetsCoalesced.
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+}
+
+// newWorkload builds a workload over the schema and programs (validated by
+// the caller) with its fingerprint id.
+func newWorkload(schema *relschema.Schema, programs []*btp.Program) *workload {
+	w := &workload{
+		id:     fingerprint(schema, programs),
+		schema: schema,
+		sess:   analysis.NewSession(schema),
+		flight: make(map[string]*flightCall),
+	}
+	w.installPrograms(programs)
+	return w
+}
+
+// fingerprint hashes the schema and the full program definitions —
+// statement read/write/predicate sets and foreign-key annotations included
+// — so two workloads collide only when they are semantically identical to
+// the analysis.
+func fingerprint(schema *relschema.Schema, programs []*btp.Program) string {
+	h := sha256.New()
+	io.WriteString(h, schema.String())
+	for _, p := range programs {
+		fmt.Fprintf(h, "\x00%s\x00%s\x00%s\n", p.Name, p.Abbrev, p.String())
+		for _, q := range p.Statements() {
+			io.WriteString(h, q.String())
+			io.WriteString(h, "\n")
+		}
+		for _, fk := range p.FKs {
+			io.WriteString(h, fk.String())
+			io.WriteString(h, "\n")
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// session returns the workload's current analysis engine. Callers may keep
+// using a session across a concurrent rotation — verdicts never depend on
+// cache contents — it is merely garbage afterwards.
+func (w *workload) session() *analysis.Session {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.sess
+}
+
+// resetIfDrifted restores the workload to the given registered content if
+// PATCHes have made its current programs diverge from the registration
+// fingerprint (the workload id). Without this, re-registering pristine
+// content would silently alias onto a drifted workload and answer with the
+// wrong programs. Returns true when a reset happened (version bumped).
+func (w *workload) resetIfDrifted(programs []*btp.Program) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	current := make([]*btp.Program, len(w.names))
+	for i, n := range w.names {
+		current[i] = w.programs[n]
+	}
+	if fingerprint(w.schema, current) == w.id {
+		return false
+	}
+	// Drop a whole session rather than invalidating program by program:
+	// resets are rare (they require an interleaved PATCH) and this also
+	// sheds any memory pinned by the patch history.
+	w.sess = analysis.NewSession(w.schema)
+	w.installPrograms(programs)
+	w.version++
+	return true
+}
+
+// installPrograms replaces the program table. Caller holds w.mu.
+func (w *workload) installPrograms(programs []*btp.Program) {
+	w.names = w.names[:0]
+	w.programs = make(map[string]*btp.Program, 2*len(programs))
+	for _, p := range programs {
+		w.names = append(w.names, p.Name)
+		w.programs[p.Name] = p
+		if p.Abbrev != "" {
+			w.programs[p.Abbrev] = p
+		}
+	}
+}
+
+// programList returns the full program set in registration order plus the
+// current version.
+func (w *workload) programList() ([]*btp.Program, uint64) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]*btp.Program, len(w.names))
+	for i, n := range w.names {
+		out[i] = w.programs[n]
+	}
+	return out, w.version
+}
+
+// snapshot resolves the requested program names (full names or
+// abbreviations; empty means all) against the current version.
+func (w *workload) snapshot(names []string) ([]*btp.Program, uint64, error) {
+	if len(names) == 0 {
+		ps, v := w.programList()
+		return ps, v, nil
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]*btp.Program, len(names))
+	seen := make(map[*btp.Program]bool, len(names))
+	for i, n := range names {
+		p, ok := w.programs[n]
+		if !ok {
+			return nil, 0, fmt.Errorf("workload has no program %q", n)
+		}
+		// A full name and its abbreviation resolve to the same program;
+		// admitting the duplicate would enumerate it as two distinct
+		// nodes and produce a malformed graph.
+		if seen[p] {
+			return nil, 0, fmt.Errorf("program %q selected twice", n)
+		}
+		seen[p] = true
+		out[i] = p
+	}
+	return out, w.version, nil
+}
+
+// patch replaces the named program with a new definition parsed from SQL,
+// invalidating only the old program's memoized unfoldings and pairwise
+// edge blocks (the incremental re-analysis path). It returns the replaced
+// program's full name, the number of evicted pairs and the new version.
+func (w *workload) patch(name, sql string) (string, int, uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old, ok := w.programs[name]
+	if !ok {
+		return "", 0, 0, fmt.Errorf("workload has no program %q", name)
+	}
+	next, err := sqlbtp.ParseProgram(w.schema, sql)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("parse: %w", err)
+	}
+	if next.Name != old.Name {
+		return "", 0, 0, fmt.Errorf("PROGRAM name %q does not match patched program %q", next.Name, old.Name)
+	}
+	if err := next.Validate(w.schema); err != nil {
+		return "", 0, 0, err
+	}
+	// SQL-parsed programs carry no abbreviation; inherit the old one so
+	// subset reports keep their short names across patches.
+	if next.Abbrev == "" {
+		next.Abbrev = old.Abbrev
+	}
+	invalidated := w.sess.Invalidate(old)
+	delete(w.programs, old.Name)
+	if old.Abbrev != "" {
+		delete(w.programs, old.Abbrev)
+	}
+	w.programs[next.Name] = next
+	if next.Abbrev != "" {
+		w.programs[next.Abbrev] = next
+	}
+	w.version++
+	// Every invalidation retires the old program's LTPs in the session's
+	// caches (they must not be re-admitted by in-flight stragglers), so a
+	// heavily patched workload accrues a little stale bookkeeping per
+	// patch. Rotating to a fresh session every sessionRotatePatches
+	// versions bounds that at the cost of one periodic cold rebuild.
+	if w.version%sessionRotatePatches == 0 {
+		w.sess = analysis.NewSession(w.schema)
+	}
+	return old.Name, invalidated, w.version, nil
+}
+
+// sessionRotatePatches is the version period after which a workload swaps
+// in a fresh analysis session to shed memory pinned by patch history.
+const sessionRotatePatches = 64
+
+// flightCall is one in-flight subset enumeration that identical concurrent
+// requests piggyback on. waiters counts requests currently blocked on it;
+// the last waiter to give up cancels the computation.
+type flightCall struct {
+	done    chan struct{}
+	resp    any
+	err     error
+	version uint64
+	waiters atomic.Int64
+	cancel  func()
+}
+
+// registry is the concurrency-safe workload table: fingerprint-keyed with
+// an LRU cap, so a long-lived server bounds the memory of its cached
+// sessions while hot workloads stay resident.
+type registry struct {
+	cap       int
+	mu        sync.Mutex
+	items     map[string]*list.Element // id → element holding *workload
+	order     *list.List               // front = most recently used
+	evictions atomic.Uint64
+}
+
+func newRegistry(capacity int) *registry {
+	return &registry{
+		cap:   capacity,
+		items: make(map[string]*list.Element),
+		order: list.New(),
+	}
+}
+
+// register inserts the workload, or returns the resident one with the same
+// fingerprint (registration is idempotent). The entry becomes most
+// recently used; the least recently used entry is evicted beyond the cap.
+func (r *registry) register(w *workload) (*workload, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.items[w.id]; ok {
+		r.order.MoveToFront(el)
+		return el.Value.(*workload), false
+	}
+	r.items[w.id] = r.order.PushFront(w)
+	for r.order.Len() > r.cap {
+		oldest := r.order.Back()
+		r.order.Remove(oldest)
+		delete(r.items, oldest.Value.(*workload).id)
+		r.evictions.Add(1)
+	}
+	return w, true
+}
+
+// get returns the workload and bumps it to most recently used, or nil.
+func (r *registry) get(id string) *workload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.items[id]
+	if !ok {
+		return nil
+	}
+	r.order.MoveToFront(el)
+	return el.Value.(*workload)
+}
+
+// all snapshots the resident workloads, most recently used first.
+func (r *registry) all() []*workload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*workload, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*workload))
+	}
+	return out
+}
+
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}

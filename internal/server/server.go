@@ -1,0 +1,508 @@
+// Package server is the robustness-as-a-service subsystem: a long-lived
+// HTTP server that registers workloads (schema + transaction programs)
+// once and answers robustness queries many times, amortizing the expensive
+// analysis artifacts — validated and unfolded programs, and the per-setting
+// pairwise edge-block caches of Algorithm 1 — across requests.
+//
+// Each registered workload wraps one analysis.Session in a fingerprint-
+// keyed registry with an LRU cap. PATCHing a single program performs
+// incremental re-analysis: only the changed program's ordered LTP pairs
+// are evicted from the block caches, so the next check recomputes those
+// pairs alone. Identical in-flight subset enumerations are coalesced, and
+// every analysis runs under the request context, so client disconnects and
+// server timeouts abort work mid-flight.
+//
+// API (JSON over HTTP; see internal/wire for the body types):
+//
+//	POST  /v1/workloads                         register (idempotent)
+//	GET   /v1/workloads/{id}                    workload info + cache stats
+//	POST  /v1/workloads/{id}/check              robustness verdict
+//	POST  /v1/workloads/{id}/subsets            robust / maximal subsets
+//	PATCH /v1/workloads/{id}/programs/{name}    replace one program
+//	GET   /v1/stats                             server + cache telemetry
+//	GET   /healthz                              liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/relschema"
+	"repro/internal/sqlbtp"
+	"repro/internal/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxWorkloads caps the registry; the least recently used workload is
+	// evicted beyond it. 0 means DefaultMaxWorkloads.
+	MaxWorkloads int
+	// Parallelism bounds each subset enumeration's worker pool; 0 means
+	// GOMAXPROCS, 1 forces sequential enumeration.
+	Parallelism int
+	// RequestTimeout bounds each analysis request; 0 means no deadline
+	// beyond the client's own.
+	RequestTimeout time.Duration
+}
+
+// DefaultMaxWorkloads is the default registry cap.
+const DefaultMaxWorkloads = 64
+
+// Server is the resident robustness service. Create with New, expose with
+// Handler, release background state with Close.
+type Server struct {
+	opts  Options
+	reg   *registry
+	mux   *http.ServeMux
+	start time.Time
+
+	// base outlives individual requests: coalesced enumerations run under
+	// it so the leader's disconnect does not abort followers' work.
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	registers, checks, subsets, patches, coalesced atomic.Uint64
+
+	// testFlightHook, when non-nil, runs inside the flight goroutine
+	// before the enumeration starts — a seam for deterministic
+	// coalescing tests.
+	testFlightHook func()
+}
+
+// New creates a Server ready to serve its Handler.
+func New(opts Options) *Server {
+	if opts.MaxWorkloads <= 0 {
+		opts.MaxWorkloads = DefaultMaxWorkloads
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		reg:        newRegistry(opts.MaxWorkloads),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		base:       base,
+		baseCancel: cancel,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/workloads", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/workloads/{id}", s.handleGetWorkload)
+	s.mux.HandleFunc("POST /v1/workloads/{id}/check", s.handleCheck)
+	s.mux.HandleFunc("POST /v1/workloads/{id}/subsets", s.handleSubsets)
+	s.mux.HandleFunc("PATCH /v1/workloads/{id}/programs/{name}", s.handlePatch)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close aborts any coalesced enumerations still running in the background.
+// Registered workloads (and their caches) are simply garbage once the
+// Server is unreferenced.
+func (s *Server) Close() { s.baseCancel() }
+
+// Register registers a workload programmatically (the CLI's -preload path
+// uses this; HTTP clients use POST /v1/workloads). Programs are validated
+// against the schema before the workload is admitted.
+func (s *Server) Register(schema *relschema.Schema, programs []*btp.Program) (*wire.RegisterWorkloadResponse, error) {
+	if len(programs) == 0 {
+		return nil, errors.New("workload has no programs")
+	}
+	seen := make(map[string]bool, len(programs))
+	for _, p := range programs {
+		if err := p.Validate(schema); err != nil {
+			return nil, err
+		}
+		names := []string{p.Name}
+		if p.Abbrev != "" && p.Abbrev != p.Name {
+			names = append(names, p.Abbrev)
+		}
+		for _, n := range names {
+			if seen[n] {
+				return nil, fmt.Errorf("duplicate program name %q", n)
+			}
+			seen[n] = true
+		}
+	}
+	w, created := s.reg.register(newWorkload(schema, programs))
+	if !created {
+		// The resident workload may have been PATCHed since its
+		// registration; registering pristine content again restores it,
+		// so the caller gets verdicts for the programs it submitted.
+		w.resetIfDrifted(programs)
+	}
+	s.registers.Add(1)
+	ps, version := w.programList()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return &wire.RegisterWorkloadResponse{
+		ID: w.id, Created: created, Version: version, Programs: names,
+	}, nil
+}
+
+// --- HTTP plumbing ---------------------------------------------------------
+
+func (s *Server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	io.WriteString(rw, "{\n  \"status\": \"ok\"\n}\n")
+}
+
+// writeJSON sends a wire document with the given status.
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	wire.WriteJSON(rw, v)
+}
+
+// writeError maps an error to the uniform error envelope.
+func writeError(rw http.ResponseWriter, status int, err error) {
+	writeJSON(rw, status, wire.Error{Error: err.Error()})
+}
+
+// analysisStatus maps an analysis error to an HTTP status: cancellations
+// and deadlines surface as such, anything else is the client's input.
+func analysisStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// decodeBody decodes a JSON request body into v. An empty body is allowed
+// when optional is true (the zero value then stands for the defaults).
+func decodeBody(r *http.Request, v any, optional bool) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if errors.Is(err, io.EOF) && optional {
+		return nil
+	}
+	return err
+}
+
+// requestCtx derives the analysis context for one request: the client's
+// context bounded by the configured timeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// lookup resolves the {id} path segment.
+func (s *Server) lookup(rw http.ResponseWriter, r *http.Request) *workload {
+	id := r.PathValue("id")
+	w := s.reg.get(id)
+	if w == nil {
+		writeError(rw, http.StatusNotFound, fmt.Errorf("no workload %q", id))
+	}
+	return w
+}
+
+// config resolves a CheckRequest into the engine configuration, applying
+// the server's parallelism bound.
+func (s *Server) config(req *wire.CheckRequest) (analysis.Config, error) {
+	cfg, err := req.Config()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Parallelism = s.opts.Parallelism
+	return cfg, nil
+}
+
+// --- Handlers --------------------------------------------------------------
+
+func (s *Server) handleRegister(rw http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterWorkloadRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	var (
+		schema   *relschema.Schema
+		programs []*btp.Program
+	)
+	switch {
+	case req.Benchmark != "":
+		bench, err := benchmarks.ByName(req.Benchmark, req.N)
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, err)
+			return
+		}
+		schema, programs = bench.Schema, bench.Programs
+		if req.ProgramsSQL != "" {
+			programs, err = sqlbtp.Parse(schema, req.ProgramsSQL)
+			if err != nil {
+				writeError(rw, http.StatusBadRequest, fmt.Errorf("programs_sql: %w", err))
+				return
+			}
+		}
+	case req.Schema != nil && req.ProgramsSQL != "":
+		var err error
+		schema, err = req.Schema.Build()
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, fmt.Errorf("schema: %w", err))
+			return
+		}
+		programs, err = sqlbtp.Parse(schema, req.ProgramsSQL)
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, fmt.Errorf("programs_sql: %w", err))
+			return
+		}
+	default:
+		writeError(rw, http.StatusBadRequest,
+			errors.New("register needs either benchmark or schema + programs_sql"))
+		return
+	}
+	resp, err := s.Register(schema, programs)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if resp.Created {
+		status = http.StatusCreated
+	}
+	writeJSON(rw, status, resp)
+}
+
+func (s *Server) handleGetWorkload(rw http.ResponseWriter, r *http.Request) {
+	w := s.lookup(rw, r)
+	if w == nil {
+		return
+	}
+	writeJSON(rw, http.StatusOK, s.workloadStats(w))
+}
+
+func (s *Server) handleCheck(rw http.ResponseWriter, r *http.Request) {
+	w := s.lookup(rw, r)
+	if w == nil {
+		return
+	}
+	var req wire.CheckRequest
+	if err := decodeBody(r, &req, true); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	cfg, err := s.config(&req)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	programs, version, err := w.snapshot(req.Programs)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := w.session().CheckCtx(ctx, programs, cfg)
+	if err != nil {
+		writeError(rw, analysisStatus(err), err)
+		return
+	}
+	s.checks.Add(1)
+	w.checks.Add(1)
+	rw.Header().Set("X-Workload-Version", fmt.Sprint(version))
+	writeJSON(rw, http.StatusOK, wire.NewCheckResponse(cfg, programs, res))
+}
+
+func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
+	w := s.lookup(rw, r)
+	if w == nil {
+		return
+	}
+	var req wire.CheckRequest
+	if err := decodeBody(r, &req, true); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	cfg, err := s.config(&req)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	programs, version, err := w.snapshot(req.Programs)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, version, err := s.subsetsCoalesced(ctx, w, cfg, programs, version)
+	if err != nil {
+		writeError(rw, analysisStatus(err), err)
+		return
+	}
+	s.subsets.Add(1)
+	w.subsets.Add(1)
+	rw.Header().Set("X-Workload-Version", fmt.Sprint(version))
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// subsetsCoalesced answers one subset enumeration, merging requests that
+// ask for the identical enumeration (same workload version, configuration
+// and program selection) while one is already in flight: followers block
+// on the leader's result instead of duplicating the exponential sweep. The
+// computation runs under the server's base context so a leader's
+// disconnect does not abort its followers; the last waiter to give up
+// cancels it.
+func (s *Server) subsetsCoalesced(ctx context.Context, w *workload, cfg analysis.Config, programs []*btp.Program, version uint64) (*wire.SubsetsResponse, uint64, error) {
+	names := make([]string, len(programs))
+	for i, p := range programs {
+		names[i] = p.Name
+	}
+	key := fmt.Sprintf("%d|%s|%s|%d|%s",
+		version, wire.SettingName(cfg.Setting), wire.MethodName(cfg.Method),
+		cfg.UnfoldBound, strings.Join(names, ","))
+
+	w.flightMu.Lock()
+	call, joined := w.flight[key]
+	if !joined {
+		var (
+			runCtx    context.Context
+			runCancel context.CancelFunc
+		)
+		if s.opts.RequestTimeout > 0 {
+			runCtx, runCancel = context.WithTimeout(s.base, s.opts.RequestTimeout)
+		} else {
+			runCtx, runCancel = context.WithCancel(s.base)
+		}
+		call = &flightCall{done: make(chan struct{}), version: version, cancel: runCancel}
+		w.flight[key] = call
+		go func() {
+			defer runCancel()
+			if s.testFlightHook != nil {
+				s.testFlightHook()
+			}
+			rep, err := w.session().RobustSubsetsCtx(runCtx, programs, cfg)
+			if err != nil {
+				call.err = err
+			} else {
+				call.resp = wire.NewSubsetsResponse(cfg, programs, rep)
+			}
+			w.flightMu.Lock()
+			// The last waiter may have detached this call and a fresh
+			// leader re-registered the key; only remove our own entry.
+			if w.flight[key] == call {
+				delete(w.flight, key)
+			}
+			w.flightMu.Unlock()
+			close(call.done)
+		}()
+	} else {
+		s.coalesced.Add(1)
+	}
+	call.waiters.Add(1)
+	w.flightMu.Unlock()
+
+	select {
+	case <-call.done:
+		call.waiters.Add(-1)
+		if call.err != nil {
+			return nil, 0, call.err
+		}
+		return call.resp.(*wire.SubsetsResponse), call.version, nil
+	case <-ctx.Done():
+		// Deciding to cancel must be serialized with joins (which happen
+		// under flightMu): otherwise a request could join the flight just
+		// as its last waiter cancels it, and fail with the canceller's
+		// error despite a healthy connection. Detaching the entry first
+		// also ensures late arrivals start a fresh enumeration.
+		w.flightMu.Lock()
+		last := call.waiters.Add(-1) == 0
+		if last && w.flight[key] == call {
+			delete(w.flight, key)
+		}
+		w.flightMu.Unlock()
+		if last {
+			call.cancel()
+		}
+		return nil, 0, ctx.Err()
+	}
+}
+
+func (s *Server) handlePatch(rw http.ResponseWriter, r *http.Request) {
+	w := s.lookup(rw, r)
+	if w == nil {
+		return
+	}
+	var req wire.PatchProgramRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeError(rw, http.StatusBadRequest, errors.New("patch needs a sql body"))
+		return
+	}
+	name, invalidated, version, err := w.patch(r.PathValue("name"), req.SQL)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	s.patches.Add(1)
+	w.patches.Add(1)
+	writeJSON(rw, http.StatusOK, &wire.PatchProgramResponse{
+		Program: name, Version: version, InvalidatedPairs: invalidated,
+	})
+}
+
+func (s *Server) workloadStats(w *workload) wire.WorkloadStats {
+	ps, version := w.programList()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return wire.WorkloadStats{
+		ID:       w.id,
+		Version:  version,
+		Programs: names,
+		Checks:   w.checks.Load(),
+		Subsets:  w.subsets.Load(),
+		Patches:  w.patches.Load(),
+		Cache:    wire.NewCacheStats(w.session().Stats()),
+	}
+}
+
+func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	workloads := s.reg.all()
+	resp := &wire.StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workloads:     len(workloads),
+		Evictions:     s.reg.evictions.Load(),
+		Requests: wire.RequestStats{
+			Register:  s.registers.Load(),
+			Check:     s.checks.Load(),
+			Subsets:   s.subsets.Load(),
+			Patch:     s.patches.Load(),
+			Coalesced: s.coalesced.Load(),
+		},
+	}
+	for _, w := range workloads {
+		resp.WorkloadStats = append(resp.WorkloadStats, s.workloadStats(w))
+	}
+	// Registry order is usage-recency; report stats sorted by id so the
+	// endpoint is stable under concurrent traffic.
+	sort.Slice(resp.WorkloadStats, func(i, j int) bool {
+		return resp.WorkloadStats[i].ID < resp.WorkloadStats[j].ID
+	})
+	writeJSON(rw, http.StatusOK, resp)
+}

@@ -3,6 +3,7 @@ package summary
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btp"
 	"repro/internal/relschema"
@@ -24,6 +25,19 @@ type BlockSet struct {
 
 	mu     sync.RWMutex
 	blocks map[ltpPair][]Edge
+	// retired marks LTPs passed to Invalidate: a check that was already
+	// in flight when its program was invalidated may still look their
+	// pairs up, and those recomputations must not be re-cached — the old
+	// LTP pointers are unreachable to future callers, so re-inserting
+	// them would leak the entries for the cache's lifetime.
+	retired map[*btp.LTP]bool
+
+	// Cache telemetry, exposed through Stats. A hit is a PairEdges call
+	// answered from the cache; a miss ran appendPairEdges (two racing
+	// goroutines may both record a miss for the same pair — the counters
+	// track work done, not distinct pairs). invalidated counts pairs
+	// evicted by Invalidate.
+	hits, misses, invalidated atomic.Uint64
 }
 
 type ltpPair struct{ from, to *btp.LTP }
@@ -46,6 +60,82 @@ func (bs *BlockSet) Len() int {
 	return len(bs.blocks)
 }
 
+// BlockStats is a snapshot of one block cache's telemetry.
+type BlockStats struct {
+	// Pairs is the number of ordered LTP pairs currently cached.
+	Pairs int
+	// Hits counts PairEdges calls answered from the cache.
+	Hits uint64
+	// Misses counts PairEdges calls that ran Algorithm 1's pairwise edge
+	// derivation.
+	Misses uint64
+	// Invalidated counts pairs evicted by Invalidate since creation.
+	Invalidated uint64
+}
+
+// Add accumulates another snapshot into s (for aggregating across
+// settings).
+func (s *BlockStats) Add(t BlockStats) {
+	s.Pairs += t.Pairs
+	s.Hits += t.Hits
+	s.Misses += t.Misses
+	s.Invalidated += t.Invalidated
+}
+
+// Stats returns a snapshot of the cache telemetry.
+func (bs *BlockSet) Stats() BlockStats {
+	return BlockStats{
+		Pairs:       bs.Len(),
+		Hits:        bs.hits.Load(),
+		Misses:      bs.misses.Load(),
+		Invalidated: bs.invalidated.Load(),
+	}
+}
+
+// Retire marks the LTPs so their pairs are never (re-)admitted to the
+// cache, without evicting anything. Used for fresh unfoldings handed to
+// in-flight callers of an already-invalidated program.
+func (bs *BlockSet) Retire(ltps []*btp.LTP) {
+	bs.mu.Lock()
+	if bs.retired == nil {
+		bs.retired = make(map[*btp.LTP]bool, len(ltps))
+	}
+	for _, l := range ltps {
+		bs.retired[l] = true
+	}
+	bs.mu.Unlock()
+}
+
+// Invalidate evicts every cached pair with at least one endpoint among the
+// given LTPs and reports how many pairs were dropped. Pairs between
+// untouched LTPs stay cached — this is the pair-level invalidation behind
+// incremental re-analysis: when one program changes, only its ordered pairs
+// are recomputed on the next Compose. The LTPs are also retired: checks
+// already in flight still resolve their pairs (recomputed on demand) but
+// the results are no longer admitted to the cache.
+func (bs *BlockSet) Invalidate(ltps []*btp.LTP) int {
+	if len(ltps) == 0 {
+		return 0
+	}
+	bs.mu.Lock()
+	if bs.retired == nil {
+		bs.retired = make(map[*btp.LTP]bool, len(ltps))
+	}
+	for _, l := range ltps {
+		bs.retired[l] = true
+	}
+	removed := 0
+	for k := range bs.blocks {
+		if bs.retired[k.from] || bs.retired[k.to] {
+			delete(bs.blocks, k)
+			removed++
+		}
+	}
+	bs.mu.Unlock()
+	bs.invalidated.Add(uint64(removed))
+	return removed
+}
+
 // PairEdges returns the edge block of the ordered pair (pi, pj), computing
 // and caching it on first use. The returned slice is shared — callers must
 // not mutate it.
@@ -55,13 +145,18 @@ func (bs *BlockSet) PairEdges(pi, pj *btp.LTP) []Edge {
 	edges, ok := bs.blocks[k]
 	bs.mu.RUnlock()
 	if ok {
+		bs.hits.Add(1)
 		return edges
 	}
+	bs.misses.Add(1)
 	edges = bs.b.appendPairEdges(nil, pi, pj)
 	bs.mu.Lock()
 	// Another goroutine may have raced us here; last write wins — the
 	// computation is deterministic, so both results are identical.
-	bs.blocks[k] = edges
+	// Retired endpoints are served but never re-cached.
+	if !bs.retired[pi] && !bs.retired[pj] {
+		bs.blocks[k] = edges
+	}
 	bs.mu.Unlock()
 	return edges
 }

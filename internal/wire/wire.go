@@ -1,0 +1,371 @@
+// Package wire defines the JSON wire types of the robustness service: the
+// request and response bodies of cmd/robustserved's HTTP API. The types are
+// shared with the CLIs — cmd/robustcheck's -json mode marshals the same
+// CheckResponse/SubsetsResponse through the same encoder, so a CLI run and
+// a server round-trip produce byte-identical documents for the same input.
+//
+// The package also owns the canonical textual names of analysis settings
+// ("attr+fk", "tpl", ...) and cycle methods ("type2", "type1"), previously
+// private to cmd/robustcheck.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/btp"
+	"repro/internal/relschema"
+	"repro/internal/summary"
+)
+
+// WriteJSON encodes v as two-space-indented JSON followed by a newline.
+// Every producer of wire documents (server handlers, robustcheck -json)
+// encodes through this function, which is what makes their outputs
+// byte-comparable.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Error is the uniform error envelope of non-2xx responses.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// --- Settings and methods --------------------------------------------------
+
+// ParseSetting resolves a setting name: "tpl", "attr", "tpl+fk", "attr+fk".
+// The empty string resolves to the paper's primary setting, attr+fk.
+func ParseSetting(s string) (summary.Setting, error) {
+	switch s {
+	case "", "attr+fk":
+		return summary.SettingAttrDepFK, nil
+	case "tpl":
+		return summary.SettingTplDep, nil
+	case "attr":
+		return summary.SettingAttrDep, nil
+	case "tpl+fk":
+		return summary.SettingTplDepFK, nil
+	default:
+		return summary.Setting{}, fmt.Errorf("unknown setting %q", s)
+	}
+}
+
+// SettingName renders a setting as its wire name (the inverse of
+// ParseSetting).
+func SettingName(s summary.Setting) string {
+	name := "attr"
+	if s.Granularity == summary.TupleGranularity {
+		name = "tpl"
+	}
+	if s.UseForeignKeys {
+		name += "+fk"
+	}
+	return name
+}
+
+// ParseMethod resolves a cycle-condition name: "type2" (Algorithm 2) or
+// "type1" ([3]); the empty string resolves to type2.
+func ParseMethod(s string) (summary.Method, error) {
+	switch s {
+	case "type1", "type-1", "typeI":
+		return summary.TypeI, nil
+	case "", "type2", "type-2", "typeII":
+		return summary.TypeII, nil
+	default:
+		return summary.TypeII, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+// MethodName renders a method as its wire name.
+func MethodName(m summary.Method) string {
+	if m == summary.TypeI {
+		return "type1"
+	}
+	return "type2"
+}
+
+// --- Schema ----------------------------------------------------------------
+
+// Schema is the wire form of a relational schema, for registering workloads
+// that are not built-in benchmarks.
+type Schema struct {
+	Relations   []Relation   `json:"relations"`
+	ForeignKeys []ForeignKey `json:"foreign_keys,omitempty"`
+}
+
+// Relation declares one relation with its primary key.
+type Relation struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+	Key   []string `json:"key"`
+}
+
+// ForeignKey declares a named foreign key between two relations.
+type ForeignKey struct {
+	Name      string   `json:"name"`
+	From      string   `json:"from"`
+	FromAttrs []string `json:"from_attrs"`
+	To        string   `json:"to"`
+	ToAttrs   []string `json:"to_attrs"`
+}
+
+// Build materializes the wire schema as a validated relschema.Schema.
+func (s *Schema) Build() (*relschema.Schema, error) {
+	out := relschema.NewSchema()
+	for _, r := range s.Relations {
+		if err := out.AddRelation(r.Name, r.Attrs, r.Key); err != nil {
+			return nil, err
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		if err := out.AddForeignKey(fk.Name, fk.From, fk.FromAttrs, fk.To, fk.ToAttrs); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- Workload registration -------------------------------------------------
+
+// RegisterWorkloadRequest registers a workload: either a built-in benchmark
+// by name (optionally scaled by N, and optionally with its programs
+// replaced by ProgramsSQL) or an explicit Schema plus ProgramsSQL in the
+// SQL dialect of Appendix A.
+type RegisterWorkloadRequest struct {
+	Benchmark   string  `json:"benchmark,omitempty"`
+	N           int     `json:"n,omitempty"`
+	Schema      *Schema `json:"schema,omitempty"`
+	ProgramsSQL string  `json:"programs_sql,omitempty"`
+}
+
+// RegisterWorkloadResponse identifies the registered workload. Registration
+// is idempotent: re-registering an identical workload returns the existing
+// ID with Created=false.
+type RegisterWorkloadResponse struct {
+	// ID is the workload's fingerprint — stable across identical
+	// registrations and across PATCHes.
+	ID      string `json:"id"`
+	Created bool   `json:"created"`
+	// Version counts applied PATCHes; responses to /check and /subsets
+	// echo the version their verdict was computed against in the
+	// X-Workload-Version header.
+	Version  uint64   `json:"version"`
+	Programs []string `json:"programs"`
+}
+
+// --- Check and subsets -----------------------------------------------------
+
+// CheckRequest configures one robustness check. All fields are optional:
+// zero values select the paper's primary configuration over the workload's
+// full program set.
+type CheckRequest struct {
+	// Setting is a ParseSetting name; empty means "attr+fk".
+	Setting string `json:"setting,omitempty"`
+	// Method is a ParseMethod name; empty means "type2".
+	Method string `json:"method,omitempty"`
+	// UnfoldBound overrides the loop-unfolding bound; 0 means 2.
+	UnfoldBound int `json:"unfold_bound,omitempty"`
+	// Programs restricts the check to the named programs (full names or
+	// abbreviations); empty means all registered programs.
+	Programs []string `json:"programs,omitempty"`
+}
+
+// Config resolves the request into an engine configuration.
+func (r *CheckRequest) Config() (analysis.Config, error) {
+	setting, err := ParseSetting(r.Setting)
+	if err != nil {
+		return analysis.Config{}, err
+	}
+	method, err := ParseMethod(r.Method)
+	if err != nil {
+		return analysis.Config{}, err
+	}
+	return analysis.Config{Setting: setting, Method: method, UnfoldBound: r.UnfoldBound}, nil
+}
+
+// GraphStats mirrors summary.Stats on the wire.
+type GraphStats struct {
+	Nodes            int `json:"nodes"`
+	Edges            int `json:"edges"`
+	CounterflowEdges int `json:"counterflow_edges"`
+}
+
+// Witness is the wire form of a dangerous cycle.
+type Witness struct {
+	Method string `json:"method"`
+	// Cycle lists the witness edges in traversal order, rendered as
+	// "(P, q@pos, class, q@pos, P)".
+	Cycle []string `json:"cycle"`
+}
+
+// CheckResponse reports one robustness verdict.
+type CheckResponse struct {
+	Setting     string     `json:"setting"`
+	Method      string     `json:"method"`
+	UnfoldBound int        `json:"unfold_bound"`
+	Programs    []string   `json:"programs"`
+	Robust      bool       `json:"robust"`
+	Graph       GraphStats `json:"graph"`
+	Witness     *Witness   `json:"witness,omitempty"`
+}
+
+// NewCheckResponse assembles the wire response for one check: the resolved
+// configuration, the checked programs' short names in input order, the
+// verdict, graph statistics and (when not robust) the witness cycle. Both
+// the server and robustcheck -json build their responses here.
+func NewCheckResponse(cfg analysis.Config, programs []*btp.Program, res *analysis.Result) *CheckResponse {
+	resp := &CheckResponse{
+		Setting:     SettingName(cfg.Setting),
+		Method:      MethodName(cfg.Method),
+		UnfoldBound: effectiveBound(cfg),
+		Programs:    shortNames(programs),
+		Robust:      res.Robust,
+		Graph:       newGraphStats(res.Graph),
+	}
+	if w := res.Witness; w != nil {
+		wt := &Witness{Method: MethodName(w.Method)}
+		for _, e := range w.Cycle {
+			wt.Cycle = append(wt.Cycle, e.String())
+		}
+		resp.Witness = wt
+	}
+	return resp
+}
+
+// SubsetsResponse reports the robust and maximal robust subsets of one
+// enumeration (Figures 6 and 7), each subset as sorted short names.
+type SubsetsResponse struct {
+	Setting     string     `json:"setting"`
+	Method      string     `json:"method"`
+	UnfoldBound int        `json:"unfold_bound"`
+	Programs    []string   `json:"programs"`
+	Robust      [][]string `json:"robust"`
+	Maximal     [][]string `json:"maximal"`
+}
+
+// NewSubsetsResponse assembles the wire response for one subset
+// enumeration.
+func NewSubsetsResponse(cfg analysis.Config, programs []*btp.Program, rep *analysis.SubsetReport) *SubsetsResponse {
+	return &SubsetsResponse{
+		Setting:     SettingName(cfg.Setting),
+		Method:      MethodName(cfg.Method),
+		UnfoldBound: effectiveBound(cfg),
+		Programs:    shortNames(programs),
+		Robust:      subsetsToWire(rep.Robust),
+		Maximal:     subsetsToWire(rep.Maximal),
+	}
+}
+
+// --- Program patching ------------------------------------------------------
+
+// PatchProgramRequest replaces one registered program's definition with a
+// new one in the SQL dialect of Appendix A. The PROGRAM's name must match
+// the path's program name.
+type PatchProgramRequest struct {
+	SQL string `json:"sql"`
+}
+
+// PatchProgramResponse reports the incremental re-analysis bookkeeping of
+// one patch.
+type PatchProgramResponse struct {
+	Program string `json:"program"`
+	// Version is the workload version after the patch.
+	Version uint64 `json:"version"`
+	// InvalidatedPairs counts the ordered LTP pairs evicted from the block
+	// caches — only pairs with the old program as an endpoint; blocks
+	// between untouched programs survive.
+	InvalidatedPairs int `json:"invalidated_pairs"`
+}
+
+// --- Stats -----------------------------------------------------------------
+
+// CacheStats is the wire form of one workload's session telemetry.
+type CacheStats struct {
+	Programs    int    `json:"programs"`
+	Unfoldings  int    `json:"unfoldings"`
+	Settings    int    `json:"settings"`
+	Pairs       int    `json:"pairs"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Invalidated uint64 `json:"invalidated"`
+}
+
+// NewCacheStats converts a session snapshot to its wire form.
+func NewCacheStats(st analysis.Stats) CacheStats {
+	return CacheStats{
+		Programs:    st.Programs,
+		Unfoldings:  st.Unfoldings,
+		Settings:    st.Settings,
+		Pairs:       st.Blocks.Pairs,
+		Hits:        st.Blocks.Hits,
+		Misses:      st.Blocks.Misses,
+		Invalidated: st.Blocks.Invalidated,
+	}
+}
+
+// WorkloadStats describes one registered workload in /v1/stats.
+type WorkloadStats struct {
+	ID       string     `json:"id"`
+	Version  uint64     `json:"version"`
+	Programs []string   `json:"programs"`
+	Checks   uint64     `json:"checks"`
+	Subsets  uint64     `json:"subsets"`
+	Patches  uint64     `json:"patches"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// RequestStats counts served requests by kind. Coalesced counts /subsets
+// requests answered by piggybacking on an identical in-flight enumeration.
+type RequestStats struct {
+	Register  uint64 `json:"register"`
+	Check     uint64 `json:"check"`
+	Subsets   uint64 `json:"subsets"`
+	Patch     uint64 `json:"patch"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Workloads     int             `json:"workloads"`
+	Evictions     uint64          `json:"evictions"`
+	Requests      RequestStats    `json:"requests"`
+	WorkloadStats []WorkloadStats `json:"workload_stats"`
+}
+
+// --- Helpers ---------------------------------------------------------------
+
+func effectiveBound(cfg analysis.Config) int {
+	if cfg.UnfoldBound > 0 {
+		return cfg.UnfoldBound
+	}
+	return btp.DefaultUnfoldBound
+}
+
+func newGraphStats(g *summary.Graph) GraphStats {
+	st := g.Stats()
+	return GraphStats{Nodes: st.Nodes, Edges: st.Edges, CounterflowEdges: st.CounterflowEdges}
+}
+
+func shortNames(programs []*btp.Program) []string {
+	out := make([]string, len(programs))
+	for i, p := range programs {
+		out[i] = p.ShortName()
+	}
+	return out
+}
+
+func subsetsToWire(subsets []analysis.Subset) [][]string {
+	out := make([][]string, len(subsets))
+	for i, s := range subsets {
+		out[i] = []string(s)
+	}
+	return out
+}

@@ -40,12 +40,31 @@
 //	sess := mvrc.NewSession(schema)
 //	report, err := sess.RobustSubsets(programs, mvrc.DefaultOptions())
 //
+// When one program of a long-lived workload changes, Invalidate performs
+// incremental re-analysis bookkeeping: it evicts only that program's
+// unfoldings and pairwise edge blocks, so the next check recomputes those
+// pairs alone.
+//
+// # Robustness as a service
+//
+// NewServer and Serve expose the session engine as a resident JSON-over-
+// HTTP service (cmd/robustserved): workloads are registered once into a
+// fingerprint-keyed LRU registry and answer robustness queries many times
+// from warm caches, with single-program PATCHes triggering the incremental
+// re-analysis path and identical in-flight subset enumerations coalesced.
+// See internal/server for the API surface and internal/wire for the wire
+// types, which cmd/robustcheck -json shares.
+//
 // See examples/ for complete programs and internal/experiments for the
 // reproduction of the paper's evaluation.
 package mvrc
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"net/http"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/btp"
@@ -53,6 +72,7 @@ import (
 	"repro/internal/realize"
 	"repro/internal/relschema"
 	"repro/internal/robust"
+	"repro/internal/server"
 	"repro/internal/sqlbtp"
 	"repro/internal/summary"
 )
@@ -82,6 +102,11 @@ type (
 	// Session is the reusable incremental analysis engine: it memoizes
 	// unfoldings and pairwise summary-graph edge blocks across calls.
 	Session = analysis.Session
+	// Server is the resident robustness service behind cmd/robustserved.
+	Server = server.Server
+	// ServerOptions configures a Server: registry cap, subset-enumeration
+	// parallelism and per-request timeout.
+	ServerOptions = server.Options
 )
 
 // Analysis settings (Section 7.2) and methods.
@@ -158,6 +183,51 @@ func RobustSubsets(schema *Schema, programs []*Program, setting Setting, method 
 // RobustSubsetsOptions is RobustSubsets under a full options struct.
 func RobustSubsetsOptions(schema *Schema, programs []*Program, opts Options) (*SubsetReport, error) {
 	return analysis.NewSession(schema).RobustSubsets(programs, opts)
+}
+
+// Invalidate drops everything sess has memoized for the program — its
+// validation verdict, unfoldings, and every cached pairwise edge block
+// with one of its LTPs as an endpoint — and reports how many pairs were
+// evicted. Blocks between untouched programs stay cached, so re-analysing
+// a workload after one program changed recomputes only that program's
+// ordered pairs.
+func Invalidate(sess *Session, p *Program) int {
+	return sess.Invalidate(p)
+}
+
+// NewServer creates the resident robustness service: a fingerprint-keyed
+// workload registry with an LRU cap, each entry wrapping a Session so
+// unfoldings and edge-block caches are amortized across requests. Expose
+// it with Serve or mount Server.Handler into an existing mux.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// Serve runs the service's HTTP API on addr until ctx is cancelled, then
+// shuts down gracefully (draining in-flight requests for up to five
+// seconds; coalesced background enumerations are aborted).
+func Serve(ctx context.Context, addr string, srv *Server) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, ln, srv)
+}
+
+// ServeListener is Serve on an existing listener (which it takes ownership
+// of) — the hook for callers that bind port 0 and need the chosen address.
+func ServeListener(ctx context.Context, ln net.Listener, srv *Server) error {
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		defer srv.Close()
+		return hs.Shutdown(sctx)
+	case err := <-errc:
+		srv.Close()
+		return err
+	}
 }
 
 // SummaryGraphDOT renders the summary graph of a report in Graphviz DOT

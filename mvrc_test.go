@@ -1,6 +1,10 @@
 package mvrc
 
 import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
 	"strings"
 	"testing"
 )
@@ -94,5 +98,76 @@ func TestFacadeRobustSubsets(t *testing.T) {
 	}
 	if len(rep.Robust) == 0 {
 		t.Fatal("singletons must be robust")
+	}
+}
+
+// TestFacadeServe boots the public service API on a loopback port, does a
+// register + check round trip, and exercises Invalidate through a session.
+func TestFacadeServe(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- ServeListener(ctx, ln, srv) }()
+
+	base := "http://" + ln.Addr().String()
+	body := strings.NewReader(`{"benchmark": "smallbank"}`)
+	resp, err := http.Post(base+"/v1/workloads", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || reg.ID == "" {
+		t.Fatalf("register: %d %+v", resp.StatusCode, reg)
+	}
+	resp, err = http.Post(base+"/v1/workloads/"+reg.ID+"/check", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check struct {
+		Robust bool `json:"robust"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&check); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || check.Robust {
+		t.Fatalf("check: %d robust=%t (full SmallBank is not robust)", resp.StatusCode, check.Robust)
+	}
+
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestFacadeInvalidate asserts the public invalidation hook evicts exactly
+// the program's pairs from a warm session.
+func TestFacadeInvalidate(t *testing.T) {
+	s := facadeSchema(t)
+	programs, err := ParseSQL(s, facadeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(s)
+	if _, err := sess.Check(programs, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Two single-LTP programs → 4 pairs; invalidating one evicts the 3
+	// with it as an endpoint.
+	if got := Invalidate(sess, programs[0]); got != 3 {
+		t.Fatalf("Invalidate evicted %d pairs, want 3", got)
+	}
+	if got := Invalidate(sess, programs[0]); got != 0 {
+		t.Fatalf("second Invalidate evicted %d pairs, want 0", got)
 	}
 }
