@@ -9,7 +9,9 @@
 //
 // All cells run on one experiments.Suite: each benchmark's programs are
 // unfolded once and the pairwise summary-graph edge blocks are shared
-// across Table 2 and every Figure 6/7 cell.
+// across Table 2 and every Figure 6/7 cell. -parallel governs both the
+// subset-enumeration fanout of Figures 6/7 and the intra-check sharding
+// (Algorithm 1 pair derivation + closure fixpoint) of the Figure 8 sweep.
 package main
 
 import (
@@ -24,7 +26,7 @@ func main() {
 	var (
 		maxN        = flag.Int("maxn", 100, "largest Auction(n) scaling factor for Figure 8")
 		repeats     = flag.Int("repeats", 3, "repetitions per Figure 8 point (median reported)")
-		parallel    = flag.Int("parallel", 0, "subset-enumeration workers per cell (0 = GOMAXPROCS)")
+		parallel    = flag.Int("parallel", 0, "analysis workers per cell: subset enumeration + intra-check sharding (0 = GOMAXPROCS, 1 = sequential)")
 		skipFigure8 = flag.Bool("skip-figure8", false, "skip the scalability sweep")
 	)
 	flag.Parse()
@@ -59,7 +61,7 @@ func main() {
 				ns = append(ns, n)
 			}
 		}
-		points := experiments.Figure8(ns, *repeats)
+		points := experiments.Figure8Parallel(ns, *repeats, *parallel)
 		fmt.Print(experiments.FormatFigure8(points))
 	}
 }

@@ -12,7 +12,9 @@
 //	-method    cycle condition: "type2" (Algorithm 2, default) or "type1" ([3])
 //	-programs  comma-separated program names restricting the benchmark
 //	-subsets   enumerate all maximal robust subsets (Figures 6/7)
-//	-parallel  worker count for -subsets (default GOMAXPROCS; 1 = sequential)
+//	-parallel  analysis workers: subset enumeration and intra-check
+//	           sharding of edge blocks + closure (default GOMAXPROCS;
+//	           1 = fully sequential)
 //	-naive     use the naive per-subset oracle instead of the cached engine
 //	-stats     print summary-graph statistics (Table 2)
 //	-unfold    loop unfolding bound (default 2; 2 is sound per Prop. 6.1)
@@ -46,7 +48,7 @@ func main() {
 		method    = flag.String("method", "type2", "cycle condition: type2 (Algorithm 2) or type1 ([3])")
 		progList  = flag.String("programs", "", "comma-separated program names restricting the analysis")
 		subsets   = flag.Bool("subsets", false, "enumerate maximal robust subsets")
-		parallel  = flag.Int("parallel", 0, "subset-enumeration workers (0 = GOMAXPROCS, 1 = sequential)")
+		parallel  = flag.Int("parallel", 0, "analysis workers for subset enumeration and intra-check sharding (0 = GOMAXPROCS, 1 = sequential)")
 		naive     = flag.Bool("naive", false, "use the naive per-subset oracle instead of the cached engine")
 		stats     = flag.Bool("stats", false, "print summary-graph statistics")
 		unfold    = flag.Int("unfold", 2, "loop unfolding bound")

@@ -16,7 +16,12 @@
 //	-preload        comma-separated benchmarks to register at boot
 //	                (smallbank, tpcc, auction); their ids are printed
 //	-max-workloads  registry LRU cap (default 64)
-//	-parallel       subset-enumeration workers (0 = GOMAXPROCS)
+//	-parallel       analysis workers per request: subset enumeration and
+//	                intra-check sharding (0 = GOMAXPROCS). Also the cap for
+//	                the per-request "parallelism" field of check/subsets
+//	                bodies (GOMAXPROCS caps when unset); /v1/stats reports
+//	                the resolved default and each workload's last effective
+//	                value
 //	-timeout        per-request analysis deadline (default 30s; 0 = none)
 //
 // Endpoints (see internal/wire for the body types):
@@ -51,7 +56,7 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8765", "listen address")
 		preload      = flag.String("preload", "", "comma-separated benchmarks to register at boot")
 		maxWorkloads = flag.Int("max-workloads", 0, "registry LRU cap (0 = default 64)")
-		parallel     = flag.Int("parallel", 0, "subset-enumeration workers (0 = GOMAXPROCS, 1 = sequential)")
+		parallel     = flag.Int("parallel", 0, "analysis workers per request and cap for per-request parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request analysis deadline (0 = none)")
 	)
 	flag.Parse()

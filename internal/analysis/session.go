@@ -37,8 +37,12 @@ type Config struct {
 	// UnfoldBound overrides the loop-unfolding bound; 0 means the paper's
 	// bound of 2 (Proposition 6.1). Bound 1 is unsound in general.
 	UnfoldBound int
-	// Parallelism bounds the worker pool of RobustSubsets; 0 means
-	// GOMAXPROCS, 1 forces sequential enumeration.
+	// Parallelism is the one concurrency knob of the engine, governing both
+	// inter- and intra-check work: the subset-enumeration fanout of
+	// RobustSubsets, the sharded pairwise edge-block construction
+	// (summary.BlockSet.EnsureCtx) and the round-synchronized closure
+	// fixpoint of every composed graph. 0 means GOMAXPROCS, 1 forces fully
+	// sequential analysis.
 	Parallelism int
 }
 
@@ -262,10 +266,11 @@ func (s *Session) Check(programs []*btp.Program, cfg Config) (*Result, error) {
 	return s.CheckCtx(context.Background(), programs, cfg)
 }
 
-// CheckCtx is Check under a context: a context already cancelled when the
-// expensive graph assembly would start aborts the call. A single check is
-// one compose + one cycle detection, so the context is consulted between
-// those stages rather than inside them.
+// CheckCtx is Check under a context. The summary graph is assembled with
+// cfg.Parallelism workers — missing pairwise edge blocks are sharded across
+// the pool and the node-closure fixpoint runs round-synchronized — and the
+// context aborts the assembly between pair chunks and stages; the cycle
+// detection itself is a single sequential pass.
 func (s *Session) CheckCtx(ctx context.Context, programs []*btp.Program, cfg Config) (*Result, error) {
 	_, ltps, err := s.ltpUniverse(programs, cfg.bound())
 	if err != nil {
@@ -274,7 +279,10 @@ func (s *Session) CheckCtx(ctx context.Context, programs []*btp.Program, cfg Con
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	g := summary.Compose(s.Blocks(cfg.Setting), ltps)
+	g, err := summary.ComposeCtx(ctx, s.Blocks(cfg.Setting), ltps, cfg.parallelism())
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -308,10 +316,13 @@ func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program,
 		return nil, err
 	}
 	// The detector composes the universe graph once — computing (or
-	// reusing) every pairwise block — and then answers each subset's
-	// verdict on the universe's edge arrays filtered by a node mask,
-	// allocation-free per subset.
-	det := summary.NewSubsetDetector(s.Blocks(cfg.Setting), all)
+	// reusing) every pairwise block on the worker pool — and then answers
+	// each subset's verdict on the universe's edge arrays filtered by a
+	// node mask, allocation-free per subset.
+	det, err := summary.NewSubsetDetectorCtx(ctx, s.Blocks(cfg.Setting), all, cfg.parallelism())
+	if err != nil {
+		return nil, err
+	}
 	words := (len(all) + 63) / 64
 	// programMask[i] marks program i's LTP indices within the universe.
 	programMask := make([][]uint64, n)

@@ -465,3 +465,73 @@ func TestRetiredProgramNotRememoized(t *testing.T) {
 		t.Errorf("straggler re-admitted retired pairs: %d -> %d", st0.Blocks.Pairs, st1.Blocks.Pairs)
 	}
 }
+
+// TestIntraCheckParallelismEquivalence is the intra-check acceptance test:
+// across every fixed benchmark, all four settings and both methods, a
+// single Check run fully sequentially (Parallelism 1) and one run with
+// sharded edge-block construction + parallel closure (Parallelism 8) must
+// both match the naive oracle — same verdict, identical graph dump,
+// matching witness presence. Under -race this doubles as the data-race test
+// of the sharded construction.
+func TestIntraCheckParallelismEquivalence(t *testing.T) {
+	for _, bench := range fixedBenchmarks() {
+		for _, setting := range summary.AllSettings {
+			for _, method := range methods {
+				name := fmt.Sprintf("%s/%s/%s", bench.Name, setting, method)
+				t.Run(name, func(t *testing.T) {
+					oracle := robust.NewChecker(bench.Schema)
+					oracle.Setting = setting
+					oracle.Method = method
+					want := oracle.CheckLTPs(btp.UnfoldAll2(bench.Programs))
+					for _, par := range []int{1, 8} {
+						// A fresh session per parallelism level so both
+						// exercise cold construction, not cache reads.
+						sess := analysis.NewSession(bench.Schema)
+						got, err := sess.Check(bench.Programs, analysis.Config{
+							Setting: setting, Method: method, Parallelism: par,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Robust != want.Robust {
+							t.Errorf("parallelism %d: robust=%t, oracle=%t", par, got.Robust, want.Robust)
+						}
+						if got.Graph.String() != want.Graph.String() {
+							t.Errorf("parallelism %d: graph dump diverges from oracle", par)
+						}
+						if (got.Witness == nil) != (want.Witness == nil) {
+							t.Errorf("parallelism %d: witness presence diverges", par)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIntraCheckLargeUniverseParallelism drives the parallel closure path
+// (≥64 nodes) through the public engine: Auction(40)'s single check must
+// produce the same graph and verdict at Parallelism 1 and GOMAXPROCS-wide
+// sharding, and RobustSubsets over a large-universe program subset must
+// match the sequential report.
+func TestIntraCheckLargeUniverseParallelism(t *testing.T) {
+	bench := benchmarks.AuctionN(40)
+	var base string
+	for _, par := range []int{1, 4} {
+		sess := analysis.NewSession(bench.Schema)
+		cfg := analysis.DefaultConfig() // attr+fk: the setting under which Auction(n) is robust
+		cfg.Parallelism = par
+		res, err := sess.Check(bench.Programs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Robust {
+			t.Fatalf("Auction(40) not robust at parallelism %d", par)
+		}
+		if dump := res.Graph.String(); base == "" {
+			base = dump
+		} else if dump != base {
+			t.Errorf("parallelism %d: Auction(40) graph diverges", par)
+		}
+	}
+}

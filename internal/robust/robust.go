@@ -44,8 +44,11 @@ type Checker struct {
 	// bound of 2 (Proposition 6.1). Exposed for the ablation study only —
 	// bound 1 is unsound in general.
 	UnfoldBound int
-	// Parallelism bounds the worker pool RobustSubsets fans subset masks
-	// out over; 0 means GOMAXPROCS, 1 forces sequential enumeration.
+	// Parallelism is the engine's one concurrency knob: it bounds the
+	// worker pool RobustSubsets fans subset masks out over AND the
+	// intra-check sharding of every summary-graph construction (pairwise
+	// edge blocks, closure fixpoint). 0 means GOMAXPROCS, 1 forces fully
+	// sequential analysis.
 	Parallelism int
 
 	// sess is the lazily created incremental engine. It memoizes per

@@ -35,6 +35,9 @@ type workload struct {
 	version  uint64
 
 	checks, subsets, patches atomic.Uint64
+	// lastParallelism records the effective worker count of the most recent
+	// check/subsets request, for /v1/stats (0 until the first request).
+	lastParallelism atomic.Int64
 
 	// flight coalesces identical in-flight subset enumerations; see
 	// Server.subsetsCoalesced.

@@ -12,6 +12,15 @@
 // every analysis runs under the request context, so client disconnects and
 // server timeouts abort work mid-flight.
 //
+// Concurrency is governed by the engine's one Parallelism knob (see
+// docs/ARCHITECTURE.md): the -parallel option is the per-request default
+// and cap, requests may lower or (up to the cap) raise it via the
+// "parallelism" body field, and /v1/stats reports the resolved default
+// plus each workload's last effective value. The knob covers both the
+// subset-enumeration fanout (Figures 6/7 of the paper) and the intra-check
+// sharding of Algorithm 1's pairwise edge derivation and the closure
+// fixpoint.
+//
 // API (JSON over HTTP; see internal/wire for the body types):
 //
 //	POST  /v1/workloads                         register (idempotent)
@@ -30,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -216,15 +226,31 @@ func (s *Server) lookup(rw http.ResponseWriter, r *http.Request) *workload {
 	return w
 }
 
-// config resolves a CheckRequest into the engine configuration, applying
-// the server's parallelism bound.
+// config resolves a CheckRequest into the engine configuration. The
+// request's per-request parallelism wins when set; an unset field falls
+// back to the server's -parallel option, and a set field is capped by the
+// resolved server bound — the -parallel option, or GOMAXPROCS when the
+// operator left it unset. The cap is what keeps the field safe to expose:
+// an unauthenticated request must not be able to dictate an arbitrary
+// goroutine count.
 func (s *Server) config(req *wire.CheckRequest) (analysis.Config, error) {
 	cfg, err := req.Config()
 	if err != nil {
 		return cfg, err
 	}
-	cfg.Parallelism = s.opts.Parallelism
+	if bound := effectiveParallelism(s.opts.Parallelism); cfg.Parallelism <= 0 || cfg.Parallelism > bound {
+		cfg.Parallelism = bound
+	}
 	return cfg, nil
+}
+
+// effectiveParallelism resolves the knob's 0-means-GOMAXPROCS convention for
+// reporting in /v1/stats.
+func effectiveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
 }
 
 // --- Handlers --------------------------------------------------------------
@@ -320,6 +346,7 @@ func (s *Server) handleCheck(rw http.ResponseWriter, r *http.Request) {
 	}
 	s.checks.Add(1)
 	w.checks.Add(1)
+	w.lastParallelism.Store(int64(effectiveParallelism(cfg.Parallelism)))
 	rw.Header().Set("X-Workload-Version", fmt.Sprint(version))
 	writeJSON(rw, http.StatusOK, wire.NewCheckResponse(cfg, programs, res))
 }
@@ -353,6 +380,7 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 	}
 	s.subsets.Add(1)
 	w.subsets.Add(1)
+	w.lastParallelism.Store(int64(effectiveParallelism(cfg.Parallelism)))
 	rw.Header().Set("X-Workload-Version", fmt.Sprint(version))
 	writeJSON(rw, http.StatusOK, resp)
 }
@@ -472,22 +500,24 @@ func (s *Server) workloadStats(w *workload) wire.WorkloadStats {
 		names[i] = p.Name
 	}
 	return wire.WorkloadStats{
-		ID:       w.id,
-		Version:  version,
-		Programs: names,
-		Checks:   w.checks.Load(),
-		Subsets:  w.subsets.Load(),
-		Patches:  w.patches.Load(),
-		Cache:    wire.NewCacheStats(w.session().Stats()),
+		ID:              w.id,
+		Version:         version,
+		Programs:        names,
+		Checks:          w.checks.Load(),
+		Subsets:         w.subsets.Load(),
+		Patches:         w.patches.Load(),
+		LastParallelism: int(w.lastParallelism.Load()),
+		Cache:           wire.NewCacheStats(w.session().Stats()),
 	}
 }
 
 func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 	workloads := s.reg.all()
 	resp := &wire.StatsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Workloads:     len(workloads),
-		Evictions:     s.reg.evictions.Load(),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Workloads:          len(workloads),
+		Evictions:          s.reg.evictions.Load(),
+		DefaultParallelism: effectiveParallelism(s.opts.Parallelism),
 		Requests: wire.RequestStats{
 			Register:  s.registers.Load(),
 			Check:     s.checks.Load(),

@@ -1,6 +1,7 @@
 package summary
 
 import (
+	"context"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -162,14 +163,11 @@ func (bs *BlockSet) PairEdges(pi, pj *btp.LTP) []Edge {
 }
 
 // Ensure precomputes the blocks of every ordered pair over the given LTPs,
-// so that subsequent Compose calls over subsets of them are pure cache
-// reads.
+// sequentially, so that subsequent Compose calls over subsets of them are
+// pure cache reads. EnsureCtx is the sharded variant behind the Parallelism
+// knob.
 func (bs *BlockSet) Ensure(ltps []*btp.LTP) {
-	for _, pi := range ltps {
-		for _, pj := range ltps {
-			bs.PairEdges(pi, pj)
-		}
-	}
+	bs.EnsureCtx(context.Background(), ltps, 1)
 }
 
 // Compose assembles the summary graph SuG(P) of the given LTPs from the
@@ -177,42 +175,10 @@ func (bs *BlockSet) Ensure(ltps []*btp.LTP) {
 // edge order — to Build(schema, ltps, setting): Build iterates pi-major
 // over ordered pairs and each pair's edges are contiguous, so concatenating
 // the cached blocks in the same order reproduces the construction exactly.
-// Missing pairs are computed (and cached) on the fly.
+// Missing pairs are computed (and cached) on the fly. ComposeCtx is the
+// sharded variant behind the Parallelism knob.
 func Compose(bs *BlockSet, ltps []*btp.LTP) *Graph {
-	g := &Graph{
-		Setting: bs.b.setting,
-		Nodes:   ltps,
-		schema:  bs.b.schema,
-		nodeIdx: make(map[*btp.LTP]int, len(ltps)),
-	}
-	for i, l := range ltps {
-		g.nodeIdx[l] = i
-	}
-	// Two passes: gather the blocks (resolving cache misses), then copy
-	// them into one exactly-sized edge slice, recording endpoint indices
-	// as we go — every edge of block (fi, ti) runs from node fi to node ti.
-	m := len(ltps)
-	blocks := make([][]Edge, 0, m*m)
-	total := 0
-	for _, pi := range ltps {
-		for _, pj := range ltps {
-			blk := bs.PairEdges(pi, pj)
-			blocks = append(blocks, blk)
-			total += len(blk)
-		}
-	}
-	g.Edges = make([]Edge, 0, total)
-	g.edgeFrom = make([]int32, 0, total)
-	g.edgeTo = make([]int32, 0, total)
-	for bi, blk := range blocks {
-		fi, ti := int32(bi/m), int32(bi%m)
-		for range blk {
-			g.edgeFrom = append(g.edgeFrom, fi)
-			g.edgeTo = append(g.edgeTo, ti)
-		}
-		g.Edges = append(g.Edges, blk...)
-	}
-	g.index()
+	g, _ := ComposeCtx(context.Background(), bs, ltps, 1) // never errs: ctx cannot cancel
 	return g
 }
 
@@ -237,10 +203,15 @@ type SubsetDetector struct {
 }
 
 // NewSubsetDetector builds a detector over the LTP universe, computing (or
-// reusing) the pairwise blocks of every ordered pair.
+// reusing) the pairwise blocks of every ordered pair. NewSubsetDetectorCtx
+// is the sharded variant behind the Parallelism knob.
 func NewSubsetDetector(bs *BlockSet, ltps []*btp.LTP) *SubsetDetector {
-	g := Compose(bs, ltps)
-	n := len(ltps)
+	return newSubsetDetector(Compose(bs, ltps), len(ltps))
+}
+
+// newSubsetDetector indexes a freshly composed universe graph for
+// per-subset detection.
+func newSubsetDetector(g *Graph, n int) *SubsetDetector {
 	d := &SubsetDetector{
 		edges: g.Edges, from: g.edgeFrom, to: g.edgeTo,
 		n: n, words: (n + 63) / 64,
@@ -375,7 +346,10 @@ func (d *SubsetDetector) Robust(method Method, members []uint64, s *DetectScratc
 }
 
 // fixpoint iterates bitset unions to the transitive closure: row i absorbs
-// row j for every bit j set in row i, until nothing changes.
+// row j for every bit j set in row i, until nothing changes. It stays
+// sequential: the per-subset matrices of SubsetDetector.Robust are tiny and
+// the subset enumeration already saturates the worker pool one level up —
+// large universe closures go through squaringFixpoint instead.
 func fixpoint(rows []bitset) {
 	for changed := true; changed; {
 		changed = false

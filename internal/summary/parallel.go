@@ -1,0 +1,278 @@
+package summary
+
+import (
+	"context"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/btp"
+)
+
+// This file is the intra-check parallelism layer: it shards the two
+// super-linear stages of a single summary-graph construction — Algorithm 1's
+// pairwise edge derivation (BlockSet.EnsureCtx) and the reflexive-transitive
+// closure of the node relation (squaringFixpoint) — across a bounded worker
+// pool. The worker count is the same Parallelism knob that fans subset
+// enumeration out in internal/analysis: one setting governs both inter- and
+// intra-check concurrency. All parallel paths produce results bit-identical
+// to their sequential counterparts (the closure is unique, and edge blocks
+// are deterministic per pair), which the package tests assert directly.
+
+// resolveWorkers maps the shared Parallelism convention to a concrete worker
+// count: 0 means GOMAXPROCS, anything else is taken as given.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ensureChunk is the number of missing pairs a worker claims per atomic
+// fetch in fillMissing: large enough to amortize the counter contention,
+// small enough to balance skewed per-pair costs (LTPs differ in statement
+// count).
+const ensureChunk = 32
+
+// scanPairs reads every ordered pair's cached block in one pass — RLocked
+// per row to bound writer stalls — returning the (pi-major) block table
+// with nil-able gaps and the indices of the pairs that still need
+// computing. Cached pairs are counted as hits in one batch; the cost of a
+// fully warm scan is m map reads per lock instead of a lock per pair.
+func (bs *BlockSet) scanPairs(ltps []*btp.LTP) (blocks [][]Edge, missing []int32) {
+	m := len(ltps)
+	blocks = make([][]Edge, m*m)
+	for i, pi := range ltps {
+		bs.mu.RLock()
+		for j, pj := range ltps {
+			k := i*m + j
+			if blk, ok := bs.blocks[ltpPair{pi, pj}]; ok {
+				blocks[k] = blk
+			} else {
+				missing = append(missing, int32(k))
+			}
+		}
+		bs.mu.RUnlock()
+	}
+	if hits := m*m - len(missing); hits > 0 {
+		bs.hits.Add(uint64(hits))
+	}
+	return blocks, missing
+}
+
+// fillMissing computes the missing pairs of a scanPairs result, sharding
+// them across a worker pool (0 means GOMAXPROCS, 1 forces the sequential
+// scan) and writing each block into its slot — disjoint indices, so no
+// synchronization beyond the work queue. Each computation goes through
+// PairEdges, which records the miss and caches the block (unless retired).
+// The context is polled between chunks; on cancellation the context's error
+// is returned and pairs already computed stay cached and valid.
+func (bs *BlockSet) fillMissing(ctx context.Context, ltps []*btp.LTP, blocks [][]Edge, missing []int32, workers int) error {
+	if len(missing) == 0 {
+		return ctx.Err()
+	}
+	m := len(ltps)
+	workers = resolveWorkers(workers)
+	if max := (len(missing) + ensureChunk - 1) / ensureChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		for c, k := range missing {
+			if c%ensureChunk == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			blocks[k] = bs.PairEdges(ltps[k/int32(m)], ltps[k%int32(m)])
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				start := int(next.Add(ensureChunk)) - ensureChunk
+				if start >= len(missing) {
+					return
+				}
+				for _, k := range missing[start:min(start+ensureChunk, len(missing))] {
+					blocks[k] = bs.PairEdges(ltps[k/int32(m)], ltps[k%int32(m)])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// EnsureCtx precomputes the edge blocks of every ordered pair over the given
+// LTPs, sharding the pairs still missing from the cache across a pool of
+// workers (0 means GOMAXPROCS, 1 forces the sequential scan), so that
+// subsequent Compose calls over subsets of them are pure cache reads. Pair
+// derivation is embarrassingly parallel: Algorithm 1's side conditions
+// consult only the pair's two LTPs, so workers share nothing but the cache
+// itself. A warm Ensure is a single read-locked scan — no workers spawned.
+func (bs *BlockSet) EnsureCtx(ctx context.Context, ltps []*btp.LTP, workers int) error {
+	blocks, missing := bs.scanPairs(ltps)
+	return bs.fillMissing(ctx, ltps, blocks, missing, workers)
+}
+
+// ComposeCtx assembles the summary graph SuG(P) of the given LTPs from the
+// block set, computing missing pairwise blocks on `workers` workers (0 means
+// GOMAXPROCS) and building the node-closure bitsets with the parallel
+// fixpoint when the graph is large enough to profit. The resulting graph —
+// edge order included — is identical to Compose's and Build's; only the
+// wall-clock differs. A fully warm compose is one read-locked scan plus the
+// assembly — no workers spawned, one cache hit counted per pair. The
+// context aborts between stages and inside the pair computation.
+func ComposeCtx(ctx context.Context, bs *BlockSet, ltps []*btp.LTP, workers int) (*Graph, error) {
+	blocks, missing := bs.scanPairs(ltps)
+	if err := bs.fillMissing(ctx, ltps, blocks, missing, workers); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		Setting: bs.b.setting,
+		Nodes:   ltps,
+		schema:  bs.b.schema,
+		nodeIdx: make(map[*btp.LTP]int, len(ltps)),
+	}
+	for i, l := range ltps {
+		g.nodeIdx[l] = i
+	}
+	// Copy the gathered blocks into one exactly-sized edge slice, recording
+	// endpoint indices as we go — every edge of block (fi, ti) runs from
+	// node fi to node ti.
+	m := len(ltps)
+	total := 0
+	for _, blk := range blocks {
+		total += len(blk)
+	}
+	g.Edges = make([]Edge, 0, total)
+	g.edgeFrom = make([]int32, 0, total)
+	g.edgeTo = make([]int32, 0, total)
+	for bi, blk := range blocks {
+		fi, ti := int32(bi/m), int32(bi%m)
+		for range blk {
+			g.edgeFrom = append(g.edgeFrom, fi)
+			g.edgeTo = append(g.edgeTo, ti)
+		}
+		g.Edges = append(g.Edges, blk...)
+	}
+	g.indexWith(workers)
+	return g, nil
+}
+
+// NewSubsetDetectorCtx builds a detector over the LTP universe like
+// NewSubsetDetector, but computes missing pairwise blocks and the universe
+// closure on `workers` workers under the context.
+func NewSubsetDetectorCtx(ctx context.Context, bs *BlockSet, ltps []*btp.LTP, workers int) (*SubsetDetector, error) {
+	g, err := ComposeCtx(ctx, bs, ltps, workers)
+	if err != nil {
+		return nil, err
+	}
+	return newSubsetDetector(g, len(ltps)), nil
+}
+
+// parallelClosureMinRows is the node count below which the parallel closure
+// falls back to the sequential fixpoint: under ~64 rows the whole matrix is
+// a few cache lines and goroutine handoff costs more than it saves.
+const parallelClosureMinRows = 64
+
+// squaringFixpoint computes the same transitive closure as fixpoint, but
+// round-synchronized across workers: each round derives next[i] =
+// cur[i] ∪ ⋃{cur[j] : j ∈ cur[i]} for a disjoint shard of rows per worker,
+// reading only the previous round's matrix and writing only its own rows —
+// no locks, no races. Because a round unions whole rows of the previous
+// round, the reachability relation at least squares every round, so the loop
+// terminates in O(log diameter) rounds. The result lands back in rows and is
+// bit-identical to the sequential fixpoint (the closure is unique).
+func squaringFixpoint(rows []bitset, workers int) {
+	n := len(rows)
+	if n == 0 {
+		return
+	}
+	words := len(rows[0])
+	if workers > n {
+		workers = n
+	}
+	backing := make([]uint64, n*words)
+	next := make([]bitset, n)
+	for i := range next {
+		next[i] = bitset(backing[i*words : (i+1)*words])
+	}
+	cur := rows
+	chunk := (n + workers - 1) / workers
+	for {
+		var changed atomic.Bool
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := min(lo+chunk, n)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				shardChanged := false
+				for i := lo; i < hi; i++ {
+					src, dst := cur[i], next[i]
+					copy(dst, src)
+					for wi, w := range src {
+						for w != 0 {
+							j := wi*64 + bits.TrailingZeros64(w)
+							w &= w - 1
+							if j != i {
+								dst.orInto(cur[j])
+							}
+						}
+					}
+					if !shardChanged {
+						for k := range dst {
+							if dst[k] != src[k] {
+								shardChanged = true
+								break
+							}
+						}
+					}
+				}
+				if shardChanged {
+					changed.Store(true)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		cur, next = next, cur
+		if !changed.Load() {
+			break
+		}
+	}
+	// The final matrix may live in the scratch buffer; move it home.
+	if words > 0 && &cur[0][0] != &rows[0][0] {
+		for i := range rows {
+			copy(rows[i], cur[i])
+		}
+	}
+}
+
+// closuresParallel is closures with a worker budget: below
+// parallelClosureMinRows nodes (or with a single worker) it runs the
+// sequential fixpoint, otherwise the round-synchronized parallel one.
+func closuresParallel(from, to []int32, n, workers int) []bitset {
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words)
+	out := make([]bitset, n)
+	for i := 0; i < n; i++ {
+		out[i] = bitset(backing[i*words : (i+1)*words])
+		out[i].set(i)
+	}
+	for ei := range from {
+		out[from[ei]].set(int(to[ei]))
+	}
+	if workers > 1 && n >= parallelClosureMinRows {
+		squaringFixpoint(out, workers)
+	} else {
+		fixpoint(out)
+	}
+	return out
+}

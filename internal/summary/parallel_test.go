@@ -1,0 +1,245 @@
+package summary
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+)
+
+// synthClosure builds an n-node adjacency from an edge list, carves a
+// closure matrix seeded with self-bits and edges, and runs fix on it.
+func synthClosure(n int, edges [][2]int, fix func([]bitset)) []bitset {
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words)
+	rows := make([]bitset, n)
+	for i := 0; i < n; i++ {
+		rows[i] = bitset(backing[i*words : (i+1)*words])
+		rows[i].set(i)
+	}
+	for _, e := range edges {
+		rows[e[0]].set(e[1])
+	}
+	fix(rows)
+	return rows
+}
+
+// TestSquaringFixpointMatchesSequential is the determinism half of the
+// intra-check parallelism acceptance: on chains, cycles, dense blocks and
+// pseudo-random graphs — including sizes above the parallel threshold and
+// word-boundary sizes — the round-synchronized parallel fixpoint must
+// produce reachability bitsets identical to the sequential one, for every
+// worker count.
+func TestSquaringFixpointMatchesSequential(t *testing.T) {
+	graphs := map[string]struct {
+		n     int
+		edges func(n int) [][2]int
+	}{
+		"empty":      {0, func(int) [][2]int { return nil }},
+		"singleton":  {1, func(int) [][2]int { return nil }},
+		"self-loops": {5, func(n int) [][2]int { return [][2]int{{0, 0}, {4, 4}} }},
+		"chain": {130, func(n int) [][2]int {
+			var es [][2]int
+			for i := 0; i+1 < n; i++ {
+				es = append(es, [2]int{i, i + 1})
+			}
+			return es
+		}},
+		"cycle": {127, func(n int) [][2]int {
+			var es [][2]int
+			for i := 0; i < n; i++ {
+				es = append(es, [2]int{i, (i + 1) % n})
+			}
+			return es
+		}},
+		"two-cliques-bridge": {128, func(n int) [][2]int {
+			var es [][2]int
+			half := n / 2
+			for i := 0; i < half; i++ {
+				for j := 0; j < half; j++ {
+					es = append(es, [2]int{i, j})
+				}
+			}
+			es = append(es, [2]int{half - 1, half})
+			for i := half; i+1 < n; i++ {
+				es = append(es, [2]int{i, i + 1})
+			}
+			return es
+		}},
+		"pseudo-random": {190, func(n int) [][2]int {
+			// Deterministic LCG so the test is reproducible.
+			var es [][2]int
+			state := uint64(42)
+			next := func() int {
+				state = state*6364136223846793005 + 1442695040888963407
+				return int(state>>33) % n
+			}
+			for k := 0; k < 3*n; k++ {
+				es = append(es, [2]int{next(), next()})
+			}
+			return es
+		}},
+	}
+	for name, g := range graphs {
+		edges := g.edges(g.n)
+		want := synthClosure(g.n, edges, fixpoint)
+		for _, workers := range []int{1, 2, 3, 7, 64} {
+			got := synthClosure(g.n, edges, func(rows []bitset) {
+				squaringFixpoint(rows, workers)
+			})
+			for i := range want {
+				for w := range want[i] {
+					if got[i][w] != want[i][w] {
+						t.Fatalf("%s, %d workers: row %d word %d = %x, want %x",
+							name, workers, i, w, got[i][w], want[i][w])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClosuresParallelMatchesSequential pins the end-to-end closure path on
+// a real universe above the parallel threshold: the Auction(40) summary
+// graph (120 nodes) must yield identical reach/coreach matrices whether
+// indexed sequentially or with the parallel fixpoint.
+func TestClosuresParallelMatchesSequential(t *testing.T) {
+	bench := benchmarks.AuctionN(40)
+	ltps := btp.UnfoldAll2(bench.Programs)
+	if len(ltps) < parallelClosureMinRows {
+		t.Fatalf("universe has %d nodes, below the parallel threshold %d",
+			len(ltps), parallelClosureMinRows)
+	}
+	g := Build(bench.Schema, ltps, SettingAttrDepFK)
+	want := closures(g.edgeFrom, g.edgeTo, len(ltps))
+	got := closuresParallel(g.edgeFrom, g.edgeTo, len(ltps), 4)
+	for i := range want {
+		for w := range want[i] {
+			if got[i][w] != want[i][w] {
+				t.Fatalf("reach row %d word %d diverges", i, w)
+			}
+		}
+	}
+}
+
+// TestEnsureCtxShardedMatchesSequential: the sharded pair derivation must
+// fill the same cache with the same blocks as the sequential scan, and a
+// graph composed from it must equal Build edge for edge.
+func TestEnsureCtxShardedMatchesSequential(t *testing.T) {
+	bench := benchmarks.AuctionN(6)
+	ltps := btp.UnfoldAll2(bench.Programs)
+	for _, setting := range AllSettings {
+		seq := NewBlockSet(bench.Schema, setting)
+		seq.Ensure(ltps)
+		par := NewBlockSet(bench.Schema, setting)
+		if err := par.EnsureCtx(context.Background(), ltps, 8); err != nil {
+			t.Fatal(err)
+		}
+		if seq.Len() != par.Len() {
+			t.Fatalf("%s: sharded cache has %d pairs, sequential %d", setting, par.Len(), seq.Len())
+		}
+		for _, pi := range ltps {
+			for _, pj := range ltps {
+				a, b := seq.PairEdges(pi, pj), par.PairEdges(pi, pj)
+				if len(a) != len(b) {
+					t.Fatalf("%s: pair block sizes diverge: %d vs %d", setting, len(a), len(b))
+				}
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("%s: pair block edge %d diverges: %s vs %s", setting, k, a[k], b[k])
+					}
+				}
+			}
+		}
+		want := Build(bench.Schema, ltps, setting)
+		got, err := ComposeCtx(context.Background(), par, ltps, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Edges) != len(want.Edges) {
+			t.Fatalf("%s: composed %d edges, Build %d", setting, len(got.Edges), len(want.Edges))
+		}
+		for i := range got.Edges {
+			if got.Edges[i] != want.Edges[i] {
+				t.Fatalf("%s: edge %d = %s, want %s", setting, i, got.Edges[i], want.Edges[i])
+			}
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s: graph dump diverges", setting)
+		}
+	}
+}
+
+// TestComposeCtxEdgeCases covers the degenerate universes: the empty LTP
+// list (a trivially robust empty graph) and a single-program workload, both
+// sequential and sharded.
+func TestComposeCtxEdgeCases(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	bs := NewBlockSet(bench.Schema, SettingAttrDepFK)
+
+	// Empty LTP list: no nodes, no edges, robust under both methods.
+	for _, workers := range []int{1, 4} {
+		g, err := ComposeCtx(context.Background(), bs, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Nodes) != 0 || len(g.Edges) != 0 {
+			t.Fatalf("empty universe composed %d nodes, %d edges", len(g.Nodes), len(g.Edges))
+		}
+		for _, m := range []Method{TypeI, TypeII} {
+			if ok, w := g.Robust(m); !ok || w != nil {
+				t.Fatalf("empty graph not robust under %s", m)
+			}
+		}
+	}
+	if bs.Len() != 0 {
+		t.Fatalf("empty compose cached %d pairs", bs.Len())
+	}
+
+	// Single-program workload: Balance unfolds to one LTP; the 1×1 block
+	// must match Build, with the single self-pair cached.
+	single := btp.UnfoldAll2([]*btp.Program{bench.Program("Balance")})
+	for _, workers := range []int{1, 4} {
+		got, err := ComposeCtx(context.Background(), NewBlockSet(bench.Schema, SettingAttrDepFK), single, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Build(bench.Schema, single, SettingAttrDepFK)
+		if got.String() != want.String() {
+			t.Fatalf("single-program graph diverges from Build:\n%s\nvs\n%s", got, want)
+		}
+		wantOK, _ := want.Robust(TypeII)
+		gotOK, _ := got.Robust(TypeII)
+		if gotOK != wantOK {
+			t.Fatalf("single-program verdict %t, want %t", gotOK, wantOK)
+		}
+	}
+
+	// An Ensure over the empty list is a no-op, not a panic.
+	if err := bs.EnsureCtx(context.Background(), nil, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnsureCtxCancellation: a cancelled context aborts the shard scan with
+// the context's error; already-computed pairs stay cached and valid.
+func TestEnsureCtxCancellation(t *testing.T) {
+	bench := benchmarks.AuctionN(4)
+	ltps := btp.UnfoldAll2(bench.Programs)
+	bs := NewBlockSet(bench.Schema, SettingAttrDepFK)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := bs.EnsureCtx(ctx, ltps, 4); err == nil {
+		t.Fatal("cancelled EnsureCtx returned nil")
+	}
+	if _, err := ComposeCtx(ctx, bs, ltps, 4); err == nil {
+		t.Fatal("cancelled ComposeCtx returned nil error")
+	}
+	// Whatever made it into the cache must still be correct.
+	g := Compose(bs, ltps)
+	want := Build(bench.Schema, ltps, SettingAttrDepFK)
+	if g.String() != want.String() {
+		t.Error("post-cancellation compose diverges from Build")
+	}
+}

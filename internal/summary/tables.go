@@ -4,6 +4,24 @@
 // based on the absence of type-II cycles (Algorithm 2 / Theorem 6.4). It
 // also implements the weaker type-I condition of Alomari and Fekete [3] as
 // the comparison baseline of Section 7.
+//
+// Beyond the paper's algorithms the package carries the performance layers
+// the rest of the system is built on (see docs/ARCHITECTURE.md):
+//
+//   - Build (graph.go) is the literal Algorithm 1: one summary graph from
+//     scratch. It remains the oracle every optimized path is tested against.
+//   - BlockSet (compose.go) caches Algorithm 1's edge derivation per
+//     ordered LTP pair and analysis setting — edges between two programs
+//     never depend on which other programs are present, so any subset graph
+//     is a concatenation of cached pair blocks (Compose).
+//   - SubsetDetector (compose.go) answers per-subset robustness verdicts on
+//     the composed universe graph filtered by a node bitmask,
+//     allocation-free, for the exponential enumeration of Figures 6 and 7.
+//   - parallel.go shards the two super-linear stages of a single large
+//     construction across a worker pool: EnsureCtx fans the pairwise edge
+//     derivation out in chunks, and squaringFixpoint computes the
+//     node-closure bitsets as a round-synchronized parallel fixpoint. Both
+//     are bit-identical to their sequential counterparts.
 package summary
 
 import "repro/internal/btp"

@@ -4,9 +4,10 @@
 // CheckResponse/SubsetsResponse through the same encoder, so a CLI run and
 // a server round-trip produce byte-identical documents for the same input.
 //
-// The package also owns the canonical textual names of analysis settings
-// ("attr+fk", "tpl", ...) and cycle methods ("type2", "type1"), previously
-// private to cmd/robustcheck.
+// The package also owns the canonical textual names of the four analysis
+// settings of the paper's Section 7.2 ("attr+fk", "tpl", ...) and of the
+// two cycle methods ("type2" = Algorithm 2, "type1" = the baseline of
+// Alomari and Fekete), previously private to cmd/robustcheck.
 package wire
 
 import (
@@ -175,6 +176,16 @@ type CheckRequest struct {
 	// Programs restricts the check to the named programs (full names or
 	// abbreviations); empty means all registered programs.
 	Programs []string `json:"programs,omitempty"`
+	// Parallelism is the per-request worker count for this analysis,
+	// governing both the subset-enumeration fanout and the intra-check
+	// sharding (pairwise edge blocks, closure fixpoint). 0 means the
+	// server's resolved default; positive values are capped by the server's
+	// bound — the -parallel option, or GOMAXPROCS when the operator left it
+	// unset — so a request can lower concurrency but never raise it past
+	// what the operator allows. Parallelism never changes a verdict, only
+	// the wall-clock, so requests differing only in this field may still be
+	// coalesced.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Config resolves the request into an engine configuration.
@@ -187,7 +198,10 @@ func (r *CheckRequest) Config() (analysis.Config, error) {
 	if err != nil {
 		return analysis.Config{}, err
 	}
-	return analysis.Config{Setting: setting, Method: method, UnfoldBound: r.UnfoldBound}, nil
+	return analysis.Config{
+		Setting: setting, Method: method,
+		UnfoldBound: r.UnfoldBound, Parallelism: r.Parallelism,
+	}, nil
 }
 
 // GraphStats mirrors summary.Stats on the wire.
@@ -312,13 +326,20 @@ func NewCacheStats(st analysis.Stats) CacheStats {
 
 // WorkloadStats describes one registered workload in /v1/stats.
 type WorkloadStats struct {
-	ID       string     `json:"id"`
-	Version  uint64     `json:"version"`
-	Programs []string   `json:"programs"`
-	Checks   uint64     `json:"checks"`
-	Subsets  uint64     `json:"subsets"`
-	Patches  uint64     `json:"patches"`
-	Cache    CacheStats `json:"cache"`
+	ID       string   `json:"id"`
+	Version  uint64   `json:"version"`
+	Programs []string `json:"programs"`
+	Checks   uint64   `json:"checks"`
+	Subsets  uint64   `json:"subsets"`
+	Patches  uint64   `json:"patches"`
+	// LastParallelism is the effective worker count of the workload's most
+	// recent check or subsets request — the request's parallelism field
+	// after applying the server's -parallel default and cap, with 0
+	// resolved to GOMAXPROCS. It stays 0 until the first analysis request,
+	// so operators can tell "never analysed" from "analysed sequentially"
+	// (which reports 1).
+	LastParallelism int        `json:"last_parallelism"`
+	Cache           CacheStats `json:"cache"`
 }
 
 // RequestStats counts served requests by kind. Coalesced counts /subsets
@@ -333,11 +354,15 @@ type RequestStats struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	UptimeSeconds float64         `json:"uptime_seconds"`
-	Workloads     int             `json:"workloads"`
-	Evictions     uint64          `json:"evictions"`
-	Requests      RequestStats    `json:"requests"`
-	WorkloadStats []WorkloadStats `json:"workload_stats"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workloads     int     `json:"workloads"`
+	Evictions     uint64  `json:"evictions"`
+	// DefaultParallelism is the resolved server-wide worker count applied
+	// to requests that do not set their own parallelism field: the
+	// -parallel flag, or GOMAXPROCS when unset.
+	DefaultParallelism int             `json:"default_parallelism"`
+	Requests           RequestStats    `json:"requests"`
+	WorkloadStats      []WorkloadStats `json:"workload_stats"`
 }
 
 // --- Helpers ---------------------------------------------------------------

@@ -32,6 +32,13 @@
 // subset graphs from the same cache and fans them out over a bounded worker
 // pool — the Parallelism knob of Options, defaulting to GOMAXPROCS.
 //
+// The same knob also parallelizes a *single* large check from the inside:
+// missing pairwise edge blocks are sharded across the pool and the
+// reflexive-transitive closure of big summary graphs runs as a
+// round-synchronized parallel fixpoint, so Auction(n)-scale graphs
+// (~9n² edges) scale with cores instead of one. See docs/ARCHITECTURE.md
+// for how the knob flows through the layers.
+//
 // One-shot calls (Check, CheckWith, RobustSubsets) create a throwaway
 // session internally; long-lived callers that analyse many overlapping
 // program sets should hold a NewSession and pass it each request, paying
