@@ -1,0 +1,120 @@
+// Command benchjson converts the text output of `go test -bench` into a
+// JSON document, so CI can upload benchmark runs as machine-readable
+// artifacts (BENCH_PR4.json) and track performance trends across commits
+// without gating on noisy absolute numbers.
+//
+// Usage:
+//
+//	go test -bench . -benchtime=1x -count=3 | benchjson -out bench.json
+//
+// Every benchmark result line becomes one entry — repeated names (from
+// -count) are kept as separate entries, since the spread between them is
+// the signal trend dashboards want. Context lines (goos, goarch, pkg, cpu)
+// are captured once into the environment block; everything else (b.Log
+// output, PASS/ok trailers) is ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement: the full sub-benchmark name, the
+// iteration count, and every reported metric (ns/op, B/op, allocs/op and
+// custom b.ReportMetric units like req/s) keyed by unit.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the artifact layout.
+type Doc struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "-", "output path (- = stdout)")
+	flag.Parse()
+
+	doc, err := convert(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// envKeys are the `key: value` context lines go test prints before results.
+var envKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+// convert parses go test -bench output into the artifact document. It is
+// deliberately permissive: unparseable lines are skipped, because the
+// artifact step must fail only on build/run errors, never on log noise.
+func convert(r io.Reader) (*Doc, error) {
+	doc := &Doc{Env: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if key, value, ok := strings.Cut(line, ":"); ok && envKeys[key] {
+			if _, dup := doc.Env[key]; !dup {
+				doc.Env[key] = strings.TrimSpace(value)
+			}
+			continue
+		}
+		if res, ok := parseResult(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Env) == 0 {
+		doc.Env = nil
+	}
+	return doc, nil
+}
+
+// parseResult parses one `BenchmarkName-8  N  v1 unit1  v2 unit2 ...` line.
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample mirrors real `go test -bench` output: env lines, a plain result,
+// a -benchmem result, a custom-metric result, a repeated name (-count=2),
+// and assorted noise that must be ignored.
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.40GHz
+BenchmarkRobustSubsets/naive/attr_dep-8         	       1	  52034188 ns/op	 4378544 B/op	   80194 allocs/op
+BenchmarkRobustSubsets/cached/attr_dep-8        	       1	   2878354 ns/op	  350200 B/op	    3056 allocs/op
+BenchmarkServerThroughput/subsets/warm-8        	       1	    190243 ns/op	      5256 req/s
+BenchmarkServerThroughput/subsets/warm-8        	       1	    201001 ns/op	      4975 req/s
+--- BENCH: BenchmarkRobustSubsets
+    bench_test.go:42: Table 2 row: SmallBank
+PASS
+ok  	repro	12.345s
+`
+
+func TestConvert(t *testing.T) {
+	doc, err := convert(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] != "Some CPU @ 2.40GHz" {
+		t.Errorf("env = %v", doc.Env)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkRobustSubsets/naive/attr_dep-8" || first.Iterations != 1 {
+		t.Errorf("first = %+v", first)
+	}
+	if first.Metrics["ns/op"] != 52034188 || first.Metrics["allocs/op"] != 80194 {
+		t.Errorf("first metrics = %v", first.Metrics)
+	}
+	// Custom b.ReportMetric units survive, and -count repetitions stay
+	// separate entries.
+	warm := doc.Benchmarks[2]
+	if warm.Metrics["req/s"] != 5256 {
+		t.Errorf("warm metrics = %v", warm.Metrics)
+	}
+	if doc.Benchmarks[3].Name != warm.Name {
+		t.Errorf("repeated result collapsed: %+v", doc.Benchmarks[3])
+	}
+}
+
+func TestParseResultRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	repro	12.345s",
+		"--- BENCH: BenchmarkRobustSubsets",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkOdd-8 1 12", // metric without unit
+	} {
+		if _, ok := parseResult(line); ok {
+			t.Errorf("parseResult accepted %q", line)
+		}
+	}
+}

@@ -6,6 +6,13 @@
 // subset enumeration runs from the cached blocks, and PATCHing a single
 // program invalidates only that program's pairs (incremental re-analysis).
 //
+// The server is restartable and memory-governed: -state-dir persists every
+// registered workload (programs, version, cached subsets results) as a JSON
+// snapshot and reloads them on boot, so a restarted server answers with
+// byte-identical responses without re-running the analysis for cached
+// enumerations; -max-bytes replaces the blind LRU cap with size-weighted
+// eviction over per-workload memory estimates.
+//
 // Usage:
 //
 //	robustserved [-addr :8765] [-preload smallbank,tpcc] [flags]
@@ -16,6 +23,12 @@
 //	-preload        comma-separated benchmarks to register at boot
 //	                (smallbank, tpcc, auction); their ids are printed
 //	-max-workloads  registry LRU cap (default 64)
+//	-state-dir      directory for persistent workload snapshots; empty
+//	                disables persistence. Corrupt snapshot files are
+//	                skipped at boot, never fatal
+//	-max-bytes      estimated-memory budget across resident workloads;
+//	                size-weighted eviction sheds workloads beyond it
+//	                (0 = count-based LRU only)
 //	-parallel       analysis workers per request: subset enumeration and
 //	                intra-check sharding (0 = GOMAXPROCS). Also the cap for
 //	                the per-request "parallelism" field of check/subsets
@@ -56,6 +69,8 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8765", "listen address")
 		preload      = flag.String("preload", "", "comma-separated benchmarks to register at boot")
 		maxWorkloads = flag.Int("max-workloads", 0, "registry LRU cap (0 = default 64)")
+		stateDir     = flag.String("state-dir", "", "directory for persistent workload snapshots (empty = no persistence)")
+		maxBytes     = flag.Int64("max-bytes", 0, "estimated-memory budget across workloads; size-weighted eviction beyond it (0 = count-based LRU only)")
 		parallel     = flag.Int("parallel", 0, "analysis workers per request and cap for per-request parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request analysis deadline (0 = none)")
 	)
@@ -68,6 +83,8 @@ func main() {
 		addr:         *addr,
 		preload:      *preload,
 		maxWorkloads: *maxWorkloads,
+		stateDir:     *stateDir,
+		maxBytes:     *maxBytes,
 		parallel:     *parallel,
 		timeout:      *timeout,
 	}); err != nil {
@@ -81,6 +98,8 @@ type options struct {
 	addr         string
 	preload      string
 	maxWorkloads int
+	stateDir     string
+	maxBytes     int64
 	parallel     int
 	timeout      time.Duration
 }
@@ -93,7 +112,20 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		MaxWorkloads:   o.maxWorkloads,
 		Parallelism:    o.parallel,
 		RequestTimeout: o.timeout,
+		StateDir:       o.stateDir,
+		MaxBytes:       o.maxBytes,
 	})
+	if o.stateDir != "" {
+		loaded, skipped, err := srv.StateReport()
+		if err != nil {
+			// Persistence failing to initialize is loud but not fatal:
+			// the service still serves, it just won't survive restarts.
+			fmt.Fprintf(out, "robustserved: state: persistence disabled: %v\n", err)
+		} else {
+			fmt.Fprintf(out, "robustserved: state: restored %d workload(s), skipped %d (%s)\n",
+				loaded, skipped, o.stateDir)
+		}
+	}
 	if err := preloadBenchmarks(srv, o.preload, out); err != nil {
 		return err
 	}

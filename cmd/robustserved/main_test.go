@@ -40,11 +40,18 @@ var addrRe = regexp.MustCompile(`listening on (\S+)`)
 // and returns the base URL plus a shutdown func.
 func bootServer(t *testing.T, preload string) (string, func()) {
 	t.Helper()
+	return bootServerOpts(t, options{addr: "127.0.0.1:0", preload: preload, timeout: 30 * time.Second})
+}
+
+// bootServerOpts is bootServer with full flag control (port 0 enforced).
+func bootServerOpts(t *testing.T, o options) (string, func()) {
+	t.Helper()
+	o.addr = "127.0.0.1:0"
 	ctx, cancel := context.WithCancel(context.Background())
 	out := &syncBuffer{}
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, out, options{addr: "127.0.0.1:0", preload: preload, timeout: 30 * time.Second})
+		done <- run(ctx, out, o)
 	}()
 	var base string
 	for i := 0; i < 2000; i++ {
@@ -117,6 +124,46 @@ func TestServeEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !check.Robust {
 		t.Fatalf("{Am,DC,TS} check: %d robust=%t", resp.StatusCode, check.Robust)
+	}
+}
+
+// TestStateDirRestart is the CLI half of the persistence path: a workload
+// registered over HTTP survives a full serve-loop restart on the same
+// -state-dir, and the boot log reports the restore.
+func TestStateDirRestart(t *testing.T) {
+	dir := t.TempDir()
+	o := options{stateDir: dir, timeout: 30 * time.Second}
+
+	base, shutdown := bootServerOpts(t, o)
+	resp, err := http.Post(base+"/v1/workloads", "application/json",
+		strings.NewReader(`{"benchmark": "smallbank"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		ID      string `json:"id"`
+		Created bool   `json:"created"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || reg.ID == "" {
+		t.Fatalf("register: %d id=%q", resp.StatusCode, reg.ID)
+	}
+	shutdown()
+
+	base, shutdown = bootServerOpts(t, o)
+	defer shutdown()
+	resp, err = http.Post(base+"/v1/workloads/"+reg.ID+"/check", "application/json",
+		strings.NewReader(`{"programs": ["Am", "DC", "TS"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("restored workload check: %d, want 200 without re-registering", resp.StatusCode)
 	}
 }
 

@@ -61,6 +61,8 @@ func TestDocsMentionCode(t *testing.T) {
 		"BlockSet", "Compose", "SubsetDetector", "EnsureCtx",
 		"squaringFixpoint", "RobustSubsets", "Parallelism",
 		"NaiveRobustSubsets", "last_parallelism",
+		"internal/snapshot", "SizeBytes", "result_cache",
+		"-state-dir", "-max-bytes", "evictions_bytes",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q — update the doc with the code", want)

@@ -243,6 +243,36 @@ func (s *Session) Stats() Stats {
 	return st
 }
 
+// Rough per-object costs of the SizeBytes estimate.
+const (
+	sessionBaseBytes = 256
+	ltpBytes         = 256
+	stmtOccBytes     = 96
+)
+
+// SizeBytes estimates the session's resident memory: the memoized
+// unfoldings plus every per-setting edge-block cache (BlockSet.SizeBytes).
+// It feeds the server's per-workload memory accounting for -max-bytes
+// eviction; like the block-cache estimate it is relative, not exact.
+func (s *Session) SizeBytes() int64 {
+	s.mu.Lock()
+	n := int64(sessionBaseBytes)
+	for _, ltps := range s.unfolded {
+		for _, l := range ltps {
+			n += ltpBytes + int64(len(l.Statements()))*stmtOccBytes
+		}
+	}
+	sets := make([]*summary.BlockSet, 0, len(s.blocks))
+	for _, bs := range s.blocks {
+		sets = append(sets, bs)
+	}
+	s.mu.Unlock()
+	for _, bs := range sets {
+		n += bs.SizeBytes()
+	}
+	return n
+}
+
 // ltpUniverse resolves every program's memoized unfolding and the flat
 // concatenation in program order.
 func (s *Session) ltpUniverse(programs []*btp.Program, bound int) ([][]*btp.LTP, []*btp.LTP, error) {

@@ -535,3 +535,26 @@ func TestIntraCheckLargeUniverseParallelism(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionSizeBytes: the session's memory estimate grows as checks warm
+// the unfolding and block caches and shrinks when a program's state is
+// invalidated — the per-workload term of the server's memory accounting.
+func TestSessionSizeBytes(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := analysis.NewSession(bench.Schema)
+	cold := sess.SizeBytes()
+	if cold <= 0 {
+		t.Fatalf("cold SizeBytes = %d, want positive overhead", cold)
+	}
+	if _, err := sess.Check(bench.Programs, analysis.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	warm := sess.SizeBytes()
+	if warm <= cold {
+		t.Fatalf("warm SizeBytes = %d, not above cold %d", warm, cold)
+	}
+	sess.Invalidate(bench.Programs[0])
+	if shrunk := sess.SizeBytes(); shrunk >= warm {
+		t.Errorf("SizeBytes after Invalidate = %d, want below %d", shrunk, warm)
+	}
+}

@@ -1,0 +1,345 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/robust"
+	"repro/internal/sqlbtp"
+	"repro/internal/wire"
+)
+
+// TestSnapshotRestartRoundTrip is the tentpole acceptance test: register →
+// check → subsets, restart the server on the same -state-dir, and assert
+// byte-identical wire responses — with the repeated enumeration answered
+// from the persisted result cache, i.e. without re-running Algorithm 1 at
+// all (BlockSet misses stay 0 after the restart).
+func TestSnapshotRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{StateDir: dir})
+	id := registerSmallBank(t, ts)
+
+	// A second registration (what a client does after reconnecting).
+	_, reReg1 := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads",
+		&wire.RegisterWorkloadRequest{Benchmark: "smallbank"}, nil)
+	resp, check1 := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/check", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check: %d", resp.StatusCode)
+	}
+	resp, subsets1 := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subsets: %d", resp.StatusCode)
+	}
+
+	// Restart: a fresh Server over the same state directory.
+	s2, ts2 := newTestServer(t, Options{StateDir: dir})
+	if loaded, skipped, err := s2.StateReport(); loaded != 1 || skipped != 0 || err != nil {
+		t.Fatalf("StateReport = %d loaded, %d skipped, %v", loaded, skipped, err)
+	}
+
+	var reg wire.RegisterWorkloadResponse
+	resp, reReg2 := doJSON(t, http.MethodPost, ts2.URL+"/v1/workloads",
+		&wire.RegisterWorkloadRequest{Benchmark: "smallbank"}, &reg)
+	if resp.StatusCode != http.StatusOK || reg.Created || reg.ID != id {
+		t.Fatalf("post-restart register: %d created=%t id=%s (want resident %s)",
+			resp.StatusCode, reg.Created, reg.ID, id)
+	}
+	if !bytes.Equal(reReg1, reReg2) {
+		t.Errorf("re-register responses differ across restart:\n%s\nvs\n%s", reReg1, reReg2)
+	}
+
+	// The repeated enumeration must come from the persisted result cache:
+	// byte-identical, and zero pairwise edge blocks computed since boot.
+	resp, subsets2 := doJSON(t, http.MethodPost, ts2.URL+"/v1/workloads/"+id+"/subsets", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart subsets: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(subsets1, subsets2) {
+		t.Errorf("subsets responses differ across restart:\n%s\nvs\n%s", subsets1, subsets2)
+	}
+	var st wire.StatsResponse
+	doJSON(t, http.MethodGet, ts2.URL+"/v1/stats", nil, &st)
+	if st.SnapshotsLoaded != 1 {
+		t.Errorf("snapshots_loaded = %d, want 1", st.SnapshotsLoaded)
+	}
+	ws := st.WorkloadStats[0]
+	if ws.Cache.Misses != 0 || ws.Cache.Hits != 0 {
+		t.Errorf("post-restart subsets ran Algorithm 1: block cache %+v, want untouched", ws.Cache)
+	}
+	if ws.ResultCache.Hits != 1 || ws.ResultCache.Misses != 0 {
+		t.Errorf("post-restart result cache = %+v, want 1 hit / 0 misses", ws.ResultCache)
+	}
+
+	// A check has no result cache: it recomputes — and must still be
+	// byte-identical (the analysis is deterministic).
+	resp, check2 := doJSON(t, http.MethodPost, ts2.URL+"/v1/workloads/"+id+"/check", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart check: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(check1, check2) {
+		t.Errorf("check responses differ across restart:\n%s\nvs\n%s", check1, check2)
+	}
+}
+
+// TestSnapshotPatchSurvivesRestart: a PATCHed workload reloads with its
+// patched definition and version, and verdicts match a fresh oracle over
+// the patched program set.
+func TestSnapshotPatchSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{StateDir: dir})
+	id := registerSmallBank(t, ts)
+
+	var patch wire.PatchProgramResponse
+	resp, _ := doJSON(t, http.MethodPatch, ts.URL+"/v1/workloads/"+id+"/programs/DepositChecking",
+		&wire.PatchProgramRequest{SQL: patchedDepositChecking}, &patch)
+	if resp.StatusCode != http.StatusOK || patch.Version != 1 {
+		t.Fatalf("patch: %d version=%d", resp.StatusCode, patch.Version)
+	}
+
+	_, ts2 := newTestServer(t, Options{StateDir: dir})
+	var ws wire.WorkloadStats
+	resp, _ = doJSON(t, http.MethodGet, ts2.URL+"/v1/workloads/"+id, nil, &ws)
+	if resp.StatusCode != http.StatusOK || ws.Version != 1 {
+		t.Fatalf("post-restart workload: %d version=%d, want version 1", resp.StatusCode, ws.Version)
+	}
+
+	// Oracle over the patched program set.
+	bench := benchmarks.SmallBank()
+	next, err := sqlbtp.ParseProgram(bench.Schema, patchedDepositChecking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next.Abbrev = "DC"
+	patched := make([]*btp.Program, len(bench.Programs))
+	copy(patched, bench.Programs)
+	for i, p := range patched {
+		if p.Name == "DepositChecking" {
+			patched[i] = next
+		}
+	}
+	want, err := robust.NewChecker(bench.Schema).Check(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check wire.CheckResponse
+	resp, _ = doJSON(t, http.MethodPost, ts2.URL+"/v1/workloads/"+id+"/check", nil, &check)
+	if resp.StatusCode != http.StatusOK || check.Robust != want.Robust {
+		t.Errorf("post-restart check robust=%t, oracle=%t", check.Robust, want.Robust)
+	}
+	if v := resp.Header.Get("X-Workload-Version"); v != "1" {
+		t.Errorf("post-restart version header = %q, want 1", v)
+	}
+}
+
+// TestSnapshotCorruptStateSkipped: corrupt, truncated and
+// fingerprint-forged snapshots are skipped at boot — never a crash, and
+// the healthy snapshot still loads.
+func TestSnapshotCorruptStateSkipped(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{StateDir: dir})
+	id := registerSmallBank(t, ts)
+
+	// Corrupt siblings: garbage, a truncated copy of the real snapshot,
+	// and a decodable snapshot whose id does not match its content.
+	healthy, err := os.ReadFile(filepath.Join(dir, id+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, content []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("aaaa0000aaaa0000.json", []byte("not json at all"))
+	write("bbbb0000bbbb0000.json", healthy[:len(healthy)/2])
+	forged := bytes.Replace(healthy, []byte(id), []byte("cccc0000cccc0000"), -1)
+	write("cccc0000cccc0000.json", forged)
+
+	s2, ts2 := newTestServer(t, Options{StateDir: dir})
+	loaded, skipped, err := s2.StateReport()
+	if loaded != 1 || skipped != 3 || err != nil {
+		t.Fatalf("StateReport = %d loaded, %d skipped, %v; want 1/3/nil", loaded, skipped, err)
+	}
+	resp, _ := doJSON(t, http.MethodPost, ts2.URL+"/v1/workloads/"+id+"/check", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthy workload lost among corrupt snapshots: %d", resp.StatusCode)
+	}
+}
+
+// TestSnapshotEvictionDeletesFile: an evicted workload must not resurrect
+// on the next boot.
+func TestSnapshotEvictionDeletesFile(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{StateDir: dir, MaxWorkloads: 1})
+	idSB := registerSmallBank(t, ts)
+	var reg wire.RegisterWorkloadResponse
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workloads", &wire.RegisterWorkloadRequest{Benchmark: "auction"}, &reg)
+
+	if _, err := os.Stat(filepath.Join(dir, idSB+".json")); !os.IsNotExist(err) {
+		t.Errorf("evicted workload's snapshot still on disk: %v", err)
+	}
+	s2, _ := newTestServer(t, Options{StateDir: dir})
+	if loaded, _, _ := s2.StateReport(); loaded != 1 {
+		t.Errorf("loaded %d workloads after eviction, want only the resident auction", loaded)
+	}
+}
+
+// TestResultCachePatchInvalidation: a PATCH invalidates exactly the
+// patched workload's result-cache entries; a sibling workload's entries
+// survive and keep hitting.
+func TestResultCachePatchInvalidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	idSB := registerSmallBank(t, ts)
+	var regAu wire.RegisterWorkloadResponse
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workloads", &wire.RegisterWorkloadRequest{Benchmark: "auction"}, &regAu)
+
+	// Warm both result caches.
+	for _, id := range []string{idSB, regAu.ID} {
+		if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets", nil, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm subsets %s: %d", id, resp.StatusCode)
+		}
+	}
+
+	var patch wire.PatchProgramResponse
+	resp, _ := doJSON(t, http.MethodPatch, ts.URL+"/v1/workloads/"+idSB+"/programs/DepositChecking",
+		&wire.PatchProgramRequest{SQL: patchedDepositChecking}, &patch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch: %d", resp.StatusCode)
+	}
+	if patch.InvalidatedResults != 1 {
+		t.Errorf("invalidated_results = %d, want 1", patch.InvalidatedResults)
+	}
+
+	var st wire.StatsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st)
+	for _, ws := range st.WorkloadStats {
+		switch ws.ID {
+		case idSB:
+			if ws.ResultCache.Entries != 0 || ws.ResultCache.Invalidated != 1 {
+				t.Errorf("patched workload result cache = %+v, want 0 entries / 1 invalidated", ws.ResultCache)
+			}
+		case regAu.ID:
+			if ws.ResultCache.Entries != 1 || ws.ResultCache.Invalidated != 0 {
+				t.Errorf("sibling workload result cache = %+v, want its entry untouched", ws.ResultCache)
+			}
+		}
+	}
+
+	// The sibling still hits; the patched workload re-enumerates under its
+	// new version.
+	resp1, raw1 := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+regAu.ID+"/subsets", nil, nil)
+	resp2, raw2 := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+regAu.ID+"/subsets", nil, nil)
+	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK || !bytes.Equal(raw1, raw2) {
+		t.Error("sibling workload's cached enumeration broke after foreign patch")
+	}
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+idSB+"/subsets", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("patched workload subsets: %d", resp.StatusCode)
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st)
+	for _, ws := range st.WorkloadStats {
+		if ws.ID == idSB && ws.ResultCache.Entries != 1 {
+			t.Errorf("patched workload should have re-cached under version 1: %+v", ws.ResultCache)
+		}
+	}
+}
+
+// TestMaxBytesEviction: with a tiny byte budget, registering new workloads
+// sheds old ones by the size-weighted policy, while the most recently used
+// workload always survives.
+func TestMaxBytesEviction(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxBytes: 1})
+	idSB := registerSmallBank(t, ts)
+	var regTP, regAu wire.RegisterWorkloadResponse
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workloads", &wire.RegisterWorkloadRequest{Benchmark: "tpcc"}, &regTP)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workloads", &wire.RegisterWorkloadRequest{Benchmark: "auction"}, &regAu)
+
+	var st wire.StatsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st)
+	if st.Workloads != 1 || st.EvictionsBytes != 2 || st.MaxBytes != 1 {
+		t.Fatalf("stats = %d workloads, %d byte evictions, max %d; want 1/2/1",
+			st.Workloads, st.EvictionsBytes, st.MaxBytes)
+	}
+	if st.WorkloadStats[0].ID != regAu.ID {
+		t.Errorf("survivor is %s, want the most recently used %s", st.WorkloadStats[0].ID, regAu.ID)
+	}
+	for _, id := range []string{idSB, regTP.ID} {
+		if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/check", nil, nil); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("evicted workload %s still answers: %d", id, resp.StatusCode)
+		}
+	}
+}
+
+// TestMaxBytesEvictionPinned: a workload with a request in flight is never
+// a bytes-eviction victim, even under a budget that would otherwise shed
+// everything but the newest registration.
+func TestMaxBytesEvictionPinned(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxBytes: 1})
+	idSB := registerSmallBank(t, ts)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	s.testFlightHook = func() {
+		if !once {
+			once = true
+			close(entered)
+			<-release
+		}
+	}
+	subsetsDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/workloads/"+idSB+"/subsets", "application/json", nil)
+		if err != nil {
+			subsetsDone <- 0
+			return
+		}
+		resp.Body.Close()
+		subsetsDone <- resp.StatusCode
+	}()
+	<-entered // SmallBank now has a request in flight: pinned.
+
+	// Two more registrations under the 1-byte budget: TPC-C (unpinned,
+	// stale) must be evicted; pinned SmallBank and the just-registered
+	// Auction survive.
+	var regTP, regAu wire.RegisterWorkloadResponse
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workloads", &wire.RegisterWorkloadRequest{Benchmark: "tpcc"}, &regTP)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workloads", &wire.RegisterWorkloadRequest{Benchmark: "auction"}, &regAu)
+
+	if s.reg.get(idSB) == nil {
+		t.Error("pinned workload was evicted under -max-bytes")
+	}
+	if s.reg.get(regTP.ID) != nil {
+		t.Error("unpinned stale workload survived a 1-byte budget")
+	}
+	close(release)
+	if code := <-subsetsDone; code != http.StatusOK {
+		t.Errorf("in-flight subsets on pinned workload: %d", code)
+	}
+}
+
+// TestStateDirUnusable: persistence failing to initialize disables
+// snapshots but not the service.
+func TestStateDirUnusable(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{StateDir: filepath.Join(file, "nested")}) // mkdir under a file fails
+	defer s.Close()
+	if _, _, err := s.StateReport(); err == nil {
+		t.Error("unusable state dir not reported")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id := registerSmallBank(t, ts)
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/check", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("server with failed persistence cannot serve: %d", resp.StatusCode)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/btp"
 	"repro/internal/relschema"
+	"repro/internal/snapshot"
 	"repro/internal/sqlbtp"
 )
 
@@ -39,6 +40,23 @@ type workload struct {
 	// check/subsets request, for /v1/stats (0 until the first request).
 	lastParallelism atomic.Int64
 
+	// pins counts requests currently being served against this workload
+	// (held from lookup to response, and across register + persist). A
+	// pinned workload is never an eviction victim: evicting mid-request
+	// would drop a session and result cache the request is about to
+	// populate — and let a post-request persist resurrect a snapshot an
+	// eviction just deleted.
+	pins atomic.Int64
+
+	// persistMu serializes snapshot writes of this workload: reading the
+	// state (snapshotFile) and renaming the file into place must be atomic
+	// against each other, or a slow persist holding pre-PATCH state could
+	// overwrite the PATCH's own newer snapshot.
+	persistMu sync.Mutex
+
+	// results is the subsets result cache (see resultcache.go).
+	results *resultCache
+
 	// flight coalesces identical in-flight subset enumerations; see
 	// Server.subsetsCoalesced.
 	flightMu sync.Mutex
@@ -49,10 +67,11 @@ type workload struct {
 // the caller) with its fingerprint id.
 func newWorkload(schema *relschema.Schema, programs []*btp.Program) *workload {
 	w := &workload{
-		id:     fingerprint(schema, programs),
-		schema: schema,
-		sess:   analysis.NewSession(schema),
-		flight: make(map[string]*flightCall),
+		id:      fingerprint(schema, programs),
+		schema:  schema,
+		sess:    analysis.NewSession(schema),
+		results: newResultCache(),
+		flight:  make(map[string]*flightCall),
 	}
 	w.installPrograms(programs)
 	return w
@@ -216,6 +235,59 @@ func (w *workload) patch(name, sql string) (string, int, uint64, error) {
 // in a fresh analysis session to shed memory pinned by patch history.
 const sessionRotatePatches = 64
 
+// workloadBaseBytes and stmtBytes are the rough fixed costs of the size
+// estimate: per-workload bookkeeping and per-statement structures.
+const (
+	workloadBaseBytes = 1024
+	stmtBytes         = 192
+)
+
+// sizeBytes estimates the workload's resident memory: program definitions,
+// the session's memoized unfoldings and pairwise edge blocks, and the
+// subsets result cache. It is the quantity the -max-bytes eviction policy
+// weighs — a relative estimate recomputed on demand (caches grow as
+// requests warm them), not an exact accounting.
+func (w *workload) sizeBytes() int64 {
+	w.mu.RLock()
+	n := int64(workloadBaseBytes)
+	for _, name := range w.names {
+		p := w.programs[name]
+		n += int64(len(p.Name) + len(p.Abbrev))
+		n += int64(len(p.Statements())) * stmtBytes
+	}
+	sess := w.sess
+	w.mu.RUnlock()
+	return n + sess.SizeBytes() + w.results.sizeBytes()
+}
+
+// pinned reports whether a request is currently being served against the
+// workload.
+func (w *workload) pinned() bool { return w.pins.Load() > 0 }
+
+// snapshotFile assembles the workload's persistent snapshot: schema,
+// program definitions, version, content fingerprint and the result-cache
+// entries. A PATCH racing this may leave a result entry from a newer
+// version in the file; restore filters entries by the file's version, so
+// the worst case is a dropped cache entry, never a wrong answer.
+func (w *workload) snapshotFile() (*snapshot.File, error) {
+	programs, version := w.programList()
+	f := &snapshot.File{
+		ID:      w.id,
+		Version: version,
+		Content: fingerprint(w.schema, programs),
+		Schema:  snapshot.FromSchema(w.schema),
+	}
+	for _, p := range programs {
+		sp, err := snapshot.FromProgram(p)
+		if err != nil {
+			return nil, err
+		}
+		f.Programs = append(f.Programs, sp)
+	}
+	f.Results = w.results.export()
+	return f, nil
+}
+
 // flightCall is one in-flight subset enumeration that identical concurrent
 // requests piggyback on. waiters counts requests currently blocked on it;
 // the last waiter to give up cancels the computation.
@@ -230,41 +302,163 @@ type flightCall struct {
 
 // registry is the concurrency-safe workload table: fingerprint-keyed with
 // an LRU cap, so a long-lived server bounds the memory of its cached
-// sessions while hot workloads stay resident.
+// sessions while hot workloads stay resident. When a -max-bytes budget is
+// set, a second, memory-aware policy kicks in: per-workload size estimates
+// (sizeBytes) are summed after every request, and size-weighted LRU
+// eviction sheds workloads until the total fits — one bloated session goes
+// before several small hot ones would.
 type registry struct {
-	cap       int
-	mu        sync.Mutex
-	items     map[string]*list.Element // id → element holding *workload
-	order     *list.List               // front = most recently used
-	evictions atomic.Uint64
+	cap      int
+	maxBytes int64
+	// onEvict, when non-nil, runs for every evicted workload *after* the
+	// registry lock is released (it does disk I/O — the server uses it to
+	// delete the workload's snapshot — and must not stall lookups). It may
+	// therefore observe the id already re-registered; see Server.New's
+	// callback for how that race is closed.
+	onEvict func(*workload)
+
+	mu             sync.Mutex
+	items          map[string]*list.Element // id → element holding *workload
+	order          *list.List               // front = most recently used
+	evictions      atomic.Uint64
+	evictionsBytes atomic.Uint64
 }
 
-func newRegistry(capacity int) *registry {
+func newRegistry(capacity int, maxBytes int64) *registry {
 	return &registry{
-		cap:   capacity,
-		items: make(map[string]*list.Element),
-		order: list.New(),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		items:    make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// removeLocked detaches the element's workload and returns it. Caller
+// holds r.mu and must pass the workload to notifyEvicted *after* releasing
+// the lock — the eviction callback does disk I/O (snapshot deletion) that
+// must not stall every lookup on the registry mutex.
+func (r *registry) removeLocked(el *list.Element) *workload {
+	w := el.Value.(*workload)
+	r.order.Remove(el)
+	delete(r.items, w.id)
+	return w
+}
+
+// notifyEvicted runs the eviction callback for each workload. Caller must
+// not hold r.mu.
+func (r *registry) notifyEvicted(ws []*workload) {
+	if r.onEvict == nil {
+		return
+	}
+	for _, w := range ws {
+		r.onEvict(w)
 	}
 }
 
 // register inserts the workload, or returns the resident one with the same
 // fingerprint (registration is idempotent). The entry becomes most
-// recently used; the least recently used entry is evicted beyond the cap.
+// recently used and is returned *pinned* — the caller must unpin once its
+// post-registration work (drift reset, persist) is done, so no eviction
+// can interleave and have its snapshot deletion overwritten. Beyond the
+// cap the least recently used unpinned entry is evicted — a workload with
+// a request in flight survives even at the cap.
 func (r *registry) register(w *workload) (*workload, bool) {
+	var evicted []*workload
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if el, ok := r.items[w.id]; ok {
 		r.order.MoveToFront(el)
-		return el.Value.(*workload), false
+		res := el.Value.(*workload)
+		res.pins.Add(1)
+		r.mu.Unlock()
+		return res, false
 	}
 	r.items[w.id] = r.order.PushFront(w)
+	w.pins.Add(1)
 	for r.order.Len() > r.cap {
-		oldest := r.order.Back()
-		r.order.Remove(oldest)
-		delete(r.items, oldest.Value.(*workload).id)
+		victim := r.order.Back()
+		for victim != nil && victim.Value.(*workload).pinned() {
+			victim = victim.Prev()
+		}
+		if victim == nil || victim == r.order.Front() {
+			break
+		}
+		evicted = append(evicted, r.removeLocked(victim))
 		r.evictions.Add(1)
 	}
+	r.mu.Unlock()
+	r.notifyEvicted(evicted)
 	return w, true
+}
+
+// enforceBytes evicts workloads until the estimated resident total fits the
+// -max-bytes budget. The victim each round maximizes size × staleness
+// (recency rank from the front), so the policy degrades to plain LRU when
+// sizes are uniform but preferentially sheds one oversized session
+// otherwise. Pinned workloads and the most recently used one (the workload
+// serving the request that triggered enforcement) are never victims; if
+// only those remain, the budget is allowed to overshoot rather than
+// thrashing the working set.
+//
+// The size walk — every workload's caches — runs on an unlocked snapshot of
+// the registry order, so concurrent lookups never queue behind it; only the
+// final eviction takes the lock, re-verifying that the chosen victim is
+// still resident, still unpinned and still not most recently used.
+func (r *registry) enforceBytes() {
+	if r.maxBytes <= 0 {
+		return
+	}
+	for {
+		workloads := r.all() // most recently used first
+		var (
+			total     int64
+			victim    *workload
+			bestScore int64
+		)
+		for rank, w := range workloads {
+			size := w.sizeBytes()
+			total += size
+			if rank > 0 && !w.pinned() {
+				if score := size * int64(rank+1); score > bestScore {
+					bestScore, victim = score, w
+				}
+			}
+		}
+		if total <= r.maxBytes || victim == nil {
+			return
+		}
+		if !r.evictForBytes(victim) {
+			return
+		}
+	}
+}
+
+// evictForBytes evicts the chosen victim if it still qualifies under the
+// lock (resident, unpinned, not most recently used); a false return stops
+// the enforcement round rather than re-scoring forever against racing
+// traffic.
+func (r *registry) evictForBytes(w *workload) bool {
+	r.mu.Lock()
+	el, ok := r.items[w.id]
+	if !ok || el.Value.(*workload) != w || w.pinned() || el == r.order.Front() {
+		r.mu.Unlock()
+		return false
+	}
+	r.removeLocked(el)
+	r.evictionsBytes.Add(1)
+	r.mu.Unlock()
+	r.notifyEvicted([]*workload{w})
+	return true
+}
+
+// peek returns the resident workload without bumping recency — eviction
+// bookkeeping must not refresh the entry it inspects.
+func (r *registry) peek(id string) *workload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.items[id]; ok {
+		return el.Value.(*workload)
+	}
+	return nil
 }
 
 // get returns the workload and bumps it to most recently used, or nil.
@@ -277,6 +471,23 @@ func (r *registry) get(id string) *workload {
 	}
 	r.order.MoveToFront(el)
 	return el.Value.(*workload)
+}
+
+// getPinned is get plus a pin taken under the registry lock, so there is
+// no window in which an eviction can observe the workload unpinned after a
+// request has resolved it (a pin taken outside the lock would let the
+// request serve — and persist — an already-evicted workload).
+func (r *registry) getPinned(id string) *workload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.items[id]
+	if !ok {
+		return nil
+	}
+	r.order.MoveToFront(el)
+	w := el.Value.(*workload)
+	w.pins.Add(1)
+	return w
 }
 
 // all snapshots the resident workloads, most recently used first.

@@ -12,6 +12,17 @@
 // every analysis runs under the request context, so client disconnects and
 // server timeouts abort work mid-flight.
 //
+// Three hardening layers make the service restartable and memory-governed
+// (see the "Persistence & result cache" section of docs/ARCHITECTURE.md):
+// a per-workload subsets result cache keyed by (version, configuration,
+// program selection) answers repeated enumerations from stored bytes and is
+// invalidated exactly by PATCH version bumps; Options.StateDir persists
+// each workload (programs, version, result cache) as a JSON snapshot via
+// internal/snapshot and reloads it on boot, so a restart preserves wire
+// behavior byte for byte; and Options.MaxBytes replaces blind LRU with
+// size-weighted eviction over per-workload memory estimates, never evicting
+// a workload with a request in flight.
+//
 // Concurrency is governed by the engine's one Parallelism knob (see
 // docs/ARCHITECTURE.md): the -parallel option is the per-request default
 // and cap, requests may lower or (up to the cap) raise it via the
@@ -33,6 +44,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -49,6 +61,7 @@ import (
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
 	"repro/internal/relschema"
+	"repro/internal/snapshot"
 	"repro/internal/sqlbtp"
 	"repro/internal/wire"
 )
@@ -64,6 +77,19 @@ type Options struct {
 	// RequestTimeout bounds each analysis request; 0 means no deadline
 	// beyond the client's own.
 	RequestTimeout time.Duration
+	// StateDir, when non-empty, makes the server persist every registered
+	// workload (schema, programs, version, subsets result cache) as a JSON
+	// snapshot under this directory and reload the snapshots on boot, so a
+	// restarted server answers with byte-identical wire responses without
+	// re-running the analysis for cached enumerations. Corrupt or partial
+	// snapshot files are skipped, never fatal (StateReport tells how many).
+	StateDir string
+	// MaxBytes, when positive, is the estimated-memory budget across all
+	// resident workloads: after every request, size-weighted LRU eviction
+	// sheds workloads until the estimates fit. It replaces blind LRU as the
+	// memory governor — the count cap still applies as a backstop. 0 means
+	// no byte budget.
+	MaxBytes int64
 }
 
 // DefaultMaxWorkloads is the default registry cap.
@@ -82,6 +108,19 @@ type Server struct {
 	base       context.Context
 	baseCancel context.CancelFunc
 
+	// snap is the snapshot store when Options.StateDir is set, nil
+	// otherwise. stateLoaded/stateSkipped/stateErr describe the boot-time
+	// restore (see StateReport).
+	snap         *snapshot.Store
+	stateLoaded  int
+	stateSkipped int
+	stateErr     error
+	persistErrs  atomic.Uint64
+
+	// lastEnforce is the unix-nano time of the last release-path budget
+	// enforcement (see release).
+	lastEnforce atomic.Int64
+
 	registers, checks, subsets, patches, coalesced atomic.Uint64
 
 	// testFlightHook, when non-nil, runs inside the flight goroutine
@@ -98,11 +137,28 @@ func New(opts Options) *Server {
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
-		reg:        newRegistry(opts.MaxWorkloads),
+		reg:        newRegistry(opts.MaxWorkloads, opts.MaxBytes),
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 		base:       base,
 		baseCancel: cancel,
+	}
+	// Evicted workloads must not resurrect on the next boot. The callback
+	// runs after the registry lock is released, so the same fingerprint may
+	// have re-registered (and persisted) while the deletion was in flight —
+	// in that case re-persist the resident workload rather than letting the
+	// late delete lose it across restarts.
+	s.reg.onEvict = func(w *workload) {
+		if s.snap == nil {
+			return
+		}
+		s.snap.Delete(w.id)
+		if res := s.reg.peek(w.id); res != nil {
+			s.persist(res)
+		}
+	}
+	if opts.StateDir != "" {
+		s.loadState(opts.StateDir)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -116,6 +172,103 @@ func New(opts Options) *Server {
 
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// StateReport describes the boot-time snapshot restore: how many workloads
+// were loaded, how many snapshot files were skipped as corrupt, partial or
+// stale-format, and whether the state directory itself was unusable (Err
+// non-nil means persistence is disabled for this process).
+func (s *Server) StateReport() (loaded, skipped int, err error) {
+	return s.stateLoaded, s.stateSkipped, s.stateErr
+}
+
+// loadState opens the snapshot store and restores every decodable workload.
+// Each snapshot is verified by recomputing the registration fingerprint
+// from its decoded schema and programs; files that fail to decode, verify
+// or rebuild are counted as skipped — a corrupt snapshot costs a warm-up,
+// never the boot.
+func (s *Server) loadState(dir string) {
+	st, err := snapshot.Open(dir)
+	if err != nil {
+		s.stateErr = err
+		return
+	}
+	s.snap = st
+	files, skipped, err := st.LoadAll()
+	s.stateSkipped = len(skipped)
+	if err != nil {
+		s.stateErr = err
+		return
+	}
+	for _, f := range files {
+		w, err := restoreWorkload(f)
+		if err != nil {
+			s.stateSkipped++
+			continue
+		}
+		res, created := s.reg.register(w)
+		res.pins.Add(-1) // no post-registration work during boot restore
+		if created {
+			s.stateLoaded++
+		}
+	}
+	s.reg.enforceBytes()
+}
+
+// restoreWorkload rebuilds a workload from its snapshot and verifies the
+// stored id against a freshly computed fingerprint — a snapshot that
+// decodes but does not reproduce its own fingerprint is corrupt.
+func restoreWorkload(f *snapshot.File) (*workload, error) {
+	if len(f.Programs) == 0 {
+		return nil, errors.New("snapshot has no programs")
+	}
+	schema, err := f.Schema.Build()
+	if err != nil {
+		return nil, err
+	}
+	programs := make([]*btp.Program, len(f.Programs))
+	for i, sp := range f.Programs {
+		if programs[i], err = sp.Build(schema); err != nil {
+			return nil, err
+		}
+	}
+	w := newWorkload(schema, programs)
+	// w.id is the fingerprint of the decoded content; it must reproduce the
+	// stored content hash for every snapshot, and additionally the
+	// registration id at version 0 (a PATCHed workload's content
+	// legitimately drifts from its registration fingerprint — the id stays
+	// the registry key).
+	if w.id != f.Content {
+		return nil, fmt.Errorf("snapshot content fingerprint mismatch: file %s, computed %s", f.Content, w.id)
+	}
+	if f.Version == 0 && f.ID != f.Content {
+		return nil, fmt.Errorf("snapshot fingerprint mismatch: file %s, content %s at version 0", f.ID, f.Content)
+	}
+	w.id = f.ID
+	w.version = f.Version
+	w.results.restore(f.Results, f.Version)
+	return w, nil
+}
+
+// persist writes the workload's snapshot, if persistence is enabled.
+// Best-effort by design: a failed write is counted (persist_errors in
+// /v1/stats) and the server keeps serving from memory. Per-workload
+// serialization (persistMu) makes the state read and the file replacement
+// atomic against each other — without it, a persist still holding
+// pre-PATCH state could win the rename against the PATCH's newer snapshot.
+func (s *Server) persist(w *workload) {
+	if s.snap == nil {
+		return
+	}
+	w.persistMu.Lock()
+	defer w.persistMu.Unlock()
+	f, err := w.snapshotFile()
+	if err == nil {
+		err = s.snap.Save(f)
+	}
+	if err != nil {
+		s.persistErrs.Add(1)
+	}
+}
 
 // Close aborts any coalesced enumerations still running in the background.
 // Registered workloads (and their caches) are simply garbage once the
@@ -145,13 +298,26 @@ func (s *Server) Register(schema *relschema.Schema, programs []*btp.Program) (*w
 			seen[n] = true
 		}
 	}
+	// register returns the workload pinned; the pin covers the drift reset
+	// and persist below, so a racing eviction cannot delete a snapshot this
+	// registration is about to (re-)write.
 	w, created := s.reg.register(newWorkload(schema, programs))
+	defer w.pins.Add(-1)
+	reset := false
 	if !created {
 		// The resident workload may have been PATCHed since its
 		// registration; registering pristine content again restores it,
 		// so the caller gets verdicts for the programs it submitted.
-		w.resetIfDrifted(programs)
+		reset = w.resetIfDrifted(programs)
 	}
+	if created || reset {
+		if reset {
+			// The reset bumped the version, orphaning every cached result.
+			w.results.invalidate()
+		}
+		s.persist(w)
+	}
+	s.reg.enforceBytes()
 	s.registers.Add(1)
 	ps, version := w.programList()
 	names := make([]string, len(ps))
@@ -216,14 +382,38 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithCancel(r.Context())
 }
 
-// lookup resolves the {id} path segment.
+// lookup resolves the {id} path segment and pins the workload against
+// eviction for the duration of the request; every caller must release the
+// pin with s.release (which also gives the -max-bytes policy a chance to
+// act on whatever the request grew).
 func (s *Server) lookup(rw http.ResponseWriter, r *http.Request) *workload {
 	id := r.PathValue("id")
-	w := s.reg.get(id)
+	w := s.reg.getPinned(id)
 	if w == nil {
 		writeError(rw, http.StatusNotFound, fmt.Errorf("no workload %q", id))
 	}
 	return w
+}
+
+// enforceEvery throttles the release-path budget walk: recomputing every
+// workload's size estimate on each of a burst of cheap requests (e.g.
+// result-cache hits) would contend the session locks for nothing, and the
+// budget drifts slowly between analyses. Registration always enforces
+// unthrottled — it is the path that adds whole workloads at once.
+const enforceEvery = 100 * time.Millisecond
+
+// release unpins a workload obtained from lookup and re-enforces the
+// -max-bytes budget, at most once per enforceEvery across all requests.
+func (s *Server) release(w *workload) {
+	w.pins.Add(-1)
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.lastEnforce.Load()
+	if now-last >= int64(enforceEvery) && s.lastEnforce.CompareAndSwap(last, now) {
+		s.reg.enforceBytes()
+	}
 }
 
 // config resolves a CheckRequest into the engine configuration. The
@@ -314,6 +504,7 @@ func (s *Server) handleGetWorkload(rw http.ResponseWriter, r *http.Request) {
 	if w == nil {
 		return
 	}
+	defer s.release(w)
 	writeJSON(rw, http.StatusOK, s.workloadStats(w))
 }
 
@@ -322,6 +513,7 @@ func (s *Server) handleCheck(rw http.ResponseWriter, r *http.Request) {
 	if w == nil {
 		return
 	}
+	defer s.release(w)
 	var req wire.CheckRequest
 	if err := decodeBody(r, &req, true); err != nil {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
@@ -356,6 +548,7 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 	if w == nil {
 		return
 	}
+	defer s.release(w)
 	var req wire.CheckRequest
 	if err := decodeBody(r, &req, true); err != nil {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
@@ -371,9 +564,21 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
+	// The result cache sits above the in-flight coalescing: an identical
+	// enumeration already answered (same version, configuration and
+	// program selection — parallelism excluded, it never changes verdicts)
+	// is served from its stored bytes without touching the engine.
+	key := requestKey(version, cfg, programs)
+	if body, ok := w.results.get(key); ok {
+		s.subsets.Add(1)
+		w.subsets.Add(1)
+		w.lastParallelism.Store(int64(effectiveParallelism(cfg.Parallelism)))
+		writeRaw(rw, version, body)
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	resp, version, err := s.subsetsCoalesced(ctx, w, cfg, programs, version)
+	resp, respVersion, err := s.subsetsCoalesced(ctx, w, key, cfg, programs, version)
 	if err != nil {
 		writeError(rw, analysisStatus(err), err)
 		return
@@ -381,8 +586,41 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 	s.subsets.Add(1)
 	w.subsets.Add(1)
 	w.lastParallelism.Store(int64(effectiveParallelism(cfg.Parallelism)))
+	// Encode once: the same bytes go to this response, into the result
+	// cache and (via the snapshot) across restarts, so hits are
+	// byte-identical to the original answer by construction.
+	var buf bytes.Buffer
+	if err := wire.WriteJSON(&buf, resp); err != nil {
+		writeError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	writeRaw(rw, respVersion, buf.Bytes())
+	// Persist after the response bytes are out: the snapshot write (a full
+	// rewrite of the workload's file) must not sit in the client's latency.
+	if w.results.put(key, respVersion, buf.Bytes()) {
+		s.persist(w)
+	}
+}
+
+// writeRaw sends pre-encoded wire bytes with the workload-version header.
+func writeRaw(rw http.ResponseWriter, version uint64, body []byte) {
+	rw.Header().Set("Content-Type", "application/json")
 	rw.Header().Set("X-Workload-Version", fmt.Sprint(version))
-	writeJSON(rw, http.StatusOK, resp)
+	rw.WriteHeader(http.StatusOK)
+	rw.Write(body)
+}
+
+// requestKey identifies one subset enumeration for both the in-flight
+// coalescing and the result cache: workload version, analysis
+// configuration and program selection.
+func requestKey(version uint64, cfg analysis.Config, programs []*btp.Program) string {
+	names := make([]string, len(programs))
+	for i, p := range programs {
+		names[i] = p.Name
+	}
+	return fmt.Sprintf("%d|%s|%s|%d|%s",
+		version, wire.SettingName(cfg.Setting), wire.MethodName(cfg.Method),
+		cfg.UnfoldBound, strings.Join(names, ","))
 }
 
 // subsetsCoalesced answers one subset enumeration, merging requests that
@@ -392,15 +630,7 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 // computation runs under the server's base context so a leader's
 // disconnect does not abort its followers; the last waiter to give up
 // cancels it.
-func (s *Server) subsetsCoalesced(ctx context.Context, w *workload, cfg analysis.Config, programs []*btp.Program, version uint64) (*wire.SubsetsResponse, uint64, error) {
-	names := make([]string, len(programs))
-	for i, p := range programs {
-		names[i] = p.Name
-	}
-	key := fmt.Sprintf("%d|%s|%s|%d|%s",
-		version, wire.SettingName(cfg.Setting), wire.MethodName(cfg.Method),
-		cfg.UnfoldBound, strings.Join(names, ","))
-
+func (s *Server) subsetsCoalesced(ctx context.Context, w *workload, key string, cfg analysis.Config, programs []*btp.Program, version uint64) (*wire.SubsetsResponse, uint64, error) {
 	w.flightMu.Lock()
 	call, joined := w.flight[key]
 	if !joined {
@@ -472,6 +702,7 @@ func (s *Server) handlePatch(rw http.ResponseWriter, r *http.Request) {
 	if w == nil {
 		return
 	}
+	defer s.release(w)
 	var req wire.PatchProgramRequest
 	if err := decodeBody(r, &req, false); err != nil {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
@@ -486,10 +717,15 @@ func (s *Server) handlePatch(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
+	// The version bump orphans every cached result of this workload (and
+	// only this one); drop them eagerly and persist the patched definition.
+	results := w.results.invalidate()
+	s.persist(w)
 	s.patches.Add(1)
 	w.patches.Add(1)
 	writeJSON(rw, http.StatusOK, &wire.PatchProgramResponse{
-		Program: name, Version: version, InvalidatedPairs: invalidated,
+		Program: name, Version: version,
+		InvalidatedPairs: invalidated, InvalidatedResults: results,
 	})
 }
 
@@ -508,6 +744,8 @@ func (s *Server) workloadStats(w *workload) wire.WorkloadStats {
 		Patches:         w.patches.Load(),
 		LastParallelism: int(w.lastParallelism.Load()),
 		Cache:           wire.NewCacheStats(w.session().Stats()),
+		ResultCache:     w.results.stats(),
+		SizeBytes:       w.sizeBytes(),
 	}
 }
 
@@ -517,6 +755,10 @@ func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds:      time.Since(s.start).Seconds(),
 		Workloads:          len(workloads),
 		Evictions:          s.reg.evictions.Load(),
+		EvictionsBytes:     s.reg.evictionsBytes.Load(),
+		MaxBytes:           s.opts.MaxBytes,
+		SnapshotsLoaded:    s.stateLoaded,
+		PersistErrors:      s.persistErrs.Load(),
 		DefaultParallelism: effectiveParallelism(s.opts.Parallelism),
 		Requests: wire.RequestStats{
 			Register:  s.registers.Load(),
@@ -527,7 +769,9 @@ func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		},
 	}
 	for _, w := range workloads {
-		resp.WorkloadStats = append(resp.WorkloadStats, s.workloadStats(w))
+		ws := s.workloadStats(w)
+		resp.TotalSizeBytes += ws.SizeBytes
+		resp.WorkloadStats = append(resp.WorkloadStats, ws)
 	}
 	// Registry order is usage-recency; report stats sorted by id so the
 	// endpoint is stable under concurrent traffic.

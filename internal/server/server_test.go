@@ -158,9 +158,9 @@ func TestCheckEndpoint(t *testing.T) {
 }
 
 // TestSubsetsWarmCache is the serving half of the acceptance criterion: a
-// registered workload answers repeated /subsets requests from the warm
-// BlockSet — the stats endpoint must show cache hits after the second
-// request, and the two responses must be byte-identical.
+// registered workload answers a repeated /subsets request byte-identically
+// from the result cache (one hit, no second enumeration), and a subsequent
+// /check composes its graph from the warm BlockSet underneath.
 func TestSubsetsWarmCache(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	id := registerSmallBank(t, ts)
@@ -188,6 +188,12 @@ func TestSubsetsWarmCache(t *testing.T) {
 		t.Errorf("maximal subsets %v missing {Am, DC, TS}", rep.Maximal)
 	}
 
+	// A full-set check now composes its summary graph purely from the
+	// blocks the enumeration cached.
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/check", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("check: %d", resp.StatusCode)
+	}
+
 	var st wire.StatsResponse
 	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st); resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats: %d", resp.StatusCode)
@@ -196,14 +202,22 @@ func TestSubsetsWarmCache(t *testing.T) {
 		t.Fatalf("stats workloads = %+v", st)
 	}
 	ws := st.WorkloadStats[0]
+	// The repeated enumeration is exactly one result-cache hit; the first
+	// was its only miss.
+	if ws.ResultCache.Hits != 1 || ws.ResultCache.Misses != 1 || ws.ResultCache.Entries != 1 {
+		t.Errorf("result cache = %+v, want 1 hit / 1 miss / 1 entry", ws.ResultCache)
+	}
 	if ws.Cache.Hits == 0 {
-		t.Error("second /subsets should hit the warm BlockSet (cache hits = 0)")
+		t.Error("post-enumeration /check should hit the warm BlockSet (cache hits = 0)")
 	}
 	if ws.Cache.Pairs != 25 || ws.Cache.Misses != 25 {
 		t.Errorf("cache = %+v, want 25 pairs / 25 misses", ws.Cache)
 	}
 	if ws.Subsets != 2 || st.Requests.Subsets != 2 {
 		t.Errorf("subsets counters = %d / %d, want 2", ws.Subsets, st.Requests.Subsets)
+	}
+	if ws.SizeBytes <= 0 || st.TotalSizeBytes != ws.SizeBytes {
+		t.Errorf("size accounting: workload %d, total %d", ws.SizeBytes, st.TotalSizeBytes)
 	}
 }
 

@@ -1,0 +1,353 @@
+// Package snapshot persists registered workloads of the robustness service
+// across restarts. A snapshot is one JSON document per workload holding
+// everything the server needs to resurrect it byte-for-byte: the schema,
+// the full program definitions (the exact BTP syntax trees, not a lossy SQL
+// rendering), the workload version, the registration fingerprint, and the
+// cached subsets results. The analysis caches themselves (unfoldings,
+// pairwise edge blocks) are deliberately NOT persisted — they are cheap to
+// rebuild relative to their size, deterministic, and the subsets result
+// cache already spares the expensive enumerations a cold start would redo.
+//
+// The package owns the serialization only; internal/server decides when to
+// Save, Delete and LoadAll, and verifies each loaded snapshot against a
+// freshly computed fingerprint before trusting it. Snapshots that fail to
+// decode — truncated writes, hand-edited files, format drift — are skipped,
+// never fatal: losing a snapshot costs a warm-up, not correctness.
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// Format is the snapshot file format version. Files with any other format
+// value are skipped on load (an old server never misreads a newer layout).
+const Format = 1
+
+// File is one workload snapshot.
+type File struct {
+	Format int `json:"format"`
+	// ID is the workload's registration fingerprint. The server recomputes
+	// the fingerprint from the decoded schema and programs at load time and
+	// discards the file on mismatch.
+	ID string `json:"id"`
+	// Version counts applied PATCHes, preserved across restarts so wire
+	// responses (X-Workload-Version, register bodies) are byte-identical
+	// before and after a reboot.
+	Version uint64 `json:"version"`
+	// Content is the fingerprint of the snapshot's *current* schema and
+	// programs — equal to ID at version 0 and drifting from it once the
+	// workload is PATCHed. The server recomputes it from the decoded
+	// content at load time and discards the file on mismatch, so every
+	// snapshot is integrity-checked regardless of version.
+	Content  string    `json:"content"`
+	Schema   Schema    `json:"schema"`
+	Programs []Program `json:"programs"`
+	// Results are the persisted subsets result-cache entries; entries whose
+	// Version differs from the file's Version are dropped on load.
+	Results []Result `json:"results,omitempty"`
+}
+
+// Result is one persisted subsets result-cache entry: the request key and
+// the exact encoded wire response. Body is stored base64-encoded ([]byte)
+// rather than as embedded JSON: re-indenting it with the surrounding
+// document would destroy the byte-identity the cache guarantees.
+type Result struct {
+	Key     string `json:"key"`
+	Version uint64 `json:"version"`
+	Body    []byte `json:"body"`
+}
+
+// --- Schema ----------------------------------------------------------------
+
+// Schema mirrors relschema.Schema: relations in declaration order (the
+// order matters — the fingerprint hashes the schema's textual rendering)
+// and foreign keys.
+type Schema struct {
+	Relations   []Relation   `json:"relations"`
+	ForeignKeys []ForeignKey `json:"foreign_keys,omitempty"`
+}
+
+// Relation is one relation with its attributes (sorted) and primary key.
+type Relation struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+	Key   []string `json:"key"`
+}
+
+// ForeignKey mirrors relschema.ForeignKey.
+type ForeignKey struct {
+	Name       string   `json:"name"`
+	Dom        string   `json:"dom"`
+	DomAttrs   []string `json:"dom_attrs"`
+	Range      string   `json:"range"`
+	RangeAttrs []string `json:"range_attrs"`
+}
+
+// FromSchema converts a schema to its snapshot form.
+func FromSchema(s *relschema.Schema) Schema {
+	var out Schema
+	for _, r := range s.Relations() {
+		out.Relations = append(out.Relations, Relation{
+			Name: r.Name, Attrs: r.Attrs.Sorted(), Key: r.Key.Sorted(),
+		})
+	}
+	for _, fk := range s.ForeignKeys() {
+		out.ForeignKeys = append(out.ForeignKeys, ForeignKey{
+			Name: fk.Name, Dom: fk.Dom, DomAttrs: fk.DomAttrs,
+			Range: fk.Range, RangeAttrs: fk.RangeAttrs,
+		})
+	}
+	return out
+}
+
+// Build materializes the snapshot schema as a validated relschema.Schema.
+func (s Schema) Build() (*relschema.Schema, error) {
+	out := relschema.NewSchema()
+	for _, r := range s.Relations {
+		if err := out.AddRelation(r.Name, r.Attrs, r.Key); err != nil {
+			return nil, err
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		if err := out.AddForeignKey(fk.Name, fk.Dom, fk.DomAttrs, fk.Range, fk.RangeAttrs); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- Programs --------------------------------------------------------------
+
+// Program is the snapshot form of one BTP: name, report abbreviation, the
+// syntax tree and the foreign-key annotations (by statement name).
+type Program struct {
+	Name   string   `json:"name"`
+	Abbrev string   `json:"abbrev,omitempty"`
+	Body   Node     `json:"body"`
+	FKs    []FKNote `json:"fks,omitempty"`
+}
+
+// FKNote is one q_j = f(q_i) annotation by statement names.
+type FKNote struct {
+	FK  string `json:"fk"`
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// Node is the one-of encoding of a BTP syntax-tree node: exactly one field
+// is set.
+type Node struct {
+	Stmt *Stmt  `json:"stmt,omitempty"`
+	Seq  []Node `json:"seq,omitempty"`
+	// Choice holds exactly two alternatives.
+	Choice   []Node `json:"choice,omitempty"`
+	Optional *Node  `json:"optional,omitempty"`
+	Loop     *Node  `json:"loop,omitempty"`
+}
+
+// Stmt is the snapshot form of one statement. A nil attribute-set pointer
+// encodes ⊥ (undefined); a present, possibly empty list encodes a defined
+// set — the distinction Figure 5's constraints depend on.
+type Stmt struct {
+	Name  string    `json:"name"`
+	Type  string    `json:"type"`
+	Rel   string    `json:"rel"`
+	Read  *[]string `json:"read,omitempty"`
+	Write *[]string `json:"write,omitempty"`
+	PRead *[]string `json:"pread,omitempty"`
+}
+
+// stmtTypeNames maps btp.StmtType to its stable wire name (the String
+// rendering) and back.
+var stmtTypeNames = map[btp.StmtType]string{
+	btp.Ins: "ins", btp.KeySel: "key sel", btp.PredSel: "pred sel",
+	btp.KeyUpd: "key upd", btp.PredUpd: "pred upd",
+	btp.KeyDel: "key del", btp.PredDel: "pred del",
+}
+
+func parseStmtType(s string) (btp.StmtType, error) {
+	for t, name := range stmtTypeNames {
+		if name == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("snapshot: unknown statement type %q", s)
+}
+
+func fromOptAttrs(o btp.OptAttrs) *[]string {
+	if !o.Defined {
+		return nil
+	}
+	s := o.Set.Sorted()
+	return &s
+}
+
+func toOptAttrs(p *[]string) btp.OptAttrs {
+	if p == nil {
+		return btp.Undefined()
+	}
+	return btp.Attrs(*p...)
+}
+
+// FromProgram converts a program to its snapshot form. It fails only on
+// node kinds this package does not know, which would indicate skew between
+// btp and snapshot.
+func FromProgram(p *btp.Program) (Program, error) {
+	body, err := fromNode(p.Body)
+	if err != nil {
+		return Program{}, fmt.Errorf("snapshot: program %s: %w", p.Name, err)
+	}
+	out := Program{Name: p.Name, Abbrev: p.Abbrev, Body: body}
+	for _, fk := range p.FKs {
+		out.FKs = append(out.FKs, FKNote{FK: fk.FK, Src: fk.Src.Name, Dst: fk.Dst.Name})
+	}
+	return out, nil
+}
+
+func fromNode(n btp.Node) (Node, error) {
+	switch n := n.(type) {
+	case *btp.StmtNode:
+		q := n.Stmt
+		typ, ok := stmtTypeNames[q.Type]
+		if !ok {
+			// A type missing from the map means btp grew a statement kind
+			// this package does not know; failing here keeps the skew loud
+			// at Save time instead of silently losing the workload at the
+			// next boot's parse.
+			return Node{}, fmt.Errorf("statement %s: unknown type %v", q.Name, q.Type)
+		}
+		return Node{Stmt: &Stmt{
+			Name: q.Name, Type: typ, Rel: q.Rel,
+			Read: fromOptAttrs(q.ReadSet), Write: fromOptAttrs(q.WriteSet),
+			PRead: fromOptAttrs(q.PReadSet),
+		}}, nil
+	case *btp.Seq:
+		items := make([]Node, len(n.Items))
+		for i, item := range n.Items {
+			c, err := fromNode(item)
+			if err != nil {
+				return Node{}, err
+			}
+			items[i] = c
+		}
+		return Node{Seq: items}, nil
+	case *btp.Choice:
+		a, err := fromNode(n.A)
+		if err != nil {
+			return Node{}, err
+		}
+		b, err := fromNode(n.B)
+		if err != nil {
+			return Node{}, err
+		}
+		return Node{Choice: []Node{a, b}}, nil
+	case *btp.Optional:
+		a, err := fromNode(n.A)
+		if err != nil {
+			return Node{}, err
+		}
+		return Node{Optional: &a}, nil
+	case *btp.Loop:
+		body, err := fromNode(n.Body)
+		if err != nil {
+			return Node{}, err
+		}
+		return Node{Loop: &body}, nil
+	default:
+		return Node{}, fmt.Errorf("unknown node type %T", n)
+	}
+}
+
+// Build materializes the snapshot program as a validated btp.Program over
+// the schema, resolving FK annotations by statement name.
+func (p Program) Build(schema *relschema.Schema) (*btp.Program, error) {
+	body, err := p.Body.build()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: program %s: %w", p.Name, err)
+	}
+	prog := &btp.Program{Name: p.Name, Abbrev: p.Abbrev, Body: body}
+	for _, fk := range p.FKs {
+		if err := prog.AnnotateFK(schema, fk.FK, fk.Src, fk.Dst); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	if err := prog.Validate(schema); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return prog, nil
+}
+
+func (n Node) build() (btp.Node, error) {
+	set := 0
+	if n.Stmt != nil {
+		set++
+	}
+	if n.Seq != nil {
+		set++
+	}
+	if n.Choice != nil {
+		set++
+	}
+	if n.Optional != nil {
+		set++
+	}
+	if n.Loop != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("node must set exactly one of stmt/seq/choice/optional/loop, has %d", set)
+	}
+	switch {
+	case n.Stmt != nil:
+		typ, err := parseStmtType(n.Stmt.Type)
+		if err != nil {
+			return nil, err
+		}
+		return btp.S(&btp.Stmt{
+			Name: n.Stmt.Name, Type: typ, Rel: n.Stmt.Rel,
+			ReadSet: toOptAttrs(n.Stmt.Read), WriteSet: toOptAttrs(n.Stmt.Write),
+			PReadSet: toOptAttrs(n.Stmt.PRead),
+		}), nil
+	case n.Seq != nil:
+		items := make([]btp.Node, len(n.Seq))
+		for i, c := range n.Seq {
+			item, err := c.build()
+			if err != nil {
+				return nil, err
+			}
+			items[i] = item
+		}
+		return &btp.Seq{Items: items}, nil
+	case n.Choice != nil:
+		if len(n.Choice) != 2 {
+			return nil, fmt.Errorf("choice must have exactly 2 alternatives, has %d", len(n.Choice))
+		}
+		a, err := n.Choice[0].build()
+		if err != nil {
+			return nil, err
+		}
+		b, err := n.Choice[1].build()
+		if err != nil {
+			return nil, err
+		}
+		return &btp.Choice{A: a, B: b}, nil
+	case n.Optional != nil:
+		a, err := n.Optional.build()
+		if err != nil {
+			return nil, err
+		}
+		return &btp.Optional{A: a}, nil
+	default:
+		body, err := n.Loop.build()
+		if err != nil {
+			return nil, err
+		}
+		return &btp.Loop{Body: body}, nil
+	}
+}

@@ -1,0 +1,234 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// roundTripProgram serializes p through JSON and rebuilds it over schema.
+func roundTripProgram(t *testing.T, schema *relschema.Schema, p *btp.Program) *btp.Program {
+	t.Helper()
+	sp, err := FromProgram(p)
+	if err != nil {
+		t.Fatalf("FromProgram(%s): %v", p.Name, err)
+	}
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Program
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Build(schema)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", p.Name, err)
+	}
+	return got
+}
+
+// TestBenchmarkRoundTrip pushes every program of every built-in benchmark
+// through the snapshot encoding and asserts the rebuilt programs are
+// indistinguishable to the analysis: same rendering, same statements, same
+// FK annotations, same schema text (the inputs of the server fingerprint).
+func TestBenchmarkRoundTrip(t *testing.T) {
+	for _, mk := range []func() *benchmarks.Benchmark{
+		benchmarks.SmallBank, benchmarks.TPCC, benchmarks.Auction,
+	} {
+		bench := mk()
+		ws := FromSchema(bench.Schema)
+		data, err := json.Marshal(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wsBack Schema
+		if err := json.Unmarshal(data, &wsBack); err != nil {
+			t.Fatal(err)
+		}
+		schema, err := wsBack.Build()
+		if err != nil {
+			t.Fatalf("%s schema: %v", bench.Name, err)
+		}
+		if schema.String() != bench.Schema.String() {
+			t.Errorf("%s schema text drifted:\n%s\nvs\n%s", bench.Name, schema.String(), bench.Schema.String())
+		}
+		for _, p := range bench.Programs {
+			got := roundTripProgram(t, schema, p)
+			if got.String() != p.String() || got.Abbrev != p.Abbrev {
+				t.Errorf("%s/%s: %q (abbrev %q) != %q (abbrev %q)",
+					bench.Name, p.Name, got.String(), got.Abbrev, p.String(), p.Abbrev)
+			}
+			gq, wq := got.Statements(), p.Statements()
+			if len(gq) != len(wq) {
+				t.Fatalf("%s/%s: %d statements != %d", bench.Name, p.Name, len(gq), len(wq))
+			}
+			for i := range gq {
+				if gq[i].String() != wq[i].String() {
+					t.Errorf("%s/%s stmt %d: %s != %s", bench.Name, p.Name, i, gq[i], wq[i])
+				}
+			}
+			if len(got.FKs) != len(p.FKs) {
+				t.Fatalf("%s/%s: %d FK annotations != %d", bench.Name, p.Name, len(got.FKs), len(p.FKs))
+			}
+			for i := range got.FKs {
+				if got.FKs[i].String() != p.FKs[i].String() {
+					t.Errorf("%s/%s FK %d: %s != %s", bench.Name, p.Name, i, got.FKs[i], p.FKs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAllNodeKindsRoundTrip covers loop, choice and optional nodes plus a
+// defined-but-empty attribute set (⊥ vs {} must survive the encoding).
+func TestAllNodeKindsRoundTrip(t *testing.T) {
+	schema := relschema.NewSchema()
+	schema.MustAddRelation("R", []string{"id", "v"}, []string{"id"})
+	q1 := btp.NewKeySel("q1", "R", "v")
+	q2 := btp.NewKeyUpd("q2", "R", []string{"v"}, []string{"v"})
+	q3 := btp.NewIns(schema, "q3", "R")
+	q4 := btp.NewKeySel("q4", "R") // empty (defined) read set
+	p := &btp.Program{
+		Name:   "Everything",
+		Abbrev: "Ev",
+		Body: btp.SeqOf(
+			btp.S(q1),
+			btp.LoopOf(btp.ChoiceOf(btp.S(q2), btp.S(q3))),
+			btp.Opt(btp.S(q4)),
+		),
+	}
+	if err := p.Validate(schema); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripProgram(t, schema, p)
+	if got.String() != p.String() {
+		t.Errorf("tree drifted: %q != %q", got.String(), p.String())
+	}
+	gq := got.StatementByName("q4")
+	if gq == nil || !gq.ReadSet.Defined || !gq.ReadSet.Set.Empty() {
+		t.Errorf("empty-but-defined read set lost: %+v", gq)
+	}
+	if gu := got.StatementByName("q1"); gu.WriteSet.Defined {
+		t.Errorf("⊥ write set became defined: %+v", gu)
+	}
+}
+
+// TestNodeBuildRejectsMalformed: a node with zero or two kinds set, or a
+// choice without exactly two alternatives, must error rather than build a
+// wrong tree.
+func TestNodeBuildRejectsMalformed(t *testing.T) {
+	for name, n := range map[string]Node{
+		"empty":      {},
+		"two kinds":  {Stmt: &Stmt{Name: "q", Type: "ins", Rel: "R"}, Loop: &Node{}},
+		"one-choice": {Choice: []Node{{Stmt: &Stmt{Name: "q", Type: "ins", Rel: "R"}}}},
+		"bad type":   {Stmt: &Stmt{Name: "q", Type: "bogus", Rel: "R"}},
+	} {
+		if _, err := n.build(); err == nil {
+			t.Errorf("%s: malformed node accepted", name)
+		}
+	}
+}
+
+func sampleFile(t *testing.T) *File {
+	t.Helper()
+	bench := benchmarks.SmallBank()
+	f := &File{ID: "0123456789abcdef", Version: 3, Schema: FromSchema(bench.Schema)}
+	for _, p := range bench.Programs {
+		sp, err := FromProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Programs = append(f.Programs, sp)
+	}
+	f.Results = []Result{{Key: "3|attr+fk|type2|0|x", Version: 3, Body: []byte(`{"robust":[]}` + "\n")}}
+	return f
+}
+
+func TestStoreSaveLoadDelete(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sampleFile(t)
+	if err := st.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	files, skipped, err := st.LoadAll()
+	if err != nil || len(skipped) != 0 || len(files) != 1 {
+		t.Fatalf("LoadAll = %d files, %v skipped, err %v", len(files), skipped, err)
+	}
+	got := files[0]
+	if got.ID != f.ID || got.Version != 3 || len(got.Programs) != 5 || len(got.Results) != 1 {
+		t.Fatalf("loaded file drifted: %+v", got)
+	}
+	if err := st.Delete(f.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(f.ID); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+	files, _, err = st.LoadAll()
+	if err != nil || len(files) != 0 {
+		t.Fatalf("after delete: %d files, err %v", len(files), err)
+	}
+}
+
+// TestStoreSkipsCorrupt: garbage, truncated JSON, wrong-format and
+// misnamed files are skipped, while a healthy sibling still loads.
+func TestStoreSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sampleFile(t)
+	if err := st.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	writeRaw := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeRaw("aaaa.json", "{ this is not json")
+	writeRaw("bbbb.json", `{"format": 1, "id": "bbbb", "version": 1`) // truncated
+	writeRaw("cccc.json", `{"format": 999, "id": "cccc"}`)            // unknown format
+	writeRaw("dddd.json", `{"format": 1, "id": "mismatch"}`)          // id != filename
+	writeRaw("ignored.txt", "not a snapshot")
+	writeRaw("eeee.json.tmp", "torn write leftover")
+
+	files, skipped, err := st.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].ID != f.ID {
+		t.Fatalf("healthy file lost among corrupt ones: %d files", len(files))
+	}
+	if len(skipped) != 4 {
+		t.Errorf("skipped = %v, want the 4 corrupt .json files", skipped)
+	}
+}
+
+// TestStoreRejectsBadIDs: ids that could escape the directory are refused.
+func TestStoreRejectsBadIDs(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../evil", "UPPER", "with/slash"} {
+		if err := st.Save(&File{ID: id}); err == nil {
+			t.Errorf("Save accepted id %q", id)
+		}
+		if err := st.Delete(id); err == nil {
+			t.Errorf("Delete accepted id %q", id)
+		}
+	}
+}

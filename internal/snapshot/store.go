@@ -1,0 +1,128 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store persists snapshot files in one directory, one `<id>.json` per
+// workload. Writes go through a temp file and an atomic rename, so a crash
+// mid-write leaves either the old snapshot or none — never a torn file with
+// the final name.
+type Store struct {
+	dir string
+}
+
+// Open creates the state directory if needed and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("snapshot: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the directory the store persists into.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(id string) string { return filepath.Join(st.dir, id+".json") }
+
+// validID guards against a fingerprint escaping the state directory; real
+// ids are lowercase-hex SHA-256 prefixes.
+func validID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for _, r := range id {
+		ok := r >= '0' && r <= '9' || r >= 'a' && r <= 'f'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Save writes the snapshot atomically under its workload id, stamping the
+// current format version. Each call writes its own temp file (CreateTemp,
+// not a fixed name): concurrent Saves of the same workload then race only
+// at the rename, where either complete file winning is fine — a shared
+// temp name would interleave the writes and rename a torn file into place.
+func (st *Store) Save(f *File) error {
+	if !validID(f.ID) {
+		return fmt.Errorf("snapshot: invalid workload id %q", f.ID)
+	}
+	f.Format = Format
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(st.dir, f.ID+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), st.path(f.ID))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", werr)
+	}
+	return nil
+}
+
+// Delete removes the snapshot of the workload, if present (evicted
+// workloads must not resurrect on the next boot).
+func (st *Store) Delete(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("snapshot: invalid workload id %q", id)
+	}
+	if err := os.Remove(st.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadAll decodes every `*.json` snapshot in the directory, in filename
+// order. Files that cannot be read or decoded, carry an unknown format, or
+// whose embedded id does not match their filename are returned in skipped —
+// a corrupt or partial snapshot must never prevent boot. The caller is
+// expected to additionally verify each file's fingerprint before trusting
+// its content.
+func (st *Store) LoadAll() (files []*File, skipped []string, err error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		if f.Format != Format || f.ID != strings.TrimSuffix(name, ".json") {
+			skipped = append(skipped, name)
+			continue
+		}
+		files = append(files, &f)
+	}
+	return files, skipped, nil
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/btp"
 	"repro/internal/relschema"
@@ -91,6 +92,32 @@ func (bs *BlockSet) Stats() BlockStats {
 		Misses:      bs.misses.Load(),
 		Invalidated: bs.invalidated.Load(),
 	}
+}
+
+// Rough per-entry overheads of the SizeBytes estimate: a cached pair costs
+// its two-pointer key, a slice header and a share of the map's buckets; a
+// retired LTP costs a map entry.
+const (
+	edgeBytes         = int64(unsafe.Sizeof(Edge{}))
+	pairEntryBytes    = 64
+	retiredEntryBytes = 16
+)
+
+// SizeBytes estimates the cache's resident memory: every cached edge slice
+// plus map and bookkeeping overhead. It is the per-setting term of the
+// server's per-workload memory accounting — the input to the -max-bytes
+// eviction policy — so it is a relative estimate (deliberately biased low:
+// it ignores the LTPs the edges point into, which the session accounts for
+// separately), not an exact accounting.
+func (bs *BlockSet) SizeBytes() int64 {
+	bs.mu.RLock()
+	defer bs.mu.RUnlock()
+	n := int64(unsafe.Sizeof(*bs))
+	for _, edges := range bs.blocks {
+		n += pairEntryBytes + int64(cap(edges))*edgeBytes
+	}
+	n += int64(len(bs.retired)) * retiredEntryBytes
+	return n
 }
 
 // Retire marks the LTPs so their pairs are never (re-)admitted to the

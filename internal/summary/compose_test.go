@@ -77,3 +77,25 @@ func TestSubsetDetectorMatchesBuild(t *testing.T) {
 		}
 	}
 }
+
+// TestBlockSetSizeBytes: the size estimate starts at the fixed overhead,
+// grows with cached pairs, and shrinks when pairs are invalidated — the
+// monotonicity the server's -max-bytes eviction policy relies on.
+func TestBlockSetSizeBytes(t *testing.T) {
+	b := benchmarks.SmallBank()
+	ltps := btp.UnfoldAll2(b.Programs)
+	bs := NewBlockSet(b.Schema, SettingAttrDepFK)
+	cold := bs.SizeBytes()
+	if cold <= 0 {
+		t.Fatalf("cold SizeBytes = %d, want positive overhead", cold)
+	}
+	bs.Ensure(ltps)
+	warm := bs.SizeBytes()
+	if warm <= cold {
+		t.Fatalf("warm SizeBytes = %d, not above cold %d despite %d cached pairs", warm, cold, bs.Len())
+	}
+	bs.Invalidate(ltps[:1])
+	if shrunk := bs.SizeBytes(); shrunk >= warm {
+		t.Errorf("SizeBytes after invalidation = %d, want below %d", shrunk, warm)
+	}
+}

@@ -296,6 +296,10 @@ type PatchProgramResponse struct {
 	// caches — only pairs with the old program as an endpoint; blocks
 	// between untouched programs survive.
 	InvalidatedPairs int `json:"invalidated_pairs"`
+	// InvalidatedResults counts the subsets result-cache entries dropped by
+	// the patch's version bump (every entry of this workload; entries of
+	// other workloads are untouched).
+	InvalidatedResults int `json:"invalidated_results"`
 }
 
 // --- Stats -----------------------------------------------------------------
@@ -324,6 +328,16 @@ func NewCacheStats(st analysis.Stats) CacheStats {
 	}
 }
 
+// ResultCacheStats is the wire form of one workload's subsets result-cache
+// telemetry: Entries is the current entry count, Hits/Misses count lookups,
+// Invalidated counts entries dropped by PATCH version bumps.
+type ResultCacheStats struct {
+	Entries     int    `json:"entries"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Invalidated uint64 `json:"invalidated"`
+}
+
 // WorkloadStats describes one registered workload in /v1/stats.
 type WorkloadStats struct {
 	ID       string   `json:"id"`
@@ -337,9 +351,16 @@ type WorkloadStats struct {
 	// after applying the server's -parallel default and cap, with 0
 	// resolved to GOMAXPROCS. It stays 0 until the first analysis request,
 	// so operators can tell "never analysed" from "analysed sequentially"
-	// (which reports 1).
+	// (which reports 1). Requests answered from the subsets result cache
+	// record their resolved value too, even though no workers ran.
 	LastParallelism int        `json:"last_parallelism"`
 	Cache           CacheStats `json:"cache"`
+	// ResultCache is the workload's subsets result-cache telemetry.
+	ResultCache ResultCacheStats `json:"result_cache"`
+	// SizeBytes is the workload's estimated resident memory (programs +
+	// session caches + result cache), the quantity the -max-bytes eviction
+	// policy weighs.
+	SizeBytes int64 `json:"size_bytes"`
 }
 
 // RequestStats counts served requests by kind. Coalesced counts /subsets
@@ -356,7 +377,20 @@ type RequestStats struct {
 type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Workloads     int     `json:"workloads"`
-	Evictions     uint64  `json:"evictions"`
+	// Evictions counts workloads evicted by the count-based LRU cap
+	// (-max-workloads); EvictionsBytes counts evictions by the memory-aware
+	// -max-bytes policy.
+	Evictions      uint64 `json:"evictions"`
+	EvictionsBytes uint64 `json:"evictions_bytes"`
+	// MaxBytes echoes the -max-bytes budget (0 = unlimited) and
+	// TotalSizeBytes the current estimated resident total across workloads.
+	MaxBytes       int64 `json:"max_bytes"`
+	TotalSizeBytes int64 `json:"total_size_bytes"`
+	// SnapshotsLoaded counts workloads restored from -state-dir at boot;
+	// PersistErrors counts snapshot writes that failed since boot (the
+	// server keeps serving from memory when one does).
+	SnapshotsLoaded int    `json:"snapshots_loaded"`
+	PersistErrors   uint64 `json:"persist_errors"`
 	// DefaultParallelism is the resolved server-wide worker count applied
 	// to requests that do not set their own parallelism field: the
 	// -parallel flag, or GOMAXPROCS when unset.

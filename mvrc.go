@@ -62,6 +62,16 @@
 // See internal/server for the API surface and internal/wire for the wire
 // types, which cmd/robustcheck -json shares.
 //
+// The service is restartable and memory-governed: a per-workload result
+// cache answers repeated subset enumerations from stored bytes (invalidated
+// exactly by PATCH version bumps), ServerOptions.StateDir persists every
+// workload as a JSON snapshot (internal/snapshot) reloaded on boot — a
+// restart preserves wire behavior byte for byte, without re-running
+// Algorithm 1 for cached enumerations — and ServerOptions.MaxBytes replaces
+// blind LRU with size-weighted eviction over per-workload memory estimates
+// (Session.SizeBytes). docs/ARCHITECTURE.md's "Persistence & result cache"
+// section draws the three-cache picture.
+//
 // See examples/ for complete programs and internal/experiments for the
 // reproduction of the paper's evaluation.
 package mvrc
@@ -112,7 +122,9 @@ type (
 	// Server is the resident robustness service behind cmd/robustserved.
 	Server = server.Server
 	// ServerOptions configures a Server: registry cap, subset-enumeration
-	// parallelism and per-request timeout.
+	// parallelism, per-request timeout, the snapshot directory for restart
+	// persistence (StateDir) and the estimated-memory eviction budget
+	// (MaxBytes).
 	ServerOptions = server.Options
 )
 
