@@ -6,12 +6,21 @@
 // Usage:
 //
 //	go test -bench . -benchtime=1x -count=3 | benchjson -out bench.json
+//	go test -bench . | benchjson -speedup 'Foo/pruned=Foo/cached'
 //
 // Every benchmark result line becomes one entry — repeated names (from
 // -count) are kept as separate entries, since the spread between them is
 // the signal trend dashboards want. Context lines (goos, goarch, pkg, cpu)
 // are captured once into the environment block; everything else (b.Log
 // output, PASS/ok trailers) is ignored.
+//
+// -speedup takes comma-separated `new=baseline` name-fragment pairs and
+// adds a speedup_vs block to the document: for every benchmark whose name
+// contains the `new` fragment and whose counterpart (the name with the
+// fragment replaced by `baseline`) was also measured, it emits the ratio
+// of mean ns/op — baseline over new, so values above 1 mean the new path
+// is faster. CI uses this to record the pruned-vs-cached enumeration
+// speedup in the uploaded artifact without gating on absolute timings.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,14 +48,31 @@ type Result struct {
 type Doc struct {
 	Env        map[string]string `json:"env,omitempty"`
 	Benchmarks []Result          `json:"benchmarks"`
+	// SpeedupVs holds the -speedup comparisons, one entry per matched
+	// benchmark pair.
+	SpeedupVs []Speedup `json:"speedup_vs,omitempty"`
+}
+
+// Speedup compares one benchmark against its named baseline: Speedup is
+// mean baseline ns/op divided by mean ns/op of Name, so values above 1
+// mean Name is faster.
+type Speedup struct {
+	Name     string  `json:"name"`
+	Baseline string  `json:"baseline"`
+	Speedup  float64 `json:"speedup"`
 }
 
 func main() {
 	out := flag.String("out", "-", "output path (- = stdout)")
+	speedup := flag.String("speedup", "", "comma-separated new=baseline name-fragment pairs to compare as speedup_vs")
 	flag.Parse()
 
 	doc, err := convert(os.Stdin)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := addSpeedups(doc, *speedup); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -96,6 +123,59 @@ func convert(r io.Reader) (*Doc, error) {
 		doc.Env = nil
 	}
 	return doc, nil
+}
+
+// addSpeedups evaluates the -speedup pairs against the parsed benchmarks.
+// Mean ns/op is taken across repeated entries of a name (-count); a pair
+// whose baseline was not measured is skipped silently (trend artifacts
+// must not fail on a narrowed -bench selection), but a malformed spec is
+// an error.
+func addSpeedups(doc *Doc, specs string) error {
+	if specs == "" {
+		return nil
+	}
+	means := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, r := range doc.Benchmarks {
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			means[r.Name] += ns
+			counts[r.Name]++
+		}
+	}
+	for name := range means {
+		means[name] /= float64(counts[name])
+	}
+	names := make([]string, 0, len(means))
+	for name := range means {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		newFrag, baseFrag, ok := strings.Cut(spec, "=")
+		if !ok || newFrag == "" || baseFrag == "" {
+			return fmt.Errorf("malformed -speedup pair %q (want new=baseline)", spec)
+		}
+		for _, name := range names {
+			if !strings.Contains(name, newFrag) {
+				continue
+			}
+			baseline := strings.Replace(name, newFrag, baseFrag, 1)
+			base, measured := means[baseline]
+			if !measured || means[name] <= 0 {
+				continue
+			}
+			doc.SpeedupVs = append(doc.SpeedupVs, Speedup{
+				Name:     name,
+				Baseline: baseline,
+				Speedup:  base / means[name],
+			})
+		}
+	}
+	return nil
 }
 
 // parseResult parses one `BenchmarkName-8  N  v1 unit1  v2 unit2 ...` line.

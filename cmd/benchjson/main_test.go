@@ -65,3 +65,56 @@ func TestParseResultRejectsNoise(t *testing.T) {
 		}
 	}
 }
+
+// speedupSample has a pruned/cached pair (with -count=2 repetitions on the
+// pruned side, so the mean matters) and an unpaired benchmark.
+const speedupSample = `BenchmarkRobustSubsets/cached/attr_dep-8   1  30000 ns/op
+BenchmarkRobustSubsets/pruned/attr_dep-8   1  12000 ns/op
+BenchmarkRobustSubsets/pruned/attr_dep-8   1   8000 ns/op
+BenchmarkRobustSubsets/cached/tpl_dep-8    1  20000 ns/op
+BenchmarkRobustSubsets/pruned/tpl_dep-8    1   5000 ns/op
+BenchmarkUnrelated-8                       1    100 ns/op
+`
+
+func TestAddSpeedups(t *testing.T) {
+	doc, err := convert(strings.NewReader(speedupSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := addSpeedups(doc, "BenchmarkRobustSubsets/pruned=BenchmarkRobustSubsets/cached"); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.SpeedupVs) != 2 {
+		t.Fatalf("speedup_vs has %d entries, want 2: %+v", len(doc.SpeedupVs), doc.SpeedupVs)
+	}
+	// Sorted by name: attr_dep before tpl_dep. Mean pruned attr = 10000,
+	// baseline 30000 → 3×; tpl: 20000/5000 → 4×.
+	attr, tpl := doc.SpeedupVs[0], doc.SpeedupVs[1]
+	if attr.Baseline != "BenchmarkRobustSubsets/cached/attr_dep-8" || attr.Speedup != 3 {
+		t.Errorf("attr speedup = %+v", attr)
+	}
+	if tpl.Speedup != 4 {
+		t.Errorf("tpl speedup = %+v", tpl)
+	}
+}
+
+func TestAddSpeedupsEdgeCases(t *testing.T) {
+	doc, err := convert(strings.NewReader(speedupSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty spec: no-op.
+	if err := addSpeedups(doc, ""); err != nil || doc.SpeedupVs != nil {
+		t.Errorf("empty spec: %v %+v", err, doc.SpeedupVs)
+	}
+	// Missing baseline measurements are skipped, not errors.
+	if err := addSpeedups(doc, "pruned=nonexistent"); err != nil || len(doc.SpeedupVs) != 0 {
+		t.Errorf("unmeasured baseline: %v %+v", err, doc.SpeedupVs)
+	}
+	// Malformed specs are errors.
+	for _, bad := range []string{"justone", "=x", "x="} {
+		if err := addSpeedups(doc, bad); err == nil {
+			t.Errorf("malformed spec %q accepted", bad)
+		}
+	}
+}

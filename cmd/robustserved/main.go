@@ -26,6 +26,11 @@
 //	-state-dir      directory for persistent workload snapshots; empty
 //	                disables persistence. Corrupt snapshot files are
 //	                skipped at boot, never fatal
+//	-flush-interval debounce window for result-cache snapshot writes: a
+//	                burst of newly cached enumerations rewrites a
+//	                workload's file once per interval (default 100ms);
+//	                registration and PATCH persist immediately and
+//	                shutdown flushes whatever is pending
 //	-max-bytes      estimated-memory budget across resident workloads;
 //	                size-weighted eviction sheds workloads beyond it
 //	                (0 = count-based LRU only)
@@ -70,6 +75,7 @@ func main() {
 		preload      = flag.String("preload", "", "comma-separated benchmarks to register at boot")
 		maxWorkloads = flag.Int("max-workloads", 0, "registry LRU cap (0 = default 64)")
 		stateDir     = flag.String("state-dir", "", "directory for persistent workload snapshots (empty = no persistence)")
+		flushEvery   = flag.Duration("flush-interval", 0, "debounce window for result-cache snapshot writes (0 = default 100ms)")
 		maxBytes     = flag.Int64("max-bytes", 0, "estimated-memory budget across workloads; size-weighted eviction beyond it (0 = count-based LRU only)")
 		parallel     = flag.Int("parallel", 0, "analysis workers per request and cap for per-request parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request analysis deadline (0 = none)")
@@ -84,6 +90,7 @@ func main() {
 		preload:      *preload,
 		maxWorkloads: *maxWorkloads,
 		stateDir:     *stateDir,
+		flushEvery:   *flushEvery,
 		maxBytes:     *maxBytes,
 		parallel:     *parallel,
 		timeout:      *timeout,
@@ -99,6 +106,7 @@ type options struct {
 	preload      string
 	maxWorkloads int
 	stateDir     string
+	flushEvery   time.Duration
 	maxBytes     int64
 	parallel     int
 	timeout      time.Duration
@@ -113,6 +121,7 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		Parallelism:    o.parallel,
 		RequestTimeout: o.timeout,
 		StateDir:       o.stateDir,
+		FlushInterval:  o.flushEvery,
 		MaxBytes:       o.maxBytes,
 	})
 	if o.stateDir != "" {

@@ -63,6 +63,9 @@ func TestDocsMentionCode(t *testing.T) {
 		"NaiveRobustSubsets", "last_parallelism",
 		"internal/snapshot", "SizeBytes", "result_cache",
 		"-state-dir", "-max-bytes", "evictions_bytes",
+		"CoreSet", "CoverSet", "WitnessMask", "subsets_pruned",
+		"DisablePruning", "typeIIParallel", "RobustWith",
+		"-flush-interval", "Server.Flush",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q — update the doc with the code", want)

@@ -1,0 +1,772 @@
+package analysis
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/btp"
+	"repro/internal/summary"
+)
+
+// This file is the lattice-pruned subset enumeration: a level-order
+// traversal of the subset lattice by subset size that exploits the
+// monotonicity of non-robustness. A dangerous cycle witnessed in a subset's
+// induced summary graph survives verbatim in every superset (adding nodes
+// only adds edges and reachability), so once a subset is known non-robust,
+// every superset is non-robust too. The traversal records each non-robust
+// discovery as a *minimal non-robust core* — the witness cycle's node mask,
+// minimized to exact program-level minimality — and decides supersets by an
+// O(#cores) bitset-containment scan (summary.CoreSet) instead of running
+// the detector at all.
+//
+// Processing strictly by subset size makes the pruning complete and
+// deterministic: at the start of level k the shared core set holds exactly
+// the minimal non-robust program sets of size < k (plus any seeds), so
+// every non-robust mask with a non-robust proper subset is pruned, every
+// mask the detector does see and rejects is itself minimal, and the pruned
+// count is independent of worker count or scheduling. Cores discovered
+// within a level have size k and therefore cannot prune other size-k masks,
+// which is why intra-level publication (lock-free, epoch-snapshotted) is
+// harmless for determinism while still letting racing enumerations on a
+// shared session benefit from each other through the session store.
+//
+// Cores are facts about program *content*: "these programs are jointly
+// non-robust under this (setting, method, bound), and minimally so" —
+// independent of which enumeration discovered them. The session therefore
+// keeps them per coreKey as program-pointer sets, seeds every enumeration
+// whose request covers a core's programs, and merges fresh discoveries
+// back, so a warm session prunes every non-robust subset without a single
+// detector run. Session.Invalidate drops exactly the cores (and memoized
+// universe detectors) touching the invalidated program — the incremental
+// half the server's PATCH path relies on.
+
+// coreKey identifies one core store: cores depend on the analysis setting,
+// the cycle condition and the unfold bound, never on the program selection.
+type coreKey struct {
+	setting summary.Setting
+	method  summary.Method
+	bound   int
+}
+
+// detKey identifies one memoized universe detector: the exact ordered
+// program selection under a setting and bound.
+type detKey struct {
+	setting summary.Setting
+	bound   int
+	progs   string
+}
+
+// detEntry is one memoized universe detector with the programs it covers
+// (kept for pointer-level invalidation).
+type detEntry struct {
+	det      *summary.SubsetDetector
+	programs []*btp.Program
+}
+
+// progsKey renders an ordered program list as a map key. Pointer identity
+// is the right notion: the session memoizes per program pointer, and a
+// PATCHed program is a fresh pointer. Hand-rolled (strconv over fmt): this
+// runs on every enumeration and %p formatting showed up in profiles.
+func progsKey(programs []*btp.Program) string {
+	buf := make([]byte, 0, 13*len(programs))
+	for _, p := range programs {
+		buf = strconv.AppendUint(buf, uint64(uintptr(unsafe.Pointer(p))), 36)
+		buf = append(buf, '|')
+	}
+	return string(buf)
+}
+
+// coreID renders a program set as a canonical dedup key (sorted pointer
+// renderings — names can repeat across patched generations, pointers
+// cannot).
+func coreID(core []*btp.Program) string {
+	parts := make([]string, len(core))
+	for i, p := range core {
+		parts[i] = strconv.FormatUint(uint64(uintptr(unsafe.Pointer(p))), 36)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// latticeKey identifies one cached pruning state: the configuration plus
+// the exact ordered program selection (core and cover masks are relative to
+// that selection's node universe).
+type latticeKey struct {
+	core  coreKey
+	progs string
+}
+
+// latticeEntry is the per-selection pruning state shared by every
+// enumeration of that selection — the lock-free core and cover sets — plus
+// the store generation it was last synchronized against. Sharing the entry
+// means a warm repeat pays zero seeding; the generation check re-seeds only
+// when a *different* selection's enumeration contributed new facts to the
+// store in the meantime.
+type latticeEntry struct {
+	cores    *summary.CoreSet
+	covers   *summary.CoverSet
+	gen      uint64
+	programs []*btp.Program
+}
+
+// latticeFor returns the pruning state for the selection, creating and
+// seeding it from the session's fact store on first use and re-seeding
+// (idempotent Adds) when the store generation moved.
+func (s *Session) latticeFor(cfg Config, programs []*btp.Program, programMask [][]uint64, words int) *latticeEntry {
+	ck := coreKey{setting: cfg.Setting, method: cfg.Method, bound: cfg.bound()}
+	key := latticeKey{core: ck, progs: progsKey(programs)}
+	s.mu.Lock()
+	gen := s.coreGen[ck]
+	e, ok := s.lattices[key]
+	if ok && e.gen == gen {
+		s.mu.Unlock()
+		return e
+	}
+	coreFacts := s.cores[ck]
+	coverFacts := s.covers[ck]
+	if !ok {
+		e = &latticeEntry{
+			cores:    summary.NewCoreSet(words),
+			covers:   summary.NewCoverSet(words),
+			programs: append([]*btp.Program(nil), programs...),
+		}
+	}
+	s.mu.Unlock()
+
+	idx := make(map[*btp.Program]int, len(programs))
+	for i, p := range programs {
+		idx[p] = i
+	}
+	seed := func(facts [][]*btp.Program, add func([]uint64) bool) {
+		for _, fact := range facts {
+			mask := make([]uint64, words)
+			ok := true
+			for _, p := range fact {
+				i, present := idx[p]
+				if !present {
+					ok = false
+					break
+				}
+				orInto(mask, programMask[i])
+			}
+			if ok {
+				add(mask)
+			}
+		}
+	}
+	seed(coreFacts, e.cores.Add)
+	seed(coverFacts, e.covers.Add)
+
+	s.mu.Lock()
+	e.gen = gen
+	// The retired check happens under the admitting lock: a program
+	// invalidated while we were seeding must not be memoized under a key
+	// no future request can reach (the entry would leak for the session's
+	// lifetime).
+	admit := true
+	for _, p := range programs {
+		if s.retired[p] {
+			admit = false
+			break
+		}
+	}
+	if admit {
+		if len(s.lattices) >= selectionCacheMax {
+			clear(s.lattices) // see selectionCacheMax
+		}
+		s.lattices[key] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// selectionCacheMax bounds the per-selection memo maps (lattices, dets): a
+// workload of n programs admits up to 2^n distinct ordered selections, and
+// a long-lived server must not grow a session map per request shape. The
+// maps are pure accelerators — dropping them costs one re-seed / one warm
+// compose scan, never a verdict — so overflow handling is the simplest
+// correct thing: clear and let the hot selections repopulate. The durable
+// knowledge (core and cover facts, edge blocks) lives in the bounded
+// stores, not here.
+const selectionCacheMax = 256
+
+// mergeLattice folds an enumeration's discoveries back into the fact
+// store: cores dedup-insert (minimal facts are pairwise incomparable),
+// covers insert with maximal-antichain maintenance. Facts touching a
+// program invalidated mid-enumeration are dropped. Insertions bump the
+// store generation so other selections' cached entries re-seed; the
+// entry's own generation advances only when no foreign merge interleaved,
+// otherwise it stays behind and the next use re-seeds.
+func (s *Session) mergeLattice(cfg Config, e *latticeEntry, programs []*btp.Program, programMask [][]uint64) {
+	ck := coreKey{setting: cfg.Setting, method: cfg.Method, bound: cfg.bound()}
+	toFacts := func(masks [][]uint64) [][]*btp.Program {
+		facts := make([][]*btp.Program, 0, len(masks))
+		for _, m := range masks {
+			var set []*btp.Program
+			for i, pm := range programMask {
+				if intersects(pm, m) {
+					set = append(set, programs[i])
+				}
+			}
+			if len(set) > 0 {
+				facts = append(facts, set)
+			}
+		}
+		return facts
+	}
+	coreFacts := toFacts(e.cores.Masks())
+	coverFacts := toFacts(e.covers.Masks())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	retired := func(fact []*btp.Program) bool {
+		for _, p := range fact {
+			if s.retired[p] {
+				return true
+			}
+		}
+		return false
+	}
+	changed := false
+
+	existing := s.cores[ck]
+	have := make(map[string]bool, len(existing))
+	for _, c := range existing {
+		have[coreID(c)] = true
+	}
+	for _, f := range coreFacts {
+		if retired(f) {
+			continue
+		}
+		if id := coreID(f); !have[id] {
+			existing = append(existing, f)
+			have[id] = true
+			changed = true
+		}
+	}
+	s.cores[ck] = existing
+
+	covers := s.covers[ck]
+	for _, f := range coverFacts {
+		if retired(f) {
+			continue
+		}
+		dominated := false
+		kept := covers[:0:0]
+		for _, c := range covers {
+			if programSubset(f, c) {
+				dominated = true
+				break
+			}
+			if !programSubset(c, f) {
+				kept = append(kept, c)
+			}
+		}
+		if dominated {
+			continue
+		}
+		covers = append(kept, f)
+		changed = true
+	}
+	s.covers[ck] = covers
+
+	wasGen := e.gen
+	if changed {
+		s.coreGen[ck]++
+	}
+	cur := s.coreGen[ck]
+	expect := wasGen
+	if changed {
+		expect++
+	}
+	if cur == expect {
+		e.gen = cur
+	}
+}
+
+// programSubset reports whether every program of a appears in b (small
+// sets: nested scan beats map allocation).
+func programSubset(a, b []*btp.Program) bool {
+	for _, p := range a {
+		found := false
+		for _, q := range b {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// CoreFact is one exported minimal non-robust core: the programs are
+// jointly non-robust under the configuration and removing any one of them
+// flips the verdict to robust. The server persists facts (as program names)
+// alongside the result cache and re-seeds them on boot, so a restarted or
+// partially PATCH-invalidated server re-derives only cores touching changed
+// programs.
+type CoreFact struct {
+	Setting  summary.Setting
+	Method   summary.Method
+	Bound    int
+	Programs []*btp.Program
+}
+
+// ExportCores snapshots every core fact the session has accumulated, in a
+// deterministic order (keys sorted, programs within a fact sorted by short
+// name). ExportCovers is the robust-side dual.
+func (s *Session) ExportCores() []CoreFact {
+	return s.exportFacts(func(s *Session) map[coreKey][][]*btp.Program { return s.cores })
+}
+
+// ExportCovers snapshots every robust-cover fact: program sets known
+// jointly robust (an antichain of the largest ones seen). Like cores they
+// are content-intrinsic, so the server persists and re-seeds them the same
+// way.
+func (s *Session) ExportCovers() []CoreFact {
+	return s.exportFacts(func(s *Session) map[coreKey][][]*btp.Program { return s.covers })
+}
+
+func (s *Session) exportFacts(store func(*Session) map[coreKey][][]*btp.Program) []CoreFact {
+	s.mu.Lock()
+	m := store(s)
+	facts := make([]CoreFact, 0, 16)
+	for k, entries := range m {
+		for _, core := range entries {
+			ps := make([]*btp.Program, len(core))
+			copy(ps, core)
+			facts = append(facts, CoreFact{Setting: k.setting, Method: k.method, Bound: k.bound, Programs: ps})
+		}
+	}
+	s.mu.Unlock()
+	// Precompute each fact's tiebreak key once — coreID allocates, and a
+	// comparator would re-derive both sides on every comparison of the
+	// flush-path sort.
+	ids := make([]string, len(facts))
+	for i, f := range facts {
+		sort.Slice(f.Programs, func(a, b int) bool { return f.Programs[a].ShortName() < f.Programs[b].ShortName() })
+		ids[i] = coreID(f.Programs)
+	}
+	sort.Sort(&factSorter{facts: facts, ids: ids})
+	return facts
+}
+
+// factSorter orders exported facts deterministically: setting, method,
+// bound, then the precomputed pointer-set key.
+type factSorter struct {
+	facts []CoreFact
+	ids   []string
+}
+
+func (s *factSorter) Len() int { return len(s.facts) }
+func (s *factSorter) Swap(i, j int) {
+	s.facts[i], s.facts[j] = s.facts[j], s.facts[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+}
+func (s *factSorter) Less(i, j int) bool {
+	a, b := s.facts[i], s.facts[j]
+	if a.Setting != b.Setting {
+		return a.Setting.String() < b.Setting.String()
+	}
+	if a.Method != b.Method {
+		return a.Method < b.Method
+	}
+	if a.Bound != b.Bound {
+		return a.Bound < b.Bound
+	}
+	return s.ids[i] < s.ids[j]
+}
+
+// ImportCores seeds the session with core facts (deduplicated; facts whose
+// programs have been invalidated are skipped). The facts are trusted — the
+// server only imports from snapshots whose content fingerprint verified —
+// and used purely for pruning, so an absent fact costs a detector run, a
+// correct one saves it.
+func (s *Session) ImportCores(facts []CoreFact) int {
+	return s.importFacts(facts, func(s *Session) map[coreKey][][]*btp.Program { return s.cores })
+}
+
+// ImportCovers seeds the session with robust-cover facts; the dual of
+// ImportCores.
+func (s *Session) ImportCovers(facts []CoreFact) int {
+	return s.importFacts(facts, func(s *Session) map[coreKey][][]*btp.Program { return s.covers })
+}
+
+func (s *Session) importFacts(facts []CoreFact, store func(*Session) map[coreKey][][]*btp.Program) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := store(s)
+	added := 0
+	for _, f := range facts {
+		if len(f.Programs) == 0 {
+			continue
+		}
+		bound := f.Bound
+		if bound <= 0 {
+			bound = btp.DefaultUnfoldBound
+		}
+		retired := false
+		for _, p := range f.Programs {
+			if s.retired[p] {
+				retired = true
+				break
+			}
+		}
+		if retired {
+			continue
+		}
+		k := coreKey{setting: f.Setting, method: f.Method, bound: bound}
+		id := coreID(f.Programs)
+		dup := false
+		for _, c := range m[k] {
+			if coreID(c) == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		ps := make([]*btp.Program, len(f.Programs))
+		copy(ps, f.Programs)
+		m[k] = append(m[k], ps)
+		s.coreGen[k]++ // cached lattice entries must re-seed
+		added++
+	}
+	return added
+}
+
+// subsetDetector returns the memoized universe detector for the exact
+// program selection, building (and caching) it on first use. The detector
+// indexes the composed universe graph once; verdicts never depend on cache
+// contents, so a straggler using a just-invalidated detector is correct,
+// merely cold next time.
+func (s *Session) subsetDetector(ctx context.Context, cfg Config, programs []*btp.Program, all []*btp.LTP) (*summary.SubsetDetector, error) {
+	key := detKey{setting: cfg.Setting, bound: cfg.bound(), progs: progsKey(programs)}
+	s.mu.Lock()
+	if e, ok := s.dets[key]; ok {
+		s.mu.Unlock()
+		return e.det, nil
+	}
+	s.mu.Unlock()
+	det, err := summary.NewSubsetDetectorCtx(ctx, s.Blocks(cfg.Setting), all, cfg.parallelism())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	admit := true
+	for _, p := range programs {
+		if s.retired[p] {
+			admit = false
+			break
+		}
+	}
+	if admit {
+		if len(s.dets) >= selectionCacheMax {
+			clear(s.dets) // see selectionCacheMax
+		}
+		s.dets[key] = &detEntry{det: det, programs: append([]*btp.Program(nil), programs...)}
+	}
+	s.mu.Unlock()
+	return det, nil
+}
+
+// --- Bitset helpers over []uint64 masks -------------------------------------
+
+func orInto(dst, src []uint64) {
+	for w, v := range src {
+		dst[w] |= v
+	}
+}
+
+func intersects(a, b []uint64) bool {
+	for w, v := range a {
+		if v&b[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// programMasks computes, per program, the node mask of its LTP indices
+// within the universe (groups concatenated in program order).
+func programMasks(groups [][]*btp.LTP, words int) [][]uint64 {
+	out := make([][]uint64, len(groups))
+	idx := 0
+	for i, g := range groups {
+		m := make([]uint64, words)
+		for range g {
+			m[idx/64] |= 1 << (uint(idx) % 64)
+			idx++
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// latticeOrder buckets the non-empty subset masks of an n-program lattice
+// by popcount (counting sort): order[offs[k]:offs[k+1]] holds the size-k
+// masks in ascending mask order.
+func latticeOrder(n int) (offs []int, order []int32) {
+	total := 1 << n
+	counts := make([]int, n+1)
+	for mask := 1; mask < total; mask++ {
+		counts[bits.OnesCount32(uint32(mask))]++
+	}
+	offs = make([]int, n+2)
+	for k := 1; k <= n; k++ {
+		offs[k+1] = offs[k] + counts[k]
+	}
+	pos := make([]int, n+2)
+	copy(pos, offs)
+	order = make([]int32, total-1)
+	for mask := 1; mask < total; mask++ {
+		k := bits.OnesCount32(uint32(mask))
+		order[pos[k]] = int32(mask)
+		pos[k]++
+	}
+	return offs, order
+}
+
+// minimizeCore reduces a witness node mask to a program-level minimal
+// non-robust core without running the detector: every trial (the witness
+// programs minus one) is a strict submask of the current subset and was
+// therefore decided at an earlier level — its verdict is already in the
+// traversal's verdict table. Greedily dropping, in ascending program
+// order, every program whose removal leaves a non-robust verdict yields a
+// minimal set (one fixed-order pass suffices for monotone properties). In
+// a fully cold traversal the witness programs are provably minimal already
+// and every trial reads robust; the lookups also keep the general path —
+// seeds from other universes or imported non-minimal facts — honest, at
+// the cost of bit operations instead of closure recomputations.
+func minimizeCore(verdicts []bool, wmask []uint64, programMask [][]uint64) []uint64 {
+	progs := 0
+	for i, pm := range programMask {
+		if intersects(pm, wmask) {
+			progs |= 1 << i
+		}
+	}
+	for i := 0; i < len(programMask); i++ {
+		if progs&(1<<i) == 0 {
+			continue
+		}
+		if trial := progs &^ (1 << i); trial != 0 && !verdicts[trial] {
+			progs = trial
+		}
+	}
+	core := make([]uint64, len(wmask))
+	for i, pm := range programMask {
+		if progs&(1<<i) != 0 {
+			orInto(core, pm)
+		}
+	}
+	return core
+}
+
+// latticeSeqChunk is how many sequential masks are processed between
+// context polls; latticeParallelMin is the level size below which the
+// level runs inline — goroutine handoff costs more than a few dozen
+// detector calls, and the paper's benchmarks (n ≤ 9) never leave the
+// inline regime.
+const (
+	latticeSeqChunk    = 64
+	latticeParallelMin = 64
+)
+
+// latticeWorker is one traversal worker's reusable state; the detector
+// scratch stays nil until the worker actually runs the detector.
+type latticeWorker struct {
+	scratch *summary.DetectScratch
+	members []uint64
+}
+
+// enumerateLattice is the level-order traversal behind RobustSubsetsCtx
+// (pruning enabled). See the file comment for the invariants.
+func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetector, groups [][]*btp.LTP, programs []*btp.Program, cfg Config) (*SubsetReport, error) {
+	n := len(programs)
+	words := (det.NumNodes() + 63) / 64
+	programMask := programMasks(groups, words)
+	entry := s.latticeFor(cfg, programs, programMask, words)
+	cores, covers := entry.cores, entry.covers
+
+	total := 1 << n
+	verdicts := make([]bool, total)
+	offs, order := latticeOrder(n)
+	var coreHits, coverHits, misses atomic.Uint64
+	var discovered, freshRobust atomic.Bool
+	// Merge discoveries back into the fact store however the traversal
+	// exits: a cancelled run's cores and covers are valid facts, and
+	// leaving them only in the cached entry would strand them — the retry
+	// would be decided by the entry's unmerged masks, never re-discover
+	// them, and the store (and with it persistence and /v1/stats) would
+	// stay empty. A run whose every Add was refused as dominated has
+	// nothing the store lacks and skips the merge.
+	defer func() {
+		if discovered.Load() {
+			s.mergeLattice(cfg, entry, programs, programMask)
+		}
+	}()
+
+	// process decides one mask on a worker's state: the core scan
+	// (non-robust supersets) and the cover scan (robust subsets) first,
+	// the detector only when neither knows, witness minimization on a
+	// fresh non-robust discovery. The detector scratch is allocated on
+	// first actual detector run — a fully warm traversal (every mask
+	// decided by containment) allocates none.
+	process := func(mask int, ws *latticeWorker) {
+		members := ws.members
+		for w := range members {
+			members[w] = 0
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				orInto(members, programMask[i])
+			}
+		}
+		if cores.Snapshot().Contains(members) {
+			coreHits.Add(1)
+			return // verdicts[mask] stays false: a core means non-robust
+		}
+		if covers.Snapshot().Covers(members) {
+			coverHits.Add(1)
+			verdicts[mask] = true
+			return
+		}
+		misses.Add(1)
+		if ws.scratch == nil {
+			ws.scratch = det.NewScratch()
+		}
+		ok, wmask := det.RobustWitness(cfg.Method, members, ws.scratch)
+		verdicts[mask] = ok
+		if ok {
+			freshRobust.Store(true)
+			// Robust verdicts are folded into the cover set after the
+			// traversal: covers can never fire within the run that found
+			// them (stored covers are smaller than the masks still to
+			// come), and a post-pass in descending size order pays one
+			// antichain insert per maximal cover instead of a
+			// copy-on-write add per robust mask.
+			return
+		}
+		if cores.Add(minimizeCore(verdicts, wmask, programMask)) {
+			discovered.Store(true)
+		}
+	}
+
+	workers := cfg.parallelism()
+	seq := &latticeWorker{members: make([]uint64, words)}
+	for level := 1; level <= n; level++ {
+		masks := order[offs[level]:offs[level+1]]
+		lw := workers
+		if lw > len(masks) {
+			lw = len(masks)
+		}
+		if len(masks) < latticeParallelMin {
+			lw = 1
+		}
+		if lw <= 1 {
+			for c, mask := range masks {
+				if c%latticeSeqChunk == 0 && ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				process(int(mask), seq)
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < lw; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ws := &latticeWorker{members: make([]uint64, words)}
+					for ctx.Err() == nil {
+						start := int(next.Add(latticeSeqChunk)) - latticeSeqChunk
+						if start >= len(masks) {
+							return
+						}
+						for _, mask := range masks[start:min(start+latticeSeqChunk, len(masks))] {
+							process(int(mask), ws)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		// The level barrier: supersets are only examined once every smaller
+		// mask's verdict (and core) is published. It is also the pruning's
+		// determinism and completeness argument, so it must not be elided.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fold this run's robust verdicts into the cover set, largest masks
+	// first: maximal covers insert, everything they dominate is refused by
+	// an early-exit scan. Only the success path runs this — a cancelled
+	// run's partial levels may hold undecided masks — while cores (already
+	// added at discovery, where minimality is known) reach the store via
+	// the deferred merge regardless. A run with no detector-decided robust
+	// verdict (the warm steady state) has nothing new to fold.
+	for level := n; freshRobust.Load() && level >= 1; level-- {
+		for _, mask := range order[offs[level]:offs[level+1]] {
+			if !verdicts[mask] {
+				continue
+			}
+			members := seq.members
+			for w := range members {
+				members[w] = 0
+			}
+			for i := 0; i < n; i++ {
+				if int(mask)&(1<<i) != 0 {
+					orInto(members, programMask[i])
+				}
+			}
+			if covers.Add(members) {
+				discovered.Store(true)
+			}
+		}
+	}
+
+	ch, cvh, m := coreHits.Load(), coverHits.Load(), misses.Load()
+	s.coreHits.Add(ch)
+	s.coverHits.Add(cvh)
+	s.coreMisses.Add(m)
+	s.subsetsPruned.Add(ch + cvh)
+
+	rep := assembleReport(programs, verdicts)
+	rep.Checked = int(m)
+	rep.Pruned = int(ch + cvh)
+	rep.Cores = cores.Len()
+	return rep, nil
+}
+
+// assembleReport builds the deterministic report from per-mask verdicts in
+// ascending mask order — the same order the naive sequential enumeration
+// visits.
+func assembleReport(programs []*btp.Program, verdicts []bool) *SubsetReport {
+	n := len(programs)
+	var robustSubsets []Subset
+	for mask := 1; mask < len(verdicts); mask++ {
+		if !verdicts[mask] {
+			continue
+		}
+		var names Subset
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				names = append(names, programs[i].ShortName())
+			}
+		}
+		sort.Strings(names)
+		robustSubsets = append(robustSubsets, names)
+	}
+	return NewSubsetReport(robustSubsets)
+}

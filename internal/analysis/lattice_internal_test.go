@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+)
+
+// TestSelectionCachesBounded: the per-selection memo maps must not grow
+// one entry per distinct request shape forever — a long-lived server
+// session sees arbitrarily many ordered selections. Distinct orderings of
+// the same programs are distinct keys, so permutations of SmallBank's
+// programs exercise the overflow path; verdict-bearing state must survive
+// the clears (reports stay identical throughout).
+func TestSelectionCachesBounded(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	sess := NewSession(bench.Schema)
+	cfg := DefaultConfig()
+
+	base, err := sess.RobustSubsets(bench.Programs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All 120 permutations of the 5 programs, plus prefixes: > 256 keys in
+	// total across dets and lattices if nothing bounded them.
+	var permute func(ps []*btp.Program, k int)
+	count := 0
+	permute = func(ps []*btp.Program, k int) {
+		if k == len(ps) {
+			for cut := 1; cut <= len(ps); cut++ {
+				if _, err := sess.RobustSubsets(ps[:cut], cfg); err != nil {
+					t.Fatal(err)
+				}
+				count++
+			}
+			return
+		}
+		for i := k; i < len(ps); i++ {
+			ps[k], ps[i] = ps[i], ps[k]
+			permute(ps, k+1)
+			ps[k], ps[i] = ps[i], ps[k]
+		}
+	}
+	ps := append([]*btp.Program(nil), bench.Programs...)
+	permute(ps, 0)
+	if count <= selectionCacheMax {
+		t.Fatalf("test issued only %d selections, need > %d to exercise the bound", count, selectionCacheMax)
+	}
+
+	sess.mu.Lock()
+	dets, lattices := len(sess.dets), len(sess.lattices)
+	sess.mu.Unlock()
+	if dets > selectionCacheMax || lattices > selectionCacheMax {
+		t.Errorf("selection caches unbounded: %d detectors, %d lattice entries (cap %d)",
+			dets, lattices, selectionCacheMax)
+	}
+
+	// Verdicts are unaffected by the clears.
+	again, err := sess.RobustSubsets(bench.Programs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != base.String() {
+		t.Errorf("report changed across cache clears: %s vs %s", again, base)
+	}
+}

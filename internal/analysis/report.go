@@ -46,6 +46,18 @@ type SubsetReport struct {
 	// Maximal lists the robust subsets not strictly contained in another
 	// robust subset — the entries of Figures 6 and 7.
 	Maximal []Subset
+
+	// Enumeration telemetry (zero for the naive oracle): Checked counts
+	// subsets decided by running the cycle detector, Pruned counts subsets
+	// decided by the minimal-core containment test instead, and Cores is
+	// the number of minimal non-robust cores known when the enumeration
+	// finished (seeds included). Checked+Pruned = 2^n − 1 for the pruned
+	// traversal. Deterministic for a given session state: level-order
+	// processing makes the pruning independent of worker count and
+	// scheduling.
+	Checked int
+	Pruned  int
+	Cores   int
 }
 
 // String renders the maximal subsets on one line, as in Figure 6.
@@ -62,19 +74,50 @@ func (r *SubsetReport) String() string {
 // derives the maximal ones. Both the engine and the naive oracle build
 // their reports through this function, so any divergence between the two
 // paths is a divergence in per-subset verdicts.
+//
+// Maximality is derived by bitmask containment when the subsets span at
+// most 64 distinct names (always true for the engine, whose enumeration
+// guard caps programs at 20) — the O(R²) scan then costs word operations
+// instead of a map per pair; the name-set path is kept for wider inputs.
 func NewSubsetReport(robust []Subset) *SubsetReport {
 	report := &SubsetReport{Robust: robust}
 	sortSubsets(report.Robust)
+	idx := make(map[string]int, 24)
 	for _, s := range report.Robust {
-		maximal := true
-		for _, t := range report.Robust {
-			if len(t) > len(s) && t.ContainsAll(s) {
-				maximal = false
-				break
+		for _, n := range s {
+			if _, ok := idx[n]; !ok {
+				idx[n] = len(idx)
 			}
 		}
-		if maximal {
-			report.Maximal = append(report.Maximal, s)
+	}
+	isMaximal := func(i int) bool {
+		s := report.Robust[i]
+		for _, t := range report.Robust {
+			if len(t) > len(s) && t.ContainsAll(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(idx) <= 64 {
+		masks := make([]uint64, len(report.Robust))
+		for i, s := range report.Robust {
+			for _, n := range s {
+				masks[i] |= 1 << idx[n]
+			}
+		}
+		isMaximal = func(i int) bool {
+			for j, t := range report.Robust {
+				if len(t) > len(report.Robust[i]) && masks[i]&^masks[j] == 0 {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	for i := range report.Robust {
+		if isMaximal(i) {
+			report.Maximal = append(report.Maximal, report.Robust[i])
 		}
 	}
 	// Report largest maximal subsets first, as the paper does.

@@ -16,7 +16,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -40,10 +39,17 @@ type Config struct {
 	// Parallelism is the one concurrency knob of the engine, governing both
 	// inter- and intra-check work: the subset-enumeration fanout of
 	// RobustSubsets, the sharded pairwise edge-block construction
-	// (summary.BlockSet.EnsureCtx) and the round-synchronized closure
-	// fixpoint of every composed graph. 0 means GOMAXPROCS, 1 forces fully
+	// (summary.BlockSet.EnsureCtx), the round-synchronized closure
+	// fixpoint of every composed graph and the sharded type-II cycle
+	// search on large graphs. 0 means GOMAXPROCS, 1 forces fully
 	// sequential analysis.
 	Parallelism int
+	// DisablePruning turns off the lattice-pruned subset enumeration
+	// (minimal non-robust cores deciding supersets by containment) and
+	// falls back to the flat fan-out that runs the detector on every
+	// subset. Kept for benchmarking and as an in-tree ablation oracle —
+	// verdicts are identical either way, only the work differs.
+	DisablePruning bool
 }
 
 // DefaultConfig returns the paper's primary configuration: attribute
@@ -97,11 +103,33 @@ type Session struct {
 	validated map[*btp.Program]error
 	unfolded  map[unfoldKey][]*btp.LTP
 	blocks    map[summary.Setting]*summary.BlockSet
+	// cores holds the minimal non-robust cores discovered by lattice
+	// enumerations, per (setting, method, bound): program sets that are
+	// jointly non-robust and minimally so. covers is the robust-side dual
+	// (maximal program sets known robust). Both are seeded into every
+	// enumeration covering them and merged back after; see lattice.go.
+	cores  map[coreKey][][]*btp.Program
+	covers map[coreKey][][]*btp.Program
+	// coreGen versions the fact store per key; cached lattice entries
+	// re-seed when it moves.
+	coreGen map[coreKey]uint64
+	// lattices caches the seeded per-selection pruning state (core +
+	// cover sets); dets memoizes universe SubsetDetectors per exact
+	// program selection, so repeated enumerations skip even the warm
+	// compose scan.
+	lattices map[latticeKey]*latticeEntry
+	dets     map[detKey]*detEntry
 	// retired marks programs passed to Invalidate: checks that were
 	// already in flight may still resolve them, but the results are no
 	// longer memoized — re-admitting entries for a replaced program would
 	// leak them for the session's lifetime.
 	retired map[*btp.Program]bool
+
+	// Core-pruning telemetry (see Stats): a core hit is a subset decided
+	// non-robust by the core containment scan, a cover hit one decided
+	// robust by the cover scan, a miss ran the detector; subsetsPruned is
+	// the sum of both hit kinds (detector runs skipped).
+	coreHits, coverHits, coreMisses, subsetsPruned atomic.Uint64
 }
 
 // NewSession creates an empty session over the schema.
@@ -111,6 +139,11 @@ func NewSession(schema *relschema.Schema) *Session {
 		validated: make(map[*btp.Program]error),
 		unfolded:  make(map[unfoldKey][]*btp.LTP),
 		blocks:    make(map[summary.Setting]*summary.BlockSet),
+		cores:     make(map[coreKey][][]*btp.Program),
+		covers:    make(map[coreKey][][]*btp.Program),
+		coreGen:   make(map[coreKey]uint64),
+		lattices:  make(map[latticeKey]*latticeEntry),
+		dets:      make(map[detKey]*detEntry),
 		retired:   make(map[*btp.Program]bool),
 	}
 }
@@ -200,6 +233,43 @@ func (s *Session) Invalidate(p *btp.Program) int {
 			delete(s.unfolded, k)
 		}
 	}
+	// Drop the memoized universe detectors, cached lattice entries and the
+	// core/cover facts touching the program; facts over untouched programs
+	// stay — they describe content that did not change, which is what lets
+	// a PATCHed workload re-derive only the facts involving the new
+	// program.
+	touches := func(ps []*btp.Program) bool {
+		for _, q := range ps {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	for k, e := range s.dets {
+		if touches(e.programs) {
+			delete(s.dets, k)
+		}
+	}
+	for k, e := range s.lattices {
+		if touches(e.programs) {
+			delete(s.lattices, k)
+		}
+	}
+	for _, store := range []map[coreKey][][]*btp.Program{s.cores, s.covers} {
+		for k, facts := range store {
+			kept := make([][]*btp.Program, 0, len(facts))
+			for _, c := range facts {
+				if !touches(c) {
+					kept = append(kept, c)
+				}
+			}
+			if len(kept) != len(facts) {
+				store[k] = kept
+				s.coreGen[k]++
+			}
+		}
+	}
 	sets := make([]*summary.BlockSet, 0, len(s.blocks))
 	for _, bs := range s.blocks {
 		sets = append(sets, bs)
@@ -222,6 +292,50 @@ type Stats struct {
 	Settings int
 	// Blocks aggregates the pairwise edge-block telemetry across settings.
 	Blocks summary.BlockStats
+	// Cores is the lattice-pruning telemetry: the minimal non-robust core
+	// store and its containment-scan counters.
+	Cores CoreStats
+}
+
+// CoreStats is the lattice-pruning half of the session telemetry.
+type CoreStats struct {
+	// Cores is the number of minimal non-robust cores currently stored
+	// across all (setting, method, bound) keys; Covers the number of
+	// stored robust covers (the anti-monotone dual).
+	Cores  int
+	Covers int
+	// Hits counts subset masks decided non-robust by the core containment
+	// scan, CoverHits masks decided robust by the cover scan, Misses masks
+	// that ran the detector. Pruned = Hits + CoverHits (detector runs
+	// skipped) — the quantity the wire reports as subsets_pruned.
+	Hits, CoverHits, Misses, Pruned uint64
+	// SizeBytes estimates the core and cover stores' resident memory.
+	SizeBytes int64
+}
+
+// Rough per-object costs of the core-store size estimate.
+const (
+	coreEntryBytes   = 64
+	coreProgramBytes = 16
+)
+
+// factStoresLocked counts the core and cover facts and their estimated
+// resident bytes — the one cost model shared by Stats (telemetry) and
+// SizeBytes (eviction accounting). Caller holds s.mu.
+func (s *Session) factStoresLocked() (cores, covers int, bytes int64) {
+	for _, facts := range s.cores {
+		cores += len(facts)
+		for _, c := range facts {
+			bytes += coreEntryBytes + int64(len(c))*coreProgramBytes
+		}
+	}
+	for _, facts := range s.covers {
+		covers += len(facts)
+		for _, c := range facts {
+			bytes += coreEntryBytes + int64(len(c))*coreProgramBytes
+		}
+	}
+	return cores, covers, bytes
 }
 
 // Stats snapshots the session's cache counters across all settings.
@@ -231,7 +345,14 @@ func (s *Session) Stats() Stats {
 		Programs:   len(s.validated),
 		Unfoldings: len(s.unfolded),
 		Settings:   len(s.blocks),
+		Cores: CoreStats{
+			Hits:      s.coreHits.Load(),
+			CoverHits: s.coverHits.Load(),
+			Misses:    s.coreMisses.Load(),
+			Pruned:    s.subsetsPruned.Load(),
+		},
 	}
+	st.Cores.Cores, st.Cores.Covers, st.Cores.SizeBytes = s.factStoresLocked()
 	sets := make([]*summary.BlockSet, 0, len(s.blocks))
 	for _, bs := range s.blocks {
 		sets = append(sets, bs)
@@ -261,6 +382,14 @@ func (s *Session) SizeBytes() int64 {
 		for _, l := range ltps {
 			n += ltpBytes + int64(len(l.Statements()))*stmtOccBytes
 		}
+	}
+	_, _, factBytes := s.factStoresLocked()
+	n += factBytes
+	for _, e := range s.dets {
+		n += e.det.SizeBytes()
+	}
+	for _, e := range s.lattices {
+		n += e.cores.SizeBytes() + e.covers.SizeBytes()
 	}
 	sets := make([]*summary.BlockSet, 0, len(s.blocks))
 	for _, bs := range s.blocks {
@@ -316,7 +445,7 @@ func (s *Session) CheckCtx(ctx context.Context, programs []*btp.Program, cfg Con
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ok, w := g.Robust(cfg.Method)
+	ok, w := g.RobustWith(cfg.Method, cfg.parallelism())
 	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}, nil
 }
 
@@ -336,6 +465,14 @@ func (s *Session) RobustSubsets(programs []*btp.Program, cfg Config) (*SubsetRep
 // aborts the exponential enumeration mid-flight. On cancellation the
 // context's error is returned and the partial verdicts are discarded (the
 // block cache keeps whatever pairs were computed — they stay valid).
+//
+// By default the enumeration is the lattice-pruned level-order traversal of
+// lattice.go: subsets are visited by size, every non-robust discovery is
+// recorded as a minimal non-robust core, and supersets of known cores are
+// decided by a bitset containment scan instead of running the detector —
+// non-robustness is monotone over induced subgraphs, so the pruning is
+// exact and the report is identical to the flat fan-out (and to the naive
+// oracle). Config.DisablePruning selects the retained flat path.
 func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program, cfg Config) (*SubsetReport, error) {
 	n := len(programs)
 	if n > 20 {
@@ -345,26 +482,32 @@ func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program,
 	if err != nil {
 		return nil, err
 	}
-	// The detector composes the universe graph once — computing (or
-	// reusing) every pairwise block on the worker pool — and then answers
-	// each subset's verdict on the universe's edge arrays filtered by a
-	// node mask, allocation-free per subset.
-	det, err := summary.NewSubsetDetectorCtx(ctx, s.Blocks(cfg.Setting), all, cfg.parallelism())
+	if cfg.DisablePruning {
+		// The detector composes the universe graph once — computing (or
+		// reusing) every pairwise block on the worker pool — and then
+		// answers each subset's verdict on the universe's edge arrays
+		// filtered by a node mask, allocation-free per subset.
+		det, err := summary.NewSubsetDetectorCtx(ctx, s.Blocks(cfg.Setting), all, cfg.parallelism())
+		if err != nil {
+			return nil, err
+		}
+		return s.enumerateFlat(ctx, det, groups, programs, cfg)
+	}
+	det, err := s.subsetDetector(ctx, cfg, programs, all)
 	if err != nil {
 		return nil, err
 	}
-	words := (len(all) + 63) / 64
-	// programMask[i] marks program i's LTP indices within the universe.
-	programMask := make([][]uint64, n)
-	idx := 0
-	for i, g := range groups {
-		m := make([]uint64, words)
-		for range g {
-			m[idx/64] |= 1 << (uint(idx) % 64)
-			idx++
-		}
-		programMask[i] = m
-	}
+	return s.enumerateLattice(ctx, det, groups, programs, cfg)
+}
+
+// enumerateFlat is the pre-pruning enumeration: every one of the 2^n − 1
+// masks runs the detector, fanned over the worker pool. Retained as the
+// DisablePruning path — the benchmark baseline and the engine-level oracle
+// of the pruning property tests.
+func (s *Session) enumerateFlat(ctx context.Context, det *summary.SubsetDetector, groups [][]*btp.LTP, programs []*btp.Program, cfg Config) (*SubsetReport, error) {
+	n := len(programs)
+	words := (det.NumNodes() + 63) / 64
+	programMask := programMasks(groups, words)
 
 	total := 1 << n
 	verdicts := make([]bool, total)
@@ -389,9 +532,7 @@ func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program,
 			}
 			for i := 0; i < n; i++ {
 				if mask&(1<<i) != 0 {
-					for w, word := range programMask[i] {
-						members[w] |= word
-					}
+					orInto(members, programMask[i])
 				}
 			}
 			verdicts[mask] = det.Robust(cfg.Method, members, scratch)
@@ -415,22 +556,7 @@ func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	// Deterministic report assembly in ascending mask order — the same
-	// order the naive sequential enumeration visits.
-	var robustSubsets []Subset
-	for mask := 1; mask < total; mask++ {
-		if !verdicts[mask] {
-			continue
-		}
-		var names Subset
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				names = append(names, programs[i].ShortName())
-			}
-		}
-		sort.Strings(names)
-		robustSubsets = append(robustSubsets, names)
-	}
-	return NewSubsetReport(robustSubsets), nil
+	rep := assembleReport(programs, verdicts)
+	rep.Checked = total - 1
+	return rep, nil
 }

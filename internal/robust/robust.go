@@ -47,9 +47,14 @@ type Checker struct {
 	// Parallelism is the engine's one concurrency knob: it bounds the
 	// worker pool RobustSubsets fans subset masks out over AND the
 	// intra-check sharding of every summary-graph construction (pairwise
-	// edge blocks, closure fixpoint). 0 means GOMAXPROCS, 1 forces fully
-	// sequential analysis.
+	// edge blocks, closure fixpoint, large-graph cycle search). 0 means
+	// GOMAXPROCS, 1 forces fully sequential analysis.
 	Parallelism int
+	// DisablePruning turns off the lattice-pruned subset enumeration and
+	// falls back to the flat per-subset fan-out; see
+	// analysis.Config.DisablePruning. Exposed for the benchmarks and the
+	// pruning ablation only — verdicts are identical either way.
+	DisablePruning bool
 
 	// sess is the lazily created incremental engine. It memoizes per
 	// program pointer, unfold bound and setting, so mutating the exported
@@ -87,10 +92,11 @@ func (c *Checker) Session() *analysis.Session {
 // config snapshots the exported fields into an engine configuration.
 func (c *Checker) config() analysis.Config {
 	return analysis.Config{
-		Setting:     c.Setting,
-		Method:      c.Method,
-		UnfoldBound: c.UnfoldBound,
-		Parallelism: c.Parallelism,
+		Setting:        c.Setting,
+		Method:         c.Method,
+		UnfoldBound:    c.UnfoldBound,
+		Parallelism:    c.Parallelism,
+		DisablePruning: c.DisablePruning,
 	}
 }
 

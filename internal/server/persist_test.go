@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
@@ -22,7 +23,7 @@ import (
 // all (BlockSet misses stay 0 after the restart).
 func TestSnapshotRestartRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	_, ts := newTestServer(t, Options{StateDir: dir})
+	s1, ts := newTestServer(t, Options{StateDir: dir})
 	id := registerSmallBank(t, ts)
 
 	// A second registration (what a client does after reconnecting).
@@ -36,6 +37,10 @@ func TestSnapshotRestartRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("subsets: %d", resp.StatusCode)
 	}
+	// The newly cached enumeration is a debounced snapshot write; a real
+	// restart goes through Close (which flushes) — force the flush here
+	// because the first server stays up while the second boots.
+	s1.Flush()
 
 	// Restart: a fresh Server over the same state directory.
 	s2, ts2 := newTestServer(t, Options{StateDir: dir})
@@ -247,6 +252,217 @@ func TestResultCachePatchInvalidation(t *testing.T) {
 		if ws.ID == idSB && ws.ResultCache.Entries != 1 {
 			t.Errorf("patched workload should have re-cached under version 1: %+v", ws.ResultCache)
 		}
+	}
+}
+
+// TestPersistDebounce is the write-amplification fix's acceptance test: a
+// burst of newly cached enumerations marks the workload dirty instead of
+// rewriting its snapshot per request, so the file is written once per
+// flush, not once per enumeration — and the flushed file carries every
+// result of the burst.
+func TestPersistDebounce(t *testing.T) {
+	dir := t.TempDir()
+	// An hour-long interval parks the background flusher so the test
+	// controls flush points explicitly.
+	s1, ts := newTestServer(t, Options{StateDir: dir, FlushInterval: time.Hour})
+	id := registerSmallBank(t, ts)
+	if got := s1.persists.Load(); got != 1 {
+		t.Fatalf("registration persisted %d times, want 1 (synchronous)", got)
+	}
+
+	// A burst of distinct enumerations, each caching a new result.
+	settings := []string{"attr+fk", "attr", "tpl", "tpl+fk"}
+	for _, setting := range settings {
+		resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets",
+			&wire.CheckRequest{Setting: setting}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("subsets %s: %d", setting, resp.StatusCode)
+		}
+	}
+	if got := s1.persists.Load(); got != 1 {
+		t.Errorf("burst of %d enumerations wrote %d snapshots, want 0 new (debounced)", len(settings), got-1)
+	}
+	s1.Flush()
+	if got := s1.persists.Load(); got != 2 {
+		t.Errorf("flush after the burst wrote %d snapshots total, want exactly 2 (register + one flush)", got)
+	}
+	// Idempotent: nothing dirty, nothing written.
+	s1.Flush()
+	if got := s1.persists.Load(); got != 2 {
+		t.Errorf("empty flush wrote a snapshot (total %d)", got)
+	}
+
+	// The single flushed file carries the whole burst.
+	s2, ts2 := newTestServer(t, Options{StateDir: dir})
+	if loaded, _, err := s2.StateReport(); loaded != 1 || err != nil {
+		t.Fatalf("StateReport = %d loaded, %v", loaded, err)
+	}
+	var ws wire.WorkloadStats
+	if resp, _ := doJSON(t, http.MethodGet, ts2.URL+"/v1/workloads/"+id, nil, &ws); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart workload lookup failed")
+	}
+	if ws.ResultCache.Entries != len(settings) {
+		t.Errorf("restored result cache has %d entries, want the burst's %d", ws.ResultCache.Entries, len(settings))
+	}
+}
+
+// TestFlushRetriesAfterPersistFailure: a flush that cannot write (state
+// directory gone) must keep the workload dirty so a later flush retries —
+// not silently abandon the burst's durability.
+func TestFlushRetriesAfterPersistFailure(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "state")
+	s, ts := newTestServer(t, Options{StateDir: dir, FlushInterval: time.Hour})
+	id := registerSmallBank(t, ts)
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("subsets failed")
+	}
+
+	// Break the state directory, flush, heal it, flush again.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if errs := s.persistErrs.Load(); errs == 0 {
+		t.Fatal("broken state dir did not register a persist error")
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".json")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot unexpectedly present: %v", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if _, err := os.Stat(filepath.Join(dir, id+".json")); err != nil {
+		t.Errorf("retry flush did not write the snapshot: %v", err)
+	}
+}
+
+// TestFlushAfterEvictReregisterReleasesPin: when a dirty workload is
+// evicted and its id re-registered as a fresh workload before the flush
+// runs, the flush must skip the stale entry WITHOUT leaving its probe pin
+// on the new workload — a leaked pin would make the workload permanently
+// unevictable.
+func TestFlushAfterEvictReregisterReleasesPin(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Options{StateDir: dir, MaxWorkloads: 1, FlushInterval: time.Hour})
+	idSB := registerSmallBank(t, ts)
+
+	// Dirty the workload, then evict it by registering another one.
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+idSB+"/subsets", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("subsets failed")
+	}
+	var regAu wire.RegisterWorkloadResponse
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workloads", &wire.RegisterWorkloadRequest{Benchmark: "auction"}, &regAu)
+	if s.reg.peek(idSB) != nil {
+		t.Fatal("smallbank not evicted by the 1-entry cap")
+	}
+
+	// Re-register the same content: same id, fresh workload object.
+	var reg wire.RegisterWorkloadResponse
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workloads", &wire.RegisterWorkloadRequest{Benchmark: "smallbank"}, &reg)
+	if reg.ID != idSB {
+		t.Fatalf("re-registration changed the fingerprint: %s vs %s", reg.ID, idSB)
+	}
+
+	s.Flush()
+	w := s.reg.peek(idSB)
+	if w == nil {
+		t.Fatal("re-registered workload missing")
+	}
+	if pins := w.pins.Load(); pins != 0 {
+		t.Errorf("flush leaked %d pin(s) on the re-registered workload — it can never be evicted", pins)
+	}
+}
+
+// TestCoresPersistAcrossRestart: the minimal non-robust cores discovered by
+// an enumeration survive a restart inside the snapshot, so the restarted
+// server's first fresh enumeration (here: under a different program
+// selection, which the result cache cannot answer) prunes from the seeded
+// cores instead of rediscovering them.
+func TestCoresPersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts := newTestServer(t, Options{StateDir: dir})
+	id := registerSmallBank(t, ts)
+
+	var rep1 wire.SubsetsResponse
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets", nil, &rep1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("subsets failed")
+	}
+	var ws wire.WorkloadStats
+	doJSON(t, http.MethodGet, ts.URL+"/v1/workloads/"+id, nil, &ws)
+	if ws.Cache.Cores.Cores == 0 || ws.Cache.Cores.SubsetsPruned == 0 {
+		t.Fatalf("enumeration reported no cores/pruning: %+v", ws.Cache.Cores)
+	}
+	s1.Flush()
+
+	s2, ts2 := newTestServer(t, Options{StateDir: dir})
+	if loaded, _, err := s2.StateReport(); loaded != 1 || err != nil {
+		t.Fatalf("StateReport = %d loaded, %v", loaded, err)
+	}
+	var wsBoot wire.WorkloadStats
+	doJSON(t, http.MethodGet, ts2.URL+"/v1/workloads/"+id, nil, &wsBoot)
+	if wsBoot.Cache.Cores.Cores != ws.Cache.Cores.Cores {
+		t.Errorf("restored core store has %d cores, want the %d persisted", wsBoot.Cache.Cores.Cores, ws.Cache.Cores.Cores)
+	}
+
+	// A fresh enumeration over a program selection the result cache has
+	// never seen: the seeded cores covering that selection prune without a
+	// rediscovery. {Bal, WC, Am} contains non-robust pairs on a default
+	// SmallBank, so at least one pruned superset must show up.
+	var rep2 wire.SubsetsResponse
+	resp, _ := doJSON(t, http.MethodPost, ts2.URL+"/v1/workloads/"+id+"/subsets",
+		&wire.CheckRequest{Programs: []string{"Bal", "WC", "Am"}}, &rep2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart subsets: %d", resp.StatusCode)
+	}
+	if rep2.SubsetsPruned == 0 {
+		t.Errorf("restored cores pruned nothing on a covered selection")
+	}
+	var wsAfter wire.WorkloadStats
+	doJSON(t, http.MethodGet, ts2.URL+"/v1/workloads/"+id, nil, &wsAfter)
+	if wsAfter.Cache.Cores.Cores < wsBoot.Cache.Cores.Cores {
+		t.Errorf("core store shrank across an enumeration: %d -> %d", wsBoot.Cache.Cores.Cores, wsAfter.Cache.Cores.Cores)
+	}
+}
+
+// TestPatchKeepsUntouchedCores: a PATCH drops exactly the cores involving
+// the patched program; cores over untouched programs survive and keep
+// pruning the re-enumeration under the new version.
+func TestPatchKeepsUntouchedCores(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := registerSmallBank(t, ts)
+
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm subsets failed")
+	}
+	var before wire.WorkloadStats
+	doJSON(t, http.MethodGet, ts.URL+"/v1/workloads/"+id, nil, &before)
+	if before.Cache.Cores.Cores == 0 {
+		t.Fatalf("no cores after warm enumeration")
+	}
+
+	resp, _ := doJSON(t, http.MethodPatch, ts.URL+"/v1/workloads/"+id+"/programs/DepositChecking",
+		&wire.PatchProgramRequest{SQL: patchedDepositChecking}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch failed")
+	}
+	var after wire.WorkloadStats
+	doJSON(t, http.MethodGet, ts.URL+"/v1/workloads/"+id, nil, &after)
+	if after.Cache.Cores.Cores >= before.Cache.Cores.Cores {
+		t.Errorf("patch dropped no cores: %d -> %d", before.Cache.Cores.Cores, after.Cache.Cores.Cores)
+	}
+	if after.Cache.Cores.Cores == 0 {
+		t.Errorf("patch dropped every core; cores over untouched programs must survive")
+	}
+
+	// The re-enumeration under version 1 prunes from the surviving cores.
+	var rep wire.SubsetsResponse
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets", nil, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-patch subsets failed")
+	}
+	if rep.SubsetsPruned == 0 {
+		t.Errorf("surviving cores pruned nothing after the patch")
 	}
 }
 

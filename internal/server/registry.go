@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/relschema"
 	"repro/internal/snapshot"
 	"repro/internal/sqlbtp"
+	"repro/internal/wire"
 )
 
 // workload is one registered schema + program set, wrapping the long-lived
@@ -265,10 +267,14 @@ func (w *workload) sizeBytes() int64 {
 func (w *workload) pinned() bool { return w.pins.Load() > 0 }
 
 // snapshotFile assembles the workload's persistent snapshot: schema,
-// program definitions, version, content fingerprint and the result-cache
-// entries. A PATCH racing this may leave a result entry from a newer
-// version in the file; restore filters entries by the file's version, so
-// the worst case is a dropped cache entry, never a wrong answer.
+// program definitions, version, content fingerprint, the result-cache
+// entries and the minimal non-robust cores. A PATCH racing this may leave
+// a result entry from a newer version in the file; restore filters entries
+// by the file's version, so the worst case is a dropped cache entry, never
+// a wrong answer. Cores self-consist by pointer identity: the session
+// drops a patched program's cores before the patch publishes, so every
+// exported core resolves against the program set read here — a core whose
+// pointer no longer appears in the table is skipped.
 func (w *workload) snapshotFile() (*snapshot.File, error) {
 	programs, version := w.programList()
 	f := &snapshot.File{
@@ -285,7 +291,89 @@ func (w *workload) snapshotFile() (*snapshot.File, error) {
 		f.Programs = append(f.Programs, sp)
 	}
 	f.Results = w.results.export()
+	sess := w.session()
+	f.Cores = exportCoreGroups(sess.ExportCores(), programs)
+	f.Covers = exportCoreGroups(sess.ExportCovers(), programs)
 	return f, nil
+}
+
+// exportCoreGroups renders core (or cover) facts as name-based snapshot
+// groups, one per (setting, method, bound), keeping only facts whose
+// programs all belong to the given program set.
+func exportCoreGroups(facts []analysis.CoreFact, programs []*btp.Program) []snapshot.CoreGroup {
+	names := make(map[*btp.Program]string, len(programs))
+	for _, p := range programs {
+		names[p] = p.Name
+	}
+	var groups []snapshot.CoreGroup
+	idx := make(map[string]int)
+	for _, fact := range facts {
+		core := make([]string, 0, len(fact.Programs))
+		ok := true
+		for _, p := range fact.Programs {
+			name, present := names[p]
+			if !present {
+				ok = false
+				break
+			}
+			core = append(core, name)
+		}
+		if !ok {
+			continue
+		}
+		sort.Strings(core)
+		key := fmt.Sprintf("%s|%s|%d", wire.SettingName(fact.Setting), wire.MethodName(fact.Method), fact.Bound)
+		gi, seen := idx[key]
+		if !seen {
+			gi = len(groups)
+			idx[key] = gi
+			groups = append(groups, snapshot.CoreGroup{
+				Setting: wire.SettingName(fact.Setting),
+				Method:  wire.MethodName(fact.Method),
+				Bound:   fact.Bound,
+			})
+		}
+		groups[gi].Cores = append(groups[gi].Cores, core)
+	}
+	return groups
+}
+
+// importCoreGroups resolves snapshot core/cover groups against the rebuilt
+// program table and hands them to seed (Session.ImportCores or
+// ImportCovers); entries naming unknown programs or unknown configurations
+// are dropped.
+func importCoreGroups(programs []*btp.Program, groups []snapshot.CoreGroup, seed func([]analysis.CoreFact) int) int {
+	byName := make(map[string]*btp.Program, len(programs))
+	for _, p := range programs {
+		byName[p.Name] = p
+	}
+	var facts []analysis.CoreFact
+	for _, g := range groups {
+		setting, err := wire.ParseSetting(g.Setting)
+		if err != nil {
+			continue
+		}
+		method, err := wire.ParseMethod(g.Method)
+		if err != nil {
+			continue
+		}
+		for _, core := range g.Cores {
+			ps := make([]*btp.Program, 0, len(core))
+			ok := len(core) > 0
+			for _, name := range core {
+				p, present := byName[name]
+				if !present {
+					ok = false
+					break
+				}
+				ps = append(ps, p)
+			}
+			if ok {
+				facts = append(facts, analysis.CoreFact{Setting: setting, Method: method, Bound: g.Bound, Programs: ps})
+			}
+		}
+	}
+	return seed(facts)
 }
 
 // flightCall is one in-flight subset enumeration that identical concurrent
@@ -471,6 +559,24 @@ func (r *registry) get(id string) *workload {
 	}
 	r.order.MoveToFront(el)
 	return el.Value.(*workload)
+}
+
+// pin pins the resident workload *without* bumping its recency — the
+// background snapshot flusher must not refresh the LRU position of every
+// workload it writes. Like getPinned, the pin is taken under the registry
+// lock, so it is mutually exclusive with eviction's pinned() checks.
+// Returns nil when the id is no longer resident. Callers unpin with
+// pins.Add(-1).
+func (r *registry) pin(id string) *workload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.items[id]
+	if !ok {
+		return nil
+	}
+	w := el.Value.(*workload)
+	w.pins.Add(1)
+	return w
 }
 
 // getPinned is get plus a pin taken under the registry lock, so there is

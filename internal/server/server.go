@@ -54,6 +54,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -90,10 +91,25 @@ type Options struct {
 	// memory governor — the count cap still applies as a backstop. 0 means
 	// no byte budget.
 	MaxBytes int64
+	// FlushInterval debounces the result-cache snapshot writes: a newly
+	// cached enumeration marks its workload dirty instead of rewriting the
+	// whole snapshot file in-line, and a background flusher persists every
+	// dirty workload once per interval — a burst of enumerations costs one
+	// rewrite, not one per request. Registration and PATCH still persist
+	// synchronously (rare control-plane writes whose durability the
+	// restart path depends on), and Close performs a final flush. 0 means
+	// DefaultFlushInterval.
+	FlushInterval time.Duration
 }
 
 // DefaultMaxWorkloads is the default registry cap.
 const DefaultMaxWorkloads = 64
+
+// DefaultFlushInterval is the default debounce window for result-cache
+// snapshot writes: short enough that a crash loses at most a heartbeat of
+// cached enumerations (losing one costs a recompute, never correctness),
+// long enough that a burst coalesces into one file rewrite.
+const DefaultFlushInterval = 100 * time.Millisecond
 
 // Server is the resident robustness service. Create with New, expose with
 // Handler, release background state with Close.
@@ -116,6 +132,17 @@ type Server struct {
 	stateSkipped int
 	stateErr     error
 	persistErrs  atomic.Uint64
+	// persists counts completed snapshot writes (telemetry for the
+	// write-amplification tests: a burst of cached enumerations must not
+	// grow it by more than the flush cadence allows).
+	persists atomic.Uint64
+
+	// dirty is the debounce set of the background flusher: workloads whose
+	// result cache grew since their last snapshot write. Guarded by
+	// dirtyMu; the flusher swaps the map out and persists each entry it
+	// can still pin.
+	dirtyMu sync.Mutex
+	dirty   map[string]*workload
 
 	// lastEnforce is the unix-nano time of the last release-path budget
 	// enforcement (see release).
@@ -135,6 +162,9 @@ func New(opts Options) *Server {
 		opts.MaxWorkloads = DefaultMaxWorkloads
 	}
 	base, cancel := context.WithCancel(context.Background())
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
 	s := &Server{
 		opts:       opts,
 		reg:        newRegistry(opts.MaxWorkloads, opts.MaxBytes),
@@ -142,6 +172,7 @@ func New(opts Options) *Server {
 		start:      time.Now(),
 		base:       base,
 		baseCancel: cancel,
+		dirty:      make(map[string]*workload),
 	}
 	// Evicted workloads must not resurrect on the next boot. The callback
 	// runs after the registry lock is released, so the same fingerprint may
@@ -159,6 +190,9 @@ func New(opts Options) *Server {
 	}
 	if opts.StateDir != "" {
 		s.loadState(opts.StateDir)
+	}
+	if s.snap != nil {
+		go s.flushLoop()
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -246,18 +280,22 @@ func restoreWorkload(f *snapshot.File) (*workload, error) {
 	w.id = f.ID
 	w.version = f.Version
 	w.results.restore(f.Results, f.Version)
+	importCoreGroups(programs, f.Cores, w.sess.ImportCores)
+	importCoreGroups(programs, f.Covers, w.sess.ImportCovers)
 	return w, nil
 }
 
-// persist writes the workload's snapshot, if persistence is enabled.
-// Best-effort by design: a failed write is counted (persist_errors in
-// /v1/stats) and the server keeps serving from memory. Per-workload
-// serialization (persistMu) makes the state read and the file replacement
-// atomic against each other — without it, a persist still holding
-// pre-PATCH state could win the rename against the PATCH's newer snapshot.
-func (s *Server) persist(w *workload) {
+// persist writes the workload's snapshot now, reporting success. Failures
+// are counted (persist_errors in /v1/stats) and the server keeps serving
+// from memory; the flusher uses the return value to re-queue the workload
+// so a transient disk error does not silently abandon the burst.
+// Per-workload serialization (persistMu) makes the state read and the file
+// replacement atomic against each other — without it, a persist still
+// holding pre-PATCH state could win the rename against the PATCH's newer
+// snapshot.
+func (s *Server) persist(w *workload) bool {
 	if s.snap == nil {
-		return
+		return true
 	}
 	w.persistMu.Lock()
 	defer w.persistMu.Unlock()
@@ -267,13 +305,83 @@ func (s *Server) persist(w *workload) {
 	}
 	if err != nil {
 		s.persistErrs.Add(1)
+		return false
+	}
+	s.persists.Add(1)
+	return true
+}
+
+// markDirty queues the workload for the next debounced snapshot flush
+// instead of rewriting its file in-line — the fix for the result-cache
+// write amplification: a burst of newly cached enumerations rewrites the
+// workload file once per flush interval, not once per request.
+func (s *Server) markDirty(w *workload) {
+	if s.snap == nil {
+		return
+	}
+	s.dirtyMu.Lock()
+	s.dirty[w.id] = w
+	s.dirtyMu.Unlock()
+}
+
+// flushLoop is the background flusher: one Flush per FlushInterval until
+// Close. Only started when persistence is enabled.
+func (s *Server) flushLoop() {
+	t := time.NewTicker(s.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.base.Done():
+			return
+		case <-t.C:
+			s.Flush()
+		}
 	}
 }
 
-// Close aborts any coalesced enumerations still running in the background.
-// Registered workloads (and their caches) are simply garbage once the
-// Server is unreferenced.
-func (s *Server) Close() { s.baseCancel() }
+// Flush persists every dirty workload now. Each workload is pinned (without
+// bumping its recency) for the duration of its write, so a concurrent
+// eviction cannot interleave its snapshot deletion with the write and leave
+// an evicted workload resurrectable; a workload evicted before the flush
+// reaches it is skipped — its snapshot is already gone by design. Called by
+// the background flusher, by Close (the explicit shutdown flush), and by
+// tests and embedders that need durability at a known point.
+func (s *Server) Flush() {
+	s.dirtyMu.Lock()
+	dirty := s.dirty
+	s.dirty = make(map[string]*workload)
+	s.dirtyMu.Unlock()
+	for id, w := range dirty {
+		res := s.reg.pin(id)
+		if res == nil {
+			continue // evicted since it was marked; its snapshot is gone by design
+		}
+		if res != w {
+			// The id was evicted and re-registered as a fresh workload:
+			// registration persisted it, nothing to flush — but the pin we
+			// just took is on the NEW workload and must be released, or it
+			// would be unevictable forever.
+			res.pins.Add(-1)
+			continue
+		}
+		if !s.persist(w) {
+			// Transient write failure (disk full, permissions blip): put
+			// the workload back on the dirty set so the next flush — or
+			// the shutdown flush — retries instead of silently dropping
+			// the burst's durability.
+			s.markDirty(w)
+		}
+		w.pins.Add(-1)
+	}
+}
+
+// Close flushes pending snapshot writes and aborts any coalesced
+// enumerations still running in the background. Registered workloads (and
+// their caches) are simply garbage once the Server is unreferenced.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.Flush()
+}
 
 // Register registers a workload programmatically (the CLI's -preload path
 // uses this; HTTP clients use POST /v1/workloads). Programs are validated
@@ -595,10 +703,11 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeRaw(rw, respVersion, buf.Bytes())
-	// Persist after the response bytes are out: the snapshot write (a full
-	// rewrite of the workload's file) must not sit in the client's latency.
+	// A new cached result only marks the workload dirty; the debounced
+	// flusher rewrites the snapshot file once per interval however many
+	// enumerations a burst caches, and never in the client's latency.
 	if w.results.put(key, respVersion, buf.Bytes()) {
-		s.persist(w)
+		s.markDirty(w)
 	}
 }
 

@@ -48,6 +48,26 @@ type File struct {
 	// Results are the persisted subsets result-cache entries; entries whose
 	// Version differs from the file's Version are dropped on load.
 	Results []Result `json:"results,omitempty"`
+	// Cores are the persisted minimal non-robust cores, so a restarted
+	// server prunes its first enumeration as effectively as the warm one
+	// did; Covers are the robust-side dual (program sets known jointly
+	// robust). Both reference programs by full name against the file's own
+	// program set; entries naming unknown programs are dropped on load.
+	Cores  []CoreGroup `json:"cores,omitempty"`
+	Covers []CoreGroup `json:"covers,omitempty"`
+}
+
+// CoreGroup is the persisted core set of one analysis configuration: each
+// core is a sorted list of program full names that are jointly non-robust
+// under (Setting, Method, Bound), minimally so (removing any one program
+// flips the verdict to robust). Like Results, cores are trusted once the
+// file's content fingerprint verifies — they are derived data used purely
+// for pruning, written by the same process that computed the results.
+type CoreGroup struct {
+	Setting string     `json:"setting"`
+	Method  string     `json:"method"`
+	Bound   int        `json:"bound"`
+	Cores   [][]string `json:"cores"`
 }
 
 // Result is one persisted subsets result-cache entry: the request key and

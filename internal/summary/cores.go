@@ -1,0 +1,224 @@
+package summary
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file is the minimal-non-robust-core machinery behind the
+// lattice-pruned subset enumeration (analysis.Session.RobustSubsetsCtx).
+// Non-robustness is monotone over node-induced subgraphs: a dangerous cycle
+// witnessed in a subset's induced graph survives verbatim in every superset,
+// because adding nodes only adds edges and reachability. A *core* records
+// the node mask of one minimal non-robust subset; any subset whose mask
+// contains a core is non-robust without running the detector at all.
+// Robustness is the anti-monotone dual — a subset of a cycle-free subgraph
+// is cycle-free — so a *cover* (the mask of a subset known robust) decides
+// every subset of it. CoreSet and CoverSet are the two directions of one
+// shared antichain implementation (maskAntichain).
+
+// coreEpoch is one immutable published generation: count masks of `words`
+// words each, packed back to back.
+type coreEpoch struct {
+	packed []uint64
+	count  int
+}
+
+// maskSubset reports a ⊆ b over equal-width masks.
+func maskSubset(a, b []uint64) bool {
+	for i, w := range a {
+		if w&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maskAntichain is the shared machinery of CoreSet and CoverSet: a set of
+// bitset masks published atomically as immutable epochs, kept as an
+// antichain under a containment direction. Readers snapshot an epoch with
+// one pointer load; writers retry a copy-on-write CAS, so a published mask
+// is never lost and no reader observes a partially written one.
+type maskAntichain struct {
+	words int
+	epoch atomic.Pointer[coreEpoch]
+}
+
+// Len returns the number of masks in the current epoch.
+func (c *maskAntichain) Len() int { return c.epoch.Load().count }
+
+// SizeBytes estimates the set's resident memory (the packed bitset array of
+// the current epoch plus fixed overhead) for the server's per-workload
+// memory accounting.
+func (c *maskAntichain) SizeBytes() int64 {
+	e := c.epoch.Load()
+	return int64(unsafe.Sizeof(*c)) + int64(cap(e.packed))*8
+}
+
+// Masks copies out every mask of the current epoch, for merging the
+// discoveries of one enumeration back into a longer-lived store.
+func (c *maskAntichain) Masks() [][]uint64 {
+	e := c.epoch.Load()
+	w := c.words
+	out := make([][]uint64, 0, e.count)
+	for off := 0; off < len(e.packed); off += w {
+		m := make([]uint64, w)
+		copy(m, e.packed[off:off+w])
+		out = append(out, m)
+	}
+	return out
+}
+
+// add inserts a mask, maintaining the antichain under the `dominates`
+// direction: dominates(a, b) means a stored mask a already decides b. The
+// insert is refused when an existing mask dominates the new one, and
+// existing masks the new one dominates are dropped. Lock-free copy-on-
+// write: racing adds retry until their epoch lands.
+//
+// For cores dominates = maskSubset (a core decides its supersets); for
+// covers it is the flipped test (a cover decides its subsets).
+func (c *maskAntichain) add(mask []uint64, flip bool) bool {
+	w := c.words
+	dominates := func(a, b []uint64) bool {
+		if flip {
+			return maskSubset(b, a)
+		}
+		return maskSubset(a, b)
+	}
+	for {
+		old := c.epoch.Load()
+		keep := make([]uint64, 0, len(old.packed)+w)
+		covered := false
+		for off := 0; off < len(old.packed); off += w {
+			existing := old.packed[off : off+w]
+			if dominates(existing, mask) {
+				// The new mask is already decided (equality included).
+				covered = true
+				break
+			}
+			if !dominates(mask, existing) {
+				keep = append(keep, existing...)
+			}
+		}
+		if covered {
+			return false
+		}
+		keep = append(keep, mask...)
+		next := &coreEpoch{packed: keep, count: len(keep) / w}
+		if c.epoch.CompareAndSwap(old, next) {
+			return true
+		}
+	}
+}
+
+// CoreSet is a shared, lock-free set of minimal non-robust cores over one
+// node universe, so enumeration workers snapshot an epoch with one pointer
+// load and pruning discovered on one worker benefits all others on their
+// next mask. The antichain invariant (no core contains another) is also
+// what keeps the containment scan O(#cores).
+type CoreSet struct {
+	maskAntichain
+}
+
+// NewCoreSet creates an empty core set over masks of the given word count.
+func NewCoreSet(words int) *CoreSet {
+	c := &CoreSet{maskAntichain{words: words}}
+	c.epoch.Store(&coreEpoch{})
+	return c
+}
+
+// Add inserts a core mask: refused when an existing core is a subset of it
+// (the mask is already decided), and existing strict supersets are
+// dropped.
+func (c *CoreSet) Add(mask []uint64) bool { return c.add(mask, false) }
+
+// Snapshot returns the current epoch (one atomic pointer load).
+func (c *CoreSet) Snapshot() CoreSnapshot {
+	e := c.epoch.Load()
+	return CoreSnapshot{packed: e.packed, words: c.words}
+}
+
+// CoreSnapshot is one immutable epoch of a CoreSet: reads against it are
+// wait-free and never observe a partially published core.
+type CoreSnapshot struct {
+	packed []uint64
+	words  int
+}
+
+// Len returns the number of cores in the snapshot.
+func (s CoreSnapshot) Len() int {
+	if s.words == 0 {
+		return 0
+	}
+	return len(s.packed) / s.words
+}
+
+// Contains reports whether some core is a subset of the mask — i.e. whether
+// the subset with this node mask is already known non-robust. One linear
+// scan over the packed array.
+func (s CoreSnapshot) Contains(mask []uint64) bool {
+	w := s.words
+	for off := 0; off < len(s.packed); off += w {
+		if maskSubset(s.packed[off:off+w], mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoverSet is the anti-monotone dual of CoreSet: an antichain of maximal
+// robust covers. Within one level-order traversal covers never fire
+// (stored covers are smaller than the masks still to come); they are the
+// warm-session complement of the cores — after one enumeration, a repeat
+// decides robust subsets by cover containment and non-robust ones by core
+// containment, zero detector runs.
+type CoverSet struct {
+	maskAntichain
+}
+
+// NewCoverSet creates an empty cover set over masks of the given word
+// count.
+func NewCoverSet(words int) *CoverSet {
+	c := &CoverSet{maskAntichain{words: words}}
+	c.epoch.Store(&coreEpoch{})
+	return c
+}
+
+// Add inserts a cover mask: refused when an existing cover contains it,
+// and existing strict subsets are dropped.
+func (c *CoverSet) Add(mask []uint64) bool { return c.add(mask, true) }
+
+// Snapshot returns the current epoch (one atomic pointer load).
+func (c *CoverSet) Snapshot() CoverSnapshot {
+	e := c.epoch.Load()
+	return CoverSnapshot{packed: e.packed, words: c.words}
+}
+
+// CoverSnapshot is one immutable epoch of a CoverSet.
+type CoverSnapshot struct {
+	packed []uint64
+	words  int
+}
+
+// Covers reports whether the mask is a subset of some cover — i.e. whether
+// the subset with this node mask is already known robust.
+func (s CoverSnapshot) Covers(mask []uint64) bool {
+	w := s.words
+	for off := 0; off < len(s.packed); off += w {
+		if maskSubset(mask, s.packed[off:off+w]) {
+			return true
+		}
+	}
+	return false
+}
+
+// PopCount returns the number of set bits in a mask (the subset size a core
+// describes).
+func PopCount(mask []uint64) int {
+	n := 0
+	for _, w := range mask {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -115,6 +115,55 @@ func pairCondition(e2, e3 Edge) bool {
 	return e2.FromStmt.Stmt.EndsWithReadOrPredRead()
 }
 
+// findE1 answers the existence query of the pair-centric search: for a pair
+// (S = source(e2), T = target(e3)), is there a non-counterflow edge
+// e1 = (P1 -> P2) with coreach[S] ∋ P2 and reach[T] ∋ P1? Results are
+// memoized per (S, T) node pair in cache (0 = unknown, 1 = no witness,
+// ei+2 = witness edge index); callers own the cache, so parallel workers
+// can each scan with a private one. SubsetDetector.detect (compose.go)
+// mirrors this scan and encoding over its member-filtered closures —
+// changes here must land there too.
+func (g *Graph) findE1(cache []int32, s, t int) int {
+	n := len(g.Nodes)
+	k := s*n + t
+	if v := cache[k]; v != 0 {
+		return int(v) - 2
+	}
+	res := -1
+	for ei, e := range g.Edges {
+		if e.Class != NonCounterflow {
+			continue
+		}
+		p1 := int(g.edgeFrom[ei])
+		p2 := int(g.edgeTo[ei])
+		if g.coreach[s].has(p2) && g.reach[t].has(p1) {
+			res = ei
+			break
+		}
+	}
+	cache[k] = int32(res + 2)
+	return res
+}
+
+// typeIIPairAt scans the adjacent pairs of counterflow edge e3i (in in-list
+// order) and returns the first witnessing e2 edge index plus its e1, or
+// (-1, -1). This is the per-e3 unit of work the parallel search shards.
+func (g *Graph) typeIIPairAt(cache []int32, e3i int) (e2i, e1i int) {
+	e3 := g.Edges[e3i]
+	m := g.edgeFrom[e3i]
+	t := int(g.edgeTo[e3i])
+	for _, e2i := range g.in[m] {
+		e2 := g.Edges[e2i]
+		if !pairCondition(e2, e3) {
+			continue
+		}
+		if e1i := g.findE1(cache, int(g.edgeFrom[e2i]), t); e1i >= 0 {
+			return e2i, e1i
+		}
+	}
+	return -1, -1
+}
+
 func (g *Graph) typeII(literal bool) (bool, *Witness) {
 	if literal {
 		return g.typeIILiteral()
@@ -127,50 +176,13 @@ func (g *Graph) typeII(literal bool) (bool, *Witness) {
 	if n == 0 {
 		return false, nil
 	}
-	// ncFrom[x] = true if some non-counterflow edge leaves a node in the
-	// forward closure context... we precompute per query instead: for a
-	// pair (S = source(e2), T = target(e3)) the existence test is
-	//   ∃ nc edge e1: coreach[S] contains target(e1) and reach[T]
-	//   contains source(e1).
-	// Cache results per (S, T) node pair: 0 = unknown, 1 = no witness,
-	// ei+2 = witness edge index.
 	cache := make([]int32, n*n)
-	findE1 := func(s, t int) int {
-		k := s*n + t
-		if v := cache[k]; v != 0 {
-			return int(v) - 2
-		}
-		res := -1
-		for ei, e := range g.Edges {
-			if e.Class != NonCounterflow {
-				continue
-			}
-			p1 := int(g.edgeFrom[ei])
-			p2 := int(g.edgeTo[ei])
-			if g.coreach[s].has(p2) && g.reach[t].has(p1) {
-				res = ei
-				break
-			}
-		}
-		cache[k] = int32(res + 2)
-		return res
-	}
 	for e3i, e3 := range g.Edges {
 		if e3.Class != Counterflow {
 			continue
 		}
-		m := g.edgeFrom[e3i]
-		t := int(g.edgeTo[e3i])
-		for _, e2i := range g.in[m] {
-			e2 := g.Edges[e2i]
-			if !pairCondition(e2, e3) {
-				continue
-			}
-			s := int(g.edgeFrom[e2i])
-			if e1i := findE1(s, t); e1i >= 0 {
-				e1 := g.Edges[e1i]
-				return true, g.assembleWitness(e1, e2, e3)
-			}
+		if e2i, e1i := g.typeIIPairAt(cache, e3i); e2i >= 0 {
+			return true, g.assembleWitness(g.Edges[e1i], g.Edges[e2i], e3)
 		}
 	}
 	return false, nil
@@ -263,13 +275,28 @@ func (g *Graph) shortestPath(from, to *btp.LTP) []Edge {
 // incomplete, so false does not prove non-robustness). The witness is nil
 // when robust.
 func (g *Graph) Robust(m Method) (bool, *Witness) {
+	return g.RobustWith(m, 1)
+}
+
+// RobustWith is Robust with a worker budget (the engine's one Parallelism
+// convention: 0 means GOMAXPROCS, 1 forces sequential detection). For
+// type-II detection on graphs of at least parallelDetectMinNodes nodes the
+// counterflow-edge outer loop is sharded across the pool (typeIIParallel),
+// with a bit-identical verdict and the same first witness the sequential
+// scan selects; smaller graphs and type-I detection stay sequential — they
+// are microseconds at any size the enumeration guard admits.
+func (g *Graph) RobustWith(m Method, workers int) (bool, *Witness) {
 	var found bool
 	var w *Witness
 	switch m {
 	case TypeI:
 		found, w = g.HasTypeICycle()
 	default:
-		found, w = g.HasTypeIICycle()
+		if resolveWorkers(workers) > 1 && len(g.Nodes) >= parallelDetectMinNodes {
+			found, w = g.typeIIParallel(resolveWorkers(workers))
+		} else {
+			found, w = g.HasTypeIICycle()
+		}
 	}
 	return !found, w
 }

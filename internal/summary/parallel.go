@@ -255,6 +255,88 @@ func squaringFixpoint(rows []bitset, workers int) {
 	}
 }
 
+// parallelDetectMinNodes is the node count below which type-II detection
+// stays sequential: small graphs finish in microseconds and goroutine
+// handoff would dominate. Chosen to match the closure threshold, so one
+// "large graph" regime governs both parallel stages.
+const parallelDetectMinNodes = 64
+
+// typeIIDetectChunk is the number of counterflow edges a detection worker
+// claims per atomic fetch: small, because per-e3 cost is skewed (an early
+// witnessing e3 finishes its chunk instantly while dead ends scan all of
+// g.in[m] × findE1).
+const typeIIDetectChunk = 4
+
+// typeIIParallel is Graph.typeII with the counterflow-edge outer loop
+// sharded across a worker pool. Workers claim chunks of the counterflow
+// index list from an atomic counter, each scanning with a private findE1
+// cache, and publish the smallest witnessing position via CAS-min; edges
+// past the current best are skipped (they cannot improve the minimum), so
+// the pool converges quickly once any witness is found. The winning e3 is
+// then re-resolved sequentially, which makes the selected witness exactly
+// the one the sequential scan returns: the first counterflow edge in edge
+// order with a witnessing adjacent pair, its first such e2 in in-list
+// order, and that pair's first e1 in edge order.
+func (g *Graph) typeIIParallel(workers int) (bool, *Witness) {
+	n := len(g.Nodes)
+	if n == 0 {
+		return false, nil
+	}
+	// Collect counterflow edge indices once, in edge order — positions in
+	// this list are the determinism rank.
+	var cf []int32
+	for ei := range g.Edges {
+		if g.Edges[ei].Class == Counterflow {
+			cf = append(cf, int32(ei))
+		}
+	}
+	if len(cf) == 0 {
+		return false, nil
+	}
+	if max := (len(cf) + typeIIDetectChunk - 1) / typeIIDetectChunk; workers > max {
+		workers = max
+	}
+	best := atomic.Int64{}
+	best.Store(int64(len(cf)))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cache := make([]int32, n*n)
+			for {
+				start := int(next.Add(typeIIDetectChunk)) - typeIIDetectChunk
+				if start >= len(cf) {
+					return
+				}
+				for pos := start; pos < min(start+typeIIDetectChunk, len(cf)); pos++ {
+					if int64(pos) > best.Load() {
+						continue
+					}
+					if e2i, _ := g.typeIIPairAt(cache, int(cf[pos])); e2i >= 0 {
+						for {
+							cur := best.Load()
+							if int64(pos) >= cur || best.CompareAndSwap(cur, int64(pos)) {
+								break
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pos := int(best.Load())
+	if pos >= len(cf) {
+		return false, nil
+	}
+	// Deterministic witness assembly from the winning e3 alone.
+	e3i := int(cf[pos])
+	e2i, e1i := g.typeIIPairAt(make([]int32, n*n), e3i)
+	return true, g.assembleWitness(g.Edges[e1i], g.Edges[e2i], g.Edges[e3i])
+}
+
 // closuresParallel is closures with a worker budget: below
 // parallelClosureMinRows nodes (or with a single worker) it runs the
 // sequential fixpoint, otherwise the round-synchronized parallel one.

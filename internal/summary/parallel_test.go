@@ -2,6 +2,7 @@ package summary
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/benchmarks"
@@ -241,5 +242,73 @@ func TestEnsureCtxCancellation(t *testing.T) {
 	want := Build(bench.Schema, ltps, SettingAttrDepFK)
 	if g.String() != want.String() {
 		t.Error("post-cancellation compose diverges from Build")
+	}
+}
+
+// TestTypeIIParallelMatchesSequential is the sharded-detection acceptance
+// test: on every fixed benchmark graph and on Auction(n) graphs spanning
+// the parallel threshold, typeIIParallel must return the same verdict AND
+// the same first witness as the sequential pair-centric scan, for every
+// worker count. Small graphs are driven through typeIIParallel directly
+// (RobustWith would route them to the sequential path); the large Auction
+// graphs also exercise the public RobustWith routing.
+func TestTypeIIParallelMatchesSequential(t *testing.T) {
+	graphs := []struct {
+		name string
+		mk   func() *Graph
+	}{
+		{"SmallBank", func() *Graph {
+			b := benchmarks.SmallBank()
+			return Build(b.Schema, btp.UnfoldAll2(b.Programs), SettingAttrDepFK)
+		}},
+		{"TPCC", func() *Graph {
+			b := benchmarks.TPCC()
+			return Build(b.Schema, btp.UnfoldAll2(b.Programs), SettingAttrDepFK)
+		}},
+		{"TPCC-tpl", func() *Graph {
+			b := benchmarks.TPCC()
+			return Build(b.Schema, btp.UnfoldAll2(b.Programs), SettingTplDep)
+		}},
+	}
+	for _, n := range []int{10, 22, 40} {
+		n := n
+		for _, setting := range AllSettings {
+			setting := setting
+			graphs = append(graphs, struct {
+				name string
+				mk   func() *Graph
+			}{fmt.Sprintf("Auction(%d)/%s", n, setting), func() *Graph {
+				b := benchmarks.AuctionN(n)
+				return Build(b.Schema, btp.UnfoldAll2(b.Programs), setting)
+			}})
+		}
+	}
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.mk()
+			wantFound, wantW := g.typeII(false)
+			for _, workers := range []int{2, 3, 8} {
+				gotFound, gotW := g.typeIIParallel(workers)
+				if gotFound != wantFound {
+					t.Fatalf("workers=%d: found=%t, sequential=%t", workers, gotFound, wantFound)
+				}
+				if (gotW == nil) != (wantW == nil) {
+					t.Fatalf("workers=%d: witness presence diverges", workers)
+				}
+				if gotW != nil && gotW.String() != wantW.String() {
+					t.Errorf("workers=%d: witness diverges\ngot:  %s\nwant: %s", workers, gotW, wantW)
+				}
+			}
+			// The public routing: verdicts must match whichever path
+			// RobustWith picks for this size.
+			seqOK, seqW := g.Robust(TypeII)
+			parOK, parW := g.RobustWith(TypeII, 8)
+			if seqOK != parOK || (seqW == nil) != (parW == nil) {
+				t.Errorf("RobustWith diverges from Robust: %t/%t", parOK, seqOK)
+			}
+			if seqW != nil && parW.String() != seqW.String() {
+				t.Errorf("RobustWith witness diverges")
+			}
+		})
 	}
 }

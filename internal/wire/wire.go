@@ -262,18 +262,27 @@ type SubsetsResponse struct {
 	Programs    []string   `json:"programs"`
 	Robust      [][]string `json:"robust"`
 	Maximal     [][]string `json:"maximal"`
+	// SubsetsPruned counts the subsets this enumeration decided by the
+	// minimal-non-robust-core containment test instead of running the
+	// cycle detector (0 for the naive oracle and the DisablePruning path).
+	// Deterministic for a given session state — a fresh CLI run and a
+	// fresh server enumeration report the same value — but a warm session
+	// with seeded cores legitimately prunes more; cached responses replay
+	// the count of the run that produced them.
+	SubsetsPruned int `json:"subsets_pruned"`
 }
 
 // NewSubsetsResponse assembles the wire response for one subset
 // enumeration.
 func NewSubsetsResponse(cfg analysis.Config, programs []*btp.Program, rep *analysis.SubsetReport) *SubsetsResponse {
 	return &SubsetsResponse{
-		Setting:     SettingName(cfg.Setting),
-		Method:      MethodName(cfg.Method),
-		UnfoldBound: effectiveBound(cfg),
-		Programs:    shortNames(programs),
-		Robust:      subsetsToWire(rep.Robust),
-		Maximal:     subsetsToWire(rep.Maximal),
+		Setting:       SettingName(cfg.Setting),
+		Method:        MethodName(cfg.Method),
+		UnfoldBound:   effectiveBound(cfg),
+		Programs:      shortNames(programs),
+		Robust:        subsetsToWire(rep.Robust),
+		Maximal:       subsetsToWire(rep.Maximal),
+		SubsetsPruned: rep.Pruned,
 	}
 }
 
@@ -313,6 +322,26 @@ type CacheStats struct {
 	Hits        uint64 `json:"hits"`
 	Misses      uint64 `json:"misses"`
 	Invalidated uint64 `json:"invalidated"`
+	// Cores is the lattice-pruning telemetry of the subset enumeration:
+	// the minimal non-robust core store and its containment-scan counters.
+	Cores CoreSetStats `json:"cores"`
+}
+
+// CoreSetStats is the wire form of the session's lattice-pruning
+// telemetry: Cores counts stored minimal non-robust cores and Covers the
+// stored robust covers (the anti-monotone dual) across configurations;
+// Hits counts subsets decided non-robust by the core containment scan,
+// CoverHits subsets decided robust by the cover scan, Misses subsets that
+// ran the cycle detector; SubsetsPruned = Hits + CoverHits (detector runs
+// skipped); SizeBytes is the stores' estimated resident memory.
+type CoreSetStats struct {
+	Cores         int    `json:"cores"`
+	Covers        int    `json:"covers"`
+	Hits          uint64 `json:"hits"`
+	CoverHits     uint64 `json:"cover_hits"`
+	Misses        uint64 `json:"misses"`
+	SubsetsPruned uint64 `json:"subsets_pruned"`
+	SizeBytes     int64  `json:"size_bytes"`
 }
 
 // NewCacheStats converts a session snapshot to its wire form.
@@ -325,6 +354,15 @@ func NewCacheStats(st analysis.Stats) CacheStats {
 		Hits:        st.Blocks.Hits,
 		Misses:      st.Blocks.Misses,
 		Invalidated: st.Blocks.Invalidated,
+		Cores: CoreSetStats{
+			Cores:         st.Cores.Cores,
+			Covers:        st.Cores.Covers,
+			Hits:          st.Cores.Hits,
+			CoverHits:     st.Cores.CoverHits,
+			Misses:        st.Cores.Misses,
+			SubsetsPruned: st.Cores.Pruned,
+			SizeBytes:     st.Cores.SizeBytes,
+		},
 	}
 }
 

@@ -192,9 +192,13 @@ func CheckOptions(schema *Schema, programs []*Program, opts Options) (*Report, e
 
 // RobustSubsets checks every non-empty subset of the programs and returns
 // the robust and maximal robust subsets (the analysis behind Figures 6
-// and 7 of the paper). Subset graphs are composed from a pairwise
-// edge-block cache and checked on a GOMAXPROCS-wide worker pool; use
-// RobustSubsetsOptions to bound or disable the parallelism.
+// and 7 of the paper). The enumeration is lattice-pruned: subsets are
+// visited by size and once a subset is non-robust its minimal non-robust
+// core decides every superset by a bitset-containment test instead of a
+// cycle search (non-robustness is monotone over induced subgraphs), with
+// robust covers pruning the other direction; verdicts are identical to
+// the exhaustive per-subset check. Use RobustSubsetsOptions to bound the
+// parallelism or select the flat path (Options.DisablePruning).
 func RobustSubsets(schema *Schema, programs []*Program, setting Setting, method Method) (*SubsetReport, error) {
 	return RobustSubsetsOptions(schema, programs, Options{Setting: setting, Method: method})
 }
