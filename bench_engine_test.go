@@ -32,6 +32,7 @@ func BenchmarkEngineIsolation(b *testing.B) {
 	for _, iso := range []mvcc.Isolation{mvcc.ReadCommitted, mvcc.SnapshotIsolation, mvcc.Serializable} {
 		iso := iso
 		b.Run(iso.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			engine := workload.NewSmallBankEngine(cfg)
 			mix, err := workload.SmallBankSubsetMix(cfg, "Am", "DC", "TS")
 			if err != nil {
@@ -57,6 +58,7 @@ func BenchmarkEngineIsolation(b *testing.B) {
 // static analysis, witness extraction, canonical instantiation and the
 // exhaustive counterexample search together.
 func BenchmarkRealizeWitness(b *testing.B) {
+	b.ReportAllocs()
 	bench := benchmarks.SmallBank()
 	checker := robust.NewChecker(bench.Schema)
 	res, err := checker.Check([]*btp.Program{bench.Program("Balance"), bench.Program("Amalgamate")})
@@ -93,6 +95,7 @@ func BenchmarkSQLParse(b *testing.B) {
 // BenchmarkTypeIWitnessExtraction measures type-I detection with witness
 // assembly on TPC-C (the dense 396-edge graph).
 func BenchmarkTypeIWitnessExtraction(b *testing.B) {
+	b.ReportAllocs()
 	bench := benchmarks.TPCC()
 	checker := robust.NewChecker(bench.Schema)
 	checker.Method = summary.TypeI

@@ -18,13 +18,16 @@
 package mvrc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
 	"repro/internal/experiments"
@@ -45,6 +48,7 @@ func reportOnce(b *testing.B, format string, args ...any) {
 // --- Table 2: benchmark characteristics -----------------------------------
 
 func benchmarkTable2(b *testing.B, mk func() *benchmarks.Benchmark) {
+	b.ReportAllocs()
 	bench := mk()
 	row := experiments.Table2(bench)
 	reportOnce(b, "Table 2 row: %s — %d relations, %d programs, %d nodes, %d edges (%d counterflow)",
@@ -68,6 +72,7 @@ func BenchmarkTable2(b *testing.B) {
 // --- Figures 6 and 7: maximal robust subsets ------------------------------
 
 func benchmarkFigure(b *testing.B, mk func() *benchmarks.Benchmark, setting summary.Setting, method summary.Method) {
+	b.ReportAllocs()
 	bench := mk()
 	cell, err := experiments.RobustSubsetsCell(bench, setting, method)
 	if err != nil {
@@ -129,6 +134,7 @@ func BenchmarkFigure8AuctionN(b *testing.B) {
 	for _, n := range []int{1, 5, 10, 20, 40, 60, 80, 100} {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			bench := benchmarks.AuctionN(n)
 			wantEdges, wantCF := experiments.ExpectedAuctionNEdges(n)
 			reportOnce(b, "Auction(%d): %d nodes, %d edges (%d counterflow) expected", n, 3*n, wantEdges, wantCF)
@@ -221,6 +227,53 @@ func BenchmarkRobustSubsets(b *testing.B) {
 			})
 		}
 	}
+
+	// The streaming pair measures cold time-to-first-verdict (the quantity
+	// streaming exists to shorten), both as the whole-op time and as an
+	// explicit ttfv-ns/op metric:
+	//
+	//	stream-first-non-robust — a cold checker per iteration streams in
+	//	        first_non_robust mode: lazy per-subset composition plus the
+	//	        cost-ordered schedule reach a non-robust verdict after a
+	//	        prefix of level 1, never building the universe detector
+	//	pruned-cold — the monolithic comparator: a cold checker per
+	//	        iteration runs the full lattice-pruned enumeration, whose
+	//	        first verdict is only available with the final report
+	b.Run("stream-first-non-robust", func(b *testing.B) {
+		b.ReportAllocs()
+		var ttfv time.Duration
+		for i := 0; i < b.N; i++ {
+			checker := robust.NewChecker(bench.Schema)
+			start := time.Now()
+			var first time.Duration
+			_, err := checker.RobustSubsetsStream(context.Background(), bench.Programs,
+				analysis.StreamOptions{Mode: analysis.StreamFirstNonRobust},
+				func(analysis.StreamVerdict) error {
+					if first == 0 {
+						first = time.Since(start)
+					}
+					return nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ttfv += first
+		}
+		b.ReportMetric(float64(ttfv.Nanoseconds())/float64(b.N), "ttfv-ns/op")
+	})
+	b.Run("pruned-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		var ttfv time.Duration
+		for i := 0; i < b.N; i++ {
+			checker := robust.NewChecker(bench.Schema)
+			start := time.Now()
+			if _, err := checker.RobustSubsets(bench.Programs); err != nil {
+				b.Fatal(err)
+			}
+			ttfv += time.Since(start)
+		}
+		b.ReportMetric(float64(ttfv.Nanoseconds())/float64(b.N), "ttfv-ns/op")
+	})
 }
 
 // --- Ablations --------------------------------------------------------------
@@ -232,11 +285,13 @@ func BenchmarkAblationTypeIIvsTypeI(b *testing.B) {
 	ltps := btp.UnfoldAll2(bench.Programs)
 	g := summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
 	b.Run("TypeII", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g.Robust(summary.TypeII)
 		}
 	})
 	b.Run("TypeI", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g.Robust(summary.TypeI)
 		}
@@ -251,6 +306,7 @@ func BenchmarkAblationSettings(b *testing.B) {
 	for _, setting := range summary.AllSettings {
 		setting := setting
 		b.Run(setting.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			g := summary.Build(bench.Schema, ltps, setting)
 			reportOnce(b, "TPC-C under %s: %d edges (%d counterflow)",
 				setting, len(g.Edges), g.CounterflowEdges())
@@ -270,6 +326,7 @@ func BenchmarkAblationUnfoldBound(b *testing.B) {
 	for _, bound := range []int{1, 2, 3} {
 		bound := bound
 		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			b.ReportAllocs()
 			ltps := btp.UnfoldAll(bench.Programs, bound)
 			g := summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
 			robustOK, _ := g.Robust(summary.TypeII)
@@ -295,11 +352,13 @@ func BenchmarkAblationReachability(b *testing.B) {
 		ltps := btp.UnfoldAll2(bench.Programs)
 		g := summary.Build(bench.Schema, ltps, summary.SettingAttrDepFK)
 		b.Run(fmt.Sprintf("pair-centric/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g.HasTypeIICycle()
 			}
 		})
 		b.Run(fmt.Sprintf("literal/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g.HasTypeIICycleLiteral()
 			}
@@ -356,6 +415,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 
 	cold := func(path string) func(b *testing.B) {
 		return func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				srv := server.New(server.Options{})
@@ -376,6 +436,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	warm := func(path string) func(b *testing.B) {
 		return func(b *testing.B) {
+			b.ReportAllocs()
 			srv := server.New(server.Options{})
 			defer srv.Close()
 			ts := httptest.NewServer(srv.Handler())

@@ -21,6 +21,16 @@
 // of mean ns/op — baseline over new, so values above 1 mean the new path
 // is faster. CI uses this to record the pruned-vs-cached enumeration
 // speedup in the uploaded artifact without gating on absolute timings.
+//
+// -baseline and -gate turn the tool into a regression gate: -baseline
+// names a previously committed artifact and -gate lists comma-separated
+// name fragments; every current benchmark whose name contains a gated
+// fragment and that also appears in the baseline must not exceed the
+// baseline's mean ns/op by more than -gate-threshold (default 0.20, i.e.
+// +20%). Violations are printed and the exit status is 1 — after the
+// artifact has been written, so a failing gate still uploads evidence.
+// When the baseline was recorded on a different CPU (the `cpu` env line),
+// the comparison would be meaningless, so the gate warns and passes.
 package main
 
 import (
@@ -65,6 +75,9 @@ type Speedup struct {
 func main() {
 	out := flag.String("out", "-", "output path (- = stdout)")
 	speedup := flag.String("speedup", "", "comma-separated new=baseline name-fragment pairs to compare as speedup_vs")
+	baseline := flag.String("baseline", "", "previously committed artifact to gate against (requires -gate)")
+	gate := flag.String("gate", "", "comma-separated name fragments whose mean ns/op must not regress past the baseline")
+	threshold := flag.Float64("gate-threshold", 0.20, "allowed fractional ns/op regression before the gate fails")
 	flag.Parse()
 
 	doc, err := convert(os.Stdin)
@@ -75,6 +88,24 @@ func main() {
 	if err := addSpeedups(doc, *speedup); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	// The baseline is read before -out is created: CI points both at the
+	// same committed path, overwriting the baseline with the fresh artifact
+	// once it has been loaded.
+	var base *Doc
+	if *baseline != "" && *gate != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base = &Doc{}
+		err = json.NewDecoder(f).Decode(base)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
 	}
 	var w io.Writer = os.Stdout
 	if *out != "-" {
@@ -91,6 +122,19 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if base != nil {
+		regressions, skipped := checkGate(doc, base, *gate, *threshold)
+		if skipped != "" {
+			fmt.Fprintln(os.Stderr, "benchjson: gate skipped:", skipped)
+			return
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+			}
+			os.Exit(1)
+		}
 	}
 }
 
@@ -125,15 +169,8 @@ func convert(r io.Reader) (*Doc, error) {
 	return doc, nil
 }
 
-// addSpeedups evaluates the -speedup pairs against the parsed benchmarks.
-// Mean ns/op is taken across repeated entries of a name (-count); a pair
-// whose baseline was not measured is skipped silently (trend artifacts
-// must not fail on a narrowed -bench selection), but a malformed spec is
-// an error.
-func addSpeedups(doc *Doc, specs string) error {
-	if specs == "" {
-		return nil
-	}
+// meanNsOp averages ns/op across repeated entries of each name (-count).
+func meanNsOp(doc *Doc) map[string]float64 {
 	means := make(map[string]float64)
 	counts := make(map[string]int)
 	for _, r := range doc.Benchmarks {
@@ -145,6 +182,61 @@ func addSpeedups(doc *Doc, specs string) error {
 	for name := range means {
 		means[name] /= float64(counts[name])
 	}
+	return means
+}
+
+// checkGate compares the current document against the baseline: every
+// current benchmark whose name contains a gated fragment and that the
+// baseline also measured must have mean ns/op within (1+threshold)× the
+// baseline's. It returns the list of violations, or a non-empty skip
+// reason when the two documents were measured on different CPUs (absolute
+// timings across machines gate nothing but noise).
+func checkGate(doc, base *Doc, gates string, threshold float64) (regressions []string, skipped string) {
+	if cur, old := doc.Env["cpu"], base.Env["cpu"]; cur != old {
+		return nil, fmt.Sprintf("baseline cpu %q != current cpu %q", old, cur)
+	}
+	cur := meanNsOp(doc)
+	old := meanNsOp(base)
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	seen := make(map[string]bool)
+	for _, frag := range strings.Split(gates, ",") {
+		frag = strings.TrimSpace(frag)
+		if frag == "" {
+			continue
+		}
+		for _, name := range names {
+			if !strings.Contains(name, frag) || seen[name] {
+				continue
+			}
+			seen[name] = true
+			baseNs, measured := old[name]
+			if !measured || baseNs <= 0 {
+				continue
+			}
+			if ratio := cur[name] / baseNs; ratio > 1+threshold {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, threshold %.2fx)",
+					name, cur[name], baseNs, ratio, 1+threshold))
+			}
+		}
+	}
+	return regressions, ""
+}
+
+// addSpeedups evaluates the -speedup pairs against the parsed benchmarks.
+// Mean ns/op is taken across repeated entries of a name (-count); a pair
+// whose baseline was not measured is skipped silently (trend artifacts
+// must not fail on a narrowed -bench selection), but a malformed spec is
+// an error.
+func addSpeedups(doc *Doc, specs string) error {
+	if specs == "" {
+		return nil
+	}
+	means := meanNsOp(doc)
 	names := make([]string, 0, len(means))
 	for name := range means {
 		names = append(names, name)

@@ -98,6 +98,67 @@ func TestAddSpeedups(t *testing.T) {
 	}
 }
 
+// gateDoc builds a document with one benchmark per name→ns/op entry plus a
+// cpu env line.
+func gateDoc(cpu string, ns map[string]float64) *Doc {
+	doc := &Doc{Env: map[string]string{"cpu": cpu}}
+	for name, v := range ns {
+		doc.Benchmarks = append(doc.Benchmarks, Result{
+			Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": v},
+		})
+	}
+	return doc
+}
+
+func TestCheckGate(t *testing.T) {
+	base := gateDoc("cpuA", map[string]float64{
+		"BenchmarkRobustSubsets/cached-8": 1000,
+		"BenchmarkRobustSubsets/pruned-8": 2000,
+		"BenchmarkServerThroughput-8":     5000,
+		"BenchmarkUngated-8":              10,
+	})
+	gates := "RobustSubsets/cached,RobustSubsets/pruned,ServerThroughput"
+
+	// Within threshold everywhere: pass.
+	cur := gateDoc("cpuA", map[string]float64{
+		"BenchmarkRobustSubsets/cached-8": 1150,
+		"BenchmarkRobustSubsets/pruned-8": 1900,
+		"BenchmarkServerThroughput-8":     5999,
+		"BenchmarkUngated-8":              1e9, // not gated, may regress freely
+	})
+	if regs, skip := checkGate(cur, base, gates, 0.20); len(regs) != 0 || skip != "" {
+		t.Errorf("within threshold: regs=%v skip=%q", regs, skip)
+	}
+
+	// One gated benchmark past the threshold: exactly one violation.
+	cur.Benchmarks[0].Metrics = map[string]float64{"ns/op": 99999}
+	cur = gateDoc("cpuA", map[string]float64{
+		"BenchmarkRobustSubsets/cached-8": 1201, // > +20%
+		"BenchmarkRobustSubsets/pruned-8": 1900,
+		"BenchmarkServerThroughput-8":     5999,
+	})
+	regs, skip := checkGate(cur, base, gates, 0.20)
+	if skip != "" || len(regs) != 1 || !strings.Contains(regs[0], "RobustSubsets/cached") {
+		t.Errorf("regression: regs=%v skip=%q", regs, skip)
+	}
+
+	// A gated benchmark absent from the baseline gates nothing.
+	cur = gateDoc("cpuA", map[string]float64{
+		"BenchmarkRobustSubsets/pruned/new_variant-8": 1e9,
+	})
+	if regs, skip := checkGate(cur, base, gates, 0.20); len(regs) != 0 || skip != "" {
+		t.Errorf("unknown benchmark: regs=%v skip=%q", regs, skip)
+	}
+
+	// Different CPU: warn-skip, never gate.
+	cur = gateDoc("cpuB", map[string]float64{
+		"BenchmarkRobustSubsets/cached-8": 1e9,
+	})
+	if regs, skip := checkGate(cur, base, gates, 0.20); len(regs) != 0 || skip == "" {
+		t.Errorf("cpu mismatch: regs=%v skip=%q", regs, skip)
+	}
+}
+
 func TestAddSpeedupsEdgeCases(t *testing.T) {
 	doc, err := convert(strings.NewReader(speedupSample))
 	if err != nil {

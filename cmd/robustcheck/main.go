@@ -12,6 +12,14 @@
 //	-method    cycle condition: "type2" (Algorithm 2, default) or "type1" ([3])
 //	-programs  comma-separated program names restricting the benchmark
 //	-subsets   enumerate all maximal robust subsets (Figures 6/7)
+//	-stream    stream the subset enumeration as NDJSON: one verdict line
+//	           per subset the moment the lattice walk decides it, then a
+//	           summary record — the CLI twin of the server's
+//	           subsets:stream endpoint (implies -subsets)
+//	-mode      streaming mode: "all" (default), "first_non_robust",
+//	           "all_maximal_robust", "top_k"
+//	-k         result budget for -mode top_k
+//	-max-subsets  stop the stream after this many emitted verdicts
 //	-parallel  analysis workers: subset enumeration and intra-check
 //	           sharding of edge blocks + closure (default GOMAXPROCS;
 //	           1 = fully sequential)
@@ -23,6 +31,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +58,10 @@ func main() {
 		method    = flag.String("method", "type2", "cycle condition: type2 (Algorithm 2) or type1 ([3])")
 		progList  = flag.String("programs", "", "comma-separated program names restricting the analysis")
 		subsets   = flag.Bool("subsets", false, "enumerate maximal robust subsets")
+		stream    = flag.Bool("stream", false, "stream the subset enumeration as NDJSON (implies -subsets)")
+		mode      = flag.String("mode", "all", "streaming mode: all, first_non_robust, all_maximal_robust, top_k")
+		topK      = flag.Int("k", 0, "result budget for -mode top_k")
+		maxSub    = flag.Int("max-subsets", 0, "stop the stream after this many emitted verdicts (0 = no cap)")
 		parallel  = flag.Int("parallel", 0, "analysis workers for subset enumeration and intra-check sharding (0 = GOMAXPROCS, 1 = sequential)")
 		naive     = flag.Bool("naive", false, "use the naive per-subset oracle instead of the cached engine")
 		stats     = flag.Bool("stats", false, "print summary-graph statistics")
@@ -62,6 +76,7 @@ func main() {
 		setting: *setting, method: *method, progList: *progList,
 		subsets: *subsets, parallel: *parallel, naive: *naive,
 		stats: *stats, unfold: *unfold, json: *jsonOut,
+		stream: *stream, mode: *mode, k: *topK, maxSubsets: *maxSub,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "robustcheck:", err)
@@ -84,6 +99,12 @@ type runOptions struct {
 	stats     bool
 	unfold    int
 	json      bool
+	// stream/mode/k/maxSubsets select the NDJSON streaming enumeration
+	// (the CLI twin of the server's subsets:stream endpoint).
+	stream     bool
+	mode       string
+	k          int
+	maxSubsets int
 	// out overrides the output stream (tests); nil means os.Stdout.
 	out io.Writer
 }
@@ -176,8 +197,12 @@ func run(o runOptions) error {
 	if out == nil {
 		out = os.Stdout
 	}
-	if !o.json {
+	if !o.json && !o.stream {
 		fmt.Fprintf(out, "benchmark: %s  setting: %s  method: %s\n", bench.Name, st, m)
+	}
+
+	if o.stream {
+		return runStream(o, checker, cfg, programs, out)
 	}
 
 	if o.subsets {
@@ -221,4 +246,26 @@ func run(o runOptions) error {
 		fmt.Fprintf(out, "dangerous cycle:\n%s", res.Witness)
 	}
 	return nil
+}
+
+// runStream drives the streaming enumeration, printing the same NDJSON
+// document the server's subsets:stream endpoint serves: one compact
+// verdict record per line, then the summary record.
+func runStream(o runOptions, checker *robust.Checker, cfg analysis.Config, programs []*btp.Program, out io.Writer) error {
+	sm, err := wire.ParseStreamMode(o.mode)
+	if err != nil {
+		return err
+	}
+	if sm == analysis.StreamTopK && o.k <= 0 {
+		return fmt.Errorf("-mode top_k needs -k > 0")
+	}
+	enc := json.NewEncoder(out) // Encode appends the NDJSON newline
+	opts := analysis.StreamOptions{Mode: sm, K: o.k, MaxSubsets: o.maxSubsets}
+	sum, err := checker.RobustSubsetsStream(context.Background(), programs, opts, func(v analysis.StreamVerdict) error {
+		return enc.Encode(wire.NewStreamVerdictRecord(v))
+	})
+	if err != nil {
+		return err
+	}
+	return enc.Encode(wire.NewStreamSummaryRecord(cfg, programs, sm, sum))
 }

@@ -48,6 +48,10 @@
 //	GET   /v1/workloads/{id}                   workload info + cache stats
 //	POST  /v1/workloads/{id}/check             robustness verdict
 //	POST  /v1/workloads/{id}/subsets           robust / maximal subsets
+//	GET   /v1/workloads/{id}/subsets:stream    NDJSON verdict stream (also
+//	                                           POST; mode=first_non_robust,
+//	                                           all_maximal_robust, top_k and
+//	                                           max_subsets terminate early)
 //	PATCH /v1/workloads/{id}/programs/{name}   replace one program
 //	GET   /v1/stats                            server telemetry
 //	GET   /healthz                             liveness

@@ -66,6 +66,9 @@ func TestDocsMentionCode(t *testing.T) {
 		"CoreSet", "CoverSet", "WitnessMask", "subsets_pruned",
 		"DisablePruning", "typeIIParallel", "RobustWith",
 		"-flush-interval", "Server.Flush",
+		"RobustSubsetsStream", "subsets:stream", "first_non_robust",
+		"StreamSummary", "streamed_requests", "sched_checked",
+		"MaxSubsets", "StreamVerdictRecord",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q — update the doc with the code", want)

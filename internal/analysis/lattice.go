@@ -115,9 +115,39 @@ type latticeEntry struct {
 	programs []*btp.Program
 }
 
+// factLog is one direction's fact store for a coreKey: the facts in
+// insertion order, with the store generation each landed at (gens is
+// parallel to facts and non-decreasing — merges stamp the post-bump
+// generation). The ordering is what turns the generation check of
+// latticeFor into a delta feed: an entry synced at generation g consumes
+// only the suffix of facts with a newer stamp, instead of re-scanning the
+// whole store on every bump.
+type factLog struct {
+	facts [][]*btp.Program
+	gens  []uint64
+}
+
+// factsSince returns the facts inserted after the given generation (the
+// delta a cached lattice entry has not seen). Binary search over the
+// monotone gens column; nil-safe for absent logs.
+func (l *factLog) factsSince(gen uint64) [][]*btp.Program {
+	if l == nil {
+		return nil
+	}
+	i := sort.Search(len(l.gens), func(i int) bool { return l.gens[i] > gen })
+	return l.facts[i:]
+}
+
+// append records a fact at the given generation.
+func (l *factLog) append(fact []*btp.Program, gen uint64) {
+	l.facts = append(l.facts, fact)
+	l.gens = append(l.gens, gen)
+}
+
 // latticeFor returns the pruning state for the selection, creating and
-// seeding it from the session's fact store on first use and re-seeding
-// (idempotent Adds) when the store generation moved.
+// seeding it from the session's fact store on first use and feeding it
+// only the facts newer than its synced generation (idempotent Adds) when
+// the store generation moved.
 func (s *Session) latticeFor(cfg Config, programs []*btp.Program, programMask [][]uint64, words int) *latticeEntry {
 	ck := coreKey{setting: cfg.Setting, method: cfg.Method, bound: cfg.bound()}
 	key := latticeKey{core: ck, progs: progsKey(programs)}
@@ -128,8 +158,16 @@ func (s *Session) latticeFor(cfg Config, programs []*btp.Program, programMask []
 		s.mu.Unlock()
 		return e
 	}
-	coreFacts := s.cores[ck]
-	coverFacts := s.covers[ck]
+	// Delta feed: a cached entry consumes only the facts stamped after its
+	// synced generation; a fresh entry's since of 0 selects the whole log.
+	// The suffix slices stay valid outside the lock — merges append and
+	// Invalidate swaps in fresh logs, neither mutates published prefixes.
+	since := uint64(0)
+	if ok {
+		since = e.gen
+	}
+	coreFacts := s.cores[ck].factsSince(since)
+	coverFacts := s.covers[ck].factsSince(since)
 	if !ok {
 		e = &latticeEntry{
 			cores:    summary.NewCoreSet(words),
@@ -138,6 +176,7 @@ func (s *Session) latticeFor(cfg Config, programs []*btp.Program, programMask []
 		}
 	}
 	s.mu.Unlock()
+	s.factsSeeded.Add(uint64(len(coreFacts) + len(coverFacts)))
 
 	idx := make(map[*btp.Program]int, len(programs))
 	for i, p := range programs {
@@ -233,11 +272,18 @@ func (s *Session) mergeLattice(cfg Config, e *latticeEntry, programs []*btp.Prog
 		}
 		return false
 	}
+	// New facts are stamped with the post-bump generation, so delta feeds
+	// synced at the pre-bump generation pick exactly this merge's additions.
+	newGen := s.coreGen[ck] + 1
 	changed := false
 
-	existing := s.cores[ck]
-	have := make(map[string]bool, len(existing))
-	for _, c := range existing {
+	cl := s.cores[ck]
+	if cl == nil {
+		cl = &factLog{}
+		s.cores[ck] = cl
+	}
+	have := make(map[string]bool, len(cl.facts))
+	for _, c := range cl.facts {
 		have[coreID(c)] = true
 	}
 	for _, f := range coreFacts {
@@ -245,40 +291,45 @@ func (s *Session) mergeLattice(cfg Config, e *latticeEntry, programs []*btp.Prog
 			continue
 		}
 		if id := coreID(f); !have[id] {
-			existing = append(existing, f)
+			cl.append(f, newGen)
 			have[id] = true
 			changed = true
 		}
 	}
-	s.cores[ck] = existing
 
-	covers := s.covers[ck]
+	cov := s.covers[ck]
+	if cov == nil {
+		cov = &factLog{}
+		s.covers[ck] = cov
+	}
 	for _, f := range coverFacts {
 		if retired(f) {
 			continue
 		}
 		dominated := false
-		kept := covers[:0:0]
-		for _, c := range covers {
+		keptFacts := cov.facts[:0:0]
+		keptGens := cov.gens[:0:0]
+		for i, c := range cov.facts {
 			if programSubset(f, c) {
 				dominated = true
 				break
 			}
 			if !programSubset(c, f) {
-				kept = append(kept, c)
+				keptFacts = append(keptFacts, c)
+				keptGens = append(keptGens, cov.gens[i])
 			}
 		}
 		if dominated {
 			continue
 		}
-		covers = append(kept, f)
+		cov.facts, cov.gens = keptFacts, keptGens
+		cov.append(f, newGen)
 		changed = true
 	}
-	s.covers[ck] = covers
 
 	wasGen := e.gen
 	if changed {
-		s.coreGen[ck]++
+		s.coreGen[ck] = newGen
 	}
 	cur := s.coreGen[ck]
 	expect := wasGen
@@ -325,7 +376,7 @@ type CoreFact struct {
 // deterministic order (keys sorted, programs within a fact sorted by short
 // name). ExportCovers is the robust-side dual.
 func (s *Session) ExportCores() []CoreFact {
-	return s.exportFacts(func(s *Session) map[coreKey][][]*btp.Program { return s.cores })
+	return s.exportFacts(func(s *Session) map[coreKey]*factLog { return s.cores })
 }
 
 // ExportCovers snapshots every robust-cover fact: program sets known
@@ -333,15 +384,15 @@ func (s *Session) ExportCores() []CoreFact {
 // are content-intrinsic, so the server persists and re-seeds them the same
 // way.
 func (s *Session) ExportCovers() []CoreFact {
-	return s.exportFacts(func(s *Session) map[coreKey][][]*btp.Program { return s.covers })
+	return s.exportFacts(func(s *Session) map[coreKey]*factLog { return s.covers })
 }
 
-func (s *Session) exportFacts(store func(*Session) map[coreKey][][]*btp.Program) []CoreFact {
+func (s *Session) exportFacts(store func(*Session) map[coreKey]*factLog) []CoreFact {
 	s.mu.Lock()
 	m := store(s)
 	facts := make([]CoreFact, 0, 16)
-	for k, entries := range m {
-		for _, core := range entries {
+	for k, log := range m {
+		for _, core := range log.facts {
 			ps := make([]*btp.Program, len(core))
 			copy(ps, core)
 			facts = append(facts, CoreFact{Setting: k.setting, Method: k.method, Bound: k.bound, Programs: ps})
@@ -392,16 +443,16 @@ func (s *factSorter) Less(i, j int) bool {
 // and used purely for pruning, so an absent fact costs a detector run, a
 // correct one saves it.
 func (s *Session) ImportCores(facts []CoreFact) int {
-	return s.importFacts(facts, func(s *Session) map[coreKey][][]*btp.Program { return s.cores })
+	return s.importFacts(facts, func(s *Session) map[coreKey]*factLog { return s.cores })
 }
 
 // ImportCovers seeds the session with robust-cover facts; the dual of
 // ImportCores.
 func (s *Session) ImportCovers(facts []CoreFact) int {
-	return s.importFacts(facts, func(s *Session) map[coreKey][][]*btp.Program { return s.covers })
+	return s.importFacts(facts, func(s *Session) map[coreKey]*factLog { return s.covers })
 }
 
-func (s *Session) importFacts(facts []CoreFact, store func(*Session) map[coreKey][][]*btp.Program) int {
+func (s *Session) importFacts(facts []CoreFact, store func(*Session) map[coreKey]*factLog) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := store(s)
@@ -426,8 +477,13 @@ func (s *Session) importFacts(facts []CoreFact, store func(*Session) map[coreKey
 		}
 		k := coreKey{setting: f.Setting, method: f.Method, bound: bound}
 		id := coreID(f.Programs)
+		log := m[k]
+		if log == nil {
+			log = &factLog{}
+			m[k] = log
+		}
 		dup := false
-		for _, c := range m[k] {
+		for _, c := range log.facts {
 			if coreID(c) == id {
 				dup = true
 				break
@@ -438,8 +494,8 @@ func (s *Session) importFacts(facts []CoreFact, store func(*Session) map[coreKey
 		}
 		ps := make([]*btp.Program, len(f.Programs))
 		copy(ps, f.Programs)
-		m[k] = append(m[k], ps)
-		s.coreGen[k]++ // cached lattice entries must re-seed
+		s.coreGen[k]++ // cached lattice entries must consume the delta
+		log.append(ps, s.coreGen[k])
 		added++
 	}
 	return added
@@ -663,7 +719,8 @@ func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetec
 	}
 
 	workers := cfg.parallelism()
-	seq := &latticeWorker{members: make([]uint64, words)}
+	seq := &latticeWorker{members: getMask(words)}
+	defer putMask(seq.members)
 	for level := 1; level <= n; level++ {
 		masks := order[offs[level]:offs[level+1]]
 		lw := workers
@@ -687,7 +744,8 @@ func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetec
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					ws := &latticeWorker{members: make([]uint64, words)}
+					ws := &latticeWorker{members: getMask(words)}
+					defer putMask(ws.members)
 					for ctx.Err() == nil {
 						start := int(next.Add(latticeSeqChunk)) - latticeSeqChunk
 						if start >= len(masks) {

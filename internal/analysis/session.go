@@ -106,10 +106,11 @@ type Session struct {
 	// cores holds the minimal non-robust cores discovered by lattice
 	// enumerations, per (setting, method, bound): program sets that are
 	// jointly non-robust and minimally so. covers is the robust-side dual
-	// (maximal program sets known robust). Both are seeded into every
-	// enumeration covering them and merged back after; see lattice.go.
-	cores  map[coreKey][][]*btp.Program
-	covers map[coreKey][][]*btp.Program
+	// (maximal program sets known robust). Both are kept as generation-
+	// stamped logs (factLog), seeded into every enumeration covering them
+	// as a delta feed and merged back after; see lattice.go.
+	cores  map[coreKey]*factLog
+	covers map[coreKey]*factLog
 	// coreGen versions the fact store per key; cached lattice entries
 	// re-seed when it moves.
 	coreGen map[coreKey]uint64
@@ -130,6 +131,15 @@ type Session struct {
 	// robust by the cover scan, a miss ran the detector; subsetsPruned is
 	// the sum of both hit kinds (detector runs skipped).
 	coreHits, coverHits, coreMisses, subsetsPruned atomic.Uint64
+	// Cost-ordered scheduler telemetry (streaming enumerations): of the
+	// detector-run masks a level's schedule placed in its first half,
+	// schedHits were non-robust — the fraction is the scheduler's hit rate
+	// (how often "looks conflict-dense" predicted "mints a core").
+	schedChecked, schedHits atomic.Uint64
+	// factsSeeded counts facts fed into lattice entries by latticeFor —
+	// the delta-feed regression guard: re-syncing an entry after a foreign
+	// merge must consume the merge's delta, not re-scan the whole store.
+	factsSeeded atomic.Uint64
 }
 
 // NewSession creates an empty session over the schema.
@@ -139,8 +149,8 @@ func NewSession(schema *relschema.Schema) *Session {
 		validated: make(map[*btp.Program]error),
 		unfolded:  make(map[unfoldKey][]*btp.LTP),
 		blocks:    make(map[summary.Setting]*summary.BlockSet),
-		cores:     make(map[coreKey][][]*btp.Program),
-		covers:    make(map[coreKey][][]*btp.Program),
+		cores:     make(map[coreKey]*factLog),
+		covers:    make(map[coreKey]*factLog),
 		coreGen:   make(map[coreKey]uint64),
 		lattices:  make(map[latticeKey]*latticeEntry),
 		dets:      make(map[detKey]*detEntry),
@@ -178,21 +188,58 @@ func (s *Session) LTPs(p *btp.Program, bound int) ([]*btp.LTP, error) {
 		}
 		return ltps, nil
 	}
-	defer s.mu.Unlock()
 	verr, seen := s.validated[p]
-	if !seen {
-		verr = p.Validate(s.schema)
-		s.validated[p] = verr
-	}
-	if verr != nil {
+	if seen && verr != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("analysis: %w", verr)
 	}
 	k := unfoldKey{program: p, bound: bound}
-	ltps, ok := s.unfolded[k]
-	if !ok {
+	if ltps, ok := s.unfolded[k]; ok {
+		s.mu.Unlock()
+		return ltps, nil
+	}
+	// Validate and unfold outside the lock, so concurrent resolutions of
+	// different programs (ltpUniverse's parallel prefetch) actually overlap.
+	// A racing duplicate computation of the same program is benign: the
+	// admission below is store-if-absent, so every caller ends up holding
+	// the one memoized unfolding — LTP pointer identity is what the block
+	// caches key on.
+	s.mu.Unlock()
+	if !seen {
+		verr = p.Validate(s.schema)
+	}
+	var ltps []*btp.LTP
+	if verr == nil {
 		ltps = btp.Unfold(p, bound)
+	}
+	s.mu.Lock()
+	if s.retired[p] {
+		// Retired while computing (a concurrent Invalidate): serve without
+		// admitting, exactly like the straggler path above.
+		sets := make([]*summary.BlockSet, 0, len(s.blocks))
+		for _, bs := range s.blocks {
+			sets = append(sets, bs)
+		}
+		s.mu.Unlock()
+		if verr != nil {
+			return nil, fmt.Errorf("analysis: %w", verr)
+		}
+		for _, bs := range sets {
+			bs.Retire(ltps)
+		}
+		return ltps, nil
+	}
+	s.validated[p] = verr
+	if verr != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("analysis: %w", verr)
+	}
+	if existing, ok := s.unfolded[k]; ok {
+		ltps = existing // a racer admitted first; use the memoized one
+	} else {
 		s.unfolded[k] = ltps
 	}
+	s.mu.Unlock()
 	return ltps, nil
 }
 
@@ -256,16 +303,20 @@ func (s *Session) Invalidate(p *btp.Program) int {
 			delete(s.lattices, k)
 		}
 	}
-	for _, store := range []map[coreKey][][]*btp.Program{s.cores, s.covers} {
-		for k, facts := range store {
-			kept := make([][]*btp.Program, 0, len(facts))
-			for _, c := range facts {
+	for _, store := range []map[coreKey]*factLog{s.cores, s.covers} {
+		for k, log := range store {
+			keptFacts := make([][]*btp.Program, 0, len(log.facts))
+			keptGens := make([]uint64, 0, len(log.gens))
+			for i, c := range log.facts {
 				if !touches(c) {
-					kept = append(kept, c)
+					keptFacts = append(keptFacts, c)
+					keptGens = append(keptGens, log.gens[i])
 				}
 			}
-			if len(kept) != len(facts) {
-				store[k] = kept
+			if len(keptFacts) != len(log.facts) {
+				// Fresh log, not an in-place filter: delta-feed readers may
+				// still hold suffix views of the old slices outside the lock.
+				store[k] = &factLog{facts: keptFacts, gens: keptGens}
 				s.coreGen[k]++
 			}
 		}
@@ -309,6 +360,12 @@ type CoreStats struct {
 	// that ran the detector. Pruned = Hits + CoverHits (detector runs
 	// skipped) — the quantity the wire reports as subsets_pruned.
 	Hits, CoverHits, Misses, Pruned uint64
+	// SchedChecked counts detector-run masks the streaming scheduler placed
+	// in the first half of their level's visit order; SchedHits counts how
+	// many of those were non-robust. SchedHits/SchedChecked is the
+	// scheduler's hit rate: how often "estimated conflict-dense" predicted
+	// "mints a core".
+	SchedChecked, SchedHits uint64
 	// SizeBytes estimates the core and cover stores' resident memory.
 	SizeBytes int64
 }
@@ -323,16 +380,16 @@ const (
 // resident bytes — the one cost model shared by Stats (telemetry) and
 // SizeBytes (eviction accounting). Caller holds s.mu.
 func (s *Session) factStoresLocked() (cores, covers int, bytes int64) {
-	for _, facts := range s.cores {
-		cores += len(facts)
-		for _, c := range facts {
-			bytes += coreEntryBytes + int64(len(c))*coreProgramBytes
+	for _, log := range s.cores {
+		cores += len(log.facts)
+		for _, c := range log.facts {
+			bytes += coreEntryBytes + 8 + int64(len(c))*coreProgramBytes
 		}
 	}
-	for _, facts := range s.covers {
-		covers += len(facts)
-		for _, c := range facts {
-			bytes += coreEntryBytes + int64(len(c))*coreProgramBytes
+	for _, log := range s.covers {
+		covers += len(log.facts)
+		for _, c := range log.facts {
+			bytes += coreEntryBytes + 8 + int64(len(c))*coreProgramBytes
 		}
 	}
 	return cores, covers, bytes
@@ -346,10 +403,12 @@ func (s *Session) Stats() Stats {
 		Unfoldings: len(s.unfolded),
 		Settings:   len(s.blocks),
 		Cores: CoreStats{
-			Hits:      s.coreHits.Load(),
-			CoverHits: s.coverHits.Load(),
-			Misses:    s.coreMisses.Load(),
-			Pruned:    s.subsetsPruned.Load(),
+			Hits:         s.coreHits.Load(),
+			CoverHits:    s.coverHits.Load(),
+			Misses:       s.coreMisses.Load(),
+			Pruned:       s.subsetsPruned.Load(),
+			SchedChecked: s.schedChecked.Load(),
+			SchedHits:    s.schedHits.Load(),
 		},
 	}
 	st.Cores.Cores, st.Cores.Covers, st.Cores.SizeBytes = s.factStoresLocked()
@@ -403,19 +462,69 @@ func (s *Session) SizeBytes() int64 {
 }
 
 // ltpUniverse resolves every program's memoized unfolding and the flat
-// concatenation in program order.
-func (s *Session) ltpUniverse(programs []*btp.Program, bound int) ([][]*btp.LTP, []*btp.LTP, error) {
+// concatenation in program order. With workers > 1 the cold programs are
+// validated and unfolded concurrently — LTPs computes outside the session
+// lock, so the fan-out genuinely overlaps; on a warm session every lookup
+// hits the memo and the fan-out is skipped entirely.
+func (s *Session) ltpUniverse(programs []*btp.Program, bound, workers int) ([][]*btp.LTP, []*btp.LTP, error) {
 	groups := make([][]*btp.LTP, len(programs))
-	var all []*btp.LTP
-	for i, p := range programs {
-		ltps, err := s.LTPs(p, bound)
-		if err != nil {
-			return nil, nil, err
+	if workers > len(programs) {
+		workers = len(programs)
+	}
+	if workers > 1 && !s.allMemoized(programs, bound) {
+		errs := make([]error, len(programs))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(programs) {
+						return
+					}
+					groups[i], errs[i] = s.LTPs(programs[i], bound)
+				}
+			}()
 		}
-		groups[i] = ltps
-		all = append(all, ltps...)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		for i, p := range programs {
+			ltps, err := s.LTPs(p, bound)
+			if err != nil {
+				return nil, nil, err
+			}
+			groups[i] = ltps
+		}
+	}
+	var all []*btp.LTP
+	for _, g := range groups {
+		all = append(all, g...)
 	}
 	return groups, all, nil
+}
+
+// allMemoized reports whether every program's unfolding under the bound is
+// already cached, in which case ltpUniverse's parallel fan-out would only
+// pay goroutine overhead for map hits.
+func (s *Session) allMemoized(programs []*btp.Program, bound int) bool {
+	if bound <= 0 {
+		bound = btp.DefaultUnfoldBound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range programs {
+		if _, ok := s.unfolded[unfoldKey{program: p, bound: bound}]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Check analyses the program set: validate and unfold (memoized), assemble
@@ -431,7 +540,7 @@ func (s *Session) Check(programs []*btp.Program, cfg Config) (*Result, error) {
 // context aborts the assembly between pair chunks and stages; the cycle
 // detection itself is a single sequential pass.
 func (s *Session) CheckCtx(ctx context.Context, programs []*btp.Program, cfg Config) (*Result, error) {
-	_, ltps, err := s.ltpUniverse(programs, cfg.bound())
+	_, ltps, err := s.ltpUniverse(programs, cfg.bound(), cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -478,7 +587,7 @@ func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program,
 	if n > 20 {
 		return nil, fmt.Errorf("analysis: subset enumeration over %d programs is infeasible", n)
 	}
-	groups, all, err := s.ltpUniverse(programs, cfg.bound())
+	groups, all, err := s.ltpUniverse(programs, cfg.bound(), cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}

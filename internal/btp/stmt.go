@@ -190,75 +190,89 @@ func (q *Stmt) Validate(schema *relschema.Schema) error {
 	if rel == nil {
 		return fmt.Errorf("btp: statement %s: unknown relation %q", q.Name, q.Rel)
 	}
-	checkSubset := func(label string, o OptAttrs) error {
-		if o.Defined && !o.Set.SubsetOf(rel.Attrs) {
-			return fmt.Errorf("btp: statement %s: %s %v not a subset of Attr(%s)", q.Name, label, o.Set, q.Rel)
-		}
-		return nil
+	// The checks are plain helper calls rather than the more natural
+	// closure-over-a-rule-table shape: Validate re-runs per session (the
+	// analysis memoizes per Session, not per Program), and the closure and
+	// slice allocations measurably dominated cold time-to-first-verdict of
+	// the streaming enumeration.
+	if err := q.checkSubset(rel, "ReadSet", q.ReadSet); err != nil {
+		return err
 	}
-	for _, c := range []struct {
-		label string
-		o     OptAttrs
-	}{{"ReadSet", q.ReadSet}, {"WriteSet", q.WriteSet}, {"PReadSet", q.PReadSet}} {
-		if err := checkSubset(c.label, c.o); err != nil {
-			return err
-		}
+	if err := q.checkSubset(rel, "WriteSet", q.WriteSet); err != nil {
+		return err
+	}
+	if err := q.checkSubset(rel, "PReadSet", q.PReadSet); err != nil {
+		return err
 	}
 	// Figure 5 constraints.
-	requireUndef := func(label string, o OptAttrs) error {
-		if o.Defined {
-			return fmt.Errorf("btp: statement %s (%s): %s must be ⊥", q.Name, q.Type, label)
-		}
-		return nil
-	}
-	requireDef := func(label string, o OptAttrs, nonEmpty bool) error {
-		if !o.Defined {
-			return fmt.Errorf("btp: statement %s (%s): %s must be defined", q.Name, q.Type, label)
-		}
-		if nonEmpty && o.Set.Empty() {
-			return fmt.Errorf("btp: statement %s (%s): %s must be non-empty", q.Name, q.Type, label)
-		}
-		return nil
-	}
-	requireAll := func(label string, o OptAttrs) error {
-		if !o.Defined || !o.Set.Equal(rel.Attrs) {
-			return fmt.Errorf("btp: statement %s (%s): %s must equal Attr(%s)", q.Name, q.Type, label, q.Rel)
-		}
-		return nil
-	}
-	var errs []error
 	switch q.Type {
 	case Ins:
 		// Figure 5 prescribes WriteSet = Attr(rel), but the paper's own
 		// TPC-C formalization (Figure 17) inserts into Orders without
 		// setting o_carrier_id, so we only require a non-empty subset.
-		errs = append(errs, requireDef("WriteSet", q.WriteSet, true),
-			requireUndef("ReadSet", q.ReadSet), requireUndef("PReadSet", q.PReadSet))
+		return firstErr(q.requireDef("WriteSet", q.WriteSet, true),
+			q.requireUndef("ReadSet", q.ReadSet), q.requireUndef("PReadSet", q.PReadSet))
 	case KeyDel:
-		errs = append(errs, requireAll("WriteSet", q.WriteSet),
-			requireUndef("ReadSet", q.ReadSet), requireUndef("PReadSet", q.PReadSet))
+		return firstErr(q.requireAll(rel, "WriteSet", q.WriteSet),
+			q.requireUndef("ReadSet", q.ReadSet), q.requireUndef("PReadSet", q.PReadSet))
 	case PredDel:
-		errs = append(errs, requireAll("WriteSet", q.WriteSet),
-			requireUndef("ReadSet", q.ReadSet), requireDef("PReadSet", q.PReadSet, false))
+		return firstErr(q.requireAll(rel, "WriteSet", q.WriteSet),
+			q.requireUndef("ReadSet", q.ReadSet), q.requireDef("PReadSet", q.PReadSet, false))
 	case KeySel:
-		errs = append(errs, requireUndef("WriteSet", q.WriteSet),
-			requireDef("ReadSet", q.ReadSet, false), requireUndef("PReadSet", q.PReadSet))
+		return firstErr(q.requireUndef("WriteSet", q.WriteSet),
+			q.requireDef("ReadSet", q.ReadSet, false), q.requireUndef("PReadSet", q.PReadSet))
 	case PredSel:
-		errs = append(errs, requireUndef("WriteSet", q.WriteSet),
-			requireDef("ReadSet", q.ReadSet, false), requireDef("PReadSet", q.PReadSet, false))
+		return firstErr(q.requireUndef("WriteSet", q.WriteSet),
+			q.requireDef("ReadSet", q.ReadSet, false), q.requireDef("PReadSet", q.PReadSet, false))
 	case KeyUpd:
-		errs = append(errs, requireDef("WriteSet", q.WriteSet, true),
-			requireDef("ReadSet", q.ReadSet, false), requireUndef("PReadSet", q.PReadSet))
+		return firstErr(q.requireDef("WriteSet", q.WriteSet, true),
+			q.requireDef("ReadSet", q.ReadSet, false), q.requireUndef("PReadSet", q.PReadSet))
 	case PredUpd:
-		errs = append(errs, requireDef("WriteSet", q.WriteSet, true),
-			requireDef("ReadSet", q.ReadSet, false), requireDef("PReadSet", q.PReadSet, false))
+		return firstErr(q.requireDef("WriteSet", q.WriteSet, true),
+			q.requireDef("ReadSet", q.ReadSet, false), q.requireDef("PReadSet", q.PReadSet, false))
 	default:
 		return fmt.Errorf("btp: statement %s: invalid type %d", q.Name, int(q.Type))
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+}
+
+// firstErr returns the first non-nil error of the three per-type checks.
+func firstErr(a, b, c error) error {
+	if a != nil {
+		return a
+	}
+	if b != nil {
+		return b
+	}
+	return c
+}
+
+func (q *Stmt) checkSubset(rel *relschema.Relation, label string, o OptAttrs) error {
+	if o.Defined && !o.Set.SubsetOf(rel.Attrs) {
+		return fmt.Errorf("btp: statement %s: %s %v not a subset of Attr(%s)", q.Name, label, o.Set, q.Rel)
+	}
+	return nil
+}
+
+func (q *Stmt) requireUndef(label string, o OptAttrs) error {
+	if o.Defined {
+		return fmt.Errorf("btp: statement %s (%s): %s must be ⊥", q.Name, q.Type, label)
+	}
+	return nil
+}
+
+func (q *Stmt) requireDef(label string, o OptAttrs, nonEmpty bool) error {
+	if !o.Defined {
+		return fmt.Errorf("btp: statement %s (%s): %s must be defined", q.Name, q.Type, label)
+	}
+	if nonEmpty && o.Set.Empty() {
+		return fmt.Errorf("btp: statement %s (%s): %s must be non-empty", q.Name, q.Type, label)
+	}
+	return nil
+}
+
+func (q *Stmt) requireAll(rel *relschema.Relation, label string, o OptAttrs) error {
+	if !o.Defined || !o.Set.Equal(rel.Attrs) {
+		return fmt.Errorf("btp: statement %s (%s): %s must equal Attr(%s)", q.Name, q.Type, label, q.Rel)
 	}
 	return nil
 }

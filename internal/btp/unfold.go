@@ -140,6 +140,22 @@ func Unfold(p *Program, bound int) []*LTP {
 	if bound < 0 {
 		bound = 0
 	}
+	if isLinear(p.Body) {
+		// A loop- and branch-free body has exactly one unfolding: itself.
+		// Skipping the general enumeration (and its signature-keyed dedup
+		// map) matters because unfolding re-runs per analysis session and
+		// sits on the cold time-to-first-verdict path of the streaming
+		// enumeration — and every benchmark program without a loop or
+		// branch takes this path.
+		var buf [16]*Stmt
+		qs := buf[:0]
+		p.Body.collectStmts(&qs)
+		l := &LTP{Name: p.Name, Origin: p, Stmts: make([]*StmtOcc, len(qs))}
+		for i, q := range qs {
+			l.Stmts[i] = &StmtOcc{Stmt: q, Pos: i}
+		}
+		return []*LTP{l}
+	}
 	seqs := unfoldNode(p.Body, bound)
 	seen := make(map[string]bool, len(seqs))
 	var out []*LTP
@@ -180,6 +196,24 @@ func UnfoldAll(ps []*Program, bound int) []*LTP {
 
 // UnfoldAll2 is UnfoldAll with the default bound of two.
 func UnfoldAll2(ps []*Program) []*LTP { return UnfoldAll(ps, DefaultUnfoldBound) }
+
+// isLinear reports whether the subtree is free of loops and branches, i.e.
+// already an LTP.
+func isLinear(n Node) bool {
+	switch n := n.(type) {
+	case *StmtNode:
+		return true
+	case *Seq:
+		for _, item := range n.Items {
+			if !isLinear(item) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
 
 // unfoldNode returns every statement sequence derivable from the node under
 // the given loop bound. The enumeration order is deterministic: for a

@@ -139,6 +139,15 @@ func (c *Checker) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program)
 	return c.Session().RobustSubsetsCtx(ctx, programs, c.config())
 }
 
+// RobustSubsetsStream is the streaming form of RobustSubsetsCtx: the same
+// lattice-pruned enumeration, emitting each subset verdict through the
+// callback as its level decides it, in cost-ordered visit order, with
+// optional early termination (see analysis.StreamOptions). A full stream's
+// summary report is identical to RobustSubsetsCtx's.
+func (c *Checker) RobustSubsetsStream(ctx context.Context, programs []*btp.Program, opts analysis.StreamOptions, emit func(analysis.StreamVerdict) error) (*analysis.StreamSummary, error) {
+	return c.Session().RobustSubsetsStream(ctx, programs, c.config(), opts, emit)
+}
+
 // naiveCheck is the pre-refactor Check: validate, unfold and run
 // Algorithm 1 from scratch, with no memoization.
 func (c *Checker) naiveCheck(programs []*btp.Program) (*Result, error) {

@@ -34,17 +34,26 @@
 //
 // API (JSON over HTTP; see internal/wire for the body types):
 //
-//	POST  /v1/workloads                         register (idempotent)
-//	GET   /v1/workloads/{id}                    workload info + cache stats
-//	POST  /v1/workloads/{id}/check              robustness verdict
-//	POST  /v1/workloads/{id}/subsets            robust / maximal subsets
-//	PATCH /v1/workloads/{id}/programs/{name}    replace one program
-//	GET   /v1/stats                             server + cache telemetry
-//	GET   /healthz                              liveness
+//	POST  /v1/workloads                             register (idempotent)
+//	GET   /v1/workloads/{id}                        workload info + cache stats
+//	POST  /v1/workloads/{id}/check                  robustness verdict
+//	POST  /v1/workloads/{id}/subsets                robust / maximal subsets
+//	GET   /v1/workloads/{id}/subsets:stream         NDJSON verdict stream
+//	POST  /v1/workloads/{id}/subsets:stream         same, options in the body
+//	PATCH /v1/workloads/{id}/programs/{name}        replace one program
+//	GET   /v1/stats                                 server + cache telemetry
+//	GET   /healthz                                  liveness
+//
+// The subsets:stream routes (see stream.go) serve the same enumeration as
+// /subsets but emit each subset verdict as one NDJSON line the moment the
+// lattice walk decides it, with optional early termination (mode=
+// first_non_robust | all_maximal_robust | top_k, max_subsets=N); the final
+// line is a summary record carrying subsets_pruned and core telemetry.
+// Completed mode=all streams feed the /subsets result cache; streams
+// themselves always run the engine (verdict timing is the product).
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -149,6 +158,9 @@ type Server struct {
 	lastEnforce atomic.Int64
 
 	registers, checks, subsets, patches, coalesced atomic.Uint64
+	// streamed counts subsets:stream requests; earlyTerms the streams that
+	// stopped early by mode or budget (not client disconnects).
+	streamed, earlyTerms atomic.Uint64
 
 	// testFlightHook, when non-nil, runs inside the flight goroutine
 	// before the enumeration starts — a seam for deterministic
@@ -200,6 +212,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/workloads/{id}", s.handleGetWorkload)
 	s.mux.HandleFunc("POST /v1/workloads/{id}/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/workloads/{id}/subsets", s.handleSubsets)
+	s.mux.HandleFunc("POST /v1/workloads/{id}/subsets:stream", s.handleSubsetsStream)
+	s.mux.HandleFunc("GET /v1/workloads/{id}/subsets:stream", s.handleSubsetsStream)
 	s.mux.HandleFunc("PATCH /v1/workloads/{id}/programs/{name}", s.handlePatch)
 	return s
 }
@@ -696,9 +710,12 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 	w.lastParallelism.Store(int64(effectiveParallelism(cfg.Parallelism)))
 	// Encode once: the same bytes go to this response, into the result
 	// cache and (via the snapshot) across restarts, so hits are
-	// byte-identical to the original answer by construction.
-	var buf bytes.Buffer
-	if err := wire.WriteJSON(&buf, resp); err != nil {
+	// byte-identical to the original answer by construction. The encode
+	// buffer is pooled; the cache keeps an exact-size copy, since put
+	// retains its body slice.
+	buf := getLineBuf()
+	defer putLineBuf(buf)
+	if err := wire.WriteJSON(buf, resp); err != nil {
 		writeError(rw, http.StatusInternalServerError, err)
 		return
 	}
@@ -706,7 +723,7 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 	// A new cached result only marks the workload dirty; the debounced
 	// flusher rewrites the snapshot file once per interval however many
 	// enumerations a burst caches, and never in the client's latency.
-	if w.results.put(key, respVersion, buf.Bytes()) {
+	if w.results.put(key, respVersion, append([]byte(nil), buf.Bytes()...)) {
 		s.markDirty(w)
 	}
 }
@@ -870,11 +887,13 @@ func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		PersistErrors:      s.persistErrs.Load(),
 		DefaultParallelism: effectiveParallelism(s.opts.Parallelism),
 		Requests: wire.RequestStats{
-			Register:  s.registers.Load(),
-			Check:     s.checks.Load(),
-			Subsets:   s.subsets.Load(),
-			Patch:     s.patches.Load(),
-			Coalesced: s.coalesced.Load(),
+			Register:          s.registers.Load(),
+			Check:             s.checks.Load(),
+			Subsets:           s.subsets.Load(),
+			Patch:             s.patches.Load(),
+			Coalesced:         s.coalesced.Load(),
+			Streamed:          s.streamed.Load(),
+			EarlyTerminations: s.earlyTerms.Load(),
 		},
 	}
 	for _, w := range workloads {

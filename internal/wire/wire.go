@@ -286,6 +286,118 @@ func NewSubsetsResponse(cfg analysis.Config, programs []*btp.Program, rep *analy
 	}
 }
 
+// --- Streaming subsets -----------------------------------------------------
+
+// StreamRequest configures one streaming subset enumeration
+// (POST /v1/workloads/{id}/subsets:stream; the GET variant carries the
+// same fields as query parameters). The embedded CheckRequest fields
+// select the configuration and program restriction exactly as /subsets
+// does.
+type StreamRequest struct {
+	CheckRequest
+	// Mode is a ParseStreamMode name: "all" (default), "first_non_robust",
+	// "all_maximal_robust" or "top_k".
+	Mode string `json:"mode,omitempty"`
+	// K is the result budget of top_k mode.
+	K int `json:"k,omitempty"`
+	// MaxSubsets, when positive, terminates the stream after that many
+	// emitted verdicts, whatever the mode.
+	MaxSubsets int `json:"max_subsets,omitempty"`
+}
+
+// ParseStreamMode resolves a streaming mode name; the empty string means
+// stream everything.
+func ParseStreamMode(s string) (analysis.StreamMode, error) {
+	switch s {
+	case "", "all":
+		return analysis.StreamAll, nil
+	case "first_non_robust":
+		return analysis.StreamFirstNonRobust, nil
+	case "all_maximal_robust", "maximal":
+		return analysis.StreamMaximalRobust, nil
+	case "top_k":
+		return analysis.StreamTopK, nil
+	default:
+		return analysis.StreamAll, fmt.Errorf("unknown stream mode %q", s)
+	}
+}
+
+// StreamVerdictRecord is one NDJSON line of a subsets:stream response: a
+// single subset's verdict, emitted the moment the enumeration decides it.
+type StreamVerdictRecord struct {
+	// Programs is the subset (sorted short names); Size its cardinality —
+	// the lattice level that decided it.
+	Programs []string `json:"programs"`
+	Size     int      `json:"size"`
+	Robust   bool     `json:"robust"`
+	// DecidedBy is "core" or "cover" for containment-pruned verdicts and
+	// "detector" when the cycle detector ran.
+	DecidedBy string `json:"decided_by"`
+}
+
+// NewStreamVerdictRecord converts an engine verdict to its wire line.
+func NewStreamVerdictRecord(v analysis.StreamVerdict) StreamVerdictRecord {
+	return StreamVerdictRecord{
+		Programs:  v.Programs,
+		Size:      v.Size,
+		Robust:    v.Robust,
+		DecidedBy: v.DecidedBy,
+	}
+}
+
+// StreamSummaryRecord is the final NDJSON line of a subsets:stream
+// response, distinguished from verdict lines by `"summary": true`.
+type StreamSummaryRecord struct {
+	Summary     bool     `json:"summary"`
+	Mode        string   `json:"mode"`
+	Setting     string   `json:"setting"`
+	Method      string   `json:"method"`
+	UnfoldBound int      `json:"unfold_bound"`
+	Programs    []string `json:"programs"`
+	// Emitted counts verdict lines above this one; Checked counts detector
+	// runs, SubsetsPruned containment decisions and Cores the stored
+	// minimal non-robust cores after the run.
+	Emitted       int `json:"emitted"`
+	Checked       int `json:"checked"`
+	SubsetsPruned int `json:"subsets_pruned"`
+	Cores         int `json:"cores"`
+	// EarlyTerminated is true when the stream stopped before visiting the
+	// whole lattice; Reason is then "first_non_robust", "level_exhausted"
+	// or "max_subsets".
+	EarlyTerminated bool   `json:"early_terminated"`
+	Reason          string `json:"reason,omitempty"`
+	// Maximal lists the maximal robust subsets when the run's robust
+	// knowledge is complete (a full stream, or a level-exhausted
+	// termination); TopK the K largest robust subsets in top_k mode.
+	Maximal [][]string `json:"maximal,omitempty"`
+	TopK    [][]string `json:"top_k,omitempty"`
+}
+
+// NewStreamSummaryRecord assembles the final line of a stream.
+func NewStreamSummaryRecord(cfg analysis.Config, programs []*btp.Program, mode analysis.StreamMode, sum *analysis.StreamSummary) *StreamSummaryRecord {
+	rec := &StreamSummaryRecord{
+		Summary:         true,
+		Mode:            mode.String(),
+		Setting:         SettingName(cfg.Setting),
+		Method:          MethodName(cfg.Method),
+		UnfoldBound:     effectiveBound(cfg),
+		Programs:        shortNames(programs),
+		Emitted:         sum.Emitted,
+		Checked:         sum.Checked,
+		SubsetsPruned:   sum.Pruned,
+		Cores:           sum.Cores,
+		EarlyTerminated: sum.Terminated,
+		Reason:          sum.Reason,
+	}
+	if sum.Report != nil {
+		rec.Maximal = subsetsToWire(sum.Report.Maximal)
+	}
+	if len(sum.TopK) > 0 {
+		rec.TopK = subsetsToWire(sum.TopK)
+	}
+	return rec
+}
+
 // --- Program patching ------------------------------------------------------
 
 // PatchProgramRequest replaces one registered program's definition with a
@@ -342,6 +454,12 @@ type CoreSetStats struct {
 	Misses        uint64 `json:"misses"`
 	SubsetsPruned uint64 `json:"subsets_pruned"`
 	SizeBytes     int64  `json:"size_bytes"`
+	// SchedChecked/SchedHits rate the streaming enumeration's cost-ordered
+	// scheduler: of the detector-run subsets the scheduler placed in the
+	// first half of their level's visit order, SchedHits were non-robust —
+	// the verdicts worth front-loading.
+	SchedChecked uint64 `json:"sched_checked"`
+	SchedHits    uint64 `json:"sched_hits"`
 }
 
 // NewCacheStats converts a session snapshot to its wire form.
@@ -362,6 +480,8 @@ func NewCacheStats(st analysis.Stats) CacheStats {
 			Misses:        st.Cores.Misses,
 			SubsetsPruned: st.Cores.Pruned,
 			SizeBytes:     st.Cores.SizeBytes,
+			SchedChecked:  st.Cores.SchedChecked,
+			SchedHits:     st.Cores.SchedHits,
 		},
 	}
 }
@@ -402,13 +522,18 @@ type WorkloadStats struct {
 }
 
 // RequestStats counts served requests by kind. Coalesced counts /subsets
-// requests answered by piggybacking on an identical in-flight enumeration.
+// requests answered by piggybacking on an identical in-flight enumeration;
+// Streamed counts subsets:stream requests and EarlyTerminations the
+// streams that stopped before visiting the whole lattice (mode-driven
+// termination or an emitted-subset budget — not client disconnects).
 type RequestStats struct {
-	Register  uint64 `json:"register"`
-	Check     uint64 `json:"check"`
-	Subsets   uint64 `json:"subsets"`
-	Patch     uint64 `json:"patch"`
-	Coalesced uint64 `json:"coalesced"`
+	Register          uint64 `json:"register"`
+	Check             uint64 `json:"check"`
+	Subsets           uint64 `json:"subsets"`
+	Patch             uint64 `json:"patch"`
+	Coalesced         uint64 `json:"coalesced"`
+	Streamed          uint64 `json:"streamed_requests"`
+	EarlyTerminations uint64 `json:"early_terminations"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

@@ -126,6 +126,33 @@ type (
 	// persistence (StateDir) and the estimated-memory eviction budget
 	// (MaxBytes).
 	ServerOptions = server.Options
+	// StreamMode selects how much of the subset lattice a streaming
+	// enumeration traverses (all, first_non_robust, all_maximal_robust,
+	// top_k).
+	StreamMode = analysis.StreamMode
+	// StreamOptions configures a streaming enumeration: mode, top-k budget
+	// and an emitted-subset cap.
+	StreamOptions = analysis.StreamOptions
+	// StreamVerdict is one incrementally emitted subset verdict.
+	StreamVerdict = analysis.StreamVerdict
+	// StreamSummary is the final record of a streaming enumeration.
+	StreamSummary = analysis.StreamSummary
+)
+
+// Streaming enumeration modes.
+const (
+	// StreamAll streams every subset verdict; the summary's report is
+	// identical to RobustSubsets.
+	StreamAll = analysis.StreamAll
+	// StreamFirstNonRobust terminates after the first (smallest)
+	// non-robust verdict.
+	StreamFirstNonRobust = analysis.StreamFirstNonRobust
+	// StreamMaximalRobust emits only robust verdicts and stops after the
+	// first level with none; its report is still exact by monotonicity.
+	StreamMaximalRobust = analysis.StreamMaximalRobust
+	// StreamTopK is StreamMaximalRobust plus the K largest robust subsets
+	// in the summary.
+	StreamTopK = analysis.StreamTopK
 )
 
 // Analysis settings (Section 7.2) and methods.
@@ -206,6 +233,18 @@ func RobustSubsets(schema *Schema, programs []*Program, setting Setting, method 
 // RobustSubsetsOptions is RobustSubsets under a full options struct.
 func RobustSubsetsOptions(schema *Schema, programs []*Program, opts Options) (*SubsetReport, error) {
 	return analysis.NewSession(schema).RobustSubsets(programs, opts)
+}
+
+// RobustSubsetsStream is the streaming form of RobustSubsets: the same
+// lattice-pruned enumeration emits each verdict through the callback the
+// moment its level decides it — subsets are composed lazily, so the first
+// verdict arrives long before the universe graph would have been built —
+// visiting each level in descending estimated-conflict order, with
+// optional early termination (first non-robust subset, maximal robust
+// sets only, top-k, or an emitted-subset budget; see StreamOptions). A
+// full stream's summary carries a report identical to RobustSubsets.
+func RobustSubsetsStream(ctx context.Context, schema *Schema, programs []*Program, opts Options, sopts StreamOptions, emit func(StreamVerdict) error) (*StreamSummary, error) {
+	return analysis.NewSession(schema).RobustSubsetsStream(ctx, programs, opts, sopts, emit)
 }
 
 // Invalidate drops everything sess has memoized for the program — its
