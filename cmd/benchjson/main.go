@@ -31,6 +31,14 @@
 // artifact has been written, so a failing gate still uploads evidence.
 // When the baseline was recorded on a different CPU (the `cpu` env line),
 // the comparison would be meaningless, so the gate warns and passes.
+//
+// -gate-allocs does the same for mean allocs/op, with two differences:
+// allocation counts are machine-independent, so the gate runs even when
+// the baseline's CPU differs, and the tolerance is absolute — one extra
+// allocation per op beyond the baseline fails (allocs/op is an integer
+// measure; fractional thresholds only blur it). CI uses this to pin the
+// zero-overhead claim of the disabled-observability hot path: spans cost
+// nothing unless a tracer is attached.
 package main
 
 import (
@@ -43,6 +51,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Result is one benchmark measurement: the full sub-benchmark name, the
@@ -78,7 +88,13 @@ func main() {
 	baseline := flag.String("baseline", "", "previously committed artifact to gate against (requires -gate)")
 	gate := flag.String("gate", "", "comma-separated name fragments whose mean ns/op must not regress past the baseline")
 	threshold := flag.Float64("gate-threshold", 0.20, "allowed fractional ns/op regression before the gate fails")
+	gateAllocs := flag.String("gate-allocs", "", "comma-separated name fragments whose mean allocs/op must stay within +1 of the baseline")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "benchjson")
+		return
+	}
 
 	doc, err := convert(os.Stdin)
 	if err != nil {
@@ -93,7 +109,7 @@ func main() {
 	// same committed path, overwriting the baseline with the fresh artifact
 	// once it has been loaded.
 	var base *Doc
-	if *baseline != "" && *gate != "" {
+	if *baseline != "" && (*gate != "" || *gateAllocs != "") {
 		f, err := os.Open(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -124,11 +140,18 @@ func main() {
 		os.Exit(1)
 	}
 	if base != nil {
-		regressions, skipped := checkGate(doc, base, *gate, *threshold)
-		if skipped != "" {
-			fmt.Fprintln(os.Stderr, "benchjson: gate skipped:", skipped)
-			return
+		var regressions []string
+		if *gate != "" {
+			nsRegressions, skipped := checkGate(doc, base, *gate, *threshold)
+			if skipped != "" {
+				fmt.Fprintln(os.Stderr, "benchjson: gate skipped:", skipped)
+			} else {
+				regressions = append(regressions, nsRegressions...)
+			}
 		}
+		// The allocation gate never skips on CPU mismatch: allocs/op is a
+		// property of the code path, not the machine.
+		regressions = append(regressions, checkAllocGate(doc, base, *gateAllocs)...)
 		if len(regressions) > 0 {
 			for _, r := range regressions {
 				fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
@@ -171,11 +194,16 @@ func convert(r io.Reader) (*Doc, error) {
 
 // meanNsOp averages ns/op across repeated entries of each name (-count).
 func meanNsOp(doc *Doc) map[string]float64 {
+	return meanMetric(doc, "ns/op")
+}
+
+// meanMetric averages one metric unit across repeated entries of each name.
+func meanMetric(doc *Doc, unit string) map[string]float64 {
 	means := make(map[string]float64)
 	counts := make(map[string]int)
 	for _, r := range doc.Benchmarks {
-		if ns, ok := r.Metrics["ns/op"]; ok {
-			means[r.Name] += ns
+		if v, ok := r.Metrics[unit]; ok {
+			means[r.Name] += v
 			counts[r.Name]++
 		}
 	}
@@ -183,6 +211,48 @@ func meanNsOp(doc *Doc) map[string]float64 {
 		means[name] /= float64(counts[name])
 	}
 	return means
+}
+
+// checkAllocGate compares mean allocs/op against the baseline for every
+// current benchmark whose name contains a -gate-allocs fragment. The
+// tolerance is one allocation per op, absolute: allocation counts are
+// deterministic per code path, so anything beyond rounding slack between
+// repeated runs is a real new allocation. Unlike the ns/op gate this runs
+// across CPU changes — allocs/op does not depend on the machine.
+func checkAllocGate(doc, base *Doc, gates string) (regressions []string) {
+	if gates == "" {
+		return nil
+	}
+	cur := meanMetric(doc, "allocs/op")
+	old := meanMetric(base, "allocs/op")
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	seen := make(map[string]bool)
+	for _, frag := range strings.Split(gates, ",") {
+		frag = strings.TrimSpace(frag)
+		if frag == "" {
+			continue
+		}
+		for _, name := range names {
+			if !strings.Contains(name, frag) || seen[name] {
+				continue
+			}
+			seen[name] = true
+			baseAllocs, measured := old[name]
+			if !measured {
+				continue
+			}
+			if cur[name] > baseAllocs+1 {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.1f allocs/op vs baseline %.1f allocs/op (limit +1)",
+					name, cur[name], baseAllocs))
+			}
+		}
+	}
+	return regressions
 }
 
 // checkGate compares the current document against the baseline: every

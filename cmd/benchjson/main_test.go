@@ -179,3 +179,46 @@ func TestAddSpeedupsEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+// allocDoc builds a one-benchmark document with the given mean allocs/op
+// (split across two -count entries) and CPU string.
+func allocDoc(name, cpu string, allocs float64) *Doc {
+	return &Doc{
+		Env: map[string]string{"cpu": cpu},
+		Benchmarks: []Result{
+			{Name: name, Iterations: 1, Metrics: map[string]float64{"allocs/op": allocs - 1, "ns/op": 100}},
+			{Name: name, Iterations: 1, Metrics: map[string]float64{"allocs/op": allocs + 1, "ns/op": 100}},
+		},
+	}
+}
+
+func TestCheckAllocGate(t *testing.T) {
+	const name = "BenchmarkRobustSubsets/pruned/attr_dep-8"
+	base := allocDoc(name, "cpu-a", 63)
+
+	// Within the +1 absolute slack: passes.
+	if regs := checkAllocGate(allocDoc(name, "cpu-a", 64), base, "RobustSubsets/pruned"); len(regs) != 0 {
+		t.Errorf("64 vs 63 allocs must pass (+1 slack): %v", regs)
+	}
+	// Beyond it: fails.
+	regs := checkAllocGate(allocDoc(name, "cpu-a", 66), base, "RobustSubsets/pruned")
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Errorf("66 vs 63 allocs must fail: %v", regs)
+	}
+	// Unlike the ns/op gate, a CPU change does not skip the comparison —
+	// allocation counts are machine-independent.
+	if regs := checkAllocGate(allocDoc(name, "cpu-b", 70), base, "RobustSubsets/pruned"); len(regs) != 1 {
+		t.Errorf("alloc gate must run across CPU changes: %v", regs)
+	}
+	// Fragments that match nothing, or benchmarks absent from the
+	// baseline, gate nothing.
+	if regs := checkAllocGate(allocDoc(name, "cpu-a", 99), base, "NoSuchBenchmark"); len(regs) != 0 {
+		t.Errorf("unmatched fragment produced %v", regs)
+	}
+	if regs := checkAllocGate(allocDoc("BenchmarkNew-8", "cpu-a", 99), base, "BenchmarkNew"); len(regs) != 0 {
+		t.Errorf("benchmark missing from baseline produced %v", regs)
+	}
+	if regs := checkAllocGate(allocDoc(name, "cpu-a", 99), base, ""); len(regs) != 0 {
+		t.Errorf("empty gate spec produced %v", regs)
+	}
+}

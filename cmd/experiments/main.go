@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,8 +29,13 @@ func main() {
 		repeats     = flag.Int("repeats", 3, "repetitions per Figure 8 point (median reported)")
 		parallel    = flag.Int("parallel", 0, "analysis workers per cell: subset enumeration + intra-check sharding (0 = GOMAXPROCS, 1 = sequential)")
 		skipFigure8 = flag.Bool("skip-figure8", false, "skip the scalability sweep")
+		version     = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "experiments")
+		return
+	}
 
 	suite := experiments.NewSuite()
 	suite.Parallelism = *parallel

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/mvcc"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -27,8 +28,13 @@ func main() {
 		workers   = flag.Int("workers", 8, "concurrent workers")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		customers = flag.Int("customers", 1, "SmallBank customers / Auction buyers (low = contended)")
+		version   = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "mvrcsim")
+		return
+	}
 	if err := run(*benchName, *progList, *isoName, *txns, *workers, *seed, *customers); err != nil {
 		fmt.Fprintln(os.Stderr, "mvrcsim:", err)
 		os.Exit(1)

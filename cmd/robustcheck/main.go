@@ -28,6 +28,11 @@
 //	-unfold    loop unfolding bound (default 2; 2 is sound per Prop. 6.1)
 //	-json      emit the verdict as JSON using the service wire types —
 //	           byte-identical to a robustserved response for the same input
+//	-timings   print a per-phase timing table (validate/unfold, pair
+//	           derivation, compose, detect, lattice levels, ...) to stderr
+//	           after the analysis — stdout stays byte-identical, so -json
+//	           output remains comparable against server responses
+//	-version   print version/revision (from the embedded build info) and exit
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
+	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/sqlbtp"
 	"repro/internal/summary"
@@ -67,8 +73,14 @@ func main() {
 		stats     = flag.Bool("stats", false, "print summary-graph statistics")
 		unfold    = flag.Int("unfold", 2, "loop unfolding bound")
 		jsonOut   = flag.Bool("json", false, "emit the verdict as JSON (service wire format)")
+		timings   = flag.Bool("timings", false, "print per-phase timing table to stderr")
+		version   = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "robustcheck")
+		return
+	}
 
 	opts := runOptions{
 		benchName: *benchName, n: *n,
@@ -77,6 +89,7 @@ func main() {
 		subsets: *subsets, parallel: *parallel, naive: *naive,
 		stats: *stats, unfold: *unfold, json: *jsonOut,
 		stream: *stream, mode: *mode, k: *topK, maxSubsets: *maxSub,
+		timings: *timings,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "robustcheck:", err)
@@ -105,8 +118,13 @@ type runOptions struct {
 	mode       string
 	k          int
 	maxSubsets int
+	// timings records per-phase spans and prints a table to errOut after
+	// the analysis, reusing the server's tracer plumbing.
+	timings bool
 	// out overrides the output stream (tests); nil means os.Stdout.
 	out io.Writer
+	// errOut overrides the timing-table stream (tests); nil means os.Stderr.
+	errOut io.Writer
 }
 
 // parseSetting, parseMethod and loadBenchmark delegate to the shared wire /
@@ -197,6 +215,18 @@ func run(o runOptions) error {
 	if out == nil {
 		out = os.Stdout
 	}
+	if o.timings {
+		errOut := o.errOut
+		if errOut == nil {
+			errOut = os.Stderr
+		}
+		rec := obs.NewSpanRecorder()
+		checker.Tracer = rec
+		// Deferred so the table also covers partial runs that end in an
+		// error; it goes to stderr so -json stdout stays byte-identical
+		// to the matching server response.
+		defer printTimings(rec, errOut)
+	}
 	if !o.json && !o.stream {
 		fmt.Fprintf(out, "benchmark: %s  setting: %s  method: %s\n", bench.Name, st, m)
 	}
@@ -246,6 +276,20 @@ func run(o runOptions) error {
 		fmt.Fprintf(out, "dangerous cycle:\n%s", res.Witness)
 	}
 	return nil
+}
+
+// printTimings writes the recorded per-phase spans as a fixed-width table:
+// phase name, number of spans, accumulated wall time.
+func printTimings(rec *obs.SpanRecorder, w io.Writer) {
+	spans := rec.Snapshot()
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "phase timings:")
+	for _, s := range spans {
+		fmt.Fprintf(w, "  %-16s %6d  %12.3fms\n",
+			s.Phase, s.Count, float64(s.Total.Microseconds())/1e3)
+	}
 }
 
 // runStream drives the streaming enumeration, printing the same NDJSON

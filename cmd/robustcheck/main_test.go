@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/benchmarks"
@@ -177,5 +178,52 @@ func TestJSONMatchesServer(t *testing.T) {
 	}
 	if cli, srv := cliBody(true), serverBody("subsets"); !bytes.Equal(cli, srv) {
 		t.Errorf("subsets responses differ:\nCLI:    %s\nserver: %s", cli, srv)
+	}
+}
+
+// TestRunTimings asserts -timings prints the phase table to the error
+// stream and leaves stdout byte-identical — the -json output must stay
+// comparable against server responses with or without the flag.
+func TestRunTimings(t *testing.T) {
+	var plain, timed, table bytes.Buffer
+	base := runOptions{
+		benchName: "smallbank", n: 1,
+		setting: "attr+fk", method: "type2", unfold: 2,
+		subsets: true, json: true,
+	}
+	o := base
+	o.out = &plain
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o = base
+	o.out, o.errOut, o.timings = &timed, &table, true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), timed.Bytes()) {
+		t.Error("-timings changed the stdout document")
+	}
+	for _, want := range []string{"phase timings:", "lattice_level", "compose", "detect"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("timing table missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+// TestRunTimingsCheck covers the plain-check path: the table appears even
+// without -subsets, and an untimed run writes nothing to the error stream.
+func TestRunTimingsCheck(t *testing.T) {
+	var out, table bytes.Buffer
+	err := run(runOptions{
+		benchName: "smallbank", n: 1,
+		setting: "attr+fk", method: "type2", unfold: 2,
+		timings: true, out: &out, errOut: &table,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "phase timings:") {
+		t.Errorf("no timing table:\n%s", table.String())
 	}
 }

@@ -41,6 +41,23 @@
 //	                the resolved default and each workload's last effective
 //	                value
 //	-timeout        per-request analysis deadline (default 30s; 0 = none)
+//	-log-level      structured request/phase logging to stderr (slog JSON):
+//	                debug (adds per-phase spans), info (access logs,
+//	                default), warn, error, off
+//	-pprof-addr     serve net/http/pprof on a second listener (e.g.
+//	                127.0.0.1:6060); empty disables. Kept off the API
+//	                listener so profiling is never publicly exposed
+//	-version        print version/revision (from the embedded build info)
+//	                and exit
+//
+// Observability: GET /metrics exposes every /v1/stats counter plus
+// per-endpoint request counts, in-flight gauges and latency histograms in
+// Prometheus text format, and per-phase engine timing histograms
+// (validate/unfold, pair derivation, compose, detect, lattice levels,
+// first verdict, snapshot flush). Responses carry X-Request-ID (honoring
+// an incoming header), and ?debug=timings on check/subsets returns the
+// phase spans in-band. See the "Observability" section of
+// docs/ARCHITECTURE.md.
 //
 // Endpoints (see internal/wire for the body types):
 //
@@ -62,7 +79,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +91,7 @@ import (
 
 	mvrc "repro"
 	"repro/internal/benchmarks"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -83,8 +104,15 @@ func main() {
 		maxBytes     = flag.Int64("max-bytes", 0, "estimated-memory budget across workloads; size-weighted eviction beyond it (0 = count-based LRU only)")
 		parallel     = flag.Int("parallel", 0, "analysis workers per request and cap for per-request parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request analysis deadline (0 = none)")
+		logLevel     = flag.String("log-level", "info", "structured logging to stderr: debug, info, warn, error, off")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		version      = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "robustserved")
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -98,6 +126,8 @@ func main() {
 		maxBytes:     *maxBytes,
 		parallel:     *parallel,
 		timeout:      *timeout,
+		logLevel:     *logLevel,
+		pprofAddr:    *pprofAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "robustserved:", err)
 		os.Exit(1)
@@ -114,6 +144,54 @@ type options struct {
 	maxBytes     int64
 	parallel     int
 	timeout      time.Duration
+	logLevel     string
+	pprofAddr    string
+}
+
+// newLogger maps the -log-level flag to a JSON slog handler on stderr.
+// "off" (or an unrecognized level) disables logging entirely — the server
+// treats a nil logger as "metrics only".
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
+// servePprof runs the pprof handlers on their own listener and mux: never
+// the API mux, so operators can firewall profiling separately. It returns
+// after the listener is bound; serving stops when ctx is cancelled.
+func servePprof(ctx context.Context, addr string, out io.Writer) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Fprintf(out, "robustserved: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
 }
 
 // run boots the service on a fresh listener, preloads benchmarks, logs the
@@ -127,7 +205,13 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		StateDir:       o.stateDir,
 		FlushInterval:  o.flushEvery,
 		MaxBytes:       o.maxBytes,
+		Logger:         newLogger(o.logLevel),
 	})
+	if o.pprofAddr != "" {
+		if err := servePprof(ctx, o.pprofAddr, out); err != nil {
+			return err
+		}
+	}
 	if o.stateDir != "" {
 		loaded, skipped, err := srv.StateReport()
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"strings"
@@ -179,5 +180,87 @@ func TestPreloadErrors(t *testing.T) {
 	}
 	if got := strings.Count(out.String(), "preloaded"); got != 2 {
 		t.Errorf("preload logged %d workloads, want 2\n%s", got, out.String())
+	}
+}
+
+var pprofRe = regexp.MustCompile(`pprof on (\S+)`)
+
+// TestPprofAndMetrics boots with -pprof-addr on port 0 and asserts both
+// observability surfaces: the API listener serves /metrics in Prometheus
+// text format, and the side listener serves the pprof index — two separate
+// ports, so profiling can be firewalled away from the API.
+func TestPprofAndMetrics(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, out, options{
+			addr: "127.0.0.1:0", preload: "smallbank",
+			timeout: 30 * time.Second, pprofAddr: "127.0.0.1:0",
+		})
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve returned %v", err)
+		}
+	}()
+	var base, pprofURL string
+	for i := 0; i < 2000 && (base == "" || pprofURL == ""); i++ {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+		}
+		if m := pprofRe.FindStringSubmatch(out.String()); m != nil {
+			pprofURL = m[1]
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited early: %v\n%s", err, out.String())
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if base == "" || pprofURL == "" {
+		t.Fatalf("boot log missing addresses:\n%s", out.String())
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain; version=0.0.4") {
+		t.Fatalf("metrics: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{"mvrc_http_requests_total", "mvrc_workloads 1", "mvrc_build_info"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "profile") {
+		t.Fatalf("pprof index: %d\n%.200s", resp.StatusCode, raw)
+	}
+}
+
+// TestNewLogger maps the -log-level values: off and unknown disable
+// logging (nil), real levels return a handler enabled at that level.
+func TestNewLogger(t *testing.T) {
+	if newLogger("off") != nil || newLogger("bogus") != nil {
+		t.Error("off/unknown must disable logging")
+	}
+	lg := newLogger("debug")
+	if lg == nil || !lg.Enabled(context.Background(), slog.LevelDebug) {
+		t.Error("debug logger must enable debug records")
+	}
+	if lg := newLogger("error"); lg == nil || lg.Enabled(context.Background(), slog.LevelInfo) {
+		t.Error("error logger must drop info records")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
 	"repro/internal/dot"
+	"repro/internal/obs"
 	"repro/internal/summary"
 )
 
@@ -25,8 +26,13 @@ func main() {
 		n         = flag.Int("n", 1, "scaling factor for auction")
 		setting   = flag.String("setting", "attr+fk", "analysis setting: tpl, attr, tpl+fk, attr+fk")
 		labels    = flag.Bool("labels", false, "label edges with statement pairs")
+		version   = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "sugviz")
+		return
+	}
 	if err := run(*benchName, *n, *setting, *labels); err != nil {
 		fmt.Fprintln(os.Stderr, "sugviz:", err)
 		os.Exit(1)

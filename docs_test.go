@@ -69,6 +69,10 @@ func TestDocsMentionCode(t *testing.T) {
 		"RobustSubsetsStream", "subsets:stream", "first_non_robust",
 		"StreamSummary", "streamed_requests", "sched_checked",
 		"MaxSubsets", "StreamVerdictRecord",
+		"mvrc_phase_duration_seconds", "mvrc_http_requests_total",
+		"obs.Tracer", "WithTracer", "X-Request-ID", "debug=timings",
+		"-pprof-addr", "stats_generation", "PreCollect",
+		"first_verdict", "snapshot_flush",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q — update the doc with the code", want)

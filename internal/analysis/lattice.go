@@ -8,9 +8,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/btp"
+	"repro/internal/obs"
 	"repro/internal/summary"
 )
 
@@ -701,7 +703,14 @@ func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetec
 		if ws.scratch == nil {
 			ws.scratch = det.NewScratch()
 		}
+		var t0 time.Time
+		if tr := cfg.Tracer; tr != nil {
+			t0 = time.Now()
+		}
 		ok, wmask := det.RobustWitness(cfg.Method, members, ws.scratch)
+		if tr := cfg.Tracer; tr != nil {
+			tr.Span(obs.PhaseDetect, time.Since(t0))
+		}
 		verdicts[mask] = ok
 		if ok {
 			freshRobust.Store(true)
@@ -722,6 +731,10 @@ func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetec
 	seq := &latticeWorker{members: getMask(words)}
 	defer putMask(seq.members)
 	for level := 1; level <= n; level++ {
+		var levelStart time.Time
+		if tr := cfg.Tracer; tr != nil {
+			levelStart = time.Now()
+		}
 		masks := order[offs[level]:offs[level+1]]
 		lw := workers
 		if lw > len(masks) {
@@ -764,6 +777,9 @@ func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetec
 		// determinism and completeness argument, so it must not be elided.
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if tr := cfg.Tracer; tr != nil {
+			tr.Span(obs.PhaseLatticeLevel, time.Since(levelStart))
 		}
 	}
 

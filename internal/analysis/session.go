@@ -18,8 +18,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/btp"
+	"repro/internal/obs"
 	"repro/internal/relschema"
 	"repro/internal/summary"
 )
@@ -50,6 +52,15 @@ type Config struct {
 	// subset. Kept for benchmarking and as an in-tree ablation oracle —
 	// verdicts are identical either way, only the work differs.
 	DisablePruning bool
+	// Tracer receives phase spans (validate/unfold, Algorithm 1 pair
+	// derivation, compose, detect, per-lattice-level, first-verdict) from
+	// this analysis. nil — the default — is the no-op: instrumented code
+	// branches on nil before calling time.Now, so a disabled tracer adds
+	// neither time nor allocations to the hot paths (asserted by the
+	// pruned-subsets allocation gate). Implementations must be safe for
+	// concurrent use; spans are emitted from parallel workers. Tracer never
+	// changes a verdict, only what is observed about computing it.
+	Tracer obs.Tracer
 }
 
 // DefaultConfig returns the paper's primary configuration: attribute
@@ -70,6 +81,16 @@ func (c Config) parallelism() int {
 		return c.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// traceCtx attaches the config's tracer to the context, so the summary
+// layer (which has no Config) can pick it up via obs.TracerFrom for the
+// pairs sub-span. The nil case returns ctx unchanged — no allocation.
+func (c Config) traceCtx(ctx context.Context) context.Context {
+	if c.Tracer == nil {
+		return ctx
+	}
+	return obs.WithTracer(ctx, c.Tracer)
 }
 
 // Result is the outcome of one robustness check.
@@ -540,21 +561,42 @@ func (s *Session) Check(programs []*btp.Program, cfg Config) (*Result, error) {
 // context aborts the assembly between pair chunks and stages; the cycle
 // detection itself is a single sequential pass.
 func (s *Session) CheckCtx(ctx context.Context, programs []*btp.Program, cfg Config) (*Result, error) {
+	tr := cfg.Tracer
+	var t0 time.Time
+	if tr != nil {
+		ctx = cfg.traceCtx(ctx)
+		t0 = time.Now()
+	}
 	_, ltps, err := s.ltpUniverse(programs, cfg.bound(), cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		tr.Span(obs.PhaseValidateUnfold, time.Since(t0))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		t0 = time.Now()
 	}
 	g, err := summary.ComposeCtx(ctx, s.Blocks(cfg.Setting), ltps, cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		tr.Span(obs.PhaseCompose, time.Since(t0))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		t0 = time.Now()
+	}
 	ok, w := g.RobustWith(cfg.Method, cfg.parallelism())
+	if tr != nil {
+		tr.Span(obs.PhaseDetect, time.Since(t0))
+	}
 	return &Result{Robust: ok, Witness: w, Graph: g, LTPs: ltps}, nil
 }
 
@@ -587,9 +629,19 @@ func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program,
 	if n > 20 {
 		return nil, fmt.Errorf("analysis: subset enumeration over %d programs is infeasible", n)
 	}
+	tr := cfg.Tracer
+	var t0 time.Time
+	if tr != nil {
+		ctx = cfg.traceCtx(ctx)
+		t0 = time.Now()
+	}
 	groups, all, err := s.ltpUniverse(programs, cfg.bound(), cfg.parallelism())
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		tr.Span(obs.PhaseValidateUnfold, time.Since(t0))
+		t0 = time.Now()
 	}
 	if cfg.DisablePruning {
 		// The detector composes the universe graph once — computing (or
@@ -600,11 +652,17 @@ func (s *Session) RobustSubsetsCtx(ctx context.Context, programs []*btp.Program,
 		if err != nil {
 			return nil, err
 		}
+		if tr != nil {
+			tr.Span(obs.PhaseCompose, time.Since(t0))
+		}
 		return s.enumerateFlat(ctx, det, groups, programs, cfg)
 	}
 	det, err := s.subsetDetector(ctx, cfg, programs, all)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		tr.Span(obs.PhaseCompose, time.Since(t0))
 	}
 	return s.enumerateLattice(ctx, det, groups, programs, cfg)
 }

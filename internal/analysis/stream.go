@@ -8,8 +8,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/btp"
+	"repro/internal/obs"
 	"repro/internal/summary"
 )
 
@@ -188,6 +190,13 @@ type streamRun struct {
 	discovered, freshRobust     atomic.Bool
 	bail                        atomic.Bool // first_non_robust: a worker saw non-robust
 
+	// start anchors the first_verdict span (time-to-first-verdict) when the
+	// config carries a tracer; emittedFirst flips after the span fires.
+	// Emission is single-goroutine (sequential inline, parallel after the
+	// level's wg.Wait), so a plain bool suffices.
+	start        time.Time
+	emittedFirst bool
+
 	sum StreamSummary
 }
 
@@ -214,9 +223,18 @@ func (s *Session) RobustSubsetsStream(ctx context.Context, programs []*btp.Progr
 	if opts.Mode == StreamTopK && opts.K <= 0 {
 		return nil, fmt.Errorf("analysis: top_k streaming needs k > 0")
 	}
+	tr := cfg.Tracer
+	var t0 time.Time
+	if tr != nil {
+		ctx = cfg.traceCtx(ctx)
+		t0 = time.Now()
+	}
 	groups, all, err := s.ltpUniverse(programs, cfg.bound(), cfg.parallelism())
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		tr.Span(obs.PhaseValidateUnfold, time.Since(t0))
 	}
 	words := (len(all) + 63) / 64
 	programMask := programMasks(groups, words)
@@ -237,6 +255,9 @@ func (s *Session) RobustSubsetsStream(ctx context.Context, programs []*btp.Progr
 		words:       words,
 		verdicts:    make([]bool, 1<<n),
 		decided:     make([]uint8, 1<<n),
+	}
+	if tr != nil {
+		r.start = time.Now()
 	}
 	// Witness cycles come back as graph edges over the subset's LTPs; the
 	// index maps their endpoints into universe node positions for core
@@ -306,6 +327,10 @@ func (r *streamRun) walk(ctx context.Context) error {
 	var seqLTPs []*btp.LTP
 
 	for level := 1; level <= r.n; level++ {
+		var levelStart time.Time
+		if tr := r.cfg.Tracer; tr != nil {
+			levelStart = time.Now()
+		}
 		masks := order[offs[level]:offs[level+1]]
 		if len(masks) == 0 {
 			continue
@@ -397,6 +422,9 @@ func (r *streamRun) walk(ctx context.Context) error {
 			}
 		}
 		r.recordSched(sched)
+		if tr := r.cfg.Tracer; tr != nil {
+			tr.Span(obs.PhaseLatticeLevel, time.Since(levelStart))
+		}
 		// The level barrier: supersets are only examined once every smaller
 		// mask's verdict (and core) is published — the determinism and
 		// minimality argument of lattice.go. It must not be elided;
@@ -453,11 +481,22 @@ func (r *streamRun) process(ctx context.Context, mask int, members []uint64, ltp
 		}
 	}
 	*ltpBuf = ltps
+	var t0 time.Time
+	if tr := r.cfg.Tracer; tr != nil {
+		t0 = time.Now()
+	}
 	g, err := summary.ComposeCtx(ctx, r.bs, ltps, 1)
 	if err != nil {
 		return err
 	}
+	if tr := r.cfg.Tracer; tr != nil {
+		tr.Span(obs.PhaseCompose, time.Since(t0))
+		t0 = time.Now()
+	}
 	ok, wit := g.RobustWith(r.cfg.Method, 1)
+	if tr := r.cfg.Tracer; tr != nil {
+		tr.Span(obs.PhaseDetect, time.Since(t0))
+	}
 	r.verdicts[mask] = ok
 	r.decided[mask] = dDetector
 	if ok {
@@ -497,6 +536,10 @@ func (r *streamRun) emitMask(mask int) (stop bool, err error) {
 	}
 	if err := r.emit(v); err != nil {
 		return true, err
+	}
+	if tr := r.cfg.Tracer; tr != nil && !r.emittedFirst {
+		r.emittedFirst = true
+		tr.Span(obs.PhaseFirstVerdict, time.Since(r.start))
 	}
 	r.sum.Emitted++
 	if r.opts.MaxSubsets > 0 && r.sum.Emitted >= r.opts.MaxSubsets {

@@ -1,0 +1,332 @@
+// Package obs is the zero-dependency observability core of the service:
+// atomic counters, gauges and fixed-bucket latency histograms collected in
+// a Registry that renders the Prometheus text exposition format, plus the
+// phase-level Tracer interface the analysis engine emits spans through
+// (tracer.go) and build attribution helpers (buildinfo.go).
+//
+// The package is deliberately allocation-free on the hot paths: Counter,
+// Gauge and Histogram are plain atomics behind pre-registered handles, a
+// Histogram observation is one bounds scan plus three atomic adds, and the
+// no-op tracer default is a nil interface the instrumented code branches on
+// before calling time.Now — disabling observability costs the engine
+// nothing, which the pruned-subsets allocation gate asserts in CI.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain one from Registry.Counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram. Observations are counted
+// into the first bucket whose upper bound is ≥ the value; the sum is kept
+// in nanoseconds. All methods are safe for concurrent use and allocate
+// nothing.
+type Histogram struct {
+	bounds   []float64 // upper bounds in seconds, ascending; +Inf implied
+	counts   []atomic.Uint64
+	inf      atomic.Uint64
+	total    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)),
+	}
+}
+
+// ObserveDuration records one latency observation.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Observe records one observation in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	placed := false
+	for i, b := range h.bounds {
+		if seconds <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.total.Add(1)
+	h.sumNanos.Add(int64(seconds * 1e9))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// DefBuckets are the default request-latency bucket bounds (seconds):
+// 500µs to 10s, covering the cold SmallBank enumeration through a slow
+// TPC-C sweep.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// PhaseBuckets are the phase-span bucket bounds (seconds): phases run from
+// microseconds (a warm compose) to seconds (a cold universe closure), so
+// the buckets start three decades below DefBuckets.
+var PhaseBuckets = []float64{1e-6, 5e-6, 2.5e-5, 1e-4, 5e-4, 2.5e-3, 0.01, 0.05, 0.25, 1, 5}
+
+// Label is one constant key=value pair attached to a metric series at
+// registration time.
+type Label struct {
+	Key, Value string
+}
+
+// series is one rendered line (or histogram line group) of a family:
+// exactly one of c/g/h/fn is set.
+type series struct {
+	labels string // rendered `{k="v",...}`, or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds registered metrics and renders them as Prometheus text.
+// Registration is expected at startup; rendering may run concurrently with
+// metric updates (values are read atomically, so a scrape sees a consistent
+// enough snapshot — the usual Prometheus contract).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	pre      []func()
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) add(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers (or extends) a counter family and returns the series'
+// handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", &series{labels: renderLabels(labels), c: c})
+	return c
+}
+
+// Gauge registers (or extends) a gauge family and returns the series'
+// handle.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), g: g})
+	return g
+}
+
+// Histogram registers (or extends) a histogram family with the given bucket
+// upper bounds (seconds, ascending; +Inf is implicit) and returns the
+// series' handle.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	h := newHistogram(buckets)
+	r.add(name, help, "histogram", &series{labels: renderLabels(labels), h: h})
+	return h
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the re-export path for counters that already live
+// elsewhere as atomics (the server's /v1/stats counters).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.add(name, help, "counter", &series{labels: renderLabels(labels), fn: fn})
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), fn: fn})
+}
+
+// PreCollect registers a hook that runs at the start of every scrape,
+// before any series is rendered. The server uses one hook to snapshot its
+// per-workload cache aggregates once per scrape instead of walking the
+// registry once per re-exported series.
+func (r *Registry) PreCollect(fn func()) {
+	r.mu.Lock()
+	r.pre = append(r.pre, fn)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (families sorted by name, series in registration
+// order).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.pre...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			writeSeries(bw, f.name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, name string, s *series) {
+	switch {
+	case s.h != nil:
+		writeHistogram(bw, name, s)
+	case s.c != nil:
+		writeSample(bw, name, s.labels, formatUint(s.c.Value()))
+	case s.g != nil:
+		writeSample(bw, name, s.labels, strconv.FormatInt(s.g.Value(), 10))
+	case s.fn != nil:
+		writeSample(bw, name, s.labels, formatFloat(s.fn()))
+	}
+}
+
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.h
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(bw, name+"_bucket", mergeLE(s.labels, formatFloat(b)), formatUint(cum))
+	}
+	writeSample(bw, name+"_bucket", mergeLE(s.labels, "+Inf"), formatUint(h.Count()))
+	writeSample(bw, name+"_sum", s.labels, formatFloat(float64(h.sumNanos.Load())/1e9))
+	writeSample(bw, name+"_count", s.labels, formatUint(h.Count()))
+}
+
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// mergeLE merges the histogram's le label into a pre-rendered label set.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// renderLabels renders a constant label set once, at registration.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// Handler returns the GET /metrics handler serving the registry.
+func (r *Registry) Handler() http.HandlerFunc {
+	return func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(rw)
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+func TestCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "requests served")
+	g := r.Gauge("test_in_flight", "in flight")
+	c.Inc()
+	c.Add(2)
+	g.Set(5)
+	g.Add(-2)
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_requests_total requests served\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 3\n",
+		"# TYPE test_in_flight gauge\n",
+		"test_in_flight 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 3 || g.Value() != 3 {
+		t.Errorf("Value() = %d, %d; want 3, 3", c.Value(), g.Value())
+	}
+}
+
+func TestFamiliesSortedAndLabeledSeriesGrouped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "last")
+	a := r.Counter("aaa_total", "first", Label{"kind", "x"})
+	b := r.Counter("aaa_total", "first", Label{"kind", "y"})
+	a.Inc()
+	b.Add(2)
+
+	out := render(t, r)
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE aaa_total counter") != 1 {
+		t.Errorf("labeled series of one family must share one TYPE header:\n%s", out)
+	}
+	if !strings.Contains(out, `aaa_total{kind="x"} 1`) || !strings.Contains(out, `aaa_total{kind="y"} 2`) {
+		t.Errorf("labeled series misrendered:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)                          // bucket 0.01
+	h.Observe(0.05)                           // bucket 0.1
+	h.Observe(0.05)                           // bucket 0.1
+	h.Observe(5)                              // +Inf only
+	h.ObserveDuration(500 * time.Millisecond) // bucket 1
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram\n",
+		`test_latency_seconds_bucket{le="0.01"} 1` + "\n",
+		`test_latency_seconds_bucket{le="0.1"} 3` + "\n",
+		`test_latency_seconds_bucket{le="1"} 4` + "\n",
+		`test_latency_seconds_bucket{le="+Inf"} 5` + "\n",
+		"test_latency_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+	// Sum ≈ 0.005 + 0.05 + 0.05 + 5 + 0.5.
+	if !strings.Contains(out, "test_latency_seconds_sum 5.60") {
+		t.Errorf("sum misrendered:\n%s", out)
+	}
+}
+
+func TestHistogramLabelsMergeLE(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_phase_seconds", "phase", []float64{1}, Label{"phase", "compose"})
+	h.Observe(0.5)
+	out := render(t, r)
+	for _, want := range []string{
+		`test_phase_seconds_bucket{phase="compose",le="1"} 1`,
+		`test_phase_seconds_bucket{phase="compose",le="+Inf"} 1`,
+		`test_phase_seconds_count{phase="compose"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_esc_total", "escaping", Label{"v", "a\\b\"c\nd"})
+	out := render(t, r)
+	if !strings.Contains(out, `test_esc_total{v="a\\b\"c\nd"} 0`) {
+		t.Errorf("label not escaped per exposition format:\n%s", out)
+	}
+}
+
+func TestFuncMetricsAndPreCollect(t *testing.T) {
+	r := NewRegistry()
+	var v float64
+	hooks := 0
+	r.PreCollect(func() { hooks++; v = 42 })
+	r.CounterFunc("test_fn_total", "fn counter", func() float64 { return v })
+	r.GaugeFunc("test_fn_gauge", "fn gauge", func() float64 { return v / 2 })
+
+	out := render(t, r)
+	if hooks != 1 {
+		t.Fatalf("PreCollect ran %d times, want 1", hooks)
+	}
+	if !strings.Contains(out, "test_fn_total 42\n") || !strings.Contains(out, "test_fn_gauge 21\n") {
+		t.Errorf("func metrics misrendered:\n%s", out)
+	}
+	render(t, r)
+	if hooks != 2 {
+		t.Errorf("PreCollect must run once per scrape, got %d after 2 scrapes", hooks)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "x")
+	rec := httptest.NewRecorder()
+	r.Handler()(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 0") {
+		t.Errorf("body missing metric:\n%s", rec.Body.String())
+	}
+}
+
+func TestSpanRecorderAggregates(t *testing.T) {
+	rec := NewSpanRecorder()
+	rec.Span(PhaseDetect, 2*time.Millisecond)
+	rec.Span(PhaseDetect, 3*time.Millisecond)
+	rec.Span(PhaseCompose, time.Millisecond)
+
+	got := rec.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(got))
+	}
+	// Sorted by phase name: compose < detect.
+	if got[0].Phase != PhaseCompose || got[1].Phase != PhaseDetect {
+		t.Fatalf("Snapshot order = %s, %s", got[0].Phase, got[1].Phase)
+	}
+	if got[1].Count != 2 || got[1].Total != 5*time.Millisecond {
+		t.Errorf("detect aggregate = %d spans, %v total; want 2, 5ms", got[1].Count, got[1].Total)
+	}
+}
+
+func TestMultiDropsNils(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no tracers must be nil")
+	}
+	rec := NewSpanRecorder()
+	if got := Multi(nil, rec, nil); got != Tracer(rec) {
+		t.Error("Multi of one tracer must return it unwrapped")
+	}
+	rec2 := NewSpanRecorder()
+	m := Multi(rec, rec2)
+	m.Span(PhasePairs, time.Second)
+	if len(rec.Snapshot()) != 1 || len(rec2.Snapshot()) != 1 {
+		t.Error("Multi must fan out to every sink")
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	ctx := context.Background()
+	if WithTracer(ctx, nil) != ctx {
+		t.Error("WithTracer(nil) must return ctx unchanged")
+	}
+	if TracerFrom(ctx) != nil {
+		t.Error("TracerFrom of a bare ctx must be nil")
+	}
+	rec := NewSpanRecorder()
+	if got := TracerFrom(WithTracer(ctx, rec)); got != Tracer(rec) {
+		t.Error("TracerFrom must return the attached tracer")
+	}
+
+	if WithRequestID(ctx, "") != ctx {
+		t.Error(`WithRequestID("") must return ctx unchanged`)
+	}
+	if got := RequestIDFrom(WithRequestID(ctx, "req-1")); got != "req-1" {
+		t.Errorf("RequestIDFrom = %q, want req-1", got)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	bi := Build()
+	if bi.Version == "" || bi.Revision == "" || bi.GoVersion == "" {
+		t.Errorf("Build() must fill every field, got %+v", bi)
+	}
+	var sb strings.Builder
+	PrintVersion(&sb, "toolname")
+	if !strings.HasPrefix(sb.String(), "toolname ") {
+		t.Errorf("PrintVersion output = %q", sb.String())
+	}
+}

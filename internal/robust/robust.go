@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/btp"
+	"repro/internal/obs"
 	"repro/internal/relschema"
 	"repro/internal/summary"
 )
@@ -55,6 +56,11 @@ type Checker struct {
 	// analysis.Config.DisablePruning. Exposed for the benchmarks and the
 	// pruning ablation only — verdicts are identical either way.
 	DisablePruning bool
+	// Tracer receives phase spans from every analysis run through this
+	// Checker; see analysis.Config.Tracer. nil (the default) is the no-op
+	// and costs the hot paths nothing. robustcheck -timings sets a
+	// SpanRecorder here — the same tracer the server threads per request.
+	Tracer obs.Tracer
 
 	// sess is the lazily created incremental engine. It memoizes per
 	// program pointer, unfold bound and setting, so mutating the exported
@@ -97,6 +103,7 @@ func (c *Checker) config() analysis.Config {
 		UnfoldBound:    c.UnfoldBound,
 		Parallelism:    c.Parallelism,
 		DisablePruning: c.DisablePruning,
+		Tracer:         c.Tracer,
 	}
 }
 

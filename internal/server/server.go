@@ -59,9 +59,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -70,6 +72,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
+	"repro/internal/obs"
 	"repro/internal/relschema"
 	"repro/internal/snapshot"
 	"repro/internal/sqlbtp"
@@ -109,6 +112,11 @@ type Options struct {
 	// restart path depends on), and Close performs a final flush. 0 means
 	// DefaultFlushInterval.
 	FlushInterval time.Duration
+	// Logger, when non-nil, receives one structured access-log record per
+	// request (method, path, endpoint, status, duration, request_id) at
+	// info level and per-phase span records at debug level. nil disables
+	// logging entirely — metrics and tracing still run.
+	Logger *slog.Logger
 }
 
 // DefaultMaxWorkloads is the default registry cap.
@@ -162,6 +170,16 @@ type Server struct {
 	// stopped early by mode or budget (not client disconnects).
 	streamed, earlyTerms atomic.Uint64
 
+	// metrics is the Prometheus registry behind GET /metrics plus the
+	// shared phase tracer (see metrics.go); logger is Options.Logger.
+	// statsGen stamps /v1/stats responses; reqPrefix/reqSeq mint request
+	// IDs for requests arriving without an X-Request-ID header.
+	metrics   *metrics
+	logger    *slog.Logger
+	statsGen  atomic.Uint64
+	reqSeq    atomic.Uint64
+	reqPrefix string
+
 	// testFlightHook, when non-nil, runs inside the flight goroutine
 	// before the enumeration starts — a seam for deterministic
 	// coalescing tests.
@@ -185,7 +203,12 @@ func New(opts Options) *Server {
 		base:       base,
 		baseCancel: cancel,
 		dirty:      make(map[string]*workload),
+		logger:     opts.Logger,
 	}
+	s.reqPrefix = "r" + strconv.FormatUint(uint64(s.start.UnixNano()), 36) + "-"
+	// Built before loadState: boot-time evictions already run persist, which
+	// observes the snapshot_flush phase.
+	s.metrics = newMetrics(s)
 	// Evicted workloads must not resurrect on the next boot. The callback
 	// runs after the registry lock is released, so the same fingerprint may
 	// have re-registered (and persisted) while the deletion was in flight —
@@ -206,15 +229,16 @@ func New(opts Options) *Server {
 	if s.snap != nil {
 		go s.flushLoop()
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/workloads", s.handleRegister)
-	s.mux.HandleFunc("GET /v1/workloads/{id}", s.handleGetWorkload)
-	s.mux.HandleFunc("POST /v1/workloads/{id}/check", s.handleCheck)
-	s.mux.HandleFunc("POST /v1/workloads/{id}/subsets", s.handleSubsets)
-	s.mux.HandleFunc("POST /v1/workloads/{id}/subsets:stream", s.handleSubsetsStream)
-	s.mux.HandleFunc("GET /v1/workloads/{id}/subsets:stream", s.handleSubsetsStream)
-	s.mux.HandleFunc("PATCH /v1/workloads/{id}/programs/{name}", s.handlePatch)
+	s.handle("GET /healthz", epHealthz, s.handleHealthz)
+	s.handle("GET /metrics", epMetrics, s.metrics.reg.Handler())
+	s.handle("GET /v1/stats", epStats, s.handleStats)
+	s.handle("POST /v1/workloads", epRegister, s.handleRegister)
+	s.handle("GET /v1/workloads/{id}", epWorkload, s.handleGetWorkload)
+	s.handle("POST /v1/workloads/{id}/check", epCheck, s.handleCheck)
+	s.handle("POST /v1/workloads/{id}/subsets", epSubsets, s.handleSubsets)
+	s.handle("POST /v1/workloads/{id}/subsets:stream", epSubsetsStream, s.handleSubsetsStream)
+	s.handle("GET /v1/workloads/{id}/subsets:stream", epSubsetsStream, s.handleSubsetsStream)
+	s.handle("PATCH /v1/workloads/{id}/programs/{name}", epPatch, s.handlePatch)
 	return s
 }
 
@@ -313,10 +337,12 @@ func (s *Server) persist(w *workload) bool {
 	}
 	w.persistMu.Lock()
 	defer w.persistMu.Unlock()
+	start := time.Now()
 	f, err := w.snapshotFile()
 	if err == nil {
 		err = s.snap.Save(f)
 	}
+	s.metrics.observePhase(obs.PhaseFlush, time.Since(start))
 	if err != nil {
 		s.persistErrs.Add(1)
 		return false
@@ -454,8 +480,14 @@ func (s *Server) Register(schema *relschema.Schema, programs []*btp.Program) (*w
 // --- HTTP plumbing ---------------------------------------------------------
 
 func (s *Server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
-	rw.Header().Set("Content-Type", "application/json")
-	io.WriteString(rw, "{\n  \"status\": \"ok\"\n}\n")
+	bi := obs.Build()
+	writeJSON(rw, http.StatusOK, &wire.HealthzResponse{
+		Status:        "ok",
+		Version:       bi.Version,
+		Revision:      bi.Revision,
+		GoVersion:     bi.GoVersion,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
 }
 
 // writeJSON sends a wire document with the given status.
@@ -653,6 +685,8 @@ func (s *Server) handleCheck(rw http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	tracer, recorder := s.requestTracer(r)
+	cfg.Tracer = tracer
 	res, err := w.session().CheckCtx(ctx, programs, cfg)
 	if err != nil {
 		writeError(rw, analysisStatus(err), err)
@@ -662,7 +696,11 @@ func (s *Server) handleCheck(rw http.ResponseWriter, r *http.Request) {
 	w.checks.Add(1)
 	w.lastParallelism.Store(int64(effectiveParallelism(cfg.Parallelism)))
 	rw.Header().Set("X-Workload-Version", fmt.Sprint(version))
-	writeJSON(rw, http.StatusOK, wire.NewCheckResponse(cfg, programs, res))
+	resp := wire.NewCheckResponse(cfg, programs, res)
+	if recorder != nil {
+		resp.Timings = wire.NewPhaseTimings(recorder.Snapshot())
+	}
+	writeJSON(rw, http.StatusOK, resp)
 }
 
 func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
@@ -686,6 +724,29 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
+	// A ?debug=timings request wants this run's spans, so it bypasses both
+	// the result cache (stored bytes would replay another run's document —
+	// and cached bodies must stay byte-identical, so the timings block is
+	// never stored) and the coalescing (a follower observes no spans). The
+	// enumeration runs under the request context like any uncached request.
+	if tracer, recorder := s.requestTracer(r); recorder != nil {
+		cfg.Tracer = tracer
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		rep, err := w.session().RobustSubsetsCtx(ctx, programs, cfg)
+		if err != nil {
+			writeError(rw, analysisStatus(err), err)
+			return
+		}
+		s.subsets.Add(1)
+		w.subsets.Add(1)
+		w.lastParallelism.Store(int64(effectiveParallelism(cfg.Parallelism)))
+		resp := wire.NewSubsetsResponse(cfg, programs, rep)
+		resp.Timings = wire.NewPhaseTimings(recorder.Snapshot())
+		rw.Header().Set("X-Workload-Version", fmt.Sprint(version))
+		writeJSON(rw, http.StatusOK, resp)
+		return
+	}
 	// The result cache sits above the in-flight coalescing: an identical
 	// enumeration already answered (same version, configuration and
 	// program selection — parallelism excluded, it never changes verdicts)
@@ -698,6 +759,11 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 		writeRaw(rw, version, body)
 		return
 	}
+	// The coalesced leader runs with the shared metrics tracer: its spans
+	// land in the phase histogram (followers add none — no duplicate
+	// observations for one engine run).
+	tracer, _ := s.requestTracer(r)
+	cfg.Tracer = tracer
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	resp, respVersion, err := s.subsetsCoalesced(ctx, w, key, cfg, programs, version)
@@ -876,9 +942,21 @@ func (s *Server) workloadStats(w *workload) wire.WorkloadStats {
 }
 
 func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	// Snapshot-then-encode: statsSnapshot materializes every counter into
+	// the response value first — the registry lock (inside reg.all) and the
+	// per-workload session locks are all released before WriteJSON runs, so
+	// a slow client draining the encode stream never holds up registration,
+	// eviction or other stats readers.
+	writeJSON(rw, http.StatusOK, s.statsSnapshot())
+}
+
+// statsSnapshot builds the /v1/stats document from point-in-time counter
+// reads and stamps it with the next stats generation.
+func (s *Server) statsSnapshot() *wire.StatsResponse {
 	workloads := s.reg.all()
 	resp := &wire.StatsResponse{
 		UptimeSeconds:      time.Since(s.start).Seconds(),
+		StatsGeneration:    s.statsGen.Add(1),
 		Workloads:          len(workloads),
 		Evictions:          s.reg.evictions.Load(),
 		EvictionsBytes:     s.reg.evictionsBytes.Load(),
@@ -906,5 +984,5 @@ func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 	sort.Slice(resp.WorkloadStats, func(i, j int) bool {
 		return resp.WorkloadStats[i].ID < resp.WorkloadStats[j].ID
 	})
-	writeJSON(rw, http.StatusOK, resp)
+	return resp
 }

@@ -113,6 +113,12 @@ func (s *Server) handleSubsetsStream(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
+	// Streams always run the engine, so they always trace: phase spans —
+	// including first_verdict (time to first emitted line) — land in the
+	// shared phase histogram. No SpanRecorder: there is no response document
+	// to attach a timings block to.
+	tracer, _ := s.requestTracer(r)
+	cfg.Tracer = tracer
 	programs, version, err := w.snapshot(req.Programs)
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, err)

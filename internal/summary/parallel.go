@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/btp"
+	"repro/internal/obs"
 )
 
 // This file is the intra-check parallelism layer: it shards the two
@@ -109,6 +111,22 @@ func (bs *BlockSet) fillMissing(ctx context.Context, ltps []*btp.LTP, blocks [][
 	return ctx.Err()
 }
 
+// fillMissingTraced is fillMissing behind the context's tracer: a non-nil
+// tracer gets one pairs span covering Algorithm 1's pair derivation — the
+// sub-span of compose that a warm block cache skips entirely (no missing
+// pairs, no span). The tracer rides the context rather than a parameter so
+// summary's exported signatures stay unchanged; a nil tracer takes the
+// direct call with no time.Now.
+func (bs *BlockSet) fillMissingTraced(ctx context.Context, ltps []*btp.LTP, blocks [][]Edge, missing []int32, workers int) error {
+	if tr := obs.TracerFrom(ctx); tr != nil && len(missing) > 0 {
+		start := time.Now()
+		err := bs.fillMissing(ctx, ltps, blocks, missing, workers)
+		tr.Span(obs.PhasePairs, time.Since(start))
+		return err
+	}
+	return bs.fillMissing(ctx, ltps, blocks, missing, workers)
+}
+
 // EnsureCtx precomputes the edge blocks of every ordered pair over the given
 // LTPs, sharding the pairs still missing from the cache across a pool of
 // workers (0 means GOMAXPROCS, 1 forces the sequential scan), so that
@@ -118,7 +136,7 @@ func (bs *BlockSet) fillMissing(ctx context.Context, ltps []*btp.LTP, blocks [][
 // itself. A warm Ensure is a single read-locked scan — no workers spawned.
 func (bs *BlockSet) EnsureCtx(ctx context.Context, ltps []*btp.LTP, workers int) error {
 	blocks, missing := bs.scanPairs(ltps)
-	return bs.fillMissing(ctx, ltps, blocks, missing, workers)
+	return bs.fillMissingTraced(ctx, ltps, blocks, missing, workers)
 }
 
 // ComposeCtx assembles the summary graph SuG(P) of the given LTPs from the
@@ -131,7 +149,7 @@ func (bs *BlockSet) EnsureCtx(ctx context.Context, ltps []*btp.LTP, workers int)
 // context aborts between stages and inside the pair computation.
 func ComposeCtx(ctx context.Context, bs *BlockSet, ltps []*btp.LTP, workers int) (*Graph, error) {
 	blocks, missing := bs.scanPairs(ltps)
-	if err := bs.fillMissing(ctx, ltps, blocks, missing, workers); err != nil {
+	if err := bs.fillMissingTraced(ctx, ltps, blocks, missing, workers); err != nil {
 		return nil, err
 	}
 	g := &Graph{

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/btp"
+	"repro/internal/obs"
 	"repro/internal/relschema"
 	"repro/internal/summary"
 )
@@ -228,6 +229,36 @@ type CheckResponse struct {
 	Robust      bool       `json:"robust"`
 	Graph       GraphStats `json:"graph"`
 	Witness     *Witness   `json:"witness,omitempty"`
+	// Timings is the per-phase span aggregate of this request, present only
+	// behind the ?debug=timings opt-in (and robustcheck -timings -json).
+	// Handlers attach it after assembly — NewCheckResponse never sets it —
+	// so the default wire document stays byte-identical to older releases.
+	Timings []PhaseTiming `json:"timings,omitempty"`
+}
+
+// PhaseTiming is one phase's aggregated spans in a ?debug=timings response
+// block: how many spans the phase emitted during the request and their
+// total duration.
+type PhaseTiming struct {
+	Phase   string  `json:"phase"`
+	Count   uint64  `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// NewPhaseTimings converts a SpanRecorder snapshot to its wire form.
+func NewPhaseTimings(spans []obs.PhaseTiming) []PhaseTiming {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]PhaseTiming, len(spans))
+	for i, s := range spans {
+		out[i] = PhaseTiming{
+			Phase:   s.Phase,
+			Count:   s.Count,
+			TotalMS: float64(s.Total.Microseconds()) / 1e3,
+		}
+	}
+	return out
 }
 
 // NewCheckResponse assembles the wire response for one check: the resolved
@@ -270,6 +301,11 @@ type SubsetsResponse struct {
 	// with seeded cores legitimately prunes more; cached responses replay
 	// the count of the run that produced them.
 	SubsetsPruned int `json:"subsets_pruned"`
+	// Timings is the per-phase span aggregate, present only behind the
+	// ?debug=timings opt-in. Timed requests bypass the result cache and
+	// coalescing (a cached body replays another run's bytes, which would
+	// carry another run's timings), so cached documents never contain it.
+	Timings []PhaseTiming `json:"timings,omitempty"`
 }
 
 // NewSubsetsResponse assembles the wire response for one subset
@@ -560,6 +596,21 @@ type StatsResponse struct {
 	DefaultParallelism int             `json:"default_parallelism"`
 	Requests           RequestStats    `json:"requests"`
 	WorkloadStats      []WorkloadStats `json:"workload_stats"`
+	// StatsGeneration increments on every served /v1/stats response, so a
+	// poller can order snapshots and detect a server restart (the counter
+	// resets to 1) without comparing timestamps.
+	StatsGeneration uint64 `json:"stats_generation"`
+}
+
+// HealthzResponse is the body of GET /healthz: liveness plus build
+// attribution, so a deployed server is traceable to a commit from the
+// probe endpoint alone.
+type HealthzResponse struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // --- Helpers ---------------------------------------------------------------

@@ -86,6 +86,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/btp"
 	"repro/internal/dot"
+	"repro/internal/obs"
 	"repro/internal/realize"
 	"repro/internal/relschema"
 	"repro/internal/robust"
@@ -137,7 +138,22 @@ type (
 	StreamVerdict = analysis.StreamVerdict
 	// StreamSummary is the final record of a streaming enumeration.
 	StreamSummary = analysis.StreamSummary
+	// Tracer receives phase spans (validate/unfold, pair derivation,
+	// compose, detect, lattice levels, first verdict) from the analysis
+	// engine when set on Options. A nil Tracer — the default — costs
+	// nothing: the engine takes no timestamps and allocates nothing.
+	// Implementations must be safe for concurrent use.
+	Tracer = obs.Tracer
+	// SpanRecorder is an in-memory Tracer that aggregates spans per phase;
+	// cmd/robustcheck -timings and the server's ?debug=timings use it.
+	SpanRecorder = obs.SpanRecorder
+	// PhaseTiming is one aggregated phase entry of a SpanRecorder snapshot.
+	PhaseTiming = obs.PhaseTiming
 )
+
+// NewSpanRecorder creates an empty SpanRecorder; set it as Options.Tracer
+// (or Checker.Tracer) and read Snapshot after the analysis.
+func NewSpanRecorder() *SpanRecorder { return obs.NewSpanRecorder() }
 
 // Streaming enumeration modes.
 const (
