@@ -12,6 +12,13 @@
 //	-method    cycle condition: "type2" (Algorithm 2, default) or "type1" ([3])
 //	-programs  comma-separated program names restricting the benchmark
 //	-subsets   enumerate all maximal robust subsets (Figures 6/7)
+//	-certify   on a non-robust verdict, realize the witness cycle into a
+//	           concrete schedule, replay it on the MVCC engine and print a
+//	           machine-checkable certificate (or the documented reason why
+//	           no candidate realized) — the CLI twin of the server's
+//	           /certify endpoint
+//	-max-schedules  cap each certification candidate's interleaving search
+//	           (0 = the engine default)
 //	-stream    stream the subset enumeration as NDJSON: one verdict line
 //	           per subset the moment the lattice walk decides it, then a
 //	           summary record — the CLI twin of the server's
@@ -47,6 +54,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
+	"repro/internal/certify"
 	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/sqlbtp"
@@ -64,6 +72,8 @@ func main() {
 		method    = flag.String("method", "type2", "cycle condition: type2 (Algorithm 2) or type1 ([3])")
 		progList  = flag.String("programs", "", "comma-separated program names restricting the analysis")
 		subsets   = flag.Bool("subsets", false, "enumerate maximal robust subsets")
+		certifyF  = flag.Bool("certify", false, "realize + replay a non-robust verdict into a machine-checkable certificate")
+		maxSched  = flag.Int("max-schedules", 0, "cap each certification candidate's interleaving search (0 = engine default)")
 		stream    = flag.Bool("stream", false, "stream the subset enumeration as NDJSON (implies -subsets)")
 		mode      = flag.String("mode", "all", "streaming mode: all, first_non_robust, all_maximal_robust, top_k")
 		topK      = flag.Int("k", 0, "result budget for -mode top_k")
@@ -90,6 +100,7 @@ func main() {
 		stats: *stats, unfold: *unfold, json: *jsonOut,
 		stream: *stream, mode: *mode, k: *topK, maxSubsets: *maxSub,
 		timings: *timings,
+		certify: *certifyF, maxSchedules: *maxSched,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "robustcheck:", err)
@@ -121,6 +132,10 @@ type runOptions struct {
 	// timings records per-phase spans and prints a table to errOut after
 	// the analysis, reusing the server's tracer plumbing.
 	timings bool
+	// certify/maxSchedules drive the certification pipeline (the CLI twin
+	// of the server's /certify endpoint).
+	certify      bool
+	maxSchedules int
 	// out overrides the output stream (tests); nil means os.Stdout.
 	out io.Writer
 	// errOut overrides the timing-table stream (tests); nil means os.Stderr.
@@ -235,6 +250,10 @@ func run(o runOptions) error {
 		return runStream(o, checker, cfg, programs, out)
 	}
 
+	if o.certify {
+		return runCertify(o, checker, cfg, programs, out)
+	}
+
 	if o.subsets {
 		enumerate := checker.RobustSubsets
 		if o.naive {
@@ -290,6 +309,47 @@ func printTimings(rec *obs.SpanRecorder, w io.Writer) {
 		fmt.Fprintf(w, "  %-16s %6d  %12.3fms\n",
 			s.Phase, s.Count, float64(s.Total.Microseconds())/1e3)
 	}
+}
+
+// runCertify drives the certification pipeline: static check, witness
+// realization, interleaving search and engine replay. The -json document is
+// the same wire.CertifyResponse the server's /certify endpoint serves.
+func runCertify(o runOptions, checker *robust.Checker, cfg analysis.Config, programs []*btp.Program, out io.Writer) error {
+	res, err := certify.Subset(context.Background(), checker.Session(), cfg, programs, certify.Options{
+		MaxSchedules: o.maxSchedules,
+		Parallelism:  o.parallel,
+	})
+	if err != nil {
+		return err
+	}
+	if o.json {
+		return wire.WriteJSON(out, wire.NewCertifyResponse(cfg, programs, res))
+	}
+	switch res.Status {
+	case certify.Robust:
+		fmt.Fprintln(out, "verdict: ROBUST against MVRC — nothing to certify")
+	case certify.Certified:
+		c := res.Certificate
+		fmt.Fprintf(out, "verdict: NOT robust — CERTIFIED by replayed execution (core: %s)\n",
+			strings.Join(res.Core, ", "))
+		fmt.Fprintf(out, "candidate: %s  instances: %s  explored: %d schedules\n",
+			c.Candidate, strings.Join(c.Instances, ", "), res.Explored)
+		fmt.Fprintf(out, "schedule: %s\n", c.Schedule)
+		fmt.Fprintln(out, "conflict cycle:")
+		for _, d := range c.Cycle.Deps {
+			fmt.Fprintf(out, "  %s\n", d)
+		}
+		if res.NewlyCertified {
+			fmt.Fprintln(out, "core newly marked certified in the session")
+		}
+	default:
+		fmt.Fprintf(out, "verdict: NOT robust, but UNREALIZED (core: %s)\n",
+			strings.Join(res.Core, ", "))
+		fmt.Fprintf(out, "reason: %s\n", res.Reason)
+		fmt.Fprintf(out, "candidates searched: %d  explored: %d schedules\n",
+			res.Candidates, res.Explored)
+	}
+	return nil
 }
 
 // runStream drives the streaming enumeration, printing the same NDJSON

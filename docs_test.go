@@ -73,6 +73,11 @@ func TestDocsMentionCode(t *testing.T) {
 		"obs.Tracer", "WithTracer", "X-Request-ID", "debug=timings",
 		"-pprof-addr", "stats_generation", "PreCollect",
 		"first_verdict", "snapshot_flush",
+		"internal/certify", "certify.Subset", "CertifyCore",
+		"Certificate.Verify", "certified_cores", "unrealized_candidates",
+		"WriteOrderRespectsLifecycle", "RandomBTPs",
+		"FuzzRandomWorkloadSoundness", "FuzzCertifyRoundTrip",
+		"FuzzSnapshotDecode", "-certify", "max_schedules",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q — update the doc with the code", want)

@@ -1,0 +1,162 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchmarks"
+	"repro/internal/btp"
+)
+
+// TestCertifyCoreProvenance pins the certified provenance bit's life cycle
+// on the session core store: marking a derived core flips its bit exactly
+// once, the bit shows in exports, stats and subset reports, and it never
+// changes a verdict.
+func TestCertifyCoreProvenance(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	programs := []*btp.Program{bench.Program("Balance"), bench.Program("Amalgamate")}
+	sess := analysis.NewSession(bench.Schema)
+	cfg := analysis.Config{}
+
+	rep, err := sess.RobustSubsets(programs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CertifiedCores != 0 {
+		t.Fatalf("fresh report certified_cores = %d, want 0", rep.CertifiedCores)
+	}
+	if n := sess.Stats().Cores.Certified; n != 0 {
+		t.Fatalf("fresh stats certified = %d, want 0", n)
+	}
+
+	// {Bal, Am} is a minimal non-robust core under the default setting;
+	// certifying it upgrades the existing fact.
+	if !sess.CertifyCore(cfg, programs) {
+		t.Fatal("CertifyCore on a derived core reported no change")
+	}
+	if sess.CertifyCore(cfg, programs) {
+		t.Fatal("re-certifying the same core must be a no-op")
+	}
+	if n := sess.Stats().Cores.Certified; n != 1 {
+		t.Errorf("stats certified = %d, want 1", n)
+	}
+
+	certified := 0
+	for _, f := range sess.ExportCores() {
+		if f.Certified {
+			certified++
+			if len(f.Programs) != 2 {
+				t.Errorf("certified core = %v, want the {Bal, Am} pair", f.Programs)
+			}
+		}
+	}
+	if certified != 1 {
+		t.Errorf("exported certified facts = %d, want 1", certified)
+	}
+
+	// The provenance bit flows into subsequent subset reports without
+	// disturbing the verdicts.
+	again, err := sess.RobustSubsets(programs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CertifiedCores != 1 {
+		t.Errorf("report certified_cores = %d, want 1", again.CertifiedCores)
+	}
+	if len(again.Robust) != len(rep.Robust) || len(again.Maximal) != len(rep.Maximal) {
+		t.Errorf("certification changed verdicts: %v vs %v", again, rep)
+	}
+}
+
+// TestCertifyCoreInsertsUnknownCore: certifying a core the store has not
+// derived yet inserts it as a certified fact — a certificate is also a
+// proof of non-robustness.
+func TestCertifyCoreInsertsUnknownCore(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	programs := []*btp.Program{bench.Program("Balance"), bench.Program("Amalgamate")}
+	sess := analysis.NewSession(bench.Schema)
+	cfg := analysis.Config{}
+
+	if !sess.CertifyCore(cfg, programs) {
+		t.Fatal("CertifyCore on an empty store reported no change")
+	}
+	facts := sess.ExportCores()
+	if len(facts) != 1 || !facts[0].Certified {
+		t.Fatalf("exported facts = %+v, want one certified core", facts)
+	}
+	if sess.CertifyCore(cfg, nil) {
+		t.Error("CertifyCore(nil) must be a no-op")
+	}
+}
+
+// TestCertifiedBitImportExportRoundTrip: the bit survives the export →
+// import path snapshots ride on, an import of already-known facts is a
+// no-op, and an import carrying a certification upgrade re-stamps the
+// existing fact.
+func TestCertifiedBitImportExportRoundTrip(t *testing.T) {
+	bench := benchmarks.SmallBank()
+	programs := []*btp.Program{bench.Program("Balance"), bench.Program("Amalgamate")}
+	cfg := analysis.Config{}
+
+	src := analysis.NewSession(bench.Schema)
+	if _, err := src.RobustSubsets(bench.Programs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !src.CertifyCore(cfg, programs) {
+		t.Fatal("CertifyCore failed")
+	}
+	facts := src.ExportCores()
+	wantCertified := 0
+	for _, f := range facts {
+		if f.Certified {
+			wantCertified++
+		}
+	}
+	if wantCertified != 1 {
+		t.Fatalf("source session exports %d certified facts, want 1", wantCertified)
+	}
+
+	dst := analysis.NewSession(bench.Schema)
+	if added := dst.ImportCores(facts); added != len(facts) {
+		t.Fatalf("ImportCores added %d of %d", added, len(facts))
+	}
+	if n := dst.Stats().Cores.Certified; n != 1 {
+		t.Errorf("imported stats certified = %d, want 1", n)
+	}
+	back := dst.ExportCores()
+	if len(back) != len(facts) {
+		t.Fatalf("round trip lost facts: %d vs %d", len(back), len(facts))
+	}
+	for i := range back {
+		if back[i].Certified != facts[i].Certified {
+			t.Errorf("fact %d certified bit drifted: %t vs %t", i, back[i].Certified, facts[i].Certified)
+		}
+	}
+
+	// Idempotence: importing the same facts again changes nothing.
+	if added := dst.ImportCores(facts); added != 0 {
+		t.Errorf("re-import added %d facts, want 0", added)
+	}
+
+	// Upgrade path: a third session that knows the core uncertified counts
+	// the certification as a change when importing.
+	plain := analysis.NewSession(bench.Schema)
+	if _, err := plain.RobustSubsets(bench.Programs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := plain.Stats().Cores.Certified; n != 0 {
+		t.Fatalf("plain session certified = %d, want 0", n)
+	}
+	var certifiedOnly []analysis.CoreFact
+	for _, f := range facts {
+		if f.Certified {
+			certifiedOnly = append(certifiedOnly, f)
+		}
+	}
+	if added := plain.ImportCores(certifiedOnly); added != 1 {
+		t.Errorf("upgrade import added %d, want 1", added)
+	}
+	if n := plain.Stats().Cores.Certified; n != 1 {
+		t.Errorf("upgraded stats certified = %d, want 1", n)
+	}
+}

@@ -123,27 +123,32 @@ type latticeEntry struct {
 // generation). The ordering is what turns the generation check of
 // latticeFor into a delta feed: an entry synced at generation g consumes
 // only the suffix of facts with a newer stamp, instead of re-scanning the
-// whole store on every bump.
+// whole store on every bump. certs is the parallel certification column:
+// true for cores whose non-robustness has been proven by a replayed
+// non-serializable execution (internal/certify); always false for covers.
 type factLog struct {
 	facts [][]*btp.Program
 	gens  []uint64
+	certs []bool
 }
 
 // factsSince returns the facts inserted after the given generation (the
-// delta a cached lattice entry has not seen). Binary search over the
-// monotone gens column; nil-safe for absent logs.
-func (l *factLog) factsSince(gen uint64) [][]*btp.Program {
+// delta a cached lattice entry has not seen) together with their
+// certification bits. Binary search over the monotone gens column;
+// nil-safe for absent logs.
+func (l *factLog) factsSince(gen uint64) ([][]*btp.Program, []bool) {
 	if l == nil {
-		return nil
+		return nil, nil
 	}
 	i := sort.Search(len(l.gens), func(i int) bool { return l.gens[i] > gen })
-	return l.facts[i:]
+	return l.facts[i:], l.certs[i:]
 }
 
 // append records a fact at the given generation.
-func (l *factLog) append(fact []*btp.Program, gen uint64) {
+func (l *factLog) append(fact []*btp.Program, gen uint64, cert bool) {
 	l.facts = append(l.facts, fact)
 	l.gens = append(l.gens, gen)
+	l.certs = append(l.certs, cert)
 }
 
 // latticeFor returns the pruning state for the selection, creating and
@@ -168,8 +173,8 @@ func (s *Session) latticeFor(cfg Config, programs []*btp.Program, programMask []
 	if ok {
 		since = e.gen
 	}
-	coreFacts := s.cores[ck].factsSince(since)
-	coverFacts := s.covers[ck].factsSince(since)
+	coreFacts, coreCerts := s.cores[ck].factsSince(since)
+	coverFacts, _ := s.covers[ck].factsSince(since)
 	if !ok {
 		e = &latticeEntry{
 			cores:    summary.NewCoreSet(words),
@@ -184,8 +189,8 @@ func (s *Session) latticeFor(cfg Config, programs []*btp.Program, programMask []
 	for i, p := range programs {
 		idx[p] = i
 	}
-	seed := func(facts [][]*btp.Program, add func([]uint64) bool) {
-		for _, fact := range facts {
+	seed := func(facts [][]*btp.Program, add func(int, []uint64) bool) {
+		for fi, fact := range facts {
 			mask := make([]uint64, words)
 			ok := true
 			for _, p := range fact {
@@ -197,12 +202,20 @@ func (s *Session) latticeFor(cfg Config, programs []*btp.Program, programMask []
 				orInto(mask, programMask[i])
 			}
 			if ok {
-				add(mask)
+				add(fi, mask)
 			}
 		}
 	}
-	seed(coreFacts, e.cores.Add)
-	seed(coverFacts, e.covers.Add)
+	seed(coreFacts, func(fi int, mask []uint64) bool {
+		if coreCerts[fi] {
+			// A certified fact re-delivered by the delta feed (e.g. after
+			// CertifyCore re-stamped it) upgrades the provenance bit of a
+			// mask the entry already holds.
+			return e.cores.AddCertified(mask)
+		}
+		return e.cores.Add(mask)
+	})
+	seed(coverFacts, func(_ int, mask []uint64) bool { return e.covers.Add(mask) })
 
 	s.mu.Lock()
 	e.gen = gen
@@ -246,23 +259,30 @@ const selectionCacheMax = 256
 // otherwise it stays behind and the next use re-seeds.
 func (s *Session) mergeLattice(cfg Config, e *latticeEntry, programs []*btp.Program, programMask [][]uint64) {
 	ck := coreKey{setting: cfg.Setting, method: cfg.Method, bound: cfg.bound()}
-	toFacts := func(masks [][]uint64) [][]*btp.Program {
-		facts := make([][]*btp.Program, 0, len(masks))
-		for _, m := range masks {
-			var set []*btp.Program
-			for i, pm := range programMask {
-				if intersects(pm, m) {
-					set = append(set, programs[i])
-				}
-			}
-			if len(set) > 0 {
-				facts = append(facts, set)
+	toFact := func(m []uint64) []*btp.Program {
+		var set []*btp.Program
+		for i, pm := range programMask {
+			if intersects(pm, m) {
+				set = append(set, programs[i])
 			}
 		}
-		return facts
+		return set
 	}
-	coreFacts := toFacts(e.cores.Masks())
-	coverFacts := toFacts(e.covers.Masks())
+	coreMasks, coreCerts := e.cores.MasksCertified()
+	coreFacts := make([][]*btp.Program, 0, len(coreMasks))
+	coreFactCerts := make([]bool, 0, len(coreMasks))
+	for mi, m := range coreMasks {
+		if set := toFact(m); len(set) > 0 {
+			coreFacts = append(coreFacts, set)
+			coreFactCerts = append(coreFactCerts, coreCerts[mi])
+		}
+	}
+	coverFacts := make([][]*btp.Program, 0, 8)
+	for _, m := range e.covers.Masks() {
+		if set := toFact(m); len(set) > 0 {
+			coverFacts = append(coverFacts, set)
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -284,19 +304,52 @@ func (s *Session) mergeLattice(cfg Config, e *latticeEntry, programs []*btp.Prog
 		cl = &factLog{}
 		s.cores[ck] = cl
 	}
-	have := make(map[string]bool, len(cl.facts))
-	for _, c := range cl.facts {
-		have[coreID(c)] = true
+	have := make(map[string]int, len(cl.facts))
+	for i, c := range cl.facts {
+		have[coreID(c)] = i
 	}
-	for _, f := range coreFacts {
+	// Certification upgrades re-stamp an existing uncertified fact: the old
+	// log entry is dropped via a fresh log (published prefixes are never
+	// mutated) and the fact re-appends below with the certified bit at the
+	// new generation, so delta-feed readers pick the upgrade up.
+	drop := map[int]bool{}
+	for fi, f := range coreFacts {
+		if !coreFactCerts[fi] || retired(f) {
+			continue
+		}
+		if i, ok := have[coreID(f)]; ok && !cl.certs[i] {
+			drop[i] = true
+		}
+	}
+	if len(drop) > 0 {
+		fresh := &factLog{
+			facts: make([][]*btp.Program, 0, len(cl.facts)),
+			gens:  make([]uint64, 0, len(cl.gens)),
+			certs: make([]bool, 0, len(cl.certs)),
+		}
+		for i := range cl.facts {
+			if !drop[i] {
+				fresh.append(cl.facts[i], cl.gens[i], cl.certs[i])
+			}
+		}
+		s.cores[ck] = fresh
+		cl = fresh
+		have = make(map[string]int, len(cl.facts))
+		for i, c := range cl.facts {
+			have[coreID(c)] = i
+		}
+	}
+	for fi, f := range coreFacts {
 		if retired(f) {
 			continue
 		}
-		if id := coreID(f); !have[id] {
-			cl.append(f, newGen)
-			have[id] = true
-			changed = true
+		id := coreID(f)
+		if _, ok := have[id]; ok {
+			continue
 		}
+		cl.append(f, newGen, coreFactCerts[fi])
+		have[id] = len(cl.facts) - 1
+		changed = true
 	}
 
 	cov := s.covers[ck]
@@ -311,6 +364,7 @@ func (s *Session) mergeLattice(cfg Config, e *latticeEntry, programs []*btp.Prog
 		dominated := false
 		keptFacts := cov.facts[:0:0]
 		keptGens := cov.gens[:0:0]
+		keptCerts := cov.certs[:0:0]
 		for i, c := range cov.facts {
 			if programSubset(f, c) {
 				dominated = true
@@ -319,13 +373,14 @@ func (s *Session) mergeLattice(cfg Config, e *latticeEntry, programs []*btp.Prog
 			if !programSubset(c, f) {
 				keptFacts = append(keptFacts, c)
 				keptGens = append(keptGens, cov.gens[i])
+				keptCerts = append(keptCerts, cov.certs[i])
 			}
 		}
 		if dominated {
 			continue
 		}
-		cov.facts, cov.gens = keptFacts, keptGens
-		cov.append(f, newGen)
+		cov.facts, cov.gens, cov.certs = keptFacts, keptGens, keptCerts
+		cov.append(f, newGen, false)
 		changed = true
 	}
 
@@ -372,6 +427,13 @@ type CoreFact struct {
 	Method   summary.Method
 	Bound    int
 	Programs []*btp.Program
+	// Certified marks a core whose non-robustness has been proven by a
+	// concrete replayed non-serializable execution (internal/certify), not
+	// only by the sound-but-incomplete static cycle condition. The bit is
+	// provenance: it never changes a verdict, but it upgrades "candidate
+	// counterexample" to "machine-checked counterexample" in snapshots,
+	// /v1/stats and subset reports. Meaningless (always false) for covers.
+	Certified bool
 }
 
 // ExportCores snapshots every core fact the session has accumulated, in a
@@ -394,10 +456,10 @@ func (s *Session) exportFacts(store func(*Session) map[coreKey]*factLog) []CoreF
 	m := store(s)
 	facts := make([]CoreFact, 0, 16)
 	for k, log := range m {
-		for _, core := range log.facts {
+		for i, core := range log.facts {
 			ps := make([]*btp.Program, len(core))
 			copy(ps, core)
-			facts = append(facts, CoreFact{Setting: k.setting, Method: k.method, Bound: k.bound, Programs: ps})
+			facts = append(facts, CoreFact{Setting: k.setting, Method: k.method, Bound: k.bound, Programs: ps, Certified: log.certs[i]})
 		}
 	}
 	s.mu.Unlock()
@@ -454,6 +516,54 @@ func (s *Session) ImportCovers(facts []CoreFact) int {
 	return s.importFacts(facts, func(s *Session) map[coreKey]*factLog { return s.covers })
 }
 
+// CertifyCore marks the program set as a *certified* non-robust core under
+// the configuration: its non-robustness has been witnessed by a concrete
+// replayed non-serializable execution (internal/certify), not only by the
+// static cycle condition. The fact is inserted if the store does not hold
+// it yet (a certificate is also a proof of non-robustness) and its
+// certification bit is set either way; the store generation bumps so
+// cached lattice entries and subsequent subset reports pick the provenance
+// up through the delta feed. Returns true when the store changed (the core
+// was new or newly certified); false for an already-certified core or a
+// retired program.
+func (s *Session) CertifyCore(cfg Config, core []*btp.Program) bool {
+	if len(core) == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range core {
+		if s.retired[p] {
+			return false
+		}
+	}
+	k := coreKey{setting: cfg.Setting, method: cfg.Method, bound: cfg.bound()}
+	log := s.cores[k]
+	if log == nil {
+		log = &factLog{}
+		s.cores[k] = log
+	}
+	id := coreID(core)
+	for i, c := range log.facts {
+		if coreID(c) != id {
+			continue
+		}
+		if log.certs[i] {
+			return false
+		}
+		fresh := restampCertified(log, i)
+		s.coreGen[k]++
+		fresh.gens[len(fresh.gens)-1] = s.coreGen[k]
+		s.cores[k] = fresh
+		return true
+	}
+	ps := make([]*btp.Program, len(core))
+	copy(ps, core)
+	s.coreGen[k]++
+	log.append(ps, s.coreGen[k], true)
+	return true
+}
+
 func (s *Session) importFacts(facts []CoreFact, store func(*Session) map[coreKey]*factLog) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -484,23 +594,50 @@ func (s *Session) importFacts(facts []CoreFact, store func(*Session) map[coreKey
 			log = &factLog{}
 			m[k] = log
 		}
-		dup := false
-		for _, c := range log.facts {
+		dup := -1
+		for i, c := range log.facts {
 			if coreID(c) == id {
-				dup = true
+				dup = i
 				break
 			}
 		}
-		if dup {
+		if dup >= 0 {
+			if f.Certified && !log.certs[dup] {
+				// Certification upgrade of a known fact: re-stamp it via the
+				// fresh-log protocol so delta feeds deliver the new bit.
+				m[k] = restampCertified(log, dup)
+				s.coreGen[k]++
+				m[k].gens[len(m[k].gens)-1] = s.coreGen[k]
+				added++
+			}
 			continue
 		}
 		ps := make([]*btp.Program, len(f.Programs))
 		copy(ps, f.Programs)
 		s.coreGen[k]++ // cached lattice entries must consume the delta
-		log.append(ps, s.coreGen[k])
+		log.append(ps, s.coreGen[k], f.Certified)
 		added++
 	}
 	return added
+}
+
+// restampCertified builds a fresh fact log equal to log minus entry i, with
+// that entry re-appended carrying the certified bit (its generation is the
+// caller's to stamp — it sits at the end). Fresh-log, not in-place: delta
+// readers may hold suffix views of the old slices outside the lock.
+func restampCertified(log *factLog, i int) *factLog {
+	fresh := &factLog{
+		facts: make([][]*btp.Program, 0, len(log.facts)),
+		gens:  make([]uint64, 0, len(log.gens)),
+		certs: make([]bool, 0, len(log.certs)),
+	}
+	for j := range log.facts {
+		if j != i {
+			fresh.append(log.facts[j], log.gens[j], log.certs[j])
+		}
+	}
+	fresh.append(log.facts[i], log.gens[i], true)
+	return fresh
 }
 
 // subsetDetector returns the memoized universe detector for the exact
@@ -820,6 +957,7 @@ func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetec
 	rep.Checked = int(m)
 	rep.Pruned = int(ch + cvh)
 	rep.Cores = cores.Len()
+	rep.CertifiedCores = cores.CertifiedLen()
 	return rep, nil
 }
 

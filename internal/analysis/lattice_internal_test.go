@@ -19,7 +19,9 @@ func factStoreSince(s *Session, cfg Config, gen uint64) int {
 	ck := coreKey{setting: cfg.Setting, method: cfg.Method, bound: cfg.bound()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.cores[ck].factsSince(gen)) + len(s.covers[ck].factsSince(gen))
+	coreFacts, _ := s.cores[ck].factsSince(gen)
+	coverFacts, _ := s.covers[ck].factsSince(gen)
+	return len(coreFacts) + len(coverFacts)
 }
 
 // factStoreGen reads the store generation for the config's core key.

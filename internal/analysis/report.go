@@ -58,6 +58,13 @@ type SubsetReport struct {
 	Checked int
 	Pruned  int
 	Cores   int
+	// CertifiedCores counts the known cores relevant to this selection that
+	// carry the certified provenance bit: minimal non-robust program sets
+	// whose non-robustness has been proven by a replayed non-serializable
+	// execution (internal/certify), not only by the static analysis. Zero
+	// for the naive oracle and the flat (pruning-disabled) enumeration,
+	// which do not consult the core store.
+	CertifiedCores int
 }
 
 // String renders the maximal subsets on one line, as in Figure 6.

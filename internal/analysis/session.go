@@ -328,16 +328,18 @@ func (s *Session) Invalidate(p *btp.Program) int {
 		for k, log := range store {
 			keptFacts := make([][]*btp.Program, 0, len(log.facts))
 			keptGens := make([]uint64, 0, len(log.gens))
+			keptCerts := make([]bool, 0, len(log.certs))
 			for i, c := range log.facts {
 				if !touches(c) {
 					keptFacts = append(keptFacts, c)
 					keptGens = append(keptGens, log.gens[i])
+					keptCerts = append(keptCerts, log.certs[i])
 				}
 			}
 			if len(keptFacts) != len(log.facts) {
 				// Fresh log, not an in-place filter: delta-feed readers may
 				// still hold suffix views of the old slices outside the lock.
-				store[k] = &factLog{facts: keptFacts, gens: keptGens}
+				store[k] = &factLog{facts: keptFacts, gens: keptGens, certs: keptCerts}
 				s.coreGen[k]++
 			}
 		}
@@ -373,9 +375,13 @@ type Stats struct {
 type CoreStats struct {
 	// Cores is the number of minimal non-robust cores currently stored
 	// across all (setting, method, bound) keys; Covers the number of
-	// stored robust covers (the anti-monotone dual).
-	Cores  int
-	Covers int
+	// stored robust covers (the anti-monotone dual). Certified counts the
+	// stored cores carrying the certification provenance bit: non-robust
+	// program sets whose counterexample has been replayed to a concrete
+	// non-serializable execution (internal/certify).
+	Cores     int
+	Covers    int
+	Certified int
 	// Hits counts subset masks decided non-robust by the core containment
 	// scan, CoverHits masks decided robust by the cover scan, Misses masks
 	// that ran the detector. Pruned = Hits + CoverHits (detector runs
@@ -400,9 +406,14 @@ const (
 // factStoresLocked counts the core and cover facts and their estimated
 // resident bytes — the one cost model shared by Stats (telemetry) and
 // SizeBytes (eviction accounting). Caller holds s.mu.
-func (s *Session) factStoresLocked() (cores, covers int, bytes int64) {
+func (s *Session) factStoresLocked() (cores, covers, certified int, bytes int64) {
 	for _, log := range s.cores {
 		cores += len(log.facts)
+		for _, cert := range log.certs {
+			if cert {
+				certified++
+			}
+		}
 		for _, c := range log.facts {
 			bytes += coreEntryBytes + 8 + int64(len(c))*coreProgramBytes
 		}
@@ -413,7 +424,7 @@ func (s *Session) factStoresLocked() (cores, covers int, bytes int64) {
 			bytes += coreEntryBytes + 8 + int64(len(c))*coreProgramBytes
 		}
 	}
-	return cores, covers, bytes
+	return cores, covers, certified, bytes
 }
 
 // Stats snapshots the session's cache counters across all settings.
@@ -432,7 +443,7 @@ func (s *Session) Stats() Stats {
 			SchedHits:    s.schedHits.Load(),
 		},
 	}
-	st.Cores.Cores, st.Cores.Covers, st.Cores.SizeBytes = s.factStoresLocked()
+	st.Cores.Cores, st.Cores.Covers, st.Cores.Certified, st.Cores.SizeBytes = s.factStoresLocked()
 	sets := make([]*summary.BlockSet, 0, len(s.blocks))
 	for _, bs := range s.blocks {
 		sets = append(sets, bs)
@@ -463,7 +474,7 @@ func (s *Session) SizeBytes() int64 {
 			n += ltpBytes + int64(len(l.Statements()))*stmtOccBytes
 		}
 	}
-	_, _, factBytes := s.factStoresLocked()
+	_, _, _, factBytes := s.factStoresLocked()
 	n += factBytes
 	for _, e := range s.dets {
 		n += e.det.SizeBytes()

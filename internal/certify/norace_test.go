@@ -1,0 +1,6 @@
+//go:build !race
+
+package certify
+
+// raceEnabled is false outside -race builds; see race_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package certify
+
+// raceEnabled lets long-running tests shrink their interleaving budgets
+// under the race detector, whose instrumentation slows schedule replay by
+// roughly an order of magnitude. Tests must only scale budgets with it,
+// never change what they assert.
+const raceEnabled = true

@@ -104,41 +104,17 @@ func Witness(s *relschema.Schema, w *summary.Witness, opts Options) (*Result, er
 	if w == nil || len(w.Cycle) == 0 {
 		return nil, fmt.Errorf("realize: empty witness")
 	}
-	var ltps []*btp.LTP
-	seen := map[*btp.LTP]int{}
-	for _, e := range w.Cycle {
-		ltps = append(ltps, e.From)
-		seen[e.From]++
-	}
-	if opts.ExtraInstances {
-		for l := range seen {
-			ltps = append(ltps, l)
-		}
-	}
-	res, err := Programs(s, ltps, opts)
+	res, err := Programs(s, witnessLTPs(w, opts.ExtraInstances), opts)
 	if err != nil || res.Outcome == Realized {
 		return res, err
 	}
 	// Second attempt: witness-guided tuple sharing. The canonical
 	// shared-tuple instantiation can over-serialize instances through rows
 	// the cycle does not need (e.g. PlaceBid's buyer update); the guided
-	// assignment shares tuples only along the cycle's edges. Guided mode
-	// has no foreign-key support, so it applies only when the annotations
-	// are ignored or absent.
-	fkFree := opts.IgnoreFKs
-	if !fkFree {
-		fkFree = true
-		for _, e := range w.Cycle {
-			if len(e.From.FKs()) > 0 {
-				fkFree = false
-				break
-			}
-		}
-	}
-	if !fkFree {
-		return res, nil
-	}
-	guided, gerr := guidedAssignments(s, w)
+	// assignment shares tuples only along the cycle's edges, with a
+	// foreign-key congruence closure keeping annotated statements on
+	// consistent tuples when the annotations are in force.
+	guided, gerr := guidedAssignments(s, w, opts.IgnoreFKs)
 	if gerr != nil {
 		return res, nil // keep the canonical outcome
 	}
@@ -163,10 +139,27 @@ func Witness(s *relschema.Schema, w *summary.Witness, opts Options) (*Result, er
 	return res, nil
 }
 
-// Programs realizes a counterexample over explicit LTP instances (one
-// transaction per list entry).
-func Programs(s *relschema.Schema, instancesLTPs []*btp.LTP, opts Options) (*Result, error) {
-	if opts.IgnoreFKs {
+// witnessLTPs lists the LTP instances a witness cycle demands: one per
+// cycle edge, plus (optionally) one extra per distinct program.
+func witnessLTPs(w *summary.Witness, extra bool) []*btp.LTP {
+	var ltps []*btp.LTP
+	seen := map[*btp.LTP]int{}
+	for _, e := range w.Cycle {
+		ltps = append(ltps, e.From)
+		seen[e.From]++
+	}
+	if extra {
+		for l := range seen {
+			ltps = append(ltps, l)
+		}
+	}
+	return ltps
+}
+
+// canonicalInstances instantiates the LTP list over the canonical shared
+// tuple population (one transaction per entry).
+func canonicalInstances(s *relschema.Schema, instancesLTPs []*btp.LTP, ignoreFKs bool) ([]enumerate.Instance, []string, error) {
+	if ignoreFKs {
 		stripped := make([]*btp.LTP, len(instancesLTPs))
 		for i, l := range instancesLTPs {
 			// A copy without origin loses the FK annotations while keeping
@@ -181,14 +174,59 @@ func Programs(s *relschema.Schema, instancesLTPs []*btp.LTP, opts Options) (*Res
 	for i, l := range instancesLTPs {
 		asg, err := pop.assignment(l, i)
 		if err != nil {
-			return &Result{
-				Outcome:   Inconclusive,
-				Note:      fmt.Sprintf("canonical instantiation inapplicable: %v", err),
-				Instances: labels,
-			}, nil
+			return nil, labels, err
 		}
 		instances = append(instances, enumerate.Instance{LTP: l, Assignment: asg})
 		labels = append(labels, l.Name)
+	}
+	return instances, labels, nil
+}
+
+// Candidate is one instantiation strategy's instance set, for callers that
+// run the counterexample search themselves (internal/certify replays the
+// found schedule through the MVCC engine afterwards).
+type Candidate struct {
+	// Name identifies the strategy: "canonical" or "guided".
+	Name string
+	// Instances is the concrete instance list to search over.
+	Instances []enumerate.Instance
+}
+
+// CandidateSets derives every instantiation candidate for a witness without
+// searching: the canonical population over the cycle's LTP multiset
+// (widened by ExtraInstances when set) and the witness-guided assignment.
+// Strategies whose instantiation fails are reported in the error list and
+// skipped; an empty candidate list with a non-empty error list means the
+// witness admits no instantiation under these options.
+func CandidateSets(s *relschema.Schema, w *summary.Witness, opts Options) ([]Candidate, []error) {
+	if w == nil || len(w.Cycle) == 0 {
+		return nil, []error{fmt.Errorf("realize: empty witness")}
+	}
+	var cands []Candidate
+	var errs []error
+	if insts, _, err := canonicalInstances(s, witnessLTPs(w, opts.ExtraInstances), opts.IgnoreFKs); err != nil {
+		errs = append(errs, fmt.Errorf("canonical instantiation inapplicable: %w", err))
+	} else {
+		cands = append(cands, Candidate{Name: "canonical", Instances: insts})
+	}
+	if guided, err := guidedAssignments(s, w, opts.IgnoreFKs); err != nil {
+		errs = append(errs, fmt.Errorf("guided instantiation inapplicable: %w", err))
+	} else {
+		cands = append(cands, Candidate{Name: "guided", Instances: guided})
+	}
+	return cands, errs
+}
+
+// Programs realizes a counterexample over explicit LTP instances (one
+// transaction per list entry).
+func Programs(s *relschema.Schema, instancesLTPs []*btp.LTP, opts Options) (*Result, error) {
+	instances, labels, err := canonicalInstances(s, instancesLTPs, opts.IgnoreFKs)
+	if err != nil {
+		return &Result{
+			Outcome:   Inconclusive,
+			Note:      fmt.Sprintf("canonical instantiation inapplicable: %v", err),
+			Instances: labels,
+		}, nil
 	}
 	search, err := enumerate.FindCounterexample(s, instances, enumerate.Options{MaxSchedules: opts.MaxSchedules})
 	if err != nil {
@@ -223,13 +261,18 @@ type population struct {
 	// tuple. Grown consistently; conflicting requirements bump the entity
 	// index instead of overwriting.
 	fkVal map[string]map[string]string
+	// deleted marks tuples already claimed by a delete in some instance:
+	// the formalism allows at most one delete per tuple across the whole
+	// schedule, and per-instance read/write tracking cannot see it.
+	deleted map[string]bool
 }
 
 func newPopulation(s *relschema.Schema) *population {
 	p := &population{
-		schema: s,
-		tuples: map[string][]string{},
-		fkVal:  map[string]map[string]string{},
+		schema:  s,
+		tuples:  map[string][]string{},
+		fkVal:   map[string]map[string]string{},
+		deleted: map[string]bool{},
 	}
 	for _, f := range s.ForeignKeys() {
 		p.fkVal[f.Name] = map[string]string{}
@@ -298,20 +341,34 @@ func (p *population) assignment(l *btp.LTP, instance int) (instantiate.Assignmen
 
 	usedRead := map[string]bool{}
 	usedWrite := map[string]bool{}
+	st := &instanceState{delPos: map[string]int{}, accPos: map[string][]int{}}
 	for _, root := range groupOrder {
 		occs := groups[root]
-		if err := p.assignGroup(l, instance, occs, constraints, asg, usedRead, usedWrite); err != nil {
+		if err := p.assignGroup(l, instance, occs, constraints, asg, usedRead, usedWrite, st); err != nil {
 			return instantiate.Assignment{}, err
 		}
 	}
 	return asg, nil
 }
 
+// instanceState tracks, per instance, where tuples are deleted and where
+// they are key-accessed (statement positions). The MVCC engine executes a
+// transaction's own operations against its own uncommitted state, so a
+// key-based access after the same transaction's delete of that tuple would
+// fail on replay even though the abstract schedule (which reads
+// last-committed versions) allows it. Predicate reads are exempt: a
+// deleted row simply falls out of the selection.
+type instanceState struct {
+	delPos map[string]int
+	accPos map[string][]int
+}
+
 // assignGroup assigns one entity group, trying increasing entity indices
 // until the strict instantiation form and the global FK valuation are both
 // satisfied.
 func (p *population) assignGroup(l *btp.LTP, instance int, occs []*btp.StmtOcc,
-	constraints []btp.FKConstraint, asg instantiate.Assignment, usedRead, usedWrite map[string]bool) error {
+	constraints []btp.FKConstraint, asg instantiate.Assignment, usedRead, usedWrite map[string]bool,
+	st *instanceState) error {
 
 	inGroup := map[*btp.Stmt]bool{}
 	for _, occ := range occs {
@@ -324,8 +381,36 @@ try:
 		predTuples := map[*btp.StmtOcc][]string{}
 		newRead := map[string]bool{}
 		newWrite := map[string]bool{}
+		newDel := map[string]int{}
+		newAcc := map[string][]int{}
 		reads := func(q *btp.Stmt) bool {
 			return q.Type == btp.KeySel || (q.ReadSet.Defined && !q.ReadSet.Set.Empty())
+		}
+		// deletedBefore reports whether this instance deletes the tuple at a
+		// statement position strictly before pos.
+		deletedBefore := func(tuple string, pos int) bool {
+			if dp, ok := st.delPos[tuple]; ok && dp < pos {
+				return true
+			}
+			if dp, ok := newDel[tuple]; ok && dp < pos {
+				return true
+			}
+			return false
+		}
+		// accessedAfter reports whether this instance key-accesses the tuple
+		// at a statement position strictly after pos.
+		accessedAfter := func(tuple string, pos int) bool {
+			for _, ap := range st.accPos[tuple] {
+				if ap > pos {
+					return true
+				}
+			}
+			for _, ap := range newAcc[tuple] {
+				if ap > pos {
+					return true
+				}
+			}
+			return false
 		}
 		fkAdd := map[string]map[string]string{}
 
@@ -338,7 +423,11 @@ try:
 				if q.Type == btp.Ins {
 					prefix = 'n'
 				}
-				keyTuple[occ] = fmt.Sprintf("%c_%s_%d_%d", prefix, q.Rel, instance, occ.Pos)
+				tuple := fmt.Sprintf("%c_%s_%d_%d", prefix, q.Rel, instance, occ.Pos)
+				if q.Type == btp.KeyDel {
+					newDel[tuple] = occ.Pos
+				}
+				keyTuple[occ] = tuple
 			case btp.KeySel, btp.KeyUpd:
 				tuple := p.relTupleName(q.Rel, idx)
 				if reads(q) && (usedRead[tuple] || newRead[tuple]) {
@@ -347,17 +436,33 @@ try:
 				if q.Type == btp.KeyUpd && (usedWrite[tuple] || newWrite[tuple]) {
 					continue try
 				}
+				if deletedBefore(tuple, occ.Pos) {
+					continue try // own earlier delete: the engine sees no row
+				}
 				if reads(q) {
 					newRead[tuple] = true
 				}
 				if q.Type == btp.KeyUpd {
 					newWrite[tuple] = true
 				}
+				newAcc[tuple] = append(newAcc[tuple], occ.Pos)
 				keyTuple[occ] = tuple
 			case btp.PredUpd, btp.PredDel:
 				tuple := p.relTupleName(q.Rel, idx)
 				writeBusy := usedWrite[tuple] || newWrite[tuple]
 				readBusy := reads(q) && (usedRead[tuple] || newRead[tuple])
+				if q.Type == btp.PredDel && p.deleted[tuple] {
+					writeBusy = true // another instance already deletes it
+				}
+				if deletedBefore(tuple, occ.Pos) {
+					writeBusy = true // own earlier delete: no row to touch
+				}
+				if q.Type == btp.PredDel && accessedAfter(tuple, occ.Pos) {
+					// A later statement of this instance key-accesses the
+					// tuple; deleting it here would make that access fail on
+					// the engine, so the predicate simply does not match it.
+					writeBusy = true
+				}
 				if writeBusy || readBusy {
 					predTuples[occ] = nil // empty predicate match
 					continue
@@ -366,6 +471,10 @@ try:
 				if reads(q) {
 					newRead[tuple] = true
 				}
+				if q.Type == btp.PredDel {
+					newDel[tuple] = occ.Pos
+				}
+				newAcc[tuple] = append(newAcc[tuple], occ.Pos)
 				predTuples[occ] = []string{tuple}
 			case btp.PredSel:
 				// Resolved in the commit phase: reads every registered
@@ -448,16 +557,33 @@ try:
 		for tu := range newWrite {
 			usedWrite[tu] = true
 		}
+		for tu, pos := range newDel {
+			st.delPos[tu] = pos
+		}
+		for tu, ps := range newAcc {
+			st.accPos[tu] = append(st.accPos[tu], ps...)
+		}
 		for occ, tuples := range predTuples {
 			if occ.Stmt.Type != btp.PredSel {
+				if occ.Stmt.Type == btp.PredDel {
+					for _, tup := range tuples {
+						p.deleted[tup] = true
+					}
+				}
 				asg.Pred[occ] = tuples
 				continue
 			}
 			// Predicate selection: read everything readable and
-			// consistent with the constraints naming this statement.
+			// consistent with the constraints naming this statement. The
+			// match materializes per-tuple reads, so tuples this instance
+			// deleted at an earlier position are out (the engine would see
+			// no row), exactly like key-based accesses.
 			var names []string
 			for _, tup := range p.tuples[occ.Stmt.Rel] {
 				if usedRead[tup] {
+					continue
+				}
+				if dp, del := st.delPos[tup]; del && dp < occ.Pos {
 					continue
 				}
 				ok := true
@@ -480,6 +606,7 @@ try:
 					continue
 				}
 				usedRead[tup] = true
+				st.accPos[tup] = append(st.accPos[tup], occ.Pos)
 				names = append(names, tup)
 			}
 			asg.Pred[occ] = names

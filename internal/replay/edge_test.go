@@ -1,0 +1,261 @@
+package replay
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mvcc"
+	"repro/internal/relschema"
+	"repro/internal/schedule"
+)
+
+// edgeSchema is a one-relation schema for hand-built schedules.
+func edgeSchema(t *testing.T) *relschema.Schema {
+	t.Helper()
+	s := relschema.NewSchema()
+	s.MustAddRelation("R", []string{"id", "v"}, []string{"id"})
+	return s
+}
+
+var (
+	tupX = schedule.TupleID{Rel: "R", Name: "x"}
+	tupY = schedule.TupleID{Rel: "R", Name: "y"}
+)
+
+// TestReplayEdgeCases is a table of hand-computed schedules pinning the
+// engine's behavior at the edges: write-write conflicts abort the replay
+// with the engine's no-wait lock error, Read Committed resolves every read
+// against the version chain's last committed version, and interleavings
+// that would install versions outside a tuple's unborn-first/dead-last
+// frame are both rejected by the abstract model (AllowedUnderMVRC) and
+// unreplayable on the engine.
+//
+// For every case the expected outcome was computed by hand from the MVRC
+// semantics of Section 3 before being run; `allowed` is the abstract
+// model's verdict on the interleaving, `wantErr` the engine error class a
+// replay must hit (nil meaning the replay completes), and `serializable`
+// the conflict-serializability of the recorded execution when it does.
+func TestReplayEdgeCases(t *testing.T) {
+	attrV := relschema.NewAttrSet("v")
+	cases := []struct {
+		name string
+		// build returns the transactions and the interleaved order.
+		build        func() ([]*schedule.Transaction, []*schedule.Op)
+		allowed      bool
+		wantErr      error
+		serializable bool
+	}{
+		{
+			// R1[x] R2[x] W1[x] C1 W2[x] C2 — both read the initial
+			// version, both updates install on top: the textbook lost
+			// update, allowed under RC, cyclic (T1 rw T2, T2 rw T1).
+			name: "lost update is allowed and non-serializable",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				r1, w1, c1 := t1.ReadSet(tupX, attrV), t1.WriteSet(tupX, attrV), t1.Commit()
+				r2, w2, c2 := t2.ReadSet(tupX, attrV), t2.WriteSet(tupX, attrV), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{r1, r2, w1, c1, w2, c2}
+			},
+			allowed:      true,
+			serializable: false,
+		},
+		{
+			// W1[x] W2[x] C1 C2 — a dirty write. The abstract model
+			// forbids it and the engine's no-wait lock turns it into a
+			// write-conflict error at W2.
+			name: "dirty write aborts with a write conflict",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				w1, c1 := t1.WriteSet(tupX, attrV), t1.Commit()
+				w2, c2 := t2.WriteSet(tupX, attrV), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{w1, w2, c1, c2}
+			},
+			allowed: false,
+			wantErr: mvcc.ErrWriteConflict,
+		},
+		{
+			// W1[x] R2[x] C2 C1 — T2 reads while T1's update is pending:
+			// last committed is still the initial version, so T2 never
+			// observes the dirty value and the execution serializes as
+			// T2 T1.
+			name: "uncommitted write is invisible under RC",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				w1, c1 := t1.WriteSet(tupX, attrV), t1.Commit()
+				r2, c2 := t2.ReadSet(tupX, attrV), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{w1, r2, c2, c1}
+			},
+			allowed:      true,
+			serializable: true,
+		},
+		{
+			// R2[x] W1[x] C1 R2[x] C2 — the same transaction reads x
+			// before and after T1 commits and sees two different
+			// versions: the non-repeatable read RC admits, cyclic in the
+			// serialization graph.
+			name: "non-repeatable read is allowed and non-serializable",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				w1, c1 := t1.WriteSet(tupX, attrV), t1.Commit()
+				ra, rb, c2 := t2.ReadSet(tupX, attrV), t2.ReadSet(tupX, attrV), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{ra, w1, c1, rb, c2}
+			},
+			allowed:      true,
+			serializable: false,
+		},
+		{
+			// D1[x] C1 R2[x] C2 — reading past the end of the version
+			// chain: the last committed version is the dead one, which a
+			// plain read must not observe. The abstract model rejects the
+			// interleaving and the engine reports the row gone.
+			name: "read after committed delete fails",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				d1, c1 := t1.Delete(tupX, attrV), t1.Commit()
+				r2, c2 := t2.ReadSet(tupX, attrV), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{d1, c1, r2, c2}
+			},
+			allowed: false,
+			wantErr: mvcc.ErrNotFound,
+		},
+		{
+			// D1[x] C1 W2[x] C2 — the regression behind
+			// WriteOrderRespectsLifecycle: an update after a committed
+			// delete would install a version after the dead one. Not
+			// dirty (T1 already committed), so only the lifecycle check
+			// rejects it abstractly; the engine agrees.
+			name: "write after committed delete fails",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				d1, c1 := t1.Delete(tupX, attrV), t1.Commit()
+				w2, c2 := t2.WriteSet(tupX, attrV), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{d1, c1, w2, c2}
+			},
+			allowed: false,
+			wantErr: mvcc.ErrNotFound,
+		},
+		{
+			// W1[x] C1 I2[x] C2 with x unborn — the dual lifecycle
+			// violation: a version before the insert's. The tuple does
+			// not exist when W1 runs.
+			name: "write before insert fails",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				w1, c1 := t1.WriteSet(tupX, attrV), t1.Commit()
+				i2, c2 := t2.Insert(tupX, relschema.NewAttrSet("id", "v")), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{w1, c1, i2, c2}
+			},
+			allowed: false,
+			wantErr: mvcc.ErrNotFound,
+		},
+		{
+			// I1[x] PR2[R] C2 C1 — a predicate read running while the
+			// insert is uncommitted does not see the phantom; the rw
+			// antidependency T2 to T1 is the only edge.
+			name: "uncommitted insert invisible to predicate read",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				i1, c1 := t1.Insert(tupX, relschema.NewAttrSet("id", "v")), t1.Commit()
+				p2, c2 := t2.PredReadSet("R", attrV), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{i1, p2, c2, c1}
+			},
+			allowed:      true,
+			serializable: true,
+		},
+		{
+			// R1[x] R2[y] W1[x] W2[y] C1 C2 — interleaved but on
+			// disjoint tuples: no conflicts at all.
+			name: "disjoint tuples interleave freely",
+			build: func() ([]*schedule.Transaction, []*schedule.Op) {
+				t1, t2 := schedule.NewTransaction(1), schedule.NewTransaction(2)
+				r1, w1, c1 := t1.ReadSet(tupX, attrV), t1.WriteSet(tupX, attrV), t1.Commit()
+				r2, w2, c2 := t2.ReadSet(tupY, attrV), t2.WriteSet(tupY, attrV), t2.Commit()
+				return []*schedule.Transaction{t1, t2}, []*schedule.Op{r1, r2, w1, w2, c1, c2}
+			},
+			allowed:      true,
+			serializable: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			schema := edgeSchema(t)
+			txns, order := tc.build()
+			s, err := schedule.FromOrder(schema, txns, order)
+			if err != nil {
+				t.Fatalf("FromOrder: %v", err)
+			}
+			if got := s.AllowedUnderMVRC(); got != tc.allowed {
+				t.Errorf("AllowedUnderMVRC = %t, want %t", got, tc.allowed)
+			}
+			res, err := Run(schema, s)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Run error = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Serializable != tc.serializable {
+				t.Errorf("Serializable = %t, want %t; recorded:\n%s",
+					res.Serializable, tc.serializable, res.Recorded.Format())
+			}
+			if !res.Recorded.AllowedUnderMVRC() {
+				t.Errorf("recorded execution not allowed under MVRC:\n%s", res.Recorded.Format())
+			}
+		})
+	}
+}
+
+// TestReplayRCVersionChain pins read-last-committed version resolution on
+// the recorded schedule itself: across three sequential writers of x, a
+// reader between commits observes exactly the version count committed so
+// far.
+func TestReplayRCVersionChain(t *testing.T) {
+	schema := edgeSchema(t)
+	attrV := relschema.NewAttrSet("v")
+
+	t1, t2, t3 := schedule.NewTransaction(1), schedule.NewTransaction(2), schedule.NewTransaction(3)
+	w1, c1 := t1.WriteSet(tupX, attrV), t1.Commit()
+	w2, c2 := t2.WriteSet(tupX, attrV), t2.Commit()
+	ra, rb, rc, c3 := t3.ReadSet(tupX, attrV), t3.ReadSet(tupX, attrV), t3.ReadSet(tupX, attrV), t3.Commit()
+
+	// ra before any commit, rb after C1, rc after C2.
+	order := []*schedule.Op{ra, w1, c1, rb, w2, c2, rc, c3}
+	s, err := schedule.FromOrder(schema, []*schedule.Transaction{t1, t2, t3}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, want := range map[*schedule.Op]schedule.Version{ra: 1, rb: 2, rc: 3} {
+		if got := s.VR[op]; got != want {
+			t.Errorf("abstract VR[%s] = %d, want %d", op, got, want)
+		}
+	}
+	if !s.AllowedUnderMVRC() {
+		t.Fatal("interleaving should be allowed under MVRC")
+	}
+
+	res, err := Run(schema, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recorded schedule must resolve the same three reads against the
+	// same version chain positions.
+	reads := 0
+	for _, op := range res.Recorded.Order {
+		if op.IsRead() && op.TupleRef == tupX && op.Txn.Label == "T3" {
+			reads++
+			if got := res.Recorded.VR[op]; got != schedule.Version(reads) {
+				t.Errorf("recorded read %d observes version %d, want %d", reads, got, reads)
+			}
+		}
+	}
+	if reads != 3 {
+		t.Fatalf("recorded %d reads by T3, want 3", reads)
+	}
+	if !res.Recorded.IsReadLastCommitted() {
+		t.Error("recorded execution violates read-last-committed")
+	}
+}

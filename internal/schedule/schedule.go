@@ -297,15 +297,51 @@ func (s *Schedule) IsReadLastCommitted() bool {
 	return true
 }
 
+// WriteOrderRespectsLifecycle reports whether, per tuple, an I-operation
+// (when present) is the first write and a D-operation (when present) the
+// last. The version order of a multiversion schedule places the unborn
+// version first and the dead version last; with version order equal to
+// write order, an update scheduled before the tuple's insert or after its
+// delete would install a version outside that frame, so such interleavings
+// do not induce valid multiversion schedules.
+func (s *Schedule) WriteOrderRespectsLifecycle() bool {
+	firstW := map[TupleID]*Op{}
+	lastW := map[TupleID]*Op{}
+	for _, o := range s.Order {
+		if !o.IsWrite() {
+			continue
+		}
+		if firstW[o.TupleRef] == nil {
+			firstW[o.TupleRef] = o
+		}
+		lastW[o.TupleRef] = o
+	}
+	for _, o := range s.Order {
+		switch o.Kind {
+		case OpInsert:
+			if firstW[o.TupleRef] != o {
+				return false
+			}
+		case OpDelete:
+			if lastW[o.TupleRef] != o {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // AllowedUnderMVRC reports whether the schedule is allowed under
 // multiversion Read Committed (Definition 3.3): read-last-committed and
 // free of dirty writes. Atomic chunks must also be respected, since
-// program instantiation produces them as indivisible units.
+// program instantiation produces them as indivisible units, and the write
+// order must keep inserts first and deletes last per tuple so that it is a
+// valid version order.
 func (s *Schedule) AllowedUnderMVRC() bool {
 	if dirty, _, _ := s.ExhibitsDirtyWrite(); dirty {
 		return false
 	}
-	return s.ChunksRespected() && s.IsReadLastCommitted()
+	return s.ChunksRespected() && s.IsReadLastCommitted() && s.WriteOrderRespectsLifecycle()
 }
 
 // IsSerial reports whether operations of distinct transactions are not

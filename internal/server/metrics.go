@@ -35,12 +35,13 @@ const (
 	epCheck         = "check"
 	epSubsets       = "subsets"
 	epSubsetsStream = "subsets_stream"
+	epCertify       = "certify"
 	epPatch         = "patch"
 )
 
 var endpointNames = []string{
 	epHealthz, epMetrics, epStats, epRegister, epWorkload,
-	epCheck, epSubsets, epSubsetsStream, epPatch,
+	epCheck, epSubsets, epSubsetsStream, epCertify, epPatch,
 }
 
 // phaseNames is the fixed span taxonomy exported as
@@ -70,7 +71,7 @@ type aggregates struct {
 	sessionPrograms, sessionUnfoldings          int
 	blockPairs                                  int
 	blockHits, blockMisses, blockInvalidated    uint64
-	cores, covers                               int
+	cores, covers, certified                    int
 	coreSize                                    int64
 	coreHits, coverHits, coreMisses             uint64
 	subsetsPruned, schedChecked, schedHits      uint64
@@ -126,6 +127,7 @@ func (m *metrics) collect() {
 		a.blockInvalidated += st.Blocks.Invalidated
 		a.cores += st.Cores.Cores
 		a.covers += st.Cores.Covers
+		a.certified += st.Cores.Certified
 		a.coreSize += st.Cores.SizeBytes
 		a.coreHits += st.Cores.Hits
 		a.coverHits += st.Cores.CoverHits
@@ -206,6 +208,7 @@ func newMetrics(s *Server) *metrics {
 		{"register", counterOf(&s.registers)},
 		{"check", counterOf(&s.checks)},
 		{"subsets", counterOf(&s.subsets)},
+		{"certify", counterOf(&s.certifies)},
 		{"patch", counterOf(&s.patches)},
 	} {
 		v := c.v
@@ -265,6 +268,12 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(m.snap().cores) })
 	r.GaugeFunc("mvrc_core_store_covers", "Stored robust covers.",
 		func() float64 { return float64(m.snap().covers) })
+	r.GaugeFunc("mvrc_certified_cores",
+		"Stored minimal non-robust cores backed by a replayed non-serializable execution.",
+		func() float64 { return float64(m.snap().certified) })
+	r.CounterFunc("mvrc_unrealized_candidates_total",
+		"Candidate instantiations searched by certify requests without finding a counterexample.",
+		counterOf(&s.unrealizedCands).load)
 	r.GaugeFunc("mvrc_core_store_size_bytes", "Estimated core/cover store bytes.",
 		func() float64 { return float64(m.snap().coreSize) })
 	r.CounterFunc("mvrc_core_hits_total", "Subsets decided non-robust by core containment.",

@@ -437,3 +437,41 @@ func TestRequestIDPropagation(t *testing.T) {
 		t.Errorf("minted ids not unique: %v", ids)
 	}
 }
+
+// TestMetricsCertify asserts the certification series: the certify request
+// counters advance, the session-level certified-core gauge follows the
+// provenance bit, and the unrealized-candidates counter stays at zero for
+// a realizable core.
+func TestMetricsCertify(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := registerSmallBank(t, ts)
+	before := scrape(t, ts)
+	for _, name := range []string{"mvrc_certified_cores", "mvrc_unrealized_candidates_total"} {
+		if _, ok := before.types[name]; !ok {
+			t.Errorf("/metrics missing family %s", name)
+		}
+	}
+
+	var cr wire.CertifyResponse
+	if resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/certify",
+		&wire.CertifyRequest{CheckRequest: wire.CheckRequest{Programs: []string{"Bal", "Am"}}}, &cr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("certify: %d\n%s", resp.StatusCode, raw)
+	}
+	if cr.Status != "certified" {
+		t.Fatalf("certify status = %q, want certified", cr.Status)
+	}
+
+	after := scrape(t, ts)
+	deltas := map[string]float64{
+		`mvrc_api_requests_total{kind="certify"}`:                      1,
+		`mvrc_http_requests_total{endpoint="certify"}`:                 1,
+		`mvrc_http_request_duration_seconds_count{endpoint="certify"}`: 1,
+		`mvrc_certified_cores`:                                         1,
+		`mvrc_unrealized_candidates_total`:                             0,
+	}
+	for series, want := range deltas {
+		if got := after.value(t, series) - before.value(t, series); got != want {
+			t.Errorf("%s advanced by %v, want %v", series, got, want)
+		}
+	}
+}

@@ -559,3 +559,50 @@ func TestStateDirUnusable(t *testing.T) {
 		t.Errorf("server with failed persistence cannot serve: %d", resp.StatusCode)
 	}
 }
+
+// TestSnapshotCertifiedBitSurvivesRestart: a certified core persists in the
+// workload snapshot and reloads with its provenance bit set — the restarted
+// server reports it in /v1/stats without re-running the certification.
+func TestSnapshotCertifiedBitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts := newTestServer(t, Options{StateDir: dir})
+	id := registerSmallBank(t, ts)
+
+	var cert wire.CertifyResponse
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/certify",
+		&wire.CertifyRequest{CheckRequest: wire.CheckRequest{Programs: []string{"Bal", "Am"}}}, &cert)
+	if resp.StatusCode != http.StatusOK || cert.Status != "certified" || !cert.NewlyCertified {
+		t.Fatalf("certify: %d %+v\n%s", resp.StatusCode, cert, raw)
+	}
+	s1.Flush()
+
+	// The provenance column is on disk.
+	data, err := os.ReadFile(filepath.Join(dir, id+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"certified"`)) {
+		t.Fatalf("snapshot lacks the certified column:\n%s", data)
+	}
+
+	// Restart and look at the reloaded session's stats.
+	_, ts2 := newTestServer(t, Options{StateDir: dir})
+	var st wire.StatsResponse
+	doJSON(t, http.MethodGet, ts2.URL+"/v1/stats", nil, &st)
+	if st.CertifiedCores != 1 {
+		t.Errorf("post-restart certified_cores = %d, want 1", st.CertifiedCores)
+	}
+	if st.Requests.Certify != 0 {
+		t.Errorf("post-restart requests.certify = %d, want 0 (bit must come from the snapshot)", st.Requests.Certify)
+	}
+
+	// Re-certifying after the restart is a no-op on the provenance bit.
+	var again wire.CertifyResponse
+	if resp, _ := doJSON(t, http.MethodPost, ts2.URL+"/v1/workloads/"+id+"/certify",
+		&wire.CertifyRequest{CheckRequest: wire.CheckRequest{Programs: []string{"Bal", "Am"}}}, &again); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart certify: %d", resp.StatusCode)
+	}
+	if again.Status != "certified" || again.NewlyCertified {
+		t.Errorf("post-restart certify = %+v, want certified without newly_certified", again)
+	}
+}

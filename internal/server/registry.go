@@ -334,6 +334,21 @@ func exportCoreGroups(facts []analysis.CoreFact, programs []*btp.Program) []snap
 			})
 		}
 		groups[gi].Cores = append(groups[gi].Cores, core)
+		groups[gi].Certified = append(groups[gi].Certified, fact.Certified)
+	}
+	// Groups with no certified core drop the column entirely, keeping
+	// pre-certification snapshot bytes (and the cover groups) unchanged.
+	for gi := range groups {
+		any := false
+		for _, c := range groups[gi].Certified {
+			if c {
+				any = true
+				break
+			}
+		}
+		if !any {
+			groups[gi].Certified = nil
+		}
 	}
 	return groups
 }
@@ -357,7 +372,7 @@ func importCoreGroups(programs []*btp.Program, groups []snapshot.CoreGroup, seed
 		if err != nil {
 			continue
 		}
-		for _, core := range g.Cores {
+		for ci, core := range g.Cores {
 			ps := make([]*btp.Program, 0, len(core))
 			ok := len(core) > 0
 			for _, name := range core {
@@ -369,7 +384,10 @@ func importCoreGroups(programs []*btp.Program, groups []snapshot.CoreGroup, seed
 				ps = append(ps, p)
 			}
 			if ok {
-				facts = append(facts, analysis.CoreFact{Setting: setting, Method: method, Bound: g.Bound, Programs: ps})
+				facts = append(facts, analysis.CoreFact{
+					Setting: setting, Method: method, Bound: g.Bound, Programs: ps,
+					Certified: ci < len(g.Certified) && g.Certified[ci],
+				})
 			}
 		}
 	}

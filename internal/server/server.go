@@ -40,6 +40,7 @@
 //	POST  /v1/workloads/{id}/subsets                robust / maximal subsets
 //	GET   /v1/workloads/{id}/subsets:stream         NDJSON verdict stream
 //	POST  /v1/workloads/{id}/subsets:stream         same, options in the body
+//	POST  /v1/workloads/{id}/certify                certified counterexample
 //	PATCH /v1/workloads/{id}/programs/{name}        replace one program
 //	GET   /v1/stats                                 server + cache telemetry
 //	GET   /healthz                                  liveness
@@ -72,6 +73,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
+	"repro/internal/certify"
 	"repro/internal/obs"
 	"repro/internal/relschema"
 	"repro/internal/snapshot"
@@ -169,6 +171,10 @@ type Server struct {
 	// streamed counts subsets:stream requests; earlyTerms the streams that
 	// stopped early by mode or budget (not client disconnects).
 	streamed, earlyTerms atomic.Uint64
+	// certifies counts /certify requests; unrealizedCands accumulates the
+	// candidate instantiations those requests searched without finding a
+	// counterexample (the certification pipeline's miss telemetry).
+	certifies, unrealizedCands atomic.Uint64
 
 	// metrics is the Prometheus registry behind GET /metrics plus the
 	// shared phase tracer (see metrics.go); logger is Options.Logger.
@@ -238,6 +244,7 @@ func New(opts Options) *Server {
 	s.handle("POST /v1/workloads/{id}/subsets", epSubsets, s.handleSubsets)
 	s.handle("POST /v1/workloads/{id}/subsets:stream", epSubsetsStream, s.handleSubsetsStream)
 	s.handle("GET /v1/workloads/{id}/subsets:stream", epSubsetsStream, s.handleSubsetsStream)
+	s.handle("POST /v1/workloads/{id}/certify", epCertify, s.handleCertify)
 	s.handle("PATCH /v1/workloads/{id}/programs/{name}", epPatch, s.handlePatch)
 	return s
 }
@@ -889,6 +896,61 @@ func (s *Server) subsetsCoalesced(ctx context.Context, w *workload, key string, 
 	}
 }
 
+// handleCertify runs the certification pipeline for one program subset: a
+// static check through the workload's session and, on a non-robust
+// verdict, realize → interleaving search → engine replay (internal/
+// certify). A newly certified core changes the session's fact store, which
+// the snapshot persists, so the workload is marked dirty for the next
+// debounced flush.
+func (s *Server) handleCertify(rw http.ResponseWriter, r *http.Request) {
+	w := s.lookup(rw, r)
+	if w == nil {
+		return
+	}
+	defer s.release(w)
+	var req wire.CertifyRequest
+	if err := decodeBody(r, &req, true); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	cfg, err := s.config(&req.CheckRequest)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	programs, version, err := w.snapshot(req.Programs)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	tracer, recorder := s.requestTracer(r)
+	cfg.Tracer = tracer
+	res, err := certify.Subset(ctx, w.session(), cfg, programs, certify.Options{
+		MaxSchedules: req.MaxSchedules,
+		Parallelism:  cfg.Parallelism,
+	})
+	if err != nil {
+		writeError(rw, analysisStatus(err), err)
+		return
+	}
+	s.certifies.Add(1)
+	w.lastParallelism.Store(int64(effectiveParallelism(cfg.Parallelism)))
+	if res.Status == certify.Unrealized {
+		s.unrealizedCands.Add(uint64(res.Candidates))
+	}
+	if res.NewlyCertified {
+		s.markDirty(w)
+	}
+	rw.Header().Set("X-Workload-Version", fmt.Sprint(version))
+	resp := wire.NewCertifyResponse(cfg, programs, res)
+	if recorder != nil {
+		resp.Timings = wire.NewPhaseTimings(recorder.Snapshot())
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
 func (s *Server) handlePatch(rw http.ResponseWriter, r *http.Request) {
 	w := s.lookup(rw, r)
 	if w == nil {
@@ -955,19 +1017,21 @@ func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 func (s *Server) statsSnapshot() *wire.StatsResponse {
 	workloads := s.reg.all()
 	resp := &wire.StatsResponse{
-		UptimeSeconds:      time.Since(s.start).Seconds(),
-		StatsGeneration:    s.statsGen.Add(1),
-		Workloads:          len(workloads),
-		Evictions:          s.reg.evictions.Load(),
-		EvictionsBytes:     s.reg.evictionsBytes.Load(),
-		MaxBytes:           s.opts.MaxBytes,
-		SnapshotsLoaded:    s.stateLoaded,
-		PersistErrors:      s.persistErrs.Load(),
-		DefaultParallelism: effectiveParallelism(s.opts.Parallelism),
+		UptimeSeconds:        time.Since(s.start).Seconds(),
+		StatsGeneration:      s.statsGen.Add(1),
+		Workloads:            len(workloads),
+		Evictions:            s.reg.evictions.Load(),
+		EvictionsBytes:       s.reg.evictionsBytes.Load(),
+		MaxBytes:             s.opts.MaxBytes,
+		SnapshotsLoaded:      s.stateLoaded,
+		PersistErrors:        s.persistErrs.Load(),
+		DefaultParallelism:   effectiveParallelism(s.opts.Parallelism),
+		UnrealizedCandidates: s.unrealizedCands.Load(),
 		Requests: wire.RequestStats{
 			Register:          s.registers.Load(),
 			Check:             s.checks.Load(),
 			Subsets:           s.subsets.Load(),
+			Certify:           s.certifies.Load(),
 			Patch:             s.patches.Load(),
 			Coalesced:         s.coalesced.Load(),
 			Streamed:          s.streamed.Load(),
@@ -977,6 +1041,7 @@ func (s *Server) statsSnapshot() *wire.StatsResponse {
 	for _, w := range workloads {
 		ws := s.workloadStats(w)
 		resp.TotalSizeBytes += ws.SizeBytes
+		resp.CertifiedCores += ws.Cache.Cores.CertifiedCores
 		resp.WorkloadStats = append(resp.WorkloadStats, ws)
 	}
 	// Registry order is usage-recency; report stats sorted by id so the

@@ -636,3 +636,99 @@ func TestPerRequestParallelismUnbounded(t *testing.T) {
 			st.WorkloadStats, runtime.GOMAXPROCS(0))
 	}
 }
+
+// TestCertifyEndpoint drives POST /v1/workloads/{id}/certify through its
+// three verdicts: a certified counterexample for the non-robust {Bal,Am}
+// pair (newly certified exactly once), a robust short-circuit for {Bal},
+// and the stats counters the requests leave behind.
+func TestCertifyEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := registerSmallBank(t, ts)
+
+	var first wire.CertifyResponse
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/certify",
+		&wire.CertifyRequest{CheckRequest: wire.CheckRequest{Programs: []string{"Bal", "Am"}}}, &first)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("certify: %d\n%s", resp.StatusCode, raw)
+	}
+	if v := resp.Header.Get("X-Workload-Version"); v != "0" {
+		t.Errorf("version header = %q, want 0", v)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("certify response carries no X-Request-ID")
+	}
+	if first.Status != "certified" || !first.NewlyCertified {
+		t.Fatalf("certify {Bal,Am}: %+v, want certified + newly_certified", first)
+	}
+	if fmt.Sprint(first.Core) != "[Am Bal]" {
+		t.Errorf("core = %v, want [Am Bal]", first.Core)
+	}
+	c := first.Certificate
+	if c == nil || c.Schedule == "" || c.Recorded == "" || len(c.Cycle) < 2 {
+		t.Fatalf("certificate = %+v, want schedule + recorded + cycle", c)
+	}
+
+	// Re-certifying the same core is idempotent on the provenance bit.
+	var again wire.CertifyResponse
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/certify",
+		&wire.CertifyRequest{CheckRequest: wire.CheckRequest{Programs: []string{"Bal", "Am"}}}, &again); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-certify: %d", resp.StatusCode)
+	}
+	if again.Status != "certified" || again.NewlyCertified {
+		t.Errorf("re-certify: %+v, want certified without newly_certified", again)
+	}
+
+	// A robust subset has nothing to certify.
+	var robustResp wire.CertifyResponse
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/certify",
+		&wire.CertifyRequest{CheckRequest: wire.CheckRequest{Programs: []string{"Bal"}}}, &robustResp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("certify {Bal}: %d", resp.StatusCode)
+	}
+	if robustResp.Status != "robust" || robustResp.Certificate != nil || robustResp.NewlyCertified {
+		t.Errorf("certify {Bal}: %+v, want plain robust verdict", robustResp)
+	}
+
+	var st wire.StatsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st)
+	if st.Requests.Certify != 3 {
+		t.Errorf("requests.certify = %d, want 3", st.Requests.Certify)
+	}
+	if st.CertifiedCores != 1 {
+		t.Errorf("certified_cores = %d, want 1", st.CertifiedCores)
+	}
+	if st.UnrealizedCandidates != 0 {
+		t.Errorf("unrealized_candidates = %d, want 0", st.UnrealizedCandidates)
+	}
+	if len(st.WorkloadStats) != 1 || st.WorkloadStats[0].Cache.Cores.CertifiedCores != 1 {
+		t.Errorf("workload core stats = %+v, want certified_cores 1", st.WorkloadStats)
+	}
+
+	// The subsets report now carries the certified tally for the same
+	// session, and its core list still covers the certified pair.
+	var subs wire.SubsetsResponse
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets", nil, &subs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("subsets: %d", resp.StatusCode)
+	}
+	if subs.CertifiedCores != 1 {
+		t.Errorf("subsets certified_cores = %d, want 1", subs.CertifiedCores)
+	}
+}
+
+// TestCertifyErrors covers the endpoint's failure paths: unknown workload,
+// unknown program and a malformed configuration.
+func TestCertifyErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := registerSmallBank(t, ts)
+
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/nope/certify", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown workload: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/certify",
+		&wire.CertifyRequest{CheckRequest: wire.CheckRequest{Programs: []string{"Nope"}}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown program: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/certify",
+		&wire.CertifyRequest{CheckRequest: wire.CheckRequest{Setting: "bogus"}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus setting: %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,85 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/benchmarks"
+)
+
+// FuzzSnapshotDecode throws arbitrary bytes at the snapshot decode path —
+// the exact surface a hand-edited or torn state file reaches on boot. The
+// properties: decoding never panics; whatever decodes must either fail
+// Build with an error or build a schema and programs that survive a
+// re-encode/re-build round trip unchanged (a file the loader accepts is a
+// file the loader can regenerate).
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed with a real snapshot of every built-in benchmark (including the
+	// certified-cores column), plus the corrupt shapes the store tests pin.
+	for _, mk := range []func() *benchmarks.Benchmark{
+		benchmarks.SmallBank, benchmarks.TPCC, benchmarks.Auction,
+	} {
+		bench := mk()
+		file := &File{
+			Format: Format, ID: "0123456789abcdef", Version: 2,
+			Schema: FromSchema(bench.Schema),
+		}
+		for _, p := range bench.Programs {
+			sp, err := FromProgram(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			file.Programs = append(file.Programs, sp)
+		}
+		file.Cores = []CoreGroup{{
+			Setting: "attr+fk", Method: "type2", Bound: 2,
+			Cores:     [][]string{{bench.Programs[0].Name, bench.Programs[1].Name}},
+			Certified: []bool{true},
+		}}
+		file.Results = []Result{{Key: "2|attr+fk|type2|0|", Version: 2, Body: []byte("{}\n")}}
+		data, err := json.Marshal(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"format":1,"id":"abcd","schema":{"relations":[{"name":"R","attrs":["id"],"key":["id"]}]},"programs":[{"name":"P","body":{"stmt":{"name":"q","type":"ins","rel":"R"}}}]}`))
+	f.Add([]byte(`{"format":1,"id":"abcd","programs":[{"name":"P","body":{"choice":[{"stmt":{"name":"q","type":"ins","rel":"R"}}]}}]}`))
+	f.Add([]byte(`{ this is not json`))
+	f.Add([]byte(`{"format": 1, "id": "bbbb", "version": 1`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var file File
+		if err := json.Unmarshal(data, &file); err != nil {
+			return // not a snapshot; the store would skip it
+		}
+		schema, err := file.Schema.Build()
+		if err != nil {
+			return // rejected with an error — the loader's job
+		}
+		for _, sp := range file.Programs {
+			prog, err := sp.Build(schema)
+			if err != nil {
+				continue
+			}
+			// Accepted program: it must re-encode and rebuild unchanged.
+			back, err := FromProgram(prog)
+			if err != nil {
+				t.Fatalf("accepted program %s does not re-encode: %v", prog.Name, err)
+			}
+			again, err := back.Build(schema)
+			if err != nil {
+				t.Fatalf("re-encoded program %s does not rebuild: %v", prog.Name, err)
+			}
+			if again.String() != prog.String() {
+				t.Fatalf("round trip drifted:\n%s\nvs\n%s", again, prog)
+			}
+		}
+		// The schema side of the same property.
+		if got, err := FromSchema(schema).Build(); err != nil {
+			t.Fatalf("accepted schema does not round-trip: %v", err)
+		} else if got.String() != schema.String() {
+			t.Fatalf("schema text drifted:\n%s\nvs\n%s", got, schema)
+		}
+	})
+}

@@ -68,6 +68,13 @@ type CoreGroup struct {
 	Method  string     `json:"method"`
 	Bound   int        `json:"bound"`
 	Cores   [][]string `json:"cores"`
+	// Certified is the per-core certification provenance column, parallel
+	// to Cores: true when the core's non-robustness was proven by a
+	// replayed non-serializable execution (internal/certify). Absent in
+	// pre-certification snapshots (and for cover groups), in which case
+	// every core loads as uncertified — the format number is unchanged
+	// because old readers ignore the field and old files decode losslessly.
+	Certified []bool `json:"certified,omitempty"`
 }
 
 // Result is one persisted subsets result-cache entry: the request key and

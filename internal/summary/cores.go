@@ -19,10 +19,21 @@ import (
 // shared antichain implementation (maskAntichain).
 
 // coreEpoch is one immutable published generation: count masks of `words`
-// words each, packed back to back.
+// words each, packed back to back. cert is the per-mask provenance bit
+// (parallel to the mask order): a certified core is one whose
+// non-robustness has been proven by a replayed non-serializable execution
+// (internal/certify), not just by the static cycle condition. Cover
+// epochs never set it.
 type coreEpoch struct {
 	packed []uint64
 	count  int
+	cert   []bool
+}
+
+// certAt reports the provenance bit of the i-th mask; epochs built before
+// certification existed (or by covers) have a nil cert slice.
+func (e *coreEpoch) certAt(i int) bool {
+	return i < len(e.cert) && e.cert[i]
 }
 
 // maskSubset reports a ⊆ b over equal-width masks.
@@ -78,7 +89,14 @@ func (c *maskAntichain) Masks() [][]uint64 {
 //
 // For cores dominates = maskSubset (a core decides its supersets); for
 // covers it is the flipped test (a cover decides its subsets).
-func (c *maskAntichain) add(mask []uint64, flip bool) bool {
+//
+// certified carries the certification provenance bit for the new mask.
+// When the insert is refused because an *equal* mask is already stored, a
+// certified add still upgrades that mask's bit (certification is a fact
+// about the same core); refusal by a strictly dominating mask leaves the
+// store untouched — the stored core is a different (smaller) program set
+// and the certificate does not speak about it.
+func (c *maskAntichain) add(mask []uint64, flip, certified bool) bool {
 	w := c.words
 	dominates := func(a, b []uint64) bool {
 		if flip {
@@ -89,23 +107,42 @@ func (c *maskAntichain) add(mask []uint64, flip bool) bool {
 	for {
 		old := c.epoch.Load()
 		keep := make([]uint64, 0, len(old.packed)+w)
-		covered := false
-		for off := 0; off < len(old.packed); off += w {
+		keepCert := make([]bool, 0, old.count+1)
+		covered := -1
+		for off, i := 0, 0; off < len(old.packed); off, i = off+w, i+1 {
 			existing := old.packed[off : off+w]
 			if dominates(existing, mask) {
 				// The new mask is already decided (equality included).
-				covered = true
+				covered = i
 				break
 			}
 			if !dominates(mask, existing) {
 				keep = append(keep, existing...)
+				keepCert = append(keepCert, old.certAt(i))
 			}
 		}
-		if covered {
+		if covered >= 0 {
+			if certified && !old.certAt(covered) {
+				off := covered * w
+				if maskSubset(mask, old.packed[off:off+w]) && maskSubset(old.packed[off:off+w], mask) {
+					// Equal mask: upgrade its provenance bit in place (the
+					// packed array is immutable and shared; only the cert
+					// column is copied).
+					cert := make([]bool, old.count)
+					copy(cert, old.cert)
+					cert[covered] = true
+					next := &coreEpoch{packed: old.packed, count: old.count, cert: cert}
+					if c.epoch.CompareAndSwap(old, next) {
+						return false
+					}
+					continue
+				}
+			}
 			return false
 		}
 		keep = append(keep, mask...)
-		next := &coreEpoch{packed: keep, count: len(keep) / w}
+		keepCert = append(keepCert, certified)
+		next := &coreEpoch{packed: keep, count: len(keep) / w, cert: keepCert}
 		if c.epoch.CompareAndSwap(old, next) {
 			return true
 		}
@@ -131,19 +168,59 @@ func NewCoreSet(words int) *CoreSet {
 // Add inserts a core mask: refused when an existing core is a subset of it
 // (the mask is already decided), and existing strict supersets are
 // dropped.
-func (c *CoreSet) Add(mask []uint64) bool { return c.add(mask, false) }
+func (c *CoreSet) Add(mask []uint64) bool { return c.add(mask, false, false) }
+
+// AddCertified inserts a core mask carrying the certification provenance
+// bit: the core's non-robustness has been witnessed by a concrete replayed
+// non-serializable execution, not only by the static analysis. When an
+// equal mask is already stored its bit is upgraded in place.
+func (c *CoreSet) AddCertified(mask []uint64) bool { return c.add(mask, false, true) }
+
+// CertifiedLen returns the number of stored cores carrying the certified
+// provenance bit.
+func (c *CoreSet) CertifiedLen() int { return c.Snapshot().CertifiedLen() }
+
+// MasksCertified copies out every mask of the current epoch together with
+// its certification bit, for merging discoveries (and their provenance)
+// back into a longer-lived store.
+func (c *CoreSet) MasksCertified() ([][]uint64, []bool) {
+	e := c.epoch.Load()
+	w := c.words
+	masks := make([][]uint64, 0, e.count)
+	certs := make([]bool, 0, e.count)
+	for off, i := 0, 0; off < len(e.packed); off, i = off+w, i+1 {
+		m := make([]uint64, w)
+		copy(m, e.packed[off:off+w])
+		masks = append(masks, m)
+		certs = append(certs, e.certAt(i))
+	}
+	return masks, certs
+}
 
 // Snapshot returns the current epoch (one atomic pointer load).
 func (c *CoreSet) Snapshot() CoreSnapshot {
 	e := c.epoch.Load()
-	return CoreSnapshot{packed: e.packed, words: c.words}
+	return CoreSnapshot{packed: e.packed, cert: e.cert, words: c.words}
 }
 
 // CoreSnapshot is one immutable epoch of a CoreSet: reads against it are
 // wait-free and never observe a partially published core.
 type CoreSnapshot struct {
 	packed []uint64
+	cert   []bool
 	words  int
+}
+
+// CertifiedLen returns the number of cores in the snapshot carrying the
+// certified provenance bit.
+func (s CoreSnapshot) CertifiedLen() int {
+	n := 0
+	for _, c := range s.cert {
+		if c {
+			n++
+		}
+	}
+	return n
 }
 
 // Len returns the number of cores in the snapshot.
@@ -187,7 +264,7 @@ func NewCoverSet(words int) *CoverSet {
 
 // Add inserts a cover mask: refused when an existing cover contains it,
 // and existing strict subsets are dropped.
-func (c *CoverSet) Add(mask []uint64) bool { return c.add(mask, true) }
+func (c *CoverSet) Add(mask []uint64) bool { return c.add(mask, true, false) }
 
 // Snapshot returns the current epoch (one atomic pointer load).
 func (c *CoverSet) Snapshot() CoverSnapshot {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/btp"
+	"repro/internal/certify"
 	"repro/internal/obs"
 	"repro/internal/relschema"
 	"repro/internal/summary"
@@ -301,6 +302,11 @@ type SubsetsResponse struct {
 	// with seeded cores legitimately prunes more; cached responses replay
 	// the count of the run that produced them.
 	SubsetsPruned int `json:"subsets_pruned"`
+	// CertifiedCores counts the minimal non-robust cores relevant to this
+	// enumeration whose non-robustness is backed by a replayed
+	// non-serializable execution (internal/certify) rather than static
+	// reasoning alone.
+	CertifiedCores int `json:"certified_cores"`
 	// Timings is the per-phase span aggregate, present only behind the
 	// ?debug=timings opt-in. Timed requests bypass the result cache and
 	// coalescing (a cached body replays another run's bytes, which would
@@ -312,14 +318,96 @@ type SubsetsResponse struct {
 // enumeration.
 func NewSubsetsResponse(cfg analysis.Config, programs []*btp.Program, rep *analysis.SubsetReport) *SubsetsResponse {
 	return &SubsetsResponse{
-		Setting:       SettingName(cfg.Setting),
-		Method:        MethodName(cfg.Method),
-		UnfoldBound:   effectiveBound(cfg),
-		Programs:      shortNames(programs),
-		Robust:        subsetsToWire(rep.Robust),
-		Maximal:       subsetsToWire(rep.Maximal),
-		SubsetsPruned: rep.Pruned,
+		Setting:        SettingName(cfg.Setting),
+		Method:         MethodName(cfg.Method),
+		UnfoldBound:    effectiveBound(cfg),
+		Programs:       shortNames(programs),
+		Robust:         subsetsToWire(rep.Robust),
+		Maximal:        subsetsToWire(rep.Maximal),
+		SubsetsPruned:  rep.Pruned,
+		CertifiedCores: rep.CertifiedCores,
 	}
+}
+
+// --- Certification ---------------------------------------------------------
+
+// CertifyRequest configures one certification run
+// (POST /v1/workloads/{id}/certify; robustcheck -certify). The embedded
+// CheckRequest fields select the configuration and program subset exactly
+// as /check does; MaxSchedules bounds each candidate instantiation's
+// interleaving search (0 = the engine default).
+type CertifyRequest struct {
+	CheckRequest
+	MaxSchedules int `json:"max_schedules,omitempty"`
+}
+
+// Certificate is the wire form of a machine-checkable counterexample: the
+// abstract MVRC schedule the search found, the schedule the MVCC engine
+// recorded while replaying it, and one conflict cycle of the replayed
+// execution's serialization graph.
+type Certificate struct {
+	// Candidate names the instantiation strategy that found the schedule
+	// ("canonical", "guided", or their "+extra" variants).
+	Candidate string   `json:"candidate"`
+	Instances []string `json:"instances"`
+	Schedule  string   `json:"schedule"`
+	Recorded  string   `json:"recorded"`
+	Cycle     []string `json:"cycle"`
+}
+
+// CertifyResponse reports one certification attempt. Status is "robust"
+// (nothing to certify), "certified" (Certificate holds the evidence) or
+// "unrealized" (Reason starts with one of the documented prefixes:
+// "no candidate", "exhausted", "budget").
+type CertifyResponse struct {
+	Setting     string   `json:"setting"`
+	Method      string   `json:"method"`
+	UnfoldBound int      `json:"unfold_bound"`
+	Programs    []string `json:"programs"`
+	Status      string   `json:"status"`
+	// Core lists the programs on the witness cycle — the subset the
+	// certificate speaks about; empty for robust verdicts.
+	Core       []string `json:"core,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+	Candidates int      `json:"candidates"`
+	Explored   int      `json:"explored"`
+	// NewlyCertified reports whether this request set the certified
+	// provenance bit on the session's stored core (false when re-certifying
+	// an already certified core).
+	NewlyCertified bool         `json:"newly_certified"`
+	Certificate    *Certificate `json:"certificate,omitempty"`
+	// Timings is the per-phase span aggregate of the embedded static check,
+	// present only behind the ?debug=timings opt-in.
+	Timings []PhaseTiming `json:"timings,omitempty"`
+}
+
+// NewCertifyResponse assembles the wire response for one certification.
+func NewCertifyResponse(cfg analysis.Config, programs []*btp.Program, res *certify.Result) *CertifyResponse {
+	resp := &CertifyResponse{
+		Setting:        SettingName(cfg.Setting),
+		Method:         MethodName(cfg.Method),
+		UnfoldBound:    effectiveBound(cfg),
+		Programs:       shortNames(programs),
+		Status:         res.Status.String(),
+		Core:           res.Core,
+		Reason:         res.Reason,
+		Candidates:     res.Candidates,
+		Explored:       res.Explored,
+		NewlyCertified: res.NewlyCertified,
+	}
+	if c := res.Certificate; c != nil {
+		wc := &Certificate{
+			Candidate: c.Candidate,
+			Instances: c.Instances,
+			Schedule:  c.Schedule.String(),
+			Recorded:  c.Recorded.String(),
+		}
+		for _, d := range c.Cycle.Deps {
+			wc.Cycle = append(wc.Cycle, d.String())
+		}
+		resp.Certificate = wc
+	}
+	return resp
 }
 
 // --- Streaming subsets -----------------------------------------------------
@@ -483,13 +571,16 @@ type CacheStats struct {
 // ran the cycle detector; SubsetsPruned = Hits + CoverHits (detector runs
 // skipped); SizeBytes is the stores' estimated resident memory.
 type CoreSetStats struct {
-	Cores         int    `json:"cores"`
-	Covers        int    `json:"covers"`
-	Hits          uint64 `json:"hits"`
-	CoverHits     uint64 `json:"cover_hits"`
-	Misses        uint64 `json:"misses"`
-	SubsetsPruned uint64 `json:"subsets_pruned"`
-	SizeBytes     int64  `json:"size_bytes"`
+	Cores  int `json:"cores"`
+	Covers int `json:"covers"`
+	// CertifiedCores counts stored cores carrying the certified provenance
+	// bit — their non-robustness is backed by a replayed execution.
+	CertifiedCores int    `json:"certified_cores"`
+	Hits           uint64 `json:"hits"`
+	CoverHits      uint64 `json:"cover_hits"`
+	Misses         uint64 `json:"misses"`
+	SubsetsPruned  uint64 `json:"subsets_pruned"`
+	SizeBytes      int64  `json:"size_bytes"`
 	// SchedChecked/SchedHits rate the streaming enumeration's cost-ordered
 	// scheduler: of the detector-run subsets the scheduler placed in the
 	// first half of their level's visit order, SchedHits were non-robust —
@@ -509,15 +600,16 @@ func NewCacheStats(st analysis.Stats) CacheStats {
 		Misses:      st.Blocks.Misses,
 		Invalidated: st.Blocks.Invalidated,
 		Cores: CoreSetStats{
-			Cores:         st.Cores.Cores,
-			Covers:        st.Cores.Covers,
-			Hits:          st.Cores.Hits,
-			CoverHits:     st.Cores.CoverHits,
-			Misses:        st.Cores.Misses,
-			SubsetsPruned: st.Cores.Pruned,
-			SizeBytes:     st.Cores.SizeBytes,
-			SchedChecked:  st.Cores.SchedChecked,
-			SchedHits:     st.Cores.SchedHits,
+			Cores:          st.Cores.Cores,
+			Covers:         st.Cores.Covers,
+			CertifiedCores: st.Cores.Certified,
+			Hits:           st.Cores.Hits,
+			CoverHits:      st.Cores.CoverHits,
+			Misses:         st.Cores.Misses,
+			SubsetsPruned:  st.Cores.Pruned,
+			SizeBytes:      st.Cores.SizeBytes,
+			SchedChecked:   st.Cores.SchedChecked,
+			SchedHits:      st.Cores.SchedHits,
 		},
 	}
 }
@@ -566,6 +658,7 @@ type RequestStats struct {
 	Register          uint64 `json:"register"`
 	Check             uint64 `json:"check"`
 	Subsets           uint64 `json:"subsets"`
+	Certify           uint64 `json:"certify"`
 	Patch             uint64 `json:"patch"`
 	Coalesced         uint64 `json:"coalesced"`
 	Streamed          uint64 `json:"streamed_requests"`
@@ -590,6 +683,12 @@ type StatsResponse struct {
 	// server keeps serving from memory when one does).
 	SnapshotsLoaded int    `json:"snapshots_loaded"`
 	PersistErrors   uint64 `json:"persist_errors"`
+	// CertifiedCores counts, across all resident workloads, the stored
+	// minimal non-robust cores carrying the certified provenance bit;
+	// UnrealizedCandidates accumulates the candidate instantiations that
+	// certify requests searched without finding a counterexample.
+	CertifiedCores       int    `json:"certified_cores"`
+	UnrealizedCandidates uint64 `json:"unrealized_candidates"`
 	// DefaultParallelism is the resolved server-wide worker count applied
 	// to requests that do not set their own parallelism field: the
 	// -parallel flag, or GOMAXPROCS when unset.

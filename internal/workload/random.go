@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// This file is the randomized workload generator behind the certification
+// fuzz lane (internal/certify): it produces small schemas and
+// Validate-clean BTP sets whose analysis, realization and replay exercise
+// corners the hand-written benchmarks cannot — FK chains between random
+// relations, predicate statements over every attribute shape, and
+// optional/loop/choice structure in arbitrary positions. Everything is
+// derived deterministically from the caller's *rand.Rand, so a failing
+// seed reproduces exactly.
+
+// RandomOptions sizes a generated workload. The zero value picks the
+// defaults noted per field.
+type RandomOptions struct {
+	// MaxRelations bounds the schema size (default 2, minimum 1).
+	MaxRelations int
+	// MaxPrograms bounds the program count (default 3, minimum 1).
+	MaxPrograms int
+	// MaxStmts bounds statements per program (default 4, minimum 1).
+	MaxStmts int
+	// NoFKs suppresses foreign keys and annotations.
+	NoFKs bool
+	// NoStructure keeps every program linear (no choice/optional/loop).
+	NoStructure bool
+}
+
+func (o RandomOptions) relations() int { return defaulted(o.MaxRelations, 2) }
+func (o RandomOptions) programs() int  { return defaulted(o.MaxPrograms, 3) }
+func (o RandomOptions) stmts() int     { return defaulted(o.MaxStmts, 4) }
+
+func defaulted(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// RandomWorkload is one generated analysis input: a schema and a set of
+// programs valid against it.
+type RandomWorkload struct {
+	Schema   *relschema.Schema
+	Programs []*btp.Program
+}
+
+// fkey references one generated foreign key and its endpoint relations.
+type fkey struct{ name, dom, rng string }
+
+// RandomBTPs generates a schema and program set from the rng. The result
+// always passes Program.Validate for every program (the generator only
+// emits well-formed attribute shapes and annotations), which the fuzz
+// tests assert as the generator's own contract.
+func RandomBTPs(rng *rand.Rand, opts RandomOptions) *RandomWorkload {
+	s := relschema.NewSchema()
+	nRel := 1 + rng.Intn(opts.relations())
+	attrPool := []string{"a", "b", "c"}
+	rels := make([]string, nRel)
+	for i := range rels {
+		rels[i] = fmt.Sprintf("R%d", i)
+		attrs := append([]string{"k"}, attrPool[:1+rng.Intn(len(attrPool))]...)
+		s.MustAddRelation(rels[i], attrs, []string{"k"})
+	}
+	// Foreign keys between distinct relations, keyed on the domain's own
+	// key (the SmallBank shape: Account.CustomerId → Savings.CustomerId).
+	var fks []fkey
+	if !opts.NoFKs && nRel > 1 {
+		for i := 0; i < nRel && len(fks) < 2; i++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			j := rng.Intn(nRel - 1)
+			if j >= i {
+				j++
+			}
+			name := fmt.Sprintf("f%d", len(fks))
+			s.MustAddForeignKey(name, rels[i], []string{"k"}, rels[j], []string{"k"})
+			fks = append(fks, fkey{name: name, dom: rels[i], rng: rels[j]})
+		}
+	}
+
+	w := &RandomWorkload{Schema: s}
+	nProg := 1 + rng.Intn(opts.programs())
+	for pi := 0; pi < nProg; pi++ {
+		name := fmt.Sprintf("P%d", pi)
+		nStmt := 1 + rng.Intn(opts.stmts())
+		qs := make([]*btp.Stmt, nStmt)
+		for qi := range qs {
+			qs[qi] = randomStmt(rng, s, fmt.Sprintf("q%d", qi), rels[rng.Intn(nRel)])
+		}
+		p := &btp.Program{Name: name, Body: randomBody(rng, qs, opts.NoStructure)}
+		if !opts.NoFKs {
+			annotateRandomFKs(rng, s, p, fks, qs)
+		}
+		w.Programs = append(w.Programs, p)
+	}
+	return w
+}
+
+// randomStmt emits one statement of a random type with schema-consistent
+// attribute sets (Figure 5 shapes).
+func randomStmt(rng *rand.Rand, s *relschema.Schema, name, rel string) *btp.Stmt {
+	attrs := s.Attrs(rel).Sorted()
+	// Non-empty random subset of the relation's attributes.
+	pick := func() []string {
+		var out []string
+		for _, a := range attrs {
+			if rng.Intn(2) == 0 {
+				out = append(out, a)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, attrs[rng.Intn(len(attrs))])
+		}
+		return out
+	}
+	// Possibly-empty random subset.
+	pickMaybe := func() []string {
+		if rng.Intn(3) == 0 {
+			return nil
+		}
+		return pick()
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return btp.NewIns(s, name, rel)
+	case 1:
+		return btp.NewKeyDel(s, name, rel)
+	case 2:
+		return btp.NewPredDel(s, name, rel, pick()...)
+	case 3:
+		return btp.NewPredSel(name, rel, pick(), pickMaybe())
+	case 4:
+		return btp.NewPredUpd(name, rel, pick(), pickMaybe(), pick())
+	case 5:
+		return btp.NewKeyUpd(name, rel, pickMaybe(), pick())
+	default:
+		// Selections are the most common statement in the benchmarks; give
+		// them two slots of the eight.
+		return btp.NewKeySel(name, rel, pick()...)
+	}
+}
+
+// randomBody arranges the statements into a program body: mostly a flat
+// sequence, with occasional choice/optional/loop nodes wrapping short
+// windows (so unfolding stays small under the default bound).
+func randomBody(rng *rand.Rand, qs []*btp.Stmt, linear bool) btp.Node {
+	if linear || len(qs) == 1 || rng.Intn(3) == 0 {
+		return btp.Stmts(qs...)
+	}
+	var items []btp.Node
+	for i := 0; i < len(qs); {
+		rest := len(qs) - i
+		switch {
+		case rest >= 2 && rng.Intn(4) == 0:
+			items = append(items, btp.ChoiceOf(btp.S(qs[i]), btp.S(qs[i+1])))
+			i += 2
+		case rng.Intn(4) == 0:
+			items = append(items, btp.Opt(btp.S(qs[i])))
+			i++
+		case rng.Intn(6) == 0:
+			items = append(items, btp.LoopOf(btp.S(qs[i])))
+			i++
+		default:
+			items = append(items, btp.S(qs[i]))
+			i++
+		}
+	}
+	if len(items) == 1 {
+		return items[0]
+	}
+	return btp.SeqOf(items...)
+}
+
+// annotateRandomFKs adds a few valid annotations q_dst = f(q_src): src over
+// dom(f), dst over range(f) and key-based. Candidates that do not fit are
+// simply skipped, so the program always validates.
+func annotateRandomFKs(rng *rand.Rand, s *relschema.Schema, p *btp.Program, fks []fkey, qs []*btp.Stmt) {
+	for _, f := range fks {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		var srcs, dsts []*btp.Stmt
+		for _, q := range qs {
+			if q.Rel == f.dom {
+				srcs = append(srcs, q)
+			}
+			if q.Rel == f.rng && q.Type.IsKeyBased() {
+				dsts = append(dsts, q)
+			}
+		}
+		if len(srcs) == 0 || len(dsts) == 0 {
+			continue
+		}
+		src := srcs[rng.Intn(len(srcs))]
+		dst := dsts[rng.Intn(len(dsts))]
+		if src == dst {
+			continue
+		}
+		if err := p.AnnotateFK(s, f.name, src.Name, dst.Name); err != nil {
+			// Unreachable by construction; treat defensively rather than
+			// emit an invalid program.
+			continue
+		}
+	}
+}
