@@ -4,10 +4,17 @@
 // Usage:
 //
 //	robustcheck -benchmark smallbank|tpcc|auction [-n N] [flags]
-//	robustcheck -sql programs.sql -schema schema.sql [flags]
+//	robustcheck -sql programs.sql -schema benchmark [flags]
+//	robustcheck -sql script.sql -dialect postgres|mysql|sqlite [-ddl schema.sql] [flags]
 //
 // Flags:
 //
+//	-dialect   SQL dialect of the -sql file: "embedded" (the Appendix A
+//	           dialect, default), "postgres", "mysql" or "sqlite"
+//	-ddl       file with CREATE TABLE statements for -sql; builds the schema
+//	           from the DDL and infers FK annotations from its REFERENCES
+//	           clauses (alternative to -schema; the DDL may also live at the
+//	           top of the -sql script itself)
 //	-setting   analysis setting: "tpl", "attr", "tpl+fk", "attr+fk" (default)
 //	-method    cycle condition: "type2" (Algorithm 2, default) or "type1" ([3])
 //	-programs  comma-separated program names restricting the benchmark
@@ -66,8 +73,10 @@ func main() {
 	var (
 		benchName = flag.String("benchmark", "", "benchmark to analyze: smallbank, tpcc, auction")
 		n         = flag.Int("n", 1, "scaling factor for auction (Auction(n))")
-		sqlFile   = flag.String("sql", "", "file with PROGRAM definitions in the Appendix A dialect")
+		sqlFile   = flag.String("sql", "", "file with PROGRAM definitions in the Appendix A dialect (or a full script in the -dialect dialect)")
 		schemaSQL = flag.String("schema", "", "benchmark name providing the schema for -sql (smallbank, tpcc, auction)")
+		dialectF  = flag.String("dialect", "embedded", "SQL dialect of the -sql file: embedded, postgres, mysql, sqlite")
+		ddlFile   = flag.String("ddl", "", "file with CREATE TABLE ddl for -sql (alternative to -schema; enables FK inference)")
 		setting   = flag.String("setting", "attr+fk", "analysis setting: tpl, attr, tpl+fk, attr+fk")
 		method    = flag.String("method", "type2", "cycle condition: type2 (Algorithm 2) or type1 ([3])")
 		progList  = flag.String("programs", "", "comma-separated program names restricting the analysis")
@@ -95,6 +104,7 @@ func main() {
 	opts := runOptions{
 		benchName: *benchName, n: *n,
 		sqlFile: *sqlFile, schemaSQL: *schemaSQL,
+		dialect: *dialectF, ddlFile: *ddlFile,
 		setting: *setting, method: *method, progList: *progList,
 		subsets: *subsets, parallel: *parallel, naive: *naive,
 		stats: *stats, unfold: *unfold, json: *jsonOut,
@@ -114,6 +124,8 @@ type runOptions struct {
 	n         int
 	sqlFile   string
 	schemaSQL string
+	dialect   string
+	ddlFile   string
 	setting   string
 	method    string
 	progList  string
@@ -179,22 +191,38 @@ func run(o runOptions) error {
 	)
 	switch {
 	case o.sqlFile != "":
-		if o.schemaSQL == "" {
-			return fmt.Errorf("-sql requires -schema naming a benchmark schema")
-		}
-		sb, err := loadBenchmark(o.schemaSQL, 1)
-		if err != nil {
-			return err
-		}
 		src, err := os.ReadFile(o.sqlFile)
 		if err != nil {
 			return err
 		}
-		programs, err = sqlbtp.Parse(sb.Schema, string(src))
+		cs := sqlbtp.Source{Dialect: o.dialect, Script: string(src)}
+		switch {
+		case o.schemaSQL != "":
+			if o.ddlFile != "" {
+				return fmt.Errorf("-schema and -ddl are mutually exclusive")
+			}
+			sb, err := loadBenchmark(o.schemaSQL, 1)
+			if err != nil {
+				return err
+			}
+			cs.Schema = sb.Schema
+		case o.ddlFile != "":
+			// Prepend the DDL so the script path sees one self-contained
+			// unit; this is the FK-inference path.
+			ddl, err := os.ReadFile(o.ddlFile)
+			if err != nil {
+				return err
+			}
+			cs.Script = string(ddl) + "\n" + cs.Script
+		case o.dialect == "" || o.dialect == "embedded":
+			return fmt.Errorf("-sql requires -schema naming a benchmark schema (or -ddl with a dialect)")
+		}
+		wl, err := sqlbtp.Compile(cs)
 		if err != nil {
 			return err
 		}
-		bench = &benchmarks.Benchmark{Name: o.sqlFile, Schema: sb.Schema, Programs: programs}
+		programs = wl.Programs
+		bench = &benchmarks.Benchmark{Name: o.sqlFile, Schema: wl.Schema, Programs: programs}
 	case o.benchName != "":
 		bench, err = loadBenchmark(o.benchName, o.n)
 		if err != nil {

@@ -31,6 +31,7 @@ const (
 	epMetrics       = "metrics"
 	epStats         = "stats"
 	epRegister      = "register"
+	epFromSQL       = "from_sql"
 	epWorkload      = "workload"
 	epCheck         = "check"
 	epSubsets       = "subsets"
@@ -40,7 +41,7 @@ const (
 )
 
 var endpointNames = []string{
-	epHealthz, epMetrics, epStats, epRegister, epWorkload,
+	epHealthz, epMetrics, epStats, epRegister, epFromSQL, epWorkload,
 	epCheck, epSubsets, epSubsetsStream, epCertify, epPatch,
 }
 

@@ -2,10 +2,7 @@ package server
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,25 +76,11 @@ func newWorkload(schema *relschema.Schema, programs []*btp.Program) *workload {
 	return w
 }
 
-// fingerprint hashes the schema and the full program definitions —
-// statement read/write/predicate sets and foreign-key annotations included
-// — so two workloads collide only when they are semantically identical to
-// the analysis.
+// fingerprint is snapshot.Fingerprint: the schema and full program
+// definitions hashed so two workloads collide only when they are
+// semantically identical to the analysis.
 func fingerprint(schema *relschema.Schema, programs []*btp.Program) string {
-	h := sha256.New()
-	io.WriteString(h, schema.String())
-	for _, p := range programs {
-		fmt.Fprintf(h, "\x00%s\x00%s\x00%s\n", p.Name, p.Abbrev, p.String())
-		for _, q := range p.Statements() {
-			io.WriteString(h, q.String())
-			io.WriteString(h, "\n")
-		}
-		for _, fk := range p.FKs {
-			io.WriteString(h, fk.String())
-			io.WriteString(h, "\n")
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return snapshot.Fingerprint(schema, programs)
 }
 
 // session returns the workload's current analysis engine. Callers may keep

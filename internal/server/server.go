@@ -239,6 +239,7 @@ func New(opts Options) *Server {
 	s.handle("GET /metrics", epMetrics, s.metrics.reg.Handler())
 	s.handle("GET /v1/stats", epStats, s.handleStats)
 	s.handle("POST /v1/workloads", epRegister, s.handleRegister)
+	s.handle("POST /v1/workloads:fromSQL", epFromSQL, s.handleFromSQL)
 	s.handle("GET /v1/workloads/{id}", epWorkload, s.handleGetWorkload)
 	s.handle("POST /v1/workloads/{id}/check", epCheck, s.handleCheck)
 	s.handle("POST /v1/workloads/{id}/subsets", epSubsets, s.handleSubsets)
@@ -649,6 +650,49 @@ func (s *Server) handleRegister(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Register(schema, programs)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if resp.Created {
+		status = http.StatusCreated
+	}
+	writeJSON(rw, status, resp)
+}
+
+// handleFromSQL registers a workload straight from dialect SQL: the body
+// selects a dialect front-end and carries either a self-contained script or
+// DDL plus per-program SQL. Compilation failures answer 400 with a
+// wire.SQLError carrying the dialect, program, line and column of the
+// offending source.
+func (s *Server) handleFromSQL(rw http.ResponseWriter, r *http.Request) {
+	var req wire.FromSQLRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	src := sqlbtp.Source{Dialect: req.Dialect, Script: req.Script, DDL: req.DDL}
+	for _, p := range req.Programs {
+		src.Programs = append(src.Programs, sqlbtp.NamedSQL{Name: p.Name, Abbrev: p.Abbrev, SQL: p.SQL})
+	}
+	wl, err := sqlbtp.Compile(src)
+	if err != nil {
+		var perr *sqlbtp.ParseError
+		if errors.As(err, &perr) {
+			writeJSON(rw, http.StatusBadRequest, &wire.SQLError{
+				Error:   perr.Error(),
+				Dialect: perr.Dialect,
+				Program: perr.Program,
+				Line:    perr.Line,
+				Column:  perr.Col,
+			})
+			return
+		}
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Register(wl.Schema, wl.Programs)
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, err)
 		return

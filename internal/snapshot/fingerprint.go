@@ -1,0 +1,40 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+)
+
+// Fingerprint hashes a schema and the full program definitions — statement
+// read/write/predicate sets and foreign-key annotations included — so two
+// workloads collide only when they are semantically identical to the
+// analysis. Per-program FK annotations are hashed in sorted order: the
+// robustness analysis treats them as a set, and the SQL front door may
+// derive them in a different order than a hand-built definition.
+func Fingerprint(schema *relschema.Schema, programs []*btp.Program) string {
+	h := sha256.New()
+	io.WriteString(h, schema.String())
+	for _, p := range programs {
+		fmt.Fprintf(h, "\x00%s\x00%s\x00%s\n", p.Name, p.Abbrev, p.String())
+		for _, q := range p.Statements() {
+			io.WriteString(h, q.String())
+			io.WriteString(h, "\n")
+		}
+		fks := make([]string, 0, len(p.FKs))
+		for _, fk := range p.FKs {
+			fks = append(fks, fk.String())
+		}
+		sort.Strings(fks)
+		for _, s := range fks {
+			io.WriteString(h, s)
+			io.WriteString(h, "\n")
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,24 @@
+package sqlbtp
+
+import (
+	"testing"
+)
+
+// BenchmarkSQLCompile measures the full front-door pipeline — lex, parse,
+// schema build, normalization and FK inference — on the TPC-C corpus, per
+// dialect. TPC-C is the largest corpus entry (9 tables, 12 foreign keys,
+// 5 programs, 29 statements), so this is the compile-cost ceiling a
+// :fromSQL request pays before registration.
+func BenchmarkSQLCompile(b *testing.B) {
+	for _, dialect := range goldenDialects {
+		src := goldenSource(b, dialect, "tpcc")
+		b.Run(dialect, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,324 @@
+package dialect
+
+import (
+	"strings"
+
+	"repro/internal/sqlbtp/ir"
+)
+
+// columnConstraintKw lists the keywords that end a column's type-name word
+// sequence ("double precision" is two words, but "x int NOT NULL" stops the
+// type at "int").
+var columnConstraintKw = map[string]bool{
+	"primary": true, "not": true, "null": true, "unique": true,
+	"default": true, "references": true, "check": true, "constraint": true,
+	"auto_increment": true, "autoincrement": true, "collate": true,
+}
+
+// parseCreateTable parses CREATE TABLE [IF NOT EXISTS] name (<defs>)
+// [<table suffix>] [;]. Column types are validated against the profile's
+// type set; primary keys and FOREIGN KEY / REFERENCES constraints feed the
+// normalizer, everything else (NOT NULL, DEFAULT, CHECK, UNIQUE, COLLATE,
+// engine options) is tolerated and discarded. ALTER TABLE is deliberately
+// unsupported: constraints must appear inside the CREATE TABLE.
+func (p *parser) parseCreateTable() (*ir.Table, error) {
+	start := p.cur()
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	tbl := &ir.Table{Name: p.name(nameTok), Pos: ps(start)}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.atKeyword("PRIMARY") || p.atKeyword("FOREIGN") || p.atKeyword("UNIQUE") ||
+			p.atKeyword("CHECK") || p.atKeyword("CONSTRAINT") {
+			if err := p.parseTableConstraint(tbl); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := p.parseColumnDef(tbl); err != nil {
+				return nil, err
+			}
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.prof.WithoutRowid {
+		for {
+			if p.acceptKeyword("WITHOUT") {
+				if err := p.expectKeyword("ROWID"); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if p.acceptKeyword("STRICT") {
+				continue
+			}
+			break
+		}
+	}
+	if p.prof.TableOptions {
+		// MySQL trailing table options (ENGINE=InnoDB, AUTO_INCREMENT=...,
+		// DEFAULT CHARSET=...): skipped up to the statement terminator.
+		for !p.atPunct(";") && !p.at(EOF) {
+			p.pos++
+		}
+	}
+	_ = p.acceptPunct(";")
+	return tbl, nil
+}
+
+// parseColumnDef parses one "name type [constraints...]" column definition.
+func (p *parser) parseColumnDef(tbl *ir.Table) error {
+	colTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	col := p.name(colTok)
+	tbl.Cols = append(tbl.Cols, col)
+
+	// Type: one or more identifier words ("double precision", "character
+	// varying"), then an optional "(n[,m])" precision.
+	var words []string
+	for len(words) < 4 {
+		t := p.cur()
+		if t.Kind != Ident || t.Quoted || columnConstraintKw[strings.ToLower(t.Text)] {
+			break
+		}
+		words = append(words, strings.ToLower(t.Text))
+		p.pos++
+	}
+	if len(words) == 0 {
+		if !p.prof.FlexTypes {
+			t := p.cur()
+			return p.errAt(t, "missing type for column %q", col)
+		}
+	} else {
+		typeName := strings.Join(words, " ")
+		if !p.prof.FlexTypes && !p.prof.Types[typeName] {
+			return p.errAt(colTok, "unknown %s type %q for column %q", p.prof.Name, typeName, col)
+		}
+		if p.atPunct("(") {
+			p.skipBalancedParens()
+		}
+	}
+
+	// Column constraints.
+	pendingConstraint := "" // CONSTRAINT name awaiting its clause
+	for {
+		switch {
+		case p.acceptKeyword("PRIMARY"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return err
+			}
+			if !p.acceptKeyword("ASC") {
+				_ = p.acceptKeyword("DESC")
+			}
+			tbl.Key = append(tbl.Key, col)
+			pendingConstraint = ""
+		case p.acceptKeyword("NOT"):
+			if err := p.expectKeyword("NULL"); err != nil {
+				return err
+			}
+			pendingConstraint = ""
+		case p.acceptKeyword("NULL"), p.acceptKeyword("UNIQUE"),
+			p.acceptKeyword("AUTO_INCREMENT"), p.acceptKeyword("AUTOINCREMENT"):
+			pendingConstraint = ""
+		case p.acceptKeyword("COLLATE"):
+			if _, err := p.expectIdent(); err != nil {
+				return err
+			}
+			pendingConstraint = ""
+		case p.acceptKeyword("DEFAULT"):
+			if err := p.skipDefaultValue(col); err != nil {
+				return err
+			}
+			pendingConstraint = ""
+		case p.acceptKeyword("CHECK"):
+			if !p.atPunct("(") {
+				t := p.cur()
+				return p.errAt(t, "expected \"(\" after CHECK, found %s", describe(t))
+			}
+			p.skipBalancedParens()
+			pendingConstraint = ""
+		case p.acceptKeyword("CONSTRAINT"):
+			nameTok, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			pendingConstraint = p.name(nameTok)
+		case p.acceptKeyword("REFERENCES"):
+			fk := &ir.ForeignKey{Name: pendingConstraint, Cols: []string{col}}
+			if err := p.parseReferences(fk); err != nil {
+				return err
+			}
+			tbl.FKs = append(tbl.FKs, fk)
+			pendingConstraint = ""
+		default:
+			return nil
+		}
+	}
+}
+
+// skipDefaultValue consumes a DEFAULT value: a possibly signed literal, an
+// identifier like CURRENT_TIMESTAMP, or a parenthesized expression.
+func (p *parser) skipDefaultValue(col string) error {
+	_ = p.acceptPunct("-")
+	t := p.cur()
+	switch {
+	case t.Kind == Number || t.Kind == String || t.Kind == Ident:
+		p.pos++
+		if p.atPunct("(") { // CURRENT_DATE(), now()
+			p.skipBalancedParens()
+		}
+	case t.Kind == Punct && t.Text == "(":
+		p.skipBalancedParens()
+	default:
+		return p.errAt(t, "expected DEFAULT value for column %q, found %s", col, describe(t))
+	}
+	return nil
+}
+
+// parseTableConstraint parses one table-level constraint:
+// [CONSTRAINT name] (PRIMARY KEY (cols) | FOREIGN KEY (cols) REFERENCES
+// tbl [(cols)] | UNIQUE (cols) | CHECK (...)).
+func (p *parser) parseTableConstraint(tbl *ir.Table) error {
+	cname := ""
+	pos := ps(p.cur())
+	if p.acceptKeyword("CONSTRAINT") {
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		cname = p.name(nameTok)
+	}
+	switch {
+	case p.acceptKeyword("PRIMARY"):
+		if err := p.expectKeyword("KEY"); err != nil {
+			return err
+		}
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return err
+		}
+		tbl.Key = append(tbl.Key, cols...)
+	case p.acceptKeyword("FOREIGN"):
+		if err := p.expectKeyword("KEY"); err != nil {
+			return err
+		}
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return err
+		}
+		fk := &ir.ForeignKey{Name: cname, Cols: cols, Pos: pos}
+		if err := p.expectKeyword("REFERENCES"); err != nil {
+			return err
+		}
+		if err := p.parseReferences(fk); err != nil {
+			return err
+		}
+		tbl.FKs = append(tbl.FKs, fk)
+	case p.acceptKeyword("UNIQUE"):
+		if _, err := p.parenIdentList(); err != nil {
+			return err
+		}
+	case p.acceptKeyword("CHECK"):
+		if !p.atPunct("(") {
+			t := p.cur()
+			return p.errAt(t, "expected \"(\" after CHECK, found %s", describe(t))
+		}
+		p.skipBalancedParens()
+	default:
+		t := p.cur()
+		return p.errAt(t, "expected table constraint, found %s", describe(t))
+	}
+	return nil
+}
+
+// parseReferences parses the tail of a REFERENCES clause (the keyword is
+// already consumed): the referenced table, an optional column list (absent
+// means the referenced table's primary key), and optional ON DELETE /
+// ON UPDATE actions.
+func (p *parser) parseReferences(fk *ir.ForeignKey) error {
+	refTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	fk.RefTable = p.name(refTok)
+	if fk.Pos == (ir.Pos{}) {
+		fk.Pos = ps(refTok)
+	}
+	if p.atPunct("(") {
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return err
+		}
+		fk.RefCols = cols
+	}
+	for p.acceptKeyword("ON") {
+		if !p.acceptKeyword("DELETE") {
+			if err := p.expectKeyword("UPDATE"); err != nil {
+				return err
+			}
+		}
+		switch {
+		case p.acceptKeyword("CASCADE"), p.acceptKeyword("RESTRICT"):
+		case p.acceptKeyword("SET"):
+			if !p.acceptKeyword("NULL") {
+				if err := p.expectKeyword("DEFAULT"); err != nil {
+					return err
+				}
+			}
+		case p.acceptKeyword("NO"):
+			if err := p.expectKeyword("ACTION"); err != nil {
+				return err
+			}
+		default:
+			t := p.cur()
+			return p.errAt(t, "expected referential action, found %s", describe(t))
+		}
+	}
+	return nil
+}
+
+// parenIdentList parses "(ident, ident, ...)".
+func (p *parser) parenIdentList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, p.name(t))
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}

@@ -1,0 +1,138 @@
+// Package dialect holds the shared front-end machinery of the multi-dialect
+// SQL compiler: a position-tracked lexer and a recursive-descent parser, both
+// parameterized by a Profile describing one SQL dialect's surface syntax
+// (quoting, placeholder styles, comment forms, RETURNING/LIMIT support, type
+// spellings). The parser lowers source text into the dialect-neutral IR of
+// internal/sqlbtp/ir; everything schema-dependent (attribute resolution, the
+// key-vs-predicate decision, FK inference) happens later, in the normalizer.
+//
+// The concrete dialects live in the subpackages dialect/postgres,
+// dialect/mysql and dialect/sqlite; Embedded is the historical benchmark
+// dialect of internal/sqlbtp.
+package dialect
+
+import "fmt"
+
+// Error is a positioned front-end error. Line and Col are 1-based; Col may be
+// zero when only a line is known. Program names the transaction program being
+// parsed when the error occurred inside one.
+type Error struct {
+	Dialect string
+	Program string
+	Line    int
+	Col     int
+	Msg     string
+}
+
+// Error renders "sqlbtp: <dialect>: program <p>: line L:C: msg" omitting the
+// parts that are unknown.
+func (e *Error) Error() string {
+	s := "sqlbtp: "
+	if e.Dialect != "" && e.Dialect != "embedded" {
+		s += e.Dialect + ": "
+	}
+	if e.Program != "" {
+		s += fmt.Sprintf("program %s: ", e.Program)
+	}
+	if e.Line > 0 {
+		if e.Col > 0 {
+			s += fmt.Sprintf("line %d:%d: ", e.Line, e.Col)
+		} else {
+			s += fmt.Sprintf("line %d: ", e.Line)
+		}
+	}
+	return s + e.Msg
+}
+
+// errf builds a positioned Error.
+func errf(dialectName, program string, line, col int, format string, args ...any) *Error {
+	return &Error{
+		Dialect: dialectName,
+		Program: program,
+		Line:    line,
+		Col:     col,
+		Msg:     fmt.Sprintf(format, args...),
+	}
+}
+
+// Kind classifies a token.
+type Kind int
+
+const (
+	EOF Kind = iota
+	Ident
+	Param  // placeholder; Text keeps the sigil as written (":x", "$1", "?", "@x")
+	Number // numeric literal
+	String // string literal body (quotes stripped)
+	Punct
+	Pragma    // "-- @..." comment; Text is the body after "--", trimmed
+	Label     // "-- qN" comment; Text is "qN"
+	Directive // "-- program ..." comment; Text is the body after "--", trimmed
+)
+
+// Token is one lexical token. Line and Col are the 1-based position of the
+// token's first byte. Quoted marks identifiers that were written in the
+// dialect's quoting form: they are exempt from case folding and never match
+// keywords. Tokens are comparable.
+type Token struct {
+	Kind   Kind
+	Text   string
+	Line   int
+	Col    int
+	Quoted bool
+}
+
+// Profile describes one SQL dialect's surface syntax. The zero value accepts
+// almost nothing useful; construct profiles via Embedded or the dialect
+// subpackages.
+type Profile struct {
+	// Name tags errors and selects the profile in sqlbtp.Compile.
+	Name string
+
+	// Identifier quoting. FoldUnquoted, when non-nil, canonicalizes every
+	// unquoted identifier (PostgreSQL folds to lower case); quoted
+	// identifiers are always taken verbatim.
+	DoubleQuoteIdent bool // "ident"
+	BacktickIdent    bool // `ident`
+	BracketIdent     bool // [ident]
+	FoldUnquoted     func(string) string
+
+	// Placeholder styles.
+	NamedParams      bool // :name
+	AtParams         bool // @name
+	DollarNumbered   bool // $1
+	DollarNamed      bool // $name
+	QuestionParams   bool // ?
+	QuestionNumbered bool // ?1
+
+	// Statement-form toggles.
+	Returning       bool   // UPDATE ... RETURNING
+	ReturningErr    string // when !Returning: hint appended to the rejection
+	DoubleColonCast bool   // expr::type
+	CommaLimit      bool   // LIMIT offset, count
+	HashComments    bool   // # line comments
+	BlockComments   bool   // /* ... */ comments
+
+	// Program structure: exactly one of ProgramHeader ("PROGRAM Name ...:")
+	// or ProgramDirectives ("-- program Name [as Ab]") should be set.
+	ProgramHeader     bool
+	ProgramDirectives bool
+
+	// DDL support.
+	DDL          bool // CREATE TABLE accepted at top level
+	TableOptions bool // trailing "ENGINE=..." style table options (MySQL)
+	WithoutRowid bool // "WITHOUT ROWID" / "STRICT" table suffix (SQLite)
+	Types        map[string]bool
+	FlexTypes    bool // any type name accepted, and column types optional (SQLite)
+}
+
+// Embedded is the historical benchmark dialect of internal/sqlbtp: PROGRAM
+// headers, ":name" placeholders only, no identifier quoting, no DDL.
+func Embedded() *Profile {
+	return &Profile{
+		Name:          "embedded",
+		NamedParams:   true,
+		Returning:     true,
+		ProgramHeader: true,
+	}
+}

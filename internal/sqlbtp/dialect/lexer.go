@@ -1,0 +1,291 @@
+package dialect
+
+import "strings"
+
+// Lex tokenizes src under the profile's surface syntax. Tokens carry 1-based
+// line and column positions; comments are either skipped or surfaced as
+// Pragma / Label / Directive tokens. Lexing is deterministic: the same source
+// always yields the same token stream.
+func Lex(p *Profile, src string) ([]Token, error) {
+	l := &lexer{p: p, src: src, line: 1, col: 1}
+	return l.run()
+}
+
+type lexer struct {
+	p    *Profile
+	src  string
+	i    int
+	line int
+	col  int
+	toks []Token
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return errf(l.p.Name, "", line, col, format, args...)
+}
+
+// advance consumes n bytes, updating line/col. The caller guarantees the
+// bytes exist and contain no newline unless it advances one byte at a time.
+func (l *lexer) advance(n int) {
+	for k := 0; k < n; k++ {
+		if l.src[l.i] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.i++
+	}
+}
+
+func (l *lexer) peek(off int) byte {
+	if l.i+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i+off]
+}
+
+func (l *lexer) emit(k Kind, text string, line, col int, quoted bool) {
+	l.toks = append(l.toks, Token{Kind: k, Text: text, Line: line, Col: col, Quoted: quoted})
+}
+
+func (l *lexer) run() ([]Token, error) {
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		line, col := l.line, l.col
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '-' && l.peek(1) == '-':
+			l.lineComment(2, line, col)
+		case c == '#' && l.p.HashComments:
+			l.lineComment(1, line, col)
+		case c == '/' && l.peek(1) == '*' && l.p.BlockComments:
+			l.advance(2)
+			for {
+				if l.i >= len(l.src) {
+					return nil, l.errf(line, col, "unterminated block comment")
+				}
+				if l.src[l.i] == '*' && l.peek(1) == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		case c == '\'':
+			if err := l.stringLit(line, col); err != nil {
+				return nil, err
+			}
+		case c == '"' && l.p.DoubleQuoteIdent:
+			if err := l.quotedIdent('"', '"', line, col); err != nil {
+				return nil, err
+			}
+		case c == '`' && l.p.BacktickIdent:
+			if err := l.quotedIdent('`', '`', line, col); err != nil {
+				return nil, err
+			}
+		case c == '[' && l.p.BracketIdent:
+			if err := l.quotedIdent('[', ']', line, col); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			start := l.i
+			for l.i < len(l.src) && isIdentPart(l.src[l.i]) {
+				l.advance(1)
+			}
+			l.emit(Ident, l.src[start:l.i], line, col, false)
+		case c >= '0' && c <= '9':
+			start := l.i
+			for l.i < len(l.src) && (l.src[l.i] >= '0' && l.src[l.i] <= '9' || l.src[l.i] == '.') {
+				l.advance(1)
+			}
+			l.emit(Number, l.src[start:l.i], line, col, false)
+		case c == ':':
+			switch {
+			case l.peek(1) == ':' && l.p.DoubleColonCast:
+				l.advance(2)
+				l.emit(Punct, "::", line, col, false)
+			case l.p.NamedParams && isIdentStart(l.peek(1)):
+				l.advance(1)
+				start := l.i
+				for l.i < len(l.src) && isIdentPart(l.src[l.i]) {
+					l.advance(1)
+				}
+				l.emit(Param, ":"+l.src[start:l.i], line, col, false)
+			default:
+				l.advance(1)
+				l.emit(Punct, ":", line, col, false)
+			}
+		case c == '$':
+			start := l.i
+			switch {
+			case l.p.DollarNumbered && isDigit(l.peek(1)):
+				l.advance(1)
+				for l.i < len(l.src) && isDigit(l.src[l.i]) {
+					l.advance(1)
+				}
+				l.emit(Param, l.src[start:l.i], line, col, false)
+			case l.p.DollarNamed && isIdentStart(l.peek(1)):
+				l.advance(1)
+				for l.i < len(l.src) && isIdentPart(l.src[l.i]) {
+					l.advance(1)
+				}
+				l.emit(Param, l.src[start:l.i], line, col, false)
+			default:
+				return nil, l.errf(line, col, "unexpected character %q", rune(c))
+			}
+		case c == '?' && l.p.QuestionParams:
+			start := l.i
+			l.advance(1)
+			if l.p.QuestionNumbered && l.i < len(l.src) && isDigit(l.src[l.i]) {
+				for l.i < len(l.src) && isDigit(l.src[l.i]) {
+					l.advance(1)
+				}
+			}
+			l.emit(Param, l.src[start:l.i], line, col, false)
+		case c == '@' && l.p.AtParams && isIdentPart(l.peek(1)):
+			start := l.i
+			l.advance(1)
+			for l.i < len(l.src) && isIdentPart(l.src[l.i]) {
+				l.advance(1)
+			}
+			l.emit(Param, l.src[start:l.i], line, col, false)
+		case strings.IndexByte("(),;=+-*/.", c) >= 0:
+			l.advance(1)
+			l.emit(Punct, string(c), line, col, false)
+		case c == '<':
+			if l.peek(1) == '=' || l.peek(1) == '>' {
+				op := l.src[l.i : l.i+2]
+				l.advance(2)
+				l.emit(Punct, op, line, col, false)
+			} else {
+				l.advance(1)
+				l.emit(Punct, "<", line, col, false)
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.advance(2)
+				l.emit(Punct, ">=", line, col, false)
+			} else {
+				l.advance(1)
+				l.emit(Punct, ">", line, col, false)
+			}
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.advance(2)
+				l.emit(Punct, "!=", line, col, false)
+				break
+			}
+			return nil, l.errf(line, col, "unexpected character %q", rune(c))
+		default:
+			return nil, l.errf(line, col, "unexpected character %q", rune(c))
+		}
+	}
+	l.emit(EOF, "", l.line, l.col, false)
+	return l.toks, nil
+}
+
+// lineComment consumes a comment opened by `lead` marker bytes and classifies
+// its body: "@..." is a pragma, "qN" a statement label, "program ..." a
+// program directive (when the profile uses directives); anything else is
+// discarded.
+func (l *lexer) lineComment(lead int, line, col int) {
+	l.advance(lead)
+	start := l.i
+	for l.i < len(l.src) && l.src[l.i] != '\n' {
+		l.advance(1)
+	}
+	body := strings.TrimSpace(l.src[start:l.i])
+	switch {
+	case strings.HasPrefix(body, "@"):
+		l.emit(Pragma, body, line, col, false)
+	case isLabel(body):
+		l.emit(Label, body, line, col, false)
+	case l.p.ProgramDirectives && isDirective(body):
+		l.emit(Directive, body, line, col, false)
+	}
+}
+
+func isDirective(body string) bool {
+	if len(body) < len("program") {
+		return false
+	}
+	if !strings.EqualFold(body[:len("program")], "program") {
+		return false
+	}
+	rest := body[len("program"):]
+	return rest != "" && (rest[0] == ' ' || rest[0] == '\t')
+}
+
+func (l *lexer) stringLit(line, col int) error {
+	l.advance(1)
+	var b strings.Builder
+	for {
+		if l.i >= len(l.src) || l.src[l.i] == '\n' {
+			return l.errf(line, col, "unterminated string literal")
+		}
+		if l.src[l.i] == '\'' {
+			if l.peek(1) == '\'' { // '' escapes a quote
+				b.WriteByte('\'')
+				l.advance(2)
+				continue
+			}
+			l.advance(1)
+			break
+		}
+		b.WriteByte(l.src[l.i])
+		l.advance(1)
+	}
+	l.emit(String, b.String(), line, col, false)
+	return nil
+}
+
+// quotedIdent lexes a quoted identifier delimited by open/close. A doubled
+// close delimiter escapes itself (SQL style); the identifier may not span
+// lines and may not be empty.
+func (l *lexer) quotedIdent(open, close byte, line, col int) error {
+	l.advance(1)
+	var b strings.Builder
+	for {
+		if l.i >= len(l.src) || l.src[l.i] == '\n' {
+			return l.errf(line, col, "unterminated quoted identifier")
+		}
+		if l.src[l.i] == close {
+			if open == close && l.peek(1) == close {
+				b.WriteByte(close)
+				l.advance(2)
+				continue
+			}
+			l.advance(1)
+			break
+		}
+		b.WriteByte(l.src[l.i])
+		l.advance(1)
+	}
+	if b.Len() == 0 {
+		return l.errf(line, col, "empty quoted identifier")
+	}
+	l.emit(Ident, b.String(), line, col, true)
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isLabel reports whether s looks like a statement label "qN".
+func isLabel(s string) bool {
+	if len(s) < 2 || s[0] != 'q' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return false
+		}
+	}
+	return true
+}

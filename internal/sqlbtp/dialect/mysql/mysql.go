@@ -1,0 +1,60 @@
+// Package mysql is the MySQL / MariaDB front-end of the sqlbtp compiler.
+//
+// Guarantees: backtick-quoted identifiers (no case folding); "?" anonymous,
+// ":name" and "@name" named placeholders (":name" and "@name" with the same
+// name are the same value); "--", "#" and "/* */" comments; SELECT ... ORDER
+// BY / LIMIT [offset,] count / FOR UPDATE; CREATE TABLE with
+// AUTO_INCREMENT columns and trailing table options (ENGINE=, DEFAULT
+// CHARSET=, ...), which are tolerated and discarded.
+//
+// Rejections: RETURNING in any statement — MySQL has none; model
+// driver-side reads of updated rows with a "-- @reads col, ..." pragma on
+// the statement instead. Also multi-row INSERT and ALTER TABLE (declare
+// constraints inside CREATE TABLE). Every rejection carries line and
+// column. Anonymous "?" placeholders are accepted everywhere but never
+// witness dataflow between statements — use named placeholders where FK
+// inference should see the connection.
+package mysql
+
+import (
+	"repro/internal/sqlbtp/dialect"
+	"repro/internal/sqlbtp/ir"
+)
+
+// Profile returns the MySQL dialect profile.
+func Profile() *dialect.Profile {
+	return &dialect.Profile{
+		Name:              "mysql",
+		BacktickIdent:     true,
+		NamedParams:       true,
+		AtParams:          true,
+		QuestionParams:    true,
+		ReturningErr:      `use a "-- @reads col, ..." pragma to model driver-side reads`,
+		CommaLimit:        true,
+		HashComments:      true,
+		BlockComments:     true,
+		ProgramDirectives: true,
+		DDL:               true,
+		TableOptions:      true,
+		Types:             types,
+	}
+}
+
+// Parse parses a MySQL script: CREATE TABLE statements plus programs
+// introduced by "-- program Name [as Abbrev]" directives.
+func Parse(src string) (*ir.Script, error) {
+	return dialect.ParseScript(Profile(), src)
+}
+
+var types = map[string]bool{
+	"tinyint": true, "smallint": true, "mediumint": true, "int": true,
+	"integer": true, "bigint": true, "decimal": true, "numeric": true,
+	"float": true, "double": true, "double precision": true, "bit": true,
+	"bool": true, "boolean": true,
+	"char": true, "varchar": true, "tinytext": true, "text": true,
+	"mediumtext": true, "longtext": true,
+	"binary": true, "varbinary": true, "tinyblob": true, "blob": true,
+	"mediumblob": true, "longblob": true,
+	"date": true, "time": true, "datetime": true, "timestamp": true,
+	"year": true, "json": true,
+}

@@ -1,0 +1,1109 @@
+package dialect
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlbtp/ir"
+)
+
+// ParseScript parses a full compilation unit: CREATE TABLE declarations
+// (profiles with DDL support) and transaction programs, introduced either by
+// "PROGRAM Name ...:" headers (embedded) or "-- program Name [as Abbrev]"
+// directives (the real dialects).
+func ParseScript(prof *Profile, src string) (*ir.Script, error) {
+	toks, err := Lex(prof, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{prof: prof, toks: toks}
+	s := &ir.Script{}
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		switch {
+		case p.at(EOF):
+			return s, nil
+		case p.atKeyword("CREATE"):
+			if !prof.DDL {
+				t := p.cur()
+				return nil, p.errAt(t, "CREATE TABLE is not supported in the %s dialect (supply a prebuilt schema instead)", prof.Name)
+			}
+			tbl, err := p.parseCreateTable()
+			if err != nil {
+				return nil, err
+			}
+			s.Tables = append(s.Tables, tbl)
+		case prof.ProgramDirectives:
+			if !p.at(Directive) {
+				t := p.cur()
+				return nil, p.errAt(t, "expected CREATE TABLE or a \"-- program <name>\" directive, found %s", describe(t))
+			}
+			prog, err := p.parseDirectiveProgram()
+			if err != nil {
+				return nil, err
+			}
+			s.Programs = append(s.Programs, prog)
+		default:
+			prog, err := p.parseHeaderProgram()
+			if err != nil {
+				return nil, err
+			}
+			s.Programs = append(s.Programs, prog)
+		}
+	}
+}
+
+// ParseProgramBody parses src as the body of a single program named name: a
+// statement sequence with optional control flow, without a PROGRAM header or
+// "-- program" directive. It is the entry point for API calls that submit
+// each program's SQL separately.
+func ParseProgramBody(prof *Profile, name, abbrev, src string) (*ir.Program, error) {
+	toks, err := Lex(prof, src)
+	if err != nil {
+		err.(*Error).Program = name
+		return nil, err
+	}
+	p := &parser{prof: prof, toks: toks}
+	p.resetProgram(name)
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if !p.at(EOF) {
+		t := p.cur()
+		return nil, p.errAt(t, "expected end of program, found %s", describe(t))
+	}
+	return &ir.Program{Name: name, Abbrev: abbrev, Body: body, FKs: p.pragmas}, nil
+}
+
+type parser struct {
+	prof *Profile
+	toks []Token
+	pos  int
+	// err records the first error raised inside decoration handling, which
+	// runs in contexts that cannot return one; the parse loops check it.
+	err error
+
+	// Per-program state.
+	program      string
+	nextLabel    int
+	pendingLabel string
+	pendingPos   ir.Pos
+	usedLabels   map[string]bool
+	pragmas      []ir.FKPragma
+	curStmt      *ir.Stmt // statement being parsed ("-- @reads" target)
+	lastStmt     *ir.Stmt // last completed statement ("-- @reads" target)
+	anon         int      // anonymous "?" counter
+}
+
+func (p *parser) resetProgram(name string) {
+	p.program = name
+	p.nextLabel = 0
+	p.pendingLabel = ""
+	p.usedLabels = map[string]bool{}
+	p.pragmas = nil
+	p.curStmt = nil
+	p.lastStmt = nil
+	p.anon = 0
+}
+
+func ps(t Token) ir.Pos { return ir.Pos{Line: t.Line, Col: t.Col} }
+
+func describe(t Token) string {
+	if t.Kind == EOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+func (p *parser) errAt(t Token, format string, args ...any) error {
+	return errf(p.prof.Name, p.program, t.Line, t.Col, format, args...)
+}
+
+func (p *parser) errPos(pos ir.Pos, format string, args ...any) error {
+	return errf(p.prof.Name, p.program, pos.Line, pos.Col, format, args...)
+}
+
+// fail records an error raised while consuming decorations.
+func (p *parser) fail(t Token, format string, args ...any) {
+	if p.err == nil {
+		p.err = p.errAt(t, format, args...)
+	}
+}
+
+// name canonicalizes an identifier token: unquoted identifiers go through
+// the profile's case folding, quoted ones are taken verbatim.
+func (p *parser) name(t Token) string {
+	if !t.Quoted && p.prof.FoldUnquoted != nil {
+		return p.prof.FoldUnquoted(t.Text)
+	}
+	return t.Text
+}
+
+// mkParam canonicalizes a placeholder token into its dataflow identity:
+// named styles (":x", "@x", "$x") match by name, numbered styles ("$1",
+// "?1") by number, and every anonymous "?" is unique so it never witnesses
+// dataflow between statements.
+func (p *parser) mkParam(t Token) ir.Param {
+	text := t.Text
+	id := ""
+	switch text[0] {
+	case '?':
+		if len(text) == 1 {
+			p.anon++
+			id = fmt.Sprintf("anon:%d", p.anon)
+		} else {
+			id = "p:" + text[1:]
+		}
+	case '$':
+		if isAllDigits(text[1:]) {
+			id = "p:" + text[1:]
+		} else {
+			id = "n:" + text[1:]
+		}
+	default: // ':' or '@'
+		id = "n:" + text[1:]
+	}
+	return ir.Param{ID: id, Text: text, Pos: ps(t)}
+}
+
+func isAllDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// skipDecorations consumes label and pragma tokens, remembering the label
+// for the next (or current) statement and applying pragmas.
+func (p *parser) skipDecorations() {
+	for {
+		t := p.toks[p.pos]
+		switch t.Kind {
+		case Label:
+			p.pendingLabel = t.Text
+			p.pendingPos = ps(t)
+			p.pos++
+		case Pragma:
+			p.recordPragma(t)
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) recordPragma(t Token) {
+	body := strings.TrimSpace(t.Text)
+	switch {
+	case strings.HasPrefix(body, "@fk"):
+		// Format: @fk qj = f(qi). Malformed pragmas are recorded with an
+		// empty Dst and reported when annotations are applied.
+		rest := strings.TrimSpace(strings.TrimPrefix(body, "@fk"))
+		eq := strings.Index(rest, "=")
+		open := strings.Index(rest, "(")
+		closeP := strings.Index(rest, ")")
+		if eq < 0 || open < eq || closeP < open {
+			p.pragmas = append(p.pragmas, ir.FKPragma{Pos: ps(t)})
+			return
+		}
+		p.pragmas = append(p.pragmas, ir.FKPragma{
+			Dst: strings.TrimSpace(rest[:eq]),
+			FK:  strings.TrimSpace(rest[eq+1 : open]),
+			Src: strings.TrimSpace(rest[open+1 : closeP]),
+			Pos: ps(t),
+		})
+	case strings.HasPrefix(body, "@reads"):
+		rest := strings.TrimPrefix(body, "@reads")
+		cols := strings.FieldsFunc(rest, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		})
+		if len(cols) == 0 {
+			p.fail(t, "empty @reads pragma (want \"-- @reads col, ...\")")
+			return
+		}
+		target := p.curStmt
+		if target == nil {
+			target = p.lastStmt
+		}
+		if target == nil {
+			p.fail(t, "\"-- @reads\" pragma must follow a statement")
+			return
+		}
+		for _, c := range cols {
+			name := c
+			if p.prof.FoldUnquoted != nil {
+				name = p.prof.FoldUnquoted(name)
+			}
+			target.Reads = append(target.Reads, ir.Ident{Name: name, Pos: ps(t)})
+		}
+	}
+	// Unknown pragmas are ignored.
+}
+
+func (p *parser) cur() Token {
+	p.skipDecorations()
+	return p.toks[p.pos]
+}
+
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == Punct && t.Text == s
+}
+
+func isKw(t Token, kw string) bool {
+	return t.Kind == Ident && !t.Quoted && strings.EqualFold(t.Text, kw)
+}
+
+func (p *parser) atKeyword(kw string) bool { return isKw(p.cur(), kw) }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		t := p.cur()
+		return p.errAt(t, "expected %q, found %s", kw, describe(t))
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.atPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		t := p.cur()
+		return p.errAt(t, "expected %q, found %s", s, describe(t))
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != Ident {
+		return t, p.errAt(t, "expected identifier, found %s", describe(t))
+	}
+	p.pos++
+	return t, nil
+}
+
+// rawNextIsOpenParen reports whether the token immediately following the
+// current one is "(" — the function-call lookahead.
+func (p *parser) rawNextIsOpenParen() bool {
+	if p.pos+1 >= len(p.toks) {
+		return false
+	}
+	n := p.toks[p.pos+1]
+	return n.Kind == Punct && n.Text == "("
+}
+
+// parseHeaderProgram parses "PROGRAM Name [AS Abbrev] [(params)] [:] <body>".
+func (p *parser) parseHeaderProgram() (*ir.Program, error) {
+	p.resetProgram("")
+	start := p.cur()
+	if err := p.expectKeyword("PROGRAM"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	p.program = nameTok.Text
+	prog := &ir.Program{Name: nameTok.Text, Pos: ps(start)}
+	if p.acceptKeyword("AS") {
+		abTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		prog.Abbrev = abTok.Text
+	}
+	// Optional parameter list: documentation only.
+	if p.acceptPunct("(") {
+		for !p.acceptPunct(")") {
+			if p.at(EOF) {
+				return nil, p.errAt(start, "unterminated parameter list for program %s", prog.Name)
+			}
+			p.pos++
+		}
+	}
+	_ = p.acceptPunct(":")
+	return p.finishProgram(prog)
+}
+
+// parseDirectiveProgram parses a program introduced by a
+// "-- program Name [as Abbrev]" directive comment.
+func (p *parser) parseDirectiveProgram() (*ir.Program, error) {
+	t := p.toks[p.pos] // the Directive token; cur() was checked by the caller
+	p.pos++
+	fields := strings.Fields(t.Text)
+	prog := &ir.Program{Pos: ps(t)}
+	switch {
+	case len(fields) == 2:
+		prog.Name = fields[1]
+	case len(fields) == 4 && strings.EqualFold(fields[2], "as"):
+		prog.Name = fields[1]
+		prog.Abbrev = fields[3]
+	default:
+		return nil, p.errAt(t, "malformed program directive (want \"-- program Name [as Abbrev]\")")
+	}
+	p.resetProgram(prog.Name)
+	return p.finishProgram(prog)
+}
+
+func (p *parser) finishProgram(prog *ir.Program) (*ir.Program, error) {
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	prog.Body = body
+	prog.FKs = p.pragmas
+	return prog, nil
+}
+
+// parseBody parses statements until COMMIT (consumed), or ELSE / ENDIF /
+// END / a new program / a CREATE TABLE / EOF (not consumed).
+func (p *parser) parseBody() (ir.Node, error) {
+	var items []ir.Node
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		p.skipDecorations()
+		switch {
+		case p.at(EOF), p.at(Directive),
+			p.atKeyword("ELSE"), p.atKeyword("ENDIF"), p.atKeyword("END"),
+			p.atKeyword("PROGRAM"), p.prof.DDL && p.atKeyword("CREATE"):
+			return seqOf(items), nil
+		case p.acceptKeyword("COMMIT"):
+			_ = p.acceptPunct(";")
+			return seqOf(items), nil
+		case p.acceptKeyword("BEGIN"):
+			if !p.acceptKeyword("TRANSACTION") {
+				_ = p.acceptKeyword("WORK")
+			}
+			_ = p.acceptPunct(";")
+		case p.acceptKeyword("START"):
+			if err := p.expectKeyword("TRANSACTION"); err != nil {
+				return nil, err
+			}
+			_ = p.acceptPunct(";")
+		case p.acceptKeyword("IF"):
+			node, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, node)
+		case p.acceptKeyword("REPEAT"):
+			node, err := p.parseRepeat()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, node)
+		default:
+			node, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, node)
+		}
+	}
+}
+
+func seqOf(items []ir.Node) ir.Node {
+	if len(items) == 1 {
+		return items[0]
+	}
+	return &ir.Seq{Items: items}
+}
+
+// parseIf parses IF [<cond>] [THEN] ... [ELSE ...] (ENDIF | END IF) [;].
+// The condition is irrelevant to the BTP abstraction and is skipped.
+func (p *parser) parseIf() (ir.Node, error) {
+	p.skipCondition()
+	_ = p.acceptKeyword("THEN")
+	_ = p.acceptPunct(";")
+	thenBody, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	var elseBody ir.Node
+	hasElse := false
+	if p.acceptKeyword("ELSE") {
+		hasElse = true
+		elseBody, err = p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !p.acceptKeyword("ENDIF") {
+		if err := p.expectKeyword("END"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("IF"); err != nil {
+			return nil, err
+		}
+	}
+	_ = p.acceptPunct(";")
+	if hasElse {
+		return &ir.Choice{A: thenBody, B: elseBody}, nil
+	}
+	return &ir.Optional{A: thenBody}, nil
+}
+
+// parseRepeat parses REPEAT ... END REPEAT [;].
+func (p *parser) parseRepeat() (ir.Node, error) {
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("REPEAT"); err != nil {
+		return nil, err
+	}
+	_ = p.acceptPunct(";")
+	return &ir.Loop{Body: body}, nil
+}
+
+// skipCondition advances over tokens until THEN or a statement-starting
+// keyword.
+func (p *parser) skipCondition() {
+	stops := []string{"THEN", "SELECT", "UPDATE", "INSERT", "DELETE", "IF",
+		"REPEAT", "COMMIT", "ELSE", "ENDIF", "END"}
+	for {
+		t := p.cur()
+		if t.Kind == EOF || t.Kind == Directive {
+			return
+		}
+		if t.Kind == Ident && !t.Quoted {
+			for _, s := range stops {
+				if strings.EqualFold(t.Text, s) {
+					return
+				}
+			}
+		}
+		p.pos++
+	}
+}
+
+// parseStatement parses one SQL statement and assigns its label.
+func (p *parser) parseStatement() (ir.Node, error) {
+	t := p.cur()
+	var (
+		stmt *ir.Stmt
+		err  error
+	)
+	switch {
+	case p.acceptKeyword("SELECT"):
+		stmt, err = p.parseSelect(ps(t))
+	case p.acceptKeyword("UPDATE"):
+		stmt, err = p.parseUpdate(ps(t))
+	case p.acceptKeyword("INSERT"):
+		stmt, err = p.parseInsert(ps(t))
+	case p.acceptKeyword("DELETE"):
+		stmt, err = p.parseDelete(ps(t))
+	default:
+		return nil, p.errAt(t, "expected statement, found %s", describe(t))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	_ = p.acceptPunct(";")
+	// A label comment may follow the statement on the same line.
+	p.skipDecorations()
+	if err := p.takeLabel(stmt); err != nil {
+		return nil, err
+	}
+	p.curStmt = nil
+	p.lastStmt = stmt
+	return &ir.StmtNode{Stmt: stmt}, nil
+}
+
+// takeLabel assigns the pending "-- qN" label, or auto-numbers.
+func (p *parser) takeLabel(stmt *ir.Stmt) error {
+	label := p.pendingLabel
+	pos := p.pendingPos
+	p.pendingLabel = ""
+	if label == "" {
+		p.nextLabel++
+		label = fmt.Sprintf("q%d", p.nextLabel)
+		for p.usedLabels[label] {
+			p.nextLabel++
+			label = fmt.Sprintf("q%d", p.nextLabel)
+		}
+		pos = stmt.Pos
+	}
+	if p.usedLabels[label] {
+		return p.errPos(pos, "duplicate statement label %q", label)
+	}
+	p.usedLabels[label] = true
+	stmt.Label = label
+	return nil
+}
+
+// parseSelect parses SELECT <exprs> [INTO params] FROM rel [WHERE cond]
+// [ORDER BY cols] [LIMIT n [OFFSET m]] [FOR UPDATE].
+func (p *parser) parseSelect(pos ir.Pos) (*ir.Stmt, error) {
+	st := &ir.Stmt{Kind: ir.Select, Pos: pos}
+	p.curStmt = st
+	for {
+		if p.acceptPunct("*") {
+			st.Star = true
+		} else {
+			st.Items = append(st.Items, p.parseExpr("FROM", "INTO"))
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("INTO") {
+		params, err := p.paramList()
+		if err != nil {
+			return nil, err
+		}
+		st.Into = params
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	relTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Rel = p.name(relTok)
+	if st.Where, err = p.parseWhereOpt(); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectTail(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseSelectTail parses ORDER BY / LIMIT / OFFSET / FOR UPDATE. ORDER BY
+// columns join the read set; LIMIT and OFFSET are cardinality-only and must
+// not reference columns; FOR UPDATE changes nothing in the BTP abstraction.
+func (p *parser) parseSelectTail(st *ir.Stmt) error {
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			t := p.cur()
+			switch t.Kind {
+			case Ident:
+				p.pos++
+				st.OrderBy = append(st.OrderBy, ir.Ident{Name: p.name(t), Pos: ps(t)})
+			case Number, Param:
+				p.pos++ // ordinals and parameters don't touch attributes
+			default:
+				return p.errAt(t, "expected ORDER BY column, found %s", describe(t))
+			}
+			if !p.acceptKeyword("ASC") {
+				_ = p.acceptKeyword("DESC")
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if err := p.cardinalityExpr("LIMIT", "OFFSET", "FOR"); err != nil {
+			return err
+		}
+		if p.prof.CommaLimit && p.acceptPunct(",") {
+			if err := p.cardinalityExpr("LIMIT", "OFFSET", "FOR"); err != nil {
+				return err
+			}
+		}
+	}
+	if p.acceptKeyword("OFFSET") {
+		if err := p.cardinalityExpr("OFFSET", "FOR"); err != nil {
+			return err
+		}
+	}
+	if p.acceptKeyword("FOR") {
+		if !p.acceptKeyword("UPDATE") && !p.acceptKeyword("SHARE") {
+			t := p.cur()
+			return p.errAt(t, "expected \"UPDATE\" or \"SHARE\" after \"FOR\", found %s", describe(t))
+		}
+	}
+	return nil
+}
+
+// cardinalityExpr parses a LIMIT/OFFSET expression and rejects column
+// references in it: row-count bounds don't contribute to any read set, so
+// letting attributes appear there would silently drop dependencies.
+func (p *parser) cardinalityExpr(clause string, stops ...string) error {
+	e := p.parseExpr(stops...)
+	if len(e.Idents) > 0 {
+		return p.errPos(e.Idents[0].Pos, "%s must not reference columns (found %q)", clause, e.Idents[0].Name)
+	}
+	return nil
+}
+
+// parseUpdate parses UPDATE rel SET col = expr, ... [WHERE cond]
+// [RETURNING exprs [INTO params]].
+func (p *parser) parseUpdate(pos ir.Pos) (*ir.Stmt, error) {
+	st := &ir.Stmt{Kind: ir.Update, Pos: pos}
+	p.curStmt = st
+	relTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Rel = p.name(relTok)
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		colTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val := p.parseExpr("WHERE", "RETURNING")
+		st.Sets = append(st.Sets, ir.SetClause{
+			Col:   ir.Ident{Name: p.name(colTok), Pos: ps(colTok)},
+			Value: val,
+		})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if st.Where, err = p.parseWhereOpt(); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("RETURNING") {
+		t := p.cur()
+		if !p.prof.Returning {
+			msg := fmt.Sprintf("RETURNING is not supported in the %s dialect", p.prof.Name)
+			if p.prof.ReturningErr != "" {
+				msg += " (" + p.prof.ReturningErr + ")"
+			}
+			return nil, p.errAt(t, "%s", msg)
+		}
+		p.pos++
+		for {
+			st.Returning = append(st.Returning, p.parseExpr("INTO"))
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if p.acceptKeyword("INTO") {
+			params, err := p.paramList()
+			if err != nil {
+				return nil, err
+			}
+			st.RetInto = params
+		}
+	}
+	return st, nil
+}
+
+// parseInsert parses INSERT INTO rel [(cols)] VALUES (exprs): single-row
+// only, and never with RETURNING (a BTP insert has an undefined read set,
+// so there is nothing for RETURNING to mean).
+func (p *parser) parseInsert(pos ir.Pos) (*ir.Stmt, error) {
+	st := &ir.Stmt{Kind: ir.Insert, Pos: pos}
+	p.curStmt = st
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	relTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Rel = p.name(relTok)
+	if p.acceptPunct("(") {
+		for {
+			colTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, ir.Ident{Name: p.name(colTok), Pos: ps(colTok)})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		for {
+			st.Values = append(st.Values, p.parseExpr())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.atPunct(",") {
+		t := p.cur()
+		return nil, p.errAt(t, "multi-row INSERT is not supported (one row per statement)")
+	}
+	if p.atKeyword("RETURNING") {
+		t := p.cur()
+		return nil, p.errAt(t, "INSERT ... RETURNING is not supported (a BTP insert has no read set)")
+	}
+	return st, nil
+}
+
+// parseDelete parses DELETE FROM rel [WHERE cond].
+func (p *parser) parseDelete(pos ir.Pos) (*ir.Stmt, error) {
+	st := &ir.Stmt{Kind: ir.Delete, Pos: pos}
+	p.curStmt = st
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	relTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Rel = p.name(relTok)
+	var err2 error
+	if st.Where, err2 = p.parseWhereOpt(); err2 != nil {
+		return nil, err2
+	}
+	return st, nil
+}
+
+func (p *parser) paramList() ([]ir.Param, error) {
+	var out []ir.Param
+	for {
+		t := p.cur()
+		if t.Kind != Param {
+			return nil, p.errAt(t, "expected parameter, found %s", describe(t))
+		}
+		p.pos++
+		out = append(out, p.mkParam(t))
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return out, nil
+}
+
+// parseWhereOpt parses the optional WHERE clause; nil means no WHERE.
+func (p *parser) parseWhereOpt() (ir.Cond, error) {
+	if !p.acceptKeyword("WHERE") {
+		return nil, nil
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (ir.Cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []ir.Cond{left}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &ir.CondOr{Terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (ir.Cond, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	terms := []ir.Cond{left}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &ir.CondAnd{Terms: terms}, nil
+}
+
+var compareOps = map[string]bool{
+	"=": true, "<": true, ">": true, "<=": true, ">=": true, "<>": true, "!=": true,
+}
+
+// parseComparison parses "<operand> <op> <operand>" or a parenthesized
+// condition.
+func (p *parser) parseComparison() (ir.Cond, error) {
+	if p.acceptPunct("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind != Punct || !compareOps[t.Text] {
+		return nil, p.errAt(t, "expected comparison operator, found %s", describe(t))
+	}
+	p.pos++
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.CondCmp{Op: t.Text, Left: left, Right: right, Pos: ps(t)}, nil
+}
+
+// parseOperand parses one side of a comparison: an additive expression over
+// identifiers, placeholders and literals. Identifiers inside function-call
+// arguments are marked InCall (the normalizer filters them against the
+// relation instead of requiring them to be attributes).
+func (p *parser) parseOperand() (ir.CondOperand, error) {
+	start := p.cur()
+	op := ir.CondOperand{Pos: ps(start)}
+	ntoks := 0
+	firstPlainIdent := false
+	var loneParam *ir.Param
+	expectOperand := true
+	for {
+		t := p.cur()
+		if expectOperand {
+			switch {
+			case t.Kind == Ident:
+				if p.rawNextIsOpenParen() {
+					// Function call: skip the name, record argument
+					// identifiers as in-call uses.
+					p.pos += 2
+					ntoks += 2
+					depth := 1
+					for depth > 0 {
+						tt := p.cur()
+						if tt.Kind == EOF {
+							return op, p.errAt(t, "unterminated call")
+						}
+						if tt.Kind == Punct {
+							switch tt.Text {
+							case "(":
+								depth++
+							case ")":
+								depth--
+							}
+						}
+						if tt.Kind == Ident {
+							op.Uses = append(op.Uses, ir.IdentUse{Name: p.name(tt), InCall: true, Pos: ps(tt)})
+						}
+						p.pos++
+						ntoks++
+					}
+				} else {
+					op.Uses = append(op.Uses, ir.IdentUse{Name: p.name(t), Pos: ps(t)})
+					if ntoks == 0 {
+						firstPlainIdent = true
+					}
+					p.pos++
+					ntoks++
+				}
+			case t.Kind == Param:
+				if ntoks == 0 {
+					pp := p.mkParam(t)
+					loneParam = &pp
+				} else {
+					_ = p.mkParam(t) // keep anonymous-placeholder numbering stable
+				}
+				p.pos++
+				ntoks++
+			case t.Kind == Number || t.Kind == String:
+				p.pos++
+				ntoks++
+			case t.Kind == Punct && t.Text == "(":
+				p.pos++
+				ntoks++
+				inner, err := p.parseOperand()
+				if err != nil {
+					return op, err
+				}
+				op.Uses = append(op.Uses, inner.Uses...)
+				if err := p.expectPunct(")"); err != nil {
+					return op, err
+				}
+				ntoks++
+			case t.Kind == Punct && t.Text == "-":
+				p.pos++
+				ntoks++
+				continue // unary minus
+			default:
+				return op, p.errAt(t, "expected operand, found %s", describe(t))
+			}
+			expectOperand = false
+			continue
+		}
+		// After an operand: continue on arithmetic operators and casts.
+		if t.Kind == Punct && len(t.Text) == 1 && strings.ContainsAny(t.Text, "+-*/") {
+			p.pos++
+			ntoks++
+			expectOperand = true
+			continue
+		}
+		if t.Kind == Punct && t.Text == "::" {
+			p.skipCast()
+			ntoks++
+			continue
+		}
+		break
+	}
+	op.LoneIdent = firstPlainIdent && ntoks == 1
+	if ntoks == 1 {
+		op.LoneParam = loneParam
+	}
+	return op, nil
+}
+
+// skipCast consumes a "::type" cast (the "::" token is current): the type
+// name, with an optional parenthesized precision, is discarded.
+func (p *parser) skipCast() {
+	p.pos++ // "::"
+	if t := p.cur(); t.Kind == Ident {
+		p.pos++
+		if p.atPunct("(") {
+			p.skipBalancedParens()
+		}
+	}
+}
+
+// skipBalancedParens consumes a balanced "(...)" group; the opening paren is
+// current. At EOF it simply returns — the caller's next expectation reports
+// the error.
+func (p *parser) skipBalancedParens() {
+	depth := 0
+	for {
+		t := p.cur()
+		if t.Kind == EOF {
+			return
+		}
+		if t.Kind == Punct {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+		}
+		p.pos++
+		if depth == 0 {
+			return
+		}
+	}
+}
+
+// parseExpr scans one scalar expression — select item, SET value, VALUES
+// entry, RETURNING item — recording the identifiers it mentions (call names
+// excluded) and whether it is a single bare identifier or placeholder. It
+// stops at a depth-0 comma, semicolon, closing paren, or any of the stop
+// keywords; it never fails (the caller's next expectation reports stray
+// input).
+func (p *parser) parseExpr(stops ...string) ir.Expr {
+	start := p.cur()
+	e := ir.Expr{Pos: ps(start)}
+	depth := 0
+	ntoks := 0
+	firstPlainIdent := false
+	var loneParam *ir.Param
+scan:
+	for {
+		t := p.cur()
+		if t.Kind == EOF {
+			break
+		}
+		if t.Kind == Ident && !t.Quoted && depth == 0 {
+			for _, s := range stops {
+				if strings.EqualFold(t.Text, s) {
+					break scan
+				}
+			}
+		}
+		if t.Kind == Punct {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				if depth == 0 {
+					break scan
+				}
+				depth--
+			case ",", ";":
+				if depth == 0 {
+					break scan
+				}
+			case "::":
+				p.skipCast()
+				ntoks += 2 // a cast is never a bare column
+				continue
+			}
+		}
+		if t.Kind == Ident && !p.rawNextIsOpenParen() {
+			e.Idents = append(e.Idents, ir.Ident{Name: p.name(t), Pos: ps(t)})
+			if ntoks == 0 {
+				firstPlainIdent = true
+			}
+		}
+		if t.Kind == Param {
+			pp := p.mkParam(t)
+			if ntoks == 0 {
+				loneParam = &pp
+			}
+		}
+		p.pos++
+		ntoks++
+	}
+	e.LoneIdent = firstPlainIdent && ntoks == 1
+	if ntoks == 1 {
+		e.LoneParam = loneParam
+	}
+	return e
+}

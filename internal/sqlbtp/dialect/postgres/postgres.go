@@ -1,0 +1,58 @@
+// Package postgres is the PostgreSQL front-end of the sqlbtp compiler.
+//
+// Guarantees: double-quoted identifiers with "" escaping; unquoted
+// identifiers folded to lower case exactly as PostgreSQL folds them; "$1"
+// positional and ":name" (ecpg-style) named placeholders; "expr::type"
+// casts; UPDATE ... RETURNING [INTO]; SELECT ... ORDER BY / LIMIT / OFFSET /
+// FOR UPDATE; "--" line and "/* */" block comments; CREATE TABLE with
+// column- and table-level PRIMARY KEY / FOREIGN KEY / REFERENCES (including
+// multi-word types like "double precision" and "character varying").
+//
+// Rejections: "@name" placeholders (not PostgreSQL syntax), INSERT ...
+// RETURNING (a BTP insert has no read set), multi-row INSERT, ALTER TABLE
+// (declare constraints inside CREATE TABLE), and types outside the accepted
+// set. Every rejection carries line and column.
+package postgres
+
+import (
+	"strings"
+
+	"repro/internal/sqlbtp/dialect"
+	"repro/internal/sqlbtp/ir"
+)
+
+// Profile returns the PostgreSQL dialect profile.
+func Profile() *dialect.Profile {
+	return &dialect.Profile{
+		Name:              "postgres",
+		DoubleQuoteIdent:  true,
+		FoldUnquoted:      strings.ToLower,
+		NamedParams:       true,
+		DollarNumbered:    true,
+		Returning:         true,
+		DoubleColonCast:   true,
+		BlockComments:     true,
+		ProgramDirectives: true,
+		DDL:               true,
+		Types:             types,
+	}
+}
+
+// Parse parses a PostgreSQL script: CREATE TABLE statements plus programs
+// introduced by "-- program Name [as Abbrev]" directives.
+func Parse(src string) (*ir.Script, error) {
+	return dialect.ParseScript(Profile(), src)
+}
+
+var types = map[string]bool{
+	"smallint": true, "integer": true, "int": true, "bigint": true,
+	"serial": true, "bigserial": true, "smallserial": true,
+	"numeric": true, "decimal": true, "real": true, "float": true,
+	"double precision": true, "money": true,
+	"varchar": true, "character varying": true, "char": true,
+	"character": true, "text": true,
+	"boolean": true, "bool": true, "bytea": true, "uuid": true,
+	"date": true, "time": true, "timestamp": true, "timestamptz": true,
+	"timestamp with time zone": true, "timestamp without time zone": true,
+	"interval": true, "json": true, "jsonb": true,
+}

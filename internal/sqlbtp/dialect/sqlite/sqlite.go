@@ -1,0 +1,47 @@
+// Package sqlite is the SQLite front-end of the sqlbtp compiler.
+//
+// Guarantees: double-quote, backtick and [bracket] identifier quoting (no
+// case folding); "?", "?N", ":name", "@name" and "$name" placeholders with
+// SQLite's own semantics (named styles with the same name are the same
+// value, "?N" matches by number, bare "?" never witnesses dataflow);
+// UPDATE ... RETURNING; SELECT ... ORDER BY / LIMIT [offset,] count;
+// flexible typing — any (or no) column type is accepted, as SQLite itself
+// does; WITHOUT ROWID and STRICT table suffixes; "--" and "/* */" comments.
+//
+// Rejections: INSERT ... RETURNING (a BTP insert has no read set),
+// multi-row INSERT, and ALTER TABLE (declare constraints inside CREATE
+// TABLE). Every rejection carries line and column.
+package sqlite
+
+import (
+	"repro/internal/sqlbtp/dialect"
+	"repro/internal/sqlbtp/ir"
+)
+
+// Profile returns the SQLite dialect profile.
+func Profile() *dialect.Profile {
+	return &dialect.Profile{
+		Name:              "sqlite",
+		DoubleQuoteIdent:  true,
+		BacktickIdent:     true,
+		BracketIdent:      true,
+		NamedParams:       true,
+		AtParams:          true,
+		DollarNamed:       true,
+		QuestionParams:    true,
+		QuestionNumbered:  true,
+		Returning:         true,
+		CommaLimit:        true,
+		BlockComments:     true,
+		ProgramDirectives: true,
+		DDL:               true,
+		WithoutRowid:      true,
+		FlexTypes:         true,
+	}
+}
+
+// Parse parses an SQLite script: CREATE TABLE statements plus programs
+// introduced by "-- program Name [as Abbrev]" directives.
+func Parse(src string) (*ir.Script, error) {
+	return dialect.ParseScript(Profile(), src)
+}

@@ -1,0 +1,10 @@
+package sqlbtp
+
+import "repro/internal/sqlbtp/dialect"
+
+// ParseError is the positioned error type every stage of the compiler
+// reports: Dialect, Program, Line and Col locate the offending source, Msg
+// describes the problem. Use errors.As to recover it from a Compile/Parse
+// error — the server's :fromSQL handler does exactly that to build its
+// structured 400 body.
+type ParseError = dialect.Error

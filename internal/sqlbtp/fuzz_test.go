@@ -2,6 +2,8 @@ package sqlbtp
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -51,6 +53,33 @@ func TestParseNeverPanics(t *testing.T) {
 			t.Fatalf("panic on structured input %d", i)
 		}
 	}
+}
+
+// FuzzDialectParse feeds arbitrary scripts to Compile under every dialect
+// front-end. Compile must return a value or an error, never panic, and the
+// golden corpus seeds it with real multi-dialect input so mutation starts
+// from deep program shapes rather than byte soup.
+func FuzzDialectParse(f *testing.F) {
+	dialects := []string{"embedded", "postgres", "mysql", "sqlite"}
+	for _, d := range dialects[1:] {
+		for _, bench := range goldenBenchmarks {
+			src, err := os.ReadFile(filepath.Join("testdata", d, bench+".sql"))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(d, string(src))
+		}
+	}
+	f.Add("embedded", benchmarks.AuctionSQL)
+	f.Add("nosuch", "SELECT 1;")
+	f.Fuzz(func(t *testing.T, dialect, script string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic compiling dialect=%q script=%q: %v", dialect, script, r)
+			}
+		}()
+		_, _ = Compile(Source{Dialect: dialect, Script: script})
+	})
 }
 
 // TestLexerRoundTripStability: lexing valid sources twice yields identical

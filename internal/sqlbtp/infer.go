@@ -1,0 +1,222 @@
+package sqlbtp
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/sqlbtp/ir"
+)
+
+// FK inference (DDL path only). A statement binds an attribute to a
+// placeholder when the dataflow is visible in the SQL itself:
+//
+//   - a top-level conjunctive equality "attr = :p" in WHERE,
+//   - "SELECT attr INTO :p" / "RETURNING attr INTO :p" captures,
+//   - "INSERT ... VALUES" placeholders, matched to columns positionally.
+//
+// For a foreign key f: Dom(A1..Ak) → Range(B1..Bk), a statement src over
+// Dom binding every Ai to placeholder pi, and a key-based statement dst
+// over Range binding every Bi to the same pi, witness the annotation
+// dst = f(src). Annotations then propagate across aliases — key-based
+// statements over the same relation addressing the same key placeholders
+// denote the same tuple, so they are interchangeable as src or dst.
+
+// annotation is one inferred FK annotation dst = fk(src).
+type annotation struct {
+	fk, src, dst string
+}
+
+// stmtBinds extracts the attr → placeholder bindings of one statement. An
+// attribute bound to two different placeholders is dropped: the dataflow is
+// ambiguous. Anonymous "?" placeholders get unique ids and never witness a
+// connection between statements.
+func (n *normalizer) stmtBinds(s *ir.Stmt) map[string]string {
+	binds := make(map[string]string)
+	conflict := make(map[string]bool)
+	add := func(attr, id string) {
+		if conflict[attr] {
+			return
+		}
+		if old, ok := binds[attr]; ok {
+			if old != id {
+				delete(binds, attr)
+				conflict[attr] = true
+			}
+			return
+		}
+		binds[attr] = id
+	}
+	var walk func(c ir.Cond)
+	walk = func(c ir.Cond) {
+		switch v := c.(type) {
+		case *ir.CondAnd:
+			for _, t := range v.Terms {
+				walk(t)
+			}
+		case *ir.CondCmp:
+			if v.Op != "=" {
+				return
+			}
+			if v.Left.LoneIdent && v.Right.LoneParam != nil {
+				add(v.Left.Uses[0].Name, v.Right.LoneParam.ID)
+			} else if v.Right.LoneIdent && v.Left.LoneParam != nil {
+				add(v.Right.Uses[0].Name, v.Left.LoneParam.ID)
+			}
+		}
+		// OR blocks bind nothing: neither branch is guaranteed to hold.
+	}
+	walk(s.Where)
+	for i, p := range s.Into {
+		if i < len(s.Items) && s.Items[i].LoneIdent {
+			add(s.Items[i].Idents[0].Name, p.ID)
+		}
+	}
+	for i, p := range s.RetInto {
+		if i < len(s.Returning) && s.Returning[i].LoneIdent {
+			add(s.Returning[i].Idents[0].Name, p.ID)
+		}
+	}
+	if s.Kind == ir.Insert {
+		if len(s.Cols) > 0 {
+			for i, c := range s.Cols {
+				if i < len(s.Values) && s.Values[i].LoneParam != nil {
+					add(c.Name, s.Values[i].LoneParam.ID)
+				}
+			}
+		} else if t := n.tables[s.Rel]; t != nil {
+			for i, col := range t.Cols {
+				if i < len(s.Values) && s.Values[i].LoneParam != nil {
+					add(col, s.Values[i].LoneParam.ID)
+				}
+			}
+		}
+	}
+	return binds
+}
+
+// stmtFacts is the per-statement view inference works on.
+type stmtFacts struct {
+	idx      int // position in program order
+	label    string
+	rel      string
+	keyBased bool
+	binds    map[string]string
+	// keySig identifies the tuple a key-based statement addresses:
+	// "rel\x00k1=p1\x00k2=p2..." over the full key, or "" when some key
+	// attribute has no placeholder bind.
+	keySig string
+}
+
+// inferFKs derives the FK annotations of the current program from the
+// schema's foreign keys and the placeholder dataflow between statements.
+func (n *normalizer) inferFKs() []annotation {
+	facts := make([]*stmtFacts, 0, len(n.lowered))
+	for i, ls := range n.lowered {
+		f := &stmtFacts{
+			idx:      i,
+			label:    ls.b.Name,
+			rel:      ls.b.Rel,
+			keyBased: ls.b.Type.IsKeyBased(),
+			binds:    n.stmtBinds(ls.ir),
+		}
+		if f.keyBased {
+			if rel := n.schema.Relation(f.rel); rel != nil {
+				parts := []string{f.rel}
+				complete := true
+				for _, k := range rel.Key.Sorted() {
+					p, ok := f.binds[k]
+					if !ok {
+						complete = false
+						break
+					}
+					parts = append(parts, k+"="+p)
+				}
+				if complete {
+					f.keySig = strings.Join(parts, "\x00")
+				}
+			}
+		}
+		facts = append(facts, f)
+	}
+
+	// Alias groups: key-based statements addressing the same tuple.
+	aliases := make(map[string][]*stmtFacts)
+	for _, f := range facts {
+		if f.keySig != "" {
+			aliases[f.keySig] = append(aliases[f.keySig], f)
+		}
+	}
+
+	pos := make(map[string]int, len(facts))
+	for _, f := range facts {
+		pos[f.label] = f.idx
+	}
+
+	seen := make(map[annotation]bool)
+	var out []annotation
+	emit := func(a annotation) {
+		if a.src != a.dst && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+
+	fks := n.schema.ForeignKeys()
+	fkIdx := make(map[string]int, len(fks))
+	for i, fk := range fks {
+		fkIdx[fk.Name] = i
+	}
+
+	for _, fk := range fks {
+		for _, src := range facts {
+			if src.rel != fk.Dom {
+				continue
+			}
+			// Collect the placeholders src binds for the FK columns.
+			params := make([]string, len(fk.DomAttrs))
+			ok := true
+			for i, a := range fk.DomAttrs {
+				if params[i], ok = src.binds[a]; !ok {
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, dst := range facts {
+				if dst == src || dst.rel != fk.Range || !dst.keyBased {
+					continue
+				}
+				match := true
+				for i, b := range fk.RangeAttrs {
+					if dst.binds[b] != params[i] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				emit(annotation{fk: fk.Name, src: src.label, dst: dst.label})
+				// Propagate across aliases of both endpoints.
+				for _, a := range aliases[src.keySig] {
+					emit(annotation{fk: fk.Name, src: a.label, dst: dst.label})
+				}
+				for _, a := range aliases[dst.keySig] {
+					emit(annotation{fk: fk.Name, src: src.label, dst: a.label})
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if pos[out[i].dst] != pos[out[j].dst] {
+			return pos[out[i].dst] < pos[out[j].dst]
+		}
+		if pos[out[i].src] != pos[out[j].src] {
+			return pos[out[i].src] < pos[out[j].src]
+		}
+		return fkIdx[out[i].fk] < fkIdx[out[j].fk]
+	})
+	return out
+}

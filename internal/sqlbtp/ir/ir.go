@@ -1,0 +1,264 @@
+// Package ir is the shared intermediate representation of the multi-dialect
+// SQL front door: every dialect front-end (internal/sqlbtp/dialect/...)
+// lowers its source text into the types of this package, and the normalizer
+// in internal/sqlbtp turns an ir.Script into a relational schema plus basic
+// transaction programs (internal/btp).
+//
+// The IR is deliberately schema-free: a front-end records which identifiers
+// a statement mentions and where, but whether an identifier names an
+// attribute of the statement's relation — and whether a WHERE clause covers
+// a primary key — is resolved by the normalizer, which is the single place
+// the Appendix A translation rules (key- vs predicate-based statements, FK
+// inference from REFERENCES clauses) are implemented. Every node carries a
+// source position so errors surface with line and column regardless of the
+// dialect that produced the tree.
+package ir
+
+import "fmt"
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line L:C".
+func (p Pos) String() string { return fmt.Sprintf("line %d:%d", p.Line, p.Col) }
+
+// Script is one compilation unit: the tables declared by DDL (possibly
+// none, when the caller supplies a prebuilt schema) and the transaction
+// programs.
+type Script struct {
+	Tables   []*Table
+	Programs []*Program
+}
+
+// Table is one CREATE TABLE declaration. Cols preserves declaration order —
+// positional INSERT ... VALUES binds resolve against it — while Key lists
+// the primary-key columns.
+type Table struct {
+	Name string
+	Cols []string
+	Key  []string
+	FKs  []*ForeignKey
+	Pos  Pos
+}
+
+// ForeignKey is one REFERENCES / FOREIGN KEY clause of a table. RefCols may
+// be empty, meaning the referenced table's primary key. Name is the
+// CONSTRAINT name when given; unnamed constraints are auto-named by the
+// normalizer.
+type ForeignKey struct {
+	Name     string
+	Cols     []string
+	RefTable string
+	RefCols  []string
+	Pos      Pos
+}
+
+// Program is one transaction program: a body of control-flow nodes over
+// statements, plus any explicit "-- @fk" annotations. A program that
+// carries explicit FK pragmas opts out of FK inference.
+type Program struct {
+	Name   string
+	Abbrev string
+	Body   Node
+	FKs    []FKPragma
+	Pos    Pos
+}
+
+// FKPragma is one explicit "-- @fk qj = f(qi)" annotation.
+type FKPragma struct {
+	FK  string
+	Src string
+	Dst string
+	Pos Pos
+}
+
+// Node is a control-flow node of a program body.
+type Node interface{ node() }
+
+// Seq is sequential composition.
+type Seq struct{ Items []Node }
+
+// Choice is an IF ... THEN ... ELSE ... branch.
+type Choice struct{ A, B Node }
+
+// Optional is an IF ... THEN ... branch without ELSE.
+type Optional struct{ A Node }
+
+// Loop is a REPEAT ... END REPEAT body.
+type Loop struct{ Body Node }
+
+// StmtNode wraps a single statement.
+type StmtNode struct{ Stmt *Stmt }
+
+func (*Seq) node()      {}
+func (*Choice) node()   {}
+func (*Optional) node() {}
+func (*Loop) node()     {}
+func (*StmtNode) node() {}
+
+// StmtKind enumerates the statement forms of the SQL fragment.
+type StmtKind int
+
+const (
+	Select StmtKind = iota
+	Update
+	Insert
+	Delete
+)
+
+// String names the kind as its SQL keyword.
+func (k StmtKind) String() string {
+	switch k {
+	case Select:
+		return "SELECT"
+	case Update:
+		return "UPDATE"
+	case Insert:
+		return "INSERT"
+	case Delete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("StmtKind(%d)", int(k))
+	}
+}
+
+// Stmt is one SQL statement in dialect-neutral form. Only the fields
+// relevant to its Kind are populated.
+type Stmt struct {
+	Kind  StmtKind
+	Label string // "-- qN" label; "" = auto-number
+	Rel   string
+	Pos   Pos
+
+	// SELECT: the select list (Star for "*"), with optional INTO capture
+	// targets positional to Items.
+	Star  bool
+	Items []Expr
+	Into  []Param
+
+	// UPDATE: SET clauses, optional RETURNING list with INTO targets.
+	Sets      []SetClause
+	Returning []Expr
+	RetInto   []Param
+
+	// SELECT / UPDATE / DELETE: the WHERE condition; nil means no WHERE
+	// (a full-relation predicate). OrderBy lists ORDER BY column
+	// references (they join the read set).
+	Where   Cond
+	OrderBy []Ident
+
+	// INSERT: optional column list and the VALUES expressions.
+	Cols   []Ident
+	Values []Expr
+
+	// Reads lists columns added to the read set by a "-- @reads" pragma:
+	// values the application reads back through a channel the SQL text
+	// cannot show (the MySQL front-end's substitute for RETURNING).
+	Reads []Ident
+}
+
+// SetClause is one "col = expr" assignment of an UPDATE.
+type SetClause struct {
+	Col   Ident
+	Value Expr
+}
+
+// Ident is one identifier use with its position.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Param is one placeholder use. ID is the dialect-canonicalized identity
+// ("n:<name>" for named styles, "p:<number>" for positional styles); the
+// anonymous "?" gets a per-occurrence unique ID so it never witnesses
+// dataflow. Text is the placeholder as written, for error messages.
+type Param struct {
+	ID   string
+	Text string
+	Pos  Pos
+}
+
+// Expr is one scalar expression (select item, SET value, VALUES entry,
+// RETURNING item) reduced to what the translation needs: the identifiers it
+// mentions (function names excluded, arguments included), and whether the
+// whole expression is a single bare column or a single placeholder.
+type Expr struct {
+	Idents []Ident
+	// LoneIdent is true when the expression is exactly one bare identifier
+	// (then Idents has exactly one entry) — the only shape that makes an
+	// INTO capture a dataflow bind.
+	LoneIdent bool
+	// LoneParam is set when the expression is exactly one placeholder.
+	LoneParam *Param
+	Pos       Pos
+}
+
+// Cond is a WHERE-clause condition tree. The normalizer folds it with the
+// Appendix A algebra: a pure conjunction of "attr = attr-free-expr"
+// equalities covering the primary key makes the statement key-based.
+type Cond interface{ cond() }
+
+// CondAnd is a conjunction.
+type CondAnd struct{ Terms []Cond }
+
+// CondOr is a disjunction; it keeps the mentioned attributes but discards
+// equality-binding information.
+type CondOr struct{ Terms []Cond }
+
+// CondCmp is one comparison "left op right".
+type CondCmp struct {
+	Op    string
+	Left  CondOperand
+	Right CondOperand
+	Pos   Pos
+}
+
+func (*CondAnd) cond() {}
+func (*CondOr) cond()  {}
+func (*CondCmp) cond() {}
+
+// CondOperand is one side of a comparison: the identifiers it uses (with
+// an InCall marker — identifiers inside function-call arguments are
+// filtered against the relation's attributes instead of being required to
+// be attributes), and whether the side is a single placeholder.
+type CondOperand struct {
+	Uses      []IdentUse
+	LoneParam *Param
+	// LoneIdent is true when the side is exactly one bare identifier (then
+	// Uses has one non-call entry) — the shape that makes an equality a
+	// dataflow bind for FK inference.
+	LoneIdent bool
+	Pos       Pos
+}
+
+// IdentUse is one identifier use inside a condition operand.
+type IdentUse struct {
+	Name   string
+	InCall bool
+	Pos    Pos
+}
+
+// Statements appends every statement of the body in declaration order.
+func Statements(n Node, out []*Stmt) []*Stmt {
+	switch n := n.(type) {
+	case *StmtNode:
+		return append(out, n.Stmt)
+	case *Seq:
+		for _, item := range n.Items {
+			out = Statements(item, out)
+		}
+		return out
+	case *Choice:
+		return Statements(n.B, Statements(n.A, out))
+	case *Optional:
+		return Statements(n.A, out)
+	case *Loop:
+		return Statements(n.Body, out)
+	default:
+		return out
+	}
+}

@@ -1,0 +1,408 @@
+package sqlbtp
+
+import (
+	"fmt"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+	"repro/internal/sqlbtp/dialect"
+	"repro/internal/sqlbtp/ir"
+)
+
+// buildSchema turns the DDL tables of a script into a relational schema:
+// all relations first (so FOREIGN KEY clauses may reference tables declared
+// later), then the foreign keys in declaration order. Unnamed constraints
+// are auto-named fk1, fk2, ...
+func buildSchema(dialectName string, tables []*ir.Table) (*relschema.Schema, error) {
+	s := relschema.NewSchema()
+	byName := make(map[string]*ir.Table, len(tables))
+	for _, t := range tables {
+		if len(t.Key) == 0 {
+			return nil, posErr(dialectName, "", t.Pos, "table %s has no primary key", t.Name)
+		}
+		if err := s.AddRelation(t.Name, t.Cols, t.Key); err != nil {
+			return nil, posErr(dialectName, "", t.Pos, "%s", err.Error())
+		}
+		byName[t.Name] = t
+	}
+	unnamed := 0
+	for _, t := range tables {
+		for _, fk := range t.FKs {
+			name := fk.Name
+			if name == "" {
+				unnamed++
+				name = fmt.Sprintf("fk%d", unnamed)
+			}
+			refCols := fk.RefCols
+			if len(refCols) == 0 {
+				ref := byName[fk.RefTable]
+				if ref == nil {
+					return nil, posErr(dialectName, "", fk.Pos, "foreign key %s references unknown table %q", name, fk.RefTable)
+				}
+				refCols = ref.Key
+			}
+			if err := s.AddForeignKey(name, t.Name, fk.Cols, fk.RefTable, refCols); err != nil {
+				return nil, posErr(dialectName, "", fk.Pos, "%s", err.Error())
+			}
+		}
+	}
+	return s, nil
+}
+
+func posErr(dialectName, program string, pos ir.Pos, format string, args ...any) error {
+	return &dialect.Error{
+		Dialect: dialectName,
+		Program: program,
+		Line:    pos.Line,
+		Col:     pos.Col,
+		Msg:     fmt.Sprintf(format, args...),
+	}
+}
+
+// loweredStmt pairs one IR statement with its BTP translation; inference
+// works on the pair (IR for placeholder dataflow, BTP for key-basedness).
+type loweredStmt struct {
+	ir *ir.Stmt
+	b  *btp.Stmt
+}
+
+// normalizer lowers the programs of one compilation unit.
+type normalizer struct {
+	dialect string
+	program string
+	schema  *relschema.Schema
+	// tables indexes the DDL by relation name on the inference path; nil
+	// when the schema was supplied prebuilt.
+	tables  map[string]*ir.Table
+	lowered []loweredStmt
+}
+
+// lowerPrograms translates every IR program against the schema. When
+// inferTables is non-nil (the DDL path), programs without explicit "-- @fk"
+// pragmas get their FK annotations inferred from the REFERENCES clauses and
+// the placeholder dataflow between statements.
+func lowerPrograms(dialectName string, schema *relschema.Schema, programs []*ir.Program, inferTables []*ir.Table) ([]*btp.Program, error) {
+	var tables map[string]*ir.Table
+	if inferTables != nil {
+		tables = make(map[string]*ir.Table, len(inferTables))
+		for _, t := range inferTables {
+			tables[t.Name] = t
+		}
+	}
+	out := make([]*btp.Program, 0, len(programs))
+	for _, p := range programs {
+		n := &normalizer{dialect: dialectName, program: p.Name, schema: schema, tables: tables}
+		prog, err := n.lowerProgram(p, tables != nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prog)
+	}
+	return out, nil
+}
+
+func (n *normalizer) lowerProgram(p *ir.Program, infer bool) (*btp.Program, error) {
+	body, err := n.lowerNode(p.Body)
+	if err != nil {
+		return nil, err
+	}
+	prog := &btp.Program{Name: p.Name, Abbrev: p.Abbrev, Body: body}
+	if len(p.FKs) > 0 {
+		// Explicit pragmas override and disable inference.
+		for _, pr := range p.FKs {
+			if pr.Dst == "" {
+				return nil, posErr(n.dialect, n.program, pr.Pos, "malformed @fk pragma (want \"@fk qj = f(qi)\")")
+			}
+			if err := prog.AnnotateFK(n.schema, pr.FK, pr.Src, pr.Dst); err != nil {
+				return nil, posErr(n.dialect, n.program, pr.Pos, "%s", err.Error())
+			}
+		}
+	} else if infer {
+		for _, a := range n.inferFKs() {
+			if err := prog.AnnotateFK(n.schema, a.fk, a.src, a.dst); err != nil {
+				return nil, fmt.Errorf("sqlbtp: program %s: inferred annotation %s = %s(%s): %w", p.Name, a.dst, a.fk, a.src, err)
+			}
+		}
+	}
+	if err := prog.Validate(n.schema); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (n *normalizer) lowerNode(node ir.Node) (btp.Node, error) {
+	switch v := node.(type) {
+	case *ir.Seq:
+		items := make([]btp.Node, 0, len(v.Items))
+		for _, it := range v.Items {
+			b, err := n.lowerNode(it)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, b)
+		}
+		return &btp.Seq{Items: items}, nil
+	case *ir.Choice:
+		a, err := n.lowerNode(v.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := n.lowerNode(v.B)
+		if err != nil {
+			return nil, err
+		}
+		return btp.ChoiceOf(a, b), nil
+	case *ir.Optional:
+		a, err := n.lowerNode(v.A)
+		if err != nil {
+			return nil, err
+		}
+		return btp.Opt(a), nil
+	case *ir.Loop:
+		body, err := n.lowerNode(v.Body)
+		if err != nil {
+			return nil, err
+		}
+		return btp.LoopOf(body), nil
+	case *ir.StmtNode:
+		st, err := n.lowerStmt(v.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		n.lowered = append(n.lowered, loweredStmt{ir: v.Stmt, b: st})
+		return btp.S(st), nil
+	default:
+		return nil, fmt.Errorf("sqlbtp: program %s: unknown IR node %T", n.program, node)
+	}
+}
+
+// lowerStmt is the Appendix A translation of one statement.
+func (n *normalizer) lowerStmt(s *ir.Stmt) (*btp.Stmt, error) {
+	rel := n.schema.Relation(s.Rel)
+	if rel == nil {
+		return nil, posErr(n.dialect, n.program, s.Pos, "unknown relation %q", s.Rel)
+	}
+	var out *btp.Stmt
+	switch s.Kind {
+	case ir.Select:
+		var readIdents []ir.Ident
+		for _, e := range s.Items {
+			readIdents = append(readIdents, e.Idents...)
+		}
+		var readAttrs []string
+		if s.Star {
+			readAttrs = rel.Attrs.Sorted()
+		} else {
+			var err error
+			if readAttrs, err = n.attrNames(rel, readIdents); err != nil {
+				return nil, err
+			}
+		}
+		extra, err := n.attrNames(rel, append(append([]ir.Ident(nil), s.OrderBy...), s.Reads...))
+		if err != nil {
+			return nil, err
+		}
+		readAttrs = append(readAttrs, extra...)
+		cond, err := n.foldCond(s.Where, rel)
+		if err != nil {
+			return nil, err
+		}
+		if cond.isKeyCondition(rel) {
+			out = &btp.Stmt{Type: btp.KeySel, Rel: rel.Name, ReadSet: btp.Attrs(readAttrs...)}
+		} else {
+			out = &btp.Stmt{
+				Type: btp.PredSel, Rel: rel.Name,
+				ReadSet:  btp.Attrs(readAttrs...),
+				PReadSet: btp.AttrsOf(cond.attrs),
+			}
+		}
+	case ir.Update:
+		var writeAttrs []string
+		var readIdents []ir.Ident
+		for _, sc := range s.Sets {
+			if !rel.Attrs.Has(sc.Col.Name) {
+				return nil, posErr(n.dialect, n.program, sc.Col.Pos, "relation %s has no attribute %q", rel.Name, sc.Col.Name)
+			}
+			writeAttrs = append(writeAttrs, sc.Col.Name)
+			readIdents = append(readIdents, sc.Value.Idents...)
+		}
+		for _, e := range s.Returning {
+			readIdents = append(readIdents, e.Idents...)
+		}
+		readIdents = append(readIdents, s.Reads...)
+		readAttrs, err := n.attrNames(rel, readIdents)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := n.foldCond(s.Where, rel)
+		if err != nil {
+			return nil, err
+		}
+		if cond.isKeyCondition(rel) {
+			out = &btp.Stmt{
+				Type: btp.KeyUpd, Rel: rel.Name,
+				ReadSet:  btp.Attrs(readAttrs...),
+				WriteSet: btp.Attrs(writeAttrs...),
+			}
+		} else {
+			out = &btp.Stmt{
+				Type: btp.PredUpd, Rel: rel.Name,
+				ReadSet:  btp.Attrs(readAttrs...),
+				WriteSet: btp.Attrs(writeAttrs...),
+				PReadSet: btp.AttrsOf(cond.attrs),
+			}
+		}
+	case ir.Insert:
+		var cols []string
+		for _, c := range s.Cols {
+			if !rel.Attrs.Has(c.Name) {
+				return nil, posErr(n.dialect, n.program, c.Pos, "relation %s has no attribute %q", rel.Name, c.Name)
+			}
+			cols = append(cols, c.Name)
+		}
+		// On the DDL path the VALUES arity must line up — positional binds
+		// resolve against it. VALUES expressions themselves are free-form
+		// (literals, function calls); their identifiers are not read.
+		if n.tables != nil {
+			want := len(cols)
+			if want == 0 {
+				want = rel.Attrs.Len()
+			}
+			if len(s.Values) != want {
+				return nil, posErr(n.dialect, n.program, s.Pos, "INSERT into %s has %d values for %d columns", rel.Name, len(s.Values), want)
+			}
+		}
+		ws := btp.AttrsOf(rel.Attrs.Clone())
+		if len(cols) > 0 {
+			ws = btp.Attrs(cols...)
+		}
+		out = &btp.Stmt{Type: btp.Ins, Rel: rel.Name, WriteSet: ws}
+	case ir.Delete:
+		cond, err := n.foldCond(s.Where, rel)
+		if err != nil {
+			return nil, err
+		}
+		ws := btp.AttrsOf(rel.Attrs.Clone())
+		if cond.isKeyCondition(rel) {
+			out = &btp.Stmt{Type: btp.KeyDel, Rel: rel.Name, WriteSet: ws}
+		} else {
+			out = &btp.Stmt{Type: btp.PredDel, Rel: rel.Name, WriteSet: ws, PReadSet: btp.AttrsOf(cond.attrs)}
+		}
+	default:
+		return nil, fmt.Errorf("sqlbtp: program %s: unknown statement kind %v", n.program, s.Kind)
+	}
+	out.Name = s.Label
+	return out, nil
+}
+
+// attrNames validates identifier uses against the relation and returns
+// their names (duplicates preserved — the btp.Attrs constructor dedups).
+func (n *normalizer) attrNames(rel *relschema.Relation, ids []ir.Ident) ([]string, error) {
+	var out []string
+	for _, id := range ids {
+		if !rel.Attrs.Has(id.Name) {
+			return nil, posErr(n.dialect, n.program, id.Pos, "relation %s has no attribute %q", rel.Name, id.Name)
+		}
+		out = append(out, id.Name)
+	}
+	return out, nil
+}
+
+// condInfo summarizes a WHERE clause for the key-based / predicate-based
+// decision of Appendix A.
+type condInfo struct {
+	attrs         relschema.AttrSet
+	eqAttrs       relschema.AttrSet
+	conjunctiveEq bool
+}
+
+func (c condInfo) isKeyCondition(rel *relschema.Relation) bool {
+	return c.conjunctiveEq && rel.Key.SubsetOf(c.eqAttrs)
+}
+
+// foldCond folds a condition tree with the Appendix A algebra: AND unions
+// attributes and equality binds, OR keeps attributes but discards binds, a
+// comparison binds an attribute when it equates exactly one attribute use
+// with an attribute-free side.
+func (n *normalizer) foldCond(c ir.Cond, rel *relschema.Relation) (condInfo, error) {
+	if c == nil {
+		// No WHERE clause: a full-relation predicate over no attributes.
+		return condInfo{attrs: relschema.NewAttrSet()}, nil
+	}
+	switch v := c.(type) {
+	case *ir.CondAnd:
+		acc, err := n.foldCond(v.Terms[0], rel)
+		if err != nil {
+			return condInfo{}, err
+		}
+		for _, t := range v.Terms[1:] {
+			right, err := n.foldCond(t, rel)
+			if err != nil {
+				return condInfo{}, err
+			}
+			acc = condInfo{
+				attrs:         acc.attrs.Union(right.attrs),
+				eqAttrs:       acc.eqAttrs.Union(right.eqAttrs),
+				conjunctiveEq: acc.conjunctiveEq && right.conjunctiveEq,
+			}
+		}
+		return acc, nil
+	case *ir.CondOr:
+		acc, err := n.foldCond(v.Terms[0], rel)
+		if err != nil {
+			return condInfo{}, err
+		}
+		for _, t := range v.Terms[1:] {
+			right, err := n.foldCond(t, rel)
+			if err != nil {
+				return condInfo{}, err
+			}
+			acc = condInfo{attrs: acc.attrs.Union(right.attrs)}
+		}
+		return acc, nil
+	case *ir.CondCmp:
+		leftAttrs, err := n.resolveOperand(v.Left, rel)
+		if err != nil {
+			return condInfo{}, err
+		}
+		rightAttrs, err := n.resolveOperand(v.Right, rel)
+		if err != nil {
+			return condInfo{}, err
+		}
+		info := condInfo{attrs: relschema.NewAttrSet(append(append([]string(nil), leftAttrs...), rightAttrs...)...)}
+		if v.Op == "=" {
+			switch {
+			case len(leftAttrs) == 1 && len(rightAttrs) == 0:
+				info.eqAttrs = relschema.NewAttrSet(leftAttrs[0])
+				info.conjunctiveEq = true
+			case len(rightAttrs) == 1 && len(leftAttrs) == 0:
+				info.eqAttrs = relschema.NewAttrSet(rightAttrs[0])
+				info.conjunctiveEq = true
+			}
+		}
+		return info, nil
+	default:
+		return condInfo{}, fmt.Errorf("sqlbtp: program %s: unknown condition node %T", n.program, c)
+	}
+}
+
+// resolveOperand resolves one comparison side's identifier uses: top-level
+// uses must be attributes of the relation; uses inside function-call
+// arguments are filtered to attributes. Duplicate uses count twice — an
+// operand using the same attribute twice is not a bind.
+func (n *normalizer) resolveOperand(op ir.CondOperand, rel *relschema.Relation) ([]string, error) {
+	var out []string
+	for _, u := range op.Uses {
+		if u.InCall {
+			if rel.Attrs.Has(u.Name) {
+				out = append(out, u.Name)
+			}
+			continue
+		}
+		if !rel.Attrs.Has(u.Name) {
+			return nil, posErr(n.dialect, n.program, u.Pos, "%q is not an attribute of %s", u.Name, rel.Name)
+		}
+		out = append(out, u.Name)
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+// Package sqlbtp compiles transaction programs written in SQL into basic
+// transaction programs (internal/btp) — the Appendix A translation of the
+// paper, implemented as a three-stage compiler:
+//
+//	dialect front-end  →  shared IR  →  normalizer  →  BTP
+//
+// The front-ends (internal/sqlbtp/dialect and its postgres/mysql/sqlite
+// subpackages) handle one dialect's surface syntax each — quoting,
+// placeholder styles, RETURNING/LIMIT forms, type spellings — and lower
+// into the schema-free IR of internal/sqlbtp/ir. The normalizer in this
+// package resolves identifiers against the relational schema (either built
+// from the submitted DDL or supplied prebuilt), makes the key- versus
+// predicate-based decision, and — on the DDL path — infers foreign-key
+// annotations from REFERENCES clauses and the placeholder dataflow between
+// statements.
+//
+// Guarantees: the embedded dialect (PROGRAM headers, ":name" placeholders)
+// is accepted unchanged by Parse and ParseProgram; the same logical
+// transactions written in any supported dialect compile to identical BTP
+// trees. A WHERE clause that is a conjunction of equality comparisons
+// binding the primary-key attributes makes a statement key-based; any
+// other clause makes it predicate-based with PReadSet equal to the
+// attributes the condition mentions. Statements may carry the paper's
+// labels as comments ("-- q1"); unlabeled statements are numbered in
+// order. Explicit "-- @fk qj = f(qi)" pragmas override (and disable)
+// inference for their program; "-- @reads col, ..." adds driver-side reads
+// to the preceding statement.
+//
+// Rejections: multi-row INSERT, INSERT ... RETURNING (a BTP insert has no
+// read set), subqueries and joins (one relation per statement), and ALTER
+// TABLE. Every error is a *ParseError carrying dialect, program, line and
+// column.
+package sqlbtp
+
+import (
+	"fmt"
+
+	"repro/internal/btp"
+	"repro/internal/relschema"
+	"repro/internal/sqlbtp/dialect"
+	"repro/internal/sqlbtp/dialect/mysql"
+	"repro/internal/sqlbtp/dialect/postgres"
+	"repro/internal/sqlbtp/dialect/sqlite"
+	"repro/internal/sqlbtp/ir"
+)
+
+// Parse translates embedded-dialect source into BTP programs over the given
+// schema. FK annotations come only from explicit "-- @fk" pragmas; nothing
+// is inferred (the schema is prebuilt, so there is no DDL to infer from).
+func Parse(schema *relschema.Schema, src string) ([]*btp.Program, error) {
+	script, err := dialect.ParseScript(dialect.Embedded(), src)
+	if err != nil {
+		return nil, err
+	}
+	return lowerPrograms("embedded", schema, script.Programs, nil)
+}
+
+// ParseProgram translates a single embedded-dialect program.
+func ParseProgram(schema *relschema.Schema, src string) (*btp.Program, error) {
+	programs, err := Parse(schema, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(programs) != 1 {
+		return nil, fmt.Errorf("sqlbtp: expected exactly one program, found %d", len(programs))
+	}
+	return programs[0], nil
+}
+
+// lex is the embedded-dialect lexer, kept as an internal entry point for
+// the determinism tests.
+func lex(src string) ([]dialect.Token, error) {
+	return dialect.Lex(dialect.Embedded(), src)
+}
+
+// NamedSQL is one program submitted separately from the others: its name,
+// optional abbreviation, and body SQL (statements only, no header).
+type NamedSQL struct {
+	Name   string
+	Abbrev string
+	SQL    string
+}
+
+// Source is one compilation request for Compile.
+type Source struct {
+	// Dialect selects the front-end: "postgres", "mysql", "sqlite" or
+	// "embedded" (aliases like "postgresql", "pg", "mariadb", "sqlite3"
+	// are accepted; empty means embedded).
+	Dialect string
+	// Script is a self-contained script: DDL plus programs introduced by
+	// "-- program Name [as Abbrev]" directives (PROGRAM headers in the
+	// embedded dialect). Mutually exclusive with DDL/Programs.
+	Script string
+	// DDL holds CREATE TABLE statements; Programs the per-program SQL.
+	DDL      string
+	Programs []NamedSQL
+	// Schema, when non-nil, is used instead of building one from DDL; FK
+	// inference is disabled (annotations come only from explicit pragmas).
+	Schema *relschema.Schema
+}
+
+// Workload is a compiled source: the schema and the BTP programs.
+type Workload struct {
+	Schema   *relschema.Schema
+	Programs []*btp.Program
+}
+
+// profileFor maps a dialect tag to its profile.
+func profileFor(name string) (*dialect.Profile, error) {
+	switch name {
+	case "", "embedded":
+		return dialect.Embedded(), nil
+	case "postgres", "postgresql", "pg":
+		return postgres.Profile(), nil
+	case "mysql", "mariadb":
+		return mysql.Profile(), nil
+	case "sqlite", "sqlite3":
+		return sqlite.Profile(), nil
+	default:
+		return nil, fmt.Errorf("sqlbtp: unknown dialect %q (want postgres, mysql, sqlite or embedded)", name)
+	}
+}
+
+// Compile runs the full pipeline on one source: parse under the selected
+// dialect, build or adopt the schema, normalize every program to BTP, and
+// infer FK annotations (DDL path only; programs with explicit "-- @fk"
+// pragmas keep exactly those).
+func Compile(src Source) (*Workload, error) {
+	prof, err := profileFor(src.Dialect)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		tables   []*ir.Table
+		programs []*ir.Program
+	)
+	if src.Script != "" {
+		if src.DDL != "" || len(src.Programs) > 0 {
+			return nil, fmt.Errorf("sqlbtp: supply either a script or ddl+programs, not both")
+		}
+		script, err := dialect.ParseScript(prof, src.Script)
+		if err != nil {
+			return nil, err
+		}
+		tables, programs = script.Tables, script.Programs
+	} else {
+		if src.DDL != "" {
+			script, err := dialect.ParseScript(prof, src.DDL)
+			if err != nil {
+				return nil, err
+			}
+			if len(script.Programs) > 0 {
+				return nil, fmt.Errorf("sqlbtp: ddl must not contain programs (submit them via programs)")
+			}
+			tables = script.Tables
+		}
+		for _, np := range src.Programs {
+			if np.Name == "" {
+				return nil, fmt.Errorf("sqlbtp: every program needs a name")
+			}
+			prog, err := dialect.ParseProgramBody(prof, np.Name, np.Abbrev, np.SQL)
+			if err != nil {
+				return nil, err
+			}
+			programs = append(programs, prog)
+		}
+	}
+	schema := src.Schema
+	infer := false
+	if schema == nil {
+		if len(tables) == 0 {
+			return nil, fmt.Errorf("sqlbtp: the %s dialect needs CREATE TABLE ddl (or a prebuilt schema)", prof.Name)
+		}
+		schema, err = buildSchema(prof.Name, tables)
+		if err != nil {
+			return nil, err
+		}
+		infer = true
+	} else if len(tables) > 0 {
+		return nil, fmt.Errorf("sqlbtp: supply either ddl or a prebuilt schema, not both")
+	}
+	var inferTables []*ir.Table
+	if infer {
+		inferTables = tables
+	}
+	btpProgs, err := lowerPrograms(prof.Name, schema, programs, inferTables)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Schema: schema, Programs: btpProgs}, nil
+}

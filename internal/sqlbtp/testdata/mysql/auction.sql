@@ -1,0 +1,35 @@
+# Auction (Section 2, Figures 1 and 2) in MySQL syntax. Identifier case is
+# preserved without quoting; inputs are :name placeholders and the current
+# bid is captured into a @curbid session variable.
+
+CREATE TABLE Buyer (
+  id    INT PRIMARY KEY,
+  calls INT NOT NULL
+) ENGINE=InnoDB;
+
+CREATE TABLE Bids (
+  buyerId INT PRIMARY KEY,
+  bid     DECIMAL(10, 2) NOT NULL,
+  CONSTRAINT f1 FOREIGN KEY (buyerId) REFERENCES Buyer (id)
+) ENGINE=InnoDB;
+
+CREATE TABLE Log (
+  id      INT PRIMARY KEY,
+  buyerId INT NOT NULL,
+  bid     DECIMAL(10, 2) NOT NULL,
+  CONSTRAINT f2 FOREIGN KEY (buyerId) REFERENCES Buyer (id)
+) ENGINE=InnoDB;
+
+-- program FindBids as FB
+UPDATE Buyer SET calls = calls + 1 WHERE id = :b;  -- q1
+SELECT bid FROM Bids WHERE bid > :amount;          -- q2
+COMMIT;
+
+-- program PlaceBid as PB
+UPDATE Buyer SET calls = calls + 1 WHERE id = :b;         -- q3
+SELECT bid INTO @curbid FROM Bids WHERE buyerId = :b;     -- q4
+IF :amount > @curbid THEN
+  UPDATE Bids SET bid = :amount WHERE buyerId = :b;       -- q5
+END IF;
+INSERT INTO Log VALUES (:l, :b, :amount);                 -- q6
+COMMIT;

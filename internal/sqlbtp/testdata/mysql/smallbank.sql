@@ -1,0 +1,55 @@
+# SmallBank (Figure 10 / Appendix E.1) in MySQL syntax. MySQL preserves the
+# case of unquoted identifiers, so the schema names appear verbatim. Inputs
+# are :name placeholders, captured values are @name session variables.
+# MySQL has no RETURNING: the driver-side re-read of an updated balance is
+# modeled with a "-- @reads" pragma instead.
+
+CREATE TABLE Account (
+  Name       VARCHAR(64) PRIMARY KEY,
+  CustomerId INT NOT NULL,
+  CONSTRAINT fS FOREIGN KEY (CustomerId) REFERENCES Savings (CustomerId),
+  CONSTRAINT fC FOREIGN KEY (CustomerId) REFERENCES Checking (CustomerId)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4;
+
+CREATE TABLE Savings (
+  CustomerId INT PRIMARY KEY,
+  Balance    DECIMAL(10, 2) NOT NULL
+) ENGINE=InnoDB;
+
+CREATE TABLE `Checking` (
+  CustomerId INT PRIMARY KEY,
+  Balance    DECIMAL(10, 2) NOT NULL
+) ENGINE=InnoDB;
+
+-- program Amalgamate as Am
+SELECT CustomerId INTO @c1 FROM Account WHERE Name = :name1;  -- q1
+SELECT CustomerId INTO @c2 FROM Account WHERE Name = :name2;  -- q2
+UPDATE Savings SET Balance = 0 WHERE CustomerId = @c1;   -- q3
+-- @reads Balance
+UPDATE `Checking` SET Balance = 0 WHERE CustomerId = @c1;  -- q4
+-- @reads Balance
+UPDATE Checking SET Balance = Balance + @sv + @cv WHERE CustomerId = @c2;  -- q5
+COMMIT;
+
+-- program Balance as Bal
+SELECT CustomerId INTO @c FROM Account WHERE Name = :name;      -- q6
+SELECT Balance INTO @sb FROM Savings WHERE CustomerId = @c;   -- q7
+SELECT Balance INTO @cb FROM Checking WHERE CustomerId = @c;  -- q8
+COMMIT;
+
+-- program DepositChecking as DC
+SELECT CustomerId INTO @c FROM Account WHERE Name = :name;  -- q9
+UPDATE Checking SET Balance = Balance + :amount WHERE CustomerId = @c;  -- q10
+COMMIT;
+
+-- program TransactSavings as TS
+SELECT CustomerId INTO @c FROM Account WHERE Name = :name;  -- q11
+UPDATE Savings SET Balance = Balance + :amount WHERE CustomerId = @c;  -- q12
+COMMIT;
+
+-- program WriteCheck as WC
+SELECT CustomerId INTO @c FROM Account WHERE Name = :name;     -- q13
+SELECT Balance INTO @sb FROM Savings WHERE CustomerId = @c;    -- q14
+SELECT Balance INTO @cb FROM Checking WHERE CustomerId = @c;   -- q15
+UPDATE Checking SET Balance = :amount WHERE CustomerId = @c;   -- q16
+COMMIT;

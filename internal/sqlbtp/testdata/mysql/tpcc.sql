@@ -1,0 +1,251 @@
+# TPC-C (Figure 17 / Appendix E.2) in MySQL syntax. Identifier case is
+# preserved without quoting; inputs are :name placeholders and captured
+# values are @name session variables. MySQL has no RETURNING clause, so the
+# attributes an UPDATE reads back are declared with -- @reads pragmas.
+
+CREATE TABLE Warehouse (
+  w_id       INT PRIMARY KEY,
+  w_name     VARCHAR(10),
+  w_street_1 VARCHAR(20),
+  w_street_2 VARCHAR(20),
+  w_city     VARCHAR(20),
+  w_state    CHAR(2),
+  w_zip      CHAR(9),
+  w_tax      DECIMAL(4, 4),
+  w_ytd      DECIMAL(12, 2)
+) ENGINE=InnoDB;
+
+CREATE TABLE District (
+  d_id        INT,
+  d_w_id      INT,
+  d_name      VARCHAR(10),
+  d_street_1  VARCHAR(20),
+  d_street_2  VARCHAR(20),
+  d_city      VARCHAR(20),
+  d_state     CHAR(2),
+  d_zip       CHAR(9),
+  d_tax       DECIMAL(4, 4),
+  d_ytd       DECIMAL(12, 2),
+  d_next_o_id INT,
+  PRIMARY KEY (d_id, d_w_id),
+  CONSTRAINT f1 FOREIGN KEY (d_w_id) REFERENCES Warehouse (w_id)
+) ENGINE=InnoDB;
+
+CREATE TABLE Customer (
+  c_id           INT,
+  c_d_id         INT,
+  c_w_id         INT,
+  c_first        VARCHAR(16),
+  c_middle       CHAR(2),
+  c_last         VARCHAR(16),
+  c_street_1     VARCHAR(20),
+  c_street_2     VARCHAR(20),
+  c_city         VARCHAR(20),
+  c_state        CHAR(2),
+  c_zip          CHAR(9),
+  c_phone        CHAR(16),
+  c_since        DATETIME,
+  c_credit       CHAR(2),
+  c_credit_lim   DECIMAL(12, 2),
+  c_discount     DECIMAL(4, 4),
+  c_balance      DECIMAL(12, 2),
+  c_ytd_payment  DECIMAL(12, 2),
+  c_payment_cnt  INT,
+  c_delivery_cnt INT,
+  c_data         TEXT,
+  PRIMARY KEY (c_id, c_d_id, c_w_id),
+  CONSTRAINT f2 FOREIGN KEY (c_d_id, c_w_id) REFERENCES District (d_id, d_w_id)
+) ENGINE=InnoDB;
+
+CREATE TABLE History (
+  h_c_id   INT,
+  h_c_d_id INT,
+  h_c_w_id INT,
+  h_d_id   INT,
+  h_w_id   INT,
+  h_date   DATETIME,
+  h_amount DECIMAL(6, 2),
+  h_data   VARCHAR(24),
+  PRIMARY KEY (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date),
+  CONSTRAINT f3 FOREIGN KEY (h_c_id, h_c_d_id, h_c_w_id) REFERENCES Customer (c_id, c_d_id, c_w_id),
+  CONSTRAINT f4 FOREIGN KEY (h_d_id, h_w_id) REFERENCES District (d_id, d_w_id)
+) ENGINE=InnoDB;
+
+CREATE TABLE New_Order (
+  no_o_id INT,
+  no_d_id INT,
+  no_w_id INT,
+  PRIMARY KEY (no_o_id, no_d_id, no_w_id),
+  CONSTRAINT f5 FOREIGN KEY (no_o_id, no_d_id, no_w_id) REFERENCES Orders (o_id, o_d_id, o_w_id)
+) ENGINE=InnoDB;
+
+CREATE TABLE Orders (
+  o_id         INT,
+  o_d_id       INT,
+  o_w_id       INT,
+  o_c_id       INT,
+  o_entry_id   DATETIME,
+  o_carrier_id INT,
+  o_ol_cnt     INT,
+  o_all_local  INT,
+  PRIMARY KEY (o_id, o_d_id, o_w_id),
+  CONSTRAINT f6 FOREIGN KEY (o_d_id, o_w_id) REFERENCES District (d_id, d_w_id),
+  CONSTRAINT f7 FOREIGN KEY (o_c_id, o_d_id, o_w_id) REFERENCES Customer (c_id, c_d_id, c_w_id)
+) ENGINE=InnoDB;
+
+CREATE TABLE Order_Line (
+  ol_o_id        INT,
+  ol_d_id        INT,
+  ol_w_id        INT,
+  ol_number      INT,
+  ol_i_id        INT,
+  ol_supply_w_id INT,
+  ol_delivery_d  DATETIME,
+  ol_quantity    INT,
+  ol_amount      DECIMAL(6, 2),
+  ol_dist_info   CHAR(24),
+  PRIMARY KEY (ol_o_id, ol_d_id, ol_w_id, ol_number),
+  CONSTRAINT f8 FOREIGN KEY (ol_o_id, ol_d_id, ol_w_id) REFERENCES Orders (o_id, o_d_id, o_w_id),
+  CONSTRAINT f9 FOREIGN KEY (ol_i_id) REFERENCES Item (i_id),
+  CONSTRAINT f10 FOREIGN KEY (ol_supply_w_id) REFERENCES Warehouse (w_id)
+) ENGINE=InnoDB;
+
+CREATE TABLE Item (
+  i_id    INT PRIMARY KEY,
+  i_im_id INT,
+  i_name  VARCHAR(24),
+  i_price DECIMAL(5, 2),
+  i_data  VARCHAR(50)
+) ENGINE=InnoDB;
+
+CREATE TABLE Stock (
+  s_i_id       INT,
+  s_w_id       INT,
+  s_quantity   INT,
+  s_dist_01    CHAR(24),
+  s_dist_02    CHAR(24),
+  s_dist_03    CHAR(24),
+  s_dist_04    CHAR(24),
+  s_dist_05    CHAR(24),
+  s_dist_06    CHAR(24),
+  s_dist_07    CHAR(24),
+  s_dist_08    CHAR(24),
+  s_dist_09    CHAR(24),
+  s_dist_10    CHAR(24),
+  s_ytd        DECIMAL(8, 0),
+  s_order_cnt  INT,
+  s_remote_cnt INT,
+  s_data       VARCHAR(50),
+  PRIMARY KEY (s_i_id, s_w_id),
+  CONSTRAINT f11 FOREIGN KEY (s_i_id) REFERENCES Item (i_id),
+  CONSTRAINT f12 FOREIGN KEY (s_w_id) REFERENCES Warehouse (w_id)
+) ENGINE=InnoDB;
+
+-- program Delivery as Del
+# Inputs: :d = d_id, :w = w_id, :carrier = carrier id, :ddate = delivery date.
+REPEAT
+  SELECT no_o_id INTO @o FROM New_Order
+    WHERE no_d_id = :d AND no_w_id = :w ORDER BY no_o_id LIMIT 1;  -- q1
+  DELETE FROM New_Order
+    WHERE no_o_id = @o AND no_d_id = :d AND no_w_id = :w;  -- q2
+  SELECT o_c_id INTO @c FROM Orders
+    WHERE o_id = @o AND o_d_id = :d AND o_w_id = :w;  -- q3
+  UPDATE Orders SET o_carrier_id = :carrier
+    WHERE o_id = @o AND o_d_id = :d AND o_w_id = :w;  -- q4
+  UPDATE Order_Line SET ol_delivery_d = :ddate
+    WHERE ol_o_id = @o AND ol_d_id = :d AND ol_w_id = :w;  -- q5
+  SELECT sum(ol_amount) INTO @amount FROM Order_Line
+    WHERE ol_o_id = @o AND ol_d_id = :d AND ol_w_id = :w;  -- q6
+  UPDATE Customer
+    SET c_balance = c_balance + @amount, c_delivery_cnt = c_delivery_cnt + 1
+    WHERE c_id = @c AND c_d_id = :d AND c_w_id = :w;  -- q7
+END REPEAT;
+COMMIT;
+
+-- program NewOrder as NO
+# Inputs: :c = c_id, :d = d_id, :w = w_id, :entry = entry date,
+# :olcnt = ol_cnt, :alllocal = all_local; per line item :i, :qty, :number,
+# :amount, :distinfo. The new order id is captured into @o.
+SELECT c_credit, c_discount, c_last FROM Customer
+  WHERE c_id = :c AND c_d_id = :d AND c_w_id = :w;  -- q8
+SELECT w_tax FROM Warehouse WHERE w_id = :w;  -- q9
+UPDATE District SET d_next_o_id = d_next_o_id + 1
+  WHERE d_id = :d AND d_w_id = :w;  -- q10
+-- @reads d_next_o_id, d_tax
+INSERT INTO Orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_id, o_ol_cnt, o_all_local)
+  VALUES (@o, :d, :w, :c, :entry, :olcnt, :alllocal);  -- q11
+INSERT INTO New_Order VALUES (@o, :d, :w);  -- q12
+REPEAT
+  SELECT i_name, i_price, i_data FROM Item WHERE i_id = :i;  -- q13
+  UPDATE Stock
+    SET s_quantity = s_quantity - :qty, s_ytd = s_ytd + :qty,
+        s_order_cnt = s_order_cnt + 1, s_remote_cnt = s_remote_cnt + 1
+    WHERE s_i_id = :i AND s_w_id = :w;  -- q14
+  -- @reads s_dist_01, s_dist_02, s_dist_03, s_dist_04, s_dist_05,
+  -- @reads s_dist_06, s_dist_07, s_dist_08, s_dist_09, s_dist_10, s_data
+  INSERT INTO Order_Line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id,
+                          ol_supply_w_id, ol_quantity, ol_amount, ol_dist_info)
+    VALUES (@o, :d, :w, :number, :i, :w, :qty, :amount, :distinfo);  -- q15
+END REPEAT;
+COMMIT;
+
+-- program OrderStatus as OS
+# Inputs: :last = c_last, :d = d_id, :w = w_id; @c = c_id (direct lookup).
+IF @byname THEN
+  SELECT c_id, c_first, c_middle, c_balance INTO @c, @first, @middle, @bal
+    FROM Customer WHERE c_d_id = :d AND c_w_id = :w AND c_last = :last;  -- q16
+ELSE
+  SELECT c_first, c_middle, c_last, c_balance FROM Customer
+    WHERE c_id = @c AND c_d_id = :d AND c_w_id = :w;  -- q17
+END IF;
+SELECT o_id, o_entry_id, o_carrier_id INTO @o, @entry, @carrier FROM Orders
+  WHERE o_c_id = @c AND o_d_id = :d AND o_w_id = :w
+  ORDER BY o_id DESC LIMIT 1;  -- q18
+SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d
+  FROM Order_Line
+  WHERE ol_o_id = @o AND ol_d_id = :d AND ol_w_id = :w;  -- q19
+COMMIT;
+
+-- program Payment as Pay
+# Inputs: :w = w_id, :d = d_id, :amount = amount. As in the PostgreSQL
+# corpus, Figure 17's exact annotation set is pinned with explicit pragmas,
+# which disable inference for this program.
+UPDATE Warehouse SET w_ytd = w_ytd + :amount WHERE w_id = :w;  -- q20
+-- @reads w_name, w_street_1, w_street_2, w_city, w_state, w_zip
+UPDATE District SET d_ytd = d_ytd + :amount
+  WHERE d_id = :d AND d_w_id = :w;  -- q21
+-- @reads d_name, d_street_1, d_street_2, d_city, d_state, d_zip
+IF @byname THEN
+  SELECT c_id INTO @c FROM Customer
+    WHERE c_d_id = :d AND c_w_id = :w AND c_last = :last;  -- q22
+END IF;
+UPDATE Customer
+  SET c_balance = c_balance - :amount, c_ytd_payment = c_ytd_payment + :amount,
+      c_payment_cnt = :pcnt
+  WHERE c_id = @c AND c_d_id = :d AND c_w_id = :w;  -- q23
+-- @reads c_first, c_middle, c_last, c_street_1, c_street_2, c_city,
+-- @reads c_state, c_zip, c_phone, c_since, c_credit, c_credit_lim, c_discount
+IF @badcredit THEN
+  SELECT c_data INTO @cdata FROM Customer
+    WHERE c_id = @c AND c_d_id = :d AND c_w_id = :w;  -- q24
+  UPDATE Customer SET c_data = @newdata
+    WHERE c_id = @c AND c_d_id = :d AND c_w_id = :w;  -- q25
+END IF;
+INSERT INTO History VALUES (@c, :d, :w, :d, :w, @hdate, :amount, @hdata);  -- q26
+-- @fk q20 = f1(q21)
+-- @fk q21 = f2(q22)
+-- @fk q21 = f2(q23)
+-- @fk q21 = f2(q24)
+-- @fk q21 = f2(q25)
+-- @fk q23 = f3(q26)
+-- @fk q25 = f3(q26)
+-- @fk q21 = f4(q26)
+COMMIT;
+
+-- program StockLevel as SL
+# Inputs: :d = d_id, :w = w_id, :threshold = quantity threshold.
+SELECT d_next_o_id INTO @o FROM District WHERE d_id = :d AND d_w_id = :w;  -- q27
+SELECT ol_i_id FROM Order_Line
+  WHERE ol_w_id = :w AND ol_d_id = :d AND ol_o_id >= @o - 20;  -- q28
+SELECT s_i_id FROM Stock WHERE s_w_id = :w AND s_quantity < :threshold;  -- q29
+COMMIT;

@@ -1,0 +1,35 @@
+-- Auction (Section 2, Figures 1 and 2) in PostgreSQL syntax. The schema
+-- names are mixed-case, so every identifier that carries upper case is
+-- double-quoted; f1 and f2 are declared as column-level REFERENCES
+-- constraints and the program annotations q3 = f1(q4), q3 = f1(q5),
+-- q3 = f2(q6) are inferred from the placeholder dataflow.
+
+CREATE TABLE "Buyer" (
+  id    integer PRIMARY KEY,
+  calls integer NOT NULL
+);
+
+CREATE TABLE "Bids" (
+  "buyerId" integer PRIMARY KEY CONSTRAINT f1 REFERENCES "Buyer" (id),
+  bid       numeric(10, 2) NOT NULL
+);
+
+CREATE TABLE "Log" (
+  id        integer PRIMARY KEY,
+  "buyerId" integer NOT NULL CONSTRAINT f2 REFERENCES "Buyer" (id),
+  bid       numeric(10, 2) NOT NULL
+);
+
+-- program FindBids as FB
+UPDATE "Buyer" SET calls = calls + 1 WHERE id = $1;  -- q1
+SELECT bid FROM "Bids" WHERE bid > $2;               -- q2
+COMMIT;
+
+-- program PlaceBid as PB
+UPDATE "Buyer" SET calls = calls + 1 WHERE id = $1;            -- q3
+SELECT bid INTO :curbid FROM "Bids" WHERE "buyerId" = $1;      -- q4
+IF $2 > :curbid THEN
+  UPDATE "Bids" SET bid = $2 WHERE "buyerId" = $1;             -- q5
+ENDIF;
+INSERT INTO "Log" VALUES ($3, $1, $2);                         -- q6
+COMMIT;

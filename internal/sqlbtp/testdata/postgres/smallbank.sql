@@ -1,0 +1,53 @@
+-- SmallBank (Figure 10 / Appendix E.1) in PostgreSQL syntax. Unquoted
+-- identifiers fold to lower case in PostgreSQL, so the mixed-case schema
+-- names are double-quoted throughout. Inputs are $n placeholders, captured
+-- values are :name placeholders; FK annotations are inferred from the
+-- REFERENCES clauses and the placeholder dataflow.
+
+CREATE TABLE "Account" (
+  "Name"       varchar(64) PRIMARY KEY,
+  "CustomerId" integer NOT NULL,
+  CONSTRAINT "fS" FOREIGN KEY ("CustomerId") REFERENCES "Savings" ("CustomerId"),
+  CONSTRAINT "fC" FOREIGN KEY ("CustomerId") REFERENCES "Checking" ("CustomerId")
+);
+
+CREATE TABLE "Savings" (
+  "CustomerId" integer PRIMARY KEY,
+  "Balance"    numeric(10, 2) NOT NULL
+);
+
+CREATE TABLE "Checking" (
+  "CustomerId" integer PRIMARY KEY,
+  "Balance"    numeric(10, 2) NOT NULL
+);
+
+-- program Amalgamate as Am
+SELECT "CustomerId" INTO :c1 FROM "Account" WHERE "Name" = $1;  -- q1
+SELECT "CustomerId" INTO :c2 FROM "Account" WHERE "Name" = $2;  -- q2
+UPDATE "Savings" SET "Balance" = 0 WHERE "CustomerId" = :c1 RETURNING "Balance" INTO :sv;   -- q3
+UPDATE "Checking" SET "Balance" = 0 WHERE "CustomerId" = :c1 RETURNING "Balance" INTO :cv;  -- q4
+UPDATE "Checking" SET "Balance" = "Balance" + :sv + :cv WHERE "CustomerId" = :c2;  -- q5
+COMMIT;
+
+-- program Balance as Bal
+SELECT "CustomerId" INTO :c FROM "Account" WHERE "Name" = $1;      -- q6
+SELECT "Balance" INTO :sb FROM "Savings" WHERE "CustomerId" = :c;   -- q7
+SELECT "Balance" INTO :cb FROM "Checking" WHERE "CustomerId" = :c;  -- q8
+COMMIT;
+
+-- program DepositChecking as DC
+SELECT "CustomerId" INTO :c FROM "Account" WHERE "Name" = $1;  -- q9
+UPDATE "Checking" SET "Balance" = "Balance" + $2 WHERE "CustomerId" = :c;  -- q10
+COMMIT;
+
+-- program TransactSavings as TS
+SELECT "CustomerId" INTO :c FROM "Account" WHERE "Name" = $1;  -- q11
+UPDATE "Savings" SET "Balance" = "Balance" + $2 WHERE "CustomerId" = :c;  -- q12
+COMMIT;
+
+-- program WriteCheck as WC
+SELECT "CustomerId" INTO :c FROM "Account" WHERE "Name" = $1;       -- q13
+SELECT "Balance" INTO :sb FROM "Savings" WHERE "CustomerId" = :c;   -- q14
+SELECT "Balance" INTO :cb FROM "Checking" WHERE "CustomerId" = :c;  -- q15
+UPDATE "Checking" SET "Balance" = $2 WHERE "CustomerId" = :c;       -- q16
+COMMIT;

@@ -1,0 +1,33 @@
+-- Auction (Section 2, Figures 1 and 2) in SQLite syntax. Inputs are ?N
+-- placeholders; the current bid is captured with RETURNING-style INTO.
+-- Column types are flexible and f1/f2 are column-level REFERENCES.
+
+CREATE TABLE Buyer (
+  id    INTEGER PRIMARY KEY,
+  calls INTEGER NOT NULL
+);
+
+CREATE TABLE Bids (
+  buyerId INTEGER PRIMARY KEY CONSTRAINT f1 REFERENCES Buyer (id),
+  bid     REAL NOT NULL
+);
+
+CREATE TABLE Log (
+  id      INTEGER PRIMARY KEY,
+  buyerId INTEGER NOT NULL CONSTRAINT f2 REFERENCES Buyer,
+  bid     REAL NOT NULL
+);
+
+-- program FindBids as FB
+UPDATE Buyer SET calls = calls + 1 WHERE id = ?1;  -- q1
+SELECT bid FROM Bids WHERE bid > ?2;               -- q2
+COMMIT;
+
+-- program PlaceBid as PB
+UPDATE Buyer SET calls = calls + 1 WHERE id = ?1;      -- q3
+SELECT bid INTO :curbid FROM Bids WHERE buyerId = ?1;  -- q4
+IF ?2 > :curbid THEN
+  UPDATE Bids SET bid = ?2 WHERE buyerId = ?1;         -- q5
+ENDIF;
+INSERT INTO Log VALUES (?3, ?1, ?2);                   -- q6
+COMMIT;

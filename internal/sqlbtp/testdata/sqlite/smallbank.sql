@@ -1,0 +1,52 @@
+-- SmallBank (Figure 10 / Appendix E.1) in SQLite syntax. SQLite preserves
+-- identifier case and accepts any of "double quotes", `backticks` or
+-- [brackets] as quoting; typing is flexible. Inputs are ?N placeholders,
+-- captured values are :name placeholders.
+
+CREATE TABLE Account (
+  Name       TEXT PRIMARY KEY,
+  CustomerId INTEGER NOT NULL,
+  CONSTRAINT fS FOREIGN KEY (CustomerId) REFERENCES Savings (CustomerId),
+  CONSTRAINT fC FOREIGN KEY (CustomerId) REFERENCES Checking (CustomerId)
+) WITHOUT ROWID;
+
+CREATE TABLE Savings (
+  CustomerId INTEGER PRIMARY KEY,
+  Balance    REAL NOT NULL
+);
+
+CREATE TABLE [Checking] (
+  CustomerId INTEGER PRIMARY KEY,
+  `Balance`
+);
+
+-- program Amalgamate as Am
+SELECT CustomerId INTO :c1 FROM Account WHERE Name = ?1;  -- q1
+SELECT CustomerId INTO :c2 FROM Account WHERE Name = ?2;  -- q2
+UPDATE Savings SET Balance = 0 WHERE CustomerId = :c1 RETURNING Balance INTO :sv;     -- q3
+UPDATE [Checking] SET Balance = 0 WHERE CustomerId = :c1 RETURNING Balance INTO :cv;  -- q4
+UPDATE Checking SET Balance = Balance + :sv + :cv WHERE CustomerId = :c2;  -- q5
+COMMIT;
+
+-- program Balance as Bal
+SELECT CustomerId INTO :c FROM Account WHERE Name = ?1;      -- q6
+SELECT Balance INTO :sb FROM Savings WHERE CustomerId = :c;   -- q7
+SELECT Balance INTO :cb FROM Checking WHERE CustomerId = :c;  -- q8
+COMMIT;
+
+-- program DepositChecking as DC
+SELECT CustomerId INTO :c FROM Account WHERE Name = ?1;  -- q9
+UPDATE Checking SET Balance = Balance + ?2 WHERE CustomerId = :c;  -- q10
+COMMIT;
+
+-- program TransactSavings as TS
+SELECT CustomerId INTO :c FROM Account WHERE Name = ?1;  -- q11
+UPDATE Savings SET Balance = Balance + ?2 WHERE CustomerId = :c;  -- q12
+COMMIT;
+
+-- program WriteCheck as WC
+SELECT CustomerId INTO :c FROM "Account" WHERE Name = ?1;    -- q13
+SELECT Balance INTO :sb FROM Savings WHERE CustomerId = :c;   -- q14
+SELECT Balance INTO :cb FROM Checking WHERE CustomerId = :c;  -- q15
+UPDATE Checking SET Balance = ?2 WHERE CustomerId = :c;       -- q16
+COMMIT;

@@ -1,0 +1,254 @@
+-- TPC-C (Figure 17 / Appendix E.2) in SQLite syntax. SQLite preserves
+-- identifier case without quoting and typing is flexible. Inputs are ?N
+-- placeholders, captured values are :name placeholders, and UPDATEs that
+-- read rows back use RETURNING ... INTO as in the PostgreSQL corpus.
+
+CREATE TABLE Warehouse (
+  w_id       INTEGER PRIMARY KEY,
+  w_name     TEXT,
+  w_street_1 TEXT,
+  w_street_2 TEXT,
+  w_city     TEXT,
+  w_state    TEXT,
+  w_zip      TEXT,
+  w_tax      REAL,
+  w_ytd      REAL
+);
+
+CREATE TABLE District (
+  d_id        INTEGER,
+  d_w_id      INTEGER,
+  d_name      TEXT,
+  d_street_1  TEXT,
+  d_street_2  TEXT,
+  d_city      TEXT,
+  d_state     TEXT,
+  d_zip       TEXT,
+  d_tax       REAL,
+  d_ytd       REAL,
+  d_next_o_id INTEGER,
+  PRIMARY KEY (d_id, d_w_id),
+  CONSTRAINT f1 FOREIGN KEY (d_w_id) REFERENCES Warehouse (w_id)
+) WITHOUT ROWID;
+
+CREATE TABLE Customer (
+  c_id           INTEGER,
+  c_d_id         INTEGER,
+  c_w_id         INTEGER,
+  c_first        TEXT,
+  c_middle       TEXT,
+  c_last         TEXT,
+  c_street_1     TEXT,
+  c_street_2     TEXT,
+  c_city         TEXT,
+  c_state        TEXT,
+  c_zip          TEXT,
+  c_phone        TEXT,
+  c_since        TEXT,
+  c_credit       TEXT,
+  c_credit_lim   REAL,
+  c_discount     REAL,
+  c_balance      REAL,
+  c_ytd_payment  REAL,
+  c_payment_cnt  INTEGER,
+  c_delivery_cnt INTEGER,
+  c_data         TEXT,
+  PRIMARY KEY (c_id, c_d_id, c_w_id),
+  CONSTRAINT f2 FOREIGN KEY (c_d_id, c_w_id) REFERENCES District (d_id, d_w_id)
+) WITHOUT ROWID;
+
+CREATE TABLE History (
+  h_c_id   INTEGER,
+  h_c_d_id INTEGER,
+  h_c_w_id INTEGER,
+  h_d_id   INTEGER,
+  h_w_id   INTEGER,
+  h_date   TEXT,
+  h_amount REAL,
+  h_data   TEXT,
+  PRIMARY KEY (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date),
+  CONSTRAINT f3 FOREIGN KEY (h_c_id, h_c_d_id, h_c_w_id) REFERENCES Customer (c_id, c_d_id, c_w_id),
+  CONSTRAINT f4 FOREIGN KEY (h_d_id, h_w_id) REFERENCES District (d_id, d_w_id)
+);
+
+CREATE TABLE New_Order (
+  no_o_id INTEGER,
+  no_d_id INTEGER,
+  no_w_id INTEGER,
+  PRIMARY KEY (no_o_id, no_d_id, no_w_id),
+  CONSTRAINT f5 FOREIGN KEY (no_o_id, no_d_id, no_w_id) REFERENCES Orders (o_id, o_d_id, o_w_id)
+) WITHOUT ROWID;
+
+CREATE TABLE Orders (
+  o_id         INTEGER,
+  o_d_id       INTEGER,
+  o_w_id       INTEGER,
+  o_c_id       INTEGER,
+  o_entry_id   TEXT,
+  o_carrier_id INTEGER,
+  o_ol_cnt     INTEGER,
+  o_all_local  INTEGER,
+  PRIMARY KEY (o_id, o_d_id, o_w_id),
+  CONSTRAINT f6 FOREIGN KEY (o_d_id, o_w_id) REFERENCES District (d_id, d_w_id),
+  CONSTRAINT f7 FOREIGN KEY (o_c_id, o_d_id, o_w_id) REFERENCES Customer (c_id, c_d_id, c_w_id)
+) WITHOUT ROWID;
+
+CREATE TABLE Order_Line (
+  ol_o_id        INTEGER,
+  ol_d_id        INTEGER,
+  ol_w_id        INTEGER,
+  ol_number      INTEGER,
+  ol_i_id        INTEGER,
+  ol_supply_w_id INTEGER,
+  ol_delivery_d  TEXT,
+  ol_quantity    INTEGER,
+  ol_amount      REAL,
+  ol_dist_info   TEXT,
+  PRIMARY KEY (ol_o_id, ol_d_id, ol_w_id, ol_number),
+  CONSTRAINT f8 FOREIGN KEY (ol_o_id, ol_d_id, ol_w_id) REFERENCES Orders (o_id, o_d_id, o_w_id),
+  CONSTRAINT f9 FOREIGN KEY (ol_i_id) REFERENCES Item (i_id),
+  CONSTRAINT f10 FOREIGN KEY (ol_supply_w_id) REFERENCES Warehouse (w_id)
+) WITHOUT ROWID;
+
+CREATE TABLE Item (
+  i_id    INTEGER PRIMARY KEY,
+  i_im_id INTEGER,
+  i_name  TEXT,
+  i_price REAL,
+  i_data  TEXT
+);
+
+CREATE TABLE Stock (
+  s_i_id       INTEGER,
+  s_w_id       INTEGER,
+  s_quantity   INTEGER,
+  s_dist_01    TEXT,
+  s_dist_02    TEXT,
+  s_dist_03    TEXT,
+  s_dist_04    TEXT,
+  s_dist_05    TEXT,
+  s_dist_06    TEXT,
+  s_dist_07    TEXT,
+  s_dist_08    TEXT,
+  s_dist_09    TEXT,
+  s_dist_10    TEXT,
+  s_ytd        REAL,
+  s_order_cnt  INTEGER,
+  s_remote_cnt INTEGER,
+  s_data       TEXT,
+  PRIMARY KEY (s_i_id, s_w_id),
+  CONSTRAINT f11 FOREIGN KEY (s_i_id) REFERENCES Item (i_id),
+  CONSTRAINT f12 FOREIGN KEY (s_w_id) REFERENCES Warehouse (w_id)
+) WITHOUT ROWID;
+
+-- program Delivery as Del
+-- Inputs: ?1 = d_id, ?2 = w_id, ?3 = carrier id, ?4 = delivery date.
+REPEAT
+  SELECT no_o_id INTO :o FROM New_Order
+    WHERE no_d_id = ?1 AND no_w_id = ?2 ORDER BY no_o_id LIMIT 1;  -- q1
+  DELETE FROM New_Order
+    WHERE no_o_id = :o AND no_d_id = ?1 AND no_w_id = ?2;  -- q2
+  SELECT o_c_id INTO :c FROM Orders
+    WHERE o_id = :o AND o_d_id = ?1 AND o_w_id = ?2;  -- q3
+  UPDATE Orders SET o_carrier_id = ?3
+    WHERE o_id = :o AND o_d_id = ?1 AND o_w_id = ?2;  -- q4
+  UPDATE Order_Line SET ol_delivery_d = ?4
+    WHERE ol_o_id = :o AND ol_d_id = ?1 AND ol_w_id = ?2;  -- q5
+  SELECT sum(ol_amount) INTO :amount FROM Order_Line
+    WHERE ol_o_id = :o AND ol_d_id = ?1 AND ol_w_id = ?2;  -- q6
+  UPDATE Customer
+    SET c_balance = c_balance + :amount, c_delivery_cnt = c_delivery_cnt + 1
+    WHERE c_id = :c AND c_d_id = ?1 AND c_w_id = ?2;  -- q7
+END REPEAT;
+COMMIT;
+
+-- program NewOrder as NO
+-- Inputs: ?1 = c_id, ?2 = d_id, ?3 = w_id, ?4 = entry date, ?5 = ol_cnt,
+-- ?6 = all_local; per line item :i, :qty, :number, :amount, :distinfo.
+SELECT c_credit, c_discount, c_last FROM Customer
+  WHERE c_id = ?1 AND c_d_id = ?2 AND c_w_id = ?3;  -- q8
+SELECT w_tax FROM Warehouse WHERE w_id = ?3;  -- q9
+UPDATE District SET d_next_o_id = d_next_o_id + 1
+  WHERE d_id = ?2 AND d_w_id = ?3
+  RETURNING d_next_o_id, d_tax INTO :o, :dtax;  -- q10
+INSERT INTO Orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_id, o_ol_cnt, o_all_local)
+  VALUES (:o, ?2, ?3, ?1, ?4, ?5, ?6);  -- q11
+INSERT INTO New_Order VALUES (:o, ?2, ?3);  -- q12
+REPEAT
+  SELECT i_name, i_price, i_data FROM Item WHERE i_id = :i;  -- q13
+  UPDATE Stock
+    SET s_quantity = s_quantity - :qty, s_ytd = s_ytd + :qty,
+        s_order_cnt = s_order_cnt + 1, s_remote_cnt = s_remote_cnt + 1
+    WHERE s_i_id = :i AND s_w_id = ?3
+    RETURNING s_dist_01, s_dist_02, s_dist_03, s_dist_04, s_dist_05,
+              s_dist_06, s_dist_07, s_dist_08, s_dist_09, s_dist_10, s_data
+    INTO :d01, :d02, :d03, :d04, :d05, :d06, :d07, :d08, :d09, :d10, :sdata;  -- q14
+  INSERT INTO Order_Line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id,
+                          ol_supply_w_id, ol_quantity, ol_amount, ol_dist_info)
+    VALUES (:o, ?2, ?3, :number, :i, ?3, :qty, :amount, :distinfo);  -- q15
+END REPEAT;
+COMMIT;
+
+-- program OrderStatus as OS
+-- Inputs: ?1 = c_last, ?2 = d_id, ?3 = w_id; :c = c_id (direct lookup).
+IF :byname THEN
+  SELECT c_id, c_first, c_middle, c_balance INTO :c, :first, :middle, :bal
+    FROM Customer WHERE c_d_id = ?2 AND c_w_id = ?3 AND c_last = ?1;  -- q16
+ELSE
+  SELECT c_first, c_middle, c_last, c_balance FROM Customer
+    WHERE c_id = :c AND c_d_id = ?2 AND c_w_id = ?3;  -- q17
+ENDIF;
+SELECT o_id, o_entry_id, o_carrier_id INTO :o, :entry, :carrier FROM Orders
+  WHERE o_c_id = :c AND o_d_id = ?2 AND o_w_id = ?3
+  ORDER BY o_id DESC LIMIT 1;  -- q18
+SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d
+  FROM Order_Line
+  WHERE ol_o_id = :o AND ol_d_id = ?2 AND ol_w_id = ?3;  -- q19
+COMMIT;
+
+-- program Payment as Pay
+-- Inputs: ?1 = w_id, ?2 = d_id, ?3 = amount. As in the PostgreSQL corpus,
+-- Figure 17's exact annotation set is pinned with explicit pragmas, which
+-- disable inference for this program.
+UPDATE Warehouse SET w_ytd = w_ytd + ?3 WHERE w_id = ?1
+  RETURNING w_name, w_street_1, w_street_2, w_city, w_state, w_zip
+  INTO :wname, :wstreet1, :wstreet2, :wcity, :wstate, :wzip;  -- q20
+UPDATE District SET d_ytd = d_ytd + ?3 WHERE d_id = ?2 AND d_w_id = ?1
+  RETURNING d_name, d_street_1, d_street_2, d_city, d_state, d_zip
+  INTO :dname, :dstreet1, :dstreet2, :dcity, :dstate, :dzip;  -- q21
+IF :byname THEN
+  SELECT c_id INTO :c FROM Customer
+    WHERE c_d_id = ?2 AND c_w_id = ?1 AND c_last = :last;  -- q22
+ENDIF;
+UPDATE Customer
+  SET c_balance = c_balance - ?3, c_ytd_payment = c_ytd_payment + ?3,
+      c_payment_cnt = :pcnt
+  WHERE c_id = :c AND c_d_id = ?2 AND c_w_id = ?1
+  RETURNING c_first, c_middle, c_last, c_street_1, c_street_2, c_city,
+            c_state, c_zip, c_phone, c_since, c_credit, c_credit_lim, c_discount
+  INTO :first, :middle, :lastname, :street1, :street2, :city,
+       :state, :zip, :phone, :since, :credit, :creditlim, :discount;  -- q23
+IF :badcredit THEN
+  SELECT c_data INTO :cdata FROM Customer
+    WHERE c_id = :c AND c_d_id = ?2 AND c_w_id = ?1;  -- q24
+  UPDATE Customer SET c_data = :newdata
+    WHERE c_id = :c AND c_d_id = ?2 AND c_w_id = ?1;  -- q25
+ENDIF;
+INSERT INTO History VALUES (:c, ?2, ?1, ?2, ?1, :hdate, ?3, :hdata);  -- q26
+-- @fk q20 = f1(q21)
+-- @fk q21 = f2(q22)
+-- @fk q21 = f2(q23)
+-- @fk q21 = f2(q24)
+-- @fk q21 = f2(q25)
+-- @fk q23 = f3(q26)
+-- @fk q25 = f3(q26)
+-- @fk q21 = f4(q26)
+COMMIT;
+
+-- program StockLevel as SL
+-- Inputs: ?1 = d_id, ?2 = w_id, ?3 = quantity threshold.
+SELECT d_next_o_id INTO :o FROM District WHERE d_id = ?1 AND d_w_id = ?2;  -- q27
+SELECT ol_i_id FROM Order_Line
+  WHERE ol_w_id = ?2 AND ol_d_id = ?1 AND ol_o_id >= :o - 20;  -- q28
+SELECT s_i_id FROM Stock WHERE s_w_id = ?2 AND s_quantity < ?3;  -- q29
+COMMIT;

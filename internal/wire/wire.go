@@ -148,6 +148,38 @@ type RegisterWorkloadRequest struct {
 	ProgramsSQL string  `json:"programs_sql,omitempty"`
 }
 
+// FromSQLRequest registers a workload from dialect SQL via
+// POST /v1/workloads:fromSQL. Either Script (a self-contained script: DDL
+// plus programs introduced by "-- program Name [as Abbrev]" directives) or
+// DDL + Programs (CREATE TABLE statements separate from per-program
+// bodies), never both. Dialect selects the front-end: "postgres", "mysql",
+// "sqlite" or "embedded" (empty means embedded).
+type FromSQLRequest struct {
+	Dialect  string       `json:"dialect,omitempty"`
+	Script   string       `json:"script,omitempty"`
+	DDL      string       `json:"ddl,omitempty"`
+	Programs []SQLProgram `json:"programs,omitempty"`
+}
+
+// SQLProgram is one program submitted separately from the DDL: its name,
+// optional abbreviation and body SQL (statements only, no header).
+type SQLProgram struct {
+	Name   string `json:"name"`
+	Abbrev string `json:"abbrev,omitempty"`
+	SQL    string `json:"sql"`
+}
+
+// SQLError is the 400 body of :fromSQL when compilation fails: the rendered
+// message plus the structured position — dialect, program, line and column
+// — when the failure is attributable to a source location.
+type SQLError struct {
+	Error   string `json:"error"`
+	Dialect string `json:"dialect,omitempty"`
+	Program string `json:"program,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Column  int    `json:"column,omitempty"`
+}
+
 // RegisterWorkloadResponse identifies the registered workload. Registration
 // is idempotent: re-registering an identical workload returns the existing
 // ID with Created=false.
