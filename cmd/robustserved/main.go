@@ -40,7 +40,15 @@
 //	                bodies (GOMAXPROCS caps when unset); /v1/stats reports
 //	                the resolved default and each workload's last effective
 //	                value
-//	-timeout        per-request analysis deadline (default 30s; 0 = none)
+//	-timeout        per-request analysis deadline (default 30s; 0 = none);
+//	                -request-timeout is an alias
+//	-max-concurrent-checks
+//	                analysis requests (check, subsets, stream, certify)
+//	                executing at once (default 256; 0 = unlimited).
+//	                Requests beyond the cap are shed immediately with
+//	                429, a Retry-After header and {"code": "overloaded"}
+//	                instead of queueing — see the "Failure model &
+//	                recovery" section of docs/ARCHITECTURE.md
 //	-log-level      structured request/phase logging to stderr (slog JSON):
 //	                debug (adds per-phase spans), info (access logs,
 //	                default), warn, error, off
@@ -71,7 +79,18 @@
 //	                                           max_subsets terminate early)
 //	PATCH /v1/workloads/{id}/programs/{name}   replace one program
 //	GET   /v1/stats                            server telemetry
-//	GET   /healthz                             liveness
+//	GET   /healthz                             health + build + persistence
+//	GET   /healthz/live                        liveness (process serves)
+//	GET   /healthz/ready                       readiness (503 while
+//	                                           draining or persistence-
+//	                                           degraded)
+//
+// Shutdown is graceful: on SIGINT/SIGTERM readiness goes 503, in-flight
+// requests get five seconds to drain, and pending snapshot writes are
+// flushed with bounded retries. The process exits non-zero when the drain
+// deadline forced connections closed or the final flush could not persist
+// every dirty workload — either means work or durability was lost, and
+// supervisors should know.
 package main
 
 import (
@@ -104,10 +123,12 @@ func main() {
 		maxBytes     = flag.Int64("max-bytes", 0, "estimated-memory budget across workloads; size-weighted eviction beyond it (0 = count-based LRU only)")
 		parallel     = flag.Int("parallel", 0, "analysis workers per request and cap for per-request parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request analysis deadline (0 = none)")
+		maxChecks    = flag.Int("max-concurrent-checks", 256, "analysis requests executing at once; beyond it requests are shed with 429 + Retry-After (0 = unlimited)")
 		logLevel     = flag.String("log-level", "info", "structured logging to stderr: debug, info, warn, error, off")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		version      = flag.Bool("version", false, "print version information and exit")
 	)
+	flag.DurationVar(timeout, "request-timeout", 30*time.Second, "alias of -timeout")
 	flag.Parse()
 	if *version {
 		obs.PrintVersion(os.Stdout, "robustserved")
@@ -126,6 +147,7 @@ func main() {
 		maxBytes:     *maxBytes,
 		parallel:     *parallel,
 		timeout:      *timeout,
+		maxChecks:    *maxChecks,
 		logLevel:     *logLevel,
 		pprofAddr:    *pprofAddr,
 	}); err != nil {
@@ -144,6 +166,7 @@ type options struct {
 	maxBytes     int64
 	parallel     int
 	timeout      time.Duration
+	maxChecks    int
 	logLevel     string
 	pprofAddr    string
 }
@@ -188,7 +211,12 @@ func servePprof(ctx context.Context, addr string, out io.Writer) error {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
+		// A failed pprof shutdown never fails the process (the API server
+		// owns the exit code), but silently discarding it would hide a
+		// profiler connection that outlived the drain window.
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(out, "robustserved: pprof shutdown: %v\n", err)
+		}
 	}()
 	go func() { _ = srv.Serve(ln) }()
 	return nil
@@ -198,14 +226,22 @@ func servePprof(ctx context.Context, addr string, out io.Writer) error {
 // bound address and serves until ctx is cancelled. Split from main (and
 // given the listener-first structure) so tests can boot on port 0.
 func run(ctx context.Context, out io.Writer, o options) error {
+	// The flag keeps its historic "0 = no deadline" meaning; the library's
+	// zero value now means DefaultRequestTimeout, so 0 maps to the
+	// explicit negative opt-out.
+	timeout := o.timeout
+	if timeout == 0 {
+		timeout = -1
+	}
 	srv := mvrc.NewServer(mvrc.ServerOptions{
-		MaxWorkloads:   o.maxWorkloads,
-		Parallelism:    o.parallel,
-		RequestTimeout: o.timeout,
-		StateDir:       o.stateDir,
-		FlushInterval:  o.flushEvery,
-		MaxBytes:       o.maxBytes,
-		Logger:         newLogger(o.logLevel),
+		MaxWorkloads:        o.maxWorkloads,
+		Parallelism:         o.parallel,
+		RequestTimeout:      timeout,
+		MaxConcurrentChecks: o.maxChecks,
+		StateDir:            o.stateDir,
+		FlushInterval:       o.flushEvery,
+		MaxBytes:            o.maxBytes,
+		Logger:              newLogger(o.logLevel),
 	})
 	if o.pprofAddr != "" {
 		if err := servePprof(ctx, o.pprofAddr, out); err != nil {

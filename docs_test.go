@@ -81,6 +81,13 @@ func TestDocsMentionCode(t *testing.T) {
 		"internal/sqlbtp/ir", "dialect/postgres", ":fromSQL",
 		"ParseError", "snapshot.Fingerprint", "FuzzDialectParse",
 		"BenchmarkSQLCompile", "@reads",
+		"internal/faultfs", "faultfs.Injector", "Injector.Crash",
+		"TornBytes", "TestChaosKill9Cycles",
+		"mvrc_snapshot_retries_total", "mvrc_snapshot_degraded",
+		"/healthz/ready", "BeginDrain",
+		"-max-concurrent-checks", "Retry-After", "mvrc_shed_requests_total",
+		"-request-timeout", "PanicError", "mvrc_panics_total",
+		"BenchmarkServerOverhead",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q — update the doc with the code", want)

@@ -890,10 +890,12 @@ func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetec
 		} else {
 			var next atomic.Int64
 			var wg sync.WaitGroup
+			errs := make([]error, lw)
 			for w := 0; w < lw; w++ {
 				wg.Add(1)
-				go func() {
+				go func(w int) {
 					defer wg.Done()
+					defer capturePanic(&errs[w])
 					ws := &latticeWorker{members: getMask(words)}
 					defer putMask(ws.members)
 					for ctx.Err() == nil {
@@ -905,9 +907,14 @@ func (s *Session) enumerateLattice(ctx context.Context, det *summary.SubsetDetec
 							process(int(mask), ws)
 						}
 					}
-				}()
+				}(w)
 			}
 			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
 		}
 		// The level barrier: supersets are only examined once every smaller
 		// mask's verdict (and core) is published. It is also the pruning's

@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic recovered in one of the engine's worker
+// goroutines. A panic on a goroutine the engine spawned would otherwise
+// kill the whole process — no deferred recovery upstream can catch it —
+// so the worker pools convert it into an error that propagates through
+// the normal return path, where the server maps it to a structured 500
+// (and logs Stack) instead of dying mid-request.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the point of recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("internal: panic in analysis worker: %v", e.Value)
+}
+
+// capturePanic is the deferred recovery of a pool worker: it stores a
+// *PanicError in the worker's error slot, keeping an error the worker
+// already reported (the panic then happened during unwinding bookkeeping
+// and the first cause wins).
+func capturePanic(slot *error) {
+	if p := recover(); p != nil {
+		if *slot == nil {
+			*slot = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}
+}

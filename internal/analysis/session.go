@@ -722,14 +722,21 @@ func (s *Session) enumerateFlat(ctx context.Context, det *summary.SubsetDetector
 	} else {
 		var next atomic.Int64 // next.Add(1) hands out masks 1..total-1
 		var wg sync.WaitGroup
+		errs := make([]error, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				defer capturePanic(&errs[w])
 				runMasks(func() int { return int(next.Add(1)) })
-			}()
+			}(w)
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

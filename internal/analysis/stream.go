@@ -383,6 +383,7 @@ func (r *streamRun) walk(ctx context.Context) error {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
+					defer capturePanic(&errs[w])
 					members := getMask(r.words)
 					defer putMask(members)
 					var ltps []*btp.LTP

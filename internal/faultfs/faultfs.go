@@ -1,0 +1,102 @@
+// Package faultfs is the storage seam of the persistence layer: a small
+// filesystem interface that internal/snapshot writes through, with a real
+// implementation (OS) that passes straight to package os and a deterministic
+// fault injector (Injector) that makes crash-safety testable — failed
+// syscalls, ENOSPC, torn writes truncated mid-buffer, and crash-points after
+// which every operation fails as if the process had been kill -9'd.
+//
+// The interface is deliberately tiny — exactly the operations an atomic
+// temp+fsync+rename snapshot write needs — so alternative backends (an
+// embedded KV store, blob storage) can slot in behind the same seam later
+// without dragging the whole of package os along.
+//
+// The OS implementation adds no allocations on the write path beyond what
+// package os itself performs (asserted by TestRealFSZeroAllocOverhead); the
+// nil-injector question never arises because callers hold the interface and
+// the real implementation is the zero value OS{}.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is an open file handle on its way to durability: bytes are written,
+// fsynced, and the handle closed before the file is renamed into place.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data (and metadata) to stable storage —
+	// os.File.Sync on the real filesystem.
+	Sync() error
+	io.Closer
+	// Name returns the path the file was created with.
+	Name() string
+}
+
+// FS is the filesystem surface of the snapshot store. All paths are
+// interpreted as on the host filesystem; implementations wrap every
+// operation a crash-safe write sequence performs.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// Create opens the named file for writing, truncating it if it exists
+	// (the store generates process-unique temp names, so truncation only
+	// ever hits a stale leftover of a crashed run).
+	Create(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// ReadDir lists the directory, sorted by filename.
+	ReadDir(dir string) ([]os.DirEntry, error)
+	// ReadFile returns the named file's contents.
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs the directory itself, making preceding Create/Rename/
+	// Remove directory operations durable. A rename is not crash-durable
+	// until the directory that holds the entry is synced.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem: every method passes straight to package os.
+// The zero value is ready to use.
+type OS struct{}
+
+// MkdirAll is os.MkdirAll.
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// Create opens the file with O_TRUNC semantics (os.Create).
+func (OS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename is os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove is os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir is os.ReadDir.
+func (OS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+
+// ReadFile is os.ReadFile.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// SyncDir opens the directory read-only and fsyncs it. On filesystems or
+// platforms where directories cannot be fsynced the error is surfaced to
+// the caller, which treats the write as failed and retries.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

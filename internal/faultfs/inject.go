@@ -1,0 +1,317 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Op names one filesystem operation for fault targeting and tracing.
+type Op string
+
+// The operation taxonomy. OpAny in a Fault matches every operation.
+const (
+	OpAny      Op = "any"
+	OpMkdirAll Op = "mkdirall"
+	OpCreate   Op = "create"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpReadDir  Op = "readdir"
+	OpReadFile Op = "readfile"
+	OpSyncDir  Op = "syncdir"
+)
+
+// ErrInjected is the default error returned by a firing fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation after a crash-point fault has
+// fired: the simulated process is dead, nothing it does afterwards reaches
+// the disk. Tests "restart" by building a fresh store over the same
+// directory with a healthy filesystem.
+var ErrCrashed = errors.New("faultfs: crashed (simulated kill -9)")
+
+// Fault is one deterministic failure rule. A fault fires when its Op (or
+// OpAny) matches and the injector has already seen After matching
+// operations — so After=0 hits the first matching op, After=2 the third.
+// Count bounds how many times it fires: 0 means once (fail-once), a
+// positive count fires on that many consecutive matches, and -1 fires
+// forever (fail-after-N-ops, e.g. a full disk that stays full).
+type Fault struct {
+	Op    Op
+	After int
+	Count int
+	// Err is the error to return; nil means ErrInjected. Use
+	// syscall.ENOSPC for disk-full scenarios.
+	Err error
+	// TornBytes, for OpWrite faults, writes that many bytes of the buffer
+	// through to the underlying file before failing — a torn write, the
+	// exact failure mode the fsync-before-rename discipline exists for.
+	TornBytes int
+	// Crash, when true, switches the injector into the crashed state as
+	// the fault fires: this operation fails and so does everything after
+	// it, as if the process had been kill -9'd at this point.
+	Crash bool
+
+	matched int // matching ops seen so far
+	fired   int // times this fault has fired
+}
+
+// err resolves the fault's error.
+func (f *Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// ENOSPC is a convenience constructor: every operation from the (n+1)-th
+// onward fails with syscall.ENOSPC — the disk filled up and stayed full.
+func ENOSPC(after int) *Fault {
+	return &Fault{Op: OpAny, After: after, Count: -1, Err: syscall.ENOSPC}
+}
+
+// FailOnce fails the (after+1)-th operation of the given kind, once.
+func FailOnce(op Op, after int) *Fault { return &Fault{Op: op, After: after} }
+
+// Torn truncates the (after+1)-th write after n bytes and fails it.
+func Torn(after, n int) *Fault { return &Fault{Op: OpWrite, After: after, TornBytes: n} }
+
+// CrashAt simulates kill -9 at the (after+1)-th operation of the given
+// kind: that operation and every one after it fail with ErrCrashed.
+func CrashAt(op Op, after int) *Fault { return &Fault{Op: op, After: after, Crash: true} }
+
+// TraceEntry records one operation the injector saw, for asserting write
+// ordering (the fsync-before-rename discipline) in tests.
+type TraceEntry struct {
+	Op   Op
+	Name string
+	Err  error
+}
+
+// Injector wraps an FS with a deterministic fault schedule. All methods are
+// safe for concurrent use; determinism holds when the operation order is
+// deterministic (single-goroutine stores, or per-test serialization).
+type Injector struct {
+	inner FS
+
+	mu      sync.Mutex
+	faults  []*Fault
+	crashed bool
+	ops     uint64
+	trace   []TraceEntry
+	tracing bool
+
+	injected atomic.Uint64
+}
+
+// NewInjector wraps inner with the given fault schedule.
+func NewInjector(inner FS, faults ...*Fault) *Injector {
+	return &Injector{inner: inner, faults: faults}
+}
+
+// StartTrace begins recording every operation (post-fault decision) so
+// tests can assert operation ordering.
+func (in *Injector) StartTrace() {
+	in.mu.Lock()
+	in.tracing = true
+	in.trace = in.trace[:0]
+	in.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded operations.
+func (in *Injector) Trace() []TraceEntry {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]TraceEntry(nil), in.trace...)
+}
+
+// Injected reports how many faults have fired.
+func (in *Injector) Injected() uint64 { return in.injected.Load() }
+
+// Ops reports how many operations the injector has seen.
+func (in *Injector) Ops() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Crash switches the injector into the crashed state now: every subsequent
+// operation fails with ErrCrashed. The chaos harness calls this before
+// abandoning a server, so its background flusher can no longer touch the
+// directory a "restarted" server is about to read — exactly a kill -9.
+func (in *Injector) Crash() {
+	in.mu.Lock()
+	in.crashed = true
+	in.mu.Unlock()
+}
+
+// Crashed reports whether a crash-point has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// decide advances the schedule for one operation and returns the fault that
+// fires, if any. The caller performs the operation only when fault is nil
+// (torn writes are the one exception, handled in Write).
+func (in *Injector) decide(op Op, name string) (*Fault, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	if in.crashed {
+		in.record(op, name, ErrCrashed)
+		return nil, ErrCrashed
+	}
+	for _, f := range in.faults {
+		if f.Op != OpAny && f.Op != op {
+			continue
+		}
+		f.matched++
+		if f.matched <= f.After {
+			continue
+		}
+		limit := f.Count
+		if limit == 0 {
+			limit = 1
+		}
+		if limit > 0 && f.fired >= limit {
+			continue
+		}
+		f.fired++
+		in.injected.Add(1)
+		if f.Crash {
+			in.crashed = true
+			in.record(op, name, ErrCrashed)
+			return f, ErrCrashed
+		}
+		in.record(op, name, f.err())
+		return f, f.err()
+	}
+	in.record(op, name, nil)
+	return nil, nil
+}
+
+// record appends a trace entry. Caller holds in.mu.
+func (in *Injector) record(op Op, name string, err error) {
+	if in.tracing {
+		in.trace = append(in.trace, TraceEntry{Op: op, Name: name, Err: err})
+	}
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(dir string, perm os.FileMode) error {
+	if _, err := in.decide(OpMkdirAll, dir); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(dir, perm)
+}
+
+// Create implements FS; the returned file routes its Write/Sync/Close back
+// through the injector.
+func (in *Injector) Create(name string) (File, error) {
+	if _, err := in.decide(OpCreate, name); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f}, nil
+}
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.decide(OpRename, newpath); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if _, err := in.decide(OpRemove, name); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+// ReadDir implements FS.
+func (in *Injector) ReadDir(dir string) ([]os.DirEntry, error) {
+	if _, err := in.decide(OpReadDir, dir); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(dir)
+}
+
+// ReadFile implements FS.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if _, err := in.decide(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadFile(name)
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(dir string) error {
+	if _, err := in.decide(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// injectedFile routes the write path of one open file through the injector.
+type injectedFile struct {
+	in *Injector
+	f  File
+}
+
+// Write consults the schedule; a torn-write fault writes the truncated
+// prefix through before failing, so the bytes really land in the file — the
+// failure mode a crash mid-write leaves on disk.
+func (jf *injectedFile) Write(p []byte) (int, error) {
+	fault, err := jf.in.decide(OpWrite, jf.f.Name())
+	if err != nil {
+		if fault != nil && fault.TornBytes > 0 && !fault.Crash {
+			n := fault.TornBytes
+			if n > len(p) {
+				n = len(p)
+			}
+			if wn, werr := jf.f.Write(p[:n]); werr != nil {
+				return wn, werr
+			}
+			return n, fmt.Errorf("faultfs: torn write after %d bytes: %w", n, err)
+		}
+		return 0, err
+	}
+	return jf.f.Write(p)
+}
+
+// Sync implements File.
+func (jf *injectedFile) Sync() error {
+	if _, err := jf.in.decide(OpSync, jf.f.Name()); err != nil {
+		return err
+	}
+	return jf.f.Sync()
+}
+
+// Close implements File. Close always reaches the real file even when a
+// fault fires — leaking an OS file descriptor would turn an injected fault
+// into a real resource exhaustion across a long chaos run.
+func (jf *injectedFile) Close() error {
+	_, err := jf.in.decide(OpClose, jf.f.Name())
+	cerr := jf.f.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Name implements File.
+func (jf *injectedFile) Name() string { return jf.f.Name() }

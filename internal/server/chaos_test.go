@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/wire"
+)
+
+// The chaos harness: repeated register → query → kill -9 → restart cycles
+// over one shared state directory, each cycle running the snapshot store
+// against a different deterministic fault schedule (failed creates, torn
+// writes, failed fsyncs/renames/dirsyncs) and then crashing the filesystem
+// mid-activity via Injector.Crash — the moral equivalent of kill -9, since
+// the abandoned server's flusher can no longer reach the directory the
+// restarted server reads. After every restart the invariants of the
+// crash-safe write protocol must hold:
+//
+//   - zero corrupt or torn snapshots accepted (StateReport skipped == 0 —
+//     the atomic temp+fsync+rename discipline means every *.json in the
+//     directory is a complete, verifiable snapshot),
+//   - no temp-file residue after the boot sweep,
+//   - wire responses byte-identical to a never-crashed reference server,
+//   - retry activity stops once the crashed server is closed.
+
+// chaosCycles is the kill -9 count; the ISSUE's floor is 20.
+const chaosCycles = 24
+
+// chaosSchedule derives cycle-specific faults from a fixed seed: one to
+// three write-path failures, some of them torn writes. Read-path ops stay
+// healthy so every boot exercises the sweep + load path deterministically.
+func chaosSchedule(cycle int) []*faultfs.Fault {
+	rng := rand.New(rand.NewSource(0xC0FFEE + int64(cycle)))
+	ops := []faultfs.Op{
+		faultfs.OpCreate, faultfs.OpWrite, faultfs.OpSync,
+		faultfs.OpClose, faultfs.OpRename, faultfs.OpSyncDir,
+	}
+	n := 1 + rng.Intn(3)
+	faults := make([]*faultfs.Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f := &faultfs.Fault{Op: ops[rng.Intn(len(ops))], After: rng.Intn(4), Count: 1 + rng.Intn(2)}
+		if f.Op == faultfs.OpWrite && rng.Intn(2) == 0 {
+			f.TornBytes = 1 + rng.Intn(64)
+		}
+		faults = append(faults, f)
+	}
+	return faults
+}
+
+// chaosRegister registers SmallBank accepting both 201 (fresh) and 200
+// (restored from a snapshot of an earlier cycle), returning the id.
+func chaosRegister(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	var reg wire.RegisterWorkloadResponse
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads",
+		&wire.RegisterWorkloadRequest{Benchmark: "smallbank"}, &reg)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d\n%s", resp.StatusCode, raw)
+	}
+	return reg.ID
+}
+
+// assertNoTempResidue fails if any *.tmp survived the boot sweep.
+func assertNoTempResidue(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp residue after boot sweep: %s", e.Name())
+		}
+	}
+}
+
+func TestChaosKill9Cycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness: skipped in -short")
+	}
+	// The reference run: a healthy server whose answers define the bytes
+	// every post-crash restart must reproduce.
+	_, refTS := newTestServer(t, Options{})
+	refID := registerSmallBank(t, refTS)
+	subsetsReq := &wire.CheckRequest{Programs: []string{"Bal", "Am", "DC"}}
+	resp, refBody := doJSON(t, http.MethodPost, refTS.URL+"/v1/workloads/"+refID+"/subsets", subsetsReq, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference subsets: %d\n%s", resp.StatusCode, refBody)
+	}
+
+	dir := t.TempDir()
+	for cycle := 0; cycle < chaosCycles; cycle++ {
+		inj := faultfs.NewInjector(faultfs.OS{}, chaosSchedule(cycle)...)
+		s := New(Options{StateDir: dir, SnapshotFS: inj, FlushInterval: time.Millisecond})
+		ts := httptest.NewServer(s.Handler())
+
+		id := chaosRegister(t, ts)
+		if id != refID {
+			t.Fatalf("cycle %d: workload id drifted: %s, want %s", cycle, id, refID)
+		}
+		// Analysis traffic while the faulty flusher churns: a monolithic
+		// enumeration (cached → marked dirty → persisted under faults) and
+		// an early-terminating stream (minted cores → marked dirty).
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/subsets", subsetsReq, nil)
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, refBody) {
+			t.Fatalf("cycle %d: pre-crash subsets diverged: status %d\n got %s\nwant %s",
+				cycle, resp.StatusCode, body, refBody)
+		}
+		sresp, err := http.Get(ts.URL + "/v1/workloads/" + id + "/subsets:stream?mode=first_non_robust")
+		if err != nil {
+			t.Fatalf("cycle %d: stream: %v", cycle, err)
+		}
+		io.Copy(io.Discard, sresp.Body)
+		sresp.Body.Close()
+
+		// kill -9: from here the old process's flusher writes hit a dead
+		// disk, never the directory the next server boots from.
+		inj.Crash()
+		if resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/workloads/"+id+"/check",
+			&wire.CheckRequest{Programs: []string{"Bal"}}, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("cycle %d: post-crash check from memory: %d, want 200", cycle, resp.StatusCode)
+		}
+		ts.Close()
+		_ = s.Close() // the crashed disk legitimately fails the final flush
+		if cycle%8 == 0 {
+			// Bounded retries: once Close returns, no goroutine keeps
+			// hammering the dead filesystem.
+			r0, o0 := s.snapRetries.Load(), inj.Ops()
+			time.Sleep(20 * time.Millisecond)
+			if r1, o1 := s.snapRetries.Load(), inj.Ops(); r1 != r0 || o1 != o0 {
+				t.Fatalf("cycle %d: retry activity after Close: retries %d→%d ops %d→%d",
+					cycle, r0, r1, o0, o1)
+			}
+		}
+
+		// Restart on the surviving directory with a healthy filesystem.
+		s2 := New(Options{StateDir: dir})
+		if _, skipped, err := s2.StateReport(); skipped != 0 || err != nil {
+			t.Fatalf("cycle %d: restart accepted corrupt state: skipped=%d err=%v", cycle, skipped, err)
+		}
+		assertNoTempResidue(t, dir)
+		ts2 := httptest.NewServer(s2.Handler())
+		if got := chaosRegister(t, ts2); got != refID {
+			t.Fatalf("cycle %d: post-restart id drifted: %s", cycle, got)
+		}
+		resp, body = doJSON(t, http.MethodPost, ts2.URL+"/v1/workloads/"+refID+"/subsets", subsetsReq, nil)
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, refBody) {
+			t.Fatalf("cycle %d: post-restart subsets diverged: status %d\n got %s\nwant %s",
+				cycle, resp.StatusCode, body, refBody)
+		}
+		ts2.Close()
+		if err := s2.Close(); err != nil {
+			t.Fatalf("cycle %d: healthy close: %v", cycle, err)
+		}
+	}
+}

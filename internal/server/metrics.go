@@ -4,12 +4,14 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // This file is the server's observability surface: the Prometheus metric
@@ -28,6 +30,8 @@ import (
 // mvrc_http_* families.
 const (
 	epHealthz       = "healthz"
+	epLive          = "live"
+	epReady         = "ready"
 	epMetrics       = "metrics"
 	epStats         = "stats"
 	epRegister      = "register"
@@ -41,8 +45,8 @@ const (
 )
 
 var endpointNames = []string{
-	epHealthz, epMetrics, epStats, epRegister, epFromSQL, epWorkload,
-	epCheck, epSubsets, epSubsetsStream, epCertify, epPatch,
+	epHealthz, epLive, epReady, epMetrics, epStats, epRegister, epFromSQL,
+	epWorkload, epCheck, epSubsets, epSubsetsStream, epCertify, epPatch,
 }
 
 // phaseNames is the fixed span taxonomy exported as
@@ -247,6 +251,23 @@ func newMetrics(s *Server) *metrics {
 		counterOf(&s.persists).load)
 	r.CounterFunc("mvrc_snapshot_persist_errors_total", "Failed snapshot writes.",
 		counterOf(&s.persistErrs).load)
+	r.CounterFunc("mvrc_snapshot_retries_total",
+		"Snapshot writes re-attempted after a failed persist of the same workload.",
+		counterOf(&s.snapRetries).load)
+	r.GaugeFunc("mvrc_snapshot_degraded",
+		"1 while the flusher is in degraded-persistence mode (consecutive failed flush rounds; retrying with backoff).",
+		func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("mvrc_shed_requests_total",
+		"Analysis requests rejected with 429 at the -max-concurrent-checks admission gate.",
+		counterOf(&s.shed).load)
+	r.CounterFunc("mvrc_panics_total",
+		"Recovered panics: HTTP handlers plus engine worker goroutines.",
+		counterOf(&s.panics).load)
 	r.GaugeFunc("mvrc_default_parallelism",
 		"Resolved server-wide worker count for requests without their own.",
 		func() float64 { return float64(effectiveParallelism(s.opts.Parallelism)) })
@@ -315,17 +336,28 @@ func counterOf(v *atomic.Uint64) *counterRef { return &counterRef{v: v} }
 // --- Request instrumentation ------------------------------------------------
 
 // statusWriter records the response status for the request counter and the
-// access log. It deliberately implements http.Flusher unconditionally —
+// access log, and whether the response has started (wrote) — the panic
+// recovery can only substitute a structured 500 while the status line is
+// still unsent. It deliberately implements http.Flusher unconditionally —
 // handleSubsetsStream flushes after every NDJSON line, and wrapping the
 // ResponseWriter must not sever that path.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 func (w *statusWriter) Flush() {
@@ -335,8 +367,15 @@ func (w *statusWriter) Flush() {
 }
 
 // handle registers a route through the instrumentation middleware: request
-// ID propagation, in-flight gauge, latency histogram, error counting and
-// the slog access log when Options.Logger is set.
+// ID propagation, in-flight gauge, latency histogram, error counting,
+// panic recovery and the slog access log when Options.Logger is set.
+//
+// The accounting lives in a defer so a panicking handler is still counted,
+// logged and timed before the panic continues. net/http would recover a
+// handler panic anyway, but only by dropping the connection with a stack
+// dump to stderr; here the client gets a structured 500 (when the response
+// has not started), the panic lands in mvrc_panics_total, and the stack
+// goes to the structured log.
 func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 	em := s.metrics.endpoints[endpoint]
 	s.mux.HandleFunc(pattern, func(rw http.ResponseWriter, r *http.Request) {
@@ -349,23 +388,53 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 		rw.Header().Set("X-Request-ID", reqID)
 		sw := &statusWriter{ResponseWriter: rw, status: http.StatusOK}
 		em.inflight.Add(1)
+		defer func() {
+			p := recover()
+			abort := p == http.ErrAbortHandler
+			if p != nil && !abort {
+				s.panics.Add(1)
+				if s.logger != nil {
+					s.logger.LogAttrs(r.Context(), slog.LevelError, "handler_panic",
+						slog.Any("value", p),
+						slog.String("stack", string(debug.Stack())),
+						slog.String("endpoint", endpoint),
+						slog.String("request_id", reqID))
+				}
+				if sw.wrote {
+					// The response already started; nothing coherent can be
+					// appended. Record the failure and abort the connection
+					// so the client sees a truncated response, not a
+					// silently complete-looking one.
+					sw.status = http.StatusInternalServerError
+					abort = true
+				} else {
+					writeJSON(sw, http.StatusInternalServerError,
+						wire.Error{Error: "internal server error", Code: "panic"})
+				}
+			}
+			em.inflight.Add(-1)
+			d := time.Since(start)
+			em.requests.Inc()
+			if sw.status >= 400 {
+				em.errors.Inc()
+			}
+			em.latency.ObserveDuration(d)
+			if s.logger != nil {
+				s.logger.LogAttrs(r.Context(), slog.LevelInfo, "http_request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("endpoint", endpoint),
+					slog.Int("status", sw.status),
+					slog.Duration("duration", d),
+					slog.String("request_id", reqID))
+			}
+			if abort {
+				// net/http treats ErrAbortHandler as a deliberate abort:
+				// the connection closes without the default stack dump.
+				panic(http.ErrAbortHandler)
+			}
+		}()
 		h(sw, r)
-		em.inflight.Add(-1)
-		d := time.Since(start)
-		em.requests.Inc()
-		if sw.status >= 400 {
-			em.errors.Inc()
-		}
-		em.latency.ObserveDuration(d)
-		if s.logger != nil {
-			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "http_request",
-				slog.String("method", r.Method),
-				slog.String("path", r.URL.Path),
-				slog.String("endpoint", endpoint),
-				slog.Int("status", sw.status),
-				slog.Duration("duration", d),
-				slog.String("request_id", reqID))
-		}
 	})
 }
 

@@ -118,6 +118,10 @@ func TestMetricsCoversStatsCounters(t *testing.T) {
 		"mvrc_workload_evictions_total", "mvrc_workload_evictions_bytes_total",
 		"mvrc_snapshots_loaded", "mvrc_snapshot_persists_total",
 		"mvrc_snapshot_persist_errors_total", "mvrc_default_parallelism",
+		// Robustness block: flusher retry/degradation, overload shedding
+		// and recovered panics.
+		"mvrc_snapshot_retries_total", "mvrc_snapshot_degraded",
+		"mvrc_shed_requests_total", "mvrc_panics_total",
 		// Session / block-cache block.
 		"mvrc_session_programs", "mvrc_session_unfoldings",
 		"mvrc_block_cache_pairs", "mvrc_block_cache_hits_total",

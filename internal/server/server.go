@@ -61,8 +61,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -74,6 +76,7 @@ import (
 	"repro/internal/benchmarks"
 	"repro/internal/btp"
 	"repro/internal/certify"
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 	"repro/internal/relschema"
 	"repro/internal/snapshot"
@@ -89,9 +92,25 @@ type Options struct {
 	// Parallelism bounds each subset enumeration's worker pool; 0 means
 	// GOMAXPROCS, 1 forces sequential enumeration.
 	Parallelism int
-	// RequestTimeout bounds each analysis request; 0 means no deadline
-	// beyond the client's own.
+	// RequestTimeout bounds each analysis request; 0 means
+	// DefaultRequestTimeout, negative means no deadline beyond the
+	// client's own. Every request therefore runs under a deadline unless
+	// the operator explicitly opts out — a stuck analysis must not hold
+	// its admission slot forever.
 	RequestTimeout time.Duration
+	// MaxConcurrentChecks caps the analysis requests (check, subsets,
+	// subsets:stream, certify) executing at once. Beyond the cap,
+	// requests are shed immediately with 429, a Retry-After header and a
+	// structured {code: "overloaded"} body — bounded latency for admitted
+	// work beats an unbounded queue that times everyone out together.
+	// Control-plane routes (register, patch, stats, health, metrics) are
+	// never shed. 0 means unlimited.
+	MaxConcurrentChecks int
+	// SnapshotFS, when non-nil, is the filesystem the snapshot store
+	// writes through — the deterministic fault-injection seam of the
+	// crash-safety and chaos tests (internal/faultfs). nil means the real
+	// filesystem.
+	SnapshotFS faultfs.FS
 	// StateDir, when non-empty, makes the server persist every registered
 	// workload (schema, programs, version, subsets result cache) as a JSON
 	// snapshot under this directory and reload the snapshots on boot, so a
@@ -130,6 +149,35 @@ const DefaultMaxWorkloads = 64
 // long enough that a burst coalesces into one file rewrite.
 const DefaultFlushInterval = 100 * time.Millisecond
 
+// DefaultRequestTimeout is the analysis deadline applied when Options.
+// RequestTimeout is zero: generous enough for the large-benchmark subset
+// sweeps, small enough that a pathological request cannot pin an
+// admission slot indefinitely.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Flusher failure handling: a failed flush round doubles the next round's
+// delay (plus jitter) up to maxFlushBackoff — hammering a full disk every
+// 100ms helps nobody — and degradedAfterRounds consecutive failures flip
+// the server into degraded-persistence mode (visible in /healthz and
+// mvrc_snapshot_degraded, and 503 on /healthz/ready). Dirty workloads
+// stay dirty across failures, so no write is ever silently dropped.
+const (
+	maxFlushBackoff     = 5 * time.Second
+	degradedAfterRounds = 3
+)
+
+// Close retries the final flush a few times with short fixed backoff
+// before giving up and reporting the loss — shutdown must terminate even
+// with a dead disk.
+const (
+	closeFlushAttempts = 3
+	closeFlushBackoff  = 25 * time.Millisecond
+)
+
+// shedRetryAfterSeconds is the Retry-After hint on 429 responses; load
+// sheds on the timescale of in-flight analyses completing, not instantly.
+const shedRetryAfterSeconds = 1
+
 // Server is the resident robustness service. Create with New, expose with
 // Handler, release background state with Close.
 type Server struct {
@@ -155,13 +203,33 @@ type Server struct {
 	// write-amplification tests: a burst of cached enumerations must not
 	// grow it by more than the flush cadence allows).
 	persists atomic.Uint64
+	// snapRetries counts persist attempts for workloads whose previous
+	// attempt failed (mvrc_snapshot_retries_total); degraded is flipped by
+	// the flusher after degradedAfterRounds consecutive failed rounds and
+	// cleared by the first clean one.
+	snapRetries atomic.Uint64
+	degraded    atomic.Bool
+	// draining marks the window between BeginDrain/Close and process
+	// exit: /healthz/ready answers 503 so load balancers stop routing,
+	// while in-flight requests run to completion.
+	draining atomic.Bool
+
+	// admission is the -max-concurrent-checks semaphore over the analysis
+	// routes; nil means unlimited. shed counts 429s, panics counts
+	// recovered handler and worker panics.
+	admission chan struct{}
+	shed      atomic.Uint64
+	panics    atomic.Uint64
 
 	// dirty is the debounce set of the background flusher: workloads whose
 	// result cache grew since their last snapshot write. Guarded by
 	// dirtyMu; the flusher swaps the map out and persists each entry it
-	// can still pin.
-	dirtyMu sync.Mutex
-	dirty   map[string]*workload
+	// can still pin. failedPersist (same lock) marks workloads whose last
+	// persist failed, so the retry counter can distinguish a retry from a
+	// first attempt.
+	dirtyMu       sync.Mutex
+	dirty         map[string]*workload
+	failedPersist map[string]bool
 
 	// lastEnforce is the unix-nano time of the last release-path budget
 	// enforcement (see release).
@@ -201,15 +269,25 @@ func New(opts Options) *Server {
 	if opts.FlushInterval <= 0 {
 		opts.FlushInterval = DefaultFlushInterval
 	}
+	switch {
+	case opts.RequestTimeout == 0:
+		opts.RequestTimeout = DefaultRequestTimeout
+	case opts.RequestTimeout < 0:
+		opts.RequestTimeout = 0 // explicit opt-out: no server-side deadline
+	}
 	s := &Server{
-		opts:       opts,
-		reg:        newRegistry(opts.MaxWorkloads, opts.MaxBytes),
-		mux:        http.NewServeMux(),
-		start:      time.Now(),
-		base:       base,
-		baseCancel: cancel,
-		dirty:      make(map[string]*workload),
-		logger:     opts.Logger,
+		opts:          opts,
+		reg:           newRegistry(opts.MaxWorkloads, opts.MaxBytes),
+		mux:           http.NewServeMux(),
+		start:         time.Now(),
+		base:          base,
+		baseCancel:    cancel,
+		dirty:         make(map[string]*workload),
+		failedPersist: make(map[string]bool),
+		logger:        opts.Logger,
+	}
+	if opts.MaxConcurrentChecks > 0 {
+		s.admission = make(chan struct{}, opts.MaxConcurrentChecks)
 	}
 	s.reqPrefix = "r" + strconv.FormatUint(uint64(s.start.UnixNano()), 36) + "-"
 	// Built before loadState: boot-time evictions already run persist, which
@@ -226,7 +304,9 @@ func New(opts Options) *Server {
 		}
 		s.snap.Delete(w.id)
 		if res := s.reg.peek(w.id); res != nil {
-			s.persist(res)
+			if !s.persist(res) {
+				s.markDirty(res)
+			}
 		}
 	}
 	if opts.StateDir != "" {
@@ -236,6 +316,8 @@ func New(opts Options) *Server {
 		go s.flushLoop()
 	}
 	s.handle("GET /healthz", epHealthz, s.handleHealthz)
+	s.handle("GET /healthz/live", epLive, s.handleLive)
+	s.handle("GET /healthz/ready", epReady, s.handleReady)
 	s.handle("GET /metrics", epMetrics, s.metrics.reg.Handler())
 	s.handle("GET /v1/stats", epStats, s.handleStats)
 	s.handle("POST /v1/workloads", epRegister, s.handleRegister)
@@ -267,7 +349,7 @@ func (s *Server) StateReport() (loaded, skipped int, err error) {
 // or rebuild are counted as skipped — a corrupt snapshot costs a warm-up,
 // never the boot.
 func (s *Server) loadState(dir string) {
-	st, err := snapshot.Open(dir)
+	st, err := snapshot.OpenFS(dir, s.opts.SnapshotFS)
 	if err != nil {
 		s.stateErr = err
 		return
@@ -345,14 +427,30 @@ func (s *Server) persist(w *workload) bool {
 	}
 	w.persistMu.Lock()
 	defer w.persistMu.Unlock()
+	s.dirtyMu.Lock()
+	if s.failedPersist[w.id] {
+		s.snapRetries.Add(1)
+	}
+	s.dirtyMu.Unlock()
 	start := time.Now()
 	f, err := w.snapshotFile()
 	if err == nil {
 		err = s.snap.Save(f)
 	}
 	s.metrics.observePhase(obs.PhaseFlush, time.Since(start))
+	s.dirtyMu.Lock()
+	if err != nil {
+		s.failedPersist[w.id] = true
+	} else {
+		delete(s.failedPersist, w.id)
+	}
+	s.dirtyMu.Unlock()
 	if err != nil {
 		s.persistErrs.Add(1)
+		if s.logger != nil {
+			s.logger.LogAttrs(context.Background(), slog.LevelWarn, "snapshot_persist_failed",
+				slog.String("workload", w.id), slog.String("error", err.Error()))
+		}
 		return false
 	}
 	s.persists.Add(1)
@@ -372,17 +470,46 @@ func (s *Server) markDirty(w *workload) {
 	s.dirtyMu.Unlock()
 }
 
-// flushLoop is the background flusher: one Flush per FlushInterval until
-// Close. Only started when persistence is enabled.
+// flushLoop is the background flusher: one flush round per FlushInterval
+// until Close. A round with persist failures doubles the next delay
+// (capped at maxFlushBackoff, with up to 25% jitter so restarted replicas
+// don't retry in lockstep) — the failed workloads are back on the dirty
+// set, so every delayed round is a retry, not a drop. After
+// degradedAfterRounds consecutive failures the server enters degraded-
+// persistence mode (healthz, readiness, mvrc_snapshot_degraded); the
+// first clean round restores the cadence and clears the flag. Only
+// started when persistence is enabled.
 func (s *Server) flushLoop() {
-	t := time.NewTicker(s.opts.FlushInterval)
+	interval := s.opts.FlushInterval
+	consecutive := 0
+	t := time.NewTimer(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.base.Done():
 			return
 		case <-t.C:
-			s.Flush()
+			if failed := s.flushRound(); failed > 0 {
+				consecutive++
+				if consecutive == degradedAfterRounds {
+					s.degraded.Store(true)
+					if s.logger != nil {
+						s.logger.LogAttrs(context.Background(), slog.LevelError, "persistence_degraded",
+							slog.Int("consecutive_failed_rounds", consecutive))
+					}
+				}
+				interval = min(interval*2, maxFlushBackoff)
+				t.Reset(interval + rand.N(interval/4+1))
+			} else {
+				if consecutive >= degradedAfterRounds && s.logger != nil {
+					s.logger.LogAttrs(context.Background(), slog.LevelInfo, "persistence_recovered",
+						slog.Int("failed_rounds", consecutive))
+				}
+				consecutive = 0
+				s.degraded.Store(false)
+				interval = s.opts.FlushInterval
+				t.Reset(interval)
+			}
 		}
 	}
 }
@@ -394,7 +521,13 @@ func (s *Server) flushLoop() {
 // reaches it is skipped — its snapshot is already gone by design. Called by
 // the background flusher, by Close (the explicit shutdown flush), and by
 // tests and embedders that need durability at a known point.
-func (s *Server) Flush() {
+func (s *Server) Flush() { s.flushRound() }
+
+// flushRound is one Flush pass, reporting how many workloads failed to
+// persist (each failure re-queues its workload on the dirty set, so the
+// next round — or the shutdown flush — retries instead of silently
+// dropping the burst's durability).
+func (s *Server) flushRound() (failed int) {
 	s.dirtyMu.Lock()
 	dirty := s.dirty
 	s.dirty = make(map[string]*workload)
@@ -413,22 +546,42 @@ func (s *Server) Flush() {
 			continue
 		}
 		if !s.persist(w) {
-			// Transient write failure (disk full, permissions blip): put
-			// the workload back on the dirty set so the next flush — or
-			// the shutdown flush — retries instead of silently dropping
-			// the burst's durability.
+			failed++
 			s.markDirty(w)
 		}
 		w.pins.Add(-1)
 	}
+	return failed
 }
 
+// BeginDrain marks the server as draining: /healthz/ready answers 503 so
+// load balancers stop routing here, while every admitted request (and the
+// liveness probe) keeps working. Call it when graceful shutdown starts,
+// before the HTTP server stops accepting connections; ServeListener does.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Close flushes pending snapshot writes and aborts any coalesced
-// enumerations still running in the background. Registered workloads (and
-// their caches) are simply garbage once the Server is unreferenced.
-func (s *Server) Close() {
+// enumerations still running in the background. The final flush is
+// retried with short backoff; if dirty workloads still cannot be
+// persisted the error says how many — their cached results exist only in
+// this process's memory, so callers exiting afterwards should surface the
+// loss (cmd/robustserved exits non-zero). Registered workloads (and their
+// caches) are simply garbage once the Server is unreferenced.
+func (s *Server) Close() error {
+	s.BeginDrain()
 	s.baseCancel()
-	s.Flush()
+	var failed int
+	for attempt := 1; ; attempt++ {
+		if failed = s.flushRound(); failed == 0 {
+			return nil
+		}
+		if attempt >= closeFlushAttempts {
+			break
+		}
+		time.Sleep(closeFlushBackoff * time.Duration(attempt))
+	}
+	return fmt.Errorf("server: %d workload snapshot(s) still unpersisted after %d shutdown flush attempts",
+		failed, closeFlushAttempts)
 }
 
 // Register registers a workload programmatically (the CLI's -preload path
@@ -471,7 +624,12 @@ func (s *Server) Register(schema *relschema.Schema, programs []*btp.Program) (*w
 			// The reset bumped the version, orphaning every cached result.
 			w.results.invalidate()
 		}
-		s.persist(w)
+		// Synchronous persists that fail fall back to the flusher's retry
+		// schedule: the workload stays dirty until a write sticks, so a
+		// transient disk error costs durability latency, never the snapshot.
+		if !s.persist(w) {
+			s.markDirty(w)
+		}
 	}
 	s.reg.enforceBytes()
 	s.registers.Add(1)
@@ -495,7 +653,80 @@ func (s *Server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 		Revision:      bi.Revision,
 		GoVersion:     bi.GoVersion,
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Persistence:   s.persistenceStatus(),
 	})
+}
+
+// persistenceStatus summarizes the snapshot subsystem for the health
+// endpoints: "" (disabled), "ok", "degraded" (the flusher is failing and
+// backing off) or "failed" (the state directory was unusable at boot).
+func (s *Server) persistenceStatus() string {
+	switch {
+	case s.stateErr != nil:
+		return "failed"
+	case s.snap == nil:
+		return ""
+	case s.degraded.Load():
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// handleLive is the liveness probe: 200 for as long as the process can
+// serve HTTP at all. Restarting a server because its disk filled up
+// destroys the in-memory caches that still answer requests correctly —
+// liveness must not observe persistence.
+func (s *Server) handleLive(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, http.StatusOK, &wire.ReadyResponse{Status: "live"})
+}
+
+// handleReady is the readiness probe: 503 while draining for shutdown or
+// while persistence is degraded (a restarted-elsewhere replica with a
+// working disk is strictly better to route to), 200 otherwise.
+func (s *Server) handleReady(rw http.ResponseWriter, _ *http.Request) {
+	resp := &wire.ReadyResponse{Status: "ready", Persistence: s.persistenceStatus()}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+		resp.Draining = true
+		status = http.StatusServiceUnavailable
+	case s.degraded.Load():
+		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(rw, status, resp)
+}
+
+// admit reserves a -max-concurrent-checks slot for an analysis request,
+// shedding with 429 + Retry-After when the server is saturated. Callers
+// that get true must release the slot with admitDone when the request
+// finishes. With no cap configured every request is admitted for free.
+func (s *Server) admit(rw http.ResponseWriter) bool {
+	if s.admission == nil {
+		return true
+	}
+	select {
+	case s.admission <- struct{}{}:
+		return true
+	default:
+		s.shed.Add(1)
+		rw.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
+		writeJSON(rw, http.StatusTooManyRequests, wire.Error{
+			Error:             fmt.Sprintf("server is at its -max-concurrent-checks capacity (%d analyses in flight)", cap(s.admission)),
+			Code:              "overloaded",
+			RetryAfterSeconds: shedRetryAfterSeconds,
+		})
+		return false
+	}
+}
+
+// admitDone releases an admission slot taken by admit.
+func (s *Server) admitDone() {
+	if s.admission != nil {
+		<-s.admission
+	}
 }
 
 // writeJSON sends a wire document with the given status.
@@ -521,6 +752,37 @@ func analysisStatus(err error) int {
 	default:
 		return http.StatusUnprocessableEntity
 	}
+}
+
+// noteWorkerPanic counts and logs a recovered engine-worker panic that
+// surfaced as an error, returning it when err carries one and nil
+// otherwise. Worker panics are server faults, never the client's input —
+// they must land in mvrc_panics_total and the log with the worker stack,
+// and answer 500, not 422.
+func (s *Server) noteWorkerPanic(r *http.Request, err error) *analysis.PanicError {
+	var pe *analysis.PanicError
+	if !errors.As(err, &pe) {
+		return nil
+	}
+	s.panics.Add(1)
+	if s.logger != nil {
+		s.logger.LogAttrs(r.Context(), slog.LevelError, "worker_panic",
+			slog.Any("value", pe.Value),
+			slog.String("stack", string(pe.Stack)),
+			slog.String("request_id", obs.RequestIDFrom(r.Context())))
+	}
+	return pe
+}
+
+// analysisError writes an engine error to the wire: recovered worker
+// panics become a structured 500 with code "panic"; everything else goes
+// through analysisStatus.
+func (s *Server) analysisError(rw http.ResponseWriter, r *http.Request, err error) {
+	if pe := s.noteWorkerPanic(r, err); pe != nil {
+		writeJSON(rw, http.StatusInternalServerError, wire.Error{Error: pe.Error(), Code: "panic"})
+		return
+	}
+	writeError(rw, analysisStatus(err), err)
 }
 
 // decodeBody decodes a JSON request body into v. An empty body is allowed
@@ -714,6 +976,10 @@ func (s *Server) handleGetWorkload(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCheck(rw http.ResponseWriter, r *http.Request) {
+	if !s.admit(rw) {
+		return
+	}
+	defer s.admitDone()
 	w := s.lookup(rw, r)
 	if w == nil {
 		return
@@ -740,7 +1006,7 @@ func (s *Server) handleCheck(rw http.ResponseWriter, r *http.Request) {
 	cfg.Tracer = tracer
 	res, err := w.session().CheckCtx(ctx, programs, cfg)
 	if err != nil {
-		writeError(rw, analysisStatus(err), err)
+		s.analysisError(rw, r, err)
 		return
 	}
 	s.checks.Add(1)
@@ -755,6 +1021,10 @@ func (s *Server) handleCheck(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
+	if !s.admit(rw) {
+		return
+	}
+	defer s.admitDone()
 	w := s.lookup(rw, r)
 	if w == nil {
 		return
@@ -786,7 +1056,7 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		rep, err := w.session().RobustSubsetsCtx(ctx, programs, cfg)
 		if err != nil {
-			writeError(rw, analysisStatus(err), err)
+			s.analysisError(rw, r, err)
 			return
 		}
 		s.subsets.Add(1)
@@ -819,7 +1089,7 @@ func (s *Server) handleSubsets(rw http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp, respVersion, err := s.subsetsCoalesced(ctx, w, key, cfg, programs, version)
 	if err != nil {
-		writeError(rw, analysisStatus(err), err)
+		s.analysisError(rw, r, err)
 		return
 	}
 	s.subsets.Add(1)
@@ -890,6 +1160,24 @@ func (s *Server) subsetsCoalesced(ctx context.Context, w *workload, key string, 
 		w.flight[key] = call
 		go func() {
 			defer runCancel()
+			// The cleanup lives in the deferred recovery: a panic escaping
+			// the engine (or the test hook) must still detach the flight
+			// entry and close done, or every follower would block forever —
+			// and an unrecovered panic on this detached goroutine would
+			// kill the whole process.
+			defer func() {
+				if p := recover(); p != nil {
+					call.err = &analysis.PanicError{Value: p, Stack: debug.Stack()}
+				}
+				w.flightMu.Lock()
+				// The last waiter may have detached this call and a fresh
+				// leader re-registered the key; only remove our own entry.
+				if w.flight[key] == call {
+					delete(w.flight, key)
+				}
+				w.flightMu.Unlock()
+				close(call.done)
+			}()
 			if s.testFlightHook != nil {
 				s.testFlightHook()
 			}
@@ -899,14 +1187,6 @@ func (s *Server) subsetsCoalesced(ctx context.Context, w *workload, key string, 
 			} else {
 				call.resp = wire.NewSubsetsResponse(cfg, programs, rep)
 			}
-			w.flightMu.Lock()
-			// The last waiter may have detached this call and a fresh
-			// leader re-registered the key; only remove our own entry.
-			if w.flight[key] == call {
-				delete(w.flight, key)
-			}
-			w.flightMu.Unlock()
-			close(call.done)
 		}()
 	} else {
 		s.coalesced.Add(1)
@@ -947,6 +1227,10 @@ func (s *Server) subsetsCoalesced(ctx context.Context, w *workload, key string, 
 // the snapshot persists, so the workload is marked dirty for the next
 // debounced flush.
 func (s *Server) handleCertify(rw http.ResponseWriter, r *http.Request) {
+	if !s.admit(rw) {
+		return
+	}
+	defer s.admitDone()
 	w := s.lookup(rw, r)
 	if w == nil {
 		return
@@ -976,7 +1260,7 @@ func (s *Server) handleCertify(rw http.ResponseWriter, r *http.Request) {
 		Parallelism:  cfg.Parallelism,
 	})
 	if err != nil {
-		writeError(rw, analysisStatus(err), err)
+		s.analysisError(rw, r, err)
 		return
 	}
 	s.certifies.Add(1)
@@ -1018,7 +1302,9 @@ func (s *Server) handlePatch(rw http.ResponseWriter, r *http.Request) {
 	// The version bump orphans every cached result of this workload (and
 	// only this one); drop them eagerly and persist the patched definition.
 	results := w.results.invalidate()
-	s.persist(w)
+	if !s.persist(w) {
+		s.markDirty(w)
+	}
 	s.patches.Add(1)
 	w.patches.Add(1)
 	writeJSON(rw, http.StatusOK, &wire.PatchProgramResponse{

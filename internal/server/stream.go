@@ -89,6 +89,10 @@ func streamRequest(r *http.Request) (*wire.StreamRequest, error) {
 }
 
 func (s *Server) handleSubsetsStream(rw http.ResponseWriter, r *http.Request) {
+	if !s.admit(rw) {
+		return
+	}
+	defer s.admitDone()
 	w := s.lookup(rw, r)
 	if w == nil {
 		return
@@ -170,8 +174,14 @@ func (s *Server) handleSubsetsStream(rw http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// A dead client never sees this line; a live one (engine error,
 		// e.g. an unknown program after a racing PATCH) gets the uniform
-		// error envelope as the stream's last record.
-		writeLine(wire.Error{Error: err.Error()})
+		// error envelope as the stream's last record. The status is long
+		// committed, so a recovered worker panic can only be flagged
+		// in-band — but it still counts and logs as a server fault.
+		line := wire.Error{Error: err.Error()}
+		if s.noteWorkerPanic(r, err) != nil {
+			line.Code = "panic"
+		}
+		writeLine(line)
 		return
 	}
 	if sum.Terminated {

@@ -1,0 +1,220 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/faultfs"
+)
+
+// testFile builds a small valid snapshot file from the SmallBank benchmark.
+func testFile(t *testing.T) *File {
+	t.Helper()
+	bench := benchmarks.SmallBank()
+	f := &File{
+		ID:      Fingerprint(bench.Schema, bench.Programs),
+		Content: Fingerprint(bench.Schema, bench.Programs),
+		Schema:  FromSchema(bench.Schema),
+	}
+	for _, p := range bench.Programs {
+		sp, err := FromProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Programs = append(f.Programs, sp)
+	}
+	return f
+}
+
+// noTmpResidue fails the test if any *.tmp file is present in dir.
+func noTmpResidue(t *testing.T, dir, when string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("%s: temp residue %s left behind", when, e.Name())
+		}
+	}
+}
+
+// TestSaveFsyncDiscipline asserts the exact crash-safe operation order of
+// one Save: create, write, data fsync, close, rename, directory fsync.
+// This is the property the whole fault matrix leans on — without the data
+// fsync before the rename, a "passing" matrix would still admit torn
+// snapshots on real power cuts.
+func TestSaveFsyncDiscipline(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(faultfs.OS{})
+	st, err := OpenFS(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.StartTrace()
+	if err := st.Save(testFile(t)); err != nil {
+		t.Fatal(err)
+	}
+	want := []faultfs.Op{
+		faultfs.OpCreate, faultfs.OpWrite, faultfs.OpSync, faultfs.OpClose,
+		faultfs.OpRename, faultfs.OpSyncDir,
+	}
+	trace := in.Trace()
+	if len(trace) != len(want) {
+		t.Fatalf("Save issued %d ops, want %d: %+v", len(trace), len(want), trace)
+	}
+	for i, e := range trace {
+		if e.Op != want[i] {
+			t.Fatalf("op[%d] = %s, want %s (full trace %+v)", i, e.Op, want[i], trace)
+		}
+	}
+}
+
+// TestSaveFaultMatrix drives one Save through every failure point of the
+// write sequence — ENOSPC at each op, a torn write, a failed rename, and a
+// crash between write and rename — and asserts the two recovery
+// invariants: (1) no *.tmp residue survives a failed Save (crash faults
+// excepted: the dead process cannot clean up, so the next OpenFS must
+// sweep), and (2) a fresh store over the same directory either loads the
+// previously committed snapshot intact or loads nothing — never a torn or
+// partial file.
+func TestSaveFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault *faultfs.Fault
+		// crash marks schedules whose failure leaves residue only boot
+		// recovery can remove.
+		crash bool
+		// committed marks schedules that fail only after the rename — the
+		// new file is legitimately in place (its durability is what the
+		// retry re-establishes), so boot loads it.
+		committed bool
+	}{
+		{name: "enospc_create", fault: &faultfs.Fault{Op: faultfs.OpCreate, Err: syscall.ENOSPC}},
+		{name: "enospc_write", fault: &faultfs.Fault{Op: faultfs.OpWrite, Err: syscall.ENOSPC}},
+		{name: "enospc_sync", fault: &faultfs.Fault{Op: faultfs.OpSync, Err: syscall.ENOSPC}},
+		// After=2 skips OpenFS's own MkdirAll + sweep ReadDir, so the disk
+		// "fills up" exactly as the first Save begins.
+		{name: "enospc_persistent", fault: faultfs.ENOSPC(2)},
+		{name: "torn_write", fault: faultfs.Torn(0, 10)},
+		{name: "rename_failed", fault: faultfs.FailOnce(faultfs.OpRename, 0)},
+		{name: "dirsync_failed", fault: faultfs.FailOnce(faultfs.OpSyncDir, 0), committed: true},
+		{name: "close_failed", fault: faultfs.FailOnce(faultfs.OpClose, 0)},
+		{name: "crash_before_rename", fault: faultfs.CrashAt(faultfs.OpRename, 0), crash: true},
+		{name: "crash_mid_write", fault: &faultfs.Fault{Op: faultfs.OpWrite, TornBytes: 7, Crash: true}, crash: true},
+		{name: "crash_at_sync", fault: faultfs.CrashAt(faultfs.OpSync, 0), crash: true},
+	}
+	for _, tc := range cases {
+		for _, preCommit := range []bool{false, true} {
+			name := tc.name + "/empty_dir"
+			if preCommit {
+				name = tc.name + "/over_committed_snapshot"
+			}
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				f := testFile(t)
+				if preCommit {
+					// Commit a good snapshot first; the faulted overwrite
+					// must not damage it.
+					st, err := OpenFS(dir, faultfs.OS{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := st.Save(f); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Each subtest gets its own copy: faults carry match/fire
+				// state and must not leak across runs.
+				fault := *tc.fault
+				in := faultfs.NewInjector(faultfs.OS{}, &fault)
+				st, err := OpenFS(dir, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Save(f); err == nil {
+					t.Fatal("faulted Save succeeded, want error")
+				}
+				if !tc.crash {
+					noTmpResidue(t, dir, "after failed Save")
+				}
+
+				// Boot recovery: a fresh store over the same directory on a
+				// healthy filesystem.
+				st2, err := OpenFS(dir, faultfs.OS{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				noTmpResidue(t, dir, "after boot sweep")
+				files, skippedNames, err := st2.LoadAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(skippedNames) != 0 {
+					t.Fatalf("boot skipped %v — a failed Save must never leave a torn file under the final name", skippedNames)
+				}
+				wantFiles := 0
+				if preCommit || tc.committed {
+					wantFiles = 1
+				}
+				if len(files) != wantFiles {
+					t.Fatalf("boot loaded %d snapshots, want %d", len(files), wantFiles)
+				}
+				if preCommit && files[0].ID != f.ID {
+					t.Fatalf("recovered snapshot id = %s, want %s", files[0].ID, f.ID)
+				}
+				// The recovered directory is fully writable again: the
+				// retried Save must succeed and round-trip.
+				if err := st2.Save(f); err != nil {
+					t.Fatalf("post-recovery Save: %v", err)
+				}
+				files, skippedNames, err = st2.LoadAll()
+				if err != nil || len(files) != 1 || len(skippedNames) != 0 {
+					t.Fatalf("post-recovery LoadAll = %d files, skipped %v, err %v", len(files), skippedNames, err)
+				}
+			})
+		}
+	}
+}
+
+// TestRenameFailureRemovesTemp pins the specific regression of the rename
+// path: a Save whose rename fails must remove its temp file before
+// returning (it used to leave it when the removal raced the error return).
+func TestRenameFailureRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(faultfs.OS{}, faultfs.FailOnce(faultfs.OpRename, 0))
+	st, err := OpenFS(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testFile(t)); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Save error = %v, want injected rename failure", err)
+	}
+	noTmpResidue(t, dir, "after rename failure")
+}
+
+// TestBootSweepRemovesCrashResidue: temp files from a crashed process are
+// removed by the next OpenFS and never surface as loadable snapshots.
+func TestBootSweepRemovesCrashResidue(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"deadbeef-1-1.tmp", "deadbeef-1-2.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{\"torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTmpResidue(t, dir, "after Open")
+	files, skippedNames, err := st.LoadAll()
+	if err != nil || len(files) != 0 || len(skippedNames) != 0 {
+		t.Fatalf("LoadAll over swept dir = %d files, skipped %v, err %v", len(files), skippedNames, err)
+	}
+}

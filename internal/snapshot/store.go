@@ -6,25 +6,70 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+
+	"repro/internal/faultfs"
 )
 
 // Store persists snapshot files in one directory, one `<id>.json` per
-// workload. Writes go through a temp file and an atomic rename, so a crash
-// mid-write leaves either the old snapshot or none — never a torn file with
-// the final name.
+// workload. Writes go through a temp file, a data fsync, an atomic rename
+// and a directory fsync, so a crash at any point leaves either the old
+// snapshot or the new one — never a torn file under the final name, and
+// never a rename that silently evaporates with the page cache.
+//
+// All filesystem access goes through a faultfs.FS (the real filesystem by
+// default), which is both the deterministic fault-injection seam of the
+// crash-safety tests and the interface a future non-filesystem backend
+// plugs into.
 type Store struct {
 	dir string
+	fs  faultfs.FS
+	seq atomic.Uint64
 }
 
-// Open creates the state directory if needed and returns a store over it.
-func Open(dir string) (*Store, error) {
+// Open creates the state directory if needed and returns a store over it,
+// backed by the real filesystem.
+func Open(dir string) (*Store, error) { return OpenFS(dir, faultfs.OS{}) }
+
+// OpenFS is Open over an explicit filesystem — the fault-injection seam.
+// Besides creating the directory, it sweeps temp files a previous crashed
+// process left behind: a `*.tmp` that never reached its rename is garbage
+// by construction (the rename is the commit point), and letting residue
+// accumulate would eventually fill the disk a chaos loop restarts on.
+func OpenFS(dir string, fs faultfs.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("snapshot: empty state directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fs == nil {
+		fs = faultfs.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	st := &Store{dir: dir, fs: fs}
+	st.sweepTemp()
+	return st, nil
+}
+
+// sweepTemp removes stale `*.tmp` residue, best effort: a failure to list
+// or remove must not prevent boot (the residue is merely disk garbage,
+// never loaded).
+func (st *Store) sweepTemp() {
+	entries, err := st.fs.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	swept := false
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			if st.fs.Remove(filepath.Join(st.dir, e.Name())) == nil {
+				swept = true
+			}
+		}
+	}
+	if swept {
+		st.fs.SyncDir(st.dir)
+	}
 }
 
 // Dir returns the directory the store persists into.
@@ -47,11 +92,23 @@ func validID(id string) bool {
 	return true
 }
 
-// Save writes the snapshot atomically under its workload id, stamping the
-// current format version. Each call writes its own temp file (CreateTemp,
-// not a fixed name): concurrent Saves of the same workload then race only
-// at the rename, where either complete file winning is fine — a shared
-// temp name would interleave the writes and rename a torn file into place.
+// tmpName generates a process-unique temp path for one write: pid plus a
+// per-store sequence number. Concurrent Saves of the same workload then
+// race only at the rename, where either complete, fsynced file winning is
+// fine — a shared temp name would interleave the writes and rename a torn
+// file into place.
+func (st *Store) tmpName(id string) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s-%d-%d.tmp", id, os.Getpid(), st.seq.Add(1)))
+}
+
+// Save writes the snapshot durably under its workload id, stamping the
+// current format version. The sequence is the classic crash-safe one:
+// write the temp file, fsync it (so its bytes precede the rename on disk),
+// close, rename into place, fsync the directory (so the rename itself is
+// durable — without it a power cut can revert to the old file, or to
+// nothing). Any failure removes the temp file: error paths must not leave
+// `*.tmp` residue behind (boot additionally sweeps residue a hard crash
+// makes unavoidable).
 func (st *Store) Save(f *File) error {
 	if !validID(f.ID) {
 		return fmt.Errorf("snapshot: invalid workload id %q", f.ID)
@@ -61,32 +118,52 @@ func (st *Store) Save(f *File) error {
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	tmp, err := os.CreateTemp(st.dir, f.ID+"-*.tmp")
+	tmp := st.tmpName(f.ID)
+	w, err := st.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
+	_, werr := w.Write(append(data, '\n'))
+	if werr == nil {
+		// The data fsync before rename: a rename made durable ahead of the
+		// bytes it points at is exactly the torn-snapshot crash mode.
+		werr = w.Sync()
+	}
+	cerr := w.Close()
 	if werr == nil {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmp.Name(), st.path(f.ID))
+		werr = st.fs.Rename(tmp, st.path(f.ID))
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
+		st.fs.Remove(tmp)
 		return fmt.Errorf("snapshot: %w", werr)
+	}
+	// The directory fsync after rename commits the new entry. If it fails,
+	// the write is reported failed — the file may be in place in memory,
+	// but its durability is not established, and the caller's retry path
+	// (the server's backoff flusher) will rewrite it.
+	if err := st.fs.SyncDir(st.dir); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
 	}
 	return nil
 }
 
 // Delete removes the snapshot of the workload, if present (evicted
-// workloads must not resurrect on the next boot).
+// workloads must not resurrect on the next boot), and syncs the directory
+// so the removal is durable.
 func (st *Store) Delete(id string) error {
 	if !validID(id) {
 		return fmt.Errorf("snapshot: invalid workload id %q", id)
 	}
-	if err := os.Remove(st.path(id)); err != nil && !os.IsNotExist(err) {
+	if err := st.fs.Remove(st.path(id)); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := st.fs.SyncDir(st.dir); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	return nil
@@ -99,7 +176,7 @@ func (st *Store) Delete(id string) error {
 // expected to additionally verify each file's fingerprint before trusting
 // its content.
 func (st *Store) LoadAll() (files []*File, skipped []string, err error) {
-	entries, err := os.ReadDir(st.dir)
+	entries, err := st.fs.ReadDir(st.dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snapshot: %w", err)
 	}
@@ -108,7 +185,7 @@ func (st *Store) LoadAll() (files []*File, skipped []string, err error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(st.dir, name))
+		data, err := st.fs.ReadFile(filepath.Join(st.dir, name))
 		if err != nil {
 			skipped = append(skipped, name)
 			continue

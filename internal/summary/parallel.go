@@ -2,8 +2,10 @@ package summary
 
 import (
 	"context"
+	"fmt"
 	"math/bits"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +31,39 @@ func resolveWorkers(workers int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return workers
+}
+
+// workerPanic ferries a panic from a pool worker back to the goroutine
+// that spawned the pool. A panic on a spawned goroutine is unrecoverable
+// upstream — it kills the process — so each worker defers capture and the
+// spawner calls rethrow after Wait, making a parallel stage fail exactly
+// like its sequential counterpart would: as a panic on the caller, where
+// the serving layer's recovery can turn it into a structured error.
+type workerPanic struct {
+	mu    sync.Mutex
+	value any
+	stack []byte
+}
+
+// capture is deferred by every pool worker; the first panic wins.
+func (wp *workerPanic) capture() {
+	if p := recover(); p != nil {
+		wp.mu.Lock()
+		if wp.value == nil {
+			wp.value = p
+			wp.stack = debug.Stack()
+		}
+		wp.mu.Unlock()
+	}
+}
+
+// rethrow re-raises the captured panic on the calling goroutine, keeping
+// the worker's stack in the message (the original frames are gone with
+// the worker).
+func (wp *workerPanic) rethrow() {
+	if wp.value != nil {
+		panic(fmt.Sprintf("summary worker: %v\nworker stack:\n%s", wp.value, wp.stack))
+	}
 }
 
 // ensureChunk is the number of missing pairs a worker claims per atomic
@@ -92,10 +127,12 @@ func (bs *BlockSet) fillMissing(ctx context.Context, ltps []*btp.LTP, blocks [][
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var wp workerPanic
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer wp.capture()
 			for ctx.Err() == nil {
 				start := int(next.Add(ensureChunk)) - ensureChunk
 				if start >= len(missing) {
@@ -108,6 +145,7 @@ func (bs *BlockSet) fillMissing(ctx context.Context, ltps []*btp.LTP, blocks [][
 		}()
 	}
 	wg.Wait()
+	wp.rethrow()
 	return ctx.Err()
 }
 
@@ -224,6 +262,7 @@ func squaringFixpoint(rows []bitset, workers int) {
 	}
 	cur := rows
 	chunk := (n + workers - 1) / workers
+	var wp workerPanic
 	for {
 		var changed atomic.Bool
 		var wg sync.WaitGroup
@@ -232,6 +271,7 @@ func squaringFixpoint(rows []bitset, workers int) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				defer wp.capture()
 				shardChanged := false
 				for i := lo; i < hi; i++ {
 					src, dst := cur[i], next[i]
@@ -260,6 +300,7 @@ func squaringFixpoint(rows []bitset, workers int) {
 			}(lo, hi)
 		}
 		wg.Wait()
+		wp.rethrow()
 		cur, next = next, cur
 		if !changed.Load() {
 			break
@@ -318,10 +359,12 @@ func (g *Graph) typeIIParallel(workers int) (bool, *Witness) {
 	best.Store(int64(len(cf)))
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var wp workerPanic
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer wp.capture()
 			cache := make([]int32, n*n)
 			for {
 				start := int(next.Add(typeIIDetectChunk)) - typeIIDetectChunk
@@ -345,6 +388,7 @@ func (g *Graph) typeIIParallel(workers int) (bool, *Witness) {
 		}()
 	}
 	wg.Wait()
+	wp.rethrow()
 	pos := int(best.Load())
 	if pos >= len(cf) {
 		return false, nil

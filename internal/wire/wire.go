@@ -33,9 +33,16 @@ func WriteJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
-// Error is the uniform error envelope of non-2xx responses.
+// Error is the uniform error envelope of non-2xx responses. Code and
+// RetryAfterSeconds are optional machine-readable extensions (both
+// omitempty, so pre-existing error bodies are byte-identical): overload
+// shedding answers 429 with Code "overloaded" and a RetryAfterSeconds
+// mirroring the Retry-After header, and a recovered handler panic answers
+// 500 with Code "panic".
 type Error struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	Code              string `json:"code,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 // --- Settings and methods --------------------------------------------------
@@ -735,13 +742,28 @@ type StatsResponse struct {
 
 // HealthzResponse is the body of GET /healthz: liveness plus build
 // attribution, so a deployed server is traceable to a commit from the
-// probe endpoint alone.
+// probe endpoint alone. Persistence reports the snapshot subsystem:
+// "ok", "degraded" (consecutive flush rounds failing; the flusher is
+// retrying with backoff), "failed" (the state directory was unusable at
+// boot), or omitted when persistence is disabled.
 type HealthzResponse struct {
 	Status        string  `json:"status"`
 	Version       string  `json:"version"`
 	Revision      string  `json:"revision"`
 	GoVersion     string  `json:"go_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	Persistence   string  `json:"persistence,omitempty"`
+}
+
+// ReadyResponse is the body of GET /healthz/ready and /healthz/live —
+// the split probes: liveness stays up as long as the process serves,
+// readiness goes 503 while the server drains for shutdown or while
+// persistence is degraded, steering load balancers away without killing
+// in-flight work.
+type ReadyResponse struct {
+	Status      string `json:"status"` // "ready", "live", "draining" or "degraded"
+	Draining    bool   `json:"draining,omitempty"`
+	Persistence string `json:"persistence,omitempty"`
 }
 
 // --- Helpers ---------------------------------------------------------------

@@ -78,6 +78,7 @@ package mvrc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -292,18 +293,31 @@ func Serve(ctx context.Context, addr string, srv *Server) error {
 
 // ServeListener is Serve on an existing listener (which it takes ownership
 // of) — the hook for callers that bind port 0 and need the chosen address.
+// On ctx cancellation the server drains: readiness (/healthz/ready) goes
+// 503 first so load balancers stop routing, in-flight requests get up to
+// five seconds to complete, and the final snapshot flush runs with bounded
+// retries. A drain deadline that forces connections closed, or a final
+// flush that cannot persist, is returned as an error — callers exiting on
+// it should do so non-zero, since either means client-visible work or
+// durability was lost.
 func ServeListener(ctx context.Context, ln net.Listener, srv *Server) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
+		srv.BeginDrain()
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		defer srv.Close()
-		return hs.Shutdown(sctx)
+		err := hs.Shutdown(sctx)
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	case err := <-errc:
-		srv.Close()
+		if cerr := srv.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return err
 	}
 }
